@@ -1,0 +1,360 @@
+//! The analog photonic inference engine.
+//!
+//! Weights live in phase-change-material (PCM) cells on MZI crossbars
+//! (the NEUROPULS platform of \[11\]): programming quantizes each weight to
+//! a finite number of transmission levels, every multiply-accumulate
+//! picks up multiplicative analog noise, and the PCM levels drift slowly
+//! after programming. The engine models those three effects and accounts
+//! latency and energy per inference for the system-level experiments.
+
+use crate::config::{ConfigCodecError, NetworkConfig};
+use neuropuls_photonic::laser::gaussian;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Analog non-idealities of the crossbar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalogModel {
+    /// Bits of weight quantization (PCM programming levels = 2^bits).
+    pub weight_bits: u8,
+    /// Relative multiplicative noise σ per MAC.
+    pub mac_noise: f64,
+    /// Relative PCM drift per programmed hour (applied via
+    /// [`PhotonicEngine::age`]).
+    pub drift_per_hour: f64,
+    /// Energy per MAC in picojoules.
+    pub energy_per_mac_pj: f64,
+    /// Latency per layer in nanoseconds (optical transit + conversion).
+    pub layer_latency_ns: f64,
+}
+
+impl AnalogModel {
+    /// The reference platform model.
+    pub fn reference() -> Self {
+        AnalogModel {
+            weight_bits: 6,
+            mac_noise: 5e-3,
+            drift_per_hour: 2e-3,
+            energy_per_mac_pj: 0.05,
+            layer_latency_ns: 4.0,
+        }
+    }
+
+    /// An ideal digital engine (for accuracy-loss ablations).
+    pub fn ideal() -> Self {
+        AnalogModel {
+            weight_bits: 32,
+            mac_noise: 0.0,
+            drift_per_hour: 0.0,
+            energy_per_mac_pj: 1.0,
+            layer_latency_ns: 100.0,
+        }
+    }
+}
+
+/// Errors from loading or running the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// No network has been loaded.
+    NotLoaded,
+    /// The input width disagrees with the loaded network.
+    InputWidth {
+        /// Expected width.
+        expected: usize,
+        /// Supplied width.
+        actual: usize,
+    },
+    /// The configuration failed validation.
+    BadConfig(ConfigCodecError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::NotLoaded => write!(f, "no network loaded"),
+            EngineError::InputWidth { expected, actual } => {
+                write!(f, "input width mismatch: expected {expected}, got {actual}")
+            }
+            EngineError::BadConfig(e) => write!(f, "bad network config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ConfigCodecError> for EngineError {
+    fn from(e: ConfigCodecError) -> Self {
+        EngineError::BadConfig(e)
+    }
+}
+
+/// Cumulative execution statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineStats {
+    /// Inferences executed since load.
+    pub inferences: u64,
+    /// Total MAC operations.
+    pub macs: u64,
+    /// Total energy in picojoules.
+    pub energy_pj: f64,
+    /// Total busy time in nanoseconds.
+    pub busy_ns: f64,
+}
+
+/// The photonic inference engine.
+#[derive(Debug, Clone)]
+pub struct PhotonicEngine {
+    model: AnalogModel,
+    /// Programmed (quantized) weights, one row-major matrix per layer.
+    programmed: Vec<Vec<f64>>,
+    config: Option<NetworkConfig>,
+    drift_factor: f64,
+    stats: EngineStats,
+    rng: StdRng,
+}
+
+impl PhotonicEngine {
+    /// Creates an engine with the given analog model.
+    pub fn new(model: AnalogModel, noise_seed: u64) -> Self {
+        PhotonicEngine {
+            model,
+            programmed: Vec::new(),
+            config: None,
+            drift_factor: 1.0,
+            stats: EngineStats::default(),
+            rng: StdRng::seed_from_u64(noise_seed),
+        }
+    }
+
+    /// Reference-model engine.
+    pub fn reference(noise_seed: u64) -> Self {
+        Self::new(AnalogModel::reference(), noise_seed)
+    }
+
+    /// The analog model.
+    pub fn model(&self) -> &AnalogModel {
+        &self.model
+    }
+
+    /// Whether a network is loaded.
+    pub fn is_loaded(&self) -> bool {
+        self.config.is_some()
+    }
+
+    /// Execution statistics since the last load.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Programs a validated network into the PCM cells (quantizing
+    /// weights).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BadConfig`] if the configuration fails
+    /// validation.
+    pub fn load(&mut self, config: NetworkConfig) -> Result<(), EngineError> {
+        config.validate()?;
+        let levels = (1u64 << self.model.weight_bits.min(63)) as f64;
+        self.programmed = config
+            .layers
+            .iter()
+            .map(|layer| {
+                let max_abs = layer
+                    .weights
+                    .iter()
+                    .fold(0f32, |m, w| m.max(w.abs()))
+                    .max(f32::MIN_POSITIVE) as f64;
+                layer
+                    .weights
+                    .iter()
+                    .map(|&w| {
+                        // Quantize to the PCM level grid over [-max, max].
+                        let normalized = w as f64 / max_abs;
+                        let level = (normalized * (levels / 2.0 - 1.0)).round();
+                        level / (levels / 2.0 - 1.0) * max_abs
+                    })
+                    .collect()
+            })
+            .collect();
+        self.config = Some(config);
+        self.drift_factor = 1.0;
+        self.stats = EngineStats::default();
+        Ok(())
+    }
+
+    /// Unloads the network and clears the PCM cells (the hardware
+    /// equivalent of zeroizing key material).
+    pub fn unload(&mut self) {
+        self.programmed.clear();
+        self.config = None;
+    }
+
+    /// Ages the PCM cells by `hours` of drift.
+    pub fn age(&mut self, hours: f64) {
+        self.drift_factor *= (1.0 - self.model.drift_per_hour).powf(hours.max(0.0));
+    }
+
+    /// Runs one inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NotLoaded`] or
+    /// [`EngineError::InputWidth`].
+    pub fn infer(&mut self, input: &[f64]) -> Result<Vec<f64>, EngineError> {
+        let config = self.config.as_ref().ok_or(EngineError::NotLoaded)?;
+        if input.len() != config.input_width() {
+            return Err(EngineError::InputWidth {
+                expected: config.input_width(),
+                actual: input.len(),
+            });
+        }
+        let mut activations: Vec<f64> = input.to_vec();
+        let mut macs = 0u64;
+        for (layer, weights) in config.layers.iter().zip(self.programmed.iter()) {
+            let mut next = Vec::with_capacity(layer.outputs);
+            for o in 0..layer.outputs {
+                let mut acc = layer.biases[o] as f64;
+                for (i, &a) in activations.iter().enumerate() {
+                    let w = weights[o * layer.inputs + i] * self.drift_factor;
+                    let noise = 1.0 + self.model.mac_noise * gaussian(&mut self.rng);
+                    acc += w * a * noise;
+                    macs += 1;
+                }
+                next.push(layer.activation.apply(acc));
+            }
+            activations = next;
+        }
+        self.stats.inferences += 1;
+        self.stats.macs += macs;
+        self.stats.energy_pj += macs as f64 * self.model.energy_per_mac_pj;
+        self.stats.busy_ns += config.layers.len() as f64 * self.model.layer_latency_ns;
+        Ok(activations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+
+    fn identity_config(width: usize) -> NetworkConfig {
+        NetworkConfig::mlp(&[width, width], |_, o, i| if o == i { 1.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn infer_requires_load() {
+        let mut engine = PhotonicEngine::reference(1);
+        assert_eq!(engine.infer(&[1.0]), Err(EngineError::NotLoaded));
+    }
+
+    #[test]
+    fn identity_network_roughly_passes_through() {
+        let mut engine = PhotonicEngine::reference(2);
+        engine.load(identity_config(4)).unwrap();
+        let out = engine.infer(&[0.5, -0.25, 1.0, 0.0]).unwrap();
+        assert_eq!(out.len(), 4);
+        for (o, e) in out.iter().zip([0.5, -0.25, 1.0, 0.0]) {
+            assert!((o - e).abs() < 0.05, "out {o} expected {e}");
+        }
+    }
+
+    #[test]
+    fn input_width_is_checked() {
+        let mut engine = PhotonicEngine::reference(3);
+        engine.load(identity_config(4)).unwrap();
+        assert_eq!(
+            engine.infer(&[1.0]),
+            Err(EngineError::InputWidth {
+                expected: 4,
+                actual: 1
+            })
+        );
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut engine = PhotonicEngine::reference(4);
+        let mut config = identity_config(3);
+        config.layers[0].biases.pop();
+        assert!(matches!(engine.load(config), Err(EngineError::BadConfig(_))));
+    }
+
+    #[test]
+    fn analog_noise_perturbs_output() {
+        let mut engine = PhotonicEngine::reference(5);
+        engine.load(identity_config(4)).unwrap();
+        let a = engine.infer(&[1.0, 1.0, 1.0, 1.0]).unwrap();
+        let b = engine.infer(&[1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert_ne!(a, b, "analog engine should be noisy");
+    }
+
+    #[test]
+    fn ideal_engine_is_exact_and_deterministic() {
+        let mut engine = PhotonicEngine::new(AnalogModel::ideal(), 6);
+        engine.load(identity_config(4)).unwrap();
+        let a = engine.infer(&[1.0, 2.0, -1.0, 0.5]).unwrap();
+        // Single-layer MLPs end in a linear output layer.
+        assert_eq!(a, vec![1.0, 2.0, -1.0, 0.5]);
+    }
+
+    #[test]
+    fn quantization_limits_precision() {
+        // A 1-bit engine collapses weights to ±max.
+        let mut coarse = PhotonicEngine::new(
+            AnalogModel {
+                weight_bits: 2,
+                mac_noise: 0.0,
+                ..AnalogModel::reference()
+            },
+            7,
+        );
+        let config = NetworkConfig::mlp(&[2, 1], |_, _, i| if i == 0 { 1.0 } else { 0.3 });
+        coarse.load(config.clone()).unwrap();
+        let mut fine = PhotonicEngine::new(AnalogModel::ideal(), 7);
+        fine.load(config).unwrap();
+        let x = [1.0, 1.0];
+        let c = coarse.infer(&x).unwrap()[0];
+        let f = fine.infer(&x).unwrap()[0];
+        assert!((c - f).abs() > 0.05, "quantization had no effect: {c} vs {f}");
+    }
+
+    #[test]
+    fn drift_attenuates_weights() {
+        let mut engine = PhotonicEngine::new(
+            AnalogModel {
+                mac_noise: 0.0,
+                ..AnalogModel::reference()
+            },
+            8,
+        );
+        engine.load(identity_config(2)).unwrap();
+        let fresh = engine.infer(&[1.0, 1.0]).unwrap();
+        engine.age(100.0);
+        let aged = engine.infer(&[1.0, 1.0]).unwrap();
+        assert!(aged[0] < fresh[0], "drift did not attenuate: {aged:?}");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut engine = PhotonicEngine::reference(9);
+        engine.load(identity_config(4)).unwrap();
+        engine.infer(&[0.0; 4]).unwrap();
+        engine.infer(&[0.0; 4]).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.inferences, 2);
+        assert_eq!(stats.macs, 32);
+        assert!(stats.energy_pj > 0.0);
+        assert!(stats.busy_ns > 0.0);
+    }
+
+    #[test]
+    fn unload_clears_state() {
+        let mut engine = PhotonicEngine::reference(10);
+        engine.load(identity_config(2)).unwrap();
+        assert!(engine.is_loaded());
+        engine.unload();
+        assert!(!engine.is_loaded());
+        assert_eq!(engine.infer(&[1.0, 1.0]), Err(EngineError::NotLoaded));
+    }
+}

@@ -1,0 +1,173 @@
+//! Photonic reservoir layer.
+//!
+//! §II-A notes the PUF's resonant memory mixes past and present bits
+//! "similarly to what happens in reservoir computing" — the same
+//! NEUROPULS platform runs reservoir workloads on the accelerator. This
+//! module provides a small echo-state-style reservoir whose state update
+//! mimics a ring-loaded photonic cavity: a leaky integrator with fixed
+//! random input/recurrent couplings and a saturating optical
+//! nonlinearity.
+
+use neuropuls_photonic::laser::gaussian;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A fixed-random photonic reservoir.
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    input_weights: Vec<Vec<f64>>, // nodes × inputs
+    recurrent: Vec<Vec<f64>>,     // nodes × nodes
+    state: Vec<f64>,
+    leak: f64,
+}
+
+impl Reservoir {
+    /// Builds a reservoir of `nodes` nodes over `inputs` input channels.
+    /// `spectral_scale` controls the recurrent strength (keep < 1 for the
+    /// echo-state property); `seed` fixes the random couplings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `inputs` is zero, or `spectral_scale` is not
+    /// in `(0, 1)`.
+    pub fn new(nodes: usize, inputs: usize, spectral_scale: f64, seed: u64) -> Self {
+        assert!(nodes > 0 && inputs > 0, "degenerate reservoir");
+        assert!(
+            spectral_scale > 0.0 && spectral_scale < 1.0,
+            "spectral scale must be in (0,1) for the echo-state property"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input_weights = (0..nodes)
+            .map(|_| (0..inputs).map(|_| gaussian(&mut rng) * 0.5).collect())
+            .collect();
+        // Normalize rows so the recurrent map is a contraction bounded by
+        // spectral_scale (row-sum norm bounds the spectral radius).
+        let raw: Vec<Vec<f64>> = (0..nodes)
+            .map(|_| (0..nodes).map(|_| gaussian(&mut rng)).collect())
+            .collect();
+        let max_row_sum = raw
+            .iter()
+            .map(|row| row.iter().map(|w| w.abs()).sum::<f64>())
+            .fold(f64::MIN_POSITIVE, f64::max);
+        let recurrent = raw
+            .into_iter()
+            .map(|row| row.into_iter().map(|w| w / max_row_sum * spectral_scale).collect())
+            .collect();
+        Reservoir {
+            input_weights,
+            recurrent,
+            state: vec![0.0; nodes],
+            leak: 0.3,
+        }
+    }
+
+    /// Number of reservoir nodes.
+    pub fn nodes(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Clears the reservoir state.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|s| *s = 0.0);
+    }
+
+    /// Advances one time step with input `u`, returning the new state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` has the wrong width.
+    pub fn step(&mut self, u: &[f64]) -> &[f64] {
+        assert_eq!(
+            u.len(),
+            self.input_weights[0].len(),
+            "input width mismatch"
+        );
+        let n = self.state.len();
+        let mut next = vec![0.0; n];
+        for i in 0..n {
+            let drive: f64 = self.input_weights[i]
+                .iter()
+                .zip(u.iter())
+                .map(|(w, x)| w * x)
+                .sum();
+            let echo: f64 = self.recurrent[i]
+                .iter()
+                .zip(self.state.iter())
+                .map(|(w, s)| w * s)
+                .sum();
+            next[i] = (1.0 - self.leak) * self.state[i] + self.leak * (drive + echo).tanh();
+        }
+        self.state = next;
+        &self.state
+    }
+
+    /// Runs a full input sequence, returning the state trajectory
+    /// (`steps × nodes`).
+    pub fn run(&mut self, sequence: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        self.reset();
+        sequence.iter().map(|u| self.step(u).to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_fades_without_input() {
+        let mut r = Reservoir::new(16, 2, 0.8, 1);
+        r.step(&[1.0, -1.0]);
+        let energized: f64 = r.state.iter().map(|s| s * s).sum();
+        for _ in 0..200 {
+            r.step(&[0.0, 0.0]);
+        }
+        let faded: f64 = r.state.iter().map(|s| s * s).sum();
+        assert!(energized > 1e-6);
+        assert!(faded < energized * 0.01, "echo-state property violated");
+    }
+
+    #[test]
+    fn reset_restores_zero_state() {
+        let mut r = Reservoir::new(8, 1, 0.5, 2);
+        r.step(&[1.0]);
+        r.reset();
+        assert!(r.state.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn memory_of_past_inputs() {
+        // Sequences differing only in their *first* element must leave
+        // different states a few steps later.
+        let mut r = Reservoir::new(16, 1, 0.9, 3);
+        let a = r.run(&[vec![1.0], vec![0.0], vec![0.0], vec![0.0]]);
+        let b = r.run(&[vec![-1.0], vec![0.0], vec![0.0], vec![0.0]]);
+        let dist: f64 = a[3]
+            .iter()
+            .zip(b[3].iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum();
+        assert!(dist > 1e-9, "reservoir has no memory");
+    }
+
+    #[test]
+    fn same_seed_same_dynamics() {
+        let mut a = Reservoir::new(8, 2, 0.7, 4);
+        let mut b = Reservoir::new(8, 2, 0.7, 4);
+        let sa = a.run(&[vec![0.5, 0.1], vec![0.2, -0.3]]);
+        let sb = b.run(&[vec![0.5, 0.1], vec![0.2, -0.3]]);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    #[should_panic(expected = "echo-state")]
+    fn rejects_unstable_scale() {
+        let _ = Reservoir::new(8, 1, 1.5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_bad_input_width() {
+        let mut r = Reservoir::new(4, 2, 0.5, 6);
+        let _ = r.step(&[1.0]);
+    }
+}

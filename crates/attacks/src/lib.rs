@@ -1,0 +1,36 @@
+//! Attack models for the NEUROPULS security layers (§IV of the paper).
+//!
+//! Each module implements one attack class the paper discusses, so the
+//! defenses can be *measured* instead of asserted:
+//!
+//! * [`ml`] — CRP-harvesting + logistic-regression modeling attacks
+//!   (break arbiter PUFs, stay near chance on the photonic PUF);
+//! * [`side_channel`] — power-analysis on simulated traces (electronic
+//!   PUFs leak, photonic waveguides do not couple to the power rail);
+//! * [`remanence`] — SRAM remanence-decay readout vs. the photonic
+//!   <100 ns response window;
+//! * [`protocol_attacks`] — replay / MITM-tamper / blind-forgery
+//!   campaigns against the mutual-authentication service;
+//! * [`tamper`] — chip-substitution attacks against the PIC+ASIC
+//!   composite binding.
+//!
+//! # Example
+//!
+//! ```
+//! use neuropuls_attacks::ml::{model_attack, parity_features};
+//! use neuropuls_photonic::process::DieId;
+//! use neuropuls_puf::arbiter::ArbiterPuf;
+//!
+//! # fn main() -> Result<(), neuropuls_puf::PufError> {
+//! let mut target = ArbiterPuf::fabricate(DieId(1), 64, 9);
+//! let outcome = model_attack(&mut target, parity_features, 500, 100, 0, 10, 1)?;
+//! assert!(outcome.accuracy > 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ml;
+pub mod protocol_attacks;
+pub mod remanence;
+pub mod side_channel;
+pub mod tamper;

@@ -1,0 +1,267 @@
+//! Machine-learning modeling attacks — §IV.
+//!
+//! The classic Rührmair et al. \[28\] attack: harvest CRPs, map challenges
+//! to a feature vector, fit a linear model, predict unseen responses. An
+//! arbiter PUF is `sign(w·Φ(c))` — exactly a linear classifier in the
+//! parity features — so logistic regression breaks it with a few hundred
+//! CRPs. The photonic PUF's response bits are comparisons of
+//! *interfered, square-law-detected, memory-mixed* intensities: no known
+//! feature map of modest size linearizes them, and the same attack stays
+//! near coin-flipping (experiment E6).
+
+use neuropuls_puf::arbiter::ArbiterPuf;
+use neuropuls_puf::bits::Challenge;
+use neuropuls_puf::traits::{Puf, PufError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A binary logistic-regression model trained with mini-batch SGD.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LogisticRegression {
+    /// Creates a zero-initialized model over `features` inputs.
+    pub fn new(features: usize) -> Self {
+        LogisticRegression {
+            weights: vec![0.0; features],
+            bias: 0.0,
+        }
+    }
+
+    /// The learned weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    fn logit(&self, x: &[f64]) -> f64 {
+        self.bias
+            + self
+                .weights
+                .iter()
+                .zip(x.iter())
+                .map(|(w, v)| w * v)
+                .sum::<f64>()
+    }
+
+    /// Predicted probability of class 1.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        1.0 / (1.0 + (-self.logit(x)).exp())
+    }
+
+    /// Hard prediction.
+    pub fn predict(&self, x: &[f64]) -> u8 {
+        u8::from(self.predict_proba(x) > 0.5)
+    }
+
+    /// Fits the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` lengths differ or feature widths are
+    /// inconsistent.
+    pub fn fit(&mut self, xs: &[Vec<f64>], ys: &[u8], epochs: usize, learning_rate: f64) {
+        assert_eq!(xs.len(), ys.len(), "feature/label count mismatch");
+        let n = xs.len().max(1) as f64;
+        for epoch in 0..epochs {
+            // Simple learning-rate decay stabilizes late epochs.
+            let lr = learning_rate / (1.0 + epoch as f64 * 0.01);
+            for (x, &y) in xs.iter().zip(ys.iter()) {
+                assert_eq!(x.len(), self.weights.len(), "feature width mismatch");
+                let error = self.predict_proba(x) - y as f64;
+                for (w, &v) in self.weights.iter_mut().zip(x.iter()) {
+                    *w -= lr * (error * v + *w * 1e-5 / n);
+                }
+                self.bias -= lr * error;
+            }
+        }
+    }
+
+    /// Accuracy on a labelled set.
+    pub fn accuracy(&self, xs: &[Vec<f64>], ys: &[u8]) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let correct = xs
+            .iter()
+            .zip(ys.iter())
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        correct as f64 / xs.len() as f64
+    }
+}
+
+/// Outcome of one modeling attack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackOutcome {
+    /// CRPs used for training.
+    pub training_crps: usize,
+    /// Prediction accuracy on held-out challenges (0.5 = coin flip,
+    /// 1.0 = fully modelled).
+    pub accuracy: f64,
+}
+
+/// Harvests `count` CRPs from any single-output-bit PUF (the target bit
+/// is `bit_index` of the response).
+///
+/// # Errors
+///
+/// Propagates PUF errors.
+pub fn harvest_crps<P: Puf>(
+    puf: &mut P,
+    count: usize,
+    bit_index: usize,
+    rng: &mut StdRng,
+) -> Result<(Vec<Challenge>, Vec<u8>), PufError> {
+    let mut challenges = Vec::with_capacity(count);
+    let mut bits = Vec::with_capacity(count);
+    for _ in 0..count {
+        let c = Challenge::random(puf.challenge_bits(), rng);
+        let r = puf.respond(&c)?;
+        bits.push(r.bits()[bit_index.min(r.len() - 1)]);
+        challenges.push(c);
+    }
+    Ok((challenges, bits))
+}
+
+/// The arbiter parity feature map (what a knowledgeable attacker uses).
+pub fn parity_features(challenge: &Challenge) -> Vec<f64> {
+    ArbiterPuf::features(challenge)
+}
+
+/// The naive ±1 feature map (used against PUFs with no known linear
+/// structure).
+pub fn raw_features(challenge: &Challenge) -> Vec<f64> {
+    challenge
+        .bits()
+        .iter()
+        .map(|&b| 1.0 - 2.0 * b as f64)
+        .collect()
+}
+
+/// Runs a full modeling attack: harvest, split, train, evaluate.
+///
+/// # Errors
+///
+/// Propagates PUF errors.
+pub fn model_attack<P: Puf>(
+    puf: &mut P,
+    feature_map: impl Fn(&Challenge) -> Vec<f64>,
+    training_crps: usize,
+    test_crps: usize,
+    bit_index: usize,
+    epochs: usize,
+    seed: u64,
+) -> Result<AttackOutcome, PufError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (train_c, train_y) = harvest_crps(puf, training_crps, bit_index, &mut rng)?;
+    let (test_c, test_y) = harvest_crps(puf, test_crps, bit_index, &mut rng)?;
+
+    let train_x: Vec<Vec<f64>> = train_c.iter().map(&feature_map).collect();
+    let test_x: Vec<Vec<f64>> = test_c.iter().map(&feature_map).collect();
+
+    let mut model = LogisticRegression::new(train_x[0].len());
+    model.fit(&train_x, &train_y, epochs, 0.05);
+    Ok(AttackOutcome {
+        training_crps,
+        accuracy: model.accuracy(&test_x, &test_y),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuropuls_photonic::process::DieId;
+    use rand::Rng;
+    use neuropuls_puf::arbiter::XorArbiterPuf;
+    use neuropuls_puf::photonic::PhotonicPuf;
+
+    #[test]
+    fn logistic_regression_learns_a_linear_function() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let true_w = [1.5, -2.0, 0.7, 0.0, 3.0];
+        let xs: Vec<Vec<f64>> = (0..500)
+            .map(|_| (0..5).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect())
+            .collect();
+        let ys: Vec<u8> = xs
+            .iter()
+            .map(|x| {
+                let dot: f64 = x.iter().zip(true_w.iter()).map(|(a, b)| a * b).sum();
+                u8::from(dot > 0.0)
+            })
+            .collect();
+        let mut model = LogisticRegression::new(5);
+        model.fit(&xs, &ys, 50, 0.1);
+        assert!(model.accuracy(&xs, &ys) > 0.95);
+    }
+
+    #[test]
+    fn arbiter_puf_is_broken_with_parity_features() {
+        let mut puf = ArbiterPuf::fabricate(DieId(1), 64, 3);
+        let outcome = model_attack(&mut puf, parity_features, 2000, 500, 0, 30, 42).unwrap();
+        assert!(
+            outcome.accuracy > 0.9,
+            "arbiter should be modelable: {}",
+            outcome.accuracy
+        );
+    }
+
+    #[test]
+    fn photonic_puf_resists_the_same_attack() {
+        let mut puf = PhotonicPuf::reference(DieId(2), 5);
+        let outcome = model_attack(&mut puf, raw_features, 400, 150, 0, 30, 43).unwrap();
+        assert!(
+            outcome.accuracy < 0.75,
+            "photonic PUF modelled too easily: {}",
+            outcome.accuracy
+        );
+    }
+
+    #[test]
+    fn xor_arbiter_harder_than_single() {
+        let mut single = ArbiterPuf::fabricate(DieId(3), 64, 3);
+        let mut xored = XorArbiterPuf::fabricate(DieId(3), 64, 4, 3);
+        let crps = 1500;
+        let acc_single = model_attack(&mut single, parity_features, crps, 400, 0, 25, 44)
+            .unwrap()
+            .accuracy;
+        let acc_xor = model_attack(&mut xored, parity_features, crps, 400, 0, 25, 44)
+            .unwrap()
+            .accuracy;
+        assert!(
+            acc_xor < acc_single,
+            "xor {acc_xor} should be below single {acc_single}"
+        );
+    }
+
+    #[test]
+    fn more_crps_help_against_arbiter() {
+        let mut puf = ArbiterPuf::fabricate(DieId(4), 64, 3);
+        let small = model_attack(&mut puf, parity_features, 100, 400, 0, 30, 45)
+            .unwrap()
+            .accuracy;
+        let large = model_attack(&mut puf, parity_features, 3000, 400, 0, 30, 45)
+            .unwrap()
+            .accuracy;
+        assert!(large > small, "small {small} large {large}");
+    }
+
+    #[test]
+    fn harvest_respects_count_and_width() {
+        let mut puf = ArbiterPuf::fabricate(DieId(5), 32, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let (cs, ys) = harvest_crps(&mut puf, 50, 0, &mut rng).unwrap();
+        assert_eq!(cs.len(), 50);
+        assert_eq!(ys.len(), 50);
+        assert!(cs.iter().all(|c| c.len() == 32));
+    }
+
+    #[test]
+    fn feature_maps_have_expected_widths() {
+        let c = Challenge::from_u64(0b1010, 16);
+        assert_eq!(parity_features(&c).len(), 17);
+        assert_eq!(raw_features(&c).len(), 16);
+    }
+}

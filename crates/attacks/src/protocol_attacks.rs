@@ -1,0 +1,163 @@
+//! Active protocol attacks against the mutual-authentication service —
+//! the adversary models the HSC-IoT design claims to resist (§III-A).
+
+use neuropuls_protocols::error::ProtocolError;
+use neuropuls_protocols::mutual_auth::{AuthRequest, Device, DeviceAuth, Verifier};
+use neuropuls_puf::traits::Puf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of one adversarial campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignOutcome {
+    /// Attack attempts made.
+    pub attempts: usize,
+    /// Attempts the verifier (wrongly) accepted.
+    pub successes: usize,
+}
+
+impl CampaignOutcome {
+    /// Attack success rate.
+    pub fn rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// Replay campaign: capture one genuine device message, replay it
+/// `attempts` times in fresh sessions.
+///
+/// # Errors
+///
+/// Fails only if the *genuine* session cannot run.
+pub fn replay_campaign<P: Puf>(
+    device: &mut Device<P>,
+    verifier: &mut Verifier,
+    attempts: usize,
+) -> Result<CampaignOutcome, ProtocolError> {
+    let request = verifier.begin_session();
+    let genuine = device.respond_to_request(&request)?;
+    let confirm = verifier.process_device_auth(&request, &genuine)?;
+    device.process_confirmation(&confirm)?;
+
+    let mut successes = 0;
+    for _ in 0..attempts {
+        let fresh_request = verifier.begin_session();
+        if verifier.process_device_auth(&fresh_request, &genuine).is_ok() {
+            successes += 1;
+        }
+    }
+    Ok(CampaignOutcome {
+        attempts,
+        successes,
+    })
+}
+
+/// Man-in-the-middle bit-flip campaign: relay genuine sessions but flip
+/// one random bit of the device message each time.
+///
+/// # Errors
+///
+/// Fails only on infrastructure errors (the genuine device refusing to
+/// answer).
+pub fn mitm_tamper_campaign<P: Puf>(
+    device: &mut Device<P>,
+    verifier: &mut Verifier,
+    attempts: usize,
+    seed: u64,
+) -> Result<CampaignOutcome, ProtocolError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut successes = 0;
+    for _ in 0..attempts {
+        let request = verifier.begin_session();
+        let mut msg: DeviceAuth = device.respond_to_request(&request)?;
+        // Flip one random bit somewhere in the masked response.
+        let byte = rng.gen_range(0..msg.masked_response.len());
+        let bit = rng.gen_range(0..8);
+        msg.masked_response[byte] ^= 1 << bit;
+        if verifier.process_device_auth(&request, &msg).is_ok() {
+            successes += 1;
+        }
+        // The device aborts its half-open session (no confirmation
+        // arrived).
+        device.abort_session();
+    }
+    Ok(CampaignOutcome {
+        attempts,
+        successes,
+    })
+}
+
+/// Blind forgery campaign: the attacker fabricates device messages with
+/// random MACs (it knows the message format but not the secret).
+pub fn forgery_campaign(verifier: &mut Verifier, attempts: usize, seed: u64) -> CampaignOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut successes = 0;
+    for _ in 0..attempts {
+        let request: AuthRequest = verifier.begin_session();
+        let mut masked = vec![0u8; 8];
+        rng.fill(masked.as_mut_slice());
+        let msg = DeviceAuth {
+            masked_response: masked,
+            memory_hash: rng.gen(),
+            clock_count: rng.gen_range(0..2000),
+            device_nonce: rng.gen(),
+            mac: rng.gen(),
+        };
+        if verifier.process_device_auth(&request, &msg).is_ok() {
+            successes += 1;
+        }
+    }
+    CampaignOutcome {
+        attempts,
+        successes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuropuls_photonic::process::DieId;
+    use neuropuls_puf::photonic::PhotonicPuf;
+
+    fn pair(die: u64) -> (Device<PhotonicPuf>, Verifier) {
+        let puf = PhotonicPuf::reference(DieId(die), die + 3);
+        let (device, provisioned) =
+            Device::provision(puf, vec![0x11; 512], b"attack-seed").unwrap();
+        (device, Verifier::new(provisioned, b"attack-verifier"))
+    }
+
+    #[test]
+    fn replays_never_succeed() {
+        let (mut device, mut verifier) = pair(1);
+        let outcome = replay_campaign(&mut device, &mut verifier, 20).unwrap();
+        assert_eq!(outcome.successes, 0);
+        assert_eq!(outcome.attempts, 20);
+    }
+
+    #[test]
+    fn mitm_bit_flips_never_succeed() {
+        let (mut device, mut verifier) = pair(2);
+        let outcome = mitm_tamper_campaign(&mut device, &mut verifier, 15, 77).unwrap();
+        assert_eq!(outcome.successes, 0);
+    }
+
+    #[test]
+    fn blind_forgeries_never_succeed() {
+        let (_, mut verifier) = pair(3);
+        let outcome = forgery_campaign(&mut verifier, 200, 78);
+        assert_eq!(outcome.successes, 0);
+        assert!((outcome.rate() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn genuine_sessions_still_work_after_attacks() {
+        let (mut device, mut verifier) = pair(4);
+        let _ = replay_campaign(&mut device, &mut verifier, 5).unwrap();
+        let _ = mitm_tamper_campaign(&mut device, &mut verifier, 5, 79).unwrap();
+        neuropuls_protocols::mutual_auth::run_session(&mut device, &mut verifier).unwrap();
+    }
+}

@@ -1,0 +1,127 @@
+//! Remanence-decay attack — §IV, citing Zeitouni et al. \[27\].
+//!
+//! SRAM PUFs that share their array with normal memory leak: after a
+//! brief power cut, written data survives partially (remanence) and can
+//! be read out by an attacker who re-powers the chip quickly. The
+//! photonic PUF is structurally immune — "its response is present only
+//! during the interrogation time and then disappears … below 100 ns" —
+//! there is no persistent element to decay.
+
+use neuropuls_puf::sram::SramPuf;
+
+/// Outcome of one remanence readout attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemanenceOutcome {
+    /// Power-off time before the readout, milliseconds.
+    pub off_time_ms: f64,
+    /// Fraction of secret bits correctly recovered (0.5 = chance).
+    pub recovery: f64,
+}
+
+/// Writes `secret` into the SRAM array, power-cycles with `off_time_ms`,
+/// reads the array back and scores recovery.
+///
+/// # Panics
+///
+/// Panics if `secret` does not cover the array.
+pub fn sram_remanence_attack(
+    sram: &mut SramPuf,
+    secret: &[u8],
+    off_time_ms: f64,
+) -> RemanenceOutcome {
+    assert_eq!(secret.len(), sram.config().cells, "secret must fill the array");
+    sram.write_data(secret.to_vec());
+    let read = sram.power_cycle_read(off_time_ms);
+    let matches = read
+        .iter()
+        .zip(secret.iter())
+        .filter(|(a, b)| (**a & 1) == (**b & 1))
+        .count();
+    RemanenceOutcome {
+        off_time_ms,
+        recovery: matches as f64 / secret.len() as f64,
+    }
+}
+
+/// Sweeps off-times and returns the decay curve.
+pub fn remanence_decay_curve(
+    sram: &mut SramPuf,
+    secret: &[u8],
+    off_times_ms: &[f64],
+) -> Vec<RemanenceOutcome> {
+    off_times_ms
+        .iter()
+        .map(|&t| sram_remanence_attack(sram, secret, t))
+        .collect()
+}
+
+/// The photonic PUF's exposure window: the attacker can only capture the
+/// response while it physically exists. Returns the recovery probability
+/// for an attacker whose probe arrives `probe_delay_ns` after the
+/// interrogation started, given the response window.
+///
+/// The model is a hard cutoff — after the light has left the PIC there
+/// is nothing to probe (no remanence mechanism exists), hence exactly
+/// chance level.
+pub fn photonic_exposure(probe_delay_ns: f64, response_window_ns: f64) -> f64 {
+    if probe_delay_ns < response_window_ns {
+        1.0 // the response is live; a fast-enough probe sees it
+    } else {
+        0.5 // gone — guessing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuropuls_photonic::process::DieId;
+    use neuropuls_puf::photonic::PhotonicPuf;
+
+    fn secret(cells: usize) -> Vec<u8> {
+        (0..cells).map(|i| ((i * 7 + 1) % 3 == 0) as u8).collect()
+    }
+
+    #[test]
+    fn short_cut_leaks_long_cut_does_not() {
+        let mut sram = SramPuf::reference(DieId(1), 5);
+        let s = secret(sram.config().cells);
+        let fast = sram_remanence_attack(&mut sram, &s, 0.05);
+        let slow = sram_remanence_attack(&mut sram, &s, 50.0);
+        assert!(fast.recovery > 0.9, "fast probe recovery {}", fast.recovery);
+        assert!(
+            (slow.recovery - 0.5).abs() < 0.15,
+            "slow probe recovery {}",
+            slow.recovery
+        );
+    }
+
+    #[test]
+    fn decay_curve_is_monotone_decreasing() {
+        let mut sram = SramPuf::reference(DieId(2), 6);
+        let s = secret(sram.config().cells);
+        let curve = remanence_decay_curve(&mut sram, &s, &[0.1, 1.0, 5.0, 20.0, 100.0]);
+        for pair in curve.windows(2) {
+            assert!(
+                pair[1].recovery <= pair[0].recovery + 0.05,
+                "decay not monotone: {curve:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn photonic_window_is_binary_and_short() {
+        let puf = PhotonicPuf::reference(DieId(3), 7);
+        let window = puf.response_window_ns();
+        assert!(window < 100.0);
+        assert_eq!(photonic_exposure(window + 1.0, window), 0.5);
+        assert_eq!(photonic_exposure(window * 0.5, window), 1.0);
+    }
+
+    #[test]
+    fn realistic_probe_always_misses_photonic_window() {
+        // A remanence-style probe needs power cycling: milliseconds.
+        let puf = PhotonicPuf::reference(DieId(4), 8);
+        let probe_delay_ns = 1e6; // 1 ms
+        assert_eq!(photonic_exposure(probe_delay_ns, puf.response_window_ns()), 0.5);
+    }
+}

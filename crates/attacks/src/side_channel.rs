@@ -1,0 +1,222 @@
+//! Side-channel attacks — §IV.
+//!
+//! "RF signals can be detected, for example, from the Si substrate …
+//! by performing a power analysis, it was possible to extract key
+//! information about PUF behavior and thus carry out modeling attacks
+//! \[9\], \[24\]. The capability of transferring information in photonic
+//! waveguides where signals leak out only a few hundred nanometers
+//! hinders side-channel attacks."
+//!
+//! Model: during an evaluation the device emits a power trace. For an
+//! *electronic* delay PUF the trace leaks the internal delay difference
+//! (the arbiter's metastability resolution draws response-dependent
+//! current). For the *photonic* PUF the optical signal does not couple
+//! to the power rail; only response-independent ASIC activity shows. The
+//! attacker correlates traces against response hypotheses and, once the
+//! leak gives away responses, trains the §IV modeling attack without
+//! ever seeing the response interface.
+
+use crate::ml::{parity_features, LogisticRegression};
+use neuropuls_photonic::laser::gaussian;
+use neuropuls_puf::arbiter::ArbiterPuf;
+use neuropuls_puf::bits::Challenge;
+use neuropuls_puf::traits::{Puf, PufError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How strongly the internal decision couples into the power trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakageModel {
+    /// Response-dependent leakage amplitude (arbitrary power units).
+    pub signal: f64,
+    /// Gaussian measurement noise σ.
+    pub noise: f64,
+}
+
+impl LeakageModel {
+    /// Electronic delay PUF: strong RF/power leakage.
+    pub fn electronic() -> Self {
+        LeakageModel {
+            signal: 1.0,
+            noise: 0.5,
+        }
+    }
+
+    /// Photonic PUF: no RF leakage from the waveguides; only noise.
+    pub fn photonic() -> Self {
+        LeakageModel {
+            signal: 0.0,
+            noise: 0.5,
+        }
+    }
+}
+
+/// One captured trace: a scalar leakage sample per evaluation (the
+/// informative point of the full trace after alignment).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trace {
+    /// Aligned leakage sample.
+    pub sample: f64,
+}
+
+/// A captured campaign: challenges, aligned traces, and the ground-truth
+/// response bits (the last only for scoring — the attacker never sees
+/// them).
+pub type CapturedTraces = (Vec<Challenge>, Vec<Trace>, Vec<u8>);
+
+/// Captures `count` (challenge, trace) pairs from an evaluation the
+/// attacker can trigger but whose responses are *not* revealed.
+///
+/// # Errors
+///
+/// Propagates PUF errors.
+pub fn capture_traces<P: Puf>(
+    puf: &mut P,
+    leakage: LeakageModel,
+    count: usize,
+    seed: u64,
+) -> Result<CapturedTraces, PufError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut challenges = Vec::with_capacity(count);
+    let mut traces = Vec::with_capacity(count);
+    let mut true_bits = Vec::with_capacity(count);
+    for _ in 0..count {
+        let c = Challenge::random(puf.challenge_bits(), &mut rng);
+        let r = puf.respond(&c)?;
+        let bit = r.bits()[0];
+        let sample = leakage.signal * (bit as f64 * 2.0 - 1.0) + leakage.noise * gaussian(&mut rng);
+        challenges.push(c);
+        traces.push(Trace { sample });
+        true_bits.push(bit);
+    }
+    Ok((challenges, traces, true_bits))
+}
+
+/// Outcome of the power-analysis pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SideChannelOutcome {
+    /// Fraction of responses correctly recovered from traces alone.
+    pub response_recovery: f64,
+    /// Accuracy of the model subsequently trained on the recovered CRPs.
+    pub model_accuracy: f64,
+}
+
+/// Full pipeline: recover responses from power traces by thresholding,
+/// then train a modeling attack on the recovered CRPs.
+///
+/// # Errors
+///
+/// Propagates PUF errors.
+pub fn power_analysis_attack<P: Puf>(
+    puf: &mut P,
+    leakage: LeakageModel,
+    traces: usize,
+    seed: u64,
+) -> Result<SideChannelOutcome, PufError> {
+    let (challenges, captured, true_bits) = capture_traces(puf, leakage, traces, seed)?;
+    // Threshold at the trace median (the attacker has no labels).
+    let mut sorted: Vec<f64> = captured.iter().map(|t| t.sample).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let median = sorted[sorted.len() / 2];
+    let recovered: Vec<u8> = captured
+        .iter()
+        .map(|t| u8::from(t.sample > median))
+        .collect();
+
+    let agreement = recovered
+        .iter()
+        .zip(true_bits.iter())
+        .filter(|(a, b)| a == b)
+        .count() as f64
+        / traces as f64;
+    // The attacker cannot know the polarity; take the better orientation.
+    let response_recovery = agreement.max(1.0 - agreement);
+
+    // Train on the recovered labels, evaluate against the truth.
+    let split = traces * 4 / 5;
+    let xs: Vec<Vec<f64>> = challenges.iter().map(parity_features).collect();
+    let mut model = LogisticRegression::new(xs[0].len());
+    model.fit(&xs[..split], &recovered[..split], 25, 0.05);
+    let model_accuracy_raw = model.accuracy(&xs[split..], &true_bits[split..]);
+    let model_accuracy = model_accuracy_raw.max(1.0 - model_accuracy_raw);
+
+    Ok(SideChannelOutcome {
+        response_recovery,
+        model_accuracy,
+    })
+}
+
+/// Convenience: the §IV comparison — same attack against an electronic
+/// arbiter PUF and the photonic PUF.
+///
+/// # Errors
+///
+/// Propagates PUF errors.
+pub fn electronic_vs_photonic<PE: Puf, PP: Puf>(
+    electronic: &mut PE,
+    photonic: &mut PP,
+    traces: usize,
+    seed: u64,
+) -> Result<(SideChannelOutcome, SideChannelOutcome), PufError> {
+    let e = power_analysis_attack(electronic, LeakageModel::electronic(), traces, seed)?;
+    let p = power_analysis_attack(photonic, LeakageModel::photonic(), traces, seed)?;
+    Ok((e, p))
+}
+
+/// Helper: a reference electronic target.
+pub fn reference_electronic_target(seed: u64) -> ArbiterPuf {
+    ArbiterPuf::fabricate(neuropuls_photonic::process::DieId(seed), 64, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuropuls_photonic::process::DieId;
+    use neuropuls_puf::photonic::PhotonicPuf;
+
+    #[test]
+    fn electronic_leakage_recovers_responses() {
+        let mut puf = reference_electronic_target(1);
+        let outcome =
+            power_analysis_attack(&mut puf, LeakageModel::electronic(), 600, 7).unwrap();
+        assert!(
+            outcome.response_recovery > 0.85,
+            "recovery {}",
+            outcome.response_recovery
+        );
+        assert!(
+            outcome.model_accuracy > 0.8,
+            "model accuracy {}",
+            outcome.model_accuracy
+        );
+    }
+
+    #[test]
+    fn photonic_traces_carry_nothing() {
+        let mut puf = PhotonicPuf::reference(DieId(2), 3);
+        let outcome = power_analysis_attack(&mut puf, LeakageModel::photonic(), 400, 8).unwrap();
+        assert!(
+            outcome.response_recovery < 0.62,
+            "photonic recovery should be near chance: {}",
+            outcome.response_recovery
+        );
+    }
+
+    #[test]
+    fn comparison_orders_the_two_technologies() {
+        let mut electronic = reference_electronic_target(3);
+        let mut photonic = PhotonicPuf::reference(DieId(4), 4);
+        let (e, p) = electronic_vs_photonic(&mut electronic, &mut photonic, 400, 9).unwrap();
+        assert!(e.response_recovery > p.response_recovery + 0.2);
+    }
+
+    #[test]
+    fn leakage_signal_zero_means_noise_only() {
+        let model = LeakageModel::photonic();
+        assert_eq!(model.signal, 0.0);
+        let mut puf = PhotonicPuf::reference(DieId(5), 5);
+        let (_, traces, _) = capture_traces(&mut puf, model, 100, 10).unwrap();
+        let mean: f64 = traces.iter().map(|t| t.sample).sum::<f64>() / 100.0;
+        assert!(mean.abs() < 0.3, "photonic trace mean {mean}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Chip-substitution tampering — §IV.
+//!
+//! "The core of the security services … are supported by the use of PUF
+//! intrinsically bound at both the PIC and the ASIC levels. This
+//! protects our NN accelerator from tampering attacks where one
+//! malicious chip could replace the genuine PIC or control ASIC."
+//!
+//! The composite PUF's response mixes both chips; authentication accepts
+//! when the fractional Hamming distance to the enrolled response is
+//! below a threshold. This module measures acceptance rates for genuine
+//! and tampered assemblies (experiment E13).
+
+use neuropuls_photonic::process::DieId;
+use neuropuls_puf::bits::Challenge;
+use neuropuls_puf::composite::CompositePuf;
+use neuropuls_puf::photonic::PhotonicPuf;
+use neuropuls_puf::sram::SramPuf;
+use neuropuls_puf::traits::{Puf, PufError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which chip the attacker swapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TamperScenario {
+    /// Untouched assembly.
+    Genuine,
+    /// Malicious PIC, genuine ASIC.
+    SwappedPic,
+    /// Genuine PIC, malicious ASIC.
+    SwappedAsic,
+    /// Both chips replaced.
+    SwappedBoth,
+}
+
+/// Result of an acceptance campaign for one scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TamperOutcome {
+    /// The scenario tested.
+    pub scenario: TamperScenario,
+    /// Mean FHD between the assembly's responses and the enrolled ones.
+    pub mean_fhd: f64,
+    /// Fraction of challenges accepted at the decision threshold.
+    pub acceptance: f64,
+}
+
+/// Builds a composite assembly for the scenario, enrolls the *genuine*
+/// one, and measures how the scenario's assembly scores against the
+/// genuine enrollment. `challenges` counts authentication *decisions*
+/// (each concatenating four challenges).
+///
+/// # Errors
+///
+/// Propagates PUF errors.
+pub fn evaluate_scenario(
+    scenario: TamperScenario,
+    challenges: usize,
+    threshold: f64,
+    seed: u64,
+) -> Result<TamperOutcome, PufError> {
+    let genuine_pic = || PhotonicPuf::reference(DieId(seed), 1);
+    let genuine_asic = || SramPuf::reference(DieId(seed + 1), 2);
+    let evil_pic = || PhotonicPuf::reference(DieId(seed + 100_000), 3);
+    let evil_asic = || SramPuf::reference(DieId(seed + 200_000), 4);
+
+    let mut enrolled = CompositePuf::bind(genuine_pic(), genuine_asic());
+    let mut tested = match scenario {
+        TamperScenario::Genuine => CompositePuf::bind(genuine_pic(), genuine_asic()),
+        TamperScenario::SwappedPic => CompositePuf::bind(evil_pic(), genuine_asic()),
+        TamperScenario::SwappedAsic => CompositePuf::bind(genuine_pic(), evil_asic()),
+        TamperScenario::SwappedBoth => CompositePuf::bind(evil_pic(), evil_asic()),
+    };
+
+    // One authentication decision concatenates several challenges
+    // (256 response bits), which concentrates the FHD statistic — a
+    // single 64-bit response has too much variance for a clean
+    // accept/reject threshold.
+    const CHALLENGES_PER_DECISION: usize = 4;
+    let decisions = challenges.max(1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+    let mut total_fhd = 0.0;
+    let mut accepted = 0usize;
+    for _ in 0..decisions {
+        let mut distance = 0usize;
+        let mut bits = 0usize;
+        for _ in 0..CHALLENGES_PER_DECISION {
+            let c = Challenge::random(enrolled.challenge_bits(), &mut rng);
+            let golden = enrolled.respond_golden(&c, 7)?;
+            let probe = tested.respond_golden(&c, 7)?;
+            distance += golden.hamming(&probe);
+            bits += golden.len();
+        }
+        let fhd = distance as f64 / bits as f64;
+        total_fhd += fhd;
+        if fhd < threshold {
+            accepted += 1;
+        }
+    }
+    Ok(TamperOutcome {
+        scenario,
+        mean_fhd: total_fhd / decisions as f64,
+        acceptance: accepted as f64 / decisions as f64,
+    })
+}
+
+/// Runs all four scenarios.
+///
+/// # Errors
+///
+/// Propagates PUF errors.
+pub fn full_campaign(
+    challenges: usize,
+    threshold: f64,
+    seed: u64,
+) -> Result<Vec<TamperOutcome>, PufError> {
+    [
+        TamperScenario::Genuine,
+        TamperScenario::SwappedPic,
+        TamperScenario::SwappedAsic,
+        TamperScenario::SwappedBoth,
+    ]
+    .into_iter()
+    .map(|s| evaluate_scenario(s, challenges, threshold, seed))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genuine_assembly_is_accepted() {
+        let outcome = evaluate_scenario(TamperScenario::Genuine, 5, 0.25, 11).unwrap();
+        assert!(outcome.acceptance > 0.9, "{outcome:?}");
+        assert!(outcome.mean_fhd < 0.15, "{outcome:?}");
+    }
+
+    #[test]
+    fn swapped_pic_is_rejected() {
+        let outcome = evaluate_scenario(TamperScenario::SwappedPic, 5, 0.25, 12).unwrap();
+        assert_eq!(outcome.acceptance, 0.0, "{outcome:?}");
+    }
+
+    #[test]
+    fn swapped_asic_is_rejected() {
+        let outcome = evaluate_scenario(TamperScenario::SwappedAsic, 5, 0.25, 13).unwrap();
+        assert_eq!(outcome.acceptance, 0.0, "{outcome:?}");
+    }
+
+    #[test]
+    fn full_campaign_orders_scenarios() {
+        let outcomes = full_campaign(4, 0.25, 14).unwrap();
+        assert_eq!(outcomes.len(), 4);
+        let genuine = outcomes[0];
+        for tampered in &outcomes[1..] {
+            assert!(
+                tampered.mean_fhd > genuine.mean_fhd + 0.1,
+                "genuine {genuine:?} vs {tampered:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Criterion wrappers around the experiment harness (smoke scale): one
+//! bench per table/figure so `cargo bench` exercises every regeneration
+//! path and reports its wall time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neuropuls_bench::{experiments, Scale};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments_smoke");
+    group.sample_size(10);
+
+    group.bench_function("e1_fig3_ro", |b| {
+        b.iter(|| experiments::fig3::run_ro(Scale::Smoke))
+    });
+    group.bench_function("e1b_fig3_photonic", |b| {
+        b.iter(|| experiments::fig3::run_photonic(Scale::Smoke))
+    });
+    group.bench_function("e3_table1", |b| {
+        b.iter(|| experiments::table1::run(Scale::Smoke))
+    });
+    group.bench_function("e4_auth", |b| b.iter(|| experiments::auth::run(Scale::Smoke)));
+    group.bench_function("e5_attestation", |b| {
+        b.iter(|| experiments::attestation::run(Scale::Smoke))
+    });
+    group.bench_function("e8_remanence", |b| {
+        b.iter(|| experiments::remanence::run(Scale::Smoke))
+    });
+    group.bench_function("e9_system", |b| {
+        b.iter(|| experiments::system::run(Scale::Smoke))
+    });
+    group.bench_function("e12_eke", |b| b.iter(|| experiments::eke::run(Scale::Smoke)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the cryptographic and photonic primitives.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use neuropuls_crypto::chacha20::ChaCha20;
+use neuropuls_crypto::hmac::HmacSha256;
+use neuropuls_crypto::sha256::Sha256;
+use neuropuls_crypto::x25519;
+use neuropuls_photonic::process::DieId;
+use neuropuls_puf::bits::Challenge;
+use neuropuls_puf::photonic::PhotonicPuf;
+use neuropuls_puf::traits::Puf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let data = vec![0xA5u8; 4096];
+
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha256_4k", |b| {
+        b.iter(|| Sha256::digest(std::hint::black_box(&data)))
+    });
+    group.bench_function("hmac_sha256_4k", |b| {
+        b.iter(|| HmacSha256::mac(b"key", std::hint::black_box(&data)))
+    });
+    group.bench_function("chacha20_4k", |b| {
+        let key = [7u8; 32];
+        let nonce = [1u8; 12];
+        b.iter_batched(
+            || data.clone(),
+            |mut buf| ChaCha20::new(&key, &nonce).apply(&mut buf),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+
+    c.bench_function("x25519_scalar_mult", |b| {
+        let scalar = [0x42u8; 32];
+        b.iter(|| x25519::public_key(std::hint::black_box(&scalar)))
+    });
+}
+
+fn bench_puf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("puf");
+    let mut puf = PhotonicPuf::reference(DieId(1), 1);
+    let mut rng = StdRng::seed_from_u64(1);
+    let challenge = Challenge::random(64, &mut rng);
+
+    group.bench_function("photonic_eval_noisy", |b| {
+        b.iter(|| puf.respond(std::hint::black_box(&challenge)).unwrap())
+    });
+    group.bench_function("photonic_eval_deterministic", |b| {
+        b.iter(|| {
+            puf.respond_deterministic(std::hint::black_box(&challenge))
+                .unwrap()
+        })
+    });
+    group.bench_function("photonic_fabricate", |b| {
+        let mut die = 0u64;
+        b.iter(|| {
+            die += 1;
+            PhotonicPuf::reference(DieId(die), 1)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto, bench_puf);
+criterion_main!(benches);

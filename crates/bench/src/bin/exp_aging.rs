@@ -1,0 +1,7 @@
+//! Regenerates the aging sweep (E15).
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let (out, _) = experiments::aging::run(Scale::from_args());
+    print!("{out}");
+}

@@ -1,0 +1,24 @@
+//! Regenerates every experiment in sequence.
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (a, _) = experiments::fig3::run_ro(scale); print!("{a}");
+    let (b, _) = experiments::fig3::run_photonic(scale); print!("{b}");
+    let (c, _) = experiments::puf_quality::run(scale); print!("{c}");
+    let (d, _) = experiments::table1::run(scale); print!("{d}");
+    let (e, _) = experiments::auth::run(scale); print!("{e}");
+    let (f, _, _) = experiments::attestation::run(scale); print!("{f}");
+    let (g, _) = experiments::ml_attack::run(scale); print!("{g}");
+    let (h, _) = experiments::side_channel::run(scale); print!("{h}");
+    let (i, _, _) = experiments::remanence::run(scale); print!("{i}");
+    let (j, _) = experiments::system::run(scale); print!("{j}");
+    let (k, _, _, _) = experiments::keygen::run(scale); print!("{k}");
+    let (l, _, _, _) = experiments::environment::run(scale); print!("{l}");
+    let (m, _) = experiments::eke::run(scale); print!("{m}");
+    let (n, _) = experiments::tamper::run(scale); print!("{n}");
+    let (o, _) = experiments::analog::run(scale); print!("{o}");
+    let (p, _) = experiments::aging::run(scale); print!("{p}");
+    let (q, _) = experiments::trng::run(scale); print!("{q}");
+    let (r, _) = experiments::fleet::run(scale); print!("{r}");
+}

@@ -1,0 +1,7 @@
+//! Regenerates the analog-fidelity ablation (E14).
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let (out, _) = experiments::analog::run(Scale::from_args());
+    print!("{out}");
+}

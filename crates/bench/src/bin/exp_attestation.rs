@@ -1,0 +1,8 @@
+//! Regenerates the §III-B attestation sweep (E5).
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (out, _, _) = experiments::attestation::run(scale);
+    print!("{out}");
+}

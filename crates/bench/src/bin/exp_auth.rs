@@ -1,0 +1,8 @@
+//! Regenerates the Fig. 4 authentication campaign (E4).
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (out, _) = experiments::auth::run(scale);
+    print!("{out}");
+}

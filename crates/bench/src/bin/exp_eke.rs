@@ -1,0 +1,8 @@
+//! Regenerates the EKE campaign (E12).
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (out, _) = experiments::eke::run(scale);
+    print!("{out}");
+}

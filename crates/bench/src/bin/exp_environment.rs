@@ -1,0 +1,8 @@
+//! Regenerates the environmental sweep (E11).
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (out, _, _, _) = experiments::environment::run(scale);
+    print!("{out}");
+}

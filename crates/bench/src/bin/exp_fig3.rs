@@ -1,0 +1,10 @@
+//! Regenerates Fig. 3 (E1/E1b).
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (ro, _) = experiments::fig3::run_ro(scale);
+    print!("{ro}");
+    let (ppuf, _) = experiments::fig3::run_photonic(scale);
+    print!("{ppuf}");
+}

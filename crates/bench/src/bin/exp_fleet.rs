@@ -1,0 +1,7 @@
+//! Regenerates the fleet-scheduling study (E17).
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let (out, _) = experiments::fleet::run(Scale::from_args());
+    print!("{out}");
+}

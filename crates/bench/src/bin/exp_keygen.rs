@@ -1,0 +1,8 @@
+//! Regenerates the key-generation ablation (E10).
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (out, _, _, _) = experiments::keygen::run(scale);
+    print!("{out}");
+}

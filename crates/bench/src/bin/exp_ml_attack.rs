@@ -1,0 +1,8 @@
+//! Regenerates the §IV ML-modeling study (E6).
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (out, _) = experiments::ml_attack::run(scale);
+    print!("{out}");
+}

@@ -1,0 +1,8 @@
+//! Regenerates the §II-A quality table (E2).
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (out, _) = experiments::puf_quality::run(scale);
+    print!("{out}");
+}

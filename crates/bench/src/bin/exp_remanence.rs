@@ -1,0 +1,8 @@
+//! Regenerates the §IV remanence comparison (E8).
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (out, _, _) = experiments::remanence::run(scale);
+    print!("{out}");
+}

@@ -1,0 +1,8 @@
+//! Regenerates the §IV side-channel study (E7).
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (out, _) = experiments::side_channel::run(scale);
+    print!("{out}");
+}

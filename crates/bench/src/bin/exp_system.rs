@@ -1,0 +1,8 @@
+//! Regenerates the §V system-level stats (E9).
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (out, _) = experiments::system::run(scale);
+    print!("{out}");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table I (E3).
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (out, _) = experiments::table1::run(scale);
+    print!("{out}");
+}

@@ -1,0 +1,8 @@
+//! Regenerates the tampering campaign (E13).
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (out, _) = experiments::tamper::run(scale);
+    print!("{out}");
+}

@@ -1,0 +1,7 @@
+//! Regenerates the TRNG study (E16).
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let (out, _) = experiments::trng::run(Scale::from_args());
+    print!("{out}");
+}

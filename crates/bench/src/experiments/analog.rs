@@ -1,0 +1,193 @@
+//! E14 — accelerator analog-fidelity ablation: inference accuracy vs.
+//! PCM weight quantization, MAC noise and drift. The NN confidentiality
+//! service (Table I) is only useful if the protected accelerator still
+//! computes; this experiment quantifies the analog penalty.
+
+use crate::{Rendered, Scale};
+use neuropuls_accel::config::NetworkConfig;
+use neuropuls_accel::engine::{AnalogModel, PhotonicEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A tiny two-class task: points inside/outside a disc, classified by a
+/// fixed 2-16-2 MLP trained host-side (closed-form-ish: we synthesize a
+/// reasonable classifier by gradient descent on the ideal engine's
+/// math).
+fn make_dataset(n: usize, seed: u64) -> Vec<([f64; 2], usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x = rng.gen::<f64>() * 2.0 - 1.0;
+            let y = rng.gen::<f64>() * 2.0 - 1.0;
+            let label = usize::from(x * x + y * y < 0.5);
+            ([x, y], label)
+        })
+        .collect()
+}
+
+/// Trains a small MLP with plain backprop (host-side, float64).
+fn train_classifier(seed: u64, epochs: usize) -> NetworkConfig {
+    let hidden = 16;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w1: Vec<f64> = (0..hidden * 2).map(|_| rng.gen::<f64>() - 0.5).collect();
+    let mut b1: Vec<f64> = vec![0.0; hidden];
+    let mut w2: Vec<f64> = (0..2 * hidden).map(|_| rng.gen::<f64>() - 0.5).collect();
+    let mut b2: Vec<f64> = vec![0.0; 2];
+    let data = make_dataset(400, seed ^ 1);
+    let lr = 0.05;
+    for _ in 0..epochs {
+        for (x, label) in &data {
+            // Forward.
+            let h: Vec<f64> = (0..hidden)
+                .map(|j| (w1[j * 2] * x[0] + w1[j * 2 + 1] * x[1] + b1[j]).max(0.0))
+                .collect();
+            let z: Vec<f64> = (0..2)
+                .map(|k| {
+                    (0..hidden).map(|j| w2[k * hidden + j] * h[j]).sum::<f64>() + b2[k]
+                })
+                .collect();
+            let m = z[0].max(z[1]);
+            let e: Vec<f64> = z.iter().map(|v| (v - m).exp()).collect();
+            let sum: f64 = e.iter().sum();
+            let p: Vec<f64> = e.iter().map(|v| v / sum).collect();
+            // Backward (cross-entropy). The hidden gradient must use
+            // the *pre-update* output weights.
+            let dz: Vec<f64> = (0..2)
+                .map(|k| p[k] - if k == *label { 1.0 } else { 0.0 })
+                .collect();
+            let dh: Vec<f64> = (0..hidden)
+                .map(|j| {
+                    if h[j] > 0.0 {
+                        (0..2).map(|k| dz[k] * w2[k * hidden + j]).sum()
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            for k in 0..2 {
+                for j in 0..hidden {
+                    w2[k * hidden + j] -= lr * dz[k] * h[j];
+                }
+                b2[k] -= lr * dz[k];
+            }
+            for j in 0..hidden {
+                w1[j * 2] -= lr * dh[j] * x[0];
+                w1[j * 2 + 1] -= lr * dh[j] * x[1];
+                b1[j] -= lr * dh[j];
+            }
+        }
+    }
+    NetworkConfig {
+        layers: vec![
+            neuropuls_accel::config::LayerConfig {
+                inputs: 2,
+                outputs: hidden,
+                weights: w1.iter().map(|&w| w as f32).collect(),
+                biases: b1.iter().map(|&b| b as f32).collect(),
+                activation: neuropuls_accel::config::Activation::Relu,
+            },
+            neuropuls_accel::config::LayerConfig {
+                inputs: hidden,
+                outputs: 2,
+                weights: w2.iter().map(|&w| w as f32).collect(),
+                biases: b2.iter().map(|&b| b as f32).collect(),
+                activation: neuropuls_accel::config::Activation::Linear,
+            },
+        ],
+    }
+}
+
+fn accuracy(engine: &mut PhotonicEngine, data: &[([f64; 2], usize)]) -> f64 {
+    let correct = data
+        .iter()
+        .filter(|(x, label)| {
+            let out = engine.infer(&x[..]).expect("2-wide input");
+            usize::from(out[1] > out[0]) == *label
+        })
+        .count();
+    correct as f64 / data.len() as f64
+}
+
+/// One ablation row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Configuration label.
+    pub label: String,
+    /// Classification accuracy on held-out points.
+    pub accuracy: f64,
+}
+
+/// Runs the analog ablation.
+pub fn run(scale: Scale) -> (Rendered, Vec<Row>) {
+    let epochs = scale.pick(10, 60);
+    let test_points = scale.pick(150, 1000);
+    let network = train_classifier(0xE14, epochs);
+    let test = make_dataset(test_points, 0xE14 ^ 99);
+
+    let mut rows = Vec::new();
+    let mut eval = |label: &str, model: AnalogModel, age_hours: f64| {
+        let mut engine = PhotonicEngine::new(model, 0xE14);
+        engine.load(network.clone()).expect("load");
+        if age_hours > 0.0 {
+            engine.age(age_hours);
+        }
+        rows.push(Row {
+            label: label.to_string(),
+            accuracy: accuracy(&mut engine, &test),
+        });
+    };
+
+    eval("ideal digital (fp32)", AnalogModel::ideal(), 0.0);
+    eval("reference photonic (6-bit PCM)", AnalogModel::reference(), 0.0);
+    for bits in [4u8, 3, 2] {
+        eval(
+            &format!("{bits}-bit PCM"),
+            AnalogModel {
+                weight_bits: bits,
+                ..AnalogModel::reference()
+            },
+            0.0,
+        );
+    }
+    eval(
+        "reference + 10% MAC noise",
+        AnalogModel {
+            mac_noise: 0.1,
+            ..AnalogModel::reference()
+        },
+        0.0,
+    );
+    eval(
+        "reference + 100 h PCM drift",
+        AnalogModel::reference(),
+        100.0,
+    );
+
+    let mut out = Rendered::new("E14 — analog accelerator fidelity ablation (2-16-2 classifier)");
+    out.push(format!("{:<34} {:>10}", "engine configuration", "accuracy"));
+    for r in &rows {
+        out.push(format!("{:<34} {:>9.1}%", r.label, r.accuracy * 100.0));
+    }
+    (out, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_analog_ablation() {
+        let (_, rows) = run(Scale::Smoke);
+        let acc = |label: &str| {
+            rows.iter()
+                .find(|r| r.label.starts_with(label))
+                .unwrap()
+                .accuracy
+        };
+        assert!(acc("ideal digital") > 0.85, "classifier failed to train");
+        // The reference analog engine should track the ideal closely.
+        assert!(acc("reference photonic") > acc("ideal digital") - 0.1);
+        // 2-bit quantization must hurt.
+        assert!(acc("2-bit PCM") < acc("ideal digital") + 0.001);
+    }
+}

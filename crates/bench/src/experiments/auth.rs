@@ -1,0 +1,125 @@
+//! E4 — Fig. 4 / §III-A: mutual-authentication success rate, adversary
+//! campaigns, and the storage comparison against the classic
+//! CRP-database protocol \[16\].
+
+use crate::{Rendered, Scale};
+use neuropuls_attacks::protocol_attacks::{
+    forgery_campaign, mitm_tamper_campaign, replay_campaign,
+};
+use neuropuls_photonic::process::DieId;
+use neuropuls_protocols::mutual_auth::{run_session, Device, Verifier};
+use neuropuls_puf::enrollment::CrpDatabase;
+use neuropuls_puf::photonic::PhotonicPuf;
+
+/// Outcome for assertions.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Genuine sessions that succeeded.
+    pub genuine_ok: usize,
+    /// Genuine sessions attempted.
+    pub genuine_total: usize,
+    /// Replay attack successes (must be 0).
+    pub replay_successes: usize,
+    /// MITM tamper successes (must be 0).
+    pub mitm_successes: usize,
+    /// Blind forgery successes (must be 0).
+    pub forgery_successes: usize,
+    /// HSC-IoT verifier storage in bytes.
+    pub hsc_storage: usize,
+    /// Database-protocol storage for the same number of sessions.
+    pub database_storage: usize,
+}
+
+/// Runs the authentication campaign.
+pub fn run(scale: Scale) -> (Rendered, Outcome) {
+    let sessions = scale.pick(20, 1000);
+    let attack_attempts = scale.pick(10, 200);
+
+    let puf = PhotonicPuf::reference(DieId(0xE4), 1);
+    let (mut device, provisioned) =
+        Device::provision(puf, vec![0x3C; 4096], b"exp-e4").expect("provision");
+    let mut verifier = Verifier::new(provisioned, b"exp-e4-verifier");
+
+    let mut genuine_ok = 0usize;
+    for _ in 0..sessions {
+        if run_session(&mut device, &mut verifier).is_ok() {
+            genuine_ok += 1;
+        } else {
+            // A failed session leaves a half-open device state; abort.
+            device.abort_session();
+        }
+    }
+    let hsc_storage = verifier.storage_bytes();
+
+    let replay = replay_campaign(&mut device, &mut verifier, attack_attempts).expect("replay");
+    let mitm = mitm_tamper_campaign(&mut device, &mut verifier, attack_attempts, 7).expect("mitm");
+    let forgery = forgery_campaign(&mut verifier, attack_attempts, 8);
+
+    // Baseline: the database protocol burns one enrolled CRP per session
+    // — the verifier must pre-store `sessions` CRPs (64-bit challenge +
+    // 63-bit response each).
+    let database_storage = {
+        // Account exactly as CrpDatabase does.
+        let db: CrpDatabase = (0..sessions)
+            .map(|i| neuropuls_puf::enrollment::Crp {
+                challenge: neuropuls_puf::bits::Challenge::from_u64(i as u64, 64),
+                response: neuropuls_puf::bits::Response::from_u64(i as u64, 63),
+            })
+            .collect();
+        db.storage_bytes()
+    };
+
+    let mut out = Rendered::new(format!(
+        "E4 (Fig. 4) — mutual authentication, {sessions} sessions"
+    ));
+    out.push(format!(
+        "genuine sessions: {genuine_ok}/{sessions} succeeded (FRR {:.2}%)",
+        (sessions - genuine_ok) as f64 / sessions as f64 * 100.0
+    ));
+    out.push(format!(
+        "replay attack    : {}/{} accepted",
+        replay.successes, replay.attempts
+    ));
+    out.push(format!(
+        "MITM bit-flips   : {}/{} accepted",
+        mitm.successes, mitm.attempts
+    ));
+    out.push(format!(
+        "blind forgeries  : {}/{} accepted",
+        forgery.successes, forgery.attempts
+    ));
+    out.push(format!(
+        "verifier storage : HSC-IoT {hsc_storage} B (constant) vs CRP database {database_storage} B \
+         ({}x) for {sessions} sessions",
+        database_storage / hsc_storage.max(1)
+    ));
+    (
+        out,
+        Outcome {
+            genuine_ok,
+            genuine_total: sessions,
+            replay_successes: replay.successes,
+            mitm_successes: mitm.successes,
+            forgery_successes: forgery.successes,
+            hsc_storage,
+            database_storage,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_auth_campaign() {
+        let (_, o) = run(Scale::Smoke);
+        assert!(o.genuine_ok * 10 >= o.genuine_total * 9, "too many genuine failures");
+        assert_eq!(o.replay_successes, 0);
+        assert_eq!(o.mitm_successes, 0);
+        assert_eq!(o.forgery_successes, 0);
+        // Database storage scales linearly with sessions; HSC-IoT is constant.
+        assert!(o.hsc_storage <= 100, "HSC storage {} not constant-sized", o.hsc_storage);
+        assert!(o.database_storage >= o.genuine_total * 16);
+    }
+}

@@ -1,0 +1,96 @@
+//! E12 — §IV: EKE-based authentication and key agreement. Success under
+//! matching CRPs, rejection of wrong CRPs, per-session key freshness
+//! (forward secrecy), and cost relative to the plain MAC-based
+//! authentication.
+
+use crate::{Rendered, Scale};
+use neuropuls_protocols::eke::{run_exchange, EkeParty, SessionKeys};
+use neuropuls_puf::bits::Response;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Outcome for assertions.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Successful exchanges with matching CRPs.
+    pub matched_ok: usize,
+    /// Attempted exchanges with matching CRPs.
+    pub matched_total: usize,
+    /// Exchanges wrongly accepted with mismatched CRPs (must be 0).
+    pub mismatched_accepted: usize,
+    /// Distinct session keys across all successful exchanges.
+    pub distinct_keys: usize,
+    /// Mean exchange wall time (µs).
+    pub exchange_us: f64,
+}
+
+/// Runs the EKE campaign.
+pub fn run(scale: Scale) -> (Rendered, Outcome) {
+    let exchanges = scale.pick(10, 200);
+    let crp = Response::from_u64(0x5EC2_E7A5_CAFE, 63);
+
+    let mut distinct: HashSet<[u8; 32]> = HashSet::new();
+    let mut matched_ok = 0usize;
+    let start = Instant::now();
+    for k in 0..exchanges {
+        let mut a = EkeParty::new(&crp, format!("init-{k}").as_bytes());
+        let mut b = EkeParty::new(&crp, format!("resp-{k}").as_bytes());
+        if let Ok((keys, _)) = run_exchange(&mut a, &mut b) {
+            matched_ok += 1;
+            let SessionKeys { encryption, .. } = keys;
+            distinct.insert(encryption);
+        }
+    }
+    let exchange_us = start.elapsed().as_micros() as f64 / exchanges as f64;
+
+    let mut mismatched_accepted = 0usize;
+    for k in 0..exchanges.min(50) {
+        let wrong = Response::from_u64(0xBAD0 + k as u64, 63);
+        let mut a = EkeParty::new(&crp, format!("mm-init-{k}").as_bytes());
+        let mut b = EkeParty::new(&wrong, format!("mm-resp-{k}").as_bytes());
+        if run_exchange(&mut a, &mut b).is_ok() {
+            mismatched_accepted += 1;
+        }
+    }
+
+    let mut out = Rendered::new("E12 (§IV) — EKE authentication and key agreement");
+    out.push(format!(
+        "matching CRP : {matched_ok}/{exchanges} exchanges succeeded"
+    ));
+    out.push(format!(
+        "wrong CRP    : {mismatched_accepted}/{} exchanges wrongly accepted",
+        exchanges.min(50)
+    ));
+    out.push(format!(
+        "key freshness: {} distinct session keys across {matched_ok} sessions \
+         (forward secrecy: CRP compromise never reveals past keys)",
+        distinct.len()
+    ));
+    out.push(format!(
+        "cost: {exchange_us:.0} µs per exchange (two X25519 scalar mults per side, \
+         vs ~4 HMACs for plain Fig. 4 auth)"
+    ));
+    (
+        out,
+        Outcome {
+            matched_ok,
+            matched_total: exchanges,
+            mismatched_accepted,
+            distinct_keys: distinct.len(),
+            exchange_us,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_eke_campaign() {
+        let (_, o) = run(Scale::Smoke);
+        assert_eq!(o.matched_ok, o.matched_total);
+        assert_eq!(o.mismatched_accepted, 0);
+        assert_eq!(o.distinct_keys, o.matched_ok, "session keys must be fresh");
+    }
+}

@@ -1,0 +1,90 @@
+//! E1 / E1b — Fig. 3: bit-aliasing vs. reliability against the counter
+//! threshold (RO PUF), and its photocurrent-threshold adaptation for the
+//! photonic PUF (§II-B).
+
+use crate::{Rendered, Scale};
+use neuropuls_filtering::photocurrent::PhotocurrentStudy;
+use neuropuls_filtering::ro_filter::{RoFilterStudy, ThresholdPoint};
+
+fn render_points(out: &mut Rendered, points: &[ThresholdPoint]) {
+    out.push(format!(
+        "{:>10} {:>12} {:>18} {:>10}",
+        "threshold", "reliability", "aliasing-entropy", "CRP-yield"
+    ));
+    for p in points {
+        out.push(format!(
+            "{:>10.1} {:>12.4} {:>18.4} {:>9.1}%",
+            p.threshold,
+            p.reliability,
+            p.aliasing_entropy,
+            p.surviving_fraction * 100.0
+        ));
+    }
+}
+
+/// Runs the RO-PUF sweep (the exact Fig. 3 axes).
+pub fn run_ro(scale: Scale) -> (Rendered, Vec<ThresholdPoint>) {
+    let devices = scale.pick(10, 100);
+    let reads = scale.pick(10, 50);
+    let study = RoFilterStudy::generate(devices, reads, 0xF163);
+    let thresholds: Vec<f64> = (0..=scale.pick(8, 24))
+        .map(|i| i as f64 * scale.pick(25.0, 10.0))
+        .collect();
+    let points = study.threshold_sweep(&thresholds);
+
+    let mut out = Rendered::new(format!(
+        "E1 (Fig. 3) — RO-PUF counter-threshold filtering, {devices} devices × {reads} reads"
+    ));
+    render_points(&mut out, &points);
+    match study.trade_off_window(&thresholds, 0.999, 0.55) {
+        Some((lo, hi)) => out.push(format!(
+            "shaded trade-off window (rel ≥ 0.999, entropy ≥ 0.55): thresholds {lo:.0}..{hi:.0}"
+        )),
+        None => out.push("no trade-off window at these targets".to_string()),
+    }
+    (out, points)
+}
+
+/// Runs the photonic photocurrent-threshold adaptation.
+pub fn run_photonic(scale: Scale) -> (Rendered, Vec<ThresholdPoint>) {
+    let devices = scale.pick(4, 12);
+    let challenges = scale.pick(2, 8);
+    let reads = scale.pick(7, 25);
+    let study = PhotocurrentStudy::generate(devices, challenges, reads, 0xF163B);
+    let thresholds: Vec<f64> = [0.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0].to_vec();
+    let points = study.threshold_sweep(&thresholds);
+
+    let mut out = Rendered::new(format!(
+        "E1b (§II-B) — photonic PUF photocurrent-threshold filtering, \
+         {devices} devices × {challenges} challenges × {reads} reads"
+    ));
+    render_points(&mut out, &points);
+    (out, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ro_sweep_has_fig3_shape() {
+        let (_, points) = run_ro(Scale::Smoke);
+        let first = points.first().unwrap();
+        let last = points.last().unwrap();
+        // Reliability rises, aliasing entropy falls, yield shrinks.
+        assert!(last.reliability >= first.reliability);
+        assert!(last.aliasing_entropy < first.aliasing_entropy);
+        assert!(last.surviving_fraction < first.surviving_fraction);
+    }
+
+    #[test]
+    fn photonic_sweep_improves_reliability() {
+        let (_, points) = run_photonic(Scale::Smoke);
+        let first = points.first().unwrap();
+        let best = points
+            .iter()
+            .map(|p| p.reliability)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(best >= first.reliability);
+    }
+}

@@ -1,0 +1,173 @@
+//! E10 — §II-B + §III: key-generation pipeline ablation. Key failure
+//! rate and FAR/FRR with raw responses, with margin filtering, and with
+//! filtering + ECC of increasing strength.
+
+use crate::{Rendered, Scale};
+use neuropuls_crypto::ecc::{BlockCode, ConcatenatedCode};
+use neuropuls_crypto::fuzzy::FuzzyExtractor;
+use neuropuls_crypto::prng::CsPrng;
+use neuropuls_metrics::far_frr::{decidability, equal_error_rate, sweep};
+use neuropuls_photonic::process::DieId;
+use neuropuls_puf::bits::Challenge;
+use neuropuls_puf::photonic::PhotonicPuf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One pipeline configuration's result.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// Label.
+    pub label: String,
+    /// Fraction of key reproductions that failed.
+    pub key_failure_rate: f64,
+}
+
+/// Runs the ablation.
+pub fn run(scale: Scale) -> (Rendered, Vec<PipelineResult>, f64, f64) {
+    let attempts = scale.pick(20, 300);
+    let mut rng = StdRng::seed_from_u64(0xE10);
+    let challenge = Challenge::random(64, &mut rng);
+
+    // Characterize margins once for the filtering variant.
+    let mut enroll_puf = PhotonicPuf::reference(DieId(0xE10), 100);
+    let reads = scale.pick(7, 25);
+    let mut margin_sums = vec![0.0f64; 64];
+    let mut goldens: Vec<Vec<u8>> = Vec::new();
+    for _ in 0..reads {
+        let (r, m) = enroll_puf.respond_with_margins(&challenge).expect("eval");
+        for (s, &v) in margin_sums.iter_mut().zip(&m) {
+            *s += v;
+        }
+        goldens.push(r.into_bits());
+    }
+    let golden: Vec<u8> = (0..64)
+        .map(|i| {
+            let ones: usize = goldens.iter().map(|g| g[i] as usize).sum();
+            u8::from(ones * 2 > goldens.len())
+        })
+        .collect();
+    // Keep the 42 highest-|margin| bits (yield chosen to fit 2 ECC
+    // blocks of the repetition-3 concatenated code).
+    let mut order: Vec<usize> = (0..64).collect();
+    order.sort_by(|&a, &b| {
+        margin_sums[b]
+            .abs()
+            .partial_cmp(&margin_sums[a].abs())
+            .expect("finite margins")
+    });
+    let kept: Vec<usize> = order[..42].to_vec();
+
+    let mut results = Vec::new();
+    for (label, filter, repetition) in [
+        ("raw response, no ECC", false, 0usize),
+        ("filtered (top-margin bits), no ECC", true, 0),
+        ("raw + ECC (rep 3)", false, 3),
+        ("filtered + ECC (rep 3)", true, 3),
+        ("filtered + ECC (rep 5)", true, 5),
+    ] {
+        let mut failures = 0usize;
+        // Enrollment reference bits for this pipeline.
+        let reference: Vec<u8> = if filter {
+            kept.iter().map(|&i| golden[i]).collect()
+        } else {
+            golden.clone()
+        };
+        let (helper, key) = if repetition > 0 {
+            let code = ConcatenatedCode::new(repetition);
+            let block = code.code_bits();
+            let usable = reference.len() / block * block;
+            let fx = FuzzyExtractor::new(code);
+            let mut crng = CsPrng::from_seed_bytes(label.as_bytes());
+            let enrollment = fx.generate(&reference[..usable], &mut crng).expect("enroll");
+            (Some((fx, enrollment.helper, usable)), enrollment.key)
+        } else {
+            (None, [0u8; 32])
+        };
+
+        let mut field_puf = PhotonicPuf::reference(DieId(0xE10), 999);
+        for _ in 0..attempts {
+            let (r, _) = field_puf.respond_with_margins(&challenge).expect("eval");
+            let bits = r.into_bits();
+            let reading: Vec<u8> = if filter {
+                kept.iter().map(|&i| bits[i]).collect()
+            } else {
+                bits
+            };
+            let ok = match &helper {
+                Some((fx, helper_data, usable)) => fx
+                    .reproduce(&reading[..*usable], helper_data)
+                    .map(|k| k == key)
+                    .unwrap_or(false),
+                None => reading == reference,
+            };
+            if !ok {
+                failures += 1;
+            }
+        }
+        results.push(PipelineResult {
+            label: label.to_string(),
+            key_failure_rate: failures as f64 / attempts as f64,
+        });
+    }
+
+    // FAR/FRR: genuine rereads vs impostor devices, FHD matching.
+    let genuine: Vec<f64> = (0..attempts)
+        .map(|_| {
+            let bits = field_fhd_reading(&mut enroll_puf, &challenge);
+            fhd(&golden, &bits)
+        })
+        .collect();
+    let impostor: Vec<f64> = (0..attempts)
+        .map(|k| {
+            let mut other = PhotonicPuf::reference(DieId(50_000 + k as u64), 1);
+            let bits = field_fhd_reading(&mut other, &challenge);
+            fhd(&golden, &bits)
+        })
+        .collect();
+    let curve = sweep(&genuine, &impostor, 100);
+    let eer = equal_error_rate(&curve);
+    let d_prime = decidability(&genuine, &impostor);
+
+    let mut out = Rendered::new("E10 — key-generation pipeline ablation");
+    out.push(format!("{:<38} {:>16}", "pipeline", "key failure rate"));
+    for r in &results {
+        out.push(format!("{:<38} {:>15.1}%", r.label, r.key_failure_rate * 100.0));
+    }
+    out.push(format!(
+        "authentication-by-matching: EER {:.4}, decidability d' = {:.2}",
+        eer, d_prime
+    ));
+    (out, results, eer, d_prime)
+}
+
+fn field_fhd_reading(puf: &mut PhotonicPuf, challenge: &Challenge) -> Vec<u8> {
+    puf.respond_with_margins(challenge)
+        .expect("eval")
+        .0
+        .into_bits()
+}
+
+fn fhd(a: &[u8], b: &[u8]) -> f64 {
+    a.iter().zip(b).filter(|(x, y)| x != y).count() as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_keygen_ablation() {
+        let (_, results, eer, d_prime) = run(Scale::Smoke);
+        let rate = |label: &str| {
+            results
+                .iter()
+                .find(|r| r.label.starts_with(label))
+                .unwrap()
+                .key_failure_rate
+        };
+        // ECC + filtering must beat raw matching.
+        assert!(rate("filtered + ECC (rep 5)") <= rate("raw response"));
+        assert!(eer < 0.1, "EER {eer}");
+        assert!(d_prime > 3.0, "d' {d_prime}");
+    }
+}

@@ -1,0 +1,132 @@
+//! E6 — §IV: machine-learning modeling attacks. Accuracy vs. training
+//! CRPs for the arbiter PUF (breaks), the 4-XOR arbiter (harder), the
+//! photonic PUF (resists), and the challenge-encrypted arbiter of \[30\]
+//! (resists despite the weak inner PUF). Includes the memory-depth
+//! ablation of the design-choices list in `DESIGN.md`.
+
+use crate::{Rendered, Scale};
+use neuropuls_attacks::ml::{model_attack, parity_features, raw_features, AttackOutcome};
+use neuropuls_photonic::circuit::MeshSpec;
+use neuropuls_photonic::process::{DieId, ProcessVariation};
+use neuropuls_puf::arbiter::{ArbiterPuf, XorArbiterPuf};
+use neuropuls_puf::challenge_encryption::ChallengeEncryptedPuf;
+use neuropuls_puf::photonic::{PhotonicPuf, PhotonicPufConfig};
+
+/// Results per target: (label, outcomes per CRP budget).
+pub type Series = (String, Vec<AttackOutcome>);
+
+/// Runs the study.
+pub fn run(scale: Scale) -> (Rendered, Vec<Series>) {
+    let budgets: Vec<usize> = scale.pick(vec![100, 400], vec![100, 500, 2000, 10_000]);
+    let test = scale.pick(200, 1000);
+    let epochs = scale.pick(20, 40);
+
+    let mut series: Vec<Series> = Vec::new();
+
+    let mut arbiter = ArbiterPuf::fabricate(DieId(0xE6), 64, 1);
+    series.push((
+        "arbiter-64".into(),
+        budgets
+            .iter()
+            .map(|&n| model_attack(&mut arbiter, parity_features, n, test, 0, epochs, 1).unwrap())
+            .collect(),
+    ));
+
+    let mut xor4 = XorArbiterPuf::fabricate(DieId(0xE6 + 1), 64, 4, 1);
+    series.push((
+        "4-xor-arbiter-64".into(),
+        budgets
+            .iter()
+            .map(|&n| model_attack(&mut xor4, parity_features, n, test, 0, epochs, 2).unwrap())
+            .collect(),
+    ));
+
+    let mut encrypted = ChallengeEncryptedPuf::new(
+        ArbiterPuf::fabricate(DieId(0xE6 + 2), 64, 1),
+        [0x5E; 32],
+    );
+    series.push((
+        "arbiter + challenge-encryption [30]".into(),
+        budgets
+            .iter()
+            .map(|&n| model_attack(&mut encrypted, parity_features, n, test, 0, epochs, 3).unwrap())
+            .collect(),
+    ));
+
+    let mut photonic = PhotonicPuf::reference(DieId(0xE6 + 3), 1);
+    series.push((
+        "photonic (reference mesh)".into(),
+        budgets
+            .iter()
+            .map(|&n| model_attack(&mut photonic, raw_features, n, test, 0, epochs, 4).unwrap())
+            .collect(),
+    ));
+
+    // Ablation: a shallow memory-less mesh is easier to model.
+    let shallow_config = PhotonicPufConfig {
+        mesh: MeshSpec {
+            ring_density: 0.0,
+            depth: 2,
+            ..MeshSpec::reference()
+        },
+        ..PhotonicPufConfig::reference()
+    };
+    let mut shallow = PhotonicPuf::fabricate(
+        DieId(0xE6 + 4),
+        shallow_config,
+        ProcessVariation::typical_soi(),
+        1,
+    );
+    series.push((
+        "photonic ablation (no rings, depth 2)".into(),
+        budgets
+            .iter()
+            .map(|&n| model_attack(&mut shallow, raw_features, n, test, 0, epochs, 5).unwrap())
+            .collect(),
+    ));
+
+    let mut out = Rendered::new("E6 (§IV) — ML modeling attack accuracy vs training CRPs");
+    let header = budgets
+        .iter()
+        .map(|b| format!("{b:>9}"))
+        .collect::<Vec<_>>()
+        .join("");
+    out.push(format!("{:<40}{header}", "target \\ CRPs"));
+    for (label, outcomes) in &series {
+        let row = outcomes
+            .iter()
+            .map(|o| format!("{:>8.1}%", o.accuracy * 100.0))
+            .collect::<Vec<_>>()
+            .join("");
+        out.push(format!("{label:<40}{row}"));
+    }
+    out.push("(50% = coin flip; the paper's claim: electronic delay PUFs break, photonic resists)".to_string());
+    (out, series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_ml_attack_ordering() {
+        let (_, series) = run(Scale::Smoke);
+        let last = |name: &str| {
+            series
+                .iter()
+                .find(|(label, _)| label.starts_with(name))
+                .map(|(_, o)| o.last().unwrap().accuracy)
+                .unwrap()
+        };
+        let arbiter = last("arbiter-64");
+        let photonic = last("photonic (reference");
+        assert!(arbiter > 0.85, "arbiter not broken: {arbiter}");
+        assert!(photonic < 0.75, "photonic modelled: {photonic}");
+        assert!(arbiter > photonic + 0.15);
+        let encrypted = last("arbiter + challenge");
+        assert!(
+            encrypted < arbiter - 0.2,
+            "challenge encryption ineffective: {encrypted} vs {arbiter}"
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! All experiments, indexed as in `DESIGN.md`.
+
+pub mod aging;
+pub mod analog;
+pub mod attestation;
+pub mod auth;
+pub mod eke;
+pub mod environment;
+pub mod fig3;
+pub mod fleet;
+pub mod keygen;
+pub mod ml_attack;
+pub mod puf_quality;
+pub mod remanence;
+pub mod side_channel;
+pub mod system;
+pub mod table1;
+pub mod trng;
+pub mod tamper;

@@ -1,0 +1,119 @@
+//! E2 — §II-A quality claims of the microring-array PUF \[12\]:
+//! uniqueness/reliability/uniformity close to ideal and good NIST test
+//! scores.
+
+use crate::{Rendered, Scale};
+use neuropuls_metrics::entropy::min_entropy_per_bit;
+use neuropuls_metrics::nist;
+use neuropuls_metrics::quality::{quality_report, QualityReport};
+use neuropuls_photonic::process::DieId;
+use neuropuls_puf::bits::Challenge;
+use neuropuls_puf::photonic::PhotonicPuf;
+use neuropuls_puf::traits::Puf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Outcome bundle for assertions.
+#[derive(Debug)]
+pub struct Outcome {
+    /// The §II metric set.
+    pub report: QualityReport,
+    /// Min-entropy per bit of the population.
+    pub min_entropy: f64,
+    /// NIST battery pass rate of one device's concatenated responses.
+    pub nist_pass_rate: f64,
+}
+
+/// Runs the population study.
+pub fn run(scale: Scale) -> (Rendered, Outcome) {
+    let devices = scale.pick(8, 50);
+    let rereads = scale.pick(6, 100);
+    let nist_bits = scale.pick(2048, 16_384);
+
+    let mut rng = StdRng::seed_from_u64(0xE2E2);
+    let challenge = Challenge::random(64, &mut rng);
+    let mut golden = Vec::with_capacity(devices);
+    let mut rereads_all = Vec::with_capacity(devices);
+    for d in 0..devices {
+        let mut puf = PhotonicPuf::reference(DieId(9_000 + d as u64), 23 + d as u64);
+        golden.push(puf.respond_golden(&challenge, 9).expect("eval").into_bits());
+        rereads_all.push(
+            (0..rereads)
+                .map(|_| puf.respond(&challenge).expect("eval").into_bits())
+                .collect::<Vec<_>>(),
+        );
+    }
+    let report = quality_report(&golden, &rereads_all);
+    let min_entropy = min_entropy_per_bit(&golden);
+
+    let mut stream_puf = PhotonicPuf::reference(DieId(4242), 2);
+    let mut bits = Vec::with_capacity(nist_bits);
+    while bits.len() < nist_bits {
+        let c = Challenge::random(64, &mut rng);
+        bits.extend(stream_puf.respond(&c).expect("eval").into_bits());
+    }
+    let results = nist::battery(&bits);
+    let nist_pass_rate = nist::pass_rate(&results);
+
+    let mut out = Rendered::new(format!(
+        "E2 (§II-A) — photonic PUF quality, {devices} devices × {rereads} re-reads"
+    ));
+    out.push(format!(
+        "{:<28} {:>10} {:>10}",
+        "metric", "measured", "ideal"
+    ));
+    out.push(format!(
+        "{:<28} {:>10.4} {:>10}",
+        "uniqueness (inter-die FHD)", report.uniqueness.mean, "0.5"
+    ));
+    out.push(format!(
+        "{:<28} {:>10.4} {:>10}",
+        "reliability (1 - intra FHD)", report.reliability.mean, "1.0"
+    ));
+    out.push(format!(
+        "{:<28} {:>10.4} {:>10}",
+        "uniformity (ones fraction)", report.uniformity.mean, "0.5"
+    ));
+    out.push(format!(
+        "{:<28} {:>10.4} {:>10}",
+        "bit-aliasing entropy (mean)", report.mean_bit_aliasing, "1.0"
+    ));
+    out.push(format!(
+        "{:<28} {:>10.4} {:>10}",
+        "min-entropy per bit", min_entropy, "1.0"
+    ));
+    out.push(format!(
+        "NIST battery over {} bits: {:.0}% passed",
+        bits.len(),
+        nist_pass_rate * 100.0
+    ));
+    for r in &results {
+        out.push(format!(
+            "  {:<22} p = {:<8.4} {}",
+            r.name,
+            r.p_value,
+            if r.passed { "pass" } else { "FAIL" }
+        ));
+    }
+    (
+        out,
+        Outcome {
+            report,
+            min_entropy,
+            nist_pass_rate,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_quality_matches_claims() {
+        let (_, outcome) = run(Scale::Smoke);
+        assert!((outcome.report.uniqueness.mean - 0.5).abs() < 0.1);
+        assert!(outcome.report.reliability.mean > 0.95);
+        assert!(outcome.nist_pass_rate >= 0.6);
+    }
+}

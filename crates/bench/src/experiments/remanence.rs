@@ -1,0 +1,56 @@
+//! E8 — §IV: remanence decay. SRAM arrays leak written secrets across
+//! short power cuts; the photonic response exists for <100 ns and leaves
+//! nothing to probe.
+
+use crate::{Rendered, Scale};
+use neuropuls_attacks::remanence::{
+    photonic_exposure, remanence_decay_curve, RemanenceOutcome,
+};
+use neuropuls_photonic::process::DieId;
+use neuropuls_puf::photonic::PhotonicPuf;
+use neuropuls_puf::sram::SramPuf;
+
+/// Runs the decay-curve comparison.
+pub fn run(scale: Scale) -> (Rendered, Vec<RemanenceOutcome>, f64) {
+    let off_times: Vec<f64> = scale.pick(
+        vec![0.1, 5.0, 50.0],
+        vec![0.05, 0.2, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0],
+    );
+    let mut sram = SramPuf::reference(DieId(0xE8), 1);
+    let secret: Vec<u8> = (0..sram.config().cells)
+        .map(|i| ((i * 31 + 5) % 7 < 3) as u8)
+        .collect();
+    let curve = remanence_decay_curve(&mut sram, &secret, &off_times);
+
+    let window_ns = PhotonicPuf::reference(DieId(0xE8 + 1), 1).response_window_ns();
+
+    let mut out = Rendered::new("E8 (§IV) — remanence decay: SRAM vs photonic time-domain");
+    out.push(format!("{:>12} {:>18}", "off-time ms", "SRAM recovery"));
+    for p in &curve {
+        out.push(format!("{:>12.2} {:>17.1}%", p.off_time_ms, p.recovery * 100.0));
+    }
+    out.push(format!(
+        "photonic PUF response window: {window_ns:.2} ns; any power-cycle probe (≥1 ms) \
+         arrives {:.0}x too late → recovery {:.0}% (chance)",
+        1e6 / window_ns,
+        photonic_exposure(1e6, window_ns) * 100.0
+    ));
+    (out, curve, window_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_remanence_contrast() {
+        let (_, curve, window_ns) = run(Scale::Smoke);
+        assert!(curve[0].recovery > 0.9, "short cut should leak");
+        assert!(
+            (curve.last().unwrap().recovery - 0.5).abs() < 0.15,
+            "long cut should erase"
+        );
+        assert!(window_ns < 100.0);
+        assert_eq!(photonic_exposure(1e6, window_ns), 0.5);
+    }
+}

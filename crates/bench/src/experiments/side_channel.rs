@@ -1,0 +1,60 @@
+//! E7 — §IV: power-analysis side channel. Electronic delay PUFs leak
+//! their responses onto the power rail; photonic waveguides do not.
+
+use crate::{Rendered, Scale};
+use neuropuls_attacks::side_channel::{
+    power_analysis_attack, LeakageModel, SideChannelOutcome,
+};
+use neuropuls_photonic::process::DieId;
+use neuropuls_puf::arbiter::ArbiterPuf;
+use neuropuls_puf::photonic::PhotonicPuf;
+
+/// Sweep rows: (traces, electronic outcome, photonic outcome).
+pub type Row = (usize, SideChannelOutcome, SideChannelOutcome);
+
+/// Runs the trace-count sweep.
+pub fn run(scale: Scale) -> (Rendered, Vec<Row>) {
+    let trace_counts: Vec<usize> = scale.pick(vec![100, 400], vec![100, 500, 2000, 8000]);
+    let mut rows = Vec::new();
+    for &traces in &trace_counts {
+        let mut electronic = ArbiterPuf::fabricate(DieId(0xE7), 64, 1);
+        let e = power_analysis_attack(&mut electronic, LeakageModel::electronic(), traces, 3)
+            .expect("electronic attack");
+        let mut photonic = PhotonicPuf::reference(DieId(0xE7 + 1), 1);
+        let p = power_analysis_attack(&mut photonic, LeakageModel::photonic(), traces, 3)
+            .expect("photonic attack");
+        rows.push((traces, e, p));
+    }
+
+    let mut out = Rendered::new("E7 (§IV) — power-analysis side channel");
+    out.push(format!(
+        "{:>8} | {:>14} {:>12} | {:>14} {:>12}",
+        "traces", "elec recovery", "elec model", "phot recovery", "phot model"
+    ));
+    for (traces, e, p) in &rows {
+        out.push(format!(
+            "{:>8} | {:>13.1}% {:>11.1}% | {:>13.1}% {:>11.1}%",
+            traces,
+            e.response_recovery * 100.0,
+            e.model_accuracy * 100.0,
+            p.response_recovery * 100.0,
+            p.model_accuracy * 100.0
+        ));
+    }
+    out.push("electronic: trace thresholding recovers responses, enabling covert modeling;".to_string());
+    out.push("photonic: no RF leakage from waveguides — recovery stays at chance.".to_string());
+    (out, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_side_channel_separation() {
+        let (_, rows) = run(Scale::Smoke);
+        let (_, e, p) = rows.last().unwrap();
+        assert!(e.response_recovery > 0.85, "electronic leak too weak");
+        assert!(p.response_recovery < 0.65, "photonic leaked");
+    }
+}

@@ -1,0 +1,127 @@
+//! E3 — Table I: the `load_network` / `execute_network` hardware API
+//! with end-to-end confidentiality, plus the encryption overhead.
+
+use crate::{Rendered, Scale};
+use neuropuls_accel::config::NetworkConfig;
+use neuropuls_accel::engine::PhotonicEngine;
+use neuropuls_protocols::secure_nn::{NetworkOwner, SecureAccelerator};
+use std::time::Instant;
+
+/// Outcome for assertions.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Inferences that decrypted correctly at the owner.
+    pub successful_inferences: usize,
+    /// Inferences attempted.
+    pub attempted: usize,
+    /// True when no plaintext fragment appeared in any wire blob.
+    pub no_plaintext_on_wire: bool,
+    /// Mean per-inference wall time with encryption (µs).
+    pub encrypted_us: f64,
+    /// Mean per-inference wall time without encryption (µs).
+    pub plain_us: f64,
+}
+
+/// Runs the Table-I service end to end.
+pub fn run(scale: Scale) -> (Rendered, Outcome) {
+    let inferences = scale.pick(20, 500);
+    let key = [0x7E; 32];
+    let mut owner = NetworkOwner::new(key, b"table1-owner");
+    let mut accel = SecureAccelerator::new(PhotonicEngine::reference(1), key);
+
+    let network = NetworkConfig::mlp(&[16, 8, 4], |l, o, i| {
+        (((l * 13 + o * 7 + i * 3) % 11) as f32 - 5.0) * 0.1
+    });
+    let network_bytes = network.to_bytes();
+    let ciphered_network = owner.cipher_network(&network);
+
+    // Confidentiality: no 16-byte plaintext window on the wire.
+    let mut no_leak = true;
+    for window in network_bytes.windows(16) {
+        if ciphered_network.windows(16).any(|w| w == window) {
+            no_leak = false;
+        }
+    }
+    accel.load_network(&ciphered_network).expect("load_network");
+
+    let mut successful = 0usize;
+    let start = Instant::now();
+    for k in 0..inferences {
+        let input: Vec<f64> = (0..16).map(|i| ((i + k) % 5) as f64 * 0.2 - 0.4).collect();
+        let blob = owner.cipher_input(&input);
+        if blob.windows(16).any(|w| {
+            crate::experiments::table1::encode_probe(&input)
+                .windows(16)
+                .any(|p| p == w)
+        }) {
+            no_leak = false;
+        }
+        let out = accel.execute_network(&blob).expect("execute_network");
+        if owner.decipher_output(&out).is_ok() {
+            successful += 1;
+        }
+    }
+    let encrypted_us = start.elapsed().as_micros() as f64 / inferences as f64;
+
+    // Baseline: the same engine without the crypto path.
+    let mut plain_engine = PhotonicEngine::reference(1);
+    plain_engine.load(network.clone()).expect("plain load");
+    let start = Instant::now();
+    for k in 0..inferences {
+        let input: Vec<f64> = (0..16).map(|i| ((i + k) % 5) as f64 * 0.2 - 0.4).collect();
+        let _ = plain_engine.infer(&input).expect("plain infer");
+    }
+    let plain_us = start.elapsed().as_micros() as f64 / inferences as f64;
+
+    let mut out = Rendered::new("E3 (Table I) — secure NN load/execute");
+    out.push(format!(
+        "network: {} layers, {} weights, ciphered blob {} bytes",
+        network.layers.len(),
+        network.layers.iter().map(|l| l.weights.len()).sum::<usize>(),
+        ciphered_network.len()
+    ));
+    out.push(format!(
+        "encrypted inferences: {successful}/{inferences} round-tripped correctly"
+    ));
+    out.push(format!(
+        "plaintext fragments on the wire: {}",
+        if no_leak { "none detected" } else { "LEAK DETECTED" }
+    ));
+    out.push(format!(
+        "per-inference cost: {encrypted_us:.1} µs encrypted vs {plain_us:.1} µs plain \
+         ({:.2}x overhead)",
+        encrypted_us / plain_us.max(0.001)
+    ));
+    (
+        out,
+        Outcome {
+            successful_inferences: successful,
+            attempted: inferences,
+            no_plaintext_on_wire: no_leak,
+            encrypted_us,
+            plain_us,
+        },
+    )
+}
+
+/// The tensor encoding used for leak probing (mirrors the wire codec).
+pub fn encode_probe(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + values.len() * 4);
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    for &v in values {
+        out.extend_from_slice(&(v as f32).to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_table1() {
+        let (_, outcome) = run(Scale::Smoke);
+        assert_eq!(outcome.successful_inferences, outcome.attempted);
+        assert!(outcome.no_plaintext_on_wire);
+    }
+}

@@ -1,0 +1,49 @@
+//! E13 — §IV: chip-substitution tampering against the PIC+ASIC
+//! composite binding.
+
+use crate::{Rendered, Scale};
+use neuropuls_attacks::tamper::{full_campaign, TamperOutcome};
+
+/// Runs the four-scenario campaign.
+pub fn run(scale: Scale) -> (Rendered, Vec<TamperOutcome>) {
+    let challenges = scale.pick(4, 40);
+    let threshold = 0.25;
+    let outcomes = full_campaign(challenges, threshold, 0xE13).expect("campaign");
+
+    let mut out = Rendered::new(format!(
+        "E13 (§IV) — chip-substitution tampering, {challenges} challenges, \
+         accept FHD < {threshold}"
+    ));
+    out.push(format!(
+        "{:<16} {:>10} {:>12}",
+        "assembly", "mean FHD", "acceptance"
+    ));
+    for o in &outcomes {
+        out.push(format!(
+            "{:<16} {:>10.4} {:>11.1}%",
+            format!("{:?}", o.scenario),
+            o.mean_fhd,
+            o.acceptance * 100.0
+        ));
+    }
+    out.push("the composite response binds both chips: replacing either one is detected".to_string());
+    (out, outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_tamper_campaign() {
+        let (_, outcomes) = run(Scale::Smoke);
+        for o in &outcomes {
+            match o.scenario {
+                neuropuls_attacks::tamper::TamperScenario::Genuine => {
+                    assert!(o.acceptance > 0.9, "{o:?}")
+                }
+                _ => assert!(o.acceptance < 0.1, "{o:?}"),
+            }
+        }
+    }
+}

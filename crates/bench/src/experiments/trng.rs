@@ -1,0 +1,85 @@
+//! E16 — photonic TRNG: throughput of the conditioned stream, NIST
+//! battery on the output, and health-test behaviour on a broken source.
+
+use crate::{Rendered, Scale};
+use neuropuls_metrics::nist;
+use neuropuls_puf::trng::PhotonicTrng;
+use std::time::Instant;
+
+/// Outcome for assertions.
+#[derive(Debug)]
+pub struct Outcome {
+    /// NIST pass rate on the conditioned output.
+    pub nist_pass_rate: f64,
+    /// Conditioned output rate, bytes per millisecond of wall time.
+    pub bytes_per_ms: f64,
+    /// Whether the broken source tripped the health tests.
+    pub broken_source_detected: bool,
+}
+
+/// Runs the TRNG study.
+pub fn run(scale: Scale) -> (Rendered, Outcome) {
+    let output_bytes = scale.pick(1024, 16_384);
+
+    let mut trng = PhotonicTrng::new(0xE16);
+    let start = Instant::now();
+    let bytes = trng.generate(output_bytes).expect("healthy source");
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    let bits: Vec<u8> = bytes
+        .iter()
+        .flat_map(|b| (0..8).map(move |i| (b >> i) & 1))
+        .collect();
+    let results = nist::battery(&bits);
+    let nist_pass_rate = nist::pass_rate(&results);
+
+    let broken_source_detected = PhotonicTrng::broken(0xE16).generate(64).is_err();
+
+    let mut out = Rendered::new("E16 — photonic TRNG (shot-noise LSB harvesting)");
+    out.push(format!(
+        "conditioned output: {output_bytes} bytes in {elapsed_ms:.1} ms \
+         ({:.1} B/ms simulated-host rate)",
+        output_bytes as f64 / elapsed_ms.max(1e-9)
+    ));
+    out.push(format!(
+        "NIST battery over {} bits: {:.0}% passed",
+        bits.len(),
+        nist_pass_rate * 100.0
+    ));
+    for r in &results {
+        out.push(format!(
+            "  {:<22} p = {:<8.4} {}",
+            r.name,
+            r.p_value,
+            if r.passed { "pass" } else { "FAIL" }
+        ));
+    }
+    out.push(format!(
+        "broken-source health tests: {}",
+        if broken_source_detected {
+            "tripped as required (RCT/APT)"
+        } else {
+            "MISSED"
+        }
+    ));
+    (
+        out,
+        Outcome {
+            nist_pass_rate,
+            bytes_per_ms: output_bytes as f64 / elapsed_ms.max(1e-9),
+            broken_source_detected,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_trng() {
+        let (_, o) = run(Scale::Smoke);
+        assert!(o.nist_pass_rate >= 0.8, "pass rate {}", o.nist_pass_rate);
+        assert!(o.broken_source_detected);
+    }
+}

@@ -1,0 +1,73 @@
+//! Experiment harness: one module per table/figure of the paper's
+//! evaluation plan (see `DESIGN.md` and `EXPERIMENTS.md` at the
+//! workspace root).
+//!
+//! Each experiment exposes `run(scale)` returning the formatted
+//! rows/series the paper's figure or table would show; the `exp_*`
+//! binaries print them, and the integration tests assert the qualitative
+//! shape at [`Scale::Smoke`].
+
+pub mod experiments;
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale: used by tests and CI.
+    Smoke,
+    /// The full configuration reported in `EXPERIMENTS.md`.
+    Full,
+}
+
+impl Scale {
+    /// Picks between the smoke and full values.
+    pub fn pick<T>(self, smoke: T, full: T) -> T {
+        match self {
+            Scale::Smoke => smoke,
+            Scale::Full => full,
+        }
+    }
+
+    /// Parses the scale from argv (binaries default to Full, `--smoke`
+    /// forces the small configuration).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--smoke") {
+            Scale::Smoke
+        } else {
+            Scale::Full
+        }
+    }
+}
+
+/// A rendered experiment result: a title plus pre-formatted lines.
+#[derive(Debug, Clone)]
+pub struct Rendered {
+    /// Experiment identifier, e.g. "E1 (Fig. 3)".
+    pub title: String,
+    /// Table lines.
+    pub lines: Vec<String>,
+}
+
+impl Rendered {
+    /// Creates a result.
+    pub fn new(title: impl Into<String>) -> Self {
+        Rendered {
+            title: title.into(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Appends a line.
+    pub fn push(&mut self, line: impl Into<String>) {
+        self.lines.push(line.into());
+    }
+}
+
+impl std::fmt::Display for Rendered {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "==== {} ====", self.title)?;
+        for line in &self.lines {
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type shared by all primitives in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible cryptographic operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A MAC or tag comparison failed.
+    MacMismatch,
+    /// An input had an invalid length for the primitive.
+    InvalidLength {
+        /// What the primitive expected.
+        expected: usize,
+        /// What the caller supplied.
+        actual: usize,
+    },
+    /// A decoded codeword contained more errors than the code can correct.
+    UncorrectableCodeword,
+    /// Fuzzy-extractor reproduction failed (helper data inconsistent or the
+    /// noisy response was too far from the enrolled one).
+    ReproductionFailed,
+    /// An X25519 public key was the all-zero point (low order input).
+    LowOrderPoint,
+    /// Key material was exhausted or malformed.
+    InvalidKey(String),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::MacMismatch => write!(f, "message authentication code mismatch"),
+            CryptoError::InvalidLength { expected, actual } => {
+                write!(f, "invalid input length: expected {expected}, got {actual}")
+            }
+            CryptoError::UncorrectableCodeword => {
+                write!(f, "codeword contains more errors than the code can correct")
+            }
+            CryptoError::ReproductionFailed => {
+                write!(f, "fuzzy extractor could not reproduce the enrolled key")
+            }
+            CryptoError::LowOrderPoint => write!(f, "x25519 input point has low order"),
+            CryptoError::InvalidKey(reason) => write!(f, "invalid key material: {reason}"),
+        }
+    }
+}
+
+impl Error for CryptoError {}

@@ -1,0 +1,126 @@
+//! HKDF-SHA-256 (RFC 5869).
+//!
+//! Key derivation for session keys: the EKE-based AKA of §IV derives
+//! encryption and MAC keys from the agreed Diffie–Hellman secret, and the
+//! fuzzy extractor uses HKDF as its strong randomness extractor.
+
+use crate::hmac::{HmacSha256, TAG_LEN};
+use crate::CryptoError;
+
+/// Extracts a pseudorandom key from input keying material `ikm` using
+/// `salt` (may be empty).
+#[must_use]
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; TAG_LEN] {
+    HmacSha256::mac(salt, ikm)
+}
+
+/// Expands `prk` into `out.len()` bytes of output keying material bound to
+/// `info`.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidLength`] if more than `255 * 32` bytes are
+/// requested (the RFC 5869 limit).
+pub fn expand(prk: &[u8; TAG_LEN], info: &[u8], out: &mut [u8]) -> Result<(), CryptoError> {
+    const MAX: usize = 255 * TAG_LEN;
+    if out.len() > MAX {
+        return Err(CryptoError::InvalidLength {
+            expected: MAX,
+            actual: out.len(),
+        });
+    }
+    let mut previous: &[u8] = &[];
+    let mut block = [0u8; TAG_LEN];
+    let mut counter = 1u8;
+    for chunk in out.chunks_mut(TAG_LEN) {
+        let mut mac = HmacSha256::new(prk);
+        mac.update(previous);
+        mac.update(info);
+        mac.update(&[counter]);
+        block = mac.finalize();
+        chunk.copy_from_slice(&block[..chunk.len()]);
+        previous = &block;
+        counter = counter.wrapping_add(1);
+    }
+    // Silence "assigned but never read" on the last iteration.
+    let _ = block;
+    Ok(())
+}
+
+/// One-call extract-then-expand.
+///
+/// # Errors
+///
+/// See [`expand`].
+///
+/// # Example
+///
+/// ```
+/// use neuropuls_crypto::hkdf;
+///
+/// # fn main() -> Result<(), neuropuls_crypto::CryptoError> {
+/// let mut session_key = [0u8; 32];
+/// hkdf::derive(b"salt", b"shared-secret", b"neuropuls/session", &mut session_key)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], out: &mut [u8]) -> Result<(), CryptoError> {
+    let prk = extract(salt, ikm);
+    expand(&prk, info, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0b; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        expand(&prk, &info, &mut okm).unwrap();
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 test case 3: zero-length salt and info.
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0b; 22];
+        let mut okm = [0u8; 42];
+        derive(&[], &ikm, &[], &mut okm).unwrap();
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_request() {
+        let prk = [0u8; 32];
+        let mut okm = vec![0u8; 255 * 32 + 1];
+        assert!(expand(&prk, b"", &mut okm).is_err());
+    }
+
+    #[test]
+    fn different_info_different_keys() {
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        derive(b"s", b"ikm", b"enc", &mut a).unwrap();
+        derive(b"s", b"ikm", b"mac", &mut b).unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,173 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//!
+//! This is the `MAC(data, key)` function of the paper's mutual
+//! authentication protocol (Fig. 4): the Device signs its message with the
+//! current PUF response `r_i` as the key, and the Verifier signs the fresh
+//! challenge with `r_{i+1}`.
+
+use crate::ct::ct_eq;
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+use crate::CryptoError;
+
+/// Length of an HMAC-SHA-256 tag in bytes.
+pub const TAG_LEN: usize = DIGEST_LEN;
+
+/// Incremental HMAC-SHA-256 computation.
+///
+/// # Example
+///
+/// ```
+/// use neuropuls_crypto::hmac::HmacSha256;
+///
+/// let tag = HmacSha256::mac(b"response-i", b"message");
+/// assert!(HmacSha256::verify(b"response-i", b"message", &tag).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates a MAC instance keyed with `key` (any length; keys longer than
+    /// the block size are hashed first, per RFC 2104).
+    pub fn new(key: &[u8]) -> Self {
+        let mut block_key = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            block_key[..DIGEST_LEN].copy_from_slice(&Sha256::digest(key));
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad_key = [0u8; BLOCK_LEN];
+        let mut opad_key = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad_key[i] = block_key[i] ^ 0x36;
+            opad_key[i] = block_key[i] ^ 0x5c;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad_key);
+        HmacSha256 { inner, opad_key }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes and returns the authentication tag.
+    pub fn finalize(self) -> [u8; TAG_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot MAC of `data` under `key`.
+    pub fn mac(key: &[u8], data: &[u8]) -> [u8; TAG_LEN] {
+        let mut mac = HmacSha256::new(key);
+        mac.update(data);
+        mac.finalize()
+    }
+
+    /// One-shot MAC over the concatenation of `parts`.
+    pub fn mac_parts(key: &[u8], parts: &[&[u8]]) -> [u8; TAG_LEN] {
+        let mut mac = HmacSha256::new(key);
+        for part in parts {
+            mac.update(part);
+        }
+        mac.finalize()
+    }
+
+    /// Verifies `tag` against the MAC of `data` under `key` in constant
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::MacMismatch`] when the tag does not
+    /// authenticate the data.
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> Result<(), CryptoError> {
+        let expected = Self::mac(key, data);
+        if ct_eq(&expected, tag) {
+            Ok(())
+        } else {
+            Err(CryptoError::MacMismatch)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0b; 20];
+        let tag = HmacSha256::mac(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    // RFC 4231 test case 2: short ascii key "Jefe".
+    #[test]
+    fn rfc4231_case2() {
+        let tag = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    // RFC 4231 test case 6: key longer than the block size.
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaa; 131];
+        let tag = HmacSha256::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_roundtrip_and_reject() {
+        let tag = HmacSha256::mac(b"key", b"data");
+        assert!(HmacSha256::verify(b"key", b"data", &tag).is_ok());
+        assert_eq!(
+            HmacSha256::verify(b"key", b"datb", &tag),
+            Err(CryptoError::MacMismatch)
+        );
+        assert_eq!(
+            HmacSha256::verify(b"kez", b"data", &tag),
+            Err(CryptoError::MacMismatch)
+        );
+        assert_eq!(
+            HmacSha256::verify(b"key", b"data", &tag[..31]),
+            Err(CryptoError::MacMismatch)
+        );
+    }
+
+    #[test]
+    fn mac_parts_matches_concat() {
+        let concat = HmacSha256::mac(b"k", b"part1part2");
+        let parts = HmacSha256::mac_parts(b"k", &[b"part1", b"part2"]);
+        assert_eq!(concat, parts);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut mac = HmacSha256::new(b"key");
+        mac.update(b"da");
+        mac.update(b"ta");
+        assert_eq!(mac.finalize(), HmacSha256::mac(b"key", b"data"));
+    }
+}

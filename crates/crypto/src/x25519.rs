@@ -1,0 +1,436 @@
+//! X25519 Diffie–Hellman (RFC 7748).
+//!
+//! The EKE-style authentication-and-key-agreement protocol of §IV treats
+//! the PUF challenge–response pair as a low-entropy shared secret that
+//! encrypts an ephemeral Diffie–Hellman exchange, giving mutual
+//! authentication plus perfect forward secrecy for the derived data
+//! encryption keys. This module supplies the underlying group operation:
+//! scalar multiplication on Curve25519, implemented with 51-bit limbs.
+
+use crate::CryptoError;
+
+/// Length of scalars and points in bytes.
+pub const KEY_LEN: usize = 32;
+
+/// The canonical base point (u = 9).
+pub const BASE_POINT: [u8; KEY_LEN] = {
+    let mut b = [0u8; KEY_LEN];
+    b[0] = 9;
+    b
+};
+
+// Field element mod p = 2^255 - 19, five 51-bit limbs.
+#[derive(Clone, Copy, Debug)]
+struct Fe([u64; 5]);
+
+const MASK51: u64 = (1 << 51) - 1;
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load = |range: core::ops::Range<usize>| -> u64 {
+            let mut v = 0u64;
+            for (i, &b) in bytes[range].iter().enumerate() {
+                v |= (b as u64) << (8 * i);
+            }
+            v
+        };
+        let mut limbs = [0u64; 5];
+        let l0 = load(0..8);
+        let l1 = load(6..14);
+        let l2 = load(12..20);
+        let l3 = load(19..27);
+        let l4 = load(24..32);
+        limbs[0] = l0 & MASK51;
+        limbs[1] = (l1 >> 3) & MASK51;
+        limbs[2] = (l2 >> 6) & MASK51;
+        limbs[3] = (l3 >> 1) & MASK51;
+        limbs[4] = (l4 >> 12) & MASK51;
+        Fe(limbs)
+    }
+
+    fn to_bytes(self) -> [u8; 32] {
+        // Fully reduce.
+        let mut t = self;
+        t = t.carry();
+        t = t.carry();
+        // Compute t + 19, and if that overflows 2^255, subtract p by keeping
+        // the wrapped value; branch-free canonical reduction.
+        let mut q = (t.0[0].wrapping_add(19)) >> 51;
+        q = (t.0[1].wrapping_add(q)) >> 51;
+        q = (t.0[2].wrapping_add(q)) >> 51;
+        q = (t.0[3].wrapping_add(q)) >> 51;
+        q = (t.0[4].wrapping_add(q)) >> 51;
+
+        let mut l0 = t.0[0].wrapping_add(19u64.wrapping_mul(q));
+        let mut l1 = t.0[1].wrapping_add(l0 >> 51);
+        l0 &= MASK51;
+        let mut l2 = t.0[2].wrapping_add(l1 >> 51);
+        l1 &= MASK51;
+        let mut l3 = t.0[3].wrapping_add(l2 >> 51);
+        l2 &= MASK51;
+        let mut l4 = t.0[4].wrapping_add(l3 >> 51);
+        l3 &= MASK51;
+        l4 &= MASK51;
+
+        // Limbs sit at bit offsets 0, 51, 102, 153, 204 — pack via a bit
+        // accumulator.
+        let mut out = [0u8; 32];
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let limbs = [l0, l1, l2, l3, l4];
+        let mut idx = 0usize;
+        for limb in limbs {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 {
+                out[idx] = (acc & 0xFF) as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                idx += 1;
+            }
+        }
+        if idx < 32 {
+            out[idx] = (acc & 0xFF) as u8;
+        }
+        out
+    }
+
+    fn add(self, rhs: Fe) -> Fe {
+        let mut out = [0u64; 5];
+        for i in 0..5 {
+            out[i] = self.0[i] + rhs.0[i];
+        }
+        Fe(out)
+    }
+
+    fn sub(self, rhs: Fe) -> Fe {
+        // Add 4*p (≡ 0 mod p) before subtracting so limbs never underflow,
+        // even when `self` has un-carried limbs up to ~2^52.
+        const FOUR_P: [u64; 5] = [
+            0xF_FFFF_FFFF_FFDA * 2,
+            0xF_FFFF_FFFF_FFFE * 2,
+            0xF_FFFF_FFFF_FFFE * 2,
+            0xF_FFFF_FFFF_FFFE * 2,
+            0xF_FFFF_FFFF_FFFE * 2,
+        ];
+        let mut out = [0u64; 5];
+        for i in 0..5 {
+            out[i] = self.0[i] + FOUR_P[i] - rhs.0[i];
+        }
+        Fe(out).carry()
+    }
+
+    fn carry(self) -> Fe {
+        let mut l = self.0;
+        let mut c: u64;
+        c = l[0] >> 51;
+        l[0] &= MASK51;
+        l[1] += c;
+        c = l[1] >> 51;
+        l[1] &= MASK51;
+        l[2] += c;
+        c = l[2] >> 51;
+        l[2] &= MASK51;
+        l[3] += c;
+        c = l[3] >> 51;
+        l[3] &= MASK51;
+        l[4] += c;
+        c = l[4] >> 51;
+        l[4] &= MASK51;
+        l[0] += c * 19;
+        c = l[0] >> 51;
+        l[0] &= MASK51;
+        l[1] += c;
+        Fe(l)
+    }
+
+    fn mul(self, rhs: Fe) -> Fe {
+        let [a0, a1, a2, a3, a4] = self.0;
+        let [b0, b1, b2, b3, b4] = rhs.0;
+        let m = |x: u64, y: u64| x as u128 * y as u128;
+
+        let b1_19 = b1 * 19;
+        let b2_19 = b2 * 19;
+        let b3_19 = b3 * 19;
+        let b4_19 = b4 * 19;
+
+        let mut c0 = m(a0, b0) + m(a1, b4_19) + m(a2, b3_19) + m(a3, b2_19) + m(a4, b1_19);
+        let mut c1 = m(a0, b1) + m(a1, b0) + m(a2, b4_19) + m(a3, b3_19) + m(a4, b2_19);
+        let mut c2 = m(a0, b2) + m(a1, b1) + m(a2, b0) + m(a3, b4_19) + m(a4, b3_19);
+        let mut c3 = m(a0, b3) + m(a1, b2) + m(a2, b1) + m(a3, b0) + m(a4, b4_19);
+        let mut c4 = m(a0, b4) + m(a1, b3) + m(a2, b2) + m(a3, b1) + m(a4, b0);
+
+        c1 += c0 >> 51;
+        c0 &= MASK51 as u128;
+        c2 += c1 >> 51;
+        c1 &= MASK51 as u128;
+        c3 += c2 >> 51;
+        c2 &= MASK51 as u128;
+        c4 += c3 >> 51;
+        c3 &= MASK51 as u128;
+        let carry = (c4 >> 51) as u64;
+        c4 &= MASK51 as u128;
+        let mut l0 = c0 as u64 + carry * 19;
+        let mut l1 = c1 as u64;
+        let c = l0 >> 51;
+        l0 &= MASK51;
+        l1 += c;
+
+        Fe([l0, l1, c2 as u64, c3 as u64, c4 as u64])
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    fn mul_small(self, n: u64) -> Fe {
+        let mut c: u128 = 0;
+        let mut l = [0u64; 5];
+        for i in 0..5 {
+            let v = self.0[i] as u128 * n as u128 + c;
+            l[i] = (v & MASK51 as u128) as u64;
+            c = v >> 51;
+        }
+        let mut l0 = l[0] + (c as u64) * 19;
+        let carry = l0 >> 51;
+        l0 &= MASK51;
+        Fe([l0, l[1] + carry, l[2], l[3], l[4]])
+    }
+
+    /// Inversion via Fermat: x^(p-2).
+    fn invert(self) -> Fe {
+        // Exponent p-2 = 2^255 - 21. Use the standard addition chain.
+        let z = self;
+        let z2 = z.square(); // 2
+        let z4 = z2.square(); // 4
+        let z8 = z4.square(); // 8
+        let z9 = z8.mul(z); // 9
+        let z11 = z9.mul(z2); // 11
+        let z22 = z11.square(); // 22
+        let z_5_0 = z22.mul(z9); // 2^5 - 1
+        let mut t = z_5_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        let z_10_0 = t.mul(z_5_0); // 2^10 - 1
+        t = z_10_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z_20_0 = t.mul(z_10_0); // 2^20 - 1
+        t = z_20_0;
+        for _ in 0..20 {
+            t = t.square();
+        }
+        let z_40_0 = t.mul(z_20_0); // 2^40 - 1
+        t = z_40_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z_50_0 = t.mul(z_10_0); // 2^50 - 1
+        t = z_50_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z_100_0 = t.mul(z_50_0); // 2^100 - 1
+        t = z_100_0;
+        for _ in 0..100 {
+            t = t.square();
+        }
+        let z_200_0 = t.mul(z_100_0); // 2^200 - 1
+        t = z_200_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z_250_0 = t.mul(z_50_0); // 2^250 - 1
+        t = z_250_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        t.mul(z11) // 2^255 - 21
+    }
+
+    fn cswap(swap: u64, a: &mut Fe, b: &mut Fe) {
+        let mask = swap.wrapping_neg();
+        for i in 0..5 {
+            let x = mask & (a.0[i] ^ b.0[i]);
+            a.0[i] ^= x;
+            b.0[i] ^= x;
+        }
+    }
+}
+
+/// Clamps a 32-byte scalar per RFC 7748.
+#[must_use]
+pub fn clamp_scalar(mut scalar: [u8; KEY_LEN]) -> [u8; KEY_LEN] {
+    scalar[0] &= 248;
+    scalar[31] &= 127;
+    scalar[31] |= 64;
+    scalar
+}
+
+/// Scalar multiplication: computes `scalar * point` on Curve25519.
+///
+/// The scalar is clamped internally, so any 32 random bytes form a valid
+/// private key.
+#[must_use]
+pub fn scalar_mult(scalar: &[u8; KEY_LEN], point: &[u8; KEY_LEN]) -> [u8; KEY_LEN] {
+    let scalar = clamp_scalar(*scalar);
+    let mut masked_point = *point;
+    masked_point[31] &= 0x7F;
+    let x1 = Fe::from_bytes(&masked_point);
+
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+
+    for pos in (0..255).rev() {
+        let bit = ((scalar[pos / 8] >> (pos % 8)) & 1) as u64;
+        swap ^= bit;
+        Fe::cswap(swap, &mut x2, &mut x3);
+        Fe::cswap(swap, &mut z2, &mut z3);
+        swap = bit;
+
+        let a = x2.add(z2).carry();
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3).carry();
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).carry().square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small(121_665)).carry());
+    }
+
+    Fe::cswap(swap, &mut x2, &mut x3);
+    Fe::cswap(swap, &mut z2, &mut z3);
+
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// Computes the public key for a private scalar.
+#[must_use]
+pub fn public_key(private: &[u8; KEY_LEN]) -> [u8; KEY_LEN] {
+    scalar_mult(private, &BASE_POINT)
+}
+
+/// Computes the shared secret and rejects the all-zero output that results
+/// from low-order input points.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::LowOrderPoint`] if the computed secret is all
+/// zeros (the peer sent a low-order point).
+pub fn shared_secret(
+    private: &[u8; KEY_LEN],
+    peer_public: &[u8; KEY_LEN],
+) -> Result<[u8; KEY_LEN], CryptoError> {
+    let secret = scalar_mult(private, peer_public);
+    if secret.iter().all(|&b| b == 0) {
+        return Err(CryptoError::LowOrderPoint);
+    }
+    Ok(secret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 7748 §5.2 test vector 1.
+    #[test]
+    fn rfc7748_vector1() {
+        let scalar = from_hex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let point = from_hex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let out = scalar_mult(&scalar, &point);
+        assert_eq!(
+            hex(&out),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    // RFC 7748 §5.2 test vector 2.
+    #[test]
+    fn rfc7748_vector2() {
+        let scalar = from_hex("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let point = from_hex("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        let out = scalar_mult(&scalar, &point);
+        assert_eq!(
+            hex(&out),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"
+        );
+    }
+
+    // RFC 7748 §6.1 Diffie–Hellman test.
+    #[test]
+    fn rfc7748_dh() {
+        let alice_priv =
+            from_hex("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let bob_priv = from_hex("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let alice_pub = public_key(&alice_priv);
+        assert_eq!(
+            hex(&alice_pub),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        );
+        let bob_pub = public_key(&bob_priv);
+        assert_eq!(
+            hex(&bob_pub),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        );
+        let k1 = shared_secret(&alice_priv, &bob_pub).unwrap();
+        let k2 = shared_secret(&bob_priv, &alice_pub).unwrap();
+        assert_eq!(k1, k2);
+        assert_eq!(
+            hex(&k1),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        );
+    }
+
+    // RFC 7748 iterated test (1000 iterations kept out of CI; 1 iteration).
+    #[test]
+    fn rfc7748_iterated_once() {
+        let k = from_hex("0900000000000000000000000000000000000000000000000000000000000000");
+        let u = k;
+        let out = scalar_mult(&k, &u);
+        assert_eq!(
+            hex(&out),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"
+        );
+    }
+
+    #[test]
+    fn rejects_low_order_zero_point() {
+        let private = [0x42; 32];
+        let zero_point = [0u8; 32];
+        assert_eq!(
+            shared_secret(&private, &zero_point),
+            Err(CryptoError::LowOrderPoint)
+        );
+    }
+
+    #[test]
+    fn clamping_is_idempotent() {
+        let s = [0xFF; 32];
+        assert_eq!(clamp_scalar(clamp_scalar(s)), clamp_scalar(s));
+    }
+}

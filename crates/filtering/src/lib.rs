@@ -1,0 +1,44 @@
+// Indexed loops over parallel arrays are the clearest form for the
+// numeric kernels in this crate.
+#![allow(clippy::needless_range_loop)]
+
+//! CRP filtering for reliability and bit-aliasing — the method of
+//! Vinagrero et al. \[13\] that §II-B adopts, and its adaptation to the
+//! photonic PUF.
+//!
+//! The core observation behind Fig. 3 of the paper:
+//!
+//! * pairs whose count difference is **close to the selection boundary**
+//!   carry maximum entropy (the Gaussian process variation dominates) but
+//!   flip under noise — *unreliable*;
+//! * pairs whose count difference is **extreme** are stable but tend to
+//!   be dominated by design-level systematic skew, so many devices answer
+//!   identically — *aliased*;
+//! * a counter **threshold window** in between trades the number of
+//!   usable CRPs against reliability and aliasing.
+//!
+//! [`ro_filter`] reproduces the study on the RO PUF (x-axis = counter
+//! threshold, exactly Fig. 3); [`photocurrent`] applies the same idea to
+//! the photonic PUF with a threshold "dependent on the amplitude of the
+//! photocurrent read at the PD" (§II-B).
+//!
+//! # Example
+//!
+//! ```
+//! use neuropuls_filtering::ro_filter::RoFilterStudy;
+//!
+//! let study = RoFilterStudy::generate(8, 10, 12345);
+//! let sweep = study.threshold_sweep(&[0.0, 50.0, 100.0]);
+//! assert_eq!(sweep.len(), 3);
+//! // Reliability rises with the threshold...
+//! assert!(sweep[2].reliability >= sweep[0].reliability);
+//! // ...while the usable CRP fraction falls.
+//! assert!(sweep[2].surviving_fraction <= sweep[0].surviving_fraction);
+//! ```
+
+pub mod mask;
+pub mod photocurrent;
+pub mod ro_filter;
+
+pub use mask::SelectionMask;
+pub use ro_filter::{RoFilterStudy, ThresholdPoint};

@@ -1,0 +1,136 @@
+//! Enrollment-time selection masks.
+//!
+//! The filtering method produces, per device, the set of CRP positions
+//! that survived the threshold window. The mask is *public* helper data:
+//! it reveals which positions are used, not their values (the same model
+//! as fuzzy-extractor helper data).
+
+/// A boolean keep/drop mask over CRP positions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SelectionMask {
+    keep: Vec<bool>,
+}
+
+impl SelectionMask {
+    /// Builds from an iterator of keep flags.
+    pub fn from_flags(flags: impl IntoIterator<Item = bool>) -> Self {
+        SelectionMask {
+            keep: flags.into_iter().collect(),
+        }
+    }
+
+    /// Builds a mask keeping every one of `len` positions.
+    pub fn keep_all(len: usize) -> Self {
+        SelectionMask {
+            keep: vec![true; len],
+        }
+    }
+
+    /// Number of positions covered.
+    pub fn len(&self) -> usize {
+        self.keep.len()
+    }
+
+    /// True when the mask covers no positions.
+    pub fn is_empty(&self) -> bool {
+        self.keep.is_empty()
+    }
+
+    /// Number of kept positions.
+    pub fn kept(&self) -> usize {
+        self.keep.iter().filter(|&&k| k).count()
+    }
+
+    /// Indices of kept positions.
+    pub fn kept_indices(&self) -> Vec<usize> {
+        self.keep
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| k.then_some(i))
+            .collect()
+    }
+
+    /// Whether position `i` is kept (positions beyond the mask are
+    /// dropped).
+    pub fn is_kept(&self, i: usize) -> bool {
+        self.keep.get(i).copied().unwrap_or(false)
+    }
+
+    /// Applies the mask to a bit slice, returning only kept bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is shorter than the mask.
+    pub fn apply(&self, bits: &[u8]) -> Vec<u8> {
+        assert!(bits.len() >= self.keep.len(), "bit string shorter than mask");
+        self.keep
+            .iter()
+            .zip(bits.iter())
+            .filter_map(|(&k, &b)| k.then_some(b))
+            .collect()
+    }
+
+    /// Intersects with another mask (a CRP must survive on both the
+    /// enrollment and a revalidation pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn intersect(&self, other: &SelectionMask) -> SelectionMask {
+        assert_eq!(self.len(), other.len(), "mask length mismatch");
+        SelectionMask {
+            keep: self
+                .keep
+                .iter()
+                .zip(other.keep.iter())
+                .map(|(&a, &b)| a && b)
+                .collect(),
+        }
+    }
+}
+
+impl FromIterator<bool> for SelectionMask {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Self::from_flags(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_selects_kept_bits() {
+        let mask = SelectionMask::from_flags([true, false, true, true]);
+        assert_eq!(mask.apply(&[1, 0, 1, 0]), vec![1, 1, 0]);
+        assert_eq!(mask.kept(), 3);
+        assert_eq!(mask.kept_indices(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn keep_all_is_identity() {
+        let mask = SelectionMask::keep_all(4);
+        assert_eq!(mask.apply(&[1, 0, 1, 1]), vec![1, 0, 1, 1]);
+    }
+
+    #[test]
+    fn intersect_ands_flags() {
+        let a = SelectionMask::from_flags([true, true, false]);
+        let b = SelectionMask::from_flags([true, false, false]);
+        assert_eq!(a.intersect(&b), SelectionMask::from_flags([true, false, false]));
+    }
+
+    #[test]
+    fn out_of_range_is_dropped() {
+        let mask = SelectionMask::from_flags([true]);
+        assert!(mask.is_kept(0));
+        assert!(!mask.is_kept(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than mask")]
+    fn apply_rejects_short_input() {
+        let mask = SelectionMask::from_flags([true, true]);
+        let _ = mask.apply(&[1]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Photocurrent-amplitude filtering for the photonic PUF.
+//!
+//! §II-B: "In NEUROPULS, we will use a similar approach, where instead of
+//! considering a counting threshold, we will consider a threshold
+//! dependent on the amplitude of the photocurrent read at the PD."
+//!
+//! The photonic PUF's response bits are photocurrent comparisons; the
+//! comparison *margin* (ADC-code difference) plays the role of the RO
+//! count difference. Bits with small |margin| flip under shot/thermal
+//! noise, bits with extreme |margin| tend to be fixed by the public
+//! comparison plan's geometry rather than by process variation.
+
+use crate::mask::SelectionMask;
+use crate::ro_filter::ThresholdPoint;
+use neuropuls_metrics::quality::binary_entropy;
+use neuropuls_photonic::process::DieId;
+use neuropuls_puf::bits::Challenge;
+use neuropuls_puf::photonic::PhotonicPuf;
+
+/// Margin characterization of a photonic PUF population on a fixed
+/// challenge set.
+#[derive(Debug, Clone)]
+pub struct PhotocurrentStudy {
+    /// `mean_margin[d][k]` — enrollment mean margin of response bit `k`
+    /// (flattened over challenges) on device `d`.
+    mean_margin: Vec<Vec<f64>>,
+    /// `bits[d][k][r]` — bit value at re-read `r`.
+    bits: Vec<Vec<Vec<u8>>>,
+}
+
+impl PhotocurrentStudy {
+    /// Characterizes `devices` photonic PUFs over `challenges` random
+    /// challenges with `reads` re-reads each.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty parameters.
+    pub fn generate(devices: usize, challenges: usize, reads: usize, seed: u64) -> Self {
+        assert!(devices > 0 && challenges > 0 && reads > 0, "empty study");
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let challenge_set: Vec<Challenge> =
+            (0..challenges).map(|_| Challenge::random(64, &mut rng)).collect();
+
+        let mut mean_margin = Vec::with_capacity(devices);
+        let mut bits = Vec::with_capacity(devices);
+        for d in 0..devices {
+            let mut puf = PhotonicPuf::reference(
+                DieId(seed.wrapping_add(1000 + d as u64)),
+                seed ^ ((d as u64) << 21),
+            );
+            let mut device_margins: Vec<f64> = Vec::new();
+            let mut device_bits: Vec<Vec<u8>> = Vec::new();
+            for challenge in &challenge_set {
+                let width = puf.config().response_bits;
+                let mut sums = vec![0.0; width];
+                let mut reads_bits = vec![Vec::with_capacity(reads); width];
+                for _ in 0..reads {
+                    let (response, margins) = puf
+                        .respond_with_margins(challenge)
+                        .expect("challenge width fixed at 64");
+                    for (k, (&bit, &margin)) in
+                        response.bits().iter().zip(margins.iter()).enumerate()
+                    {
+                        sums[k] += margin;
+                        reads_bits[k].push(bit);
+                    }
+                }
+                device_margins.extend(sums.into_iter().map(|s| s / reads as f64));
+                device_bits.extend(reads_bits);
+            }
+            mean_margin.push(device_margins);
+            bits.push(device_bits);
+        }
+        PhotocurrentStudy { mean_margin, bits }
+    }
+
+    /// Number of devices.
+    pub fn devices(&self) -> usize {
+        self.mean_margin.len()
+    }
+
+    /// Number of response-bit positions characterized per device.
+    pub fn positions(&self) -> usize {
+        self.mean_margin[0].len()
+    }
+
+    /// Evaluates the photocurrent threshold filter at one threshold
+    /// (ADC-code units).
+    pub fn evaluate(&self, threshold: f64) -> ThresholdPoint {
+        let devices = self.devices();
+        let positions = self.positions();
+
+        let kept: Vec<Vec<bool>> = (0..devices)
+            .map(|d| {
+                (0..positions)
+                    .map(|k| self.mean_margin[d][k].abs() >= threshold)
+                    .collect()
+            })
+            .collect();
+
+        let mut survivors = 0usize;
+        let mut reliability_sum = 0.0;
+        let mut reliability_count = 0usize;
+        for d in 0..devices {
+            for k in 0..positions {
+                if !kept[d][k] {
+                    continue;
+                }
+                survivors += 1;
+                let reads = &self.bits[d][k];
+                let ones: usize = reads.iter().map(|&b| b as usize).sum();
+                let majority = u8::from(ones * 2 > reads.len());
+                let flips = reads.iter().filter(|&&b| b != majority).count();
+                reliability_sum += 1.0 - flips as f64 / reads.len() as f64;
+                reliability_count += 1;
+            }
+        }
+
+        // Aliasing entropy across the devices that kept each position
+        // (same estimator as the RO study — see `ro_filter`).
+        let mut entropy_sum = 0.0;
+        let mut entropy_count = 0usize;
+        for k in 0..positions {
+            let keepers: Vec<usize> = (0..devices).filter(|&d| kept[d][k]).collect();
+            if keepers.len() < 2 {
+                continue;
+            }
+            let ones: usize = keepers
+                .iter()
+                .map(|&d| {
+                    let reads = &self.bits[d][k];
+                    let one_count: usize = reads.iter().map(|&b| b as usize).sum();
+                    usize::from(one_count * 2 > reads.len())
+                })
+                .sum();
+            entropy_sum += binary_entropy(ones as f64 / keepers.len() as f64);
+            entropy_count += 1;
+        }
+
+        ThresholdPoint {
+            threshold,
+            reliability: if reliability_count == 0 {
+                f64::NAN
+            } else {
+                reliability_sum / reliability_count as f64
+            },
+            aliasing_entropy: if entropy_count == 0 {
+                f64::NAN
+            } else {
+                entropy_sum / entropy_count as f64
+            },
+            surviving_fraction: survivors as f64 / (devices * positions) as f64,
+            surviving_crps: survivors,
+        }
+    }
+
+    /// Full threshold sweep (the pPUF analogue of Fig. 3).
+    pub fn threshold_sweep(&self, thresholds: &[f64]) -> Vec<ThresholdPoint> {
+        thresholds.iter().map(|&t| self.evaluate(t)).collect()
+    }
+
+    /// Enrollment mask of device `d` at a threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn mask_for(&self, device: usize, threshold: f64) -> SelectionMask {
+        SelectionMask::from_flags(
+            self.mean_margin[device]
+                .iter()
+                .map(|m| m.abs() >= threshold),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> PhotocurrentStudy {
+        // Small but meaningful: 4 devices × 2 challenges × 64 bits.
+        PhotocurrentStudy::generate(4, 2, 7, 2024)
+    }
+
+    #[test]
+    fn zero_threshold_keeps_all_positions() {
+        let s = study();
+        let p = s.evaluate(0.0);
+        assert_eq!(p.surviving_fraction, 1.0);
+        assert_eq!(s.positions(), 128);
+    }
+
+    #[test]
+    fn filtering_improves_reliability() {
+        let s = study();
+        let raw = s.evaluate(0.0);
+        let filtered = s.evaluate(15.0);
+        assert!(
+            filtered.reliability >= raw.reliability,
+            "raw {} filtered {}",
+            raw.reliability,
+            filtered.reliability
+        );
+    }
+
+    #[test]
+    fn survivors_shrink_with_threshold() {
+        let s = study();
+        let sweep = s.threshold_sweep(&[0.0, 5.0, 20.0, 60.0]);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].surviving_crps <= pair[0].surviving_crps);
+        }
+    }
+
+    #[test]
+    fn mask_is_device_specific() {
+        let s = study();
+        let a = s.mask_for(0, 10.0);
+        let b = s.mask_for(1, 10.0);
+        assert_eq!(a.len(), b.len());
+        // Different dies have different margins, so the masks should
+        // differ somewhere.
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,289 @@
+//! The RO-PUF counter-threshold study — the data behind Fig. 3.
+
+use crate::mask::SelectionMask;
+use neuropuls_metrics::quality::binary_entropy;
+use neuropuls_photonic::process::DieId;
+use neuropuls_puf::ro::RoPuf;
+
+/// One point of the Fig. 3 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdPoint {
+    /// Counter threshold (counts).
+    pub threshold: f64,
+    /// Mean reliability of the surviving pairs (1 − flip rate).
+    pub reliability: f64,
+    /// Mean bit-aliasing Shannon entropy of the surviving pairs across
+    /// devices (1 = no aliasing, 0 = fully aliased).
+    pub aliasing_entropy: f64,
+    /// Fraction of pairs surviving the filter (averaged over devices).
+    pub surviving_fraction: f64,
+    /// Absolute number of surviving CRPs summed over devices.
+    pub surviving_crps: usize,
+}
+
+/// Characterization data for a population of RO-PUF devices: per-device,
+/// per-pair mean count differences and per-read bits.
+#[derive(Debug, Clone)]
+pub struct RoFilterStudy {
+    /// `mean_diff[d][p]` — enrollment mean count difference of pair `p`
+    /// on device `d`.
+    mean_diff: Vec<Vec<f64>>,
+    /// `bits[d][p][r]` — bit of pair `p` on device `d` at re-read `r`.
+    bits: Vec<Vec<Vec<u8>>>,
+}
+
+impl RoFilterStudy {
+    /// Characterizes `devices` RO PUFs with `reads` re-readings per pair.
+    /// Device identities derive from `seed`.
+    pub fn generate(devices: usize, reads: usize, seed: u64) -> Self {
+        let pufs: Vec<RoPuf> = (0..devices)
+            .map(|d| RoPuf::reference(DieId(seed.wrapping_add(d as u64)), seed ^ (d as u64) << 13))
+            .collect();
+        Self::characterize(pufs, reads)
+    }
+
+    /// Characterizes an explicit device population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pufs` is empty or `reads == 0`.
+    pub fn characterize(mut pufs: Vec<RoPuf>, reads: usize) -> Self {
+        assert!(!pufs.is_empty(), "need at least one device");
+        assert!(reads > 0, "need at least one read");
+        let pairs = pufs[0].pairs();
+        let mut mean_diff = Vec::with_capacity(pufs.len());
+        let mut bits = Vec::with_capacity(pufs.len());
+        for puf in pufs.iter_mut() {
+            let mut device_means = Vec::with_capacity(pairs);
+            let mut device_bits = Vec::with_capacity(pairs);
+            for pair in 0..pairs {
+                let mut sum = 0.0;
+                let mut reads_bits = Vec::with_capacity(reads);
+                for _ in 0..reads {
+                    let diff = puf
+                        .count_difference(pair)
+                        .expect("pair index within range") as f64;
+                    sum += diff;
+                    reads_bits.push(u8::from(diff > 0.0));
+                }
+                device_means.push(sum / reads as f64);
+                device_bits.push(reads_bits);
+            }
+            mean_diff.push(device_means);
+            bits.push(device_bits);
+        }
+        RoFilterStudy { mean_diff, bits }
+    }
+
+    /// Number of devices.
+    pub fn devices(&self) -> usize {
+        self.mean_diff.len()
+    }
+
+    /// Number of pairs per device.
+    pub fn pairs(&self) -> usize {
+        self.mean_diff[0].len()
+    }
+
+    /// Evaluates the filter "keep pair iff |mean Δcount| ≥ threshold" at
+    /// one threshold — one point of Fig. 3.
+    pub fn evaluate(&self, threshold: f64) -> ThresholdPoint {
+        let devices = self.devices();
+        let pairs = self.pairs();
+
+        let mut survivors = 0usize;
+        let mut reliability_sum = 0.0;
+        let mut reliability_count = 0usize;
+
+        // Which pairs survive per device.
+        let kept: Vec<Vec<bool>> = (0..devices)
+            .map(|d| {
+                (0..pairs)
+                    .map(|p| self.mean_diff[d][p].abs() >= threshold)
+                    .collect()
+            })
+            .collect();
+
+        for d in 0..devices {
+            for p in 0..pairs {
+                if !kept[d][p] {
+                    continue;
+                }
+                survivors += 1;
+                let reads = &self.bits[d][p];
+                let ones: usize = reads.iter().map(|&b| b as usize).sum();
+                let majority = u8::from(ones * 2 > reads.len());
+                let flips = reads.iter().filter(|&&b| b != majority).count();
+                reliability_sum += 1.0 - flips as f64 / reads.len() as f64;
+                reliability_count += 1;
+            }
+        }
+
+        // Bit aliasing: for each pair, Shannon entropy of the majority
+        // bit across the devices that *kept* it (at least two keepers
+        // required for the statistic to exist). Skew-dominated survivors
+        // agree in sign across keepers and pull the entropy down.
+        let mut entropy_sum = 0.0;
+        let mut entropy_count = 0usize;
+        for p in 0..pairs {
+            let keepers: Vec<usize> = (0..devices).filter(|&d| kept[d][p]).collect();
+            if keepers.len() < 2 {
+                continue;
+            }
+            let ones: usize = keepers
+                .iter()
+                .map(|&d| {
+                    let reads = &self.bits[d][p];
+                    let one_count: usize = reads.iter().map(|&b| b as usize).sum();
+                    usize::from(one_count * 2 > reads.len())
+                })
+                .sum();
+            entropy_sum += binary_entropy(ones as f64 / keepers.len() as f64);
+            entropy_count += 1;
+        }
+
+        ThresholdPoint {
+            threshold,
+            reliability: if reliability_count == 0 {
+                f64::NAN
+            } else {
+                reliability_sum / reliability_count as f64
+            },
+            aliasing_entropy: if entropy_count == 0 {
+                f64::NAN
+            } else {
+                entropy_sum / entropy_count as f64
+            },
+            surviving_fraction: survivors as f64 / (devices * pairs) as f64,
+            surviving_crps: survivors,
+        }
+    }
+
+    /// Sweeps the counter threshold — the full Fig. 3 curve.
+    pub fn threshold_sweep(&self, thresholds: &[f64]) -> Vec<ThresholdPoint> {
+        thresholds.iter().map(|&t| self.evaluate(t)).collect()
+    }
+
+    /// The "shaded area" of Fig. 3: thresholds where reliability ≥
+    /// `min_reliability` and aliasing entropy ≥ `min_entropy` (with at
+    /// least one surviving CRP). Returns `(low, high)` bounds over the
+    /// sweep, or `None` when no threshold satisfies both.
+    pub fn trade_off_window(
+        &self,
+        thresholds: &[f64],
+        min_reliability: f64,
+        min_entropy: f64,
+    ) -> Option<(f64, f64)> {
+        let good: Vec<f64> = self
+            .threshold_sweep(thresholds)
+            .into_iter()
+            .filter(|p| {
+                p.surviving_crps > 0
+                    && p.reliability >= min_reliability
+                    && p.aliasing_entropy >= min_entropy
+            })
+            .map(|p| p.threshold)
+            .collect();
+        if good.is_empty() {
+            None
+        } else {
+            Some((
+                good.iter().cloned().fold(f64::INFINITY, f64::min),
+                good.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            ))
+        }
+    }
+
+    /// Builds the enrollment selection mask of device `d` at a
+    /// threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn mask_for(&self, device: usize, threshold: f64) -> SelectionMask {
+        SelectionMask::from_flags(
+            self.mean_diff[device]
+                .iter()
+                .map(|m| m.abs() >= threshold),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> RoFilterStudy {
+        RoFilterStudy::generate(10, 15, 777)
+    }
+
+    #[test]
+    fn zero_threshold_keeps_everything() {
+        let s = study();
+        let p = s.evaluate(0.0);
+        assert_eq!(p.surviving_fraction, 1.0);
+        assert_eq!(p.surviving_crps, 10 * 128);
+    }
+
+    #[test]
+    fn reliability_increases_with_threshold() {
+        let s = study();
+        let lo = s.evaluate(0.0);
+        let hi = s.evaluate(60.0);
+        assert!(
+            hi.reliability >= lo.reliability,
+            "lo {} hi {}",
+            lo.reliability,
+            hi.reliability
+        );
+        assert!(hi.reliability > 0.99, "filtered reliability {}", hi.reliability);
+    }
+
+    #[test]
+    fn aliasing_entropy_decreases_at_extreme_thresholds() {
+        let s = study();
+        let mid = s.evaluate(20.0);
+        let extreme = s.evaluate(160.0);
+        assert!(
+            extreme.aliasing_entropy < mid.aliasing_entropy,
+            "mid {} extreme {}",
+            mid.aliasing_entropy,
+            extreme.aliasing_entropy
+        );
+    }
+
+    #[test]
+    fn survivors_shrink_monotonically() {
+        let s = study();
+        let sweep = s.threshold_sweep(&[0.0, 20.0, 40.0, 80.0, 160.0]);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].surviving_crps <= pair[0].surviving_crps);
+        }
+    }
+
+    #[test]
+    fn trade_off_window_exists_for_reasonable_targets() {
+        let s = study();
+        let thresholds: Vec<f64> = (0..40).map(|i| i as f64 * 5.0).collect();
+        let window = s.trade_off_window(&thresholds, 0.99, 0.6);
+        assert!(window.is_some(), "no trade-off window found");
+        let (lo, hi) = window.unwrap();
+        assert!(lo <= hi);
+    }
+
+    #[test]
+    fn impossible_targets_yield_no_window() {
+        let s = study();
+        let thresholds: Vec<f64> = (0..10).map(|i| i as f64 * 10.0).collect();
+        assert_eq!(s.trade_off_window(&thresholds, 1.1, 1.1), None);
+    }
+
+    #[test]
+    fn mask_matches_threshold_rule() {
+        let s = study();
+        let mask = s.mask_for(0, 30.0);
+        assert_eq!(mask.len(), s.pairs());
+        let kept = mask.kept_indices().len();
+        assert!(kept > 0 && kept < s.pairs(), "kept {kept}");
+    }
+}

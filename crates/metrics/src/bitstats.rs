@@ -1,0 +1,142 @@
+//! Bit-level distance statistics.
+//!
+//! All response-quality metrics of §II reduce to Hamming statistics over
+//! bit strings. Bits are represented one-per-byte (`0`/`1`), matching the
+//! rest of the workspace.
+
+/// Hamming distance between two equal-length bit slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn hamming_distance(a: &[u8], b: &[u8]) -> usize {
+    assert_eq!(a.len(), b.len(), "hamming distance requires equal lengths");
+    a.iter()
+        .zip(b.iter())
+        .filter(|(&x, &y)| (x ^ y) & 1 == 1)
+        .count()
+}
+
+/// Fractional Hamming distance in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn fractional_hamming_distance(a: &[u8], b: &[u8]) -> f64 {
+    assert!(!a.is_empty(), "empty bit strings have no distance");
+    hamming_distance(a, b) as f64 / a.len() as f64
+}
+
+/// Hamming weight (number of ones).
+pub fn hamming_weight(bits: &[u8]) -> usize {
+    bits.iter().filter(|&&b| b & 1 == 1).count()
+}
+
+/// Mean and sample standard deviation of a series.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+/// All pairwise fractional Hamming distances among a set of responses
+/// (the raw material of the *uniqueness* metric).
+///
+/// # Panics
+///
+/// Panics if responses have differing lengths.
+pub fn pairwise_fhd(responses: &[Vec<u8>]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(responses.len() * (responses.len().saturating_sub(1)) / 2);
+    for i in 0..responses.len() {
+        for j in (i + 1)..responses.len() {
+            out.push(fractional_hamming_distance(&responses[i], &responses[j]));
+        }
+    }
+    out
+}
+
+/// Packs one-bit-per-byte into a compact byte string (8 bits per byte,
+/// LSB first) — the wire format used by the protocols.
+pub fn pack_bits(bits: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &bit) in bits.iter().enumerate() {
+        out[i / 8] |= (bit & 1) << (i % 8);
+    }
+    out
+}
+
+/// Inverse of [`pack_bits`]; `count` selects how many bits to take.
+pub fn unpack_bits(bytes: &[u8], count: usize) -> Vec<u8> {
+    (0..count.min(bytes.len() * 8))
+        .map(|i| (bytes[i / 8] >> (i % 8)) & 1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_basics() {
+        assert_eq!(hamming_distance(&[0, 1, 1, 0], &[0, 1, 1, 0]), 0);
+        assert_eq!(hamming_distance(&[0, 1, 1, 0], &[1, 0, 0, 1]), 4);
+        assert_eq!(hamming_distance(&[0, 0, 1], &[0, 1, 1]), 1);
+    }
+
+    #[test]
+    fn fhd_normalizes() {
+        assert_eq!(fractional_hamming_distance(&[0; 10], &[1; 10]), 1.0);
+        assert_eq!(fractional_hamming_distance(&[0; 10], &[0; 10]), 0.0);
+        assert!((fractional_hamming_distance(&[0, 1], &[1, 1]) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn hamming_rejects_length_mismatch() {
+        let _ = hamming_distance(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn weight() {
+        assert_eq!(hamming_weight(&[1, 0, 1, 1, 0]), 3);
+        assert_eq!(hamming_weight(&[]), 0);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.138089935).abs() < 1e-6);
+        let (m1, s1) = mean_std(&[3.0]);
+        assert_eq!((m1, s1), (3.0, 0.0));
+        assert!(mean_std(&[]).0.is_nan());
+    }
+
+    #[test]
+    fn pairwise_count() {
+        let responses = vec![vec![0, 1], vec![1, 1], vec![0, 0]];
+        let distances = pairwise_fhd(&responses);
+        assert_eq!(distances.len(), 3);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let bits: Vec<u8> = (0..29).map(|i| (i % 3 == 0) as u8).collect();
+        let packed = pack_bits(&bits);
+        assert_eq!(packed.len(), 4);
+        assert_eq!(unpack_bits(&packed, 29), bits);
+    }
+
+    #[test]
+    fn pack_is_lsb_first() {
+        assert_eq!(pack_bits(&[1, 0, 0, 0, 0, 0, 0, 0]), vec![1]);
+        assert_eq!(pack_bits(&[0, 0, 0, 0, 0, 0, 0, 1]), vec![128]);
+    }
+}

@@ -1,0 +1,151 @@
+//! False-acceptance / false-rejection analysis.
+//!
+//! §V: "error rates, including false positive and false negative rates,
+//! should be analyzed to gauge the PUF's reliability". Authentication by
+//! response matching accepts when the fractional Hamming distance to the
+//! enrolled response is below a threshold τ:
+//!
+//! * **FRR(τ)** — fraction of *genuine* re-readings with FHD ≥ τ;
+//! * **FAR(τ)** — fraction of *impostor* responses with FHD < τ.
+//!
+//! Sweeping τ yields the trade-off curve and the equal error rate (EER).
+
+/// One point of the FAR/FRR sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorRates {
+    /// Decision threshold on fractional Hamming distance.
+    pub threshold: f64,
+    /// False acceptance rate at this threshold.
+    pub far: f64,
+    /// False rejection rate at this threshold.
+    pub frr: f64,
+}
+
+/// Computes FAR/FRR at a single threshold from genuine and impostor
+/// distance samples.
+///
+/// # Panics
+///
+/// Panics if either distribution is empty.
+pub fn error_rates(genuine_fhd: &[f64], impostor_fhd: &[f64], threshold: f64) -> ErrorRates {
+    assert!(!genuine_fhd.is_empty(), "no genuine samples");
+    assert!(!impostor_fhd.is_empty(), "no impostor samples");
+    let frr =
+        genuine_fhd.iter().filter(|&&d| d >= threshold).count() as f64 / genuine_fhd.len() as f64;
+    let far =
+        impostor_fhd.iter().filter(|&&d| d < threshold).count() as f64 / impostor_fhd.len() as f64;
+    ErrorRates {
+        threshold,
+        far,
+        frr,
+    }
+}
+
+/// Sweeps `steps` thresholds over `[0, 0.5]` and returns the whole curve.
+pub fn sweep(genuine_fhd: &[f64], impostor_fhd: &[f64], steps: usize) -> Vec<ErrorRates> {
+    (0..=steps)
+        .map(|i| {
+            let threshold = 0.5 * i as f64 / steps as f64;
+            error_rates(genuine_fhd, impostor_fhd, threshold)
+        })
+        .collect()
+}
+
+/// Equal error rate: the FAR (≈ FRR) at the threshold where the curves
+/// cross, linearly interpolated over the sweep.
+pub fn equal_error_rate(curve: &[ErrorRates]) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut eer = 1.0;
+    for point in curve {
+        let gap = (point.far - point.frr).abs();
+        if gap < best {
+            best = gap;
+            eer = (point.far + point.frr) / 2.0;
+        }
+    }
+    eer
+}
+
+/// Decidability index d' — the separation between genuine and impostor
+/// FHD distributions in pooled-σ units. Larger is better; > 3 means the
+/// distributions barely overlap.
+pub fn decidability(genuine_fhd: &[f64], impostor_fhd: &[f64]) -> f64 {
+    let stats = |v: &[f64]| {
+        let n = v.len() as f64;
+        let mean = v.iter().sum::<f64>() / n;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n.max(1.0);
+        (mean, var)
+    };
+    let (mg, vg) = stats(genuine_fhd);
+    let (mi, vi) = stats(impostor_fhd);
+    (mi - mg).abs() / ((vg + vi) / 2.0).sqrt().max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_separated_distributions() {
+        let genuine = vec![0.01, 0.02, 0.05];
+        let impostor = vec![0.45, 0.5, 0.55];
+        let rates = error_rates(&genuine, &impostor, 0.25);
+        assert_eq!(rates.far, 0.0);
+        assert_eq!(rates.frr, 0.0);
+    }
+
+    #[test]
+    fn threshold_zero_rejects_everyone() {
+        let genuine = vec![0.01, 0.02];
+        let impostor = vec![0.4];
+        let rates = error_rates(&genuine, &impostor, 0.0);
+        assert_eq!(rates.frr, 1.0);
+        assert_eq!(rates.far, 0.0);
+    }
+
+    #[test]
+    fn large_threshold_accepts_everyone() {
+        let genuine = vec![0.01];
+        let impostor = vec![0.4, 0.45];
+        let rates = error_rates(&genuine, &impostor, 0.5);
+        assert_eq!(rates.frr, 0.0);
+        assert_eq!(rates.far, 1.0);
+    }
+
+    #[test]
+    fn sweep_is_monotone() {
+        let genuine = vec![0.02, 0.03, 0.04, 0.1];
+        let impostor = vec![0.3, 0.4, 0.45, 0.5];
+        let curve = sweep(&genuine, &impostor, 50);
+        for pair in curve.windows(2) {
+            assert!(pair[1].far >= pair[0].far, "FAR must be non-decreasing");
+            assert!(pair[1].frr <= pair[0].frr, "FRR must be non-increasing");
+        }
+    }
+
+    #[test]
+    fn eer_of_separated_distributions_is_zero() {
+        let genuine = vec![0.01, 0.02, 0.05];
+        let impostor = vec![0.45, 0.5];
+        let curve = sweep(&genuine, &impostor, 100);
+        assert_eq!(equal_error_rate(&curve), 0.0);
+    }
+
+    #[test]
+    fn eer_of_overlapping_distributions_is_positive() {
+        let genuine = vec![0.1, 0.2, 0.3, 0.4];
+        let impostor = vec![0.2, 0.3, 0.4, 0.5];
+        let curve = sweep(&genuine, &impostor, 100);
+        assert!(equal_error_rate(&curve) > 0.1);
+    }
+
+    #[test]
+    fn decidability_orders_quality() {
+        let genuine_good = vec![0.01, 0.02, 0.03];
+        let genuine_bad = vec![0.2, 0.3, 0.25];
+        let impostor = vec![0.48, 0.5, 0.52];
+        assert!(
+            decidability(&genuine_good, &impostor) > decidability(&genuine_bad, &impostor)
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Minimal radix-2 FFT for the spectral (DFT) statistical test.
+
+/// In-place iterative radix-2 FFT over interleaved (re, im) pairs.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "re/im length mismatch");
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+
+    let mut len = 2;
+    while len <= n {
+        let angle = -2.0 * std::f64::consts::PI / len as f64;
+        let (w_re, w_im) = (angle.cos(), angle.sin());
+        for start in (0..n).step_by(len) {
+            let mut cur_re = 1.0;
+            let mut cur_im = 0.0;
+            for k in 0..len / 2 {
+                let a = start + k;
+                let b = start + k + len / 2;
+                let t_re = re[b] * cur_re - im[b] * cur_im;
+                let t_im = re[b] * cur_im + im[b] * cur_re;
+                re[b] = re[a] - t_re;
+                im[b] = im[a] - t_im;
+                re[a] += t_re;
+                im[a] += t_im;
+                let next_re = cur_re * w_re - cur_im * w_im;
+                cur_im = cur_re * w_im + cur_im * w_re;
+                cur_re = next_re;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Magnitudes of the first `n/2` FFT bins of a real signal (the signal
+/// is truncated or zero-padded to the next power of two below/at its
+/// length).
+pub fn half_spectrum(signal: &[f64]) -> Vec<f64> {
+    let n = signal.len().next_power_of_two() / if signal.len().is_power_of_two() { 1 } else { 2 };
+    let mut re: Vec<f64> = signal[..n].to_vec();
+    let mut im = vec![0.0; n];
+    fft(&mut re, &mut im);
+    (0..n / 2).map(|i| re[i].hypot(im[i])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut re = vec![0.0; 8];
+        let mut im = vec![0.0; 8];
+        re[0] = 1.0;
+        fft(&mut re, &mut im);
+        for i in 0..8 {
+            assert!((re[i] - 1.0).abs() < 1e-12);
+            assert!(im[i].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_its_bin() {
+        let n = 64;
+        let signal: Vec<f64> = (0..n).map(|i| (2.0 * PI * 5.0 * i as f64 / n as f64).cos()).collect();
+        let mags = half_spectrum(&signal);
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 5);
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 32;
+        let signal: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let mut re = signal.clone();
+        let mut im = vec![0.0; n];
+        fft(&mut re, &mut im);
+        let freq_energy: f64 =
+            re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut re = vec![0.0; 6];
+        let mut im = vec![0.0; 6];
+        fft(&mut re, &mut im);
+    }
+}

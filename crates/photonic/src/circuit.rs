@@ -1,0 +1,448 @@
+//! The passive PUF architecture of Fig. 2: a mesh that "separates the
+//! initial light beam in several different paths and scrambles them
+//! before the output. No active devices are present."
+//!
+//! [`ScramblerMesh`] is a layered network of 2×2 directional couplers,
+//! process-random phase shifters and (optionally) microring resonators on
+//! `channels` parallel waveguides. Light enters on channel 0, is fanned
+//! out by the coupler layers, accumulates die-unique relative phases, and
+//! is mixed in time by the rings. Every element's parameters are drawn
+//! from the die's process variation, so the mesh *is* the physical
+//! secret.
+//!
+//! The simulation is sample-synchronous: each call to [`ScramblerMesh::step`]
+//! advances the whole mesh by one bit period.
+
+use crate::complex::Complex64;
+use crate::components::{Coupler, PhaseShifter, Waveguide};
+use crate::environment::Environment;
+use crate::process::DieSampler;
+use crate::ring::Microring;
+
+/// Construction parameters of a scrambler mesh.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeshSpec {
+    /// Number of parallel waveguides (output ports). Must be ≥ 2.
+    pub channels: usize,
+    /// Number of coupler/phase layers.
+    pub depth: usize,
+    /// Fraction of channel-layer sites that carry a microring (0 = pure
+    /// feed-forward interferometer, 1 = ring on every site).
+    pub ring_density: f64,
+    /// Nominal power cross-coupling of the rings.
+    pub ring_kappa2: f64,
+    /// Ring round-trip loss in dB.
+    pub ring_loss_db: f64,
+    /// Inter-layer waveguide length in µm (sets temperature
+    /// sensitivity).
+    pub segment_length_um: f64,
+    /// Waveguide propagation loss in dB/cm.
+    pub waveguide_loss_db_cm: f64,
+}
+
+impl MeshSpec {
+    /// The reference NEUROPULS-like mesh: 8 ports, 6 layers, rings on
+    /// half the sites — a microring-array PUF in the spirit of \[12\].
+    pub fn reference() -> Self {
+        MeshSpec {
+            channels: 8,
+            depth: 8,
+            ring_density: 0.75,
+            ring_kappa2: 0.45,
+            ring_loss_db: 0.3,
+            segment_length_um: 150.0,
+            waveguide_loss_db_cm: 2.0,
+        }
+    }
+
+    /// A shallow mesh without rings — the memory-less ablation used in
+    /// the ML-attack experiment (E6).
+    pub fn shallow_no_rings() -> Self {
+        MeshSpec {
+            channels: 4,
+            depth: 2,
+            ring_density: 0.0,
+            ..Self::reference()
+        }
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels < 2 {
+            return Err(format!("channels must be >= 2, got {}", self.channels));
+        }
+        if self.depth == 0 {
+            return Err("depth must be >= 1".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.ring_density) {
+            return Err(format!("ring_density must be in [0,1], got {}", self.ring_density));
+        }
+        if !(self.ring_kappa2 > 0.0 && self.ring_kappa2 < 1.0) {
+            return Err(format!("ring_kappa2 must be in (0,1), got {}", self.ring_kappa2));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Layer {
+    /// Couplers pair channels (offset alternates per layer for full
+    /// mixing).
+    couplers: Vec<Coupler>,
+    offset: usize,
+    phases: Vec<PhaseShifter>,
+    segments: Vec<Waveguide>,
+    rings: Vec<Option<Microring>>,
+}
+
+/// The passive scrambling mesh (see module docs).
+#[derive(Debug, Clone)]
+pub struct ScramblerMesh {
+    spec: MeshSpec,
+    layers: Vec<Layer>,
+    scratch: Vec<Complex64>,
+}
+
+impl ScramblerMesh {
+    /// Builds the mesh for one die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` fails [`MeshSpec::validate`].
+    pub fn build(spec: MeshSpec, die: &mut DieSampler) -> Self {
+        if let Err(msg) = spec.validate() {
+            panic!("invalid mesh spec: {msg}");
+        }
+        let n = spec.channels;
+        let mut layers = Vec::with_capacity(spec.depth);
+        for layer_idx in 0..spec.depth {
+            let offset = layer_idx % 2;
+            let pairs = (n - offset) / 2;
+            let couplers = (0..pairs).map(|_| Coupler::sampled_50_50(die)).collect();
+            // Layout lengths differ component-to-component (routing is
+            // never perfectly balanced), which is what makes temperature
+            // act *differentially* on the interference pattern instead of
+            // as a cancelling common-mode phase.
+            let phases = (0..n)
+                .map(|_| {
+                    let length = die.uniform(20.0, 40.0);
+                    PhaseShifter::sampled(length, die)
+                })
+                .collect();
+            let segments = (0..n)
+                .map(|_| {
+                    let length = spec.segment_length_um * die.uniform(0.7, 1.3);
+                    Waveguide::sampled(length, spec.waveguide_loss_db_cm, die)
+                })
+                .collect();
+            let rings = (0..n)
+                .map(|_| {
+                    // Deterministic per-site choice from the die stream.
+                    let u = (die.raw_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                    if u < spec.ring_density {
+                        let circumference = die.uniform(40.0, 80.0);
+                        Some(Microring::sampled(
+                            spec.ring_kappa2,
+                            spec.ring_loss_db,
+                            circumference,
+                            die,
+                        ))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            layers.push(Layer {
+                couplers,
+                offset,
+                phases,
+                segments,
+                rings,
+            });
+        }
+        ScramblerMesh {
+            spec,
+            layers,
+            scratch: vec![Complex64::ZERO; n],
+        }
+    }
+
+    /// The construction spec.
+    pub fn spec(&self) -> &MeshSpec {
+        &self.spec
+    }
+
+    /// Number of output ports.
+    pub fn ports(&self) -> usize {
+        self.spec.channels
+    }
+
+    /// Total number of microrings actually instantiated.
+    pub fn ring_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.rings.iter().filter(|r| r.is_some()).count())
+            .sum()
+    }
+
+    /// Clears all resonator memory (start of an interrogation).
+    pub fn reset(&mut self) {
+        for layer in &mut self.layers {
+            for ring in layer.rings.iter_mut().flatten() {
+                ring.reset();
+            }
+        }
+    }
+
+    /// Advances the mesh one sample: the input field enters channel 0,
+    /// every other input port is dark. Returns the field at every output
+    /// port.
+    pub fn step(&mut self, input: Complex64, env: &Environment) -> Vec<Complex64> {
+        let n = self.spec.channels;
+        let mut fields = vec![Complex64::ZERO; n];
+        fields[0] = input;
+
+        for layer in &mut self.layers {
+            // Coupler sub-layer.
+            for (pair_idx, coupler) in layer.couplers.iter().enumerate() {
+                let a = layer.offset + 2 * pair_idx;
+                let b = a + 1;
+                let (oa, ob) = coupler.transfer(fields[a], fields[b]);
+                fields[a] = oa;
+                fields[b] = ob;
+            }
+            // Phase + segment + optional ring per channel.
+            for ch in 0..n {
+                let mut f = layer.phases[ch].transfer(fields[ch], env);
+                f = layer.segments[ch].transfer(f, env);
+                if let Some(ring) = layer.rings[ch].as_mut() {
+                    f = ring.step(f, env);
+                }
+                self.scratch[ch] = f;
+            }
+            fields.copy_from_slice(&self.scratch);
+        }
+        fields
+    }
+
+    /// Propagates a full modulated waveform, returning per-port output
+    /// waveforms (`ports × samples`). The mesh is reset first, and
+    /// `flush` extra dark samples are appended so resonator tails are
+    /// captured.
+    pub fn propagate(
+        &mut self,
+        waveform: &[Complex64],
+        flush: usize,
+        env: &Environment,
+    ) -> Vec<Vec<Complex64>> {
+        self.reset();
+        let total = waveform.len() + flush;
+        let mut outputs = vec![Vec::with_capacity(total); self.spec.channels];
+        for idx in 0..total {
+            let sample = waveform.get(idx).copied().unwrap_or(Complex64::ZERO);
+            let fields = self.step(sample, env);
+            for (port, field) in fields.into_iter().enumerate() {
+                outputs[port].push(field);
+            }
+        }
+        outputs
+    }
+
+    /// Clones the mesh with every ring detuned to a laser wavelength
+    /// offset of `delta_lambda_nm` (see [`crate::spectrum`]); each
+    /// ring's phase shift scales with its own circumference.
+    pub fn clone_detuned(&self, delta_lambda_nm: f64) -> Self {
+        let mut clone = self.clone();
+        for layer in &mut clone.layers {
+            for ring in layer.rings.iter_mut().flatten() {
+                ring.phi +=
+                    crate::spectrum::detuning_phase(ring.circumference_um, delta_lambda_nm);
+            }
+        }
+        clone
+    }
+
+    /// Ages the mesh by `years`: every phase-carrying element picks up
+    /// a random-walk drift with σ = `sigma_rad_per_sqrt_year`·√years
+    /// (oxide charge trapping and slow stress relaxation — §V asks the
+    /// simulator to cover "the effects of aging"). Couplers and losses
+    /// age much more slowly and are left untouched.
+    pub fn apply_aging<R: rand::Rng>(
+        &mut self,
+        years: f64,
+        sigma_rad_per_sqrt_year: f64,
+        rng: &mut R,
+    ) {
+        use crate::laser::gaussian;
+        let sigma = sigma_rad_per_sqrt_year * years.max(0.0).sqrt();
+        for layer in &mut self.layers {
+            for ps in &mut layer.phases {
+                ps.phase += sigma * gaussian(rng);
+            }
+            for wg in &mut layer.segments {
+                wg.phase += sigma * gaussian(rng);
+            }
+            for ring in layer.rings.iter_mut().flatten() {
+                ring.phi += sigma * gaussian(rng);
+            }
+        }
+    }
+
+    /// Per-port total output energy for a waveform (convenience for
+    /// tests and enrollment).
+    pub fn port_energies(
+        &mut self,
+        waveform: &[Complex64],
+        flush: usize,
+        env: &Environment,
+    ) -> Vec<f64> {
+        self.propagate(waveform, flush, env)
+            .into_iter()
+            .map(|w| w.iter().map(|s| s.norm_sqr()).sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{DieId, ProcessVariation};
+
+    fn mesh(die_id: u64) -> ScramblerMesh {
+        let mut die = DieSampler::new(DieId(die_id), ProcessVariation::typical_soi());
+        ScramblerMesh::build(MeshSpec::reference(), &mut die)
+    }
+
+    fn impulse() -> Vec<Complex64> {
+        let mut w = vec![Complex64::ZERO; 16];
+        w[0] = Complex64::ONE;
+        w
+    }
+
+    #[test]
+    fn mesh_is_passive() {
+        let mut m = mesh(1);
+        let energies = m.port_energies(&impulse(), 64, &Environment::nominal());
+        let total: f64 = energies.iter().sum();
+        assert!(total <= 1.0 + 1e-9, "output energy {total} exceeds input");
+        assert!(total > 0.3, "output energy {total} suspiciously low");
+    }
+
+    #[test]
+    fn light_reaches_every_port() {
+        let mut m = mesh(2);
+        let energies = m.port_energies(&impulse(), 64, &Environment::nominal());
+        for (port, e) in energies.iter().enumerate() {
+            assert!(*e > 1e-6, "port {port} is dark ({e})");
+        }
+    }
+
+    #[test]
+    fn same_die_is_reproducible() {
+        let mut a = mesh(3);
+        let mut b = mesh(3);
+        let ea = a.port_energies(&impulse(), 32, &Environment::nominal());
+        let eb = b.port_energies(&impulse(), 32, &Environment::nominal());
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn different_dies_scramble_differently() {
+        let mut a = mesh(4);
+        let mut b = mesh(5);
+        let ea = a.port_energies(&impulse(), 32, &Environment::nominal());
+        let eb = b.port_energies(&impulse(), 32, &Environment::nominal());
+        let diff: f64 = ea
+            .iter()
+            .zip(&eb)
+            .map(|(x, y)| (x - y).abs())
+            .sum::<f64>();
+        assert!(diff > 1e-3, "dies too similar: {diff}");
+    }
+
+    #[test]
+    fn rings_create_temporal_memory() {
+        // Two waveforms that agree on the *last* bit but differ earlier
+        // must give different output tails — past bits interact with
+        // present ones (§II-A).
+        let mut m = mesh(6);
+        let env = Environment::nominal();
+        let w1: Vec<Complex64> = [1.0, 0.0, 1.0, 1.0]
+            .iter()
+            .map(|&v| Complex64::new(v, 0.0))
+            .collect();
+        let w2: Vec<Complex64> = [0.0, 1.0, 0.0, 1.0]
+            .iter()
+            .map(|&v| Complex64::new(v, 0.0))
+            .collect();
+        let o1 = m.propagate(&w1, 4, &env);
+        let o2 = m.propagate(&w2, 4, &env);
+        // Compare the final sample (bit 3 plus tail) on port 0.
+        let last1 = o1[0].last().unwrap().norm_sqr();
+        let last2 = o2[0].last().unwrap().norm_sqr();
+        assert!(
+            (last1 - last2).abs() > 1e-12,
+            "mesh output shows no memory of earlier bits"
+        );
+    }
+
+    #[test]
+    fn no_ring_mesh_has_no_memory_tail() {
+        let mut die = DieSampler::new(DieId(7), ProcessVariation::typical_soi());
+        let mut m = ScramblerMesh::build(MeshSpec::shallow_no_rings(), &mut die);
+        assert_eq!(m.ring_count(), 0);
+        let outputs = m.propagate(&impulse(), 8, &Environment::nominal());
+        // After the impulse has passed, all ports must be dark.
+        for port in &outputs {
+            for sample in &port[1..] {
+                assert!(sample.norm_sqr() < 1e-20, "feed-forward mesh leaked energy in time");
+            }
+        }
+    }
+
+    #[test]
+    fn temperature_changes_the_output_pattern() {
+        let mut m = mesh(8);
+        let cold = m.port_energies(&impulse(), 32, &Environment::at_temperature(25.0));
+        let hot = m.port_energies(&impulse(), 32, &Environment::at_temperature(45.0));
+        let diff: f64 = cold.iter().zip(&hot).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-6, "temperature had no effect");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid mesh spec")]
+    fn build_rejects_invalid_spec() {
+        let mut die = DieSampler::new(DieId(9), ProcessVariation::typical_soi());
+        let spec = MeshSpec {
+            channels: 1,
+            ..MeshSpec::reference()
+        };
+        let _ = ScramblerMesh::build(spec, &mut die);
+    }
+
+    #[test]
+    fn ring_density_controls_ring_count() {
+        let mut die_a = DieSampler::new(DieId(10), ProcessVariation::typical_soi());
+        let dense = ScramblerMesh::build(
+            MeshSpec {
+                ring_density: 1.0,
+                ..MeshSpec::reference()
+            },
+            &mut die_a,
+        );
+        assert_eq!(dense.ring_count(), 8 * 8);
+        let mut die_b = DieSampler::new(DieId(10), ProcessVariation::typical_soi());
+        let sparse = ScramblerMesh::build(
+            MeshSpec {
+                ring_density: 0.0,
+                ..MeshSpec::reference()
+            },
+            &mut die_b,
+        );
+        assert_eq!(sparse.ring_count(), 0);
+    }
+}

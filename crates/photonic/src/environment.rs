@@ -1,0 +1,150 @@
+//! Operating environment: temperature, laser power, noise.
+//!
+//! §II-B and §V of the paper require the simulator to model
+//! "environmental factors, including temperature, voltage, and variations
+//! in the manufacturing process … noise and other sources of variability".
+//! Temperature acts on silicon photonics through the thermo-optic effect
+//! (dn/dT ≈ 1.8·10⁻⁴ K⁻¹ — large for silicon), shifting every phase and
+//! every ring resonance; laser power scales the launched field and the
+//! detected photocurrent.
+
+/// Ambient/operating conditions for one evaluation of the photonic
+/// circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Environment {
+    /// Die temperature in °C. Nominal 25 °C.
+    pub temperature_c: f64,
+    /// Laser output power in mW at the chip facet. Nominal 1 mW.
+    pub laser_power_mw: f64,
+    /// Laser relative intensity noise (RIN) expressed as the standard
+    /// deviation of the per-sample relative power fluctuation.
+    pub rin: f64,
+    /// Electronics supply-voltage deviation from nominal (fractional);
+    /// scales TIA gain slightly.
+    pub supply_deviation: f64,
+}
+
+impl Environment {
+    /// Nominal laboratory conditions (25 °C, 1 mW, quiet laser).
+    pub fn nominal() -> Self {
+        Environment {
+            temperature_c: 25.0,
+            laser_power_mw: 1.0,
+            rin: 1e-3,
+            supply_deviation: 0.0,
+        }
+    }
+
+    /// Nominal conditions at a given temperature.
+    pub fn at_temperature(temperature_c: f64) -> Self {
+        Environment {
+            temperature_c,
+            ..Self::nominal()
+        }
+    }
+
+    /// Nominal conditions with laser power scaled by `factor` (used by the
+    /// laser-power attack experiments of §IV).
+    pub fn with_laser_scale(self, factor: f64) -> Self {
+        Environment {
+            laser_power_mw: self.laser_power_mw * factor,
+            ..self
+        }
+    }
+
+    /// Temperature delta from the 25 °C reference, in kelvin.
+    pub fn delta_t(&self) -> f64 {
+        self.temperature_c - 25.0
+    }
+
+    /// Thermo-optic phase shift for a waveguide of effective length
+    /// `length_um` at this temperature (radians, relative to 25 °C).
+    ///
+    /// Uses dn/dT = 1.8·10⁻⁴ K⁻¹ and λ = 1550 nm:
+    /// Δφ = 2π · dn/dT · ΔT · L / λ.
+    pub fn thermo_optic_phase(&self, length_um: f64) -> f64 {
+        const DN_DT: f64 = 1.8e-4; // per kelvin
+        const LAMBDA_UM: f64 = 1.55;
+        2.0 * std::f64::consts::PI * DN_DT * self.delta_t() * length_um / LAMBDA_UM
+    }
+}
+
+impl Default for Environment {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+/// On-chip photonic temperature sensor (§II-B: "introducing a photonic
+/// sensor for temperature measurement and considering this additional
+/// parameter when evaluating the genuinity of the responses").
+///
+/// Modeled as a reference ring whose resonance shift is read with a small
+/// Gaussian measurement error.
+#[derive(Debug, Clone, Copy)]
+pub struct TemperatureSensor {
+    /// 1-σ measurement error in kelvin.
+    pub accuracy_k: f64,
+}
+
+impl TemperatureSensor {
+    /// A realistic integrated sensor (±0.1 K).
+    pub fn new() -> Self {
+        TemperatureSensor { accuracy_k: 0.1 }
+    }
+
+    /// Reads the environment temperature with sensor noise drawn from the
+    /// supplied standard-Gaussian sample.
+    pub fn read(&self, env: &Environment, gaussian_noise: f64) -> f64 {
+        env.temperature_c + gaussian_noise * self.accuracy_k
+    }
+}
+
+impl Default for TemperatureSensor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_has_reference_temperature() {
+        let env = Environment::nominal();
+        assert_eq!(env.delta_t(), 0.0);
+        assert_eq!(env.thermo_optic_phase(100.0), 0.0);
+    }
+
+    #[test]
+    fn thermo_optic_shift_scales_linearly() {
+        let hot = Environment::at_temperature(35.0);
+        let hotter = Environment::at_temperature(45.0);
+        let p1 = hot.thermo_optic_phase(50.0);
+        let p2 = hotter.thermo_optic_phase(50.0);
+        assert!((p2 - 2.0 * p1).abs() < 1e-12);
+        assert!(p1 > 0.0);
+    }
+
+    #[test]
+    fn thermo_optic_magnitude_is_realistic() {
+        // 10 K over 100 µm at 1550 nm → ~0.73 rad.
+        let phase = Environment::at_temperature(35.0).thermo_optic_phase(100.0);
+        assert!((phase - 0.7297).abs() < 0.01, "phase {phase}");
+    }
+
+    #[test]
+    fn laser_scaling() {
+        let env = Environment::nominal().with_laser_scale(1.5);
+        assert!((env.laser_power_mw - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sensor_reads_close_to_truth() {
+        let env = Environment::at_temperature(60.0);
+        let sensor = TemperatureSensor::new();
+        let reading = sensor.read(&env, 1.0); // one sigma of error
+        assert!((reading - 60.0).abs() <= 0.1 + 1e-12);
+    }
+}

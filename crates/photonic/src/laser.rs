@@ -1,0 +1,104 @@
+//! Telecom laser source (Fig. 2: "telecom laser source").
+//!
+//! Emits a CW carrier at 1550 nm whose amplitude follows the environment's
+//! laser power setting, with relative intensity noise (RIN) and slow phase
+//! drift applied per interrogation.
+
+use crate::complex::Complex64;
+use crate::environment::Environment;
+use rand::Rng;
+
+/// A CW telecom laser.
+#[derive(Debug, Clone, Copy)]
+pub struct Laser {
+    /// Emission wavelength in nm (informational; the simulation is
+    /// single-wavelength).
+    pub wavelength_nm: f64,
+}
+
+impl Laser {
+    /// A standard C-band laser at 1550 nm.
+    pub fn new() -> Self {
+        Laser {
+            wavelength_nm: 1550.0,
+        }
+    }
+
+    /// Carrier amplitude for the environment's power setting. Power in mW
+    /// maps to |E|² in normalized units (1 mW → |E|² = 1).
+    pub fn carrier(&self, env: &Environment) -> Complex64 {
+        Complex64::new(env.laser_power_mw.max(0.0).sqrt(), 0.0)
+    }
+
+    /// Carrier with per-interrogation RIN and random optical phase drawn
+    /// from `rng` (the optical phase is not locked between
+    /// interrogations; only *relative* phases inside the PIC matter).
+    pub fn noisy_carrier<R: Rng>(&self, env: &Environment, rng: &mut R) -> Complex64 {
+        let rin: f64 = 1.0 + env.rin * gaussian(rng);
+        let power = (env.laser_power_mw * rin.max(0.0)).max(0.0);
+        let phase = rng.gen::<f64>() * std::f64::consts::TAU;
+        Complex64::from_polar(power.sqrt(), phase)
+    }
+}
+
+impl Default for Laser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Standard Gaussian via Box–Muller, usable with any [`Rng`].
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn carrier_power_tracks_environment() {
+        let laser = Laser::new();
+        let env = Environment::nominal().with_laser_scale(4.0);
+        assert!((laser.carrier(&env).norm_sqr() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_power_is_dark() {
+        let laser = Laser::new();
+        let env = Environment::nominal().with_laser_scale(0.0);
+        assert_eq!(laser.carrier(&env).norm_sqr(), 0.0);
+    }
+
+    #[test]
+    fn noisy_carrier_fluctuates_around_nominal() {
+        let laser = Laser::new();
+        let env = Environment::nominal();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 10_000;
+        let mean_power: f64 = (0..n)
+            .map(|_| laser.noisy_carrier(&env, &mut rng).norm_sqr())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean_power - 1.0).abs() < 0.01, "mean power {mean_power}");
+    }
+
+    #[test]
+    fn gaussian_helper_has_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05);
+        assert!((var - 1.0).abs() < 0.05);
+    }
+}

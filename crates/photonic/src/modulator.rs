@@ -1,0 +1,167 @@
+//! Mach–Zehnder optical modulator (OM in Fig. 2 of the paper).
+//!
+//! The ASIC drives the modulator with the challenge bit string at
+//! 25 Gbit/s; the modulator imprints it onto the laser carrier as
+//! amplitude samples which then enter the passive PUF architecture.
+//!
+//! Modeled as a push–pull MZI: bit 1 → constructive arm bias
+//! (transmission near 1), bit 0 → near the null, with a finite extinction
+//! ratio and process-random arm imbalance.
+
+use crate::complex::Complex64;
+use crate::environment::Environment;
+use crate::process::DieSampler;
+
+/// Bit rate of the modulator demonstrated in \[12\].
+pub const NOMINAL_BIT_RATE_GBPS: f64 = 25.0;
+
+/// How challenge bits are imprinted on the carrier.
+///
+/// §II-A: photonics offers "a much larger degree of freedom (e.g.,
+/// phase, polarization, amplitude)". Phase modulation (BPSK) is the
+/// security-preferred format: the instantaneous intensity carries *no*
+/// challenge information, so after square-law detection every response
+/// bit is a die-random quadratic form over challenge-bit *products* —
+/// the structure that defeats linear modeling attacks (experiment E6
+/// compares both formats).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModulationFormat {
+    /// On-off keying with the given extinction ratio in dB.
+    Ook {
+        /// Power ratio between the 1 and 0 levels, dB.
+        extinction_db: f64,
+    },
+    /// Binary phase-shift keying: bit 1 → +E, bit 0 → −E.
+    Bpsk,
+}
+
+/// A push–pull Mach–Zehnder modulator.
+#[derive(Debug, Clone)]
+pub struct MachZehnderModulator {
+    /// Modulation format.
+    pub format: ModulationFormat,
+    /// Process-random arm phase imbalance (radians).
+    pub arm_imbalance: f64,
+    /// Insertion amplitude loss.
+    pub insertion: f64,
+    /// Bit rate in Gbit/s (one output sample per bit).
+    pub bit_rate_gbps: f64,
+}
+
+impl MachZehnderModulator {
+    /// Builds a 25 Gb/s BPSK modulator with the die's process
+    /// perturbations.
+    pub fn sampled(die: &mut DieSampler) -> Self {
+        Self::sampled_with_format(ModulationFormat::Bpsk, die)
+    }
+
+    /// Builds a modulator with an explicit format.
+    pub fn sampled_with_format(format: ModulationFormat, die: &mut DieSampler) -> Self {
+        MachZehnderModulator {
+            format,
+            arm_imbalance: die.coupling_offset(),
+            insertion: die.loss_factor(0.89), // ~1 dB insertion loss
+            bit_rate_gbps: NOMINAL_BIT_RATE_GBPS,
+        }
+    }
+
+    /// Bit period in nanoseconds.
+    pub fn bit_period_ns(&self) -> f64 {
+        1.0 / self.bit_rate_gbps
+    }
+
+    /// Duration of an `n`-bit challenge in nanoseconds. §IV notes the
+    /// response exists for "below 100 ns" — a 64-bit challenge at
+    /// 25 Gb/s occupies 2.56 ns.
+    pub fn burst_duration_ns(&self, bits: usize) -> f64 {
+        bits as f64 * self.bit_period_ns()
+    }
+
+    /// Modulates a challenge bit string onto a CW carrier of amplitude
+    /// `carrier`, producing one complex field sample per bit.
+    pub fn modulate(&self, carrier: Complex64, bits: &[u8], env: &Environment) -> Vec<Complex64> {
+        let imbalance = Complex64::from_polar(1.0, self.arm_imbalance + env.delta_t() * 1e-4);
+        bits.iter()
+            .map(|&bit| {
+                let symbol = match self.format {
+                    ModulationFormat::Ook { extinction_db } => {
+                        let floor = 10f64.powf(-extinction_db / 20.0);
+                        if bit & 1 == 1 { 1.0 } else { floor }
+                    }
+                    ModulationFormat::Bpsk => {
+                        if bit & 1 == 1 { 1.0 } else { -1.0 }
+                    }
+                };
+                carrier.scale(symbol * self.insertion) * imbalance
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{DieId, ProcessVariation};
+
+    fn modulator() -> MachZehnderModulator {
+        let mut die = DieSampler::new(DieId(21), ProcessVariation::typical_soi());
+        MachZehnderModulator::sampled(&mut die)
+    }
+
+    fn ook_modulator() -> MachZehnderModulator {
+        let mut die = DieSampler::new(DieId(21), ProcessVariation::typical_soi());
+        MachZehnderModulator::sampled_with_format(
+            ModulationFormat::Ook { extinction_db: 20.0 },
+            &mut die,
+        )
+    }
+
+    #[test]
+    fn ook_ones_carry_more_power_than_zeros() {
+        let m = ook_modulator();
+        let out = m.modulate(Complex64::ONE, &[1, 0, 1, 0], &Environment::nominal());
+        assert!(out[0].norm_sqr() > 10.0 * out[1].norm_sqr());
+        assert!((out[0].norm_sqr() - out[2].norm_sqr()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ook_extinction_ratio_is_respected() {
+        let m = ook_modulator();
+        let out = m.modulate(Complex64::ONE, &[1, 0], &Environment::nominal());
+        let er_db = 10.0 * (out[0].norm_sqr() / out[1].norm_sqr()).log10();
+        assert!((er_db - 20.0).abs() < 0.1, "extinction {er_db} dB");
+    }
+
+    #[test]
+    fn bpsk_has_constant_envelope_and_antipodal_phase() {
+        let m = modulator();
+        let out = m.modulate(Complex64::ONE, &[1, 0], &Environment::nominal());
+        assert!((out[0].norm_sqr() - out[1].norm_sqr()).abs() < 1e-15);
+        let relative = out[0] / out[1];
+        assert!((relative.re + 1.0).abs() < 1e-12, "symbols must be antipodal");
+    }
+
+    #[test]
+    fn burst_fits_in_100ns_window() {
+        let m = modulator();
+        // Even a 2048-bit challenge stays within the paper's <100 ns
+        // response window at 25 Gb/s.
+        assert!(m.burst_duration_ns(2048) < 100.0);
+        assert!((m.burst_duration_ns(64) - 2.56).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_length_matches_challenge() {
+        let m = modulator();
+        let out = m.modulate(Complex64::ONE, &[1; 77], &Environment::nominal());
+        assert_eq!(out.len(), 77);
+    }
+
+    #[test]
+    fn modulator_is_passive() {
+        let m = modulator();
+        for sample in m.modulate(Complex64::ONE, &[1, 1, 0, 1], &Environment::nominal()) {
+            assert!(sample.norm_sqr() <= 1.0);
+        }
+    }
+}

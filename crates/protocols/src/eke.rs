@@ -1,0 +1,331 @@
+//! EKE-based authentication and key agreement — §IV.
+//!
+//! "One approach is to see the CRP as a low-entropy shared secret. With
+//! this, we can consider the use of the well-established and secure EKE
+//! protocol to achieve both mutual authentication and key exchange …
+//! This approach protects against most possible attacks to the CRP while
+//! providing perfect forward security to the key established for data
+//! encryption."
+//!
+//! Bellovin–Merritt EKE over X25519: each side encrypts its *ephemeral*
+//! public key under a key derived from the shared CRP. An eavesdropper
+//! who later learns the CRP decrypts only public keys — the session key
+//! needs an ephemeral private key, hence forward secrecy. An offline
+//! dictionary attacker gains nothing because every candidate CRP decrypts
+//! the transcript to *some* plausible 32-byte public key (no redundancy
+//! to test against).
+
+use crate::error::ProtocolError;
+use neuropuls_crypto::chacha20::ChaCha20;
+use neuropuls_crypto::ct::ct_eq;
+use neuropuls_crypto::hkdf;
+use neuropuls_crypto::hmac::HmacSha256;
+use neuropuls_crypto::prng::CsPrng;
+use neuropuls_crypto::x25519;
+use neuropuls_puf::bits::Response;
+use rand::RngCore;
+
+/// Session keys derived from a successful exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionKeys {
+    /// Key for encrypting application data.
+    pub encryption: [u8; 32],
+    /// Key for authenticating application data.
+    pub mac: [u8; 32],
+}
+
+/// Message 1: initiator → responder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EkeHello {
+    /// Ephemeral public key encrypted under the CRP-derived key.
+    pub encrypted_public: [u8; 32],
+    /// Initiator nonce.
+    pub nonce: [u8; 16],
+}
+
+/// Message 2: responder → initiator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EkeReply {
+    /// Responder's encrypted ephemeral public key.
+    pub encrypted_public: [u8; 32],
+    /// Responder nonce.
+    pub nonce: [u8; 16],
+    /// Key-confirmation MAC over both nonces.
+    pub confirm: [u8; 32],
+}
+
+/// Message 3: initiator → responder (final confirmation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EkeConfirm {
+    /// Key-confirmation MAC over both nonces, reversed order.
+    pub confirm: [u8; 32],
+}
+
+fn password_key(crp_response: &Response) -> [u8; 32] {
+    let mut key = [0u8; 32];
+    hkdf::derive(
+        b"neuropuls/eke",
+        &crp_response.to_packed(),
+        b"password-key",
+        &mut key,
+    )
+    .expect("32-byte HKDF output is valid");
+    key
+}
+
+fn mask_public(password_key: &[u8; 32], public: &[u8; 32], direction: u8) -> [u8; 32] {
+    let mut nonce = [0u8; 12];
+    nonce[0] = direction;
+    let mut out = *public;
+    ChaCha20::new(password_key, &nonce).apply(&mut out);
+    out
+}
+
+fn derive_session(shared: &[u8; 32], nonce_a: &[u8; 16], nonce_b: &[u8; 16]) -> SessionKeys {
+    let mut salt = Vec::with_capacity(32);
+    salt.extend_from_slice(nonce_a);
+    salt.extend_from_slice(nonce_b);
+    let mut encryption = [0u8; 32];
+    let mut mac = [0u8; 32];
+    hkdf::derive(&salt, shared, b"eke/session-enc", &mut encryption)
+        .expect("32-byte HKDF output is valid");
+    hkdf::derive(&salt, shared, b"eke/session-mac", &mut mac)
+        .expect("32-byte HKDF output is valid");
+    SessionKeys { encryption, mac }
+}
+
+/// One side of the EKE exchange.
+#[derive(Debug)]
+pub struct EkeParty {
+    password: [u8; 32],
+    rng: CsPrng,
+    ephemeral_private: Option<[u8; 32]>,
+    nonce: [u8; 16],
+    peer_nonce: [u8; 16],
+    session: Option<SessionKeys>,
+}
+
+impl EkeParty {
+    /// Creates a party sharing `crp_response` as the low-entropy secret.
+    pub fn new(crp_response: &Response, rng_seed: &[u8]) -> Self {
+        EkeParty {
+            password: password_key(crp_response),
+            rng: CsPrng::from_seed_bytes(rng_seed),
+            ephemeral_private: None,
+            nonce: [0u8; 16],
+            peer_nonce: [0u8; 16],
+            session: None,
+        }
+    }
+
+    /// The established session keys (after a successful exchange).
+    pub fn session(&self) -> Option<&SessionKeys> {
+        self.session.as_ref()
+    }
+
+    /// Initiator step 1.
+    pub fn hello(&mut self) -> EkeHello {
+        let mut private = [0u8; 32];
+        self.rng.fill_bytes(&mut private);
+        let public = x25519::public_key(&private);
+        self.ephemeral_private = Some(private);
+        self.rng.fill_bytes(&mut self.nonce);
+        EkeHello {
+            encrypted_public: mask_public(&self.password, &public, 0),
+            nonce: self.nonce,
+        }
+    }
+
+    /// Responder step: consumes the hello, produces the reply, derives
+    /// the session.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a low-order point (wrong password produces a random
+    /// point, which is fine; all-zero shared secrets are rejected).
+    pub fn reply(&mut self, hello: &EkeHello) -> Result<EkeReply, ProtocolError> {
+        let peer_public = mask_public(&self.password, &hello.encrypted_public, 0);
+        self.peer_nonce = hello.nonce;
+        let mut private = [0u8; 32];
+        self.rng.fill_bytes(&mut private);
+        let public = x25519::public_key(&private);
+        self.rng.fill_bytes(&mut self.nonce);
+        let shared = x25519::shared_secret(&private, &peer_public)?;
+        let session = derive_session(&shared, &hello.nonce, &self.nonce);
+        let confirm = HmacSha256::mac_parts(&session.mac, &[&hello.nonce, &self.nonce, b"B->A"]);
+        self.session = Some(session);
+        Ok(EkeReply {
+            encrypted_public: mask_public(&self.password, &public, 1),
+            nonce: self.nonce,
+            confirm,
+        })
+    }
+
+    /// Initiator step 2: consumes the reply, verifies key confirmation,
+    /// produces the final confirmation.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::AuthenticationFailed`] when the peer does not
+    /// hold the same CRP.
+    pub fn finish(&mut self, reply: &EkeReply) -> Result<EkeConfirm, ProtocolError> {
+        let private = self
+            .ephemeral_private
+            .take()
+            .ok_or_else(|| ProtocolError::OutOfOrder("finish before hello".into()))?;
+        let peer_public = mask_public(&self.password, &reply.encrypted_public, 1);
+        let shared = x25519::shared_secret(&private, &peer_public)?;
+        let session = derive_session(&shared, &self.nonce, &reply.nonce);
+        let expected = HmacSha256::mac_parts(&session.mac, &[&self.nonce, &reply.nonce, b"B->A"]);
+        if !ct_eq(&expected, &reply.confirm) {
+            return Err(ProtocolError::AuthenticationFailed(
+                "responder key confirmation failed (wrong CRP?)".into(),
+            ));
+        }
+        let confirm = HmacSha256::mac_parts(&session.mac, &[&reply.nonce, &self.nonce, b"A->B"]);
+        self.session = Some(session);
+        Ok(EkeConfirm { confirm })
+    }
+
+    /// Responder final step: verifies the initiator's confirmation.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::AuthenticationFailed`] on a bad confirmation.
+    pub fn accept(&mut self, confirm: &EkeConfirm) -> Result<(), ProtocolError> {
+        let session = self
+            .session
+            .as_ref()
+            .ok_or_else(|| ProtocolError::OutOfOrder("accept before reply".into()))?;
+        // The initiator MACs (responder_nonce, initiator_nonce, "A->B").
+        let expected = HmacSha256::mac_parts(
+            &session.mac,
+            &[&self.nonce, &self.peer_nonce, b"A->B"],
+        );
+        if !ct_eq(&expected, &confirm.confirm) {
+            return Err(ProtocolError::AuthenticationFailed(
+                "initiator key confirmation failed".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Runs a complete EKE exchange between two parties, returning the pair
+/// of session key sets (which must match).
+///
+/// # Errors
+///
+/// Propagates the first protocol failure.
+pub fn run_exchange(
+    initiator: &mut EkeParty,
+    responder: &mut EkeParty,
+) -> Result<(SessionKeys, SessionKeys), ProtocolError> {
+    let hello = initiator.hello();
+    let reply = responder.reply(&hello)?;
+    let confirm = initiator.finish(&reply)?;
+    responder.accept(&confirm)?;
+    Ok((
+        initiator.session().expect("initiator finished").clone(),
+        responder.session().expect("responder finished").clone(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crp(seed: u64) -> Response {
+        Response::from_u64(seed, 63)
+    }
+
+    #[test]
+    fn exchange_agrees_on_keys() {
+        let mut a = EkeParty::new(&crp(1), b"rng-a");
+        let mut b = EkeParty::new(&crp(1), b"rng-b");
+        let (ka, kb) = run_exchange(&mut a, &mut b).unwrap();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn wrong_crp_fails_authentication() {
+        let mut a = EkeParty::new(&crp(1), b"rng-a");
+        let mut b = EkeParty::new(&crp(2), b"rng-b");
+        assert!(matches!(
+            run_exchange(&mut a, &mut b),
+            Err(ProtocolError::AuthenticationFailed(_))
+        ));
+    }
+
+    #[test]
+    fn sessions_have_forward_secrecy_structure() {
+        // Two exchanges under the SAME CRP must yield different session
+        // keys — compromising the CRP later reveals neither.
+        let mut a1 = EkeParty::new(&crp(3), b"rng-a1");
+        let mut b1 = EkeParty::new(&crp(3), b"rng-b1");
+        let (k1, _) = run_exchange(&mut a1, &mut b1).unwrap();
+        let mut a2 = EkeParty::new(&crp(3), b"rng-a2");
+        let mut b2 = EkeParty::new(&crp(3), b"rng-b2");
+        let (k2, _) = run_exchange(&mut a2, &mut b2).unwrap();
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn transcript_reveals_only_masked_points() {
+        // Offline dictionary resistance (structural): decrypting the
+        // hello under ANY candidate password yields a plausible 32-byte
+        // string; there is no redundancy to test a guess against.
+        let mut a = EkeParty::new(&crp(4), b"rng-a");
+        let hello = a.hello();
+        let right = mask_public(&password_key(&crp(4)), &hello.encrypted_public, 0);
+        let wrong = mask_public(&password_key(&crp(5)), &hello.encrypted_public, 0);
+        assert_ne!(right, wrong);
+        assert_eq!(right.len(), 32);
+        assert_eq!(wrong.len(), 32);
+    }
+
+    #[test]
+    fn out_of_order_messages_rejected() {
+        let mut a = EkeParty::new(&crp(6), b"rng-a");
+        let reply = EkeReply {
+            encrypted_public: [1; 32],
+            nonce: [2; 16],
+            confirm: [3; 32],
+        };
+        assert!(matches!(
+            a.finish(&reply),
+            Err(ProtocolError::OutOfOrder(_))
+        ));
+        let mut b = EkeParty::new(&crp(6), b"rng-b");
+        assert!(matches!(
+            b.accept(&EkeConfirm { confirm: [0; 32] }),
+            Err(ProtocolError::OutOfOrder(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_reply_detected() {
+        let mut a = EkeParty::new(&crp(7), b"rng-a");
+        let mut b = EkeParty::new(&crp(7), b"rng-b");
+        let hello = a.hello();
+        let mut reply = b.reply(&hello).unwrap();
+        reply.encrypted_public[0] ^= 1;
+        assert!(matches!(
+            a.finish(&reply),
+            Err(ProtocolError::AuthenticationFailed(_))
+        ));
+    }
+
+    #[test]
+    fn session_keys_usable_for_encryption() {
+        let mut a = EkeParty::new(&crp(8), b"rng-a");
+        let mut b = EkeParty::new(&crp(8), b"rng-b");
+        let (ka, kb) = run_exchange(&mut a, &mut b).unwrap();
+        let nonce = [0u8; 12];
+        let ct = ChaCha20::encrypt(&ka.encryption, &nonce, b"ciphered tensor");
+        assert_eq!(
+            ChaCha20::decrypt(&kb.encryption, &nonce, &ct),
+            b"ciphered tensor"
+        );
+    }
+}

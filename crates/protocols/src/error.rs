@@ -1,0 +1,110 @@
+//! Protocol-level error type.
+
+use neuropuls_crypto::CryptoError;
+use neuropuls_puf::PufError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the security services.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// A message failed authentication — the peer is not who it claims,
+    /// or the message was tampered with in transit.
+    AuthenticationFailed(String),
+    /// A nonce or session identifier was reused (replay).
+    Replay,
+    /// The protocol state machine received a message out of order.
+    OutOfOrder(String),
+    /// The attestation digest disagreed with the verifier's expectation.
+    AttestationDigestMismatch,
+    /// The attestation exceeded its temporal constraint.
+    AttestationTimeout {
+        /// Measured duration (ns).
+        measured_ns: f64,
+        /// Allowed duration (ns).
+        allowed_ns: f64,
+    },
+    /// A ciphertext failed to decrypt or parse.
+    MalformedCiphertext(String),
+    /// An underlying PUF evaluation failed.
+    Puf(PufError),
+    /// An underlying cryptographic operation failed.
+    Crypto(CryptoError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::AuthenticationFailed(what) => {
+                write!(f, "authentication failed: {what}")
+            }
+            ProtocolError::Replay => write!(f, "replayed nonce or session"),
+            ProtocolError::OutOfOrder(what) => write!(f, "out-of-order message: {what}"),
+            ProtocolError::AttestationDigestMismatch => {
+                write!(f, "attestation digest mismatch")
+            }
+            ProtocolError::AttestationTimeout {
+                measured_ns,
+                allowed_ns,
+            } => write!(
+                f,
+                "attestation exceeded temporal constraint: {measured_ns} ns > {allowed_ns} ns"
+            ),
+            ProtocolError::MalformedCiphertext(what) => {
+                write!(f, "malformed ciphertext: {what}")
+            }
+            ProtocolError::Puf(e) => write!(f, "puf error: {e}"),
+            ProtocolError::Crypto(e) => write!(f, "crypto error: {e}"),
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+impl From<PufError> for ProtocolError {
+    fn from(e: PufError) -> Self {
+        ProtocolError::Puf(e)
+    }
+}
+
+impl From<CryptoError> for ProtocolError {
+    fn from(e: CryptoError) -> Self {
+        ProtocolError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let errors: Vec<ProtocolError> = vec![
+            ProtocolError::AuthenticationFailed("bad mac".into()),
+            ProtocolError::Replay,
+            ProtocolError::OutOfOrder("confirm before hello".into()),
+            ProtocolError::AttestationDigestMismatch,
+            ProtocolError::AttestationTimeout {
+                measured_ns: 10.0,
+                allowed_ns: 5.0,
+            },
+            ProtocolError::MalformedCiphertext("short".into()),
+            ProtocolError::Puf(PufError::ChallengeLength {
+                expected: 64,
+                actual: 1,
+            }),
+            ProtocolError::Crypto(CryptoError::MacMismatch),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let p: ProtocolError = PufError::ChallengeOutOfRange("x".into()).into();
+        assert!(matches!(p, ProtocolError::Puf(_)));
+        let c: ProtocolError = CryptoError::MacMismatch.into();
+        assert!(matches!(c, ProtocolError::Crypto(_)));
+    }
+}

@@ -1,0 +1,149 @@
+//! Device key provisioning from the weak PUF.
+//!
+//! Fig. 1's left branch: the weak PUF feeds "cryptographic key
+//! generation". At manufacturing time the key is *enrolled* (fuzzy
+//! extractor generate); in the field the device *reproduces* it from a
+//! fresh noisy reading plus the public helper data. The key never exists
+//! outside the hardware boundary — §III-C: "This key is never exposed to
+//! the software layer".
+
+use crate::error::ProtocolError;
+use neuropuls_crypto::ecc::{BlockCode, ConcatenatedCode};
+use neuropuls_crypto::fuzzy::{FuzzyExtractor, HelperData};
+use neuropuls_crypto::prng::CsPrng;
+use neuropuls_puf::traits::Puf;
+use neuropuls_puf::weak::WeakPuf;
+
+/// Public, non-secret provisioning record stored with the device.
+#[derive(Debug, Clone)]
+pub struct ProvisioningRecord {
+    /// Fuzzy-extractor helper data.
+    pub helper: HelperData,
+    /// Repetition factor of the ECC used.
+    pub repetition: usize,
+}
+
+/// Result of manufacturing-time enrollment: the key (delivered over a
+/// secure channel to the verifier/owner) plus the public record.
+#[derive(Debug, Clone)]
+pub struct EnrolledKey {
+    /// The 256-bit device key.
+    pub key: [u8; 32],
+    /// The public record the device keeps.
+    pub record: ProvisioningRecord,
+}
+
+/// Enrolls a device key from a weak PUF with the concatenated
+/// Hamming ⊕ repetition code.
+///
+/// The weak PUF's key response is truncated to a multiple of the code's
+/// block size.
+///
+/// # Errors
+///
+/// Propagates PUF and fuzzy-extractor errors.
+pub fn enroll_key<P: Puf>(
+    weak: &mut WeakPuf<P>,
+    repetition: usize,
+    enrollment_reads: usize,
+    enrollment_seed: &[u8],
+) -> Result<EnrolledKey, ProtocolError> {
+    let extractor = FuzzyExtractor::new(ConcatenatedCode::new(repetition));
+    let block = extractor.code().code_bits();
+    let golden = weak.golden_key_response(enrollment_reads)?;
+    let usable = golden.len() / block * block;
+    if usable == 0 {
+        return Err(ProtocolError::MalformedCiphertext(format!(
+            "weak PUF provides {} bits, fewer than one {block}-bit code block",
+            golden.len()
+        )));
+    }
+    let mut rng = CsPrng::from_seed_bytes(enrollment_seed);
+    let enrollment = extractor.generate(&golden.bits()[..usable], &mut rng)?;
+    Ok(EnrolledKey {
+        key: enrollment.key,
+        record: ProvisioningRecord {
+            helper: enrollment.helper,
+            repetition,
+        },
+    })
+}
+
+/// Reproduces the device key in the field from a fresh noisy reading.
+///
+/// # Errors
+///
+/// Fails when the reading is too noisy for the code
+/// ([`ProtocolError::Crypto`]).
+pub fn reproduce_key<P: Puf>(
+    weak: &mut WeakPuf<P>,
+    record: &ProvisioningRecord,
+) -> Result<[u8; 32], ProtocolError> {
+    let extractor = FuzzyExtractor::new(ConcatenatedCode::new(record.repetition));
+    let reading = weak.read_key_response()?;
+    let usable = record.helper.offset.len();
+    if reading.len() < usable {
+        return Err(ProtocolError::MalformedCiphertext(
+            "weak PUF reading shorter than helper data".into(),
+        ));
+    }
+    let key = extractor.reproduce(&reading.bits()[..usable], &record.helper)?;
+    Ok(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuropuls_photonic::process::DieId;
+    use neuropuls_puf::photonic::PhotonicPuf;
+
+    fn weak(die: u64, noise_seed: u64) -> WeakPuf<PhotonicPuf> {
+        // 7 challenges × 64 bits = 448 key-response bits; the
+        // ConcatenatedCode(3) block is 21 bits → 21 blocks usable.
+        WeakPuf::with_derived_challenges(
+            PhotonicPuf::reference(DieId(die), noise_seed),
+            7,
+            0xFEED,
+        )
+    }
+
+    #[test]
+    fn enrolled_key_reproduces_in_field() {
+        let mut factory_view = weak(1, 100);
+        let enrolled = enroll_key(&mut factory_view, 3, 15, b"factory-seed").unwrap();
+        // In the field: same physical die, different noise realization.
+        let mut field_view = weak(1, 200);
+        let key = reproduce_key(&mut field_view, &enrolled.record).unwrap();
+        assert_eq!(key, enrolled.key);
+    }
+
+    #[test]
+    fn different_dies_get_different_keys() {
+        let mut a = weak(2, 1);
+        let mut b = weak(3, 1);
+        let ka = enroll_key(&mut a, 3, 9, b"seed").unwrap();
+        let kb = enroll_key(&mut b, 3, 9, b"seed").unwrap();
+        assert_ne!(ka.key, kb.key);
+    }
+
+    #[test]
+    fn wrong_die_cannot_reproduce() {
+        let mut genuine = weak(4, 1);
+        let enrolled = enroll_key(&mut genuine, 3, 9, b"seed").unwrap();
+        let mut impostor = weak(5, 1);
+        // A decode failure is equally acceptable.
+        if let Ok(key) = reproduce_key(&mut impostor, &enrolled.record) {
+            assert_ne!(key, enrolled.key, "impostor derived the genuine key");
+        }
+    }
+
+    #[test]
+    fn reproduction_is_stable_across_reads() {
+        let mut factory_view = weak(6, 100);
+        let enrolled = enroll_key(&mut factory_view, 5, 15, b"s").unwrap();
+        let mut field_view = weak(6, 300);
+        for _ in 0..5 {
+            assert_eq!(reproduce_key(&mut field_view, &enrolled.record).unwrap(), enrolled.key);
+        }
+    }
+}

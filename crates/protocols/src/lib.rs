@@ -1,0 +1,39 @@
+//! The NEUROPULS security services (§III and §IV of the paper), built
+//! on the PUF primitives and the from-scratch crypto substrate:
+//!
+//! * [`mutual_auth`] — HSC-IoT-style mutual authentication with a single
+//!   rotating CRP (Fig. 4);
+//! * [`attestation`] — pPUF-chained random-walk software attestation
+//!   with temporal constraints (§III-B);
+//! * [`secure_nn`] — the Table I hardware API: `load_network` /
+//!   `execute_network` over ciphered payloads, plaintext never exposed
+//!   to software (§III-C);
+//! * [`eke`] — EKE-based authentication and key agreement treating the
+//!   CRP as a low-entropy shared secret, with forward secrecy (§IV);
+//! * [`keys`] — weak-PUF key provisioning through the fuzzy extractor
+//!   (Fig. 1's key-generation service).
+//!
+//! # Example — one mutual-authentication session
+//!
+//! ```
+//! use neuropuls_photonic::process::DieId;
+//! use neuropuls_protocols::mutual_auth::{run_session, Device, Verifier};
+//! use neuropuls_puf::photonic::PhotonicPuf;
+//!
+//! # fn main() -> Result<(), neuropuls_protocols::ProtocolError> {
+//! let puf = PhotonicPuf::reference(DieId(1), 7);
+//! let (mut device, provisioned) = Device::provision(puf, vec![0u8; 256], b"seed")?;
+//! let mut verifier = Verifier::new(provisioned, b"verifier-rng");
+//! run_session(&mut device, &mut verifier)?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod attestation;
+pub mod eke;
+pub mod error;
+pub mod keys;
+pub mod mutual_auth;
+pub mod secure_nn;
+
+pub use error::ProtocolError;

@@ -1,0 +1,331 @@
+//! Secure neural-network configuration and data encryption — Table I of
+//! the paper (§III-C).
+//!
+//! Two hardware functions are exposed to software:
+//!
+//! | function          | parameters         | results           |
+//! |-------------------|--------------------|-------------------|
+//! | `load_network`    | `ciphered_network` |                   |
+//! | `execute_network` | `ciphered_input`   | `ciphered_output` |
+//!
+//! "Data are never exposed in plaintext to the software": decryption
+//! happens inside [`SecureAccelerator`] (the hardware boundary), plaintext
+//! lives only in its private fields for the duration of the call, and
+//! every value crossing the API is a ciphertext. The device key comes
+//! from the weak PUF (see [`crate::keys`]) and is likewise never visible
+//! to software.
+//!
+//! Wire format of every encrypted blob (encrypt-then-MAC):
+//! `nonce (12 B) ‖ ciphertext ‖ HMAC-SHA-256 tag (32 B)`, with the MAC
+//! keyed by a key derived from the device key and a direction label.
+
+use crate::error::ProtocolError;
+use neuropuls_accel::config::NetworkConfig;
+use neuropuls_accel::engine::{EngineStats, PhotonicEngine};
+use neuropuls_crypto::chacha20::{ChaCha20, NONCE_LEN};
+use neuropuls_crypto::hkdf;
+use neuropuls_crypto::hmac::{HmacSha256, TAG_LEN};
+use neuropuls_crypto::prng::CsPrng;
+use rand::RngCore;
+
+fn subkeys(device_key: &[u8; 32], label: &[u8]) -> ([u8; 32], [u8; 32]) {
+    let mut enc = [0u8; 32];
+    let mut mac = [0u8; 32];
+    hkdf::derive(b"neuropuls/secure-nn", device_key, &[label, b"/enc"].concat(), &mut enc)
+        .expect("32-byte HKDF output is valid");
+    hkdf::derive(b"neuropuls/secure-nn", device_key, &[label, b"/mac"].concat(), &mut mac)
+        .expect("32-byte HKDF output is valid");
+    (enc, mac)
+}
+
+/// Seals `plaintext` under `device_key` with a direction `label`.
+fn seal(device_key: &[u8; 32], label: &[u8], plaintext: &[u8], rng: &mut CsPrng) -> Vec<u8> {
+    let (enc_key, mac_key) = subkeys(device_key, label);
+    let mut nonce = [0u8; NONCE_LEN];
+    rng.fill_bytes(&mut nonce);
+    let mut body = plaintext.to_vec();
+    ChaCha20::new(&enc_key, &nonce).apply(&mut body);
+    let mut out = Vec::with_capacity(NONCE_LEN + body.len() + TAG_LEN);
+    out.extend_from_slice(&nonce);
+    out.extend_from_slice(&body);
+    let tag = HmacSha256::mac(&mac_key, &out);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Opens a sealed blob.
+fn open(device_key: &[u8; 32], label: &[u8], blob: &[u8]) -> Result<Vec<u8>, ProtocolError> {
+    if blob.len() < NONCE_LEN + TAG_LEN {
+        return Err(ProtocolError::MalformedCiphertext(format!(
+            "blob of {} bytes is shorter than nonce+tag",
+            blob.len()
+        )));
+    }
+    let (enc_key, mac_key) = subkeys(device_key, label);
+    let (body, tag) = blob.split_at(blob.len() - TAG_LEN);
+    HmacSha256::verify(&mac_key, body, tag)
+        .map_err(|_| ProtocolError::AuthenticationFailed("ciphertext tag invalid".into()))?;
+    let nonce: [u8; NONCE_LEN] = body[..NONCE_LEN].try_into().expect("length checked");
+    let mut plaintext = body[NONCE_LEN..].to_vec();
+    ChaCha20::new(&enc_key, &nonce).apply(&mut plaintext);
+    Ok(plaintext)
+}
+
+fn encode_values(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + values.len() * 4);
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    for &v in values {
+        out.extend_from_slice(&(v as f32).to_le_bytes());
+    }
+    out
+}
+
+fn decode_values(bytes: &[u8]) -> Result<Vec<f64>, ProtocolError> {
+    if bytes.len() < 4 {
+        return Err(ProtocolError::MalformedCiphertext("tensor header missing".into()));
+    }
+    let count = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    if bytes.len() != 4 + count * 4 {
+        return Err(ProtocolError::MalformedCiphertext(format!(
+            "tensor of {count} values does not match {} payload bytes",
+            bytes.len() - 4
+        )));
+    }
+    Ok(bytes[4..]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]) as f64)
+        .collect())
+}
+
+const LABEL_NETWORK: &[u8] = b"network";
+const LABEL_INPUT: &[u8] = b"input";
+const LABEL_OUTPUT: &[u8] = b"output";
+
+/// The external party (NN owner) that prepares ciphered payloads and
+/// reads ciphered outputs. Shares the device key through the enrollment
+/// channel.
+#[derive(Debug)]
+pub struct NetworkOwner {
+    key: [u8; 32],
+    rng: CsPrng,
+}
+
+impl NetworkOwner {
+    /// Creates the owner-side endpoint.
+    pub fn new(device_key: [u8; 32], rng_seed: &[u8]) -> Self {
+        NetworkOwner {
+            key: device_key,
+            rng: CsPrng::from_seed_bytes(rng_seed),
+        }
+    }
+
+    /// Encrypts a network configuration for `load_network`.
+    pub fn cipher_network(&mut self, config: &NetworkConfig) -> Vec<u8> {
+        seal(&self.key, LABEL_NETWORK, &config.to_bytes(), &mut self.rng)
+    }
+
+    /// Encrypts an input tensor for `execute_network`.
+    pub fn cipher_input(&mut self, input: &[f64]) -> Vec<u8> {
+        seal(&self.key, LABEL_INPUT, &encode_values(input), &mut self.rng)
+    }
+
+    /// Decrypts a ciphered output.
+    ///
+    /// # Errors
+    ///
+    /// Fails on tampered or malformed blobs.
+    pub fn decipher_output(&self, ciphered: &[u8]) -> Result<Vec<f64>, ProtocolError> {
+        decode_values(&open(&self.key, LABEL_OUTPUT, ciphered)?)
+    }
+}
+
+/// The hardware boundary: accelerator plus the PUF-derived key. The two
+/// public methods are exactly Table I.
+#[derive(Debug)]
+pub struct SecureAccelerator {
+    engine: PhotonicEngine,
+    key: [u8; 32],
+    rng: CsPrng,
+}
+
+impl SecureAccelerator {
+    /// Builds the secure accelerator around an engine and the device key
+    /// reproduced from the weak PUF.
+    pub fn new(engine: PhotonicEngine, device_key: [u8; 32]) -> Self {
+        let rng = CsPrng::from_seed_bytes(&device_key);
+        SecureAccelerator {
+            engine,
+            key: device_key,
+            rng,
+        }
+    }
+
+    /// `load_network(ciphered_network)` — decrypts in hardware and
+    /// programs the accelerator. No plaintext result is returned.
+    ///
+    /// # Errors
+    ///
+    /// Authentication/parse failures, or engine load errors.
+    pub fn load_network(&mut self, ciphered_network: &[u8]) -> Result<(), ProtocolError> {
+        let plaintext = open(&self.key, LABEL_NETWORK, ciphered_network)?;
+        let config = NetworkConfig::from_bytes(&plaintext)
+            .map_err(|e| ProtocolError::MalformedCiphertext(e.to_string()))?;
+        self.engine
+            .load(config)
+            .map_err(|e| ProtocolError::MalformedCiphertext(e.to_string()))
+        // `plaintext` drops here: the decrypted configuration never
+        // leaves the hardware boundary.
+    }
+
+    /// `execute_network(ciphered_input) -> ciphered_output` — decrypts
+    /// the input, runs inference, re-encrypts the result.
+    ///
+    /// # Errors
+    ///
+    /// Authentication/parse failures, or engine inference errors.
+    pub fn execute_network(&mut self, ciphered_input: &[u8]) -> Result<Vec<u8>, ProtocolError> {
+        let plaintext = open(&self.key, LABEL_INPUT, ciphered_input)?;
+        let input = decode_values(&plaintext)?;
+        let output = self
+            .engine
+            .infer(&input)
+            .map_err(|e| ProtocolError::MalformedCiphertext(e.to_string()))?;
+        Ok(seal(&self.key, LABEL_OUTPUT, &encode_values(&output), &mut self.rng))
+    }
+
+    /// Engine statistics (performance accounting; not confidential).
+    pub fn stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// Whether a network is loaded.
+    pub fn is_loaded(&self) -> bool {
+        self.engine.is_loaded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuropuls_accel::config::NetworkConfig;
+
+    fn identity(width: usize) -> NetworkConfig {
+        NetworkConfig::mlp(&[width, width], |_, o, i| if o == i { 1.0 } else { 0.0 })
+    }
+
+    fn setup() -> (NetworkOwner, SecureAccelerator) {
+        let key = [0x5A; 32];
+        (
+            NetworkOwner::new(key, b"owner-rng"),
+            SecureAccelerator::new(PhotonicEngine::reference(1), key),
+        )
+    }
+
+    #[test]
+    fn end_to_end_inference() {
+        let (mut owner, mut accel) = setup();
+        accel.load_network(&owner.cipher_network(&identity(4))).unwrap();
+        let ciphered_out = accel
+            .execute_network(&owner.cipher_input(&[1.0, 0.5, -0.25, 0.0]))
+            .unwrap();
+        let output = owner.decipher_output(&ciphered_out).unwrap();
+        assert_eq!(output.len(), 4);
+        assert!((output[0] - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn no_plaintext_on_the_wire() {
+        // The network weights and inputs must not appear in any API-level
+        // byte string.
+        let (mut owner, mut accel) = setup();
+        let config = identity(4);
+        let config_bytes = config.to_bytes();
+        let ciphered = owner.cipher_network(&config);
+        // Look for any 16-byte window of the plaintext in the ciphertext.
+        for window in config_bytes.windows(16) {
+            assert!(
+                !ciphered.windows(16).any(|w| w == window),
+                "plaintext fragment leaked into ciphertext"
+            );
+        }
+        accel.load_network(&ciphered).unwrap();
+        let input = [0.125f64, 0.25, 0.5, 1.0];
+        let ciphered_in = owner.cipher_input(&input);
+        let encoded = encode_values(&input);
+        for window in encoded.windows(8) {
+            assert!(!ciphered_in.windows(8).any(|w| w == window));
+        }
+    }
+
+    #[test]
+    fn tampered_network_is_rejected() {
+        let (mut owner, mut accel) = setup();
+        let mut blob = owner.cipher_network(&identity(4));
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0x80;
+        assert!(matches!(
+            accel.load_network(&blob),
+            Err(ProtocolError::AuthenticationFailed(_))
+        ));
+        assert!(!accel.is_loaded());
+    }
+
+    #[test]
+    fn wrong_key_cannot_load() {
+        let (mut owner, _) = setup();
+        let blob = owner.cipher_network(&identity(4));
+        let mut wrong = SecureAccelerator::new(PhotonicEngine::reference(2), [0x00; 32]);
+        assert!(wrong.load_network(&blob).is_err());
+    }
+
+    #[test]
+    fn labels_are_domain_separated() {
+        // An input blob must not be accepted as a network and vice
+        // versa, even under the right key.
+        let (mut owner, mut accel) = setup();
+        let input_blob = owner.cipher_input(&[1.0, 2.0]);
+        assert!(accel.load_network(&input_blob).is_err());
+        let net_blob = owner.cipher_network(&identity(2));
+        accel.load_network(&net_blob).unwrap();
+        assert!(accel.execute_network(&net_blob).is_err());
+    }
+
+    #[test]
+    fn short_blobs_are_rejected_cleanly() {
+        let (_, mut accel) = setup();
+        assert!(matches!(
+            accel.load_network(&[0u8; 10]),
+            Err(ProtocolError::MalformedCiphertext(_))
+        ));
+    }
+
+    #[test]
+    fn execute_requires_loaded_network() {
+        let (mut owner, mut accel) = setup();
+        let blob = owner.cipher_input(&[1.0]);
+        assert!(accel.execute_network(&blob).is_err());
+    }
+
+    #[test]
+    fn output_tampering_is_detected_by_owner() {
+        let (mut owner, mut accel) = setup();
+        accel.load_network(&owner.cipher_network(&identity(2))).unwrap();
+        let mut out = accel
+            .execute_network(&owner.cipher_input(&[1.0, 2.0]))
+            .unwrap();
+        let mid = out.len() / 2;
+        out[mid] ^= 1;
+        assert!(owner.decipher_output(&out).is_err());
+    }
+
+    #[test]
+    fn tensor_codec_roundtrip() {
+        let values = vec![1.5, -2.25, 0.0, 1e-3];
+        let decoded = decode_values(&encode_values(&values)).unwrap();
+        for (a, b) in values.iter().zip(&decoded) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert!(decode_values(&[1, 2]).is_err());
+        assert!(decode_values(&[9, 0, 0, 0, 1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,281 @@
+//! Arbiter PUF and XOR-arbiter composition — the classical electronic
+//! strong PUFs the paper compares against.
+//!
+//! §IV: ML modeling attacks "have been particularly successful against
+//! common types of PUF, such as PUFs with ring oscillators (ROs) or
+//! arbiters \[28\]. The main weakness of this type of PUF lies in the
+//! relatively small number of components and variables that participate".
+//!
+//! The additive delay model: each stage contributes a delay difference
+//! depending on its challenge bit; the arbiter outputs the sign of the
+//! accumulated difference. In the standard parity parametrization the
+//! response is `sign(w · Φ(c))` with feature vector
+//! `Φ_i(c) = Π_{j≥i} (1-2c_j)` — *linearly separable*, which is exactly
+//! why logistic regression breaks it (experiment E6).
+
+use crate::bits::{Challenge, Response};
+use crate::traits::{Puf, PufError, PufKind};
+use neuropuls_photonic::laser::gaussian;
+use neuropuls_photonic::process::DieId;
+use neuropuls_photonic::Environment;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A single arbiter chain.
+#[derive(Debug, Clone)]
+pub struct ArbiterPuf {
+    stages: usize,
+    /// Per-stage delay-difference weights plus the final arbiter bias
+    /// (the physical secret), in arbitrary time units.
+    weights: Vec<f64>,
+    /// Measurement noise σ on the accumulated delay difference.
+    noise_sigma: f64,
+    env: Environment,
+    rng: StdRng,
+}
+
+impl ArbiterPuf {
+    /// Fabricates a `stages`-stage chain for `die`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages == 0`.
+    pub fn fabricate(die: DieId, stages: usize, noise_seed: u64) -> Self {
+        assert!(stages > 0, "arbiter chain needs at least one stage");
+        let mut fab_rng = StdRng::seed_from_u64(die.0.wrapping_mul(0xA24B_AED4_963E_E407));
+        let weights = (0..=stages).map(|_| gaussian(&mut fab_rng)).collect();
+        ArbiterPuf {
+            stages,
+            weights,
+            noise_sigma: 0.05,
+            env: Environment::nominal(),
+            rng: StdRng::seed_from_u64(noise_seed ^ die.0.rotate_left(29)),
+        }
+    }
+
+    /// The parity feature vector Φ(c) of length `stages + 1` (the
+    /// representation a modeling attacker would use).
+    pub fn features(challenge: &Challenge) -> Vec<f64> {
+        let n = challenge.len();
+        let mut phi = vec![1.0; n + 1];
+        for i in (0..n).rev() {
+            let sign = 1.0 - 2.0 * challenge.bits()[i] as f64;
+            phi[i] = phi[i + 1] * sign;
+        }
+        phi
+    }
+
+    /// Noise-free delay difference for a challenge (ground truth for the
+    /// attack experiments).
+    pub fn delay_difference(&self, challenge: &Challenge) -> f64 {
+        Self::features(challenge)
+            .iter()
+            .zip(self.weights.iter())
+            .map(|(phi, w)| phi * w)
+            .sum()
+    }
+}
+
+impl Puf for ArbiterPuf {
+    fn challenge_bits(&self) -> usize {
+        self.stages
+    }
+
+    fn response_bits(&self) -> usize {
+        1
+    }
+
+    fn kind(&self) -> PufKind {
+        PufKind::Strong
+    }
+
+    fn respond(&mut self, challenge: &Challenge) -> Result<Response, PufError> {
+        if challenge.len() != self.stages {
+            return Err(PufError::ChallengeLength {
+                expected: self.stages,
+                actual: challenge.len(),
+            });
+        }
+        // Temperature widens the noise (delay lines drift together, so
+        // only the noise term grows appreciably).
+        let sigma = self.noise_sigma * (1.0 + 0.01 * self.env.delta_t().abs());
+        let delta = self.delay_difference(challenge) + sigma * gaussian(&mut self.rng);
+        Ok(Response::from_bits([u8::from(delta > 0.0)]))
+    }
+
+    fn set_environment(&mut self, env: Environment) {
+        self.env = env;
+    }
+
+    fn environment(&self) -> Environment {
+        self.env
+    }
+
+    /// A single race through the chain: ~1 ns per 64 stages.
+    fn latency_ns(&self) -> f64 {
+        self.stages as f64 / 64.0
+    }
+}
+
+/// k parallel arbiter chains whose bits are XORed — harder to model but
+/// noisier (noise accumulates through the XOR).
+#[derive(Debug, Clone)]
+pub struct XorArbiterPuf {
+    chains: Vec<ArbiterPuf>,
+}
+
+impl XorArbiterPuf {
+    /// Fabricates `k` chains of `stages` stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `stages == 0`.
+    pub fn fabricate(die: DieId, stages: usize, k: usize, noise_seed: u64) -> Self {
+        assert!(k > 0, "need at least one chain");
+        let chains = (0..k)
+            .map(|i| {
+                ArbiterPuf::fabricate(
+                    DieId(die.0.wrapping_add((i as u64) << 48)),
+                    stages,
+                    noise_seed.wrapping_add(i as u64),
+                )
+            })
+            .collect();
+        XorArbiterPuf { chains }
+    }
+
+    /// Number of XORed chains.
+    pub fn k(&self) -> usize {
+        self.chains.len()
+    }
+}
+
+impl Puf for XorArbiterPuf {
+    fn challenge_bits(&self) -> usize {
+        self.chains[0].challenge_bits()
+    }
+
+    fn response_bits(&self) -> usize {
+        1
+    }
+
+    fn kind(&self) -> PufKind {
+        PufKind::Strong
+    }
+
+    fn respond(&mut self, challenge: &Challenge) -> Result<Response, PufError> {
+        let mut acc = 0u8;
+        for chain in &mut self.chains {
+            acc ^= chain.respond(challenge)?.bits()[0];
+        }
+        Ok(Response::from_bits([acc]))
+    }
+
+    fn set_environment(&mut self, env: Environment) {
+        for chain in &mut self.chains {
+            chain.set_environment(env);
+        }
+    }
+
+    fn environment(&self) -> Environment {
+        self.chains[0].environment()
+    }
+
+    fn latency_ns(&self) -> f64 {
+        self.chains[0].latency_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn challenge(seed: u64, n: usize) -> Challenge {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Challenge::from_bits((0..n).map(|_| rng.gen::<u8>() & 1))
+    }
+
+    #[test]
+    fn response_is_sign_of_delay() {
+        let mut p = ArbiterPuf::fabricate(DieId(1), 64, 7);
+        for s in 0..20 {
+            let c = challenge(s, 64);
+            let delta = p.delay_difference(&c);
+            if delta.abs() > 0.5 {
+                // Far from the decision boundary: noise cannot flip it.
+                let r = p.respond(&c).unwrap();
+                assert_eq!(r.bits()[0], u8::from(delta > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn features_are_plus_minus_one() {
+        let c = challenge(1, 16);
+        for phi in ArbiterPuf::features(&c) {
+            assert!(phi == 1.0 || phi == -1.0);
+        }
+    }
+
+    #[test]
+    fn feature_parity_structure() {
+        // All-zero challenge → all features +1.
+        let c = Challenge::from_bits(vec![0u8; 8]);
+        assert!(ArbiterPuf::features(&c).iter().all(|&p| p == 1.0));
+        // Challenge with a single 1 at the last stage flips every feature
+        // except the trailing bias term.
+        let mut bits = vec![0u8; 8];
+        bits[7] = 1;
+        let c = Challenge::from_bits(bits);
+        let phi = ArbiterPuf::features(&c);
+        assert!(phi[..8].iter().all(|&p| p == -1.0));
+        assert_eq!(phi[8], 1.0);
+    }
+
+    #[test]
+    fn different_dies_differ() {
+        let mut a = ArbiterPuf::fabricate(DieId(2), 64, 1);
+        let mut b = ArbiterPuf::fabricate(DieId(3), 64, 1);
+        let mut diff = 0usize;
+        for s in 0..200 {
+            let c = challenge(s, 64);
+            if a.respond(&c).unwrap() != b.respond(&c).unwrap() {
+                diff += 1;
+            }
+        }
+        assert!(diff > 50, "only {diff}/200 differing responses");
+    }
+
+    #[test]
+    fn rejects_wrong_width() {
+        let mut p = ArbiterPuf::fabricate(DieId(4), 64, 1);
+        assert!(p.respond(&challenge(1, 32)).is_err());
+    }
+
+    #[test]
+    fn xor_arbiter_noisier_than_single() {
+        let c = challenge(9, 64);
+        let mut single = ArbiterPuf::fabricate(DieId(5), 64, 3);
+        let mut xored = XorArbiterPuf::fabricate(DieId(5), 64, 4, 3);
+        let flip_rate = |reads: Vec<u8>| {
+            let ones: usize = reads.iter().map(|&b| b as usize).sum();
+            let frac = ones as f64 / reads.len() as f64;
+            frac.min(1.0 - frac)
+        };
+        let n = 200;
+        let fr_single = flip_rate((0..n).map(|_| single.respond(&c).unwrap().bits()[0]).collect());
+        let fr_xor = flip_rate((0..n).map(|_| xored.respond(&c).unwrap().bits()[0]).collect());
+        assert!(fr_xor >= fr_single, "single {fr_single} xor {fr_xor}");
+    }
+
+    #[test]
+    fn xor_arbiter_balanced() {
+        let mut p = XorArbiterPuf::fabricate(DieId(6), 64, 4, 11);
+        let ones: usize = (0..400)
+            .map(|s| p.respond(&challenge(s, 64)).unwrap().bits()[0] as usize)
+            .sum();
+        let frac = ones as f64 / 400.0;
+        assert!((frac - 0.5).abs() < 0.1, "bias {frac}");
+    }
+}

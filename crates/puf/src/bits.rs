@@ -1,0 +1,247 @@
+//! Challenge and response bit strings.
+//!
+//! Newtypes keep challenges and responses from being mixed up at compile
+//! time (a challenge must never be stored where a response belongs — the
+//! whole point of the authentication protocol is which of the two is
+//! secret). Bits are stored one per byte.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! bitstring_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+        pub struct $name(Vec<u8>);
+
+        impl $name {
+            /// Wraps raw bits (values are masked to 0/1).
+            pub fn from_bits(bits: impl IntoIterator<Item = u8>) -> Self {
+                $name(bits.into_iter().map(|b| b & 1).collect())
+            }
+
+            /// The low `len` bits of `value`, LSB first.
+            pub fn from_u64(value: u64, len: usize) -> Self {
+                assert!(len <= 64, "from_u64 supports at most 64 bits");
+                $name((0..len).map(|i| ((value >> i) & 1) as u8).collect())
+            }
+
+            /// Unpacks `len` bits from packed bytes (LSB first).
+            pub fn from_packed(bytes: &[u8], len: usize) -> Self {
+                assert!(
+                    len <= bytes.len() * 8,
+                    "packed buffer too short: {} bits requested from {} bytes",
+                    len,
+                    bytes.len()
+                );
+                $name((0..len).map(|i| (bytes[i / 8] >> (i % 8)) & 1).collect())
+            }
+
+            /// Uniformly random bits from `rng`.
+            pub fn random<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Self {
+                $name((0..len).map(|_| rng.gen::<bool>() as u8).collect())
+            }
+
+            /// Number of bits.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// True when the string holds no bits.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// Read-only view of the bits (one per byte).
+            pub fn bits(&self) -> &[u8] {
+                &self.0
+            }
+
+            /// Packs into bytes, LSB first.
+            pub fn to_packed(&self) -> Vec<u8> {
+                let mut out = vec![0u8; self.0.len().div_ceil(8)];
+                for (i, &bit) in self.0.iter().enumerate() {
+                    out[i / 8] |= bit << (i % 8);
+                }
+                out
+            }
+
+            /// Bitwise XOR with another string of the same length.
+            ///
+            /// # Panics
+            ///
+            /// Panics on length mismatch.
+            pub fn xor(&self, other: &Self) -> Self {
+                assert_eq!(self.len(), other.len(), "xor length mismatch");
+                $name(
+                    self.0
+                        .iter()
+                        .zip(other.0.iter())
+                        .map(|(a, b)| a ^ b)
+                        .collect(),
+                )
+            }
+
+            /// Hamming distance to another string of the same length.
+            ///
+            /// # Panics
+            ///
+            /// Panics on length mismatch.
+            pub fn hamming(&self, other: &Self) -> usize {
+                assert_eq!(self.len(), other.len(), "hamming length mismatch");
+                self.0
+                    .iter()
+                    .zip(other.0.iter())
+                    .filter(|(a, b)| (**a ^ **b) & 1 == 1)
+                    .count()
+            }
+
+            /// Fractional Hamming distance in `[0, 1]`.
+            pub fn fhd(&self, other: &Self) -> f64 {
+                self.hamming(other) as f64 / self.len().max(1) as f64
+            }
+
+            /// Number of one bits.
+            pub fn weight(&self) -> usize {
+                self.0.iter().filter(|&&b| b == 1).count()
+            }
+
+            /// Consumes into the raw bit vector.
+            pub fn into_bits(self) -> Vec<u8> {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                for &bit in &self.0 {
+                    write!(f, "{}", bit)?;
+                }
+                Ok(())
+            }
+        }
+
+        impl FromIterator<u8> for $name {
+            fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+                Self::from_bits(iter)
+            }
+        }
+
+        impl AsRef<[u8]> for $name {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+    };
+}
+
+bitstring_type! {
+    /// A PUF challenge bit string.
+    Challenge
+}
+
+bitstring_type! {
+    /// A PUF response bit string.
+    Response
+}
+
+impl Response {
+    /// Majority vote across repeated readings — the enrollment "golden"
+    /// response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `readings` is empty or lengths differ.
+    pub fn majority(readings: &[Response]) -> Response {
+        assert!(!readings.is_empty(), "majority of zero readings");
+        let len = readings[0].len();
+        let bits = (0..len)
+            .map(|i| {
+                let ones: usize = readings
+                    .iter()
+                    .map(|r| {
+                        assert_eq!(r.len(), len, "reading lengths differ");
+                        r.bits()[i] as usize
+                    })
+                    .sum();
+                u8::from(ones * 2 > readings.len())
+            })
+            .collect::<Vec<_>>();
+        Response::from_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_u64_lsb_first() {
+        let c = Challenge::from_u64(0b1011, 6);
+        assert_eq!(c.bits(), &[1, 1, 0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn pack_roundtrip() {
+        let c = Challenge::from_bits([1, 0, 0, 1, 1, 1, 0, 1, 1]);
+        let packed = c.to_packed();
+        assert_eq!(Challenge::from_packed(&packed, 9), c);
+    }
+
+    #[test]
+    fn xor_and_hamming() {
+        let a = Response::from_bits([1, 0, 1, 0]);
+        let b = Response::from_bits([1, 1, 0, 0]);
+        assert_eq!(a.xor(&b).bits(), &[0, 1, 1, 0]);
+        assert_eq!(a.hamming(&b), 2);
+        assert!((a.fhd(&b) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn xor_is_involution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Response::random(64, &mut rng);
+        let b = Response::random(64, &mut rng);
+        assert_eq!(a.xor(&b).xor(&b), a);
+    }
+
+    #[test]
+    fn majority_vote() {
+        let readings = vec![
+            Response::from_bits([1, 0, 1]),
+            Response::from_bits([1, 1, 0]),
+            Response::from_bits([1, 0, 0]),
+        ];
+        assert_eq!(Response::majority(&readings).bits(), &[1, 0, 0]);
+    }
+
+    #[test]
+    fn random_is_roughly_balanced() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = Response::random(10_000, &mut rng);
+        let w = r.weight() as f64 / 10_000.0;
+        assert!((w - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn masks_nonbinary_input() {
+        let c = Challenge::from_bits([0xFF, 0x02, 0x03]);
+        assert_eq!(c.bits(), &[1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_rejects_mismatch() {
+        let a = Response::from_bits([1]);
+        let b = Response::from_bits([1, 0]);
+        let _ = a.xor(&b);
+    }
+
+    #[test]
+    fn display_renders_bits() {
+        assert_eq!(Challenge::from_bits([1, 0, 1]).to_string(), "101");
+    }
+}

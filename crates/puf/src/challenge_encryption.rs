@@ -1,0 +1,185 @@
+//! Challenge encryption in front of the strong PUF — the architectural
+//! hardening of Vatajelu et al. \[30\] that §IV says NEUROPULS will adopt:
+//! "architectural solutions that rely on the combination of a strong and
+//! a weak PUF to encrypt the challenges before entering the photonic
+//! PUF".
+//!
+//! An attacker who harvests (challenge, response) pairs at the external
+//! interface never sees the *internal* challenge: the device derives it
+//! by a keyed one-way function (HMAC under a weak-PUF-derived key), so
+//! every internal bit is a nonlinear function of all external bits. A
+//! model trained on external pairs must learn `PUF ∘ PRF`, which destroys
+//! the linear (parity-feature) structure that modeling attacks on
+//! arbiter-style PUFs exploit. Note an XOR *mask* would not suffice —
+//! masking challenge bits keeps an arbiter PUF linearly separable; the
+//! derivation must be nonlinear, hence the PRF.
+
+use crate::bits::{Challenge, Response};
+use crate::traits::{Puf, PufError, PufKind};
+use neuropuls_crypto::hmac::HmacSha256;
+use neuropuls_photonic::Environment;
+
+/// A strong PUF whose external challenges are passed through a keyed PRF
+/// before reaching the physical primitive.
+#[derive(Debug)]
+pub struct ChallengeEncryptedPuf<P: Puf> {
+    inner: P,
+    key: [u8; 32],
+}
+
+impl<P: Puf> ChallengeEncryptedPuf<P> {
+    /// Wraps `inner` with challenge encryption under `key` (in the real
+    /// device the key comes from the weak PUF via the fuzzy extractor —
+    /// see `neuropuls-protocols`).
+    pub fn new(inner: P, key: [u8; 32]) -> Self {
+        ChallengeEncryptedPuf { inner, key }
+    }
+
+    /// Returns the inner PUF.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    /// The internal challenge actually applied for an external one
+    /// (exposed for tests and the attack experiments; a real device never
+    /// reveals this).
+    ///
+    /// Derivation: HMAC-SHA-256 blocks under the device key, expanded
+    /// until the challenge width is covered.
+    pub fn internal_challenge(&self, external: &Challenge) -> Challenge {
+        let packed = external.to_packed();
+        let mut bits = Vec::with_capacity(external.len());
+        let mut counter = 0u32;
+        while bits.len() < external.len() {
+            let tag = HmacSha256::mac_parts(&self.key, &[&counter.to_le_bytes(), &packed]);
+            for byte in tag {
+                for i in 0..8 {
+                    if bits.len() == external.len() {
+                        break;
+                    }
+                    bits.push((byte >> i) & 1);
+                }
+            }
+            counter += 1;
+        }
+        Challenge::from_bits(bits)
+    }
+}
+
+impl<P: Puf> Puf for ChallengeEncryptedPuf<P> {
+    fn challenge_bits(&self) -> usize {
+        self.inner.challenge_bits()
+    }
+
+    fn response_bits(&self) -> usize {
+        self.inner.response_bits()
+    }
+
+    fn kind(&self) -> PufKind {
+        PufKind::Strong
+    }
+
+    fn respond(&mut self, challenge: &Challenge) -> Result<Response, PufError> {
+        if challenge.len() != self.inner.challenge_bits() {
+            return Err(PufError::ChallengeLength {
+                expected: self.inner.challenge_bits(),
+                actual: challenge.len(),
+            });
+        }
+        let internal = self.internal_challenge(challenge);
+        self.inner.respond(&internal)
+    }
+
+    fn set_environment(&mut self, env: Environment) {
+        self.inner.set_environment(env);
+    }
+
+    fn environment(&self) -> Environment {
+        self.inner.environment()
+    }
+
+    /// Adds a small cipher latency on top of the inner PUF.
+    fn latency_ns(&self) -> f64 {
+        self.inner.latency_ns() + 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::ArbiterPuf;
+    use neuropuls_photonic::process::DieId;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn wrapped(key_byte: u8) -> ChallengeEncryptedPuf<ArbiterPuf> {
+        ChallengeEncryptedPuf::new(ArbiterPuf::fabricate(DieId(1), 64, 5), [key_byte; 32])
+    }
+
+    fn challenge(seed: u64) -> Challenge {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Challenge::from_bits((0..64).map(|_| rng.gen::<u8>() & 1))
+    }
+
+    #[test]
+    fn mapping_is_deterministic() {
+        let p = wrapped(7);
+        let c = challenge(1);
+        assert_eq!(p.internal_challenge(&c), p.internal_challenge(&c));
+    }
+
+    #[test]
+    fn mapping_depends_on_key() {
+        let a = wrapped(1);
+        let b = wrapped(2);
+        let c = challenge(2);
+        assert_ne!(a.internal_challenge(&c), b.internal_challenge(&c));
+    }
+
+    #[test]
+    fn internal_differs_from_external() {
+        let p = wrapped(3);
+        let c = challenge(3);
+        assert_ne!(p.internal_challenge(&c), c);
+    }
+
+    #[test]
+    fn responses_remain_reproducible() {
+        let mut p = wrapped(4);
+        let c = challenge(4);
+        let golden = p.respond_golden(&c, 15).unwrap();
+        let again = p.respond_golden(&c, 15).unwrap();
+        assert!(golden.fhd(&again) < 0.2);
+    }
+
+    #[test]
+    fn single_external_bit_flip_avalanches_internally() {
+        let p = wrapped(5);
+        let c1 = challenge(5);
+        let mut bits = c1.bits().to_vec();
+        bits[63] ^= 1;
+        let c2 = Challenge::from_bits(bits);
+        let i1 = p.internal_challenge(&c1);
+        let i2 = p.internal_challenge(&c2);
+        // PRF avalanche: roughly half the internal bits must change.
+        let flips = i1.hamming(&i2);
+        assert!((16..=48).contains(&flips), "avalanche {flips}/64");
+    }
+
+    #[test]
+    fn internal_challenge_covers_any_width() {
+        // Widths beyond one HMAC block (256 bits) exercise the counter
+        // expansion.
+        let inner = ArbiterPuf::fabricate(DieId(2), 300, 5);
+        let p = ChallengeEncryptedPuf::new(inner, [9; 32]);
+        let mut rng = StdRng::seed_from_u64(10);
+        let c = Challenge::random(300, &mut rng);
+        assert_eq!(p.internal_challenge(&c).len(), 300);
+    }
+
+    #[test]
+    fn rejects_wrong_width() {
+        let mut p = wrapped(6);
+        assert!(p.respond(&Challenge::from_u64(1, 8)).is_err());
+    }
+}

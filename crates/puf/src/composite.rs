@@ -1,0 +1,187 @@
+//! Composite PIC + ASIC PUF — the chip-binding mechanism of §IV.
+//!
+//! "Thanks to … the physical connection between chips … it is possible to
+//! generate a composite response from the 2 chips, which can be used to
+//! assess the genuine character of the accelerator as a whole."
+//!
+//! The composite response XORs the photonic strong-PUF response with an
+//! ASIC-side SRAM word selected by a digest of the challenge. Replacing
+//! *either* chip changes the composite response, so a tampered assembly
+//! fails authentication even if one genuine chip remains (experiment
+//! E13).
+
+use crate::bits::{Challenge, Response};
+use crate::photonic::PhotonicPuf;
+use crate::sram::SramPuf;
+use crate::traits::{Puf, PufError, PufKind};
+use neuropuls_crypto::sha256::Sha256;
+use neuropuls_photonic::Environment;
+
+/// The two-chip composite PUF.
+#[derive(Debug, Clone)]
+pub struct CompositePuf {
+    pic: PhotonicPuf,
+    asic: SramPuf,
+}
+
+impl CompositePuf {
+    /// Binds a photonic PUF (PIC) with an SRAM PUF (ASIC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SRAM word width differs from the photonic response
+    /// width (the XOR must be bit-aligned).
+    pub fn bind(pic: PhotonicPuf, asic: SramPuf) -> Self {
+        assert_eq!(
+            pic.response_bits(),
+            asic.response_bits(),
+            "PIC and ASIC response widths must match"
+        );
+        CompositePuf { pic, asic }
+    }
+
+    /// The photonic half.
+    pub fn pic(&self) -> &PhotonicPuf {
+        &self.pic
+    }
+
+    /// The ASIC half.
+    pub fn asic(&self) -> &SramPuf {
+        &self.asic
+    }
+
+    /// Swaps in a different PIC (the tampering scenario of E13).
+    pub fn replace_pic(&mut self, pic: PhotonicPuf) {
+        assert_eq!(pic.response_bits(), self.asic.response_bits());
+        self.pic = pic;
+    }
+
+    /// Swaps in a different ASIC.
+    pub fn replace_asic(&mut self, asic: SramPuf) {
+        assert_eq!(self.pic.response_bits(), asic.response_bits());
+        self.asic = asic;
+    }
+
+    fn asic_word_for(&self, challenge: &Challenge) -> usize {
+        // Public derivation: hash the challenge, take a word index. The
+        // ASIC contribution therefore depends on the challenge, but
+        // through its own physical secret.
+        let digest = Sha256::digest(&challenge.to_packed());
+        let mut idx = 0usize;
+        for &b in &digest[..8] {
+            idx = (idx << 8) | b as usize;
+        }
+        idx % self.asic.words()
+    }
+}
+
+impl Puf for CompositePuf {
+    fn challenge_bits(&self) -> usize {
+        self.pic.challenge_bits()
+    }
+
+    fn response_bits(&self) -> usize {
+        self.pic.response_bits()
+    }
+
+    fn kind(&self) -> PufKind {
+        PufKind::Strong
+    }
+
+    fn respond(&mut self, challenge: &Challenge) -> Result<Response, PufError> {
+        let optical = self.pic.respond(challenge)?;
+        let word = self.asic_word_for(challenge);
+        let electronic = self.asic.read_word(word)?;
+        Ok(optical.xor(&electronic))
+    }
+
+    fn set_environment(&mut self, env: Environment) {
+        self.pic.set_environment(env);
+        self.asic.set_environment(env);
+    }
+
+    fn environment(&self) -> Environment {
+        self.pic.environment()
+    }
+
+    /// Dominated by the slower (SRAM) half.
+    fn latency_ns(&self) -> f64 {
+        self.pic.latency_ns().max(self.asic.latency_ns())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuropuls_photonic::process::DieId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn composite(pic_die: u64, asic_die: u64) -> CompositePuf {
+        CompositePuf::bind(
+            PhotonicPuf::reference(DieId(pic_die), 500 + pic_die),
+            SramPuf::reference(DieId(asic_die), 900 + asic_die),
+        )
+    }
+
+    fn challenge(seed: u64) -> Challenge {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Challenge::random(64, &mut rng)
+    }
+
+    #[test]
+    fn composite_is_stable_for_genuine_assembly() {
+        let mut c = composite(1, 2);
+        let ch = challenge(1);
+        let golden = c.respond_golden(&ch, 9).unwrap();
+        let mut fhd = 0.0;
+        for _ in 0..10 {
+            fhd += golden.fhd(&c.respond(&ch).unwrap());
+        }
+        assert!(fhd / 10.0 < 0.15, "composite intra FHD {}", fhd / 10.0);
+    }
+
+    #[test]
+    fn swapping_pic_breaks_response() {
+        let ch = challenge(2);
+        let mut genuine = composite(10, 20);
+        let golden = genuine.respond_golden(&ch, 9).unwrap();
+        genuine.replace_pic(PhotonicPuf::reference(DieId(999), 3));
+        let tampered = genuine.respond_golden(&ch, 9).unwrap();
+        assert!(golden.fhd(&tampered) > 0.25, "PIC swap undetected");
+    }
+
+    #[test]
+    fn swapping_asic_breaks_response() {
+        let ch = challenge(3);
+        let mut genuine = composite(11, 21);
+        let golden = genuine.respond_golden(&ch, 9).unwrap();
+        genuine.replace_asic(SramPuf::reference(DieId(888), 4));
+        let tampered = genuine.respond_golden(&ch, 9).unwrap();
+        assert!(golden.fhd(&tampered) > 0.25, "ASIC swap undetected");
+    }
+
+    #[test]
+    fn composite_differs_from_pic_alone() {
+        let ch = challenge(4);
+        let mut c = composite(12, 22);
+        let composite_r = c.respond_golden(&ch, 9).unwrap();
+        let mut pic_alone = PhotonicPuf::reference(DieId(12), 512);
+        let pic_r = pic_alone.respond_golden(&ch, 9).unwrap();
+        assert!(composite_r.fhd(&pic_r) > 0.2, "ASIC adds nothing");
+    }
+
+    #[test]
+    fn word_selection_depends_on_challenge() {
+        let c = composite(13, 23);
+        let w1 = c.asic_word_for(&challenge(5));
+        let w2 = c.asic_word_for(&challenge(6));
+        assert_ne!(w1, w2);
+        assert!(w1 < c.asic().words());
+    }
+
+    #[test]
+    fn kind_is_strong() {
+        assert_eq!(composite(14, 24).kind(), PufKind::Strong);
+    }
+}

@@ -1,0 +1,51 @@
+//! Physical-unclonable-function models for the NEUROPULS security
+//! layers.
+//!
+//! The crate provides the [`Puf`] trait plus every primitive the paper
+//! mentions:
+//!
+//! * [`photonic::PhotonicPuf`] — the strong pPUF of Fig. 2 (modulated
+//!   burst → passive scrambler mesh → photodiode array → ADC
+//!   comparisons), built on the `neuropuls-photonic` simulator;
+//! * [`weak::WeakPuf`] — a fixed-challenge-set weak view for key
+//!   generation;
+//! * [`sram::SramPuf`] — the ASIC-side SRAM PUF (with remanence decay);
+//! * [`ro::RoPuf`] — the ring-oscillator PUF of the Fig. 3 filtering
+//!   study;
+//! * [`arbiter::ArbiterPuf`] / [`arbiter::XorArbiterPuf`] — the
+//!   ML-attackable electronic baselines of §IV;
+//! * [`composite::CompositePuf`] — the PIC+ASIC chip-binding composite;
+//! * [`challenge_encryption::ChallengeEncryptedPuf`] — the weak+strong
+//!   hardening of \[30\].
+//!
+//! # Example
+//!
+//! ```
+//! use neuropuls_puf::bits::Challenge;
+//! use neuropuls_puf::photonic::PhotonicPuf;
+//! use neuropuls_puf::traits::Puf;
+//! use neuropuls_photonic::process::DieId;
+//!
+//! # fn main() -> Result<(), neuropuls_puf::traits::PufError> {
+//! let mut ppuf = PhotonicPuf::reference(DieId(1), 42);
+//! let challenge = Challenge::from_u64(0xDEAD_BEEF, 64);
+//! let response = ppuf.respond(&challenge)?;
+//! assert_eq!(response.len(), 64);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod arbiter;
+pub mod bits;
+pub mod challenge_encryption;
+pub mod composite;
+pub mod enrollment;
+pub mod photonic;
+pub mod ro;
+pub mod sram;
+pub mod traits;
+pub mod trng;
+pub mod weak;
+
+pub use bits::{Challenge, Response};
+pub use traits::{Puf, PufError, PufKind};

@@ -1,0 +1,639 @@
+//! The photonic strong PUF (pPUF) of Fig. 2.
+//!
+//! Evaluation pipeline, mirroring the paper's schematic end to end:
+//!
+//! 1. a telecom laser emits a CW carrier (with RIN and a random optical
+//!    phase per interrogation);
+//! 2. the ASIC drives a 25 Gb/s Mach–Zehnder modulator with the challenge
+//!    bit string;
+//! 3. the modulated burst traverses the passive scrambler mesh (couplers,
+//!    process-random phases, microrings with temporal memory);
+//! 4. a photodiode array detects the per-port intensity (square-law — the
+//!    nonlinearity), TIAs amplify and ADCs quantize;
+//! 5. the ASIC derives response bits by *comparing* photocurrent samples
+//!    at a public, fixed set of (port, time) pairs, which cancels
+//!    common-mode laser power and leaves only the die-unique interference
+//!    pattern.
+//!
+//! The comparison margins are also exposed ([`PhotonicPuf::respond_with_margins`]):
+//! they are the "threshold dependent on the amplitude of the photocurrent
+//! read at the PD" that §II-B adapts the Vinagrero filtering method to.
+
+use crate::bits::{Challenge, Response};
+use crate::traits::{Puf, PufError, PufKind};
+use neuropuls_photonic::circuit::{MeshSpec, ScramblerMesh};
+use neuropuls_photonic::detector::ReceiveChain;
+use neuropuls_photonic::laser::Laser;
+use neuropuls_photonic::modulator::MachZehnderModulator;
+use neuropuls_photonic::process::{DieId, DieSampler, ProcessVariation};
+use neuropuls_photonic::Environment;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Construction parameters of a photonic PUF instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhotonicPufConfig {
+    /// The passive architecture.
+    pub mesh: MeshSpec,
+    /// Challenge length in bits (the modulated burst).
+    pub challenge_bits: usize,
+    /// Response length in bits.
+    pub response_bits: usize,
+    /// Dark samples appended after the burst so ring tails are captured.
+    pub flush_samples: usize,
+    /// Fixed electronics overhead added to the optical latency (ns).
+    pub electronics_latency_ns: f64,
+}
+
+impl PhotonicPufConfig {
+    /// The reference 64-in/64-out configuration used across the
+    /// experiments.
+    pub fn reference() -> Self {
+        PhotonicPufConfig {
+            mesh: MeshSpec::reference(),
+            challenge_bits: 64,
+            response_bits: 64,
+            flush_samples: 32,
+            electronics_latency_ns: 2.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.mesh.validate()?;
+        if self.challenge_bits == 0 || self.response_bits == 0 {
+            return Err("challenge/response widths must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// One comparison site: response bit k is `1` when the ADC code at `a`
+/// exceeds the code at `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ComparePair {
+    a: (usize, usize), // (port, time)
+    b: (usize, usize),
+}
+
+/// The photonic strong PUF.
+#[derive(Debug, Clone)]
+pub struct PhotonicPuf {
+    die: DieId,
+    config: PhotonicPufConfig,
+    laser: Laser,
+    modulator: MachZehnderModulator,
+    mesh: ScramblerMesh,
+    chains: Vec<ReceiveChain>,
+    pairs: Vec<ComparePair>,
+    env: Environment,
+    rng: StdRng,
+}
+
+impl PhotonicPuf {
+    /// "Fabricates" the PUF for `die` under the given process corner.
+    /// `noise_seed` seeds the measurement-noise stream (reseed to model
+    /// independent interrogation campaigns on the same physical chip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid.
+    pub fn fabricate(
+        die: DieId,
+        config: PhotonicPufConfig,
+        variation: ProcessVariation,
+        noise_seed: u64,
+    ) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid photonic PUF config: {msg}");
+        }
+        let mut sampler = DieSampler::new(die, variation);
+        let modulator = MachZehnderModulator::sampled(&mut sampler);
+        let mesh = ScramblerMesh::build(config.mesh, &mut sampler);
+        let chains = vec![ReceiveChain::new(); config.mesh.channels];
+        let pairs = Self::comparison_plan(&config);
+        PhotonicPuf {
+            die,
+            config,
+            laser: Laser::new(),
+            modulator,
+            mesh,
+            chains,
+            pairs,
+            env: Environment::nominal(),
+            rng: StdRng::seed_from_u64(noise_seed ^ die.0.rotate_left(17)),
+        }
+    }
+
+    /// Reference-configuration constructor.
+    pub fn reference(die: DieId, noise_seed: u64) -> Self {
+        Self::fabricate(
+            die,
+            PhotonicPufConfig::reference(),
+            ProcessVariation::typical_soi(),
+            noise_seed,
+        )
+    }
+
+    /// The die this instance was fabricated as.
+    pub fn die(&self) -> DieId {
+        self.die
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PhotonicPufConfig {
+        &self.config
+    }
+
+    /// The comparison plan is *public* (part of the device datasheet):
+    /// deterministic from the configuration only, identical for every
+    /// die. Security rests in the physical mesh, not in the plan.
+    fn comparison_plan(config: &PhotonicPufConfig) -> Vec<ComparePair> {
+        let ports = config.mesh.channels;
+        let samples = config.challenge_bits + config.flush_samples;
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = || {
+            state = state.wrapping_mul(0xD129_0298_5E2F_8735).wrapping_add(0x91E1_0DA5_C79E_7B1D);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^= z >> 31;
+            z
+        };
+        // Two comparison sites per response bit: the bit is the XOR of
+        // the two comparisons. XOR-folding squares away the per-site,
+        // per-die bias (each site's bias ε becomes ε² after folding),
+        // which is what lets concatenated responses pass the NIST
+        // frequency tests (experiment E2).
+        let mut pairs = Vec::with_capacity(config.response_bits * 2);
+        while pairs.len() < config.response_bits * 2 {
+            // Compare two *ports at the same instant*: the differential
+            // port pattern is set by the die's interference (common-mode
+            // modulation amplitude cancels), which is what carries the
+            // physical secret. Cross-time comparisons would instead be
+            // dominated by the challenge's own 1/0 energy pattern — the
+            // same on every die. Skip sample 0 (light not yet through)
+            // and cap times shortly after the burst: deep into the flush
+            // the resonator tails decay below one ADC LSB and every
+            // comparison would tie at dark level — a dead, die-
+            // independent bit.
+            let lit = (config.challenge_bits + 8).min(samples);
+            let t = 1 + (next() % (lit as u64 - 1)) as usize;
+            let _ = samples;
+            let pa = (next() % ports as u64) as usize;
+            let pb = (next() % ports as u64) as usize;
+            if pa != pb {
+                pairs.push(ComparePair {
+                    a: (pa, t),
+                    b: (pb, t),
+                });
+            }
+        }
+        pairs
+    }
+
+    /// Full interrogation returning response bits *and* the analog
+    /// comparison margins in ADC codes (positive = confident 1, negative
+    /// = confident 0). The margins feed the photocurrent-threshold
+    /// filtering of §II-B.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PufError::ChallengeLength`] on challenge width mismatch.
+    pub fn respond_with_margins(
+        &mut self,
+        challenge: &Challenge,
+    ) -> Result<(Response, Vec<f64>), PufError> {
+        if challenge.len() != self.config.challenge_bits {
+            return Err(PufError::ChallengeLength {
+                expected: self.config.challenge_bits,
+                actual: challenge.len(),
+            });
+        }
+        let carrier = self.laser.noisy_carrier(&self.env, &mut self.rng);
+        let waveform = self.modulator.modulate(carrier, challenge.bits(), &self.env);
+        let outputs = self
+            .mesh
+            .propagate(&waveform, self.config.flush_samples, &self.env);
+
+        // Detect every port's time series.
+        let samples = self.config.challenge_bits + self.config.flush_samples;
+        let mut codes = vec![vec![0u32; samples]; outputs.len()];
+        for (port, fields) in outputs.iter().enumerate() {
+            let chain = &mut self.chains[port];
+            chain.reset();
+            for (t, &field) in fields.iter().enumerate() {
+                codes[port][t] = chain.sample(field, &self.env, &mut self.rng);
+            }
+        }
+
+        // AC-couple each port (subtract its burst mean) before the
+        // differential comparison. DC blocking is standard in high-speed
+        // receivers, and it is security-critical here: without it the
+        // comparison is dominated by the die-fixed splitting pedestal,
+        // making response bits nearly challenge-independent (and thus
+        // trivially predictable by a modeling attacker).
+        let means: Vec<f64> = codes
+            .iter()
+            .map(|port| port.iter().map(|&c| c as f64).sum::<f64>() / port.len() as f64)
+            .collect();
+        let mut bits = Vec::with_capacity(self.config.response_bits);
+        let mut margins = Vec::with_capacity(self.config.response_bits);
+        for site in self.pairs.chunks_exact(2) {
+            let diff = |pair: &ComparePair| {
+                codes[pair.a.0][pair.a.1] as f64 - means[pair.a.0]
+                    - (codes[pair.b.0][pair.b.1] as f64 - means[pair.b.0])
+            };
+            let d0 = diff(&site[0]);
+            let d1 = diff(&site[1]);
+            let bit = u8::from(d0 > 0.0) ^ u8::from(d1 > 0.0);
+            bits.push(bit);
+            // The folded bit flips when the *weaker* comparison flips:
+            // report the min magnitude, signed by the bit value, so
+            // "positive margin ⟺ bit 1" still holds for the filtering
+            // layer.
+            let magnitude = d0.abs().min(d1.abs());
+            margins.push(if bit == 1 { magnitude } else { -magnitude });
+        }
+        Ok((Response::from_bits(bits), margins))
+    }
+
+    /// Raw per-port, per-time ADC codes for a challenge — the interface
+    /// the side-channel and laser-tampering attack models probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PufError::ChallengeLength`] on challenge width mismatch.
+    pub fn adc_trace(&mut self, challenge: &Challenge) -> Result<Vec<Vec<u32>>, PufError> {
+        if challenge.len() != self.config.challenge_bits {
+            return Err(PufError::ChallengeLength {
+                expected: self.config.challenge_bits,
+                actual: challenge.len(),
+            });
+        }
+        let carrier = self.laser.noisy_carrier(&self.env, &mut self.rng);
+        let waveform = self.modulator.modulate(carrier, challenge.bits(), &self.env);
+        let outputs = self
+            .mesh
+            .propagate(&waveform, self.config.flush_samples, &self.env);
+        let mut codes = Vec::with_capacity(outputs.len());
+        for (port, fields) in outputs.iter().enumerate() {
+            let chain = &mut self.chains[port];
+            chain.reset();
+            codes.push(
+                fields
+                    .iter()
+                    .map(|&f| chain.sample(f, &self.env, &mut self.rng))
+                    .collect(),
+            );
+        }
+        Ok(codes)
+    }
+
+    /// Noise-free deterministic evaluation — the "ideally reliable
+    /// strong PUF" abstraction the attestation protocol of §III-B
+    /// assumes on both the Device and (as a model) the Verifier. Uses
+    /// the ideal photodiode response and a fixed carrier, so the same
+    /// die always returns the identical response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PufError::ChallengeLength`] on challenge width
+    /// mismatch.
+    pub fn respond_deterministic(&mut self, challenge: &Challenge) -> Result<Response, PufError> {
+        if challenge.len() != self.config.challenge_bits {
+            return Err(PufError::ChallengeLength {
+                expected: self.config.challenge_bits,
+                actual: challenge.len(),
+            });
+        }
+        let carrier = self.laser.carrier(&self.env);
+        let waveform = self.modulator.modulate(carrier, challenge.bits(), &self.env);
+        let outputs = self
+            .mesh
+            .propagate(&waveform, self.config.flush_samples, &self.env);
+        let samples = self.config.challenge_bits + self.config.flush_samples;
+        let mut currents = vec![vec![0.0f64; samples]; outputs.len()];
+        for (port, fields) in outputs.iter().enumerate() {
+            for (t, &field) in fields.iter().enumerate() {
+                currents[port][t] = self.chains[port].pd.detect_ideal(field);
+            }
+        }
+        let means: Vec<f64> = currents
+            .iter()
+            .map(|port| port.iter().sum::<f64>() / port.len() as f64)
+            .collect();
+        let bits: Vec<u8> = self
+            .pairs
+            .chunks_exact(2)
+            .map(|site| {
+                let diff = |pair: &ComparePair| {
+                    currents[pair.a.0][pair.a.1] - means[pair.a.0]
+                        - (currents[pair.b.0][pair.b.1] - means[pair.b.0])
+                };
+                u8::from(diff(&site[0]) > 0.0) ^ u8::from(diff(&site[1]) > 0.0)
+            })
+            .collect();
+        Ok(Response::from_bits(bits))
+    }
+
+    /// Ages the device by `years` of field deployment: phase elements
+    /// drift as a random walk. The default drift rate (0.01 rad/√year)
+    /// models a well-passivated SOI process; experiment E15 sweeps it.
+    pub fn age(&mut self, years: f64) {
+        self.age_with_rate(years, 0.01);
+    }
+
+    /// Ages with an explicit drift rate (rad per √year).
+    pub fn age_with_rate(&mut self, years: f64, sigma_rad_per_sqrt_year: f64) {
+        let mut aging_rng = StdRng::seed_from_u64(
+            self.die.0 ^ (years.to_bits().rotate_left(13)),
+        );
+        self.mesh
+            .apply_aging(years, sigma_rad_per_sqrt_year, &mut aging_rng);
+    }
+
+    /// Duration for which the response physically exists inside the PIC
+    /// (§IV: "below 100 ns").
+    pub fn response_window_ns(&self) -> f64 {
+        self.modulator
+            .burst_duration_ns(self.config.challenge_bits + self.config.flush_samples)
+    }
+}
+
+impl Puf for PhotonicPuf {
+    fn challenge_bits(&self) -> usize {
+        self.config.challenge_bits
+    }
+
+    fn response_bits(&self) -> usize {
+        self.config.response_bits
+    }
+
+    fn kind(&self) -> PufKind {
+        PufKind::Strong
+    }
+
+    fn respond(&mut self, challenge: &Challenge) -> Result<Response, PufError> {
+        self.respond_with_margins(challenge).map(|(r, _)| r)
+    }
+
+    fn set_environment(&mut self, env: Environment) {
+        self.env = env;
+    }
+
+    fn environment(&self) -> Environment {
+        self.env
+    }
+
+    fn latency_ns(&self) -> f64 {
+        self.response_window_ns() + self.config.electronics_latency_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn puf(die: u64) -> PhotonicPuf {
+        PhotonicPuf::reference(DieId(die), 1000 + die)
+    }
+
+    fn challenge(seed: u64) -> Challenge {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Challenge::random(64, &mut rng)
+    }
+
+    #[test]
+    fn response_has_configured_width() {
+        let mut p = puf(1);
+        let r = p.respond(&challenge(1)).unwrap();
+        assert_eq!(r.len(), 64);
+    }
+
+    #[test]
+    fn rejects_wrong_challenge_width() {
+        let mut p = puf(2);
+        let bad = Challenge::from_u64(1, 32);
+        assert!(matches!(
+            p.respond(&bad),
+            Err(PufError::ChallengeLength { expected: 64, actual: 32 })
+        ));
+    }
+
+    #[test]
+    fn same_die_same_challenge_is_mostly_stable() {
+        let mut p = puf(3);
+        let c = challenge(3);
+        let golden = p.respond_golden(&c, 9).unwrap();
+        let mut total_fhd = 0.0;
+        for _ in 0..10 {
+            total_fhd += golden.fhd(&p.respond(&c).unwrap());
+        }
+        let mean = total_fhd / 10.0;
+        assert!(mean < 0.12, "intra-die FHD too high: {mean}");
+    }
+
+    #[test]
+    fn different_dies_disagree_heavily() {
+        let c = challenge(4);
+        let mut a = puf(4);
+        let mut b = puf(5);
+        let ra = a.respond_golden(&c, 5).unwrap();
+        let rb = b.respond_golden(&c, 5).unwrap();
+        let fhd = ra.fhd(&rb);
+        assert!(fhd > 0.25, "inter-die FHD too low: {fhd}");
+    }
+
+    #[test]
+    fn different_challenges_give_different_responses() {
+        let mut p = puf(6);
+        let r1 = p.respond_golden(&challenge(10), 5).unwrap();
+        let r2 = p.respond_golden(&challenge(11), 5).unwrap();
+        assert!(r1.fhd(&r2) > 0.1, "challenge sensitivity too low");
+    }
+
+    #[test]
+    fn margins_align_with_bits() {
+        let mut p = puf(7);
+        let (r, margins) = p.respond_with_margins(&challenge(7)).unwrap();
+        assert_eq!(margins.len(), r.len());
+        for (bit, margin) in r.bits().iter().zip(&margins) {
+            if *margin > 0.0 {
+                assert_eq!(*bit, 1);
+            } else {
+                assert_eq!(*bit, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn response_window_is_under_100ns() {
+        let p = puf(8);
+        assert!(p.response_window_ns() < 100.0, "window {}", p.response_window_ns());
+    }
+
+    #[test]
+    fn throughput_exceeds_5gbps() {
+        let p = puf(9);
+        assert!(
+            p.throughput_gbps() >= 5.0,
+            "throughput {} Gb/s",
+            p.throughput_gbps()
+        );
+    }
+
+    #[test]
+    fn adc_trace_shape() {
+        let mut p = puf(10);
+        let trace = p.adc_trace(&challenge(10)).unwrap();
+        assert_eq!(trace.len(), 8);
+        assert_eq!(trace[0].len(), 96);
+    }
+
+    #[test]
+    fn responses_are_roughly_uniform() {
+        let mut p = puf(11);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut ones = 0usize;
+        let mut total = 0usize;
+        for _ in 0..20 {
+            let c = Challenge::random(64, &mut rng);
+            let r = p.respond(&c).unwrap();
+            ones += r.weight();
+            total += r.len();
+        }
+        let frac = ones as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.12, "uniformity {frac}");
+    }
+
+    #[test]
+    fn temperature_degrades_reliability_against_nominal_enrollment() {
+        // Silicon's thermo-optic coefficient is large: a modest +10 K
+        // already flips a measurable fraction of bits, and extreme
+        // excursions fully decorrelate the response (which is why §II-B
+        // pairs the PUF with a temperature sensor and controller —
+        // experiment E11 shows the compensation restoring reliability).
+        let mut p = puf(12);
+        let c = challenge(12);
+        let golden = p.respond_golden(&c, 9).unwrap();
+        p.set_environment(Environment::at_temperature(35.0));
+        let warm = p.respond_golden(&c, 9).unwrap();
+        let drift = golden.fhd(&warm);
+        assert!(drift > 0.01, "temperature drift invisible: {drift}");
+        assert!(drift < 0.45, "10 K should not fully decorrelate: {drift}");
+        p.set_environment(Environment::at_temperature(85.0));
+        let hot = p.respond_golden(&c, 9).unwrap();
+        assert!(
+            golden.fhd(&hot) > drift,
+            "larger excursion must drift further"
+        );
+    }
+
+    #[test]
+    fn comparison_plan_is_deterministic_and_public() {
+        let a = PhotonicPuf::comparison_plan(&PhotonicPufConfig::reference());
+        let b = PhotonicPuf::comparison_plan(&PhotonicPufConfig::reference());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_seed_changes_noise_not_identity() {
+        let c = challenge(13);
+        let mut a = PhotonicPuf::reference(DieId(77), 1);
+        let mut b = PhotonicPuf::reference(DieId(77), 2);
+        let ra = a.respond_golden(&c, 9).unwrap();
+        let rb = b.respond_golden(&c, 9).unwrap();
+        assert!(ra.fhd(&rb) < 0.12, "same die diverged: {}", ra.fhd(&rb));
+    }
+
+    #[test]
+    fn respond_is_somewhat_noisy() {
+        // The PUF must be *noisy* (otherwise ECC and filtering would be
+        // pointless): across many single reads, at least a few bits flip.
+        let mut p = puf(14);
+        let c = challenge(14);
+        let first = p.respond(&c).unwrap();
+        let mut any_flip = false;
+        for _ in 0..20 {
+            if p.respond(&c).unwrap() != first {
+                any_flip = true;
+                break;
+            }
+        }
+        assert!(any_flip, "responses are perfectly deterministic — noise model inactive");
+    }
+
+    #[test]
+    fn challenge_sensitivity_is_time_local() {
+        // Flipping one challenge bit perturbs the comparisons within the
+        // resonator memory horizon after that bit — a handful of response
+        // bits, not zero (the mesh has memory) and not half (the
+        // perturbation decays). Both extremes would indicate a modeling
+        // bug.
+        let mut p = puf(15);
+        let c1 = challenge(15);
+        let mut bits = c1.bits().to_vec();
+        bits[0] ^= 1;
+        let c2 = Challenge::from_bits(bits);
+        let r1 = p.respond_golden(&c1, 7).unwrap();
+        let r2 = p.respond_golden(&c2, 7).unwrap();
+        let fhd = r1.fhd(&r2);
+        assert!(fhd > 0.015, "single-bit sensitivity too weak: {fhd}");
+        assert!(fhd < 0.5, "single-bit flip should not rewrite the response: {fhd}");
+    }
+
+    #[test]
+    fn random_challenges_never_panic() {
+        let mut p = puf(16);
+        let mut rng = StdRng::seed_from_u64(123);
+        for _ in 0..10 {
+            let c = Challenge::from_bits((0..64).map(|_| rng.gen::<u8>() & 1));
+            let _ = p.respond(&c).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod aging_tests {
+    use super::*;
+    use crate::traits::Puf;
+
+    #[test]
+    fn aging_drifts_responses_gradually() {
+        let c = {
+            let mut rng = StdRng::seed_from_u64(700);
+            Challenge::random(64, &mut rng)
+        };
+        let mut p = PhotonicPuf::reference(DieId(70), 1);
+        let golden = p.respond_golden(&c, 9).unwrap();
+
+        p.age(1.0);
+        let after_one_year = p.respond_golden(&c, 9).unwrap();
+        let drift_1y = golden.fhd(&after_one_year);
+
+        p.age_with_rate(25.0, 0.1); // brutal accelerated aging
+        let after_decades = p.respond_golden(&c, 9).unwrap();
+        let drift_heavy = golden.fhd(&after_decades);
+
+        assert!(drift_1y < 0.15, "1-year drift too large: {drift_1y}");
+        assert!(
+            drift_heavy > drift_1y,
+            "heavy aging must drift further: {drift_1y} vs {drift_heavy}"
+        );
+    }
+
+    #[test]
+    fn zero_years_is_a_noop() {
+        let c = Challenge::from_u64(0xFACE, 64);
+        let mut a = PhotonicPuf::reference(DieId(71), 5);
+        let before = a.respond_deterministic(&c).unwrap();
+        a.age(0.0);
+        let after = a.respond_deterministic(&c).unwrap();
+        assert_eq!(before, after);
+    }
+}

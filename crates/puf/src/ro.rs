@@ -1,0 +1,327 @@
+//! Ring-oscillator PUF — the substrate of the Vinagrero et al. \[13\]
+//! filtering study that Fig. 3 is drawn from.
+//!
+//! Each RO has a fabrication-fixed frequency offset (Gaussian process
+//! variation) plus temperature drift and per-measurement jitter. A
+//! challenge selects an RO *pair*; both are counted over a fixed window
+//! and the response bit is the sign of the count difference. The raw
+//! count difference is exposed because the filtering method thresholds
+//! it: pairs with small |Δcount| are unreliable, pairs with huge |Δcount|
+//! are biased across devices (aliased).
+
+use crate::bits::{Challenge, Response};
+use crate::traits::{Puf, PufError, PufKind};
+use neuropuls_photonic::laser::gaussian;
+use neuropuls_photonic::process::DieId;
+use neuropuls_photonic::Environment;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the RO array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoConfig {
+    /// Number of ring oscillators.
+    pub oscillators: usize,
+    /// Nominal frequency in MHz.
+    pub nominal_mhz: f64,
+    /// Process σ of the per-RO frequency offset, MHz.
+    pub process_sigma_mhz: f64,
+    /// Per-measurement jitter σ, MHz.
+    pub jitter_sigma_mhz: f64,
+    /// Temperature coefficient, MHz per kelvin (ROs slow down when hot;
+    /// mismatch in the coefficient is what breaks pair ordering).
+    pub temp_coeff_mhz_per_k: f64,
+    /// σ of the *per-RO* temperature-coefficient mismatch, MHz/K.
+    pub temp_coeff_sigma: f64,
+    /// σ of the *design-level* systematic pair skew, MHz. Routing and
+    /// placement asymmetries give each pair a frequency offset that is
+    /// the **same on every die**; pairs whose skew dwarfs the process
+    /// variation answer identically across devices — the bit-aliasing
+    /// phenomenon the Fig. 3 filtering method manages.
+    pub pair_skew_sigma_mhz: f64,
+    /// Counting window in µs.
+    pub window_us: f64,
+}
+
+impl RoConfig {
+    /// A 256-RO array with parameters in the range of published RO-PUF
+    /// silicon (≈500 MHz, σ_process ≈ 1 %, jitter ≈ 0.05 %).
+    pub fn reference() -> Self {
+        RoConfig {
+            oscillators: 256,
+            nominal_mhz: 500.0,
+            process_sigma_mhz: 5.0,
+            jitter_sigma_mhz: 0.25,
+            temp_coeff_mhz_per_k: -0.15,
+            temp_coeff_sigma: 0.01,
+            pair_skew_sigma_mhz: 4.0,
+            window_us: 20.0,
+        }
+    }
+}
+
+/// The RO PUF.
+#[derive(Debug, Clone)]
+pub struct RoPuf {
+    die: DieId,
+    config: RoConfig,
+    /// Fabrication-fixed frequency offsets (MHz).
+    offsets: Vec<f64>,
+    /// Per-RO temperature coefficients (MHz/K).
+    temp_coeffs: Vec<f64>,
+    env: Environment,
+    rng: StdRng,
+}
+
+impl RoPuf {
+    /// Fabricates the array for `die`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has fewer than two oscillators.
+    pub fn fabricate(die: DieId, config: RoConfig, noise_seed: u64) -> Self {
+        assert!(config.oscillators >= 2, "need at least two oscillators");
+        let mut fab_rng = StdRng::seed_from_u64(die.0.wrapping_mul(0x9E6C_63D0_876A_68D5));
+        // Design-level skew: seeded by the *design*, not the die, so all
+        // devices share it.
+        let mut design_rng = StdRng::seed_from_u64(0x05EE_D0F7_DE51);
+        let mut offsets: Vec<f64> = (0..config.oscillators)
+            .map(|_| config.process_sigma_mhz * gaussian(&mut fab_rng))
+            .collect();
+        for pair in 0..config.oscillators / 2 {
+            let skew = config.pair_skew_sigma_mhz * gaussian(&mut design_rng);
+            offsets[2 * pair] += skew / 2.0;
+            offsets[2 * pair + 1] -= skew / 2.0;
+        }
+        let temp_coeffs = (0..config.oscillators)
+            .map(|_| config.temp_coeff_mhz_per_k + config.temp_coeff_sigma * gaussian(&mut fab_rng))
+            .collect();
+        RoPuf {
+            die,
+            config,
+            offsets,
+            temp_coeffs,
+            env: Environment::nominal(),
+            rng: StdRng::seed_from_u64(noise_seed ^ die.0.rotate_left(7)),
+        }
+    }
+
+    /// Reference-configuration constructor.
+    pub fn reference(die: DieId, noise_seed: u64) -> Self {
+        Self::fabricate(die, RoConfig::reference(), noise_seed)
+    }
+
+    /// The die this array was fabricated as.
+    pub fn die(&self) -> DieId {
+        self.die
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RoConfig {
+        &self.config
+    }
+
+    /// Number of distinct adjacent-disjoint pairs addressable as
+    /// challenges (pair `i` compares RO `2i` and RO `2i+1`, the classic
+    /// Suh–Devadas arrangement which never reuses an oscillator).
+    pub fn pairs(&self) -> usize {
+        self.config.oscillators / 2
+    }
+
+    /// Measures the instantaneous frequency of oscillator `idx` (MHz).
+    fn measure_frequency(&mut self, idx: usize) -> f64 {
+        self.config.nominal_mhz
+            + self.offsets[idx]
+            + self.temp_coeffs[idx] * self.env.delta_t()
+            + self.config.jitter_sigma_mhz * gaussian(&mut self.rng)
+    }
+
+    /// Counts both oscillators of pair `pair` over the window, returning
+    /// `(count_a, count_b)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PufError::ChallengeOutOfRange`] on a bad pair index.
+    pub fn count_pair(&mut self, pair: usize) -> Result<(u64, u64), PufError> {
+        if pair >= self.pairs() {
+            return Err(PufError::ChallengeOutOfRange(format!(
+                "pair {pair} of {}",
+                self.pairs()
+            )));
+        }
+        let fa = self.measure_frequency(2 * pair);
+        let fb = self.measure_frequency(2 * pair + 1);
+        let window = self.config.window_us;
+        Ok(((fa * window) as u64, (fb * window) as u64))
+    }
+
+    /// Signed count difference of a pair — the quantity the filtering
+    /// method thresholds.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::count_pair`].
+    pub fn count_difference(&mut self, pair: usize) -> Result<i64, PufError> {
+        let (a, b) = self.count_pair(pair)?;
+        Ok(a as i64 - b as i64)
+    }
+
+    /// One response bit from a pair.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::count_pair`].
+    pub fn pair_bit(&mut self, pair: usize) -> Result<u8, PufError> {
+        Ok(u8::from(self.count_difference(pair)? > 0))
+    }
+
+    /// The noise-free expected count difference of a pair at the current
+    /// environment (enrollment-time characterization).
+    pub fn expected_difference(&self, pair: usize) -> f64 {
+        let dt = self.env.delta_t();
+        let fa = self.offsets[2 * pair] + self.temp_coeffs[2 * pair] * dt;
+        let fb = self.offsets[2 * pair + 1] + self.temp_coeffs[2 * pair + 1] * dt;
+        (fa - fb) * self.config.window_us
+    }
+}
+
+impl Puf for RoPuf {
+    /// Challenge = pair index, log2(pairs) bits.
+    fn challenge_bits(&self) -> usize {
+        usize::BITS as usize - (self.pairs() - 1).leading_zeros() as usize
+    }
+
+    fn response_bits(&self) -> usize {
+        1
+    }
+
+    fn kind(&self) -> PufKind {
+        PufKind::Weak
+    }
+
+    fn respond(&mut self, challenge: &Challenge) -> Result<Response, PufError> {
+        let mut pair = 0usize;
+        for (i, &bit) in challenge.bits().iter().enumerate() {
+            if i >= usize::BITS as usize {
+                break;
+            }
+            pair |= (bit as usize) << i;
+        }
+        Ok(Response::from_bits([self.pair_bit(pair)?]))
+    }
+
+    fn set_environment(&mut self, env: Environment) {
+        self.env = env;
+    }
+
+    fn environment(&self) -> Environment {
+        self.env
+    }
+
+    /// One counting window.
+    fn latency_ns(&self) -> f64 {
+        self.config.window_us * 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn puf(die: u64) -> RoPuf {
+        RoPuf::reference(DieId(die), die * 31 + 5)
+    }
+
+    #[test]
+    fn pair_bits_mostly_stable() {
+        let mut p = puf(1);
+        let mut flips = 0usize;
+        let mut total = 0usize;
+        for pair in 0..p.pairs() {
+            let first = p.pair_bit(pair).unwrap();
+            for _ in 0..5 {
+                total += 1;
+                if p.pair_bit(pair).unwrap() != first {
+                    flips += 1;
+                }
+            }
+        }
+        let ber = flips as f64 / total as f64;
+        assert!(ber < 0.15, "RO BER {ber}");
+    }
+
+    #[test]
+    fn small_expected_difference_means_unreliable() {
+        let mut p = puf(2);
+        // Find the pair with the smallest and largest |expected diff|.
+        let (mut min_pair, mut max_pair) = (0usize, 0usize);
+        for pair in 1..p.pairs() {
+            if p.expected_difference(pair).abs() < p.expected_difference(min_pair).abs() {
+                min_pair = pair;
+            }
+            if p.expected_difference(pair).abs() > p.expected_difference(max_pair).abs() {
+                max_pair = pair;
+            }
+        }
+        let flip_rate = |p: &mut RoPuf, pair: usize| {
+            let reads: Vec<u8> = (0..60).map(|_| p.pair_bit(pair).unwrap()).collect();
+            let ones: usize = reads.iter().map(|&b| b as usize).sum();
+            let frac = ones as f64 / reads.len() as f64;
+            frac.min(1.0 - frac)
+        };
+        let unstable = flip_rate(&mut p, min_pair);
+        let stable = flip_rate(&mut p, max_pair);
+        assert!(stable <= unstable, "stable {stable} vs unstable {unstable}");
+        assert!(stable < 0.05);
+    }
+
+    #[test]
+    fn different_dies_have_different_orderings() {
+        let mut a = puf(3);
+        let mut b = puf(4);
+        let bits_a: Vec<u8> = (0..a.pairs()).map(|i| a.pair_bit(i).unwrap()).collect();
+        let bits_b: Vec<u8> = (0..b.pairs()).map(|i| b.pair_bit(i).unwrap()).collect();
+        let diff = bits_a
+            .iter()
+            .zip(&bits_b)
+            .filter(|(x, y)| x != y)
+            .count() as f64
+            / bits_a.len() as f64;
+        assert!(diff > 0.3, "inter-die pair disagreement {diff}");
+    }
+
+    #[test]
+    fn out_of_range_pair_rejected() {
+        let mut p = puf(5);
+        let n = p.pairs();
+        assert!(p.count_pair(n).is_err());
+        assert!(p.count_pair(n - 1).is_ok());
+    }
+
+    #[test]
+    fn counts_scale_with_window() {
+        let mut p = puf(6);
+        let (a, _) = p.count_pair(0).unwrap();
+        // 500 MHz over 20 µs ≈ 10_000 counts.
+        assert!((9_000..11_000).contains(&a), "count {a}");
+    }
+
+    #[test]
+    fn temperature_flips_marginal_pairs() {
+        let mut p = puf(7);
+        let cold: Vec<u8> = (0..p.pairs()).map(|i| p.pair_bit(i).unwrap()).collect();
+        p.set_environment(Environment::at_temperature(85.0));
+        let hot: Vec<u8> = (0..p.pairs()).map(|i| p.pair_bit(i).unwrap()).collect();
+        let flips = cold.iter().zip(&hot).filter(|(a, b)| a != b).count();
+        assert!(flips > 0, "temperature never flipped any pair");
+        assert!(flips < p.pairs() / 2, "temperature destroyed the PUF");
+    }
+
+    #[test]
+    fn trait_respond_matches_pair_indexing() {
+        let mut p = puf(8);
+        let c = Challenge::from_u64(10, p.challenge_bits());
+        let r = p.respond(&c).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+}

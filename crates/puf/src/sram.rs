@@ -1,0 +1,308 @@
+//! SRAM PUF — the ASIC-side weak PUF of Fig. 1, which "guarantees unique
+//! binding between the chips".
+//!
+//! Model: each cell has a fixed threshold-voltage mismatch drawn from a
+//! standard Gaussian at fabrication. On power-up the cell settles to
+//! `mismatch + noise > 0`, so cells with small |mismatch| are the noisy
+//! ones — the standard literature model. The challenge selects a word
+//! range; the response is the power-up pattern of those cells.
+//!
+//! The model also implements the **remanence decay** behaviour of
+//! Zeitouni et al. \[27\]: if the array held *data* and is briefly powered
+//! down, cells revert to their power-up preference with a probability
+//! that grows with the off-time. §IV argues the photonic PUF is immune to
+//! this class of attack because its response exists only during the
+//! <100 ns interrogation window; experiment E8 contrasts the two.
+
+use crate::bits::{Challenge, Response};
+use crate::traits::{Puf, PufError, PufKind};
+use neuropuls_photonic::laser::gaussian;
+use neuropuls_photonic::process::DieId;
+use neuropuls_photonic::Environment;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the SRAM array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramConfig {
+    /// Total number of cells.
+    pub cells: usize,
+    /// Response word width in bits.
+    pub word_bits: usize,
+    /// Power-up noise σ relative to the mismatch σ (≈ 0.06 gives the
+    /// ~4 % noisy-cell fraction reported for real SRAM).
+    pub noise_sigma: f64,
+    /// Temperature coefficient: extra noise σ per kelvin away from 25 °C.
+    pub noise_temp_coeff: f64,
+    /// Remanence time constant in milliseconds (off-time after which
+    /// ~63 % of cells have decayed to their power-up preference).
+    pub remanence_tau_ms: f64,
+}
+
+impl SramConfig {
+    /// A 4 KiB array with 64-bit words.
+    pub fn reference() -> Self {
+        SramConfig {
+            cells: 32_768,
+            word_bits: 64,
+            noise_sigma: 0.06,
+            noise_temp_coeff: 0.002,
+            remanence_tau_ms: 5.0,
+        }
+    }
+}
+
+/// The SRAM PUF.
+#[derive(Debug, Clone)]
+pub struct SramPuf {
+    die: DieId,
+    config: SramConfig,
+    /// Per-cell fixed mismatch (the physical secret).
+    mismatch: Vec<f64>,
+    /// Data currently written to the array (None = array used purely as
+    /// a PUF).
+    data: Option<Vec<u8>>,
+    env: Environment,
+    rng: StdRng,
+}
+
+impl SramPuf {
+    /// Fabricates the array for `die`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero cells or word
+    /// width, or word wider than the array).
+    pub fn fabricate(die: DieId, config: SramConfig, noise_seed: u64) -> Self {
+        assert!(config.cells > 0 && config.word_bits > 0, "degenerate SRAM config");
+        assert!(config.word_bits <= config.cells, "word wider than array");
+        let mut fab_rng = StdRng::seed_from_u64(die.0.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let mismatch = (0..config.cells).map(|_| gaussian(&mut fab_rng)).collect();
+        SramPuf {
+            die,
+            config,
+            mismatch,
+            data: None,
+            env: Environment::nominal(),
+            rng: StdRng::seed_from_u64(noise_seed ^ die.0),
+        }
+    }
+
+    /// Reference-configuration constructor.
+    pub fn reference(die: DieId, noise_seed: u64) -> Self {
+        Self::fabricate(die, SramConfig::reference(), noise_seed)
+    }
+
+    /// The die this array was fabricated as.
+    pub fn die(&self) -> DieId {
+        self.die
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SramConfig {
+        &self.config
+    }
+
+    /// Number of addressable words.
+    pub fn words(&self) -> usize {
+        self.config.cells / self.config.word_bits
+    }
+
+    fn noise_sigma(&self) -> f64 {
+        self.config.noise_sigma + self.config.noise_temp_coeff * self.env.delta_t().abs()
+    }
+
+    fn power_up_cell(&mut self, idx: usize) -> u8 {
+        let sigma = self.noise_sigma();
+        u8::from(self.mismatch[idx] + sigma * gaussian(&mut self.rng) > 0.0)
+    }
+
+    /// Power-up read of word `word` (PUF mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PufError::ChallengeOutOfRange`] if the word index is out
+    /// of bounds.
+    pub fn read_word(&mut self, word: usize) -> Result<Response, PufError> {
+        if word >= self.words() {
+            return Err(PufError::ChallengeOutOfRange(format!(
+                "word {word} of {}",
+                self.words()
+            )));
+        }
+        let base = word * self.config.word_bits;
+        let bits: Vec<u8> = (0..self.config.word_bits)
+            .map(|i| self.power_up_cell(base + i))
+            .collect();
+        Ok(Response::from_bits(bits))
+    }
+
+    /// Writes data into the array (normal memory mode); used by the
+    /// remanence-decay attack model.
+    pub fn write_data(&mut self, data: Vec<u8>) {
+        assert_eq!(data.len(), self.config.cells, "data must cover the array");
+        self.data = Some(data.into_iter().map(|b| b & 1).collect());
+    }
+
+    /// Simulates a power cycle with the given off-time and reads the
+    /// whole array. Cells that held data keep it with probability
+    /// `exp(-t/τ)` and otherwise revert to their power-up preference —
+    /// the remanence-decay side channel of \[27\].
+    pub fn power_cycle_read(&mut self, off_time_ms: f64) -> Vec<u8> {
+        let retain = (-off_time_ms / self.config.remanence_tau_ms).exp();
+        let data = self.data.clone();
+        (0..self.config.cells)
+            .map(|i| match &data {
+                Some(d) if self.rng.gen::<f64>() < retain => d[i],
+                _ => self.power_up_cell(i),
+            })
+            .collect()
+    }
+
+    /// Fraction of cells whose |mismatch| is below one noise σ — the
+    /// intrinsically unstable population.
+    pub fn unstable_cell_fraction(&self) -> f64 {
+        let sigma = self.config.noise_sigma;
+        self.mismatch.iter().filter(|m| m.abs() < sigma).count() as f64 / self.config.cells as f64
+    }
+}
+
+impl Puf for SramPuf {
+    /// Challenge = word index, log2(words) bits.
+    fn challenge_bits(&self) -> usize {
+        usize::BITS as usize - (self.words() - 1).leading_zeros() as usize
+    }
+
+    fn response_bits(&self) -> usize {
+        self.config.word_bits
+    }
+
+    fn kind(&self) -> PufKind {
+        PufKind::Weak
+    }
+
+    fn respond(&mut self, challenge: &Challenge) -> Result<Response, PufError> {
+        let mut word = 0usize;
+        for (i, &bit) in challenge.bits().iter().enumerate() {
+            if i >= usize::BITS as usize {
+                break;
+            }
+            word |= (bit as usize) << i;
+        }
+        self.read_word(word)
+    }
+
+    fn set_environment(&mut self, env: Environment) {
+        self.env = env;
+    }
+
+    fn environment(&self) -> Environment {
+        self.env
+    }
+
+    /// Power-up readout latency: microseconds, not nanoseconds — SRAM
+    /// PUFs are slow compared to the pPUF.
+    fn latency_ns(&self) -> f64 {
+        1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn puf(die: u64) -> SramPuf {
+        SramPuf::reference(DieId(die), 42 + die)
+    }
+
+    #[test]
+    fn word_read_is_mostly_stable() {
+        let mut p = puf(1);
+        let golden = p.read_word(0).unwrap();
+        let mut flips = 0usize;
+        let reads = 20;
+        for _ in 0..reads {
+            flips += golden.hamming(&p.read_word(0).unwrap());
+        }
+        let ber = flips as f64 / (reads * 64) as f64;
+        assert!(ber < 0.1, "SRAM BER {ber}");
+    }
+
+    #[test]
+    fn different_dies_differ() {
+        let mut a = puf(2);
+        let mut b = puf(3);
+        let fhd = a.read_word(0).unwrap().fhd(&b.read_word(0).unwrap());
+        assert!(fhd > 0.3, "inter-die FHD {fhd}");
+    }
+
+    #[test]
+    fn out_of_range_word_rejected() {
+        let mut p = puf(4);
+        let words = p.words();
+        assert!(p.read_word(words).is_err());
+    }
+
+    #[test]
+    fn respond_uses_word_index() {
+        let mut p = puf(5);
+        let via_trait = p.respond(&Challenge::from_u64(3, p.challenge_bits())).unwrap();
+        let direct = p.read_word(3).unwrap();
+        // Both are noisy reads of the same word: close, not necessarily
+        // equal.
+        assert!(via_trait.fhd(&direct) < 0.2);
+    }
+
+    #[test]
+    fn unstable_fraction_is_small_but_nonzero() {
+        let p = puf(6);
+        let f = p.unstable_cell_fraction();
+        assert!(f > 0.005 && f < 0.15, "unstable fraction {f}");
+    }
+
+    #[test]
+    fn remanence_short_off_time_leaks_data() {
+        let mut p = puf(7);
+        let data: Vec<u8> = (0..p.config().cells).map(|i| (i % 2) as u8).collect();
+        p.write_data(data.clone());
+        let read = p.power_cycle_read(0.1); // 0.1 ms ≪ τ = 5 ms
+        let matches = read.iter().zip(&data).filter(|(a, b)| a == b).count();
+        let frac = matches as f64 / data.len() as f64;
+        assert!(frac > 0.9, "remanence leak fraction {frac}");
+    }
+
+    #[test]
+    fn remanence_long_off_time_erases_data() {
+        let mut p = puf(8);
+        let data: Vec<u8> = (0..p.config().cells).map(|i| (i % 2) as u8).collect();
+        p.write_data(data.clone());
+        let read = p.power_cycle_read(100.0); // 100 ms ≫ τ
+        let matches = read.iter().zip(&data).filter(|(a, b)| a == b).count();
+        let frac = matches as f64 / data.len() as f64;
+        // Alternating data vs. random power-up: ~50 % agreement.
+        assert!((frac - 0.5).abs() < 0.1, "agreement {frac}");
+    }
+
+    #[test]
+    fn heat_increases_noise() {
+        let mut p = puf(9);
+        let golden = p.read_word(1).unwrap();
+        let cold_flips: usize = (0..20)
+            .map(|_| golden.hamming(&p.read_word(1).unwrap()))
+            .sum();
+        p.set_environment(Environment::at_temperature(85.0));
+        let hot_flips: usize = (0..20)
+            .map(|_| golden.hamming(&p.read_word(1).unwrap()))
+            .sum();
+        assert!(hot_flips > cold_flips, "cold {cold_flips} hot {hot_flips}");
+    }
+
+    #[test]
+    fn kind_and_widths() {
+        let p = puf(10);
+        assert_eq!(p.kind(), PufKind::Weak);
+        assert_eq!(p.response_bits(), 64);
+        assert_eq!(p.words(), 512);
+        assert_eq!(p.challenge_bits(), 9);
+    }
+}

@@ -1,0 +1,133 @@
+//! The PUF abstraction used by every protocol and experiment.
+
+use crate::bits::{Challenge, Response};
+use neuropuls_photonic::Environment;
+use std::error::Error;
+use std::fmt;
+
+/// Weak vs. strong primitive (Fig. 1: "Weak and strong PUFs target
+/// different security services").
+///
+/// * A **weak** PUF supports few challenges and is used for key
+///   generation (with a fuzzy extractor).
+/// * A **strong** PUF has an exponential challenge space and is used for
+///   authentication and attestation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PufKind {
+    /// Few CRPs; key-generation primitive.
+    Weak,
+    /// Exponentially many CRPs; authentication primitive.
+    Strong,
+}
+
+impl fmt::Display for PufKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PufKind::Weak => write!(f, "weak"),
+            PufKind::Strong => write!(f, "strong"),
+        }
+    }
+}
+
+/// Errors raised by PUF evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PufError {
+    /// The challenge length does not match the primitive.
+    ChallengeLength {
+        /// Bits the primitive expects.
+        expected: usize,
+        /// Bits supplied.
+        actual: usize,
+    },
+    /// The challenge addresses a resource outside the primitive (e.g. an
+    /// RO index or SRAM word beyond the array).
+    ChallengeOutOfRange(String),
+}
+
+impl fmt::Display for PufError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PufError::ChallengeLength { expected, actual } => {
+                write!(f, "challenge length mismatch: expected {expected} bits, got {actual}")
+            }
+            PufError::ChallengeOutOfRange(what) => write!(f, "challenge out of range: {what}"),
+        }
+    }
+}
+
+impl Error for PufError {}
+
+/// A physical unclonable function.
+///
+/// Implementations are *stateful* only in their noise source and
+/// environment; the underlying physical secret is fixed at construction
+/// (fabrication).
+pub trait Puf {
+    /// Challenge width in bits.
+    fn challenge_bits(&self) -> usize;
+
+    /// Response width in bits.
+    fn response_bits(&self) -> usize;
+
+    /// Weak or strong.
+    fn kind(&self) -> PufKind;
+
+    /// Evaluates the PUF on `challenge` under the current environment,
+    /// including measurement noise (each call may differ slightly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PufError`] when the challenge does not fit the
+    /// primitive.
+    fn respond(&mut self, challenge: &Challenge) -> Result<Response, PufError>;
+
+    /// Sets the operating environment for subsequent evaluations.
+    fn set_environment(&mut self, env: Environment);
+
+    /// The current operating environment.
+    fn environment(&self) -> Environment;
+
+    /// Enrollment helper: majority vote over `reads` noisy evaluations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation error.
+    fn respond_golden(&mut self, challenge: &Challenge, reads: usize) -> Result<Response, PufError> {
+        assert!(reads > 0, "golden response needs at least one read");
+        let readings: Result<Vec<Response>, PufError> =
+            (0..reads).map(|_| self.respond(challenge)).collect();
+        Ok(Response::majority(&readings?))
+    }
+
+    /// Nominal response latency in nanoseconds for one evaluation
+    /// (drives the attestation temporal constraints of §III-B).
+    fn latency_ns(&self) -> f64;
+
+    /// Response generation throughput in Gbit/s (§III-B: "the inherent
+    /// speed of the pPUF (at least 5 Gb/s)").
+    fn throughput_gbps(&self) -> f64 {
+        self.response_bits() as f64 / self.latency_ns().max(f64::MIN_POSITIVE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(PufKind::Weak.to_string(), "weak");
+        assert_eq!(PufKind::Strong.to_string(), "strong");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PufError::ChallengeLength {
+            expected: 64,
+            actual: 32,
+        };
+        assert!(e.to_string().contains("64"));
+        let e2 = PufError::ChallengeOutOfRange("ro pair 900".into());
+        assert!(e2.to_string().contains("900"));
+    }
+}

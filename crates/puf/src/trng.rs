@@ -1,0 +1,309 @@
+//! Photonic true random number generator.
+//!
+//! The NEUROPULS platform's second security primitive alongside the PUF:
+//! with the laser held at constant power, the photocurrent fluctuates
+//! with fundamentally random shot noise; the ADC's least-significant
+//! bits sample that noise. The raw stream is debiased (von Neumann) and
+//! conditioned (SHA-256), with SP 800-90B-style health tests — the
+//! repetition count test and the adaptive proportion test — watching the
+//! raw source continuously, so a failed laser or a stuck ADC is detected
+//! before biased output escapes.
+
+use neuropuls_crypto::sha256::Sha256;
+use neuropuls_photonic::complex::Complex64;
+use neuropuls_photonic::detector::ReceiveChain;
+use neuropuls_photonic::Environment;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+use std::fmt;
+
+/// Health-test failure: the entropy source looks broken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrngError {
+    /// The repetition count test fired: too many identical consecutive
+    /// raw samples (stuck source).
+    RepetitionCount {
+        /// Observed run length.
+        run: usize,
+        /// Allowed cutoff.
+        cutoff: usize,
+    },
+    /// The adaptive proportion test fired: one value dominates the raw
+    /// window (heavily biased source).
+    AdaptiveProportion {
+        /// Count of the dominant value in the window.
+        count: usize,
+        /// Allowed cutoff.
+        cutoff: usize,
+    },
+}
+
+impl fmt::Display for TrngError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrngError::RepetitionCount { run, cutoff } => {
+                write!(f, "repetition count test failed: run of {run} exceeds {cutoff}")
+            }
+            TrngError::AdaptiveProportion { count, cutoff } => {
+                write!(f, "adaptive proportion test failed: {count} of window exceeds {cutoff}")
+            }
+        }
+    }
+}
+
+impl Error for TrngError {}
+
+/// SP 800-90B-style continuous health tests over the raw bit stream.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    rct_cutoff: usize,
+    apt_window: usize,
+    apt_cutoff: usize,
+    last: Option<u8>,
+    run: usize,
+    window: Vec<u8>,
+}
+
+impl HealthMonitor {
+    /// Cutoffs for a source with ≥ 0.4 bits of min-entropy per raw bit
+    /// and a 2⁻²⁰ false-positive target.
+    pub fn new() -> Self {
+        HealthMonitor {
+            rct_cutoff: 51,
+            apt_window: 512,
+            apt_cutoff: 410,
+            last: None,
+            run: 0,
+            window: Vec::with_capacity(512),
+        }
+    }
+
+    /// Feeds one raw bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failed test when either cutoff is exceeded.
+    pub fn observe(&mut self, bit: u8) -> Result<(), TrngError> {
+        // Repetition count test.
+        if self.last == Some(bit) {
+            self.run += 1;
+            if self.run >= self.rct_cutoff {
+                return Err(TrngError::RepetitionCount {
+                    run: self.run,
+                    cutoff: self.rct_cutoff,
+                });
+            }
+        } else {
+            self.last = Some(bit);
+            self.run = 1;
+        }
+        // Adaptive proportion test over tumbling windows.
+        self.window.push(bit);
+        if self.window.len() == self.apt_window {
+            let ones = self.window.iter().filter(|&&b| b == 1).count();
+            let dominant = ones.max(self.apt_window - ones);
+            self.window.clear();
+            if dominant >= self.apt_cutoff {
+                return Err(TrngError::AdaptiveProportion {
+                    count: dominant,
+                    cutoff: self.apt_cutoff,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for HealthMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The photonic TRNG.
+#[derive(Debug)]
+pub struct PhotonicTrng {
+    chain: ReceiveChain,
+    env: Environment,
+    /// Constant illumination level (field amplitude).
+    bias_field: f64,
+    health: HealthMonitor,
+    rng: StdRng,
+}
+
+impl PhotonicTrng {
+    /// Creates a TRNG instance; `noise_seed` seeds the simulated
+    /// physical noise processes.
+    pub fn new(noise_seed: u64) -> Self {
+        PhotonicTrng {
+            chain: ReceiveChain::new(),
+            env: Environment::nominal(),
+            bias_field: 0.4,
+            health: HealthMonitor::new(),
+            rng: StdRng::seed_from_u64(noise_seed),
+        }
+    }
+
+    /// A broken source (laser off): every sample sits at the dark level,
+    /// so the health tests must fire. Test/demo constructor.
+    pub fn broken(noise_seed: u64) -> Self {
+        let mut trng = Self::new(noise_seed);
+        trng.bias_field = 0.0;
+        let mut quiet = Environment::nominal();
+        quiet.rin = 0.0;
+        trng.env = quiet;
+        // Silence the electronic noise too: a truly stuck front-end.
+        trng.chain.pd.shot_noise = 0.0;
+        trng.chain.pd.thermal_noise_ua = 0.0;
+        trng.chain.tia.input_noise_ua = 0.0;
+        trng
+    }
+
+    /// Samples one raw bit: the LSB of the ADC code under constant
+    /// illumination.
+    fn raw_bit(&mut self) -> u8 {
+        let field = Complex64::new(self.bias_field, 0.0);
+        (self.chain.sample(field, &self.env, &mut self.rng) & 1) as u8
+    }
+
+    /// Collects `n` raw (unconditioned) bits, running health tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates health-test failures.
+    pub fn raw_bits(&mut self, n: usize) -> Result<Vec<u8>, TrngError> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let bit = self.raw_bit();
+            self.health.observe(bit)?;
+            out.push(bit);
+        }
+        Ok(out)
+    }
+
+    /// Von Neumann debiasing: consumes raw bit pairs, emits one bit per
+    /// unequal pair.
+    fn debiased_bits(&mut self, n: usize) -> Result<Vec<u8>, TrngError> {
+        let mut out = Vec::with_capacity(n);
+        // Cap the work so a heavily biased (but not stuck) source cannot
+        // spin forever; the health tests normally fire first.
+        let mut budget = n * 64 + 4096;
+        while out.len() < n && budget > 0 {
+            budget -= 2;
+            let a = self.raw_bit();
+            self.health.observe(a)?;
+            let b = self.raw_bit();
+            self.health.observe(b)?;
+            if a != b {
+                out.push(a);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Generates `len` conditioned output bytes: debiased bits are
+    /// compressed 2:1 through SHA-256.
+    ///
+    /// # Errors
+    ///
+    /// Propagates health-test failures.
+    pub fn generate(&mut self, len: usize) -> Result<Vec<u8>, TrngError> {
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            // 512 debiased bits -> 64 input bytes -> 32 output bytes.
+            let bits = self.debiased_bits(512)?;
+            let mut packed = vec![0u8; bits.len().div_ceil(8)];
+            for (i, &b) in bits.iter().enumerate() {
+                packed[i / 8] |= b << (i % 8);
+            }
+            let digest = Sha256::digest(&packed);
+            out.extend_from_slice(&digest[..digest.len().min(len - out.len())]);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuropuls_metrics::nist;
+
+    #[test]
+    fn output_bytes_have_requested_length() {
+        let mut trng = PhotonicTrng::new(1);
+        let out = trng.generate(100).unwrap();
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn conditioned_output_passes_nist() {
+        let mut trng = PhotonicTrng::new(2);
+        let bytes = trng.generate(512).unwrap();
+        let bits: Vec<u8> = bytes
+            .iter()
+            .flat_map(|b| (0..8).map(move |i| (b >> i) & 1))
+            .collect();
+        let rate = nist::pass_rate(&nist::battery(&bits));
+        assert!(rate >= 0.8, "TRNG output pass rate {rate}");
+    }
+
+    #[test]
+    fn different_seeds_different_streams() {
+        let a = PhotonicTrng::new(3).generate(64).unwrap();
+        let b = PhotonicTrng::new(4).generate(64).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn raw_bits_are_roughly_balanced_after_debias_stage() {
+        let mut trng = PhotonicTrng::new(5);
+        let raw = trng.raw_bits(4096).unwrap();
+        let ones = raw.iter().filter(|&&b| b == 1).count() as f64 / raw.len() as f64;
+        // Raw LSBs can carry bias; they must at least not be degenerate.
+        assert!(ones > 0.2 && ones < 0.8, "raw bias {ones}");
+    }
+
+    #[test]
+    fn broken_source_trips_health_tests() {
+        let mut trng = PhotonicTrng::broken(6);
+        let result = trng.generate(32);
+        assert!(result.is_err(), "stuck source must fail health tests");
+    }
+
+    #[test]
+    fn health_monitor_rct_on_stuck_stream() {
+        let mut monitor = HealthMonitor::new();
+        let mut tripped = None;
+        for _ in 0..100 {
+            if let Err(e) = monitor.observe(1) {
+                tripped = Some(e);
+                break;
+            }
+        }
+        assert!(matches!(tripped, Some(TrngError::RepetitionCount { .. })));
+    }
+
+    #[test]
+    fn health_monitor_apt_on_biased_stream() {
+        let mut monitor = HealthMonitor::new();
+        let mut tripped = None;
+        // 90% ones — never 51 in a row, but dominates the APT window.
+        for i in 0..2000 {
+            let bit = u8::from(i % 10 != 0);
+            if let Err(e) = monitor.observe(bit) {
+                tripped = Some(e);
+                break;
+            }
+        }
+        assert!(matches!(tripped, Some(TrngError::AdaptiveProportion { .. })));
+    }
+
+    #[test]
+    fn health_monitor_passes_alternating_stream() {
+        let mut monitor = HealthMonitor::new();
+        for i in 0..5000 {
+            monitor.observe((i % 2) as u8).unwrap();
+        }
+    }
+}

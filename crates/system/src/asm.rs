@@ -1,0 +1,585 @@
+//! A small two-pass RV32IM assembler.
+//!
+//! Lets the firmware for the system-level experiments live as readable
+//! assembly strings instead of opaque hex. Supports the full RV32IM
+//! instruction set of the core, labels, `.word` data, comments (`#` or
+//! `;`), ABI register names and the common pseudo-instructions
+//! (`li`, `la`, `mv`, `nop`, `j`, `ret`, `beqz`, `bnez`, `rdcycle`,
+//! `rdinstret`).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Assembly error with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn register(token: &str, line: usize) -> Result<u32, AsmError> {
+    const ABI: [&str; 32] = [
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+        "t3", "t4", "t5", "t6",
+    ];
+    let token = token.trim();
+    if let Some(rest) = token.strip_prefix('x') {
+        if let Ok(n) = rest.parse::<u32>() {
+            if n < 32 {
+                return Ok(n);
+            }
+        }
+    }
+    if token == "fp" {
+        return Ok(8);
+    }
+    if let Some(idx) = ABI.iter().position(|&name| name == token) {
+        return Ok(idx as u32);
+    }
+    err(line, format!("unknown register '{token}'"))
+}
+
+fn immediate(token: &str, line: usize) -> Result<i64, AsmError> {
+    let token = token.trim();
+    let (neg, body) = match token.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, token),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(bin) = body.strip_prefix("0b") {
+        i64::from_str_radix(bin, 2)
+    } else {
+        body.parse::<i64>()
+    };
+    match value {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => err(line, format!("bad immediate '{token}'")),
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Instruction { line: usize, text: String },
+    Word(u32),
+}
+
+fn instruction_words(mnemonic: &str, operands: &str) -> usize {
+    match mnemonic {
+        // li/la may need lui+addi.
+        "li" | "la" => {
+            if let Some((_, imm)) = operands.split_once(',') {
+                if let Ok(v) = immediate(imm.trim(), 0) {
+                    if (-2048..2048).contains(&v) {
+                        return 1;
+                    }
+                }
+            }
+            2
+        }
+        _ => 1,
+    }
+}
+
+/// Assembles `source` into little-endian machine code for a program
+/// loaded at `base`.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] with its source line.
+pub fn assemble(source: &str, base: u32) -> Result<Vec<u8>, AsmError> {
+    // Pass 1: collect items and label addresses.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut items: Vec<Item> = Vec::new();
+    let mut address = base;
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut text = raw_line;
+        if let Some(pos) = text.find(['#', ';']) {
+            text = &text[..pos];
+        }
+        let mut text = text.trim();
+        // Labels (possibly several) at line start.
+        while let Some(pos) = text.find(':') {
+            let (label, rest) = text.split_at(pos);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            if labels.insert(label.to_string(), address).is_some() {
+                return err(line_no, format!("duplicate label '{label}'"));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(value) = text.strip_prefix(".word") {
+            let v = immediate(value.trim(), line_no)?;
+            items.push(Item::Word(v as u32));
+            address += 4;
+            continue;
+        }
+        let mnemonic = text.split_whitespace().next().unwrap_or("");
+        let operands = text[mnemonic.len()..].trim();
+        address += 4 * instruction_words(mnemonic, operands) as u32;
+        items.push(Item::Instruction {
+            line: line_no,
+            text: text.to_string(),
+        });
+    }
+
+    // Pass 2: encode.
+    let mut out: Vec<u8> = Vec::new();
+    let mut pc = base;
+    for item in items {
+        match item {
+            Item::Word(w) => {
+                out.extend_from_slice(&w.to_le_bytes());
+                pc += 4;
+            }
+            Item::Instruction { line, text } => {
+                let words = encode(&text, pc, &labels, line)?;
+                for w in words {
+                    out.extend_from_slice(&w.to_le_bytes());
+                    pc += 4;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn split_operands(operands: &str) -> Vec<String> {
+    operands
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn mem_operand(token: &str, line: usize) -> Result<(i64, u32), AsmError> {
+    // "imm(reg)"
+    let open = token
+        .find('(')
+        .ok_or_else(|| AsmError {
+            line,
+            message: format!("expected imm(reg), got '{token}'"),
+        })?;
+    let close = token
+        .find(')')
+        .ok_or_else(|| AsmError {
+            line,
+            message: format!("missing ')' in '{token}'"),
+        })?;
+    let imm_text = token[..open].trim();
+    let imm = if imm_text.is_empty() {
+        0
+    } else {
+        immediate(imm_text, line)?
+    };
+    let reg = register(&token[open + 1..close], line)?;
+    Ok((imm, reg))
+}
+
+fn label_or_imm(
+    token: &str,
+    labels: &HashMap<String, u32>,
+    line: usize,
+) -> Result<i64, AsmError> {
+    if let Some(&addr) = labels.get(token.trim()) {
+        return Ok(addr as i64);
+    }
+    immediate(token, line)
+}
+
+fn check_range(value: i64, bits: u32, line: usize, what: &str) -> Result<(), AsmError> {
+    let lo = -(1i64 << (bits - 1));
+    let hi = (1i64 << (bits - 1)) - 1;
+    if value < lo || value > hi {
+        return err(line, format!("{what} {value} out of {bits}-bit range"));
+    }
+    Ok(())
+}
+
+fn enc_r(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn enc_i(imm: i64, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    (((imm as u32) & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn enc_s(imm: i64, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 5) & 0x7F) << 25
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
+}
+
+fn enc_b(imm: i64, rs2: u32, rs1: u32, funct3: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 12) & 1) << 31
+        | ((imm >> 5) & 0x3F) << 25
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm >> 1) & 0xF) << 8
+        | ((imm >> 11) & 1) << 7
+        | 0x63
+}
+
+fn enc_j(imm: i64, rd: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 20) & 1) << 31
+        | ((imm >> 1) & 0x3FF) << 21
+        | ((imm >> 11) & 1) << 20
+        | ((imm >> 12) & 0xFF) << 12
+        | (rd << 7)
+        | 0x6F
+}
+
+fn li_words(rd: u32, value: i64) -> Vec<u32> {
+    if (-2048..2048).contains(&value) {
+        return vec![enc_i(value, 0, 0b000, rd, 0x13)];
+    }
+    let value = value as u32;
+    // lui takes the upper 20 bits, addi adds the (sign-extended) low 12.
+    let low = (value & 0xFFF) as i32;
+    let low = if low >= 0x800 { low - 0x1000 } else { low };
+    let high = value.wrapping_sub(low as u32);
+    vec![
+        (high & 0xFFFF_F000) | (rd << 7) | 0x37,
+        enc_i(low as i64, rd, 0b000, rd, 0x13),
+    ]
+}
+
+fn encode(
+    text: &str,
+    pc: u32,
+    labels: &HashMap<String, u32>,
+    line: usize,
+) -> Result<Vec<u32>, AsmError> {
+    let mnemonic = text.split_whitespace().next().unwrap_or("");
+    let operands = split_operands(text[mnemonic.len()..].trim());
+    let op = |i: usize| -> Result<&str, AsmError> {
+        operands
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| AsmError {
+                line,
+                message: format!("missing operand {i} for {mnemonic}"),
+            })
+    };
+
+    let word = match mnemonic {
+        "lui" | "auipc" => {
+            let rd = register(op(0)?, line)?;
+            let imm = immediate(op(1)?, line)?;
+            if !(0..1 << 20).contains(&imm) {
+                return err(line, "lui/auipc immediate out of 20-bit range");
+            }
+            let opcode = if mnemonic == "lui" { 0x37 } else { 0x17 };
+            ((imm as u32) << 12) | (rd << 7) | opcode
+        }
+        "jal" => {
+            let (rd, target) = if operands.len() == 1 {
+                (1, label_or_imm(op(0)?, labels, line)?)
+            } else {
+                (register(op(0)?, line)?, label_or_imm(op(1)?, labels, line)?)
+            };
+            let offset = target - pc as i64;
+            check_range(offset, 21, line, "jal offset")?;
+            enc_j(offset, rd)
+        }
+        "j" => {
+            let target = label_or_imm(op(0)?, labels, line)?;
+            let offset = target - pc as i64;
+            check_range(offset, 21, line, "j offset")?;
+            enc_j(offset, 0)
+        }
+        "jalr" => {
+            if operands.len() == 1 {
+                enc_i(0, register(op(0)?, line)?, 0b000, 1, 0x67)
+            } else {
+                let rd = register(op(0)?, line)?;
+                let rs1 = register(op(1)?, line)?;
+                let imm = immediate(op(2)?, line)?;
+                check_range(imm, 12, line, "jalr offset")?;
+                enc_i(imm, rs1, 0b000, rd, 0x67)
+            }
+        }
+        "ret" => enc_i(0, 1, 0b000, 0, 0x67),
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+            let rs1 = register(op(0)?, line)?;
+            let rs2 = register(op(1)?, line)?;
+            let target = label_or_imm(op(2)?, labels, line)?;
+            let offset = target - pc as i64;
+            check_range(offset, 13, line, "branch offset")?;
+            let funct3 = match mnemonic {
+                "beq" => 0b000,
+                "bne" => 0b001,
+                "blt" => 0b100,
+                "bge" => 0b101,
+                "bltu" => 0b110,
+                _ => 0b111,
+            };
+            enc_b(offset, rs2, rs1, funct3)
+        }
+        "beqz" | "bnez" => {
+            let rs1 = register(op(0)?, line)?;
+            let target = label_or_imm(op(1)?, labels, line)?;
+            let offset = target - pc as i64;
+            check_range(offset, 13, line, "branch offset")?;
+            enc_b(offset, 0, rs1, if mnemonic == "beqz" { 0b000 } else { 0b001 })
+        }
+        "lb" | "lh" | "lw" | "lbu" | "lhu" => {
+            let rd = register(op(0)?, line)?;
+            let (imm, rs1) = mem_operand(op(1)?, line)?;
+            check_range(imm, 12, line, "load offset")?;
+            let funct3 = match mnemonic {
+                "lb" => 0b000,
+                "lh" => 0b001,
+                "lw" => 0b010,
+                "lbu" => 0b100,
+                _ => 0b101,
+            };
+            enc_i(imm, rs1, funct3, rd, 0x03)
+        }
+        "sb" | "sh" | "sw" => {
+            let rs2 = register(op(0)?, line)?;
+            let (imm, rs1) = mem_operand(op(1)?, line)?;
+            check_range(imm, 12, line, "store offset")?;
+            let funct3 = match mnemonic {
+                "sb" => 0b000,
+                "sh" => 0b001,
+                _ => 0b010,
+            };
+            enc_s(imm, rs2, rs1, funct3, 0x23)
+        }
+        "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" => {
+            let rd = register(op(0)?, line)?;
+            let rs1 = register(op(1)?, line)?;
+            let imm = immediate(op(2)?, line)?;
+            check_range(imm, 12, line, "immediate")?;
+            let funct3 = match mnemonic {
+                "addi" => 0b000,
+                "slti" => 0b010,
+                "sltiu" => 0b011,
+                "xori" => 0b100,
+                "ori" => 0b110,
+                _ => 0b111,
+            };
+            enc_i(imm, rs1, funct3, rd, 0x13)
+        }
+        "slli" | "srli" | "srai" => {
+            let rd = register(op(0)?, line)?;
+            let rs1 = register(op(1)?, line)?;
+            let shamt = immediate(op(2)?, line)?;
+            if !(0..32).contains(&shamt) {
+                return err(line, "shift amount out of range");
+            }
+            let (funct3, funct7) = match mnemonic {
+                "slli" => (0b001, 0x00),
+                "srli" => (0b101, 0x00),
+                _ => (0b101, 0x20),
+            };
+            enc_r(funct7, shamt as u32, rs1, funct3, rd, 0x13)
+        }
+        "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and" => {
+            let rd = register(op(0)?, line)?;
+            let rs1 = register(op(1)?, line)?;
+            let rs2 = register(op(2)?, line)?;
+            let (funct3, funct7) = match mnemonic {
+                "add" => (0b000, 0x00),
+                "sub" => (0b000, 0x20),
+                "sll" => (0b001, 0x00),
+                "slt" => (0b010, 0x00),
+                "sltu" => (0b011, 0x00),
+                "xor" => (0b100, 0x00),
+                "srl" => (0b101, 0x00),
+                "sra" => (0b101, 0x20),
+                "or" => (0b110, 0x00),
+                _ => (0b111, 0x00),
+            };
+            enc_r(funct7, rs2, rs1, funct3, rd, 0x33)
+        }
+        "mul" | "mulh" | "mulhsu" | "mulhu" | "div" | "divu" | "rem" | "remu" => {
+            let rd = register(op(0)?, line)?;
+            let rs1 = register(op(1)?, line)?;
+            let rs2 = register(op(2)?, line)?;
+            let funct3 = match mnemonic {
+                "mul" => 0b000,
+                "mulh" => 0b001,
+                "mulhsu" => 0b010,
+                "mulhu" => 0b011,
+                "div" => 0b100,
+                "divu" => 0b101,
+                "rem" => 0b110,
+                _ => 0b111,
+            };
+            enc_r(0x01, rs2, rs1, funct3, rd, 0x33)
+        }
+        "li" | "la" => {
+            let rd = register(op(0)?, line)?;
+            let value = label_or_imm(op(1)?, labels, line)?;
+            let words = li_words(rd, value);
+            // Pad to the size pass 1 reserved: la always reserves per
+            // the immediate-form heuristic, which matches li_words for
+            // plain immediates; labels always take the 2-word form in
+            // pass 1 (instruction_words can't resolve them), so pad.
+            let reserved = instruction_words(mnemonic, &format!("{}, {}", op(0)?, op(1)?));
+            let mut words = words;
+            while words.len() < reserved {
+                words.push(enc_i(0, 0, 0b000, 0, 0x13)); // nop
+            }
+            return Ok(words);
+        }
+        "mv" => {
+            let rd = register(op(0)?, line)?;
+            let rs1 = register(op(1)?, line)?;
+            enc_i(0, rs1, 0b000, rd, 0x13)
+        }
+        "nop" => enc_i(0, 0, 0b000, 0, 0x13),
+        "ecall" => 0x0000_0073,
+        "ebreak" => 0x0010_0073,
+        "fence" => 0x0000_000F,
+        "rdcycle" => {
+            let rd = register(op(0)?, line)?;
+            (0xC00 << 20) | (0b010 << 12) | (rd << 7) | 0x73
+        }
+        "rdinstret" => {
+            let rd = register(op(0)?, line)?;
+            (0xC02 << 20) | (0b010 << 12) | (rd << 7) | 0x73
+        }
+        other => return err(line, format!("unknown mnemonic '{other}'")),
+    };
+    Ok(vec![word])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_known_words() {
+        // addi x1, x0, 5 → 0x00500093
+        let code = assemble("addi x1, x0, 5", 0).unwrap();
+        assert_eq!(code, 0x0050_0093u32.to_le_bytes());
+        // add x3, x1, x2 → 0x002081B3
+        let code = assemble("add x3, x1, x2", 0).unwrap();
+        assert_eq!(code, 0x0020_81B3u32.to_le_bytes());
+        // sw x2, 8(x1) → 0x0020A423
+        let code = assemble("sw x2, 8(x1)", 0).unwrap();
+        assert_eq!(code, 0x0020_A423u32.to_le_bytes());
+    }
+
+    #[test]
+    fn abi_names_resolve() {
+        let a = assemble("addi a0, zero, 1", 0).unwrap();
+        let b = assemble("addi x10, x0, 1", 0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let code = assemble(
+            "start: addi x1, x0, 1
+             beq x1, x1, start",
+            0x100,
+        )
+        .unwrap();
+        assert_eq!(code.len(), 8);
+        // Branch offset must be -4.
+        let word = u32::from_le_bytes([code[4], code[5], code[6], code[7]]);
+        assert_eq!(word & 0x7F, 0x63);
+    }
+
+    #[test]
+    fn li_small_and_large() {
+        assert_eq!(assemble("li x1, 100", 0).unwrap().len(), 4);
+        assert_eq!(assemble("li x1, 0x12345678", 0).unwrap().len(), 8);
+        assert_eq!(assemble("li x1, -1", 0).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn la_reserves_two_words_for_labels() {
+        let code = assemble(
+            "la x1, data
+             ecall
+             data: .word 0xCAFEBABE",
+            0x8000_0000,
+        )
+        .unwrap();
+        // la = 2 words, ecall = 1, .word = 1.
+        assert_eq!(code.len(), 16);
+        let data = u32::from_le_bytes([code[12], code[13], code[14], code[15]]);
+        assert_eq!(data, 0xCAFE_BABE);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let code = assemble(
+            "# header comment
+             addi x1, x0, 1 ; trailing comment
+
+             ecall",
+            0,
+        )
+        .unwrap();
+        assert_eq!(code.len(), 8);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("addi x1, x0, 1\nbogus x1", 0).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let e = assemble("a: nop\na: nop", 0).unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn out_of_range_immediates_rejected() {
+        assert!(assemble("addi x1, x0, 5000", 0).is_err());
+        assert!(assemble("slli x1, x1, 33", 0).is_err());
+    }
+
+    #[test]
+    fn branch_range_enforced() {
+        // A branch target ~1 MiB away exceeds the 13-bit range.
+        let mut source = String::from("start: nop\n");
+        for _ in 0..3000 {
+            source.push_str("nop\n");
+        }
+        source.push_str("beq x0, x0, start\n");
+        assert!(assemble(&source, 0).is_err());
+    }
+}

@@ -1,0 +1,342 @@
+//! Physical memory and the MMIO system bus.
+//!
+//! §V: "The gem5 simulation environment allows one to define a
+//! peripheral module connected to the RISC-V microprocessor, providing
+//! the essential infrastructure for the delivery of the programming
+//! API." Peripherals implement [`MmioDevice`] and are mapped into the
+//! address space; the CPU sees a flat 32-bit bus.
+
+use std::fmt;
+
+/// Access fault raised by the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusFault {
+    /// No memory or device at the address.
+    Unmapped(u32),
+    /// Misaligned access for the width.
+    Misaligned(u32),
+}
+
+impl fmt::Display for BusFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusFault::Unmapped(addr) => write!(f, "access to unmapped address {addr:#010x}"),
+            BusFault::Misaligned(addr) => write!(f, "misaligned access at {addr:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for BusFault {}
+
+/// A memory-mapped peripheral.
+pub trait MmioDevice {
+    /// Size of the device's register window in bytes.
+    fn size(&self) -> u32;
+
+    /// 32-bit register read at a word-aligned offset.
+    fn read32(&mut self, offset: u32) -> u32;
+
+    /// 32-bit register write at a word-aligned offset.
+    fn write32(&mut self, offset: u32, value: u32);
+
+    /// Advance device-internal time by `ticks` (optional).
+    fn tick(&mut self, _ticks: u64) {}
+}
+
+struct Mapping {
+    base: u32,
+    device: Box<dyn MmioDevice>,
+}
+
+/// Flat RAM region.
+#[derive(Debug, Clone)]
+pub struct Ram {
+    base: u32,
+    bytes: Vec<u8>,
+}
+
+impl Ram {
+    /// Allocates `size` bytes at `base`.
+    pub fn new(base: u32, size: usize) -> Self {
+        Ram {
+            base,
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Base address.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when zero-sized.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Raw view (for attestation-style whole-memory hashing).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    fn contains(&self, addr: u32, width: u32) -> bool {
+        addr >= self.base && (addr - self.base) as usize + width as usize <= self.bytes.len()
+    }
+}
+
+/// The system bus: one RAM plus mapped peripherals.
+pub struct Bus {
+    ram: Ram,
+    devices: Vec<Mapping>,
+}
+
+impl fmt::Debug for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bus")
+            .field("ram_base", &self.ram.base)
+            .field("ram_len", &self.ram.len())
+            .field("devices", &self.devices.len())
+            .finish()
+    }
+}
+
+impl Bus {
+    /// Creates a bus around a RAM region.
+    pub fn new(ram: Ram) -> Self {
+        Bus {
+            ram,
+            devices: Vec::new(),
+        }
+    }
+
+    /// Maps a peripheral at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window overlaps RAM or another device.
+    pub fn map(&mut self, base: u32, device: Box<dyn MmioDevice>) {
+        let size = device.size();
+        let end = base.checked_add(size).expect("device window overflows");
+        assert!(
+            end <= self.ram.base || base >= self.ram.base + self.ram.len() as u32,
+            "device window overlaps RAM"
+        );
+        for m in &self.devices {
+            let m_end = m.base + m.device.size();
+            assert!(
+                end <= m.base || base >= m_end,
+                "device window overlaps another device"
+            );
+        }
+        self.devices.push(Mapping { base, device });
+    }
+
+    /// The RAM region.
+    pub fn ram(&self) -> &Ram {
+        &self.ram
+    }
+
+    /// Loads bytes into RAM at an absolute address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside RAM.
+    pub fn load(&mut self, addr: u32, bytes: &[u8]) {
+        assert!(
+            self.ram.contains(addr, bytes.len() as u32),
+            "load outside RAM"
+        );
+        let offset = (addr - self.ram.base) as usize;
+        self.ram.bytes[offset..offset + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Byte read.
+    ///
+    /// # Errors
+    ///
+    /// [`BusFault::Unmapped`] outside RAM and devices.
+    pub fn read8(&mut self, addr: u32) -> Result<u8, BusFault> {
+        if self.ram.contains(addr, 1) {
+            return Ok(self.ram.bytes[(addr - self.ram.base) as usize]);
+        }
+        // Byte reads of device registers read the containing word.
+        let word = self.read32(addr & !3)?;
+        Ok((word >> ((addr & 3) * 8)) as u8)
+    }
+
+    /// Byte write.
+    ///
+    /// # Errors
+    ///
+    /// [`BusFault::Unmapped`] outside RAM (device byte-writes are not
+    /// supported and fault).
+    pub fn write8(&mut self, addr: u32, value: u8) -> Result<(), BusFault> {
+        if self.ram.contains(addr, 1) {
+            self.ram.bytes[(addr - self.ram.base) as usize] = value;
+            return Ok(());
+        }
+        Err(BusFault::Unmapped(addr))
+    }
+
+    /// Half-word read (little endian).
+    ///
+    /// # Errors
+    ///
+    /// Faults on misalignment or unmapped addresses.
+    pub fn read16(&mut self, addr: u32) -> Result<u16, BusFault> {
+        if !addr.is_multiple_of(2) {
+            return Err(BusFault::Misaligned(addr));
+        }
+        Ok(u16::from(self.read8(addr)?) | (u16::from(self.read8(addr + 1)?) << 8))
+    }
+
+    /// Half-word write.
+    ///
+    /// # Errors
+    ///
+    /// Faults on misalignment or unmapped addresses.
+    pub fn write16(&mut self, addr: u32, value: u16) -> Result<(), BusFault> {
+        if !addr.is_multiple_of(2) {
+            return Err(BusFault::Misaligned(addr));
+        }
+        self.write8(addr, value as u8)?;
+        self.write8(addr + 1, (value >> 8) as u8)
+    }
+
+    /// Word read.
+    ///
+    /// # Errors
+    ///
+    /// Faults on misalignment or unmapped addresses.
+    pub fn read32(&mut self, addr: u32) -> Result<u32, BusFault> {
+        if !addr.is_multiple_of(4) {
+            return Err(BusFault::Misaligned(addr));
+        }
+        if self.ram.contains(addr, 4) {
+            let o = (addr - self.ram.base) as usize;
+            return Ok(u32::from_le_bytes([
+                self.ram.bytes[o],
+                self.ram.bytes[o + 1],
+                self.ram.bytes[o + 2],
+                self.ram.bytes[o + 3],
+            ]));
+        }
+        for m in self.devices.iter_mut() {
+            if addr >= m.base && addr < m.base + m.device.size() {
+                return Ok(m.device.read32(addr - m.base));
+            }
+        }
+        Err(BusFault::Unmapped(addr))
+    }
+
+    /// Word write.
+    ///
+    /// # Errors
+    ///
+    /// Faults on misalignment or unmapped addresses.
+    pub fn write32(&mut self, addr: u32, value: u32) -> Result<(), BusFault> {
+        if !addr.is_multiple_of(4) {
+            return Err(BusFault::Misaligned(addr));
+        }
+        if self.ram.contains(addr, 4) {
+            let o = (addr - self.ram.base) as usize;
+            self.ram.bytes[o..o + 4].copy_from_slice(&value.to_le_bytes());
+            return Ok(());
+        }
+        for m in self.devices.iter_mut() {
+            if addr >= m.base && addr < m.base + m.device.size() {
+                m.device.write32(addr - m.base, value);
+                return Ok(());
+            }
+        }
+        Err(BusFault::Unmapped(addr))
+    }
+
+    /// Advances every device by `ticks`.
+    pub fn tick(&mut self, ticks: u64) {
+        for m in self.devices.iter_mut() {
+            m.device.tick(ticks);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Scratch {
+        regs: [u32; 4],
+    }
+
+    impl MmioDevice for Scratch {
+        fn size(&self) -> u32 {
+            16
+        }
+        fn read32(&mut self, offset: u32) -> u32 {
+            self.regs[(offset / 4) as usize]
+        }
+        fn write32(&mut self, offset: u32, value: u32) {
+            self.regs[(offset / 4) as usize] = value;
+        }
+    }
+
+    fn bus() -> Bus {
+        let mut bus = Bus::new(Ram::new(0x8000_0000, 4096));
+        bus.map(0x1000_0000, Box::new(Scratch { regs: [0; 4] }));
+        bus
+    }
+
+    #[test]
+    fn ram_roundtrip_all_widths() {
+        let mut b = bus();
+        b.write32(0x8000_0100, 0xDEADBEEF).unwrap();
+        assert_eq!(b.read32(0x8000_0100).unwrap(), 0xDEADBEEF);
+        assert_eq!(b.read16(0x8000_0100).unwrap(), 0xBEEF);
+        assert_eq!(b.read8(0x8000_0103).unwrap(), 0xDE);
+        b.write8(0x8000_0100, 0x11).unwrap();
+        assert_eq!(b.read32(0x8000_0100).unwrap(), 0xDEADBE11);
+        b.write16(0x8000_0102, 0x2233).unwrap();
+        assert_eq!(b.read32(0x8000_0100).unwrap(), 0x2233BE11);
+    }
+
+    #[test]
+    fn device_registers_work() {
+        let mut b = bus();
+        b.write32(0x1000_0004, 42).unwrap();
+        assert_eq!(b.read32(0x1000_0004).unwrap(), 42);
+        assert_eq!(b.read32(0x1000_0000).unwrap(), 0);
+    }
+
+    #[test]
+    fn unmapped_faults() {
+        let mut b = bus();
+        assert_eq!(b.read32(0x2000_0000), Err(BusFault::Unmapped(0x2000_0000)));
+        assert_eq!(b.write32(0x0, 1), Err(BusFault::Unmapped(0x0)));
+    }
+
+    #[test]
+    fn misaligned_faults() {
+        let mut b = bus();
+        assert_eq!(b.read32(0x8000_0001), Err(BusFault::Misaligned(0x8000_0001)));
+        assert_eq!(b.read16(0x8000_0001), Err(BusFault::Misaligned(0x8000_0001)));
+    }
+
+    #[test]
+    fn load_places_program() {
+        let mut b = bus();
+        b.load(0x8000_0000, &[1, 2, 3, 4]);
+        assert_eq!(b.read32(0x8000_0000).unwrap(), 0x04030201);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_devices_rejected() {
+        let mut b = bus();
+        b.map(0x1000_0008, Box::new(Scratch { regs: [0; 4] }));
+    }
+}

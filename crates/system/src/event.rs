@@ -1,0 +1,227 @@
+//! Discrete-event simulation core.
+//!
+//! A gem5-style event queue: events carry a tick timestamp and a payload;
+//! [`EventQueue::advance`] pops them in time order (FIFO among equal
+//! timestamps). The SoC's instruction loop is synchronous, but
+//! multi-device scenarios (several attesting devices sharing a verifier,
+//! staggered enrollment campaigns) schedule through this queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation time in ticks (picoseconds at the reference resolution).
+pub type Tick = u64;
+
+#[derive(Debug)]
+struct Scheduled<T> {
+    tick: Tick,
+    sequence: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.tick == other.tick && self.sequence == other.sequence
+    }
+}
+
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for the min-heap: earliest tick first, then insertion
+        // order.
+        other
+            .tick
+            .cmp(&self.tick)
+            .then(other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue.
+///
+/// # Example
+///
+/// ```
+/// use neuropuls_system::event::EventQueue;
+///
+/// let mut queue = EventQueue::new();
+/// queue.schedule(30, "attest-b");
+/// queue.schedule(10, "attest-a");
+/// assert_eq!(queue.advance(), Some((10, "attest-a")));
+/// assert_eq!(queue.now(), 10);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    now: Tick,
+    sequence: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue at tick 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0,
+            sequence: 0,
+        }
+    }
+
+    /// Current simulation time (the tick of the last popped event).
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at absolute `tick`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when scheduling into the past.
+    pub fn schedule(&mut self, tick: Tick, payload: T) {
+        assert!(tick >= self.now, "cannot schedule into the past ({tick} < {})", self.now);
+        self.heap.push(Scheduled {
+            tick,
+            sequence: self.sequence,
+            payload,
+        });
+        self.sequence += 1;
+    }
+
+    /// Schedules `payload` `delay` ticks from now.
+    pub fn schedule_in(&mut self, delay: Tick, payload: T) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Pops the next event, advancing the clock to its tick.
+    pub fn advance(&mut self) -> Option<(Tick, T)> {
+        self.heap.pop().map(|e| {
+            self.now = e.tick;
+            (e.tick, e.payload)
+        })
+    }
+
+    /// Peeks at the next event's tick without advancing.
+    pub fn next_tick(&self) -> Option<Tick> {
+        self.heap.peek().map(|e| e.tick)
+    }
+
+    /// Drains and handles every event up to and including `horizon`,
+    /// calling `handler(queue, tick, payload)` — the handler may
+    /// schedule follow-up events.
+    pub fn run_until(&mut self, horizon: Tick, mut handler: impl FnMut(&mut Self, Tick, T)) {
+        while let Some(&Scheduled { tick, .. }) = self.heap.peek().map(|e| e as _) {
+            if tick > horizon {
+                break;
+            }
+            let (tick, payload) = self.advance().expect("peeked");
+            handler(self, tick, payload);
+        }
+        self.now = self.now.max(horizon);
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.advance(), Some((10, "a")));
+        assert_eq!(q.advance(), Some((20, "b")));
+        assert_eq!(q.advance(), Some((30, "c")));
+        assert_eq!(q.advance(), None);
+    }
+
+    #[test]
+    fn fifo_among_equal_ticks() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 1);
+        q.schedule(5, 2);
+        q.schedule(5, 3);
+        assert_eq!(q.advance(), Some((5, 1)));
+        assert_eq!(q.advance(), Some((5, 2)));
+        assert_eq!(q.advance(), Some((5, 3)));
+    }
+
+    #[test]
+    fn clock_tracks_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0);
+        q.schedule(100, ());
+        q.advance();
+        assert_eq!(q.now(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn rejects_past_scheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(50, ());
+        q.advance();
+        q.schedule(10, ());
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "first");
+        q.advance();
+        q.schedule_in(5, "second");
+        assert_eq!(q.advance(), Some((15, "second")));
+    }
+
+    #[test]
+    fn run_until_handles_cascading_events() {
+        // A "retry" pattern: each event reschedules itself twice.
+        let mut q = EventQueue::new();
+        q.schedule(0, 0u32);
+        let mut handled = Vec::new();
+        q.run_until(100, |q, tick, generation| {
+            handled.push((tick, generation));
+            if generation < 3 {
+                q.schedule_in(10, generation + 1);
+            }
+        });
+        assert_eq!(handled, vec![(0, 0), (10, 1), (20, 2), (30, 3)]);
+        assert_eq!(q.now(), 100);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "early");
+        q.schedule(200, "late");
+        let mut seen = Vec::new();
+        q.run_until(100, |_, _, p| seen.push(p));
+        assert_eq!(seen, vec!["early"]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_tick(), Some(200));
+    }
+}

@@ -1,0 +1,370 @@
+//! Memory-mapped peripherals: the PUF, the accelerator and a UART.
+//!
+//! The PUF peripheral is the "peripheral module connected to the RISC-V
+//! microprocessor, providing the essential infrastructure for the
+//! delivery of the programming API" (§V). Firmware writes a 64-bit
+//! challenge, pulses CTRL, polls STATUS for the evaluation latency, and
+//! reads the 64-bit response — exactly the flow of Fig. 1's
+//! hardware/software boundary.
+
+use crate::bus::MmioDevice;
+use neuropuls_accel::engine::PhotonicEngine;
+use neuropuls_puf::bits::Challenge;
+use neuropuls_puf::photonic::PhotonicPuf;
+use neuropuls_puf::traits::Puf;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Register map of [`PufPeripheral`] (word offsets).
+pub mod puf_regs {
+    /// Challenge word 0 (bits 0..32), write.
+    pub const CHALLENGE0: u32 = 0x00;
+    /// Challenge word 1 (bits 32..64), write.
+    pub const CHALLENGE1: u32 = 0x04;
+    /// Control: write 1 to start an evaluation.
+    pub const CTRL: u32 = 0x08;
+    /// Status: bit 0 = busy, bit 1 = response valid.
+    pub const STATUS: u32 = 0x0C;
+    /// Response word 0, read.
+    pub const RESPONSE0: u32 = 0x10;
+    /// Response word 1, read.
+    pub const RESPONSE1: u32 = 0x14;
+    /// Evaluation latency in cycles, read.
+    pub const LATENCY: u32 = 0x18;
+    /// Evaluations performed (telemetry), read.
+    pub const COUNT: u32 = 0x1C;
+}
+
+/// Shared telemetry of the PUF peripheral.
+#[derive(Debug, Default, Clone)]
+pub struct PufTelemetry {
+    /// Number of completed evaluations.
+    pub evaluations: u64,
+    /// Total busy cycles.
+    pub busy_cycles: u64,
+    /// Energy consumed, picojoules.
+    pub energy_pj: f64,
+}
+
+/// The pPUF MMIO peripheral.
+pub struct PufPeripheral {
+    puf: PhotonicPuf,
+    challenge: [u32; 2],
+    response: [u32; 2],
+    busy_remaining: u64,
+    response_valid: bool,
+    latency_cycles: u64,
+    energy_per_eval_pj: f64,
+    telemetry: Arc<Mutex<PufTelemetry>>,
+}
+
+impl PufPeripheral {
+    /// Wraps a photonic PUF. At a 1 GHz core clock one cycle is 1 ns, so
+    /// the latency register mirrors the PUF's physical latency.
+    pub fn new(puf: PhotonicPuf) -> (Self, Arc<Mutex<PufTelemetry>>) {
+        let latency_cycles = puf.latency_ns().ceil() as u64;
+        let telemetry = Arc::new(Mutex::new(PufTelemetry::default()));
+        (
+            PufPeripheral {
+                puf,
+                challenge: [0; 2],
+                response: [0; 2],
+                busy_remaining: 0,
+                response_valid: false,
+                latency_cycles,
+                energy_per_eval_pj: 50.0,
+                telemetry: Arc::clone(&telemetry),
+            },
+            telemetry,
+        )
+    }
+
+    fn start_evaluation(&mut self) {
+        let mut packed = Vec::with_capacity(8);
+        packed.extend_from_slice(&self.challenge[0].to_le_bytes());
+        packed.extend_from_slice(&self.challenge[1].to_le_bytes());
+        let challenge = Challenge::from_packed(&packed, self.puf.challenge_bits());
+        // The evaluation result is captured now; it becomes visible when
+        // the busy countdown ends (models the pipeline latency).
+        let response = self
+            .puf
+            .respond(&challenge)
+            .expect("peripheral challenge width matches the PUF");
+        let bytes = response.to_packed();
+        let mut words = [0u32; 2];
+        for (i, chunk) in bytes.chunks(4).take(2).enumerate() {
+            let mut w = [0u8; 4];
+            w[..chunk.len()].copy_from_slice(chunk);
+            words[i] = u32::from_le_bytes(w);
+        }
+        self.response = words;
+        self.busy_remaining = self.latency_cycles;
+        self.response_valid = false;
+
+        let mut t = self.telemetry.lock();
+        t.evaluations += 1;
+        t.busy_cycles += self.latency_cycles;
+        t.energy_pj += self.energy_per_eval_pj;
+    }
+}
+
+impl std::fmt::Debug for PufPeripheral {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PufPeripheral")
+            .field("busy_remaining", &self.busy_remaining)
+            .field("response_valid", &self.response_valid)
+            .finish()
+    }
+}
+
+impl MmioDevice for PufPeripheral {
+    fn size(&self) -> u32 {
+        0x20
+    }
+
+    fn read32(&mut self, offset: u32) -> u32 {
+        match offset {
+            puf_regs::STATUS => {
+                u32::from(self.busy_remaining > 0) | (u32::from(self.response_valid) << 1)
+            }
+            puf_regs::RESPONSE0 if self.response_valid => self.response[0],
+            puf_regs::RESPONSE1 if self.response_valid => self.response[1],
+            puf_regs::LATENCY => self.latency_cycles as u32,
+            puf_regs::COUNT => self.telemetry.lock().evaluations as u32,
+            _ => 0,
+        }
+    }
+
+    fn write32(&mut self, offset: u32, value: u32) {
+        match offset {
+            puf_regs::CHALLENGE0 => self.challenge[0] = value,
+            puf_regs::CHALLENGE1 => self.challenge[1] = value,
+            puf_regs::CTRL if value & 1 == 1 => self.start_evaluation(),
+            _ => {}
+        }
+    }
+
+    fn tick(&mut self, ticks: u64) {
+        if self.busy_remaining > 0 {
+            self.busy_remaining = self.busy_remaining.saturating_sub(ticks);
+            if self.busy_remaining == 0 {
+                self.response_valid = true;
+            }
+        }
+    }
+}
+
+/// Register map of [`AccelPeripheral`] (word offsets).
+pub mod accel_regs {
+    /// Input values (f32 bit patterns), words 0..4, write.
+    pub const INPUT0: u32 = 0x00;
+    /// Control: write 1 to run one inference.
+    pub const CTRL: u32 = 0x10;
+    /// Status: bit 0 = busy, bit 1 = output valid.
+    pub const STATUS: u32 = 0x14;
+    /// Output values (f32 bit patterns), words 0..4, read.
+    pub const OUTPUT0: u32 = 0x18;
+}
+
+/// A 4-in/4-out accelerator window over a pre-loaded [`PhotonicEngine`].
+pub struct AccelPeripheral {
+    engine: PhotonicEngine,
+    input: [u32; 4],
+    output: [u32; 4],
+    busy_remaining: u64,
+    output_valid: bool,
+}
+
+impl AccelPeripheral {
+    /// Wraps an engine that already has a 4→4 network loaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no network is loaded.
+    pub fn new(engine: PhotonicEngine) -> Self {
+        assert!(engine.is_loaded(), "accelerator peripheral needs a loaded network");
+        AccelPeripheral {
+            engine,
+            input: [0; 4],
+            output: [0; 4],
+            busy_remaining: 0,
+            output_valid: false,
+        }
+    }
+}
+
+impl std::fmt::Debug for AccelPeripheral {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccelPeripheral")
+            .field("busy_remaining", &self.busy_remaining)
+            .finish()
+    }
+}
+
+impl MmioDevice for AccelPeripheral {
+    fn size(&self) -> u32 {
+        0x28
+    }
+
+    fn read32(&mut self, offset: u32) -> u32 {
+        match offset {
+            accel_regs::STATUS => {
+                u32::from(self.busy_remaining > 0) | (u32::from(self.output_valid) << 1)
+            }
+            o if (accel_regs::OUTPUT0..accel_regs::OUTPUT0 + 16).contains(&o)
+                && self.output_valid =>
+            {
+                self.output[((o - accel_regs::OUTPUT0) / 4) as usize]
+            }
+            _ => 0,
+        }
+    }
+
+    fn write32(&mut self, offset: u32, value: u32) {
+        match offset {
+            o if (accel_regs::INPUT0..accel_regs::INPUT0 + 16).contains(&o) => {
+                self.input[(o / 4) as usize] = value;
+            }
+            accel_regs::CTRL if value & 1 == 1 => {
+                let input: Vec<f64> = self
+                    .input
+                    .iter()
+                    .map(|&w| f32::from_bits(w) as f64)
+                    .collect();
+                let output = self
+                    .engine
+                    .infer(&input)
+                    .expect("loaded 4->4 network accepts 4 inputs");
+                for (slot, value) in self.output.iter_mut().zip(output.iter()) {
+                    *slot = (*value as f32).to_bits();
+                }
+                self.busy_remaining = 8; // optical transit + conversions
+                self.output_valid = false;
+            }
+            _ => {}
+        }
+    }
+
+    fn tick(&mut self, ticks: u64) {
+        if self.busy_remaining > 0 {
+            self.busy_remaining = self.busy_remaining.saturating_sub(ticks);
+            if self.busy_remaining == 0 {
+                self.output_valid = true;
+            }
+        }
+    }
+}
+
+/// A write-only console UART.
+#[derive(Debug)]
+pub struct Uart {
+    buffer: Arc<Mutex<Vec<u8>>>,
+}
+
+impl Uart {
+    /// Creates the UART and hands back the shared output buffer.
+    pub fn new() -> (Self, Arc<Mutex<Vec<u8>>>) {
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        (
+            Uart {
+                buffer: Arc::clone(&buffer),
+            },
+            buffer,
+        )
+    }
+}
+
+impl MmioDevice for Uart {
+    fn size(&self) -> u32 {
+        8
+    }
+
+    fn read32(&mut self, offset: u32) -> u32 {
+        match offset {
+            4 => 1, // always ready
+            _ => 0,
+        }
+    }
+
+    fn write32(&mut self, offset: u32, value: u32) {
+        if offset == 0 {
+            self.buffer.lock().push(value as u8);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuropuls_accel::config::NetworkConfig;
+    use neuropuls_photonic::process::DieId;
+
+    #[test]
+    fn puf_peripheral_full_handshake() {
+        let (mut p, telemetry) = PufPeripheral::new(PhotonicPuf::reference(DieId(1), 1));
+        p.write32(puf_regs::CHALLENGE0, 0xDEAD_BEEF);
+        p.write32(puf_regs::CHALLENGE1, 0x1234_5678);
+        assert_eq!(p.read32(puf_regs::STATUS), 0, "idle before start");
+        p.write32(puf_regs::CTRL, 1);
+        assert_eq!(p.read32(puf_regs::STATUS) & 1, 1, "busy after start");
+        assert_eq!(p.read32(puf_regs::RESPONSE0), 0, "response hidden while busy");
+        let latency = u64::from(p.read32(puf_regs::LATENCY));
+        p.tick(latency);
+        assert_eq!(p.read32(puf_regs::STATUS), 2, "valid after latency");
+        let r0 = p.read32(puf_regs::RESPONSE0);
+        let r1 = p.read32(puf_regs::RESPONSE1);
+        assert!(r0 != 0 || r1 != 0, "response should be nontrivial");
+        assert_eq!(telemetry.lock().evaluations, 1);
+    }
+
+    #[test]
+    fn puf_peripheral_same_challenge_similar_response() {
+        let (mut p, _) = PufPeripheral::new(PhotonicPuf::reference(DieId(2), 2));
+        let mut read_response = |c0: u32| {
+            p.write32(puf_regs::CHALLENGE0, c0);
+            p.write32(puf_regs::CHALLENGE1, 0xAAAA_5555);
+            p.write32(puf_regs::CTRL, 1);
+            p.tick(1000);
+            (p.read32(puf_regs::RESPONSE0), p.read32(puf_regs::RESPONSE1))
+        };
+        let a = read_response(1);
+        let b = read_response(1);
+        let flips = (a.0 ^ b.0).count_ones() + (a.1 ^ b.1).count_ones();
+        assert!(flips < 6, "same challenge too noisy: {flips} flips");
+        let c = read_response(0xFFFF_0000);
+        let diff = (a.0 ^ c.0).count_ones() + (a.1 ^ c.1).count_ones();
+        assert!(diff > 6, "different challenge too similar: {diff} flips");
+    }
+
+    #[test]
+    fn accel_peripheral_runs_inference() {
+        let mut engine = PhotonicEngine::reference(1);
+        engine
+            .load(NetworkConfig::mlp(&[4, 4], |_, o, i| {
+                if o == i {
+                    1.0
+                } else {
+                    0.0
+                }
+            }))
+            .unwrap();
+        let mut p = AccelPeripheral::new(engine);
+        p.write32(accel_regs::INPUT0, 1.0f32.to_bits());
+        p.write32(accel_regs::INPUT0 + 4, 0.5f32.to_bits());
+        p.write32(accel_regs::CTRL, 1);
+        p.tick(8);
+        assert_eq!(p.read32(accel_regs::STATUS), 2);
+        let y0 = f32::from_bits(p.read32(accel_regs::OUTPUT0));
+        assert!((y0 - 1.0).abs() < 0.1, "y0 = {y0}");
+    }
+
+    #[test]
+    fn uart_collects_bytes() {
+        let (mut uart, buffer) = Uart::new();
+        for b in b"ok" {
+            uart.write32(0, u32::from(*b));
+        }
+        assert_eq!(&*buffer.lock(), b"ok");
+        assert_eq!(uart.read32(4), 1);
+    }
+}

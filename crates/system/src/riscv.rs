@@ -1,0 +1,483 @@
+//! RV32IM instruction-set simulator.
+//!
+//! A compact in-order core model: the full RV32I base ISA plus the M
+//! extension, a simple cycle model (1 cycle per instruction, +1 per
+//! memory access, +2 per taken branch, +3/+33 for MUL/DIV), and
+//! `rdcycle`/`rdinstret` CSRs so firmware can self-time (the clock-count
+//! evidence of the mutual-authentication protocol).
+
+use crate::bus::{Bus, BusFault};
+
+/// Why execution stopped or trapped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// Memory access fault.
+    Bus(BusFault),
+    /// Undecodable instruction word at pc.
+    IllegalInstruction {
+        /// Program counter.
+        pc: u32,
+        /// Offending instruction word.
+        word: u32,
+    },
+    /// Environment call (the SoC interprets the syscall registers).
+    Ecall,
+    /// Breakpoint.
+    Ebreak,
+}
+
+impl From<BusFault> for Trap {
+    fn from(fault: BusFault) -> Self {
+        Trap::Bus(fault)
+    }
+}
+
+/// The CPU core.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// General-purpose registers (x0 hard-wired to zero).
+    pub regs: [u32; 32],
+    /// Program counter.
+    pub pc: u32,
+    /// Retired instruction count.
+    pub instret: u64,
+    /// Cycle count under the simple timing model.
+    pub cycles: u64,
+}
+
+impl Cpu {
+    /// Creates a core with pc at `reset_pc`.
+    pub fn new(reset_pc: u32) -> Self {
+        Cpu {
+            regs: [0; 32],
+            pc: reset_pc,
+            instret: 0,
+            cycles: 0,
+        }
+    }
+
+    fn set_reg(&mut self, rd: usize, value: u32) {
+        if rd != 0 {
+            self.regs[rd] = value;
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on faults, illegal instructions, `ecall` and
+    /// `ebreak` (pc is left *at* the trapping instruction for
+    /// ecall/ebreak so the SoC can resume past it).
+    pub fn step(&mut self, bus: &mut Bus) -> Result<(), Trap> {
+        let pc = self.pc;
+        let word = bus.read32(pc)?;
+        let opcode = word & 0x7F;
+        let rd = ((word >> 7) & 0x1F) as usize;
+        let rs1 = ((word >> 15) & 0x1F) as usize;
+        let rs2 = ((word >> 20) & 0x1F) as usize;
+        let funct3 = (word >> 12) & 0x7;
+        let funct7 = (word >> 25) & 0x7F;
+
+        let mut next_pc = pc.wrapping_add(4);
+        let mut cost = 1u64;
+
+        match opcode {
+            0x37 => self.set_reg(rd, word & 0xFFFF_F000), // LUI
+            0x17 => self.set_reg(rd, pc.wrapping_add(word & 0xFFFF_F000)), // AUIPC
+            0x6F => {
+                // JAL
+                let imm = ((word & 0x8000_0000) as i32 >> 11) as u32 & 0xFFF0_0000
+                    | (word & 0x000F_F000)
+                    | ((word >> 9) & 0x0000_0800)
+                    | ((word >> 20) & 0x0000_07FE);
+                self.set_reg(rd, next_pc);
+                next_pc = pc.wrapping_add(imm);
+                cost += 2;
+            }
+            0x67 => {
+                // JALR
+                let imm = (word as i32 >> 20) as u32;
+                let target = self.regs[rs1].wrapping_add(imm) & !1;
+                self.set_reg(rd, next_pc);
+                next_pc = target;
+                cost += 2;
+            }
+            0x63 => {
+                // Branches
+                let imm = ((word & 0x8000_0000) as i32 >> 19) as u32 & 0xFFFF_F000
+                    | ((word << 4) & 0x0000_0800)
+                    | ((word >> 20) & 0x0000_07E0)
+                    | ((word >> 7) & 0x0000_001E);
+                let a = self.regs[rs1];
+                let b = self.regs[rs2];
+                let taken = match funct3 {
+                    0b000 => a == b,
+                    0b001 => a != b,
+                    0b100 => (a as i32) < (b as i32),
+                    0b101 => (a as i32) >= (b as i32),
+                    0b110 => a < b,
+                    0b111 => a >= b,
+                    _ => return Err(Trap::IllegalInstruction { pc, word }),
+                };
+                if taken {
+                    next_pc = pc.wrapping_add(imm);
+                    cost += 2;
+                }
+            }
+            0x03 => {
+                // Loads
+                let imm = (word as i32 >> 20) as u32;
+                let addr = self.regs[rs1].wrapping_add(imm);
+                let value = match funct3 {
+                    0b000 => bus.read8(addr)? as i8 as i32 as u32,
+                    0b001 => bus.read16(addr)? as i16 as i32 as u32,
+                    0b010 => bus.read32(addr)?,
+                    0b100 => bus.read8(addr)? as u32,
+                    0b101 => bus.read16(addr)? as u32,
+                    _ => return Err(Trap::IllegalInstruction { pc, word }),
+                };
+                self.set_reg(rd, value);
+                cost += 1;
+            }
+            0x23 => {
+                // Stores
+                let imm = (((word & 0xFE00_0000) as i32 >> 20) as u32) | ((word >> 7) & 0x1F);
+                let addr = self.regs[rs1].wrapping_add(imm);
+                match funct3 {
+                    0b000 => bus.write8(addr, self.regs[rs2] as u8)?,
+                    0b001 => bus.write16(addr, self.regs[rs2] as u16)?,
+                    0b010 => bus.write32(addr, self.regs[rs2])?,
+                    _ => return Err(Trap::IllegalInstruction { pc, word }),
+                }
+                cost += 1;
+            }
+            0x13 => {
+                // OP-IMM
+                let imm = (word as i32 >> 20) as u32;
+                let a = self.regs[rs1];
+                let shamt = imm & 0x1F;
+                let value = match funct3 {
+                    0b000 => a.wrapping_add(imm),
+                    0b010 => u32::from((a as i32) < (imm as i32)),
+                    0b011 => u32::from(a < imm),
+                    0b100 => a ^ imm,
+                    0b110 => a | imm,
+                    0b111 => a & imm,
+                    0b001 => a << shamt,
+                    0b101 => {
+                        if (word >> 30) & 1 == 1 {
+                            ((a as i32) >> shamt) as u32
+                        } else {
+                            a >> shamt
+                        }
+                    }
+                    _ => return Err(Trap::IllegalInstruction { pc, word }),
+                };
+                self.set_reg(rd, value);
+            }
+            // RISC-V semantics for division by zero (DIV/REM return
+            // all-ones / the dividend) are spelled out explicitly rather
+            // than via checked_div, mirroring the ISA manual.
+            #[allow(clippy::manual_checked_ops)]
+            0x33 => {
+                // OP
+                let a = self.regs[rs1];
+                let b = self.regs[rs2];
+                let value = if funct7 == 0x01 {
+                    // M extension
+                    cost += if funct3 < 4 { 3 } else { 33 };
+                    match funct3 {
+                        0b000 => a.wrapping_mul(b),
+                        0b001 => ((a as i32 as i64 * b as i32 as i64) >> 32) as u32,
+                        0b010 => ((a as i32 as i64).wrapping_mul(b as u64 as i64) >> 32) as u32,
+                        0b011 => ((a as u64 * b as u64) >> 32) as u32,
+                        0b100 => {
+                            // DIV
+                            if b == 0 {
+                                u32::MAX
+                            } else if a as i32 == i32::MIN && b as i32 == -1 {
+                                a
+                            } else {
+                                ((a as i32) / (b as i32)) as u32
+                            }
+                        }
+                        0b101 => {
+                            if b == 0 {
+                                u32::MAX
+                            } else {
+                                a / b
+                            }
+                        }
+                        0b110 => {
+                            if b == 0 {
+                                a
+                            } else if a as i32 == i32::MIN && b as i32 == -1 {
+                                0
+                            } else {
+                                ((a as i32) % (b as i32)) as u32
+                            }
+                        }
+                        0b111 => {
+                            if b == 0 {
+                                a
+                            } else {
+                                a % b
+                            }
+                        }
+                        _ => return Err(Trap::IllegalInstruction { pc, word }),
+                    }
+                } else {
+                    match (funct3, funct7) {
+                        (0b000, 0x00) => a.wrapping_add(b),
+                        (0b000, 0x20) => a.wrapping_sub(b),
+                        (0b001, 0x00) => a << (b & 0x1F),
+                        (0b010, 0x00) => u32::from((a as i32) < (b as i32)),
+                        (0b011, 0x00) => u32::from(a < b),
+                        (0b100, 0x00) => a ^ b,
+                        (0b101, 0x00) => a >> (b & 0x1F),
+                        (0b101, 0x20) => ((a as i32) >> (b & 0x1F)) as u32,
+                        (0b110, 0x00) => a | b,
+                        (0b111, 0x00) => a & b,
+                        _ => return Err(Trap::IllegalInstruction { pc, word }),
+                    }
+                };
+                self.set_reg(rd, value);
+            }
+            0x0F => {} // FENCE: no-op on this core
+            0x73 => {
+                match word {
+                    0x0000_0073 => return Err(Trap::Ecall),
+                    0x0010_0073 => return Err(Trap::Ebreak),
+                    _ => {
+                        // Minimal Zicsr: rdcycle/rdcycleh/rdinstret.
+                        let csr = word >> 20;
+                        if funct3 == 0b010 && rs1 == 0 {
+                            let value = match csr {
+                                0xC00 | 0xC01 => self.cycles as u32, // cycle/time
+                                0xC80 | 0xC81 => (self.cycles >> 32) as u32,
+                                0xC02 => self.instret as u32,
+                                0xC82 => (self.instret >> 32) as u32,
+                                _ => return Err(Trap::IllegalInstruction { pc, word }),
+                            };
+                            self.set_reg(rd, value);
+                        } else {
+                            return Err(Trap::IllegalInstruction { pc, word });
+                        }
+                    }
+                }
+            }
+            _ => return Err(Trap::IllegalInstruction { pc, word }),
+        }
+
+        self.pc = next_pc;
+        self.instret += 1;
+        self.cycles += cost;
+        Ok(())
+    }
+
+    /// Skips over the instruction at pc (used after handling
+    /// ecall/ebreak).
+    pub fn advance_past_trap(&mut self) {
+        self.pc = self.pc.wrapping_add(4);
+        self.instret += 1;
+        self.cycles += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::bus::Ram;
+
+    const BASE: u32 = 0x8000_0000;
+
+    fn run(source: &str, max_steps: usize) -> (Cpu, Bus) {
+        let program = assemble(source, BASE).expect("test program assembles");
+        let mut bus = Bus::new(Ram::new(BASE, 64 * 1024));
+        bus.load(BASE, &program);
+        let mut cpu = Cpu::new(BASE);
+        for _ in 0..max_steps {
+            match cpu.step(&mut bus) {
+                Ok(()) => {}
+                Err(Trap::Ecall) => break,
+                Err(trap) => panic!("unexpected trap: {trap:?}"),
+            }
+        }
+        (cpu, bus)
+    }
+
+    #[test]
+    fn arithmetic_immediates() {
+        let (cpu, _) = run(
+            "addi x1, x0, 5
+             addi x2, x1, -3
+             slti x3, x2, 10
+             xori x4, x1, 0xF
+             ecall",
+            10,
+        );
+        assert_eq!(cpu.regs[1], 5);
+        assert_eq!(cpu.regs[2], 2);
+        assert_eq!(cpu.regs[3], 1);
+        assert_eq!(cpu.regs[4], 10);
+    }
+
+    #[test]
+    fn register_ops_and_m_extension() {
+        let (cpu, _) = run(
+            "addi x1, x0, 7
+             addi x2, x0, -3
+             add x3, x1, x2
+             sub x4, x1, x2
+             mul x5, x1, x2
+             div x6, x2, x1
+             rem x7, x1, x1
+             sltu x8, x2, x1
+             ecall",
+            12,
+        );
+        assert_eq!(cpu.regs[3], 4);
+        assert_eq!(cpu.regs[4], 10);
+        assert_eq!(cpu.regs[5] as i32, -21);
+        assert_eq!(cpu.regs[6] as i32, 0); // -3 / 7 = 0
+        assert_eq!(cpu.regs[7], 0);
+        assert_eq!(cpu.regs[8], 0); // unsigned -3 is huge
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        let (cpu, _) = run(
+            "addi x1, x0, 5
+             div x2, x1, x0
+             rem x3, x1, x0
+             ecall",
+            6,
+        );
+        assert_eq!(cpu.regs[2], u32::MAX);
+        assert_eq!(cpu.regs[3], 5);
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let (cpu, mut bus) = run(
+            "lui x1, 0x80001
+             addi x2, x0, -1
+             sw x2, 0(x1)
+             lb x3, 0(x1)
+             lbu x4, 0(x1)
+             addi x5, x0, 0x7F
+             sb x5, 4(x1)
+             lw x6, 4(x1)
+             lh x7, 0(x1)
+             lhu x8, 0(x1)
+             ecall",
+            15,
+        );
+        assert_eq!(cpu.regs[3], u32::MAX);
+        assert_eq!(cpu.regs[4], 0xFF);
+        assert_eq!(cpu.regs[6], 0x7F);
+        assert_eq!(cpu.regs[7], u32::MAX);
+        assert_eq!(cpu.regs[8], 0xFFFF);
+        assert_eq!(bus.read32(0x8000_1000).unwrap(), u32::MAX);
+    }
+
+    #[test]
+    fn branching_loop_sums() {
+        // Sum 1..=10 with a bne loop.
+        let (cpu, _) = run(
+            "addi x1, x0, 0
+             addi x2, x0, 1
+             addi x3, x0, 11
+             loop:
+             add x1, x1, x2
+             addi x2, x2, 1
+             bne x2, x3, loop
+             ecall",
+            100,
+        );
+        assert_eq!(cpu.regs[1], 55);
+    }
+
+    #[test]
+    fn jal_and_jalr_call_return() {
+        let (cpu, _) = run(
+            "addi x10, x0, 1
+             jal x1, func
+             addi x10, x10, 100
+             ecall
+             func:
+             addi x10, x10, 10
+             jalr x0, x1, 0",
+            20,
+        );
+        assert_eq!(cpu.regs[10], 111);
+    }
+
+    #[test]
+    fn x0_stays_zero() {
+        let (cpu, _) = run(
+            "addi x0, x0, 5
+             add x1, x0, x0
+             ecall",
+            5,
+        );
+        assert_eq!(cpu.regs[0], 0);
+        assert_eq!(cpu.regs[1], 0);
+    }
+
+    #[test]
+    fn rdcycle_is_monotone() {
+        let (cpu, _) = run(
+            "rdcycle x1
+             addi x5, x0, 1
+             addi x5, x0, 2
+             rdcycle x2
+             ecall",
+            8,
+        );
+        assert!(cpu.regs[2] > cpu.regs[1]);
+    }
+
+    #[test]
+    fn illegal_instruction_traps() {
+        let mut bus = Bus::new(Ram::new(BASE, 1024));
+        bus.load(BASE, &0xFFFF_FFFFu32.to_le_bytes());
+        let mut cpu = Cpu::new(BASE);
+        assert!(matches!(
+            cpu.step(&mut bus),
+            Err(Trap::IllegalInstruction { .. })
+        ));
+    }
+
+    #[test]
+    fn bus_fault_propagates() {
+        let mut bus = Bus::new(Ram::new(BASE, 1024));
+        // lw x1, 0(x0) → reads address 0, unmapped.
+        let program = assemble("lw x1, 0(x0)", BASE).unwrap();
+        bus.load(BASE, &program);
+        let mut cpu = Cpu::new(BASE);
+        assert!(matches!(cpu.step(&mut bus), Err(Trap::Bus(_))));
+    }
+
+    #[test]
+    fn signed_branches() {
+        let (cpu, _) = run(
+            "addi x1, x0, -1
+             addi x2, x0, 1
+             blt x1, x2, less
+             addi x3, x0, 99
+             less:
+             addi x4, x0, 7
+             bge x2, x1, done
+             addi x5, x0, 99
+             done:
+             ecall",
+            20,
+        );
+        assert_eq!(cpu.regs[3], 0);
+        assert_eq!(cpu.regs[4], 7);
+        assert_eq!(cpu.regs[5], 0);
+    }
+}

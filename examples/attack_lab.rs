@@ -1,0 +1,77 @@
+//! Attack lab (§IV): runs every attack class against the electronic
+//! baselines and the photonic PUF, printing the comparison the paper
+//! argues qualitatively.
+//!
+//! ```sh
+//! cargo run --example attack_lab --release
+//! ```
+
+use neuropuls::attacks::ml::{model_attack, parity_features, raw_features};
+use neuropuls::attacks::remanence::{photonic_exposure, remanence_decay_curve};
+use neuropuls::attacks::side_channel::{electronic_vs_photonic, reference_electronic_target};
+use neuropuls::attacks::tamper::full_campaign;
+use neuropuls::photonic::process::DieId;
+use neuropuls::puf::arbiter::{ArbiterPuf, XorArbiterPuf};
+use neuropuls::puf::photonic::PhotonicPuf;
+use neuropuls::puf::sram::SramPuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== ML modeling attacks (logistic regression) ==");
+    println!("{:<24} {:>10} {:>10}", "target", "train CRPs", "accuracy");
+    for crps in [200, 1000, 4000] {
+        let mut arbiter = ArbiterPuf::fabricate(DieId(1), 64, 1);
+        let a = model_attack(&mut arbiter, parity_features, crps, 500, 0, 30, 7)?;
+        println!("{:<24} {:>10} {:>9.1}%", "arbiter-64", crps, a.accuracy * 100.0);
+    }
+    for crps in [200, 1000, 4000] {
+        let mut xor4 = XorArbiterPuf::fabricate(DieId(2), 64, 4, 1);
+        let a = model_attack(&mut xor4, parity_features, crps, 500, 0, 30, 7)?;
+        println!("{:<24} {:>10} {:>9.1}%", "4-xor-arbiter-64", crps, a.accuracy * 100.0);
+    }
+    for crps in [200, 1000] {
+        let mut ppuf = PhotonicPuf::reference(DieId(3), 1);
+        let a = model_attack(&mut ppuf, raw_features, crps, 300, 0, 30, 7)?;
+        println!("{:<24} {:>10} {:>9.1}%", "photonic (BPSK mesh)", crps, a.accuracy * 100.0);
+    }
+
+    println!("\n== Power-analysis side channel ==");
+    let mut electronic = reference_electronic_target(5);
+    let mut photonic = PhotonicPuf::reference(DieId(5), 5);
+    let (e, p) = electronic_vs_photonic(&mut electronic, &mut photonic, 500, 11)?;
+    println!(
+        "electronic arbiter : response recovery {:.1}%, trained model {:.1}%",
+        e.response_recovery * 100.0,
+        e.model_accuracy * 100.0
+    );
+    println!(
+        "photonic PUF       : response recovery {:.1}% (no RF leakage)",
+        p.response_recovery * 100.0
+    );
+
+    println!("\n== Remanence decay ==");
+    let mut sram = SramPuf::reference(DieId(6), 6);
+    let secret: Vec<u8> = (0..sram.config().cells).map(|i| (i % 2) as u8).collect();
+    for point in remanence_decay_curve(&mut sram, &secret, &[0.1, 1.0, 5.0, 20.0, 100.0]) {
+        println!(
+            "SRAM after {:>6.1} ms off: {:>5.1}% of secret recovered",
+            point.off_time_ms,
+            point.recovery * 100.0
+        );
+    }
+    let window = PhotonicPuf::reference(DieId(7), 7).response_window_ns();
+    println!(
+        "photonic PUF: response lives {window:.2} ns; a power-cycle probe (≥1 ms) recovers {:.0}%",
+        photonic_exposure(1e6, window) * 100.0
+    );
+
+    println!("\n== Chip-substitution tampering (composite PIC+ASIC) ==");
+    for outcome in full_campaign(6, 0.25, 21)? {
+        println!(
+            "{:<14?}: mean FHD {:.3}, acceptance {:>5.1}%",
+            outcome.scenario,
+            outcome.mean_fhd,
+            outcome.acceptance * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Enrollment-time CRP filtering (§II-B / Fig. 3): sweep the counter
+//! threshold on an RO-PUF population and the photocurrent threshold on
+//! the photonic PUF, printing the reliability / bit-aliasing / yield
+//! trade-off curves.
+//!
+//! ```sh
+//! cargo run --example enrollment_filtering --release
+//! ```
+
+use neuropuls::filtering::photocurrent::PhotocurrentStudy;
+use neuropuls::filtering::ro_filter::RoFilterStudy;
+
+fn main() {
+    println!("== RO-PUF counter-threshold sweep (Fig. 3) ==");
+    println!(
+        "{:>9} {:>12} {:>18} {:>10}",
+        "threshold", "reliability", "aliasing entropy", "CRP yield"
+    );
+    let study = RoFilterStudy::generate(20, 15, 2024);
+    let thresholds: Vec<f64> = (0..=10).map(|i| i as f64 * 20.0).collect();
+    for point in study.threshold_sweep(&thresholds) {
+        println!(
+            "{:>9.0} {:>12.4} {:>18.4} {:>9.1}%",
+            point.threshold,
+            point.reliability,
+            point.aliasing_entropy,
+            point.surviving_fraction * 100.0
+        );
+    }
+    match study.trade_off_window(&thresholds, 0.999, 0.55) {
+        Some((lo, hi)) => println!(
+            "trade-off window (reliability ≥ 0.999, entropy ≥ 0.55): thresholds {lo:.0}..{hi:.0}"
+        ),
+        None => println!("no threshold satisfies both targets"),
+    }
+
+    println!("\n== photonic PUF photocurrent-threshold sweep (§II-B adaptation) ==");
+    println!(
+        "{:>9} {:>12} {:>18} {:>10}",
+        "threshold", "reliability", "aliasing entropy", "bit yield"
+    );
+    let study = PhotocurrentStudy::generate(6, 3, 9, 4242);
+    for point in study.threshold_sweep(&[0.0, 2.0, 5.0, 10.0, 20.0, 40.0]) {
+        println!(
+            "{:>9.0} {:>12.4} {:>18.4} {:>9.1}%",
+            point.threshold,
+            point.reliability,
+            point.aliasing_entropy,
+            point.surviving_fraction * 100.0
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: manufacture a device, authenticate it, and run one
+//! encrypted inference — the full Fig. 1 workflow in ~40 lines.
+//!
+//! ```sh
+//! cargo run --example quickstart --release
+//! ```
+
+use neuropuls::accel::config::NetworkConfig;
+use neuropuls::accel::engine::PhotonicEngine;
+use neuropuls::manufacture::{manufacture, ManufactureConfig};
+use neuropuls::protocols::mutual_auth::{run_session, Device, Verifier};
+use neuropuls::protocols::secure_nn::{NetworkOwner, SecureAccelerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Manufacturing: fabricate the PIC, enroll the weak-PUF key.
+    let lot = manufacture(&ManufactureConfig::default())?;
+    println!("manufactured {}", lot.device.die());
+    println!("device key enrolled ({} bytes helper data)", lot.enrolled_key.record.helper.offset.len() / 8);
+
+    // 2. Mutual authentication (Fig. 4): one CRP as the rotating secret.
+    let (mut device, provisioned) =
+        Device::provision(lot.device, vec![0xAB; 1024], b"quickstart")?;
+    let mut verifier = Verifier::new(provisioned, b"quickstart-verifier");
+    for session in 1..=3 {
+        run_session(&mut device, &mut verifier)?;
+        println!("mutual authentication session {session}: ok (CRP rotated)");
+    }
+
+    // 3. Secure NN service (Table I): plaintext never crosses the API.
+    let key = lot.enrolled_key.key;
+    let mut owner = NetworkOwner::new(key, b"owner-rng");
+    let mut accel = SecureAccelerator::new(PhotonicEngine::reference(7), key);
+
+    let network = NetworkConfig::mlp(&[4, 4, 2], |l, o, i| ((l + o + i) % 3) as f32 * 0.5 - 0.5);
+    accel.load_network(&owner.cipher_network(&network))?;
+    println!("encrypted network loaded ({} layers)", network.layers.len());
+
+    let ciphered_out = accel.execute_network(&owner.cipher_input(&[1.0, 0.5, -0.5, 0.25]))?;
+    let output = owner.decipher_output(&ciphered_out)?;
+    println!("encrypted inference output: {output:.4?}");
+    println!(
+        "accelerator stats: {} MACs, {:.1} pJ",
+        accel.stats().macs,
+        accel.stats().energy_pj
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! System-level simulation (§V): boot the RV32IM SoC, run firmware that
+//! interrogates the PUF peripheral and self-checks memory, and dump the
+//! gem5-style statistics.
+//!
+//! ```sh
+//! cargo run --example soc_firmware --release
+//! ```
+
+use neuropuls::photonic::process::DieId;
+use neuropuls::puf::photonic::PhotonicPuf;
+use neuropuls::system::soc::{firmware, Soc, StopReason};
+
+/// Firmware: interrogate the PUF four times with different challenges,
+/// accumulate the responses, print a marker, halt.
+const AUTH_FIRMWARE: &str = "
+    li   s0, 0x10000000       # PUF base
+    li   s1, 4                # evaluations
+    li   s2, 0                # accumulator
+    li   s3, 0x0DDC0FFE       # evolving challenge
+loop:
+    sw   s3, 0(s0)            # CHALLENGE0
+    sw   s1, 4(s0)            # CHALLENGE1 (varies per round)
+    li   t1, 1
+    sw   t1, 8(s0)            # CTRL: start
+wait:
+    lw   t2, 12(s0)           # STATUS
+    andi t2, t2, 2
+    beqz t2, wait
+    lw   t3, 16(s0)           # RESPONSE0
+    xor  s2, s2, t3
+    slli s3, s3, 1
+    xor  s3, s3, t3           # next challenge depends on response
+    addi s1, s1, -1
+    bnez s1, loop
+    # print 'O' 'K'
+    li   a7, 1
+    li   a0, 79
+    ecall
+    li   a0, 75
+    ecall
+    mv   a0, s2
+    li   a7, 0
+    ecall
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== PUF interrogation firmware ==");
+    let mut soc = Soc::new(PhotonicPuf::reference(DieId(9), 3), None);
+    soc.load_firmware(AUTH_FIRMWARE)?;
+    match soc.run(1_000_000) {
+        StopReason::Halted(acc) => {
+            println!("console: {:?}", String::from_utf8_lossy(&soc.console()));
+            println!("response accumulator: {acc:#010x}");
+        }
+        other => println!("stopped: {other:?}"),
+    }
+    print!("{}", soc.stats().dump());
+
+    println!("\n== memory self-check firmware (clock-count evidence) ==");
+    let mut soc = Soc::new(PhotonicPuf::reference(DieId(9), 4), None);
+    let image: Vec<u8> = (0..1024).map(|i| (i * 37 % 256) as u8).collect();
+    soc.load_bytes(0x8001_0000, &image);
+    soc.load_firmware(firmware::MEMORY_CHECK)?;
+    match soc.run(1_000_000) {
+        StopReason::Halted(checksum) => {
+            println!("memory checksum: {checksum:#010x}");
+            println!("clock count (s2): {} cycles", soc.cpu().regs[18]);
+        }
+        other => println!("stopped: {other:?}"),
+    }
+    print!("{}", soc.stats().dump());
+    Ok(())
+}

@@ -1,0 +1,140 @@
+//! # neuropuls — security layers for a neuromorphic photonic accelerator
+//!
+//! A research-grade reproduction of *"Security layers and related
+//! services within the Horizon Europe NEUROPULS project"* (DATE 2024):
+//! photonic physical unclonable functions simulated at the
+//! transfer-function level, the security services built on them (mutual
+//! authentication, software attestation, encrypted NN load/execute,
+//! EKE-based key agreement), the attack models of §IV, and a gem5-like
+//! system simulator per §V.
+//!
+//! The workspace crates are re-exported here; [`manufacture`] bundles
+//! the full manufacturing flow (fabricate the dies, bind the chips,
+//! enroll keys and provisioning records) into one call so examples and
+//! downstream users start from a single line.
+//!
+//! ```
+//! use neuropuls::manufacture::{manufacture, ManufactureConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lot = manufacture(&ManufactureConfig::default())?;
+//! assert_eq!(lot.device.die().0, ManufactureConfig::default().die_id);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use neuropuls_accel as accel;
+pub use neuropuls_attacks as attacks;
+pub use neuropuls_crypto as crypto;
+pub use neuropuls_filtering as filtering;
+pub use neuropuls_metrics as metrics;
+pub use neuropuls_photonic as photonic;
+pub use neuropuls_protocols as protocols;
+pub use neuropuls_puf as puf;
+pub use neuropuls_system as system;
+
+pub mod manufacture {
+    //! One-call manufacturing flow: fabricate, bind, enroll, provision.
+
+    use neuropuls_photonic::process::DieId;
+    use neuropuls_protocols::error::ProtocolError;
+    use neuropuls_protocols::keys::{enroll_key, EnrolledKey};
+    use neuropuls_puf::photonic::PhotonicPuf;
+    use neuropuls_puf::sram::SramPuf;
+    use neuropuls_puf::weak::WeakPuf;
+
+    /// Parameters of the manufacturing run.
+    #[derive(Debug, Clone)]
+    pub struct ManufactureConfig {
+        /// Die identifier for the PIC.
+        pub die_id: u64,
+        /// Measurement-noise seed for this device instance.
+        pub noise_seed: u64,
+        /// Number of fixed weak-PUF challenges (key material width =
+        /// 64 × this).
+        pub weak_challenges: usize,
+        /// ECC repetition factor for key enrollment.
+        pub repetition: usize,
+        /// Majority-vote reads during enrollment.
+        pub enrollment_reads: usize,
+    }
+
+    impl Default for ManufactureConfig {
+        fn default() -> Self {
+            ManufactureConfig {
+                die_id: 1,
+                noise_seed: 0xA11CE,
+                weak_challenges: 7,
+                repetition: 3,
+                enrollment_reads: 9,
+            }
+        }
+    }
+
+    /// Everything a freshly manufactured device ships with.
+    #[derive(Debug)]
+    pub struct ManufacturedLot {
+        /// The strong pPUF used for authentication and attestation.
+        pub device: PhotonicPuf,
+        /// The weak-PUF view used to reproduce the device key in the
+        /// field.
+        pub weak: WeakPuf<PhotonicPuf>,
+        /// The ASIC-side SRAM PUF bound to the PIC.
+        pub asic: SramPuf,
+        /// The enrolled device key + public provisioning record.
+        pub enrolled_key: EnrolledKey,
+    }
+
+    /// Runs the manufacturing flow.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PUF and enrollment failures.
+    pub fn manufacture(config: &ManufactureConfig) -> Result<ManufacturedLot, ProtocolError> {
+        let die = DieId(config.die_id);
+        let device = PhotonicPuf::reference(die, config.noise_seed);
+        let mut weak = WeakPuf::with_derived_challenges(
+            PhotonicPuf::reference(die, config.noise_seed ^ 0x57EA_D00D),
+            config.weak_challenges,
+            0xFEED,
+        );
+        let asic = SramPuf::reference(DieId(config.die_id ^ 0xA51C), config.noise_seed);
+        let enrolled_key = enroll_key(
+            &mut weak,
+            config.repetition,
+            config.enrollment_reads,
+            b"neuropuls/manufacture",
+        )?;
+        Ok(ManufacturedLot {
+            device,
+            weak,
+            asic,
+            enrolled_key,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::manufacture::{manufacture, ManufactureConfig};
+    use neuropuls_protocols::keys::reproduce_key;
+
+    #[test]
+    fn manufacture_produces_reproducible_key() {
+        let config = ManufactureConfig::default();
+        let mut lot = manufacture(&config).unwrap();
+        let key = reproduce_key(&mut lot.weak, &lot.enrolled_key.record).unwrap();
+        assert_eq!(key, lot.enrolled_key.key);
+    }
+
+    #[test]
+    fn different_dies_different_keys() {
+        let a = manufacture(&ManufactureConfig::default()).unwrap();
+        let b = manufacture(&ManufactureConfig {
+            die_id: 2,
+            ..ManufactureConfig::default()
+        })
+        .unwrap();
+        assert_ne!(a.enrolled_key.key, b.enrolled_key.key);
+    }
+}

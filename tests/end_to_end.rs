@@ -1,0 +1,117 @@
+//! End-to-end integration: the complete NEUROPULS device lifecycle
+//! across every crate — manufacture, key provisioning, mutual
+//! authentication, software attestation, encrypted NN execution, and an
+//! EKE session bootstrapped from an authentication secret.
+
+use neuropuls::accel::config::NetworkConfig;
+use neuropuls::accel::engine::PhotonicEngine;
+use neuropuls::manufacture::{manufacture, ManufactureConfig};
+use neuropuls::photonic::process::DieId;
+use neuropuls::protocols::attestation::{AttestationVerifier, AttestingDevice, TimingModel};
+use neuropuls::protocols::eke::{run_exchange, EkeParty};
+use neuropuls::protocols::keys::reproduce_key;
+use neuropuls::protocols::mutual_auth::{run_session, Device, Verifier};
+use neuropuls::protocols::secure_nn::{NetworkOwner, SecureAccelerator};
+use neuropuls::puf::bits::Response;
+use neuropuls::puf::photonic::PhotonicPuf;
+
+#[test]
+fn full_device_lifecycle() {
+    // 1. Manufacture.
+    let lot = manufacture(&ManufactureConfig::default()).expect("manufacturing succeeds");
+    let device_key = lot.enrolled_key.key;
+
+    // 2. In the field, the device reproduces its key from the weak PUF.
+    let mut weak = lot.weak;
+    let reproduced = reproduce_key(&mut weak, &lot.enrolled_key.record).expect("key reproduction");
+    assert_eq!(reproduced, device_key);
+
+    // 3. Mutual authentication over ten sessions.
+    let firmware = vec![0x5A; 2048];
+    let (mut device, provisioned) =
+        Device::provision(lot.device, firmware, b"lifecycle").expect("provisioning");
+    let mut verifier = Verifier::new(provisioned, b"lifecycle-verifier");
+    let mut failures = 0;
+    for _ in 0..10 {
+        if run_session(&mut device, &mut verifier).is_err() {
+            failures += 1;
+        }
+    }
+    assert!(failures <= 1, "{failures}/10 sessions failed");
+
+    // 4. Secure NN service under the PUF-derived key.
+    let mut owner = NetworkOwner::new(device_key, b"owner");
+    let mut accel = SecureAccelerator::new(PhotonicEngine::reference(3), device_key);
+    let network = NetworkConfig::mlp(&[8, 4, 2], |l, o, i| ((l * 5 + o * 3 + i) % 7) as f32 * 0.1);
+    accel
+        .load_network(&owner.cipher_network(&network))
+        .expect("encrypted load");
+    let out = accel
+        .execute_network(&owner.cipher_input(&[0.5; 8]))
+        .expect("encrypted execute");
+    let output = owner.decipher_output(&out).expect("owner decrypts");
+    assert_eq!(output.len(), 2);
+}
+
+#[test]
+fn attestation_follows_authentication() {
+    // The attestation verifier uses the same die model as the deployed
+    // device; a device that passes authentication also attests cleanly,
+    // and a post-auth compromise is caught.
+    let die = DieId(77);
+    let memory: Vec<u8> = (0..16 * 1024).map(|i| (i % 255) as u8).collect();
+    let timing = TimingModel::photonic();
+
+    let mut attester = AttestingDevice::new(
+        PhotonicPuf::reference(die, 1),
+        memory.clone(),
+        timing,
+    );
+    let mut verifier =
+        AttestationVerifier::new(PhotonicPuf::reference(die, 2), memory, timing);
+
+    let request = verifier.begin();
+    let report = attester.attest(&request).expect("attestation runs");
+    verifier.verify(&request, &report).expect("honest device passes");
+
+    attester.corrupt_memory(1000, 0x00);
+    let request = verifier.begin();
+    let report = attester.attest(&request).expect("attestation runs");
+    assert!(verifier.verify(&request, &report).is_err(), "compromise missed");
+}
+
+#[test]
+fn eke_bootstraps_session_keys_from_crp() {
+    // §IV: the CRP doubles as the EKE password, yielding fresh session
+    // keys with forward secrecy.
+    let crp = Response::from_u64(0x0123_4567_89AB_CDEF, 63);
+    let mut device_side = EkeParty::new(&crp, b"device-rng");
+    let mut verifier_side = EkeParty::new(&crp, b"verifier-rng");
+    let (k1, k2) = run_exchange(&mut device_side, &mut verifier_side).expect("exchange");
+    assert_eq!(k1, k2);
+
+    // A second exchange yields different keys (forward secrecy).
+    let mut device_side2 = EkeParty::new(&crp, b"device-rng-2");
+    let mut verifier_side2 = EkeParty::new(&crp, b"verifier-rng-2");
+    let (k3, _) = run_exchange(&mut device_side2, &mut verifier_side2).expect("exchange 2");
+    assert_ne!(k1, k3);
+}
+
+#[test]
+fn cross_device_isolation() {
+    // Material from one device must be useless on another: keys differ
+    // and the secure accelerator rejects the other device's payloads.
+    let a = manufacture(&ManufactureConfig::default()).unwrap();
+    let b = manufacture(&ManufactureConfig {
+        die_id: 99,
+        ..ManufactureConfig::default()
+    })
+    .unwrap();
+    assert_ne!(a.enrolled_key.key, b.enrolled_key.key);
+
+    let mut owner_a = NetworkOwner::new(a.enrolled_key.key, b"a");
+    let mut accel_b = SecureAccelerator::new(PhotonicEngine::reference(9), b.enrolled_key.key);
+    let network = NetworkConfig::mlp(&[2, 2], |_, o, i| (o == i) as u8 as f32);
+    let blob = owner_a.cipher_network(&network);
+    assert!(accel_b.load_network(&blob).is_err(), "cross-device payload accepted");
+}

@@ -1,0 +1,102 @@
+//! Integration test of the §II-A quality claims: the simulated photonic
+//! PUF population must exhibit the statistics the paper reports for the
+//! microring-array demonstrator \[12\] — fractional Hamming distance close
+//! to the ideal inter-device, high reliability intra-device, and good
+//! NIST statistical-test scores.
+
+use neuropuls::metrics::entropy::min_entropy_per_bit;
+use neuropuls::metrics::nist;
+use neuropuls::metrics::quality::quality_report;
+use neuropuls::photonic::process::DieId;
+use neuropuls::puf::bits::Challenge;
+use neuropuls::puf::photonic::PhotonicPuf;
+use neuropuls::puf::traits::Puf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DEVICES: usize = 12;
+const REREADS: usize = 8;
+
+fn population() -> (Vec<Vec<u8>>, Vec<Vec<Vec<u8>>>) {
+    let mut rng = StdRng::seed_from_u64(0xE2);
+    let challenge = Challenge::random(64, &mut rng);
+    let mut golden = Vec::with_capacity(DEVICES);
+    let mut rereads = Vec::with_capacity(DEVICES);
+    for d in 0..DEVICES {
+        let mut puf = PhotonicPuf::reference(DieId(5000 + d as u64), 17 + d as u64);
+        let g = puf.respond_golden(&challenge, 9).expect("eval");
+        let r: Vec<Vec<u8>> = (0..REREADS)
+            .map(|_| puf.respond(&challenge).expect("eval").into_bits())
+            .collect();
+        golden.push(g.into_bits());
+        rereads.push(r);
+    }
+    (golden, rereads)
+}
+
+#[test]
+fn population_statistics_match_paper_claims() {
+    let (golden, rereads) = population();
+    let report = quality_report(&golden, &rereads);
+
+    assert!(
+        (report.uniqueness.mean - 0.5).abs() < 0.1,
+        "uniqueness {:.4} not close to 0.5",
+        report.uniqueness.mean
+    );
+    assert!(
+        report.reliability.mean > 0.95,
+        "reliability {:.4} too low",
+        report.reliability.mean
+    );
+    assert!(
+        (report.uniformity.mean - 0.5).abs() < 0.12,
+        "uniformity {:.4} biased",
+        report.uniformity.mean
+    );
+    assert!(
+        report.mean_bit_aliasing > 0.6,
+        "mean bit-aliasing entropy {:.4} too low",
+        report.mean_bit_aliasing
+    );
+}
+
+#[test]
+fn min_entropy_is_substantial() {
+    let (golden, _) = population();
+    let h = min_entropy_per_bit(&golden);
+    assert!(h > 0.4, "min-entropy per bit {h:.4} too low");
+}
+
+#[test]
+fn concatenated_responses_pass_most_nist_tests() {
+    // Concatenate responses to many challenges from one device into a
+    // long stream — the "good score for various NIST tests" claim.
+    let mut puf = PhotonicPuf::reference(DieId(31337), 5);
+    let mut rng = StdRng::seed_from_u64(0x1157);
+    let mut bits = Vec::with_capacity(4096);
+    while bits.len() < 4096 {
+        let c = Challenge::random(64, &mut rng);
+        bits.extend(puf.respond(&c).expect("eval").into_bits());
+    }
+    let results = nist::battery(&bits);
+    let rate = nist::pass_rate(&results);
+    assert!(
+        rate >= 0.7,
+        "NIST pass rate {rate:.2}: {:?}",
+        results
+            .iter()
+            .filter(|r| !r.passed)
+            .map(|r| (r.name, r.p_value))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn throughput_and_window_match_headline_numbers() {
+    let puf = PhotonicPuf::reference(DieId(1), 1);
+    // §III-B: "the inherent speed of the pPUF (at least 5 Gb/s)".
+    assert!(puf.throughput_gbps() >= 5.0);
+    // §IV: response present "below 100 ns".
+    assert!(puf.response_window_ns() < 100.0);
+}
