@@ -9,8 +9,8 @@
 
 use crate::config::{ConfigCodecError, NetworkConfig};
 use neuropuls_photonic::laser::gaussian;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::SeedableRng;
 
 /// Analog non-idealities of the crossbar.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -9,8 +9,8 @@
 //! nonlinearity.
 
 use neuropuls_photonic::laser::gaussian;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::SeedableRng;
 
 /// A fixed-random photonic reservoir.
 #[derive(Debug, Clone)]

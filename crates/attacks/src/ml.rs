@@ -12,8 +12,8 @@
 use neuropuls_puf::arbiter::ArbiterPuf;
 use neuropuls_puf::bits::Challenge;
 use neuropuls_puf::traits::{Puf, PufError};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::SeedableRng;
 
 /// A binary logistic-regression model trained with mini-batch SGD.
 #[derive(Debug, Clone)]
@@ -174,7 +174,7 @@ pub fn model_attack<P: Puf>(
 mod tests {
     use super::*;
     use neuropuls_photonic::process::DieId;
-    use rand::Rng;
+    use neuropuls_rt::Rng;
     use neuropuls_puf::arbiter::XorArbiterPuf;
     use neuropuls_puf::photonic::PhotonicPuf;
 

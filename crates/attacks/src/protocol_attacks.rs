@@ -4,8 +4,8 @@
 use neuropuls_protocols::error::ProtocolError;
 use neuropuls_protocols::mutual_auth::{AuthRequest, Device, DeviceAuth, Verifier};
 use neuropuls_puf::traits::Puf;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::{Rng, SeedableRng};
 
 /// Result of one adversarial campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,8 +76,8 @@ pub fn mitm_tamper_campaign<P: Puf>(
         let mut msg: DeviceAuth = device.respond_to_request(&request)?;
         // Flip one random bit somewhere in the masked response.
         let byte = rng.gen_range(0..msg.masked_response.len());
-        let bit = rng.gen_range(0..8);
-        msg.masked_response[byte] ^= 1 << bit;
+        let bit = rng.gen_range(0u8..8);
+        msg.masked_response[byte] ^= 1u8 << bit;
         if verifier.process_device_auth(&request, &msg).is_ok() {
             successes += 1;
         }

@@ -21,8 +21,8 @@ use neuropuls_photonic::laser::gaussian;
 use neuropuls_puf::arbiter::ArbiterPuf;
 use neuropuls_puf::bits::Challenge;
 use neuropuls_puf::traits::{Puf, PufError};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::SeedableRng;
 
 /// How strongly the internal decision couples into the power trace.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -16,8 +16,8 @@ use neuropuls_puf::composite::CompositePuf;
 use neuropuls_puf::photonic::PhotonicPuf;
 use neuropuls_puf::sram::SramPuf;
 use neuropuls_puf::traits::{Puf, PufError};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::SeedableRng;
 
 /// Which chip the attacker swapped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

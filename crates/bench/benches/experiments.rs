@@ -2,7 +2,8 @@
 //! bench per table/figure so `cargo bench` exercises every regeneration
 //! path and reports its wall time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use neuropuls_rt::criterion::Criterion;
+use neuropuls_rt::{criterion_group, criterion_main};
 use neuropuls_bench::{experiments, Scale};
 
 fn bench_experiments(c: &mut Criterion) {

@@ -2,7 +2,8 @@
 //! system-level simulator (§V) — the per-operation costs behind the
 //! experiment tables.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use neuropuls_rt::criterion::Criterion;
+use neuropuls_rt::{criterion_group, criterion_main};
 use neuropuls_accel::config::NetworkConfig;
 use neuropuls_accel::engine::PhotonicEngine;
 use neuropuls_photonic::process::DieId;

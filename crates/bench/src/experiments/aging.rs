@@ -6,8 +6,8 @@ use neuropuls_photonic::process::DieId;
 use neuropuls_puf::bits::Challenge;
 use neuropuls_puf::photonic::PhotonicPuf;
 use neuropuls_puf::traits::Puf;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::SeedableRng;
 
 /// One row of the aging sweep.
 #[derive(Debug, Clone, Copy)]

@@ -6,8 +6,8 @@
 use crate::{Rendered, Scale};
 use neuropuls_accel::config::NetworkConfig;
 use neuropuls_accel::engine::{AnalogModel, PhotonicEngine};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::{Rng, SeedableRng};
 
 /// A tiny two-class task: points inside/outside a disc, classified by a
 /// fixed 2-16-2 MLP trained host-side (closed-form-ish: we synthesize a

@@ -18,8 +18,8 @@ use neuropuls_photonic::process::DieId;
 use neuropuls_puf::bits::{Challenge, Response};
 use neuropuls_puf::photonic::PhotonicPuf;
 use neuropuls_puf::traits::Puf;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::{Rng, SeedableRng};
 
 /// One sweep row.
 #[derive(Debug, Clone, Copy)]

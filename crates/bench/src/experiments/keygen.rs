@@ -10,8 +10,8 @@ use neuropuls_metrics::far_frr::{decidability, equal_error_rate, sweep};
 use neuropuls_photonic::process::DieId;
 use neuropuls_puf::bits::Challenge;
 use neuropuls_puf::photonic::PhotonicPuf;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::SeedableRng;
 
 /// One pipeline configuration's result.
 #[derive(Debug, Clone)]

@@ -19,7 +19,7 @@ use crate::ecc::BlockCode;
 use crate::hkdf;
 use crate::prng::CsPrng;
 use crate::CryptoError;
-use rand::RngCore;
+use neuropuls_rt::RngCore;
 
 /// Length of derived keys in bytes.
 pub const KEY_LEN: usize = 32;

@@ -9,7 +9,7 @@
 
 use crate::chacha20::ChaCha20;
 use crate::hkdf;
-use rand::RngCore;
+use neuropuls_rt::RngCore;
 
 /// ChaCha20-based deterministic CSPRNG.
 ///
@@ -98,7 +98,7 @@ impl RngCore for CsPrng {
         self.fill(dest);
     }
 
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), neuropuls_rt::Error> {
         self.fill(dest);
         Ok(())
     }

@@ -37,8 +37,8 @@ impl PhotocurrentStudy {
     /// Panics on empty parameters.
     pub fn generate(devices: usize, challenges: usize, reads: usize, seed: u64) -> Self {
         assert!(devices > 0 && challenges > 0 && reads > 0, "empty study");
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use neuropuls_rt::rngs::StdRng;
+        use neuropuls_rt::SeedableRng;
         let mut rng = StdRng::seed_from_u64(seed);
         let challenge_set: Vec<Challenge> =
             (0..challenges).map(|_| Challenge::random(64, &mut rng)).collect();

@@ -126,7 +126,12 @@ impl ScramblerMesh {
             // Layout lengths differ component-to-component (routing is
             // never perfectly balanced), which is what makes temperature
             // act *differentially* on the interference pattern instead of
-            // as a cancelling common-mode phase.
+            // as a cancelling common-mode phase. The mismatch is small —
+            // parallel routes in a layer are length-matched by the layout
+            // tool to a few µm — so the common-mode phase (which factors
+            // out of the interference) dwarfs the differential part, and
+            // the ambient excursion degrades the pattern gradually instead
+            // of scrambling it within a couple of kelvin.
             let phases = (0..n)
                 .map(|_| {
                     let length = die.uniform(20.0, 40.0);
@@ -135,7 +140,7 @@ impl ScramblerMesh {
                 .collect();
             let segments = (0..n)
                 .map(|_| {
-                    let length = spec.segment_length_um * die.uniform(0.7, 1.3);
+                    let length = spec.segment_length_um * die.uniform(0.97, 1.03);
                     Waveguide::sampled(length, spec.waveguide_loss_db_cm, die)
                 })
                 .collect();
@@ -271,7 +276,7 @@ impl ScramblerMesh {
     /// (oxide charge trapping and slow stress relaxation — §V asks the
     /// simulator to cover "the effects of aging"). Couplers and losses
     /// age much more slowly and are left untouched.
-    pub fn apply_aging<R: rand::Rng>(
+    pub fn apply_aging<R: neuropuls_rt::Rng>(
         &mut self,
         years: f64,
         sigma_rad_per_sqrt_year: f64,

@@ -10,7 +10,7 @@
 use crate::complex::Complex64;
 use crate::environment::Environment;
 use crate::laser::gaussian;
-use rand::Rng;
+use neuropuls_rt::Rng;
 
 /// A p-i-n photodiode (square-law detector).
 #[derive(Debug, Clone, Copy)]
@@ -19,21 +19,28 @@ pub struct Photodiode {
     pub responsivity: f64,
     /// Dark current in µA.
     pub dark_current_ua: f64,
-    /// Relative shot-noise strength (σ of the relative fluctuation at
-    /// unit photocurrent).
+    /// Shot-noise scale relative to the Schottky value √(2qIB) at the
+    /// detection bandwidth (1 = physical, 0 = shot noise off).
     pub shot_noise: f64,
     /// Absolute thermal (Johnson) noise floor in µA.
     pub thermal_noise_ua: f64,
 }
 
+/// Schottky shot-noise coefficient at the 25 GHz detection bandwidth:
+/// σ = √(2·q·I·B); with the photocurrent in µA, σ = √(2q·B)·√I ≈
+/// 0.0895·√I µA.
+const SHOT_SIGMA_UA_PER_SQRT_UA: f64 = 0.0895;
+
 impl Photodiode {
-    /// A typical 25G germanium photodiode.
+    /// A typical 25G germanium photodiode. The thermal floor is the
+    /// Johnson noise of the 5 kΩ transimpedance over 25 GHz,
+    /// √(4kT·B/R) ≈ 0.29 µA.
     pub fn new() -> Self {
         Photodiode {
             responsivity: 0.9,
             dark_current_ua: 0.01,
-            shot_noise: 5e-3,
-            thermal_noise_ua: 0.5,
+            shot_noise: 1.0,
+            thermal_noise_ua: 0.29,
         }
     }
 
@@ -42,7 +49,10 @@ impl Photodiode {
     pub fn detect<R: Rng>(&self, field: Complex64, rng: &mut R) -> f64 {
         // |E|² in mW × responsivity (A/W) → mA; convert to µA.
         let signal_ua = field.norm_sqr() * self.responsivity * 1000.0;
-        let shot = signal_ua.max(0.0).sqrt() * self.shot_noise * 31.6 * gaussian(rng);
+        let shot = SHOT_SIGMA_UA_PER_SQRT_UA
+            * signal_ua.max(0.0).sqrt()
+            * self.shot_noise
+            * gaussian(rng);
         let thermal = self.thermal_noise_ua * gaussian(rng);
         (signal_ua + self.dark_current_ua + shot + thermal).max(0.0)
     }
@@ -195,8 +205,8 @@ impl Default for ReceiveChain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use neuropuls_rt::rngs::StdRng;
+    use neuropuls_rt::SeedableRng;
 
     #[test]
     fn photodiode_is_square_law() {

@@ -6,7 +6,7 @@
 
 use crate::complex::Complex64;
 use crate::environment::Environment;
-use rand::Rng;
+use neuropuls_rt::Rng;
 
 /// A CW telecom laser.
 #[derive(Debug, Clone, Copy)]
@@ -61,8 +61,8 @@ pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use neuropuls_rt::rngs::StdRng;
+    use neuropuls_rt::SeedableRng;
 
     #[test]
     fn carrier_power_tracks_environment() {

@@ -10,7 +10,7 @@
 //!   enrollment / in-field comparisons), and
 //! * different dies are statistically independent.
 
-use rand::{Rng, RngCore, SeedableRng};
+use neuropuls_rt::{Rng, RngCore, SeedableRng};
 
 /// Identifies one fabricated die (chip instance).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -93,7 +93,7 @@ impl Default for ProcessVariation {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DieSampler {
-    rng: rand::rngs::StdRng,
+    rng: neuropuls_rt::rngs::StdRng,
     variation: ProcessVariation,
 }
 
@@ -112,7 +112,7 @@ impl DieSampler {
             chunk.copy_from_slice(&v.to_le_bytes());
         }
         DieSampler {
-            rng: rand::rngs::StdRng::from_seed(seed),
+            rng: neuropuls_rt::rngs::StdRng::from_seed(seed),
             variation,
         }
     }

@@ -25,6 +25,16 @@ use crate::complex::Complex64;
 use crate::environment::Environment;
 use crate::process::DieSampler;
 
+/// Residual thermo-optic sensitivity of the rings after the platform's
+/// athermal overcladding. Bare-silicon rings shift ≈ 70–80 pm/K and
+/// would detune by a full linewidth within ~10 K — useless without
+/// active tuning. The fabricated arrays instead use a negative-dn/dT
+/// cladding (TiO₂/polymer) that cancels ≈ 90 % of the silicon
+/// coefficient, the standard passive compensation for untuned resonator
+/// banks. The residual keeps rings temperature-*sensitive* (drift grows
+/// with excursion) without the resonance racing through several FSRs.
+const ATHERMAL_RESIDUAL: f64 = 0.1;
+
 /// An all-pass microring resonator with one-sample round-trip delay.
 #[derive(Debug, Clone)]
 pub struct Microring {
@@ -74,7 +84,7 @@ impl Microring {
 
     /// Advances the ring by one sample.
     pub fn step(&mut self, input: Complex64, env: &Environment) -> Complex64 {
-        let phi = self.phi + env.thermo_optic_phase(self.circumference_um);
+        let phi = self.phi + ATHERMAL_RESIDUAL * env.thermo_optic_phase(self.circumference_um);
         let feedback = Complex64::from_polar(self.a, phi);
         let delayed = self.circulating * feedback;
         let ik = Complex64::new(0.0, self.k);
@@ -87,7 +97,7 @@ impl Microring {
     /// environment — the analytic all-pass response used to cross-check
     /// the time-domain recursion.
     pub fn cw_response(&self, env: &Environment) -> Complex64 {
-        let phi = self.phi + env.thermo_optic_phase(self.circumference_um);
+        let phi = self.phi + ATHERMAL_RESIDUAL * env.thermo_optic_phase(self.circumference_um);
         let ae = Complex64::from_polar(self.a, phi);
         // H = (r - a·e^{iφ}) / (1 - r·a·e^{iφ}) for the all-pass ring with
         // the i·k coupling convention: derive from the recursion at z=1.

@@ -23,7 +23,7 @@ use neuropuls_crypto::hmac::HmacSha256;
 use neuropuls_crypto::prng::CsPrng;
 use neuropuls_crypto::x25519;
 use neuropuls_puf::bits::Response;
-use rand::RngCore;
+use neuropuls_rt::RngCore;
 
 /// Session keys derived from a successful exchange.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -34,7 +34,7 @@ use neuropuls_crypto::prng::CsPrng;
 use neuropuls_crypto::sha256::Sha256;
 use neuropuls_puf::bits::{Challenge, Response};
 use neuropuls_puf::traits::Puf;
-use rand::RngCore;
+use neuropuls_rt::RngCore;
 
 /// Message 1: the Verifier's authentication request.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -26,7 +26,7 @@ use neuropuls_crypto::chacha20::{ChaCha20, NONCE_LEN};
 use neuropuls_crypto::hkdf;
 use neuropuls_crypto::hmac::{HmacSha256, TAG_LEN};
 use neuropuls_crypto::prng::CsPrng;
-use rand::RngCore;
+use neuropuls_rt::RngCore;
 
 fn subkeys(device_key: &[u8; 32], label: &[u8]) -> ([u8; 32], [u8; 32]) {
     let mut enc = [0u8; 32];

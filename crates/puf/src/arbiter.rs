@@ -18,8 +18,8 @@ use crate::traits::{Puf, PufError, PufKind};
 use neuropuls_photonic::laser::gaussian;
 use neuropuls_photonic::process::DieId;
 use neuropuls_photonic::Environment;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::SeedableRng;
 
 /// A single arbiter chain.
 #[derive(Debug, Clone)]
@@ -189,7 +189,7 @@ impl Puf for XorArbiterPuf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
+    use neuropuls_rt::Rng;
 
     fn challenge(seed: u64, n: usize) -> Challenge {
         let mut rng = StdRng::seed_from_u64(seed);

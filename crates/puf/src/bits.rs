@@ -5,15 +5,35 @@
 //! whole point of the authentication protocol is which of the two is
 //! secret). Bits are stored one per byte.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use neuropuls_rt::codec::{CodecError, FromBytes, Reader, ToBytes, Writer};
+use neuropuls_rt::Rng;
 use std::fmt;
 
 macro_rules! bitstring_type {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
-        #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+        #[derive(Debug, Clone, PartialEq, Eq, Hash)]
         pub struct $name(Vec<u8>);
+
+        impl ToBytes for $name {
+            fn write_into(&self, out: &mut Writer) {
+                // Packed form on the wire: 8x smaller than the in-memory
+                // bit-per-byte layout, plus the exact bit length.
+                out.u64(self.0.len() as u64);
+                out.bytes(&self.to_packed());
+            }
+        }
+
+        impl FromBytes for $name {
+            fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                let bits = r.u64()? as usize;
+                let packed = r.bytes()?;
+                if packed.len() != bits.div_ceil(8) {
+                    return Err(CodecError::Invalid("bit length / packed length mismatch"));
+                }
+                Ok(Self::from_packed(packed, bits))
+            }
+        }
 
         impl $name {
             /// Wraps raw bits (values are masked to 0/1).
@@ -175,8 +195,8 @@ impl Response {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use neuropuls_rt::rngs::StdRng;
+    use neuropuls_rt::SeedableRng;
 
     #[test]
     fn from_u64_lsb_first() {

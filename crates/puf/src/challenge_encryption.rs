@@ -109,8 +109,8 @@ mod tests {
     use super::*;
     use crate::arbiter::ArbiterPuf;
     use neuropuls_photonic::process::DieId;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use neuropuls_rt::rngs::StdRng;
+    use neuropuls_rt::{Rng, SeedableRng};
 
     fn wrapped(key_byte: u8) -> ChallengeEncryptedPuf<ArbiterPuf> {
         ChallengeEncryptedPuf::new(ArbiterPuf::fabricate(DieId(1), 64, 5), [key_byte; 32])

@@ -114,8 +114,8 @@ impl Puf for CompositePuf {
 mod tests {
     use super::*;
     use neuropuls_photonic::process::DieId;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use neuropuls_rt::rngs::StdRng;
+    use neuropuls_rt::SeedableRng;
 
     fn composite(pic_die: u64, asic_die: u64) -> CompositePuf {
         CompositePuf::bind(

@@ -10,11 +10,11 @@
 
 use crate::bits::{Challenge, Response};
 use crate::traits::{Puf, PufError};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use neuropuls_rt::codec::{CodecError, FromBytes, Reader, ToBytes, Writer};
+use neuropuls_rt::Rng;
 
 /// One enrolled challenge–response pair.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Crp {
     /// The challenge.
     pub challenge: Challenge,
@@ -22,10 +22,48 @@ pub struct Crp {
     pub response: Response,
 }
 
+impl ToBytes for Crp {
+    fn write_into(&self, out: &mut Writer) {
+        self.challenge.write_into(out);
+        self.response.write_into(out);
+    }
+}
+
+impl FromBytes for Crp {
+    fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Crp {
+            challenge: Challenge::read_from(r)?,
+            response: Response::read_from(r)?,
+        })
+    }
+}
+
 /// A verifier-side database of enrolled CRPs for one device.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CrpDatabase {
     entries: Vec<Crp>,
+}
+
+impl ToBytes for CrpDatabase {
+    fn write_into(&self, out: &mut Writer) {
+        out.u64(self.entries.len() as u64);
+        for crp in &self.entries {
+            crp.write_into(out);
+        }
+    }
+}
+
+impl FromBytes for CrpDatabase {
+    fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let count = r.u64()? as usize;
+        // Each CRP needs at least two bit-length words on the wire;
+        // bound the preallocation by what the input could really hold.
+        let mut entries = Vec::with_capacity(count.min(r.remaining() / 16 + 1));
+        for _ in 0..count {
+            entries.push(Crp::read_from(r)?);
+        }
+        Ok(CrpDatabase { entries })
+    }
 }
 
 impl CrpDatabase {
@@ -123,8 +161,8 @@ mod tests {
     use crate::arbiter::ArbiterPuf;
     use crate::traits::Puf;
     use neuropuls_photonic::process::DieId;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use neuropuls_rt::rngs::StdRng;
+    use neuropuls_rt::SeedableRng;
 
     fn puf() -> ArbiterPuf {
         ArbiterPuf::fabricate(DieId(1), 64, 3)
@@ -177,6 +215,44 @@ mod tests {
             })
             .collect();
         assert_eq!(db.storage_bytes(), 100 * 16);
+    }
+
+    #[test]
+    fn crp_roundtrips_through_codec() {
+        let crp = Crp {
+            challenge: Challenge::from_u64(0xA5A5, 17),
+            response: Response::from_u64(0x3C, 7),
+        };
+        let bytes = crp.to_bytes();
+        assert_eq!(Crp::from_bytes(&bytes).unwrap(), crp);
+    }
+
+    #[test]
+    fn enrolled_database_roundtrips_through_codec() {
+        let mut p = puf();
+        let mut rng = StdRng::seed_from_u64(3);
+        let db = CrpDatabase::enroll(&mut p, 12, 5, &mut rng).unwrap();
+        let bytes = db.to_bytes();
+        let back = CrpDatabase::from_bytes(&bytes).unwrap();
+        assert_eq!(back, db);
+        assert_eq!(back.storage_bytes(), db.storage_bytes());
+    }
+
+    #[test]
+    fn database_codec_rejects_corruption() {
+        let db: CrpDatabase = (0..4)
+            .map(|i| Crp {
+                challenge: Challenge::from_u64(i, 16),
+                response: Response::from_u64(i, 8),
+            })
+            .collect();
+        let bytes = db.to_bytes();
+        // Truncation must error, not panic or return a partial database.
+        assert!(CrpDatabase::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        // A corrupted (huge) count must not cause a giant preallocation.
+        let mut huge = bytes.clone();
+        huge[6..14].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(CrpDatabase::from_bytes(&huge).is_err());
     }
 
     #[test]

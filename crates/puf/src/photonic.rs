@@ -27,8 +27,8 @@ use neuropuls_photonic::laser::Laser;
 use neuropuls_photonic::modulator::MachZehnderModulator;
 use neuropuls_photonic::process::{DieId, DieSampler, ProcessVariation};
 use neuropuls_photonic::Environment;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::SeedableRng;
 
 /// Construction parameters of a photonic PUF instance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,6 +92,11 @@ pub struct PhotonicPuf {
     pairs: Vec<ComparePair>,
     env: Environment,
     rng: StdRng,
+    /// Mixed into the aging RNG seed and advanced on every [`Self::age_with_rate`]
+    /// call, so successive aging steps draw *independent* random-walk
+    /// increments (reusing one seed would replay the same drift vector
+    /// each step, turning the walk into a directional ramp).
+    aging_epoch: u64,
 }
 
 impl PhotonicPuf {
@@ -126,6 +131,7 @@ impl PhotonicPuf {
             pairs,
             env: Environment::nominal(),
             rng: StdRng::seed_from_u64(noise_seed ^ die.0.rotate_left(17)),
+            aging_epoch: 0,
         }
     }
 
@@ -341,16 +347,28 @@ impl PhotonicPuf {
     }
 
     /// Ages the device by `years` of field deployment: phase elements
-    /// drift as a random walk. The default drift rate (0.01 rad/√year)
-    /// models a well-passivated SOI process; experiment E15 sweeps it.
+    /// drift as a random walk. The default drift rate (0.005 rad/√year)
+    /// models a well-passivated SOI process — slow enough that a yearly
+    /// re-enrollment keeps single-read reliability high, while the
+    /// against-day-0 reliability decays visibly over a deployment
+    /// lifetime; experiment E15 sweeps it.
     pub fn age(&mut self, years: f64) {
-        self.age_with_rate(years, 0.01);
+        self.age_with_rate(years, 0.005);
     }
 
     /// Ages with an explicit drift rate (rad per √year).
+    ///
+    /// Each call draws a fresh, independent set of drift increments:
+    /// deterministic for a given die and call sequence, but never
+    /// repeating across calls. Aging in N one-year steps therefore
+    /// accumulates as a true random walk (σ·√N), matching a single
+    /// N-year call in distribution.
     pub fn age_with_rate(&mut self, years: f64, sigma_rad_per_sqrt_year: f64) {
+        self.aging_epoch = self.aging_epoch.wrapping_add(1);
         let mut aging_rng = StdRng::seed_from_u64(
-            self.die.0 ^ (years.to_bits().rotate_left(13)),
+            self.die.0
+                ^ self.aging_epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ years.to_bits().rotate_left(13),
         );
         self.mesh
             .apply_aging(years, sigma_rad_per_sqrt_year, &mut aging_rng);
@@ -397,7 +415,7 @@ impl Puf for PhotonicPuf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
+    use neuropuls_rt::Rng;
 
     fn puf(die: u64) -> PhotonicPuf {
         PhotonicPuf::reference(DieId(die), 1000 + die)

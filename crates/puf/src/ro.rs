@@ -14,8 +14,8 @@ use crate::traits::{Puf, PufError, PufKind};
 use neuropuls_photonic::laser::gaussian;
 use neuropuls_photonic::process::DieId;
 use neuropuls_photonic::Environment;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::SeedableRng;
 
 /// Configuration of the RO array.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,7 +53,13 @@ impl RoConfig {
             process_sigma_mhz: 5.0,
             jitter_sigma_mhz: 0.25,
             temp_coeff_mhz_per_k: -0.15,
-            temp_coeff_sigma: 0.01,
+            // Per-RO spread of the temperature coefficient: ±20 % of the
+            // nominal slope, matching published RO characterization where
+            // the coefficient varies by tens of percent across an array.
+            // This is the term that reorders marginal pairs at temperature
+            // extremes (hot-cold BER of a few percent); the common -0.15
+            // MHz/K slope cancels inside a pair.
+            temp_coeff_sigma: 0.03,
             pair_skew_sigma_mhz: 4.0,
             window_us: 20.0,
         }

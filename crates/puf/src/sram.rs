@@ -19,8 +19,8 @@ use crate::traits::{Puf, PufError, PufKind};
 use neuropuls_photonic::laser::gaussian;
 use neuropuls_photonic::process::DieId;
 use neuropuls_photonic::Environment;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::{Rng, SeedableRng};
 
 /// Configuration of the SRAM array.
 #[derive(Debug, Clone, Copy, PartialEq)]

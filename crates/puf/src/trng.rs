@@ -13,8 +13,8 @@ use neuropuls_crypto::sha256::Sha256;
 use neuropuls_photonic::complex::Complex64;
 use neuropuls_photonic::detector::ReceiveChain;
 use neuropuls_photonic::Environment;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::SeedableRng;
 use std::error::Error;
 use std::fmt;
 

@@ -9,8 +9,8 @@
 use crate::bits::{Challenge, Response};
 use crate::traits::{Puf, PufError, PufKind};
 use neuropuls_photonic::Environment;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::SeedableRng;
 
 /// A weak PUF view over any strong PUF: a fixed challenge set whose
 /// concatenated responses form the key material.

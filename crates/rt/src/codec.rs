@@ -1,0 +1,331 @@
+//! No-derive binary serialization with a versioned header.
+//!
+//! Replaces the two `serde` derive sites the workspace used to have
+//! (PUF bit strings and enrollment records). Types implement
+//! [`ToBytes`]/[`FromBytes`] by hand over a small little-endian wire
+//! vocabulary; the top-level [`ToBytes::to_bytes`] /
+//! [`FromBytes::from_bytes`] entry points frame the payload with a
+//! 4-byte magic (`NPRT`) and a `u16` format version so stored blobs
+//! from a future incompatible layout are rejected instead of
+//! misparsed.
+
+use std::fmt;
+
+/// Magic prefix of every framed blob.
+pub const MAGIC: [u8; 4] = *b"NPRT";
+/// Current wire-format version.
+pub const VERSION: u16 = 1;
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// The framed blob does not start with [`MAGIC`].
+    BadMagic,
+    /// The framed blob has a version this build cannot read.
+    UnsupportedVersion(u16),
+    /// Bytes remained after the top-level value was decoded.
+    TrailingBytes(usize),
+    /// A field held an out-of-domain value.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::BadMagic => write!(f, "missing NPRT magic header"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            CodecError::Invalid(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Cursor over an input buffer.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    input: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a raw (unframed) buffer.
+    pub fn new(input: &'a [u8]) -> Self {
+        Reader { input }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len()
+    }
+
+    /// Takes `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.input.len() < n {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a length (`u64` on the wire, checked against the remaining
+    /// input so corrupt lengths fail fast instead of allocating).
+    pub fn len(&mut self) -> Result<usize, CodecError> {
+        let n = self.u64()?;
+        if n > self.remaining() as u64 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        Ok(n as usize)
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.len()?;
+        self.take(n)
+    }
+}
+
+/// Output buffer helpers (little-endian, length-prefixed).
+#[derive(Debug, Default)]
+pub struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length (`u64` on the wire).
+    pub fn len(&mut self, n: usize) {
+        self.u64(n as u64);
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.len(v.len());
+        self.out.extend_from_slice(v);
+    }
+
+    /// Appends raw bytes with no prefix.
+    pub fn raw(&mut self, v: &[u8]) {
+        self.out.extend_from_slice(v);
+    }
+
+    /// Consumes the writer into the accumulated buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.out
+    }
+}
+
+/// Serialization into the little-endian wire vocabulary.
+pub trait ToBytes {
+    /// Appends this value's raw encoding (no header).
+    fn write_into(&self, out: &mut Writer);
+
+    /// Encodes with the versioned `NPRT` frame — the stable on-disk /
+    /// on-wire form.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.raw(&MAGIC);
+        w.u16(VERSION);
+        self.write_into(&mut w);
+        w.into_bytes()
+    }
+}
+
+/// Deserialization from the little-endian wire vocabulary.
+pub trait FromBytes: Sized {
+    /// Decodes this value's raw encoding (no header).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or out-of-domain input.
+    fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+
+    /// Decodes a framed blob produced by [`ToBytes::to_bytes`],
+    /// checking magic, version, and that no bytes trail the value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on framing or payload problems.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        if r.take(4)? != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let value = Self::read_from(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(CodecError::TrailingBytes(r.remaining()));
+        }
+        Ok(value)
+    }
+}
+
+impl ToBytes for Vec<u8> {
+    fn write_into(&self, out: &mut Writer) {
+        out.bytes(self);
+    }
+}
+
+impl FromBytes for Vec<u8> {
+    fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(r.bytes()?.to_vec())
+    }
+}
+
+impl ToBytes for u64 {
+    fn write_into(&self, out: &mut Writer) {
+        out.u64(*self);
+    }
+}
+
+impl FromBytes for u64 {
+    fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.u64()
+    }
+}
+
+impl ToBytes for String {
+    fn write_into(&self, out: &mut Writer) {
+        out.bytes(self.as_bytes());
+    }
+}
+
+impl FromBytes for String {
+    fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        String::from_utf8(r.bytes()?.to_vec()).map_err(|_| CodecError::Invalid("utf-8 string"))
+    }
+}
+
+impl<T: ToBytes> ToBytes for [T] {
+    fn write_into(&self, out: &mut Writer) {
+        out.len(self.len());
+        for item in self {
+            item.write_into(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framed_roundtrip() {
+        let v = vec![1u8, 2, 3, 255];
+        let blob = v.to_bytes();
+        assert_eq!(&blob[..4], b"NPRT");
+        assert_eq!(Vec::<u8>::from_bytes(&blob).unwrap(), v);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut blob = vec![5u8, 2, 3].to_bytes();
+        blob[0] ^= 0xFF;
+        assert_eq!(Vec::<u8>::from_bytes(&blob), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut blob = vec![1u8].to_bytes();
+        blob[4] = 0xFF;
+        assert!(matches!(
+            Vec::<u8>::from_bytes(&blob),
+            Err(CodecError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut blob = vec![1u8].to_bytes();
+        blob.push(0);
+        assert_eq!(
+            Vec::<u8>::from_bytes(&blob),
+            Err(CodecError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let blob = vec![1u8, 2, 3].to_bytes();
+        assert_eq!(
+            Vec::<u8>::from_bytes(&blob[..blob.len() - 1]),
+            Err(CodecError::UnexpectedEof)
+        );
+    }
+
+    #[test]
+    fn corrupt_length_fails_fast() {
+        // A length claiming more bytes than remain must error, not
+        // allocate.
+        let mut w = Writer::new();
+        w.raw(&MAGIC);
+        w.u16(VERSION);
+        w.u64(u64::MAX);
+        let blob = w.into_bytes();
+        assert_eq!(
+            Vec::<u8>::from_bytes(&blob),
+            Err(CodecError::UnexpectedEof)
+        );
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let s = "NEUROPULS §III-A".to_string();
+        assert_eq!(String::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+}

@@ -1,0 +1,377 @@
+//! Tiny criterion-compatible benchmark timer.
+//!
+//! Implements the subset of the `criterion` API the bench targets use
+//! (`Criterion`, `BenchmarkGroup`, `Bencher::iter`/`iter_batched`,
+//! `Throughput`, plus the [`criterion_group!`](crate::criterion_group)
+//! / [`criterion_main!`](crate::criterion_main) macros). Each benchmark
+//! is warmed up, then timed over batched samples; mean/p50/p99 go to
+//! stdout and — the part the experiment trajectory consumes — to a
+//! machine-readable `BENCH_<target>.json` report in the working
+//! directory:
+//!
+//! ```json
+//! {
+//!   "schema": "neuropuls-bench-v1",
+//!   "target": "primitives",
+//!   "benchmarks": [
+//!     {"name": "crypto/sha256_4k", "samples": 50, "iters_per_sample": 12,
+//!      "mean_ns": 81234.5, "p50_ns": 80911.0, "p99_ns": 90122.0,
+//!      "throughput_bytes": 4096}
+//!   ]
+//! }
+//! ```
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark wall-time budget; samples are trimmed to stay inside.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(500);
+/// Warmup budget before measurement starts.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// One finished measurement, as serialized into the JSON report.
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    samples: usize,
+    iters_per_sample: u64,
+    mean_ns: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+    throughput_bytes: Option<u64>,
+}
+
+static RESULTS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. The in-repo timer always
+/// times routines individually, so the variants are equivalent; the
+/// type exists for criterion source compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (builder style).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group; benchmarks inside are reported as
+    /// `"<group>/<name>"`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Times one benchmark function.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput
+/// annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Attaches a throughput annotation to subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Closes the group (kept for criterion parity; reporting is
+    /// per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Handed to benchmark closures; `iter`/`iter_batched` perform the
+/// actual timing.
+pub struct Bencher {
+    sample_size: usize,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, called in batches after a warmup phase.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: estimate the per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < WARMUP_BUDGET && warmup_iters < 100_000 {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let est_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+
+        // Pick a batch size so each sample takes ~budget/samples.
+        let per_sample = SAMPLE_BUDGET.as_secs_f64() / self.sample_size as f64;
+        let iters = ((per_sample / est_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let per_iter_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+            self.samples.push(per_iter_ns);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warmup.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while warmup_start.elapsed() < WARMUP_BUDGET && warmup_iters < 100_000 {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            spent += t0.elapsed();
+            warmup_iters += 1;
+        }
+        let est_iter = spent.as_secs_f64() / warmup_iters.max(1) as f64;
+
+        let per_sample = SAMPLE_BUDGET.as_secs_f64() / self.sample_size as f64;
+        let iters = ((per_sample / est_iter.max(1e-9)) as u64).clamp(1, 100_000);
+
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let mut timed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t0 = Instant::now();
+                std::hint::black_box(routine(input));
+                timed += t0.elapsed();
+            }
+            self.samples.push(timed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn run_benchmark<F>(name: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+        iters_per_sample: 0,
+    };
+    f(&mut bencher);
+
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let mean = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted.iter().sum::<f64>() / sorted.len() as f64
+    };
+    let record = Record {
+        name: name.to_string(),
+        samples: sorted.len(),
+        iters_per_sample: bencher.iters_per_sample,
+        mean_ns: mean,
+        p50_ns: percentile(&sorted, 0.50),
+        p99_ns: percentile(&sorted, 0.99),
+        throughput_bytes: match throughput {
+            Some(Throughput::Bytes(b)) => Some(b),
+            _ => None,
+        },
+    };
+    println!(
+        "bench {:<40} mean {:>12.1} ns  p50 {:>12.1} ns  p99 {:>12.1} ns  ({} samples x {} iters)",
+        record.name, record.mean_ns, record.p50_ns, record.p99_ns, record.samples, record.iters_per_sample
+    );
+    RESULTS.lock().expect("results mutex").push(record);
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The benchmark target name: the executable stem with cargo's
+/// trailing `-<hash>` stripped.
+fn target_name() -> String {
+    let exe = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    match exe.rsplit_once('-') {
+        Some((stem, suffix))
+            if suffix.len() >= 8 && suffix.chars().all(|c| c.is_ascii_hexdigit()) =>
+        {
+            stem.to_string()
+        }
+        _ => exe,
+    }
+}
+
+/// Writes the accumulated `BENCH_<target>.json` report. Called by
+/// [`criterion_main!`](crate::criterion_main) after all groups ran.
+pub fn write_report() {
+    let records = RESULTS.lock().expect("results mutex");
+    let target = target_name();
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"neuropuls-bench-v1\",\n");
+    json.push_str(&format!("  \"target\": \"{}\",\n", json_escape(&target)));
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"samples\": {}, \"iters_per_sample\": {}, \
+             \"mean_ns\": {:.1}, \"p50_ns\": {:.1}, \"p99_ns\": {:.1}, \"throughput_bytes\": {}}}{}\n",
+            json_escape(&r.name),
+            r.samples,
+            r.iters_per_sample,
+            r.mean_ns,
+            r.p50_ns,
+            r.p99_ns,
+            r.throughput_bytes
+                .map_or("null".to_string(), |b| b.to_string()),
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = format!("BENCH_{target}.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Declares a group runner function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::criterion::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group and writes the JSON
+/// report, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::criterion::write_report();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_picks_expected_ranks() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&sorted, 0.5), 3.0);
+        assert_eq!(percentile(&sorted, 0.99), 5.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+    }
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher {
+            sample_size: 5,
+            samples: Vec::new(),
+            iters_per_sample: 0,
+        };
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.iters_per_sample >= 1);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn json_escape_handles_quotes() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -1,0 +1,42 @@
+//! # neuropuls-rt — the in-repo runtime that keeps the workspace hermetic
+//!
+//! Every other crate in the workspace depends only on `std` and this
+//! crate, so `cargo build --release --offline` succeeds from an empty
+//! registry cache. Deterministic, seedable randomness is not just a
+//! build convenience: the PUF reliability/uniqueness methodology the
+//! repository reproduces (Vinagrero et al.'s CRP filtering, the HSC-IoT
+//! mutual-authentication protocol) requires that every experiment be
+//! replayable bit-for-bit from a recorded seed.
+//!
+//! Four services live here:
+//!
+//! * [`mod@rng`] — a `rand`-compatible surface ([`Rng`], [`RngCore`],
+//!   [`SeedableRng`], [`rngs::StdRng`], [`rngs::SmallRng`]) backed by an
+//!   in-tree ChaCha20 keystream and a splitmix64/xoshiro256++ fast path;
+//! * [`mod@prop`] — a miniature property-testing harness with the
+//!   [`proptest!`] macro, strategy combinators and seeded shrinking;
+//! * [`mod@criterion`] — a tiny bench timer (warmup + iters +
+//!   mean/p50/p99) that writes machine-readable `BENCH_*.json` reports;
+//! * [`mod@codec`] — a no-derive serialization helper
+//!   ([`codec::ToBytes`] / [`codec::FromBytes`]) with a versioned header.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod criterion;
+pub mod prop;
+pub mod rng;
+
+pub use rng::{Error, Rng, RngCore, SeedableRng};
+
+/// Named RNG implementations, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use crate::rng::{SmallRng, StdRng};
+}
+
+/// Everything the property tests need: strategies, config, and the
+/// assertion/`proptest!` macros.
+pub mod prelude {
+    pub use crate::prop::{self, any, ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}

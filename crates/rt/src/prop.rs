@@ -1,0 +1,686 @@
+//! Miniature property-based testing harness with seeded shrinking.
+//!
+//! A drop-in replacement for the subset of `proptest` the workspace
+//! uses: the [`proptest!`](crate::proptest) macro, `any::<T>()`, range
+//! strategies, `prop::collection::vec`, `prop::array::uniform*`, and
+//! the `prop_assert*` macros. Every run is deterministic: the case
+//! stream is seeded from a hash of the test name (override with the
+//! `NEUROPULS_PROPTEST_SEED` environment variable), and failures are
+//! greedily shrunk before being reported, together with the seed needed
+//! to replay them.
+
+use crate::rng::{Rng, SeedableRng, StdRng};
+use std::fmt::Debug;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+// ---------------------------------------------------------------------------
+// Config and errors
+// ---------------------------------------------------------------------------
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases generated per property.
+    pub cases: u32,
+    /// Upper bound on greedy shrink iterations after a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 4096,
+        }
+    }
+}
+
+/// A failed property check, produced by the `prop_assert*` macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating (and shrinking) values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value from the seeded stream.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Proposes strictly "simpler" candidates for a failing value; the
+    /// runner keeps any candidate that still fails. An empty vector
+    /// stops shrinking along this axis.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Full-domain strategy for a primitive, returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Clone + Debug + Sized {
+    /// Draws a value from the full domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+
+    /// Simpler candidates for shrinking (default: none).
+    fn shrink_candidates(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+/// The strategy generating any value of `T`, like `proptest::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink_candidates()
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<$t>()
+            }
+
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0, v / 2];
+                if v > 0 {
+                    out.push(v - 1);
+                }
+                out.retain(|c| *c != v);
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<$t>()
+            }
+
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0, v / 2, v - v.signum()];
+                out.retain(|c| *c != v);
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Full-domain floats are rarely useful for physics properties;
+        // mirror proptest's default of "reasonable" finite values.
+        rng.gen_range(-1.0e9..1.0e9)
+    }
+
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let v = *self;
+        if v == 0.0 {
+            return Vec::new();
+        }
+        vec![0.0, v / 2.0]
+    }
+}
+
+// Half-open integer ranges as strategies, e.g. `0usize..600`.
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                if v == self.start {
+                    return Vec::new();
+                }
+                let mid = self.start + (v - self.start) / 2;
+                let mut out = vec![self.start, mid];
+                out.push(v - 1);
+                out.retain(|c| *c != v && self.contains(c));
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+
+range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                if v == self.start {
+                    return Vec::new();
+                }
+                let mid = self.start + (v - self.start) / 2.0;
+                let mut out = vec![self.start, mid];
+                out.retain(|c| *c != v && self.contains(c));
+                out
+            }
+        }
+    )*};
+}
+
+range_strategy_float!(f32, f64);
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<T>` with an element strategy and a length range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` of values from `element`, with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            let min = self.len.start;
+            // Structural shrinks first: shorter vectors are simpler.
+            if value.len() > min {
+                out.push(value[..min].to_vec());
+                let half = min + (value.len() - min) / 2;
+                if half != min && half != value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+            }
+            // Then element-wise shrinks, one position at a time.
+            for i in 0..value.len().min(16) {
+                for cand in self.element.shrink(&value[i]).into_iter().take(2) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Fixed-size array strategies (`prop::array::uniform32` and friends).
+pub mod array {
+    use super::*;
+
+    /// Strategy producing `[S::Value; N]` from one element strategy.
+    #[derive(Debug, Clone)]
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    /// Array of `N` values, each drawn from `element`.
+    pub fn uniform<S: Strategy, const N: usize>(element: S) -> UniformArray<S, N> {
+        UniformArray { element }
+    }
+
+    /// 12-element array strategy (nonces).
+    pub fn uniform12<S: Strategy>(element: S) -> UniformArray<S, 12> {
+        uniform(element)
+    }
+
+    /// 32-element array strategy (keys, digests).
+    pub fn uniform32<S: Strategy>(element: S) -> UniformArray<S, 32> {
+        uniform(element)
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            for i in 0..N.min(16) {
+                if let Some(cand) = self.element.shrink(&value[i]).into_iter().next() {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
+        }
+    }
+}
+
+// Tuple strategies so the proptest! macro can bundle multiple
+// arguments into one Strategy.
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (S0 0)
+    (S0 0, S1 1)
+    (S0 0, S1 1, S2 2)
+    (S0 0, S1 1, S2 2, S3 3)
+    (S0 0, S1 1, S2 2, S3 3, S4 4)
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5)
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// FNV-1a, used to derive a per-test base seed from the test name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn base_seed(name: &str) -> u64 {
+    match std::env::var("NEUROPULS_PROPTEST_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse::<u64>()
+            .unwrap_or_else(|_| fnv1a(s.as_bytes()))
+            ^ fnv1a(name.as_bytes()),
+        Err(_) => fnv1a(name.as_bytes()),
+    }
+}
+
+fn run_one<V, F>(test: &mut F, value: V) -> Result<(), TestCaseError>
+where
+    F: FnMut(V) -> Result<(), TestCaseError>,
+{
+    match catch_unwind(AssertUnwindSafe(|| test(value))) {
+        Ok(result) => result,
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("test body panicked");
+            Err(TestCaseError::fail(format!("panic: {msg}")))
+        }
+    }
+}
+
+/// Executes a property: `config.cases` random cases from `strategy`,
+/// greedy seeded shrinking on the first failure, then a panic carrying
+/// the minimal failing input and the replay seed.
+///
+/// # Panics
+///
+/// Panics when the property fails (that is the test-failure signal).
+pub fn run_proptest<S, F>(config: ProptestConfig, name: &str, strategy: S, mut test: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let seed = base_seed(name);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..config.cases {
+        let value = strategy.generate(&mut rng);
+        if let Err(err) = run_one(&mut test, value.clone()) {
+            let (minimal, minimal_err, steps) =
+                shrink_failure(&strategy, &mut test, value, err, config.max_shrink_iters);
+            panic!(
+                "proptest '{name}' failed at case {case} (seed {seed:#018x}, \
+                 shrunk {steps} steps)\n  minimal failing input: {minimal:?}\n  cause: {}",
+                minimal_err.message()
+            );
+        }
+    }
+}
+
+fn shrink_failure<S, F>(
+    strategy: &S,
+    test: &mut F,
+    mut value: S::Value,
+    mut err: TestCaseError,
+    max_iters: u32,
+) -> (S::Value, TestCaseError, u32)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut steps = 0;
+    let mut budget = max_iters;
+    'outer: while budget > 0 {
+        for candidate in strategy.shrink(&value) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(cand_err) = run_one(test, candidate.clone()) {
+                value = candidate;
+                err = cand_err;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, err, steps)
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running [`prop::run_proptest`](run_proptest).
+///
+/// Accepts the same shape as `proptest::proptest!`, including a leading
+/// `#![proptest_config(..)]` attribute.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::prop::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let __strategy = ($($strat,)+);
+            $crate::prop::run_proptest(
+                __config,
+                stringify!($name),
+                __strategy,
+                |($($arg,)+)| {
+                    $body
+                    ::core::result::Result::<(), $crate::prop::TestCaseError>::Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// Property-scoped assertion: fails the current case (triggering
+/// shrinking) instead of aborting the whole test run.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::prop::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::prop::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion for property tests; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::prop::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion for property tests; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::prop::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let strat = collection::vec(any::<u8>(), 1..32);
+        let mut a = StdRng::seed_from_u64(base_seed("x"));
+        let mut b = StdRng::seed_from_u64(base_seed("x"));
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    #[test]
+    fn shrinking_reaches_a_minimal_vector() {
+        // Property "no vector of length >= 3" must shrink to exactly
+        // length 3 — the smallest counterexample the structure allows.
+        let strat = collection::vec(any::<u8>(), 0..64);
+        let mut test = |v: Vec<u8>| {
+            if v.len() >= 3 {
+                Err(TestCaseError::fail("too long"))
+            } else {
+                Ok(())
+            }
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let failing = loop {
+            let v = strat.generate(&mut rng);
+            if v.len() >= 3 {
+                break v;
+            }
+        };
+        let (minimal, _, _) = shrink_failure(&strat, &mut test, failing, TestCaseError::fail("seed"), 4096);
+        assert_eq!(minimal.len(), 3, "shrink stopped early: {minimal:?}");
+        assert!(minimal.iter().all(|&b| b == 0), "elements not minimized: {minimal:?}");
+    }
+
+    #[test]
+    fn shrinking_minimizes_integers() {
+        let strat = (0u64..1_000_000,);
+        let mut test = |(v,): (u64,)| {
+            if v >= 17 {
+                Err(TestCaseError::fail("big"))
+            } else {
+                Ok(())
+            }
+        };
+        let (minimal, _, _) =
+            shrink_failure(&strat, &mut test, (999_999,), TestCaseError::fail("seed"), 4096);
+        assert_eq!(minimal.0, 17);
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        run_proptest(
+            ProptestConfig::with_cases(10),
+            "counting",
+            (0u8..255,),
+            |(_,)| {
+                count += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal failing input")]
+    fn failing_property_panics_with_minimal_input() {
+        run_proptest(
+            ProptestConfig::with_cases(64),
+            "must_fail",
+            (0u32..1000,),
+            |(v,)| {
+                if v >= 5 {
+                    Err(TestCaseError::fail("v too big"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn panics_in_body_are_shrunk_like_failures() {
+        let strat = (0u32..100,);
+        let mut test = |(v,): (u32,)| {
+            assert!(v < 10, "boom {v}");
+            Ok(())
+        };
+        let (minimal, err, _) =
+            shrink_failure(&strat, &mut test, (99,), TestCaseError::fail("seed"), 4096);
+        assert_eq!(minimal.0, 10);
+        assert!(err.message().contains("panic"), "{}", err.message());
+    }
+}

@@ -11,8 +11,8 @@ use crate::event::{EventQueue, Tick};
 use neuropuls_photonic::process::DieId;
 use neuropuls_protocols::attestation::{AttestationVerifier, AttestingDevice, TimingModel};
 use neuropuls_puf::photonic::PhotonicPuf;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::{Rng, SeedableRng};
 
 /// One device of the fleet.
 struct FleetDevice {

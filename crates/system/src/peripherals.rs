@@ -12,7 +12,7 @@ use neuropuls_accel::engine::PhotonicEngine;
 use neuropuls_puf::bits::Challenge;
 use neuropuls_puf::photonic::PhotonicPuf;
 use neuropuls_puf::traits::Puf;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::sync::Arc;
 
 /// Register map of [`PufPeripheral`] (word offsets).
@@ -101,7 +101,7 @@ impl PufPeripheral {
         self.busy_remaining = self.latency_cycles;
         self.response_valid = false;
 
-        let mut t = self.telemetry.lock();
+        let mut t = self.telemetry.lock().expect("telemetry mutex poisoned");
         t.evaluations += 1;
         t.busy_cycles += self.latency_cycles;
         t.energy_pj += self.energy_per_eval_pj;
@@ -130,7 +130,7 @@ impl MmioDevice for PufPeripheral {
             puf_regs::RESPONSE0 if self.response_valid => self.response[0],
             puf_regs::RESPONSE1 if self.response_valid => self.response[1],
             puf_regs::LATENCY => self.latency_cycles as u32,
-            puf_regs::COUNT => self.telemetry.lock().evaluations as u32,
+            puf_regs::COUNT => self.telemetry.lock().expect("telemetry mutex poisoned").evaluations as u32,
             _ => 0,
         }
     }
@@ -288,7 +288,7 @@ impl MmioDevice for Uart {
 
     fn write32(&mut self, offset: u32, value: u32) {
         if offset == 0 {
-            self.buffer.lock().push(value as u8);
+            self.buffer.lock().expect("uart buffer mutex poisoned").push(value as u8);
         }
     }
 }
@@ -314,7 +314,7 @@ mod tests {
         let r0 = p.read32(puf_regs::RESPONSE0);
         let r1 = p.read32(puf_regs::RESPONSE1);
         assert!(r0 != 0 || r1 != 0, "response should be nontrivial");
-        assert_eq!(telemetry.lock().evaluations, 1);
+        assert_eq!(telemetry.lock().expect("telemetry mutex poisoned").evaluations, 1);
     }
 
     #[test]
@@ -364,7 +364,7 @@ mod tests {
         for b in b"ok" {
             uart.write32(0, u32::from(*b));
         }
-        assert_eq!(&*buffer.lock(), b"ok");
+        assert_eq!(&*buffer.lock().expect("uart buffer mutex poisoned"), b"ok");
         assert_eq!(uart.read32(4), 1);
     }
 }

@@ -14,7 +14,7 @@ use crate::riscv::{Cpu, Trap};
 use crate::stats::StatRegistry;
 use neuropuls_accel::engine::PhotonicEngine;
 use neuropuls_puf::photonic::PhotonicPuf;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::sync::Arc;
 
 /// Canonical memory map of the reference SoC.
@@ -120,7 +120,7 @@ impl Soc {
 
     /// The UART output so far.
     pub fn console(&self) -> Vec<u8> {
-        self.uart_buffer.lock().clone()
+        self.uart_buffer.lock().expect("uart buffer mutex poisoned").clone()
     }
 
     /// CPU state (read-only view).
@@ -153,7 +153,7 @@ impl Soc {
                             break StopReason::Halted(a0);
                         }
                         1 => {
-                            self.uart_buffer.lock().push(a0 as u8);
+                            self.uart_buffer.lock().expect("uart buffer mutex poisoned").push(a0 as u8);
                             self.cpu.advance_past_trap();
                         }
                         _ => break StopReason::Trapped(Trap::Ecall),
@@ -177,7 +177,7 @@ impl Soc {
             if cycles > 0.0 { instret / cycles } else { 0.0 },
             "instructions per cycle",
         );
-        let t = self.puf_telemetry.lock().clone();
+        let t = self.puf_telemetry.lock().expect("telemetry mutex poisoned").clone();
         self.stats
             .set("puf.evaluations", t.evaluations as f64, "PUF evaluations");
         self.stats

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Hermetic-build gate: prove the workspace builds and tests with no
+# registry, no network, and no pre-populated cargo cache.
+#
+# Three checks:
+#   1. manifest audit  — every [dependencies]/[dev-dependencies] entry in
+#      every Cargo.toml must be a `path` dependency (the workspace table
+#      included); any version/git/registry dependency fails the gate.
+#   2. offline build   — `cargo build --release --offline` plus
+#      `cargo build --examples --offline` from a CLEAN, empty CARGO_HOME,
+#      so a cached crates.io download cannot mask a regression.
+#   3. offline tests   — the tier-1 suite (`cargo test --offline`) in the
+#      same clean environment.
+#
+# Usage: scripts/check_hermetic.sh [--keep-tmp]
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+
+fail() {
+    echo "check_hermetic: FAIL: $*" >&2
+    exit 1
+}
+
+# ---------------------------------------------------------------- check 1
+echo "== check 1: manifest audit (path dependencies only)"
+manifests=$(find . -name Cargo.toml -not -path "./target/*")
+bad=0
+for m in $manifests; do
+    # Walk the dependency tables; flag any entry that is not a pure
+    # path/workspace dependency. Table-style sections
+    # ([dependencies.foo]) would also be caught by the `version`/`git`
+    # keys they must contain.
+    offending=$(awk '
+        /^\[/ { in_deps = ($0 ~ /dependencies/) }
+        in_deps && /^[[:space:]]*[A-Za-z0-9_-]+[[:space:]]*=/ {
+            line = $0
+            sub(/#.*/, "", line)
+            if (line ~ /workspace[[:space:]]*=[[:space:]]*true/) next
+            if (line ~ /path[[:space:]]*=/ && line !~ /version|git|registry/) next
+            print "    " line
+        }
+    ' "$m")
+    if [ -n "$offending" ]; then
+        echo "  non-path dependency in $m:"
+        echo "$offending"
+        bad=1
+    fi
+done
+[ "$bad" -eq 0 ] || fail "manifest audit found non-path dependencies"
+echo "   ok: every dependency is a path dependency"
+
+# ------------------------------------------------------------- checks 2+3
+CLEAN_HOME=$(mktemp -d)
+KEEP_TMP=${1:-}
+cleanup() {
+    if [ "$KEEP_TMP" != "--keep-tmp" ]; then
+        rm -rf "$CLEAN_HOME"
+    else
+        echo "keeping $CLEAN_HOME"
+    fi
+}
+trap cleanup EXIT
+
+export CARGO_HOME="$CLEAN_HOME/cargo"
+mkdir -p "$CARGO_HOME"
+# A separate target dir so cached artifacts from interactive builds
+# cannot hide a compile error either.
+export CARGO_TARGET_DIR="$CLEAN_HOME/target"
+
+echo "== check 2: offline release build from clean CARGO_HOME"
+cargo build --release --offline || fail "offline release build broke"
+echo "   ok"
+
+echo "== check 2b: offline example build"
+cargo build --examples --offline || fail "offline example build broke"
+echo "   ok"
+
+echo "== check 3: offline tier-1 tests"
+cargo test -q --offline || fail "offline tests broke"
+echo "   ok"
+
+echo "check_hermetic: PASS"

@@ -11,7 +11,7 @@ use neuropuls::photonic::complex::Complex64;
 use neuropuls::photonic::process::{DieId, DieSampler, ProcessVariation};
 use neuropuls::photonic::Environment;
 use neuropuls::puf::bits::{Challenge, Response};
-use proptest::prelude::*;
+use neuropuls_rt::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -11,8 +11,8 @@ use neuropuls::photonic::process::DieId;
 use neuropuls::puf::bits::Challenge;
 use neuropuls::puf::photonic::PhotonicPuf;
 use neuropuls::puf::traits::Puf;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::SeedableRng;
 
 const DEVICES: usize = 12;
 const REREADS: usize = 8;
