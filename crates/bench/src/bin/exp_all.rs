@@ -1,24 +1,104 @@
-//! Regenerates every experiment in sequence.
-use neuropuls_bench::{experiments, Scale};
+//! Regenerates every experiment, fanning the independent experiments
+//! out on `neuropuls_rt::pool` and printing them in canonical order.
+//!
+//! stdout carries only the experiment tables — byte-identical at any
+//! `NEUROPULS_THREADS` value (CI diffs 1 thread against N). Timing
+//! chatter goes to stderr, and the harness wall clock is recorded in
+//! `BENCH_exp_all.json` (`harness_wall_clock/threads=N` entries).
+//!
+//! Flags: `--smoke` for the CI-sized configuration, `--baseline` to
+//! also run a forced 1-thread pass, assert its output is byte-identical
+//! and record the serial-vs-parallel speedup.
+
+use neuropuls_bench::{experiments, Rendered, Scale};
+use neuropuls_rt::pool;
+use std::time::Instant;
+
+/// One experiment: its id and a uniform `Scale -> Rendered` entry
+/// point.
+type Runner = (&'static str, fn(Scale) -> Rendered);
+
+/// Every experiment in report order.
+fn runners() -> Vec<Runner> {
+    vec![
+        ("E1", |s| experiments::fig3::run_ro(s).0),
+        ("E1b", |s| experiments::fig3::run_photonic(s).0),
+        ("E2", |s| experiments::puf_quality::run(s).0),
+        ("E3", |s| experiments::table1::run(s).0),
+        ("E4", |s| experiments::auth::run(s).0),
+        ("E5", |s| experiments::attestation::run(s).0),
+        ("E6", |s| experiments::ml_attack::run(s).0),
+        ("E7", |s| experiments::side_channel::run(s).0),
+        ("E8", |s| experiments::remanence::run(s).0),
+        ("E9", |s| experiments::system::run(s).0),
+        ("E10", |s| experiments::keygen::run(s).0),
+        ("E11", |s| experiments::environment::run(s).0),
+        ("E12", |s| experiments::eke::run(s).0),
+        ("E13", |s| experiments::tamper::run(s).0),
+        ("E14", |s| experiments::analog::run(s).0),
+        ("E15", |s| experiments::aging::run(s).0),
+        ("E16", |s| experiments::trng::run(s).0),
+        ("E17", |s| experiments::fleet::run(s).0),
+    ]
+}
+
+/// Runs every experiment at the pool's current width and returns the
+/// deterministic rendered outputs in report order (host-measured
+/// volatile lines go straight to stderr).
+fn run_all(scale: Scale) -> Vec<String> {
+    pool::par_map(runners(), |(_, run)| {
+        let rendered = run(scale);
+        for line in rendered.volatile_lines() {
+            eprintln!("[host timing] {}: {line}", rendered.title);
+        }
+        rendered.stable_string()
+    })
+}
+
+fn write_wall_clock_report(entries: &[(usize, f64)]) {
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"neuropuls-bench-v1\",\n");
+    json.push_str("  \"target\": \"exp_all\",\n");
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, (threads, ns)) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"harness_wall_clock/threads={threads}\", \"samples\": 1, \
+             \"iters_per_sample\": 1, \"mean_ns\": {ns:.1}, \"p50_ns\": {ns:.1}, \
+             \"p99_ns\": {ns:.1}, \"throughput_bytes\": null}}{}\n",
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_exp_all.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_exp_all.json"),
+        Err(e) => eprintln!("could not write BENCH_exp_all.json: {e}"),
+    }
+}
 
 fn main() {
     let scale = Scale::from_args();
-    let (a, _) = experiments::fig3::run_ro(scale); print!("{a}");
-    let (b, _) = experiments::fig3::run_photonic(scale); print!("{b}");
-    let (c, _) = experiments::puf_quality::run(scale); print!("{c}");
-    let (d, _) = experiments::table1::run(scale); print!("{d}");
-    let (e, _) = experiments::auth::run(scale); print!("{e}");
-    let (f, _, _) = experiments::attestation::run(scale); print!("{f}");
-    let (g, _) = experiments::ml_attack::run(scale); print!("{g}");
-    let (h, _) = experiments::side_channel::run(scale); print!("{h}");
-    let (i, _, _) = experiments::remanence::run(scale); print!("{i}");
-    let (j, _) = experiments::system::run(scale); print!("{j}");
-    let (k, _, _, _) = experiments::keygen::run(scale); print!("{k}");
-    let (l, _, _, _) = experiments::environment::run(scale); print!("{l}");
-    let (m, _) = experiments::eke::run(scale); print!("{m}");
-    let (n, _) = experiments::tamper::run(scale); print!("{n}");
-    let (o, _) = experiments::analog::run(scale); print!("{o}");
-    let (p, _) = experiments::aging::run(scale); print!("{p}");
-    let (q, _) = experiments::trng::run(scale); print!("{q}");
-    let (r, _) = experiments::fleet::run(scale); print!("{r}");
+    let baseline = std::env::args().any(|a| a == "--baseline");
+    let threads = pool::current_threads();
+
+    let t0 = Instant::now();
+    let outputs = run_all(scale);
+    let elapsed = t0.elapsed().as_secs_f64();
+    for o in &outputs {
+        print!("{o}");
+    }
+    eprintln!("harness wall clock: {elapsed:.2} s at {threads} threads");
+
+    let mut entries = vec![(threads, elapsed * 1e9)];
+    if baseline && threads > 1 {
+        let t1 = Instant::now();
+        let serial = pool::with_threads(1, || run_all(scale));
+        let serial_elapsed = t1.elapsed().as_secs_f64();
+        assert_eq!(serial, outputs, "parallel output must be byte-identical to serial");
+        eprintln!(
+            "serial baseline: {serial_elapsed:.2} s — speedup {:.2}x, output byte-identical",
+            serial_elapsed / elapsed
+        );
+        entries.push((1, serial_elapsed * 1e9));
+    }
+    write_wall_clock_report(&entries);
 }

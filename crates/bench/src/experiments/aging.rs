@@ -20,42 +20,59 @@ pub struct Row {
     pub against_reenrolled: f64,
 }
 
-/// Runs the aging sweep at the default drift rate.
+/// Runs the aging sweep at the default drift rate over a die
+/// population; rows average across dies.
 pub fn run(scale: Scale) -> (Rendered, Vec<Row>) {
     let years: Vec<f64> = scale.pick(vec![1.0, 5.0, 15.0], vec![1.0, 2.0, 5.0, 10.0, 15.0, 25.0]);
     let reads = scale.pick(5, 25);
+    let dies = scale.pick(3, 8);
     let mut rng = StdRng::seed_from_u64(0xE15);
     let challenge = Challenge::random(64, &mut rng);
 
-    let mut device = PhotonicPuf::reference(DieId(0xE15), 1);
-    let day0 = device.respond_golden(&challenge, 9).expect("eval");
-    let mut last_enrollment = day0.clone();
-
-    // Age in one-year steps, re-enrolling every year (the maintenance
-    // policy under test); sample the metrics at the requested years.
+    // Each die's year walk is inherently serial (aging accumulates),
+    // but dies are independent: every die derives its identity, noise
+    // and drift from its own index, so the population fans out on the
+    // pool with byte-identical output.
     let horizon = years.last().copied().unwrap_or(0.0) as usize;
-    let mut rows = Vec::new();
-    for year in 1..=horizon {
-        device.age(1.0);
-        if years.contains(&(year as f64)) {
-            let mut rel0 = 0.0;
-            let mut rel_re = 0.0;
-            for _ in 0..reads {
-                let reading = device.respond(&challenge).expect("eval");
-                rel0 += 1.0 - day0.fhd(&reading);
-                rel_re += 1.0 - last_enrollment.fhd(&reading);
+    let per_die: Vec<Vec<(f64, f64)>> =
+        neuropuls_rt::pool::par_map((0..dies).collect(), |d| {
+            let mut device =
+                PhotonicPuf::reference(DieId(0xE1500 + d as u64), 1 + d as u64);
+            let day0 = device.respond_golden(&challenge, 9).expect("eval");
+            let mut last_enrollment = day0.clone();
+            let mut samples = Vec::new();
+            for year in 1..=horizon {
+                device.age(1.0);
+                if years.contains(&(year as f64)) {
+                    let mut rel0 = 0.0;
+                    let mut rel_re = 0.0;
+                    for _ in 0..reads {
+                        let reading = device.respond(&challenge).expect("eval");
+                        rel0 += 1.0 - day0.fhd(&reading);
+                        rel_re += 1.0 - last_enrollment.fhd(&reading);
+                    }
+                    samples.push((rel0 / reads as f64, rel_re / reads as f64));
+                }
+                // Yearly maintenance.
+                last_enrollment = device.respond_golden(&challenge, 9).expect("eval");
             }
-            rows.push(Row {
-                years: year as f64,
-                against_day0: rel0 / reads as f64,
-                against_reenrolled: rel_re / reads as f64,
-            });
-        }
-        // Yearly maintenance.
-        last_enrollment = device.respond_golden(&challenge, 9).expect("eval");
-    }
+            samples
+        });
 
-    let mut out = Rendered::new("E15 (§V) — aging drift and re-enrollment");
+    let sampled_years: Vec<f64> = years.iter().copied().filter(|&y| y <= horizon as f64).collect();
+    let rows: Vec<Row> = sampled_years
+        .iter()
+        .enumerate()
+        .map(|(i, &year)| Row {
+            years: year,
+            against_day0: per_die.iter().map(|s| s[i].0).sum::<f64>() / dies as f64,
+            against_reenrolled: per_die.iter().map(|s| s[i].1).sum::<f64>() / dies as f64,
+        })
+        .collect();
+
+    let mut out = Rendered::new(format!(
+        "E15 (§V) — aging drift and re-enrollment, {dies} dies"
+    ));
     out.push(format!(
         "{:>8} {:>16} {:>20}",
         "years", "vs day-0 golden", "vs re-enrollment"

@@ -66,7 +66,7 @@ pub fn run(scale: Scale) -> (Rendered, Outcome) {
          (forward secrecy: CRP compromise never reveals past keys)",
         distinct.len()
     ));
-    out.push(format!(
+    out.push_volatile(format!(
         "cost: {exchange_us:.0} µs per exchange (two X25519 scalar mults per side, \
          vs ~4 HMACs for plain Fig. 4 auth)"
     ));

@@ -44,71 +44,77 @@ pub fn run(scale: Scale) -> (Rendered, Vec<Row>, f64, f64) {
     let calibration_points = [-20.0, 0.0, 25.0, 50.0, 85.0];
     let reads = scale.pick(5, 30);
 
-    let mut puf = PhotonicPuf::reference(DieId(0xE11), 1);
+    // Enrollment (serial, one die): golden at 25 °C plus
+    // per-calibration-point goldens.
+    let mut enroll_puf = PhotonicPuf::reference(DieId(0xE11), 1);
     let mut rng = StdRng::seed_from_u64(0xE11);
     let challenge = Challenge::random(64, &mut rng);
-
-    // Enrollment: golden at 25 °C plus per-calibration-point goldens.
-    puf.set_environment(Environment::at_temperature(25.0));
-    let golden_nominal = puf.respond_golden(&challenge, 9).expect("eval");
+    enroll_puf.set_environment(Environment::at_temperature(25.0));
+    let golden_nominal = enroll_puf.respond_golden(&challenge, 9).expect("eval");
     let calibrated: Vec<(f64, Response)> = calibration_points
         .iter()
         .map(|&t| {
-            puf.set_environment(Environment::at_temperature(t));
-            (t, puf.respond_golden(&challenge, 9).expect("eval"))
+            enroll_puf.set_environment(Environment::at_temperature(t));
+            (t, enroll_puf.respond_golden(&challenge, 9).expect("eval"))
         })
         .collect();
 
     let sensor = TemperatureSensor::new();
-    let mut rows = Vec::new();
-    for &t in &temperatures {
-        let mut uncomp = 0.0;
-        let mut bank = 0.0;
-        let mut controlled = 0.0;
-        for _ in 0..reads {
-            // Free-running die at ambient temperature.
-            puf.set_environment(Environment::at_temperature(t));
-            let reading = puf.respond(&challenge).expect("eval");
-            uncomp += 1.0 - golden_nominal.fhd(&reading);
-            // Calibration bank: sensor picks the nearest golden.
-            let sensed = sensor.read(&Environment::at_temperature(t), rng.gen::<f64>() - 0.5);
-            let nearest = calibrated
-                .iter()
-                .min_by(|a, b| {
-                    (a.0 - sensed)
-                        .abs()
-                        .partial_cmp(&(b.0 - sensed).abs())
-                        .expect("finite")
-                })
-                .expect("non-empty calibration");
-            bank += 1.0 - nearest.1.fhd(&reading);
-            // TEC servo: the die sits at the setpoint ± residual error.
-            let residual = 0.2 * (rng.gen::<f64>() - 0.5);
-            puf.set_environment(Environment::at_temperature(25.0 + residual));
-            let servo_reading = puf.respond(&challenge).expect("eval");
-            controlled += 1.0 - golden_nominal.fhd(&servo_reading);
-        }
-        rows.push(Row {
-            temperature_c: t,
-            uncompensated: uncomp / reads as f64,
-            calibration_bank: bank / reads as f64,
-            controlled: controlled / reads as f64,
-        });
-    }
+    // Each temperature row reads the same die with a noise stream and
+    // sensor RNG derived from its own row index, so the sweep fans out
+    // on the pool with byte-identical output at any thread count.
+    let rows: Vec<Row> = neuropuls_rt::pool::par_map(
+        temperatures.iter().copied().enumerate().collect(),
+        |(row, t)| {
+            let mut puf = PhotonicPuf::reference(DieId(0xE11), 1_000 + row as u64);
+            let mut rng = StdRng::seed_from_u64(0xE110000 + row as u64);
+            let mut uncomp = 0.0;
+            let mut bank = 0.0;
+            let mut controlled = 0.0;
+            for _ in 0..reads {
+                // Free-running die at ambient temperature.
+                puf.set_environment(Environment::at_temperature(t));
+                let reading = puf.respond(&challenge).expect("eval");
+                uncomp += 1.0 - golden_nominal.fhd(&reading);
+                // Calibration bank: sensor picks the nearest golden.
+                let sensed = sensor.read(&Environment::at_temperature(t), rng.gen::<f64>() - 0.5);
+                let nearest = calibrated
+                    .iter()
+                    .min_by(|a, b| {
+                        (a.0 - sensed)
+                            .abs()
+                            .partial_cmp(&(b.0 - sensed).abs())
+                            .expect("finite")
+                    })
+                    .expect("non-empty calibration");
+                bank += 1.0 - nearest.1.fhd(&reading);
+                // TEC servo: the die sits at the setpoint ± residual error.
+                let residual = 0.2 * (rng.gen::<f64>() - 0.5);
+                puf.set_environment(Environment::at_temperature(25.0 + residual));
+                let servo_reading = puf.respond(&challenge).expect("eval");
+                controlled += 1.0 - golden_nominal.fhd(&servo_reading);
+            }
+            Row {
+                temperature_c: t,
+                uncompensated: uncomp / reads as f64,
+                calibration_bank: bank / reads as f64,
+                controlled: controlled / reads as f64,
+            }
+        },
+    );
 
-    // Laser power excursion at nominal temperature.
-    puf.set_environment(Environment::nominal().with_laser_scale(0.8));
-    let mut low = 0.0;
-    for _ in 0..reads {
-        low += 1.0 - golden_nominal.fhd(&puf.respond(&challenge).expect("eval"));
-    }
-    let low_power_rel = low / reads as f64;
-    puf.set_environment(Environment::nominal().with_laser_scale(1.2));
-    let mut high = 0.0;
-    for _ in 0..reads {
-        high += 1.0 - golden_nominal.fhd(&puf.respond(&challenge).expect("eval"));
-    }
-    let high_power_rel = high / reads as f64;
+    // Laser power excursions at nominal temperature: two independent
+    // readout series, also per-item seeded.
+    let power_rels = neuropuls_rt::pool::par_map(vec![(0usize, 0.8), (1, 1.2)], |(i, scale)| {
+        let mut puf = PhotonicPuf::reference(DieId(0xE11), 2_000 + i as u64);
+        puf.set_environment(Environment::nominal().with_laser_scale(scale));
+        let mut sum = 0.0;
+        for _ in 0..reads {
+            sum += 1.0 - golden_nominal.fhd(&puf.respond(&challenge).expect("eval"));
+        }
+        sum / reads as f64
+    });
+    let (low_power_rel, high_power_rel) = (power_rels[0], power_rels[1]);
 
     let mut out = Rendered::new("E11 (§II-B) — environmental reliability");
     out.push(format!(

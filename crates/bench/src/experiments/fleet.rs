@@ -1,34 +1,22 @@
-//! E17 — §V fleet scheduling: one verifier attesting a device fleet on
-//! the discrete-event engine; verifier utilization, backlog and
-//! turnaround vs fleet size.
+//! E17 — §V fleet scheduling: a verifier farm attesting a device fleet
+//! on the discrete-event engine; verifier utilization, backlog and
+//! turnaround vs fleet size, and the saturation knee vs farm size.
 
 use crate::{Rendered, Scale};
 use neuropuls_system::fleet::{run_fleet, FleetConfig, FleetReport};
 
-/// Runs the fleet-size sweep.
-pub fn run(scale: Scale) -> (Rendered, Vec<FleetReport>) {
-    let sizes: Vec<usize> = scale.pick(vec![2, 8], vec![2, 4, 8, 16, 32]);
-    let reports: Vec<FleetReport> = sizes
-        .iter()
-        .map(|&devices| {
-            run_fleet(&FleetConfig {
-                devices,
-                ..FleetConfig::default()
-            })
-        })
-        .collect();
-
-    let mut out = Rendered::new("E17 (§V) — fleet attestation scheduling (one serial verifier)");
+fn render_table(out: &mut Rendered, reports: &[FleetReport]) {
     out.push(format!(
-        "{:>8} {:>8} {:>8} {:>10} {:>12} {:>14} {:>14}",
-        "devices", "attests", "passed", "caught", "utilization", "max backlog", "turnaround µs"
+        "{:>8} {:>9} {:>8} {:>8} {:>10} {:>12} {:>12} {:>14}",
+        "devices", "verifiers", "requests", "attests", "caught", "utilization", "max backlog", "turnaround µs"
     ));
-    for r in &reports {
+    for r in reports {
         out.push(format!(
-            "{:>8} {:>8} {:>8} {:>7}/{:<2} {:>11.1}% {:>14} {:>14.1}",
+            "{:>8} {:>9} {:>8} {:>8} {:>7}/{:<2} {:>11.1}% {:>12} {:>14.1}",
             r.devices,
+            r.verifiers,
+            r.requests,
             r.attestations,
-            r.passed,
             r.compromised_caught,
             r.compromised_planted,
             r.verifier_utilization * 100.0,
@@ -36,9 +24,46 @@ pub fn run(scale: Scale) -> (Rendered, Vec<FleetReport>) {
             r.mean_turnaround_us
         ));
     }
+}
+
+/// Runs the fleet-size sweep (serial verifier) and the verifier-farm
+/// sweep at the largest fleet. Every `(devices, verifiers)` cell is an
+/// independent simulation seeded from its config, so the sweep fans out
+/// on the pool with byte-identical output.
+pub fn run(scale: Scale) -> (Rendered, Vec<FleetReport>) {
+    let sizes: Vec<usize> = scale.pick(vec![2, 8], vec![2, 4, 8, 16, 32]);
+    let farm_sizes: Vec<usize> = scale.pick(vec![1, 2], vec![1, 2, 4, 8]);
+    let knee_devices = *sizes.last().expect("non-empty sweep");
+
+    let mut cells: Vec<(usize, usize)> = sizes.iter().map(|&d| (d, 1)).collect();
+    cells.extend(farm_sizes.iter().skip(1).map(|&v| (knee_devices, v)));
+    let reports: Vec<FleetReport> = neuropuls_rt::pool::par_map(cells, |(devices, verifiers)| {
+        run_fleet(&FleetConfig {
+            devices,
+            verifiers,
+            ..FleetConfig::default()
+        })
+    });
+    let (size_sweep, farm_tail) = reports.split_at(sizes.len());
+    let mut farm_sweep: Vec<FleetReport> = vec![size_sweep[sizes.len() - 1]];
+    farm_sweep.extend_from_slice(farm_tail);
+
+    let mut out = Rendered::new("E17 (§V) — fleet attestation scheduling");
+    out.push("fleet-size sweep, one serial verifier:".to_string());
+    render_table(&mut out, size_sweep);
     out.push(
         "every planted compromise is caught; utilization and backlog grow with the fleet \
          until the serial verifier saturates"
+            .to_string(),
+    );
+    out.push(String::new());
+    out.push(format!(
+        "verifier-farm sweep at {knee_devices} devices (the saturation knee moves out):"
+    ));
+    render_table(&mut out, &farm_sweep);
+    out.push(
+        "adding verifiers drains the backlog and pulls per-verifier utilization off the \
+         ceiling; turnaround returns to the uncontended check time"
             .to_string(),
     );
     (out, reports)
@@ -53,10 +78,11 @@ mod tests {
         let (_, reports) = run(Scale::Smoke);
         for r in &reports {
             assert_eq!(r.compromised_caught, r.compromised_planted, "{r:?}");
+            assert!(r.verifier_utilization <= 1.0, "{r:?}");
         }
+        let serial: Vec<&FleetReport> = reports.iter().filter(|r| r.verifiers == 1).collect();
         assert!(
-            reports.last().unwrap().verifier_utilization
-                >= reports[0].verifier_utilization,
+            serial.last().unwrap().verifier_utilization >= serial[0].verifier_utilization,
             "utilization should grow with fleet size"
         );
     }

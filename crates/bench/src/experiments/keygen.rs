@@ -110,20 +110,20 @@ pub fn run(scale: Scale) -> (Rendered, Vec<PipelineResult>, f64, f64) {
         });
     }
 
-    // FAR/FRR: genuine rereads vs impostor devices, FHD matching.
+    // FAR/FRR: genuine rereads vs impostor devices, FHD matching. The
+    // genuine series re-reads one die's evolving noise stream and stays
+    // serial; each impostor is its own die, so that side fans out.
     let genuine: Vec<f64> = (0..attempts)
         .map(|_| {
             let bits = field_fhd_reading(&mut enroll_puf, &challenge);
             fhd(&golden, &bits)
         })
         .collect();
-    let impostor: Vec<f64> = (0..attempts)
-        .map(|k| {
-            let mut other = PhotonicPuf::reference(DieId(50_000 + k as u64), 1);
-            let bits = field_fhd_reading(&mut other, &challenge);
-            fhd(&golden, &bits)
-        })
-        .collect();
+    let impostor: Vec<f64> = neuropuls_rt::pool::par_map((0..attempts).collect(), |k| {
+        let mut other = PhotonicPuf::reference(DieId(50_000 + k as u64), 1);
+        let bits = field_fhd_reading(&mut other, &challenge);
+        fhd(&golden, &bits)
+    });
     let curve = sweep(&genuine, &impostor, 100);
     let eer = equal_error_rate(&curve);
     let d_prime = decidability(&genuine, &impostor);

@@ -32,16 +32,21 @@ pub fn run(scale: Scale) -> (Rendered, Outcome) {
 
     let mut rng = StdRng::seed_from_u64(0xE2E2);
     let challenge = Challenge::random(64, &mut rng);
+    // Each die derives its own identity and noise seed from its index,
+    // so the population fans out on the pool with byte-identical output.
+    let per_device = neuropuls_rt::pool::par_map((0..devices).collect(), |d| {
+        let mut puf = PhotonicPuf::reference(DieId(9_000 + d as u64), 23 + d as u64);
+        let golden = puf.respond_golden(&challenge, 9).expect("eval").into_bits();
+        let rereads: Vec<Vec<u8>> = (0..rereads)
+            .map(|_| puf.respond(&challenge).expect("eval").into_bits())
+            .collect();
+        (golden, rereads)
+    });
     let mut golden = Vec::with_capacity(devices);
     let mut rereads_all = Vec::with_capacity(devices);
-    for d in 0..devices {
-        let mut puf = PhotonicPuf::reference(DieId(9_000 + d as u64), 23 + d as u64);
-        golden.push(puf.respond_golden(&challenge, 9).expect("eval").into_bits());
-        rereads_all.push(
-            (0..rereads)
-                .map(|_| puf.respond(&challenge).expect("eval").into_bits())
-                .collect::<Vec<_>>(),
-        );
+    for (g, r) in per_device {
+        golden.push(g);
+        rereads_all.push(r);
     }
     let report = quality_report(&golden, &rereads_all);
     let min_entropy = min_entropy_per_bit(&golden);

@@ -87,7 +87,7 @@ pub fn run(scale: Scale) -> (Rendered, Outcome) {
         "plaintext fragments on the wire: {}",
         if no_leak { "none detected" } else { "LEAK DETECTED" }
     ));
-    out.push(format!(
+    out.push_volatile(format!(
         "per-inference cost: {encrypted_us:.1} µs encrypted vs {plain_us:.1} µs plain \
          ({:.2}x overhead)",
         encrypted_us / plain_us.max(0.001)

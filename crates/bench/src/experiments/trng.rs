@@ -36,7 +36,7 @@ pub fn run(scale: Scale) -> (Rendered, Outcome) {
     let broken_source_detected = PhotonicTrng::broken(0xE16).generate(64).is_err();
 
     let mut out = Rendered::new("E16 — photonic TRNG (shot-noise LSB harvesting)");
-    out.push(format!(
+    out.push_volatile(format!(
         "conditioned output: {output_bytes} bytes in {elapsed_ms:.1} ms \
          ({:.1} B/ms simulated-host rate)",
         output_bytes as f64 / elapsed_ms.max(1e-9)

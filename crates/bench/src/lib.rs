@@ -38,13 +38,25 @@ impl Scale {
     }
 }
 
+/// One line of a rendered experiment.
+#[derive(Debug, Clone)]
+enum Line {
+    /// Simulation output: deterministic, part of the byte-diffable
+    /// experiment record.
+    Stable(String),
+    /// Host measurement (wall-clock costs, throughput): varies run to
+    /// run, excluded from [`Rendered::stable_string`] so the parallel
+    /// determinism gate can diff experiment output byte for byte.
+    Volatile(String),
+}
+
 /// A rendered experiment result: a title plus pre-formatted lines.
 #[derive(Debug, Clone)]
 pub struct Rendered {
     /// Experiment identifier, e.g. "E1 (Fig. 3)".
     pub title: String,
     /// Table lines.
-    pub lines: Vec<String>,
+    lines: Vec<Line>,
 }
 
 impl Rendered {
@@ -56,9 +68,41 @@ impl Rendered {
         }
     }
 
-    /// Appends a line.
+    /// Appends a deterministic simulation-output line.
     pub fn push(&mut self, line: impl Into<String>) {
-        self.lines.push(line.into());
+        self.lines.push(Line::Stable(line.into()));
+    }
+
+    /// Appends a host-measured line (wall-clock timings and rates).
+    /// Shown by `Display` but excluded from [`Self::stable_string`].
+    pub fn push_volatile(&mut self, line: impl Into<String>) {
+        self.lines.push(Line::Volatile(line.into()));
+    }
+
+    /// The deterministic portion of the report: the title and every
+    /// stable line, formatted exactly like `Display` minus the
+    /// volatile lines. `exp_all` prints this on stdout so its output
+    /// is byte-identical at any thread count.
+    pub fn stable_string(&self) -> String {
+        let mut out = format!("==== {} ====\n", self.title);
+        for line in &self.lines {
+            if let Line::Stable(text) = line {
+                out.push_str(text);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// The host-measured lines, for routing to stderr.
+    pub fn volatile_lines(&self) -> Vec<&str> {
+        self.lines
+            .iter()
+            .filter_map(|l| match l {
+                Line::Volatile(text) => Some(text.as_str()),
+                Line::Stable(_) => None,
+            })
+            .collect()
     }
 }
 
@@ -66,7 +110,9 @@ impl std::fmt::Display for Rendered {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "==== {} ====", self.title)?;
         for line in &self.lines {
-            writeln!(f, "{line}")?;
+            match line {
+                Line::Stable(text) | Line::Volatile(text) => writeln!(f, "{text}")?,
+            }
         }
         Ok(())
     }

@@ -32,6 +32,10 @@ impl PhotocurrentStudy {
     /// Characterizes `devices` photonic PUFs over `challenges` random
     /// challenges with `reads` re-reads each.
     ///
+    /// Devices fan out in parallel on [`neuropuls_rt::pool`]; every die
+    /// derives its identity and noise stream from `seed` and its own
+    /// index, so the characterization is byte-identical to a serial run.
+    ///
     /// # Panics
     ///
     /// Panics on empty parameters.
@@ -43,9 +47,7 @@ impl PhotocurrentStudy {
         let challenge_set: Vec<Challenge> =
             (0..challenges).map(|_| Challenge::random(64, &mut rng)).collect();
 
-        let mut mean_margin = Vec::with_capacity(devices);
-        let mut bits = Vec::with_capacity(devices);
-        for d in 0..devices {
+        let per_device = neuropuls_rt::pool::par_map((0..devices).collect(), |d| {
             let mut puf = PhotonicPuf::reference(
                 DieId(seed.wrapping_add(1000 + d as u64)),
                 seed ^ ((d as u64) << 21),
@@ -70,7 +72,12 @@ impl PhotocurrentStudy {
                 device_margins.extend(sums.into_iter().map(|s| s / reads as f64));
                 device_bits.extend(reads_bits);
             }
-            mean_margin.push(device_margins);
+            (device_margins, device_bits)
+        });
+        let mut mean_margin = Vec::with_capacity(devices);
+        let mut bits = Vec::with_capacity(devices);
+        for (margins, device_bits) in per_device {
+            mean_margin.push(margins);
             bits.push(device_bits);
         }
         PhotocurrentStudy { mean_margin, bits }
@@ -156,9 +163,11 @@ impl PhotocurrentStudy {
         }
     }
 
-    /// Full threshold sweep (the pPUF analogue of Fig. 3).
+    /// Full threshold sweep (the pPUF analogue of Fig. 3). Points are
+    /// evaluated in parallel; [`Self::evaluate`] is pure, so the curve
+    /// is identical at any thread count.
     pub fn threshold_sweep(&self, thresholds: &[f64]) -> Vec<ThresholdPoint> {
-        thresholds.iter().map(|&t| self.evaluate(t)).collect()
+        neuropuls_rt::pool::par_map(thresholds.to_vec(), |t| self.evaluate(t))
     }
 
     /// Enrollment mask of device `d` at a threshold.

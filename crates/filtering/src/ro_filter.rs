@@ -44,16 +44,18 @@ impl RoFilterStudy {
 
     /// Characterizes an explicit device population.
     ///
+    /// Devices are read out in parallel on [`neuropuls_rt::pool`]; each
+    /// die carries its own noise RNG, so the result is byte-identical to
+    /// a serial readout.
+    ///
     /// # Panics
     ///
     /// Panics if `pufs` is empty or `reads == 0`.
-    pub fn characterize(mut pufs: Vec<RoPuf>, reads: usize) -> Self {
+    pub fn characterize(pufs: Vec<RoPuf>, reads: usize) -> Self {
         assert!(!pufs.is_empty(), "need at least one device");
         assert!(reads > 0, "need at least one read");
         let pairs = pufs[0].pairs();
-        let mut mean_diff = Vec::with_capacity(pufs.len());
-        let mut bits = Vec::with_capacity(pufs.len());
-        for puf in pufs.iter_mut() {
+        let per_device = neuropuls_rt::pool::par_map(pufs, |mut puf| {
             let mut device_means = Vec::with_capacity(pairs);
             let mut device_bits = Vec::with_capacity(pairs);
             for pair in 0..pairs {
@@ -69,7 +71,12 @@ impl RoFilterStudy {
                 device_means.push(sum / reads as f64);
                 device_bits.push(reads_bits);
             }
-            mean_diff.push(device_means);
+            (device_means, device_bits)
+        });
+        let mut mean_diff = Vec::with_capacity(per_device.len());
+        let mut bits = Vec::with_capacity(per_device.len());
+        for (means, device_bits) in per_device {
+            mean_diff.push(means);
             bits.push(device_bits);
         }
         RoFilterStudy { mean_diff, bits }
@@ -159,9 +166,11 @@ impl RoFilterStudy {
         }
     }
 
-    /// Sweeps the counter threshold — the full Fig. 3 curve.
+    /// Sweeps the counter threshold — the full Fig. 3 curve. Points are
+    /// evaluated in parallel; [`Self::evaluate`] is pure, so the curve
+    /// is identical at any thread count.
     pub fn threshold_sweep(&self, thresholds: &[f64]) -> Vec<ThresholdPoint> {
-        thresholds.iter().map(|&t| self.evaluate(t)).collect()
+        neuropuls_rt::pool::par_map(thresholds.to_vec(), |t| self.evaluate(t))
     }
 
     /// The "shaded area" of Fig. 3: thresholds where reliability ≥

@@ -41,11 +41,16 @@ pub fn error_rates(genuine_fhd: &[f64], impostor_fhd: &[f64], threshold: f64) ->
     }
 }
 
-/// Sweeps `steps` thresholds over `[0, 0.5]` and returns the whole curve.
+/// Sweeps `steps + 1` evenly spaced thresholds over `[0, 0.5]` and
+/// returns the whole curve.
+///
+/// `steps == 0` degenerates to the single threshold `0.0` (the divisor
+/// is clamped so no NaN threshold is ever produced).
 pub fn sweep(genuine_fhd: &[f64], impostor_fhd: &[f64], steps: usize) -> Vec<ErrorRates> {
+    let divisor = steps.max(1) as f64;
     (0..=steps)
         .map(|i| {
-            let threshold = 0.5 * i as f64 / steps as f64;
+            let threshold = 0.5 * i as f64 / divisor;
             error_rates(genuine_fhd, impostor_fhd, threshold)
         })
         .collect()
@@ -53,7 +58,13 @@ pub fn sweep(genuine_fhd: &[f64], impostor_fhd: &[f64], steps: usize) -> Vec<Err
 
 /// Equal error rate: the FAR (≈ FRR) at the threshold where the curves
 /// cross, linearly interpolated over the sweep.
+///
+/// # Panics
+///
+/// Panics if `curve` is empty — an empty sweep has no crossing point,
+/// and silently reporting a worst-case 1.0 would hide the caller's bug.
 pub fn equal_error_rate(curve: &[ErrorRates]) -> f64 {
+    assert!(!curve.is_empty(), "EER needs a non-empty FAR/FRR curve");
     let mut best = f64::INFINITY;
     let mut eer = 1.0;
     for point in curve {
@@ -137,6 +148,22 @@ mod tests {
         let impostor = vec![0.2, 0.3, 0.4, 0.5];
         let curve = sweep(&genuine, &impostor, 100);
         assert!(equal_error_rate(&curve) > 0.1);
+    }
+
+    #[test]
+    fn zero_step_sweep_is_one_finite_point() {
+        let genuine = vec![0.01, 0.02];
+        let impostor = vec![0.4];
+        let curve = sweep(&genuine, &impostor, 0);
+        assert_eq!(curve.len(), 1);
+        assert_eq!(curve[0].threshold, 0.0);
+        assert!(curve[0].far.is_finite() && curve[0].frr.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty FAR/FRR curve")]
+    fn eer_rejects_empty_curve() {
+        equal_error_rate(&[]);
     }
 
     #[test]

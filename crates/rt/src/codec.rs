@@ -98,6 +98,8 @@ impl<'a> Reader<'a> {
 
     /// Reads a length (`u64` on the wire, checked against the remaining
     /// input so corrupt lengths fail fast instead of allocating).
+    // A wire-format field decoder, not a container size accessor.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&mut self) -> Result<usize, CodecError> {
         let n = self.u64()?;
         if n > self.remaining() as u64 {

@@ -18,12 +18,16 @@
 //! * [`mod@criterion`] — a tiny bench timer (warmup + iters +
 //!   mean/p50/p99) that writes machine-readable `BENCH_*.json` reports;
 //! * [`mod@codec`] — a no-derive serialization helper
-//!   ([`codec::ToBytes`] / [`codec::FromBytes`]) with a versioned header.
+//!   ([`codec::ToBytes`] / [`codec::FromBytes`]) with a versioned header;
+//! * [`mod@pool`] — a std-only scoped thread pool (`par_map` /
+//!   `par_chunks`, `NEUROPULS_THREADS` sizing) whose parallel output is
+//!   byte-identical to serial execution.
 
 #![warn(missing_docs)]
 
 pub mod codec;
 pub mod criterion;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 

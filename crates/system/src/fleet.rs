@@ -1,11 +1,24 @@
 //! Fleet-scale attestation scheduling on the discrete-event engine.
 //!
 //! §V's "holistic approach to modeling and simulating a heterogeneous
-//! system" includes the verifier side: an edge deployment has one
-//! verifier attesting many devices on a period. This module schedules a
-//! device fleet through [`crate::event::EventQueue`] and measures
-//! verifier utilization, queue depth and per-device turnaround — the
-//! capacity-planning numbers a deployment needs.
+//! system" includes the verifier side: an edge deployment has one or
+//! more verifiers attesting many devices on a period. This module
+//! schedules a device fleet through [`crate::event::EventQueue`] and
+//! measures verifier utilization, queue depth and per-device turnaround
+//! — the capacity-planning numbers a deployment needs.
+//!
+//! Accounting contract (the E17 regression tests pin these):
+//!
+//! * `verifier_utilization` is busy time **clamped to the horizon**
+//!   divided by `horizon × verifiers`, so it can never exceed 1.0 even
+//!   when the farm is saturated and checks spill past the horizon;
+//! * `attestations` counts exactly the requests whose verdict landed
+//!   within the horizon (`requests − in_flight_at_horizon`);
+//! * `mean_turnaround_us` averages over those same completed requests
+//!   (the numerator and denominator describe the same population);
+//! * `max_backlog` counts requests *waiting* for a verifier — a request
+//!   being served is not backlog, and only requests that actually
+//!   queued decrement the backlog when they finish.
 
 use crate::event::{EventQueue, Tick};
 use neuropuls_photonic::process::DieId;
@@ -26,8 +39,17 @@ struct FleetDevice {
 enum FleetEvent {
     /// Device `idx` is due for attestation.
     Due(usize),
-    /// The verifier finished checking device `idx`.
-    Done(usize, bool),
+    /// A verifier finished checking device `idx`.
+    Done {
+        /// Device index.
+        idx: usize,
+        /// Verdict of the attestation.
+        ok: bool,
+        /// Tick at which the request was issued.
+        requested_at: Tick,
+        /// Whether the request waited for a busy verifier farm.
+        queued: bool,
+    },
 }
 
 /// Aggregate results of a fleet campaign.
@@ -35,19 +57,28 @@ enum FleetEvent {
 pub struct FleetReport {
     /// Devices attested.
     pub devices: usize,
-    /// Total attestations performed.
+    /// Verifiers in the farm.
+    pub verifiers: usize,
+    /// Attestation requests issued within the horizon.
+    pub requests: usize,
+    /// Attestations completed within the horizon.
     pub attestations: usize,
+    /// Requests still being checked (or queued) when the horizon hit.
+    pub in_flight_at_horizon: usize,
     /// Attestations that passed.
     pub passed: usize,
     /// Compromised devices that were caught (all of them must be).
     pub compromised_caught: usize,
     /// Compromised devices planted.
     pub compromised_planted: usize,
-    /// Verifier busy fraction over the campaign.
+    /// Farm busy fraction over the campaign: horizon-clamped busy time
+    /// divided by `horizon × verifiers`. Always in `[0, 1]`.
     pub verifier_utilization: f64,
-    /// Maximum verifier backlog observed (requests waiting).
+    /// Maximum number of requests simultaneously waiting for a free
+    /// verifier.
     pub max_backlog: usize,
-    /// Mean turnaround (request → verdict) in µs.
+    /// Mean turnaround (request → verdict) in µs over the requests that
+    /// completed within the horizon.
     pub mean_turnaround_us: f64,
 }
 
@@ -56,6 +87,8 @@ pub struct FleetReport {
 pub struct FleetConfig {
     /// Number of devices.
     pub devices: usize,
+    /// Number of verifiers sharing the request queue (a verifier farm).
+    pub verifiers: usize,
     /// Attestation period per device, µs of simulated time.
     pub period_us: f64,
     /// Campaign length, µs.
@@ -70,6 +103,7 @@ impl Default for FleetConfig {
     fn default() -> Self {
         FleetConfig {
             devices: 8,
+            verifiers: 1,
             period_us: 20.0,
             horizon_us: 100.0,
             compromised_fraction: 0.25,
@@ -80,11 +114,18 @@ impl Default for FleetConfig {
 
 /// Runs the fleet campaign.
 ///
-/// The verifier is a serial resource: concurrent requests queue. Device
-/// walk time and verifier check time both follow the photonic timing
-/// model (the verifier must recompute the same walk).
+/// Each verifier is a serial resource; a request takes the earliest
+/// available verifier (ties broken by verifier index, so the schedule is
+/// deterministic) and queues when all are busy. Device walk time and
+/// verifier check time both follow the photonic timing model (the
+/// verifier must recompute the same walk).
+///
+/// # Panics
+///
+/// Panics when `devices` or `verifiers` is zero.
 pub fn run_fleet(config: &FleetConfig) -> FleetReport {
     assert!(config.devices > 0, "fleet needs at least one device");
+    assert!(config.verifiers > 0, "fleet needs at least one verifier");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let timing = TimingModel::photonic();
 
@@ -127,10 +168,11 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
 
     let horizon = (config.horizon_us * 1000.0) as Tick;
     let period = (config.period_us * 1000.0) as Tick;
-    let mut verifier_free_at: Tick = 0;
+    let mut free_at: Vec<Tick> = vec![0; config.verifiers];
     let mut busy_ns: u64 = 0;
     let mut backlog: usize = 0;
     let mut max_backlog = 0usize;
+    let mut requests = 0usize;
     let mut attestations = 0usize;
     let mut passed = 0usize;
     let mut caught = vec![false; config.devices];
@@ -142,25 +184,54 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
             let request = entry.verifier.begin();
             let report = entry.device.attest(&request).expect("attestation runs");
             let ok = entry.verifier.verify(&request, &report).is_ok();
-            // The verifier recomputes the walk serially: busy for the
-            // honest walk duration of this device.
+            // The chosen verifier recomputes the walk serially: busy for
+            // the honest walk duration of this device.
             let chunks = entry.memory_bytes.div_ceil(64) as f64;
             let check_ns = (chunks * timing.chunk_ns()) as Tick;
-            let start = verifier_free_at.max(now);
-            backlog += usize::from(start > now);
-            max_backlog = max_backlog.max(backlog);
-            verifier_free_at = start + check_ns;
-            busy_ns += check_ns;
-            queue.schedule(verifier_free_at, FleetEvent::Done(idx, ok));
-            turnaround_sum_ns += verifier_free_at - now;
+            // Earliest-available verifier, ties to the lowest index.
+            let v = (0..free_at.len())
+                .min_by_key(|&v| (free_at[v], v))
+                .expect("at least one verifier");
+            let start = free_at[v].max(now);
+            let queued = start > now;
+            if queued {
+                backlog += 1;
+                max_backlog = max_backlog.max(backlog);
+            }
+            free_at[v] = start + check_ns;
+            // Busy time clamped to the horizon: work scheduled past the
+            // campaign end must not count toward utilization.
+            busy_ns += free_at[v].min(horizon).saturating_sub(start.min(horizon));
+            requests += 1;
+            queue.schedule(
+                free_at[v],
+                FleetEvent::Done {
+                    idx,
+                    ok,
+                    requested_at: now,
+                    queued,
+                },
+            );
             // Next periodic attestation.
             if now + period <= horizon {
                 queue.schedule(now + period, FleetEvent::Due(idx));
             }
         }
-        FleetEvent::Done(idx, ok) => {
-            backlog = backlog.saturating_sub(1);
+        FleetEvent::Done {
+            idx,
+            ok,
+            requested_at,
+            queued,
+        } => {
+            // Only requests that actually waited ever entered the
+            // backlog, so only they leave it.
+            if queued {
+                backlog = backlog.checked_sub(1).expect("backlog underflow");
+            }
             attestations += 1;
+            // Turnaround accumulates at completion time, so the sum and
+            // the `attestations` divisor cover the same requests.
+            turnaround_sum_ns += now - requested_at;
             if ok {
                 passed += 1;
             } else if fleet[idx].compromised {
@@ -169,14 +240,23 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
         }
     });
 
+    // Everything still scheduled is a `Done` past the horizon: requests
+    // issued but not resolved in time.
+    let in_flight = queue.len();
+    debug_assert_eq!(attestations + in_flight, requests, "request conservation");
+
     let planted = fleet.iter().filter(|d| d.compromised).count();
     FleetReport {
         devices: config.devices,
+        verifiers: config.verifiers,
+        requests,
         attestations,
+        in_flight_at_horizon: in_flight,
         passed,
         compromised_caught: caught.iter().filter(|&&c| c).count(),
         compromised_planted: planted,
-        verifier_utilization: busy_ns as f64 / horizon.max(1) as f64,
+        verifier_utilization: busy_ns as f64
+            / (horizon.max(1) as f64 * config.verifiers as f64),
         max_backlog,
         mean_turnaround_us: if attestations == 0 {
             0.0
@@ -238,5 +318,86 @@ mod tests {
         });
         assert_eq!(report.compromised_planted, 0);
         assert_eq!(report.passed, report.attestations, "{report:?}");
+    }
+
+    /// Regression for the saturation accounting bugs: utilization used
+    /// to exceed 1.0 (busy time counted past the horizon), turnaround
+    /// mixed populations (sum at request time ÷ completions), and
+    /// `max_backlog` undercounted (every completion decremented the
+    /// backlog even when the request never queued).
+    #[test]
+    fn saturated_fleet_accounting_is_consistent() {
+        for devices in [8, 32] {
+            let report = run_fleet(&FleetConfig {
+                devices,
+                period_us: 1.0,
+                horizon_us: 8.0,
+                ..FleetConfig::default()
+            });
+            assert!(
+                report.verifier_utilization <= 1.0,
+                "utilization must be a fraction: {report:?}"
+            );
+            assert!(report.verifier_utilization > 0.0, "{report:?}");
+            assert_eq!(
+                report.attestations + report.in_flight_at_horizon,
+                report.requests,
+                "every issued request completes or is in flight: {report:?}"
+            );
+            assert!(report.max_backlog <= report.requests, "{report:?}");
+        }
+    }
+
+    #[test]
+    fn saturated_fleet_reports_nonzero_backlog_and_full_utilization() {
+        let report = run_fleet(&FleetConfig {
+            devices: 32,
+            period_us: 1.0,
+            horizon_us: 8.0,
+            ..FleetConfig::default()
+        });
+        assert!(report.max_backlog > 0, "{report:?}");
+        assert!(report.verifier_utilization > 0.95, "{report:?}");
+        assert!(report.in_flight_at_horizon > 0, "{report:?}");
+    }
+
+    #[test]
+    fn more_verifiers_relieve_the_backlog() {
+        let saturated = FleetConfig {
+            devices: 16,
+            period_us: 2.0,
+            horizon_us: 20.0,
+            ..FleetConfig::default()
+        };
+        let one = run_fleet(&saturated);
+        let four = run_fleet(&FleetConfig {
+            verifiers: 4,
+            ..saturated
+        });
+        assert!(four.verifier_utilization <= 1.0, "{four:?}");
+        assert!(
+            four.max_backlog <= one.max_backlog,
+            "a farm should not queue more than one verifier: {one:?} vs {four:?}"
+        );
+        assert!(
+            four.mean_turnaround_us <= one.mean_turnaround_us,
+            "a farm should not be slower: {one:?} vs {four:?}"
+        );
+        assert!(
+            four.attestations >= one.attestations,
+            "a farm completes at least as many checks: {one:?} vs {four:?}"
+        );
+    }
+
+    #[test]
+    fn idle_fleet_has_no_backlog_and_low_utilization() {
+        let report = run_fleet(&FleetConfig {
+            devices: 1,
+            period_us: 50.0,
+            horizon_us: 100.0,
+            ..FleetConfig::default()
+        });
+        assert_eq!(report.max_backlog, 0, "{report:?}");
+        assert!(report.verifier_utilization < 0.1, "{report:?}");
     }
 }
