@@ -1,9 +1,25 @@
 //! Active protocol attacks against the mutual-authentication service —
 //! the adversary models the HSC-IoT design claims to resist (§III-A).
+//!
+//! All campaigns are mounted *on the wire*: the adversary sits between
+//! the two genuine endpoints as a man-in-the-middle hook on a
+//! [`FaultyChannel`] (or speaks the wire protocol itself, for blind
+//! forgery) and manipulates serialized [`Envelope`] frames. An attack
+//! attempt "succeeds" only if the full wire session completes — i.e.
+//! the verifier accepted the adversarial frame and issued Msg3.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use neuropuls_protocols::error::ProtocolError;
-use neuropuls_protocols::mutual_auth::{AuthRequest, Device, DeviceAuth, Verifier};
+use neuropuls_protocols::mutual_auth::{run_wire_session, Device, DeviceAuth, Verifier, WireVerifier};
+use neuropuls_protocols::transport::{Channel, FaultRates, FaultyChannel, MitmVerdict, Side};
+use neuropuls_protocols::wire::{
+    drive_report, Envelope, MutualAuthMsg, ProtocolId, Session, SessionAction, SessionConfig,
+    DEFAULT_MAX_TICKS,
+};
 use neuropuls_puf::traits::Puf;
+use neuropuls_rt::codec::{FromBytes, ToBytes};
 use neuropuls_rt::rngs::StdRng;
 use neuropuls_rt::{Rng, SeedableRng};
 
@@ -27,26 +43,70 @@ impl CampaignOutcome {
     }
 }
 
-/// Replay campaign: capture one genuine device message, replay it
-/// `attempts` times in fresh sessions.
+/// Parses a frame as a mutual-authentication envelope.
+fn as_auth_envelope(frame: &[u8]) -> Option<(Envelope, MutualAuthMsg)> {
+    let env = Envelope::from_bytes(frame).ok()?;
+    if env.protocol != ProtocolId::MutualAuth {
+        return None;
+    }
+    let msg = env.open::<MutualAuthMsg>().ok()?;
+    Some((env, msg))
+}
+
+/// Replay campaign: wiretap one genuine session to capture the device's
+/// `DeviceAuth` payload, then splice that stale payload into `attempts`
+/// fresh sessions (re-enveloped under the live session id and sequence
+/// number so it is indistinguishable from in-session traffic at the
+/// framing layer).
 ///
 /// # Errors
 ///
-/// Fails only if the *genuine* session cannot run.
+/// Fails only if the *genuine* capture session cannot run.
 pub fn replay_campaign<P: Puf>(
     device: &mut Device<P>,
     verifier: &mut Verifier,
     attempts: usize,
 ) -> Result<CampaignOutcome, ProtocolError> {
-    let request = verifier.begin_session();
-    let genuine = device.respond_to_request(&request)?;
-    let confirm = verifier.process_device_auth(&request, &genuine)?;
-    device.process_confirmation(&confirm)?;
+    // Passive phase: record the genuine DeviceAuth payload off the wire.
+    let captured: Rc<RefCell<Option<Vec<u8>>>> = Rc::new(RefCell::new(None));
+    let tap = Rc::clone(&captured);
+    let mut channel = FaultyChannel::new(FaultRates::none(), 0x5EED);
+    channel.set_mitm(Box::new(move |from, frame| {
+        if from == Side::B {
+            if let Some((env, MutualAuthMsg::Auth(_))) = as_auth_envelope(frame) {
+                *tap.borrow_mut() = Some(env.payload);
+            }
+        }
+        MitmVerdict::Forward
+    }));
+    run_wire_session(&mut channel, device, verifier, 0, SessionConfig::default()).result?;
+    let payload = captured
+        .borrow_mut()
+        .take()
+        .ok_or_else(|| ProtocolError::OutOfOrder("no DeviceAuth captured on the wire".into()))?;
 
+    // Active phase: replace every fresh DeviceAuth with the stale one.
     let mut successes = 0;
-    for _ in 0..attempts {
-        let fresh_request = verifier.begin_session();
-        if verifier.process_device_auth(&fresh_request, &genuine).is_ok() {
+    for i in 0..attempts {
+        let mut channel = FaultyChannel::new(FaultRates::none(), 0x5EED ^ (i as u64 + 1));
+        let stale = payload.clone();
+        channel.set_mitm(Box::new(move |from, frame| {
+            if from == Side::B {
+                if let Some((env, MutualAuthMsg::Auth(_))) = as_auth_envelope(frame) {
+                    let spliced = Envelope {
+                        protocol: env.protocol,
+                        session: env.session,
+                        seq: env.seq,
+                        payload: stale.clone(),
+                    };
+                    return MitmVerdict::Replace(spliced.to_bytes());
+                }
+            }
+            MitmVerdict::Forward
+        }));
+        let report =
+            run_wire_session(&mut channel, device, verifier, 1 + i as u64, SessionConfig::default());
+        if report.succeeded() {
             successes += 1;
         }
     }
@@ -56,34 +116,49 @@ pub fn replay_campaign<P: Puf>(
     })
 }
 
-/// Man-in-the-middle bit-flip campaign: relay genuine sessions but flip
-/// one random bit of the device message each time.
+/// Man-in-the-middle bit-flip campaign: relay genuine wire sessions but
+/// flip one random bit of the masked PUF response inside every
+/// `DeviceAuth` frame before re-encoding it (so the frame still parses
+/// and only the MAC check can catch the tamper).
 ///
 /// # Errors
 ///
-/// Fails only on infrastructure errors (the genuine device refusing to
-/// answer).
+/// Reserved for infrastructure failures; the expected outcome of every
+/// attempt — the verifier rejecting the session — is *not* an error.
 pub fn mitm_tamper_campaign<P: Puf>(
     device: &mut Device<P>,
     verifier: &mut Verifier,
     attempts: usize,
     seed: u64,
 ) -> Result<CampaignOutcome, ProtocolError> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let rng = Rc::new(RefCell::new(StdRng::seed_from_u64(seed)));
     let mut successes = 0;
-    for _ in 0..attempts {
-        let request = verifier.begin_session();
-        let mut msg: DeviceAuth = device.respond_to_request(&request)?;
-        // Flip one random bit somewhere in the masked response.
-        let byte = rng.gen_range(0..msg.masked_response.len());
-        let bit = rng.gen_range(0u8..8);
-        msg.masked_response[byte] ^= 1u8 << bit;
-        if verifier.process_device_auth(&request, &msg).is_ok() {
+    for i in 0..attempts {
+        let mut channel = FaultyChannel::new(FaultRates::none(), seed ^ (i as u64).wrapping_add(1));
+        let rng = Rc::clone(&rng);
+        channel.set_mitm(Box::new(move |from, frame| {
+            if from == Side::B {
+                if let Some((env, MutualAuthMsg::Auth(mut auth))) = as_auth_envelope(frame) {
+                    let mut rng = rng.borrow_mut();
+                    let byte = rng.gen_range(0..auth.masked_response.len());
+                    let bit = rng.gen_range(0u8..8);
+                    auth.masked_response[byte] ^= 1u8 << bit;
+                    let tampered = Envelope::pack(
+                        ProtocolId::MutualAuth,
+                        env.session,
+                        env.seq,
+                        &MutualAuthMsg::Auth(auth),
+                    );
+                    return MitmVerdict::Replace(tampered.to_bytes());
+                }
+            }
+            MitmVerdict::Forward
+        }));
+        let report =
+            run_wire_session(&mut channel, device, verifier, i as u64, SessionConfig::default());
+        if report.succeeded() {
             successes += 1;
         }
-        // The device aborts its half-open session (no confirmation
-        // arrived).
-        device.abort_session();
     }
     Ok(CampaignOutcome {
         attempts,
@@ -91,23 +166,80 @@ pub fn mitm_tamper_campaign<P: Puf>(
     })
 }
 
-/// Blind forgery campaign: the attacker fabricates device messages with
-/// random MACs (it knows the message format but not the secret).
-pub fn forgery_campaign(verifier: &mut Verifier, attempts: usize, seed: u64) -> CampaignOutcome {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut successes = 0;
-    for _ in 0..attempts {
-        let request: AuthRequest = verifier.begin_session();
+/// A wire endpoint that impersonates a device without knowing the PUF
+/// secret: it answers every `AuthRequest` (including retransmissions)
+/// with a freshly fabricated `DeviceAuth` carrying a random MAC.
+struct ForgingAttacker {
+    rng: StdRng,
+    accepted: bool,
+}
+
+impl ForgingAttacker {
+    fn forge(&mut self) -> DeviceAuth {
         let mut masked = vec![0u8; 8];
-        rng.fill(masked.as_mut_slice());
-        let msg = DeviceAuth {
+        self.rng.fill(masked.as_mut_slice());
+        DeviceAuth {
             masked_response: masked,
-            memory_hash: rng.gen(),
-            clock_count: rng.gen_range(0..2000),
-            device_nonce: rng.gen(),
-            mac: rng.gen(),
+            memory_hash: self.rng.gen(),
+            clock_count: self.rng.gen_range(0..2000),
+            device_nonce: self.rng.gen(),
+            mac: self.rng.gen(),
+        }
+    }
+}
+
+impl Session for ForgingAttacker {
+    fn step(&mut self, incoming: Option<&[u8]>) -> Result<SessionAction, ProtocolError> {
+        let Some(frame) = incoming else {
+            return Ok(SessionAction::Wait);
         };
-        if verifier.process_device_auth(&request, &msg).is_ok() {
+        match as_auth_envelope(frame) {
+            Some((env, MutualAuthMsg::Request(_))) => {
+                let forged = self.forge();
+                let frame = Envelope::pack(
+                    ProtocolId::MutualAuth,
+                    env.session,
+                    1,
+                    &MutualAuthMsg::Auth(forged),
+                )
+                .to_bytes();
+                Ok(SessionAction::Send(frame))
+            }
+            // A confirmation means the verifier accepted a forgery.
+            Some((_, MutualAuthMsg::Confirm(_))) => {
+                self.accepted = true;
+                Ok(SessionAction::Done)
+            }
+            _ => Ok(SessionAction::Wait),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.accepted
+    }
+
+    fn retransmits(&self) -> u32 {
+        0
+    }
+}
+
+/// Blind forgery campaign: the attacker speaks the wire protocol (it
+/// knows the message format but not the secret) and feeds the verifier
+/// random MACs until the verifier's retry budget runs out. Each attempt
+/// is one full wire session, so the verifier actually sees
+/// `1 + max_retries` distinct forgeries per attempt.
+pub fn forgery_campaign(verifier: &mut Verifier, attempts: usize, seed: u64) -> CampaignOutcome {
+    let mut attacker = ForgingAttacker {
+        rng: StdRng::seed_from_u64(seed),
+        accepted: false,
+    };
+    let mut successes = 0;
+    for i in 0..attempts {
+        attacker.accepted = false;
+        let mut channel = Channel::new();
+        let mut wire_verifier = WireVerifier::new(verifier, i as u64, SessionConfig::default());
+        let report = drive_report(&mut channel, &mut wire_verifier, &mut attacker, DEFAULT_MAX_TICKS);
+        if report.succeeded() || attacker.accepted {
             successes += 1;
         }
     }
@@ -115,6 +247,50 @@ pub fn forgery_campaign(verifier: &mut Verifier, attempts: usize, seed: u64) -> 
         attempts,
         successes,
     }
+}
+
+/// Desynchronization campaign: suppress every `VerifierConfirm` (Msg3)
+/// on the wire so the verifier rotates its CRP while the device does
+/// not, then let a clean session run. The attack succeeds only if the
+/// suppressed session somehow completed *or* the follow-up session
+/// fails — i.e. the device was locked out. The HSC-IoT previous-CRP
+/// fallback makes both impossible.
+///
+/// # Errors
+///
+/// Reserved for infrastructure failures.
+pub fn desync_suppression_campaign<P: Puf>(
+    device: &mut Device<P>,
+    verifier: &mut Verifier,
+    attempts: usize,
+) -> Result<CampaignOutcome, ProtocolError> {
+    let mut successes = 0;
+    for i in 0..attempts {
+        let mut channel = FaultyChannel::new(FaultRates::none(), 0xDE5C ^ i as u64);
+        channel.set_mitm(Box::new(|_from, frame| {
+            if matches!(as_auth_envelope(frame), Some((_, MutualAuthMsg::Confirm(_)))) {
+                return MitmVerdict::Drop;
+            }
+            MitmVerdict::Forward
+        }));
+        let suppressed =
+            run_wire_session(&mut channel, device, verifier, 2 * i as u64, SessionConfig::default());
+        channel.clear_mitm();
+        let recovered = run_wire_session(
+            &mut channel,
+            device,
+            verifier,
+            2 * i as u64 + 1,
+            SessionConfig::default(),
+        );
+        if suppressed.succeeded() || !recovered.succeeded() {
+            successes += 1;
+        }
+    }
+    Ok(CampaignOutcome {
+        attempts,
+        successes,
+    })
 }
 
 #[cfg(test)]
@@ -154,10 +330,21 @@ mod tests {
     }
 
     #[test]
+    fn msg3_suppression_cannot_lock_out_the_device() {
+        let (mut device, mut verifier) = pair(5);
+        let outcome = desync_suppression_campaign(&mut device, &mut verifier, 6).unwrap();
+        assert_eq!(outcome.successes, 0);
+        // Every suppressed session forced one previous-CRP recovery.
+        assert_eq!(verifier.desync_recoveries(), 6);
+    }
+
+    #[test]
     fn genuine_sessions_still_work_after_attacks() {
         let (mut device, mut verifier) = pair(4);
         let _ = replay_campaign(&mut device, &mut verifier, 5).unwrap();
         let _ = mitm_tamper_campaign(&mut device, &mut verifier, 5, 79).unwrap();
+        let _ = forgery_campaign(&mut verifier, 5, 80);
+        let _ = desync_suppression_campaign(&mut device, &mut verifier, 2).unwrap();
         neuropuls_protocols::mutual_auth::run_session(&mut device, &mut verifier).unwrap();
     }
 }

@@ -39,6 +39,7 @@ fn runners() -> Vec<Runner> {
         ("E15", |s| experiments::aging::run(s).0),
         ("E16", |s| experiments::trng::run(s).0),
         ("E17", |s| experiments::fleet::run(s).0),
+        ("E18", |s| experiments::protocol_robustness::run(s).0),
     ]
 }
 

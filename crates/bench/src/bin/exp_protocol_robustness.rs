@@ -1,0 +1,7 @@
+//! Regenerates the protocol-robustness sweep (E18).
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let (out, _) = experiments::protocol_robustness::run(Scale::from_args());
+    print!("{out}");
+}

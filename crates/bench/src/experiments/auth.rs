@@ -4,7 +4,7 @@
 
 use crate::{Rendered, Scale};
 use neuropuls_attacks::protocol_attacks::{
-    forgery_campaign, mitm_tamper_campaign, replay_campaign,
+    desync_suppression_campaign, forgery_campaign, mitm_tamper_campaign, replay_campaign,
 };
 use neuropuls_photonic::process::DieId;
 use neuropuls_protocols::mutual_auth::{run_session, Device, Verifier};
@@ -24,6 +24,10 @@ pub struct Outcome {
     pub mitm_successes: usize,
     /// Blind forgery successes (must be 0).
     pub forgery_successes: usize,
+    /// Msg3-suppression lockouts (must be 0).
+    pub desync_successes: usize,
+    /// Previous-CRP recoveries the suppression campaign forced.
+    pub desync_recoveries: u64,
     /// HSC-IoT verifier storage in bytes.
     pub hsc_storage: usize,
     /// Database-protocol storage for the same number of sessions.
@@ -54,6 +58,11 @@ pub fn run(scale: Scale) -> (Rendered, Outcome) {
     let replay = replay_campaign(&mut device, &mut verifier, attack_attempts).expect("replay");
     let mitm = mitm_tamper_campaign(&mut device, &mut verifier, attack_attempts, 7).expect("mitm");
     let forgery = forgery_campaign(&mut verifier, attack_attempts, 8);
+    let desync_attempts = attack_attempts / 2;
+    let recoveries_before = verifier.desync_recoveries();
+    let desync =
+        desync_suppression_campaign(&mut device, &mut verifier, desync_attempts).expect("desync");
+    let desync_recoveries = verifier.desync_recoveries() - recoveries_before;
 
     // Baseline: the database protocol burns one enrolled CRP per session
     // — the verifier must pre-store `sessions` CRPs (64-bit challenge +
@@ -89,6 +98,10 @@ pub fn run(scale: Scale) -> (Rendered, Outcome) {
         forgery.successes, forgery.attempts
     ));
     out.push(format!(
+        "Msg3 suppression : {}/{} lockouts ({} previous-CRP recoveries)",
+        desync.successes, desync.attempts, desync_recoveries
+    ));
+    out.push(format!(
         "verifier storage : HSC-IoT {hsc_storage} B (constant) vs CRP database {database_storage} B \
          ({}x) for {sessions} sessions",
         database_storage / hsc_storage.max(1)
@@ -101,6 +114,8 @@ pub fn run(scale: Scale) -> (Rendered, Outcome) {
             replay_successes: replay.successes,
             mitm_successes: mitm.successes,
             forgery_successes: forgery.successes,
+            desync_successes: desync.successes,
+            desync_recoveries,
             hsc_storage,
             database_storage,
         },
@@ -118,6 +133,8 @@ mod tests {
         assert_eq!(o.replay_successes, 0);
         assert_eq!(o.mitm_successes, 0);
         assert_eq!(o.forgery_successes, 0);
+        assert_eq!(o.desync_successes, 0);
+        assert_eq!(o.desync_recoveries, 5);
         // Database storage scales linearly with sessions; HSC-IoT is constant.
         assert!(o.hsc_storage <= 100, "HSC storage {} not constant-sized", o.hsc_storage);
         assert!(o.database_storage >= o.genuine_total * 16);

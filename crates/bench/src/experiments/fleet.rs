@@ -66,6 +66,17 @@ pub fn run(scale: Scale) -> (Rendered, Vec<FleetReport>) {
          ceiling; turnaround returns to the uncontended check time"
             .to_string(),
     );
+
+    let attempted: usize = reports.iter().map(|r| r.auth_attempted).sum();
+    let completed: usize = reports.iter().map(|r| r.auth_completed).sum();
+    let retransmits: u64 = reports.iter().map(|r| r.auth_retransmits).sum();
+    let recoveries: u64 = reports.iter().map(|r| r.auth_desync_recoveries).sum();
+    out.push(String::new());
+    out.push(format!(
+        "control-link mutual auth at {:.0}% frame loss: {completed}/{attempted} sessions \
+         completed, {retransmits} retransmits, {recoveries} desync recoveries",
+        FleetConfig::default().auth_loss_rate * 100.0
+    ));
     (out, reports)
 }
 
@@ -85,5 +96,11 @@ mod tests {
             serial.last().unwrap().verifier_utilization >= serial[0].verifier_utilization,
             "utilization should grow with fleet size"
         );
+        for r in &reports {
+            assert_eq!(
+                r.auth_completed, r.auth_attempted,
+                "lossy control link lost sessions: {r:?}"
+            );
+        }
     }
 }

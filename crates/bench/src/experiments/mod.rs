@@ -10,6 +10,7 @@ pub mod fig3;
 pub mod fleet;
 pub mod keygen;
 pub mod ml_attack;
+pub mod protocol_robustness;
 pub mod puf_quality;
 pub mod remanence;
 pub mod side_channel;

@@ -1,5 +1,17 @@
 //! E16 — photonic TRNG: throughput of the conditioned stream, NIST
 //! battery on the output, and health-test behaviour on a broken source.
+//!
+//! Audit note: the battery verdict follows the SP 800-22 §4.2
+//! multi-sequence proportion methodology. Judging a *single* long
+//! sequence at α = 0.01 misreads the test design — by construction 1%
+//! of good sequences land below α, and the repo's runs and lag-1
+//! autocorrelation statistics are algebraically coupled (`V = D + 1`),
+//! so one such fluctuation prints as two simultaneous "failures". The
+//! proportion gate keeps α = 0.01 per sequence and asks instead whether
+//! the pass *proportion* across independently seeded sequences stays
+//! inside `p̂ ± 3·√(p̂(1−p̂)/m)`; a systematic defect still fails. The
+//! long-sequence battery remains in the report as informational
+//! per-test p-values.
 
 use crate::{Rendered, Scale};
 use neuropuls_metrics::nist;
@@ -9,12 +21,24 @@ use std::time::Instant;
 /// Outcome for assertions.
 #[derive(Debug)]
 pub struct Outcome {
-    /// NIST pass rate on the conditioned output.
+    /// NIST pass rate on the single long conditioned sequence
+    /// (informational; a borderline p-value here is expected α-noise).
     pub nist_pass_rate: f64,
     /// Conditioned output rate, bytes per millisecond of wall time.
     pub bytes_per_ms: f64,
     /// Whether the broken source tripped the health tests.
     pub broken_source_detected: bool,
+    /// Tests whose §4.2 pass proportion cleared the acceptance bound.
+    pub proportion_passed: usize,
+    /// Tests judged by the proportion gate.
+    pub proportion_total: usize,
+}
+
+fn bits_of(bytes: &[u8]) -> Vec<u8> {
+    bytes
+        .iter()
+        .flat_map(|b| (0..8).map(move |i| (b >> i) & 1))
+        .collect()
 }
 
 /// Runs the TRNG study.
@@ -26,12 +50,22 @@ pub fn run(scale: Scale) -> (Rendered, Outcome) {
     let bytes = trng.generate(output_bytes).expect("healthy source");
     let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
 
-    let bits: Vec<u8> = bytes
-        .iter()
-        .flat_map(|b| (0..8).map(move |i| (b >> i) & 1))
-        .collect();
+    let bits = bits_of(&bytes);
     let results = nist::battery(&bits);
     let nist_pass_rate = nist::pass_rate(&results);
+
+    // §4.2 proportion gate over independently seeded generator
+    // instances (each sequence is one device's conditioned stream).
+    let sequences = scale.pick(8, 16);
+    let sequence_bytes = scale.pick(256, 1024);
+    let per_sequence: Vec<Vec<nist::TestResult>> = (0..sequences)
+        .map(|i| {
+            let mut trng = PhotonicTrng::new(0xE16_0000 + i as u64);
+            let bytes = trng.generate(sequence_bytes).expect("healthy source");
+            nist::battery(&bits_of(&bytes))
+        })
+        .collect();
+    let gate = nist::proportion_gate(&per_sequence, 0.01);
 
     let broken_source_detected = PhotonicTrng::broken(0xE16).generate(64).is_err();
 
@@ -42,7 +76,7 @@ pub fn run(scale: Scale) -> (Rendered, Outcome) {
         output_bytes as f64 / elapsed_ms.max(1e-9)
     ));
     out.push(format!(
-        "NIST battery over {} bits: {:.0}% passed",
+        "single-sequence battery over {} bits (informational p-values): {:.0}% passed",
         bits.len(),
         nist_pass_rate * 100.0
     ));
@@ -51,7 +85,22 @@ pub fn run(scale: Scale) -> (Rendered, Outcome) {
             "  {:<22} p = {:<8.4} {}",
             r.name,
             r.p_value,
-            if r.passed { "pass" } else { "FAIL" }
+            if r.passed { "pass" } else { "below alpha (see proportion gate)" }
+        ));
+    }
+    out.push(format!(
+        "SP 800-22 §4.2 proportion gate: {sequences} sequences x {} bits, alpha 0.01, \
+         min proportion {:.3}:",
+        sequence_bytes * 8,
+        gate.first().map_or(0.0, |g| g.min_proportion)
+    ));
+    for g in &gate {
+        out.push(format!(
+            "  {:<22} {:>2}/{} sequences {}",
+            g.name,
+            g.passed_sequences,
+            g.sequences,
+            if g.passed { "pass" } else { "FAIL" }
         ));
     }
     out.push(format!(
@@ -68,6 +117,8 @@ pub fn run(scale: Scale) -> (Rendered, Outcome) {
             nist_pass_rate,
             bytes_per_ms: output_bytes as f64 / elapsed_ms.max(1e-9),
             broken_source_detected,
+            proportion_passed: gate.iter().filter(|g| g.passed).count(),
+            proportion_total: gate.len(),
         },
     )
 }
@@ -81,5 +132,10 @@ mod tests {
         let (_, o) = run(Scale::Smoke);
         assert!(o.nist_pass_rate >= 0.8, "pass rate {}", o.nist_pass_rate);
         assert!(o.broken_source_detected);
+        assert_eq!(
+            o.proportion_passed, o.proportion_total,
+            "a test failed the §4.2 proportion gate"
+        );
+        assert!(o.proportion_total >= 9, "battery shrank: {}", o.proportion_total);
     }
 }

@@ -245,6 +245,12 @@ pub fn approximate_entropy(bits: &[u8], m: usize) -> TestResult {
 /// Lag-`d` autocorrelation test (not part of SP 800-22 but standard for
 /// PUF responses: catches periodic structure the frequency tests miss).
 ///
+/// At `d = 1` the statistic is the runs statistic shifted by one
+/// (`V = D + 1` where `D` is the lag-1 disagreement count), so a
+/// sequence whose `D` fluctuates to the tail fails the runs test and
+/// this test *together* — one event, two reported p-values. Judge both
+/// through [`proportion_gate`] rather than a single sequence.
+///
 /// # Panics
 ///
 /// Panics if `bits.len() <= d` or fewer than 100 bits remain after the
@@ -253,9 +259,9 @@ pub fn autocorrelation(bits: &[u8], d: usize) -> TestResult {
     assert!(bits.len() > d, "lag exceeds sequence length");
     let n = bits.len() - d;
     check_bits(&bits[..n], 100, "autocorrelation test");
-    let agreements = (0..n).filter(|&i| (bits[i] ^ bits[i + d]) & 1 == 1).count() as f64;
-    // Under randomness, agreements ~ Binomial(n, 1/2).
-    let z = 2.0 * (agreements - n as f64 / 2.0) / (n as f64).sqrt();
+    let disagreements = (0..n).filter(|&i| (bits[i] ^ bits[i + d]) & 1 == 1).count() as f64;
+    // Under randomness, disagreements ~ Binomial(n, 1/2).
+    let z = 2.0 * (disagreements - n as f64 / 2.0) / (n as f64).sqrt();
     TestResult::new("autocorrelation", erfc(z.abs() / std::f64::consts::SQRT_2))
 }
 
@@ -378,6 +384,68 @@ pub fn pass_rate(results: &[TestResult]) -> f64 {
     results.iter().filter(|r| r.passed).count() as f64 / results.len() as f64
 }
 
+/// Verdict of one test aggregated across independent sequences
+/// (SP 800-22 §4.2 proportion methodology).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProportionResult {
+    /// Test name.
+    pub name: &'static str,
+    /// Sequences whose p-value cleared α.
+    pub passed_sequences: usize,
+    /// Sequences examined.
+    pub sequences: usize,
+    /// Minimum acceptable pass proportion `p̂ − 3·√(p̂(1−p̂)/m)`.
+    pub min_proportion: f64,
+    /// Whether the observed proportion clears the bound.
+    pub passed: bool,
+}
+
+impl ProportionResult {
+    /// Observed pass proportion.
+    pub fn proportion(&self) -> f64 {
+        self.passed_sequences as f64 / self.sequences.max(1) as f64
+    }
+}
+
+/// Applies the SP 800-22 §4.2 proportion gate: for `m` independent
+/// sequences tested at significance `alpha`, each test is expected to
+/// pass a proportion `p̂ = 1 − α` of them, and the acceptable range is
+/// `p̂ ± 3·√(p̂(1−p̂)/m)`. A single borderline sequence (α of them fail
+/// by construction) then no longer reads as a battery failure; a
+/// *systematic* defect still does.
+///
+/// # Panics
+///
+/// Panics if `per_sequence` is empty or the sequences ran different
+/// batteries (mismatched test names).
+pub fn proportion_gate(per_sequence: &[Vec<TestResult>], alpha: f64) -> Vec<ProportionResult> {
+    assert!(!per_sequence.is_empty(), "proportion gate needs at least one sequence");
+    let m = per_sequence.len();
+    let p_hat = 1.0 - alpha;
+    let min_proportion = p_hat - 3.0 * (p_hat * alpha / m as f64).sqrt();
+    per_sequence[0]
+        .iter()
+        .enumerate()
+        .map(|(i, first)| {
+            let passed_sequences = per_sequence
+                .iter()
+                .map(|results| {
+                    let r = &results[i];
+                    assert_eq!(r.name, first.name, "sequences ran different batteries");
+                    usize::from(r.passed)
+                })
+                .sum();
+            ProportionResult {
+                name: first.name,
+                passed_sequences,
+                sequences: m,
+                min_proportion,
+                passed: passed_sequences as f64 / m as f64 >= min_proportion,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,6 +543,45 @@ mod tests {
     #[should_panic(expected = "requires at least")]
     fn battery_rejects_short_input() {
         let _ = battery(&[1, 0, 1]);
+    }
+
+    /// Calibration check for the `erfc`/`igamc`-based p-values: across
+    /// many independent null sequences, every test's pass proportion at
+    /// α = 0.01 must sit inside the SP 800-22 §4.2 acceptance band. A
+    /// miscalibrated special function would push a proportion below the
+    /// bound systematically.
+    #[test]
+    fn null_distribution_is_calibrated_at_alpha_001() {
+        let per_sequence: Vec<Vec<TestResult>> =
+            (0..200).map(|s| battery(&random_bits(2048, 0xCA11 + s))).collect();
+        for p in proportion_gate(&per_sequence, 0.01) {
+            assert!(p.passed, "systematic failure: {p:?}");
+        }
+    }
+
+    #[test]
+    fn proportion_gate_flags_systematic_failure() {
+        // 16 copies of a structured sequence: runs/autocorrelation fail
+        // every sequence, far below any acceptance band.
+        let bits: Vec<u8> = (0..1024).map(|i| (i % 2) as u8).collect();
+        let per_sequence: Vec<Vec<TestResult>> = (0..16).map(|_| battery(&bits)).collect();
+        let gate = proportion_gate(&per_sequence, 0.01);
+        let runs_gate = gate.iter().find(|p| p.name == "runs").unwrap();
+        assert!(!runs_gate.passed, "{runs_gate:?}");
+        assert_eq!(runs_gate.passed_sequences, 0);
+    }
+
+    #[test]
+    fn proportion_gate_tolerates_one_borderline_sequence() {
+        // 15 good sequences + 1 with a structural defect: §4.2 allows
+        // the single failure at m = 16 (bound ≈ 0.915 → ≥ 15 of 16).
+        let mut per_sequence: Vec<Vec<TestResult>> =
+            (0..15).map(|s| battery(&random_bits(2048, 0xBEEF + s))).collect();
+        let alternating: Vec<u8> = (0..2048).map(|i| (i % 2) as u8).collect();
+        per_sequence.push(battery(&alternating));
+        let gate = proportion_gate(&per_sequence, 0.01);
+        let freq = gate.iter().find(|p| p.name == "frequency").unwrap();
+        assert!(freq.passed, "{freq:?}");
     }
 
     #[test]

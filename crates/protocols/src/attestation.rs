@@ -280,6 +280,240 @@ impl AttestationVerifier {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Wire sessions
+// ---------------------------------------------------------------------------
+
+use crate::transport::{Channel, Transport};
+use neuropuls_rt::codec::ToBytes;
+use crate::wire::{
+    classify, drive_report, resend_or_wait, Arq, AttestationMsg, Envelope, Incoming, ProtocolId,
+    Session, SessionAction, SessionConfig, SessionReport, DEFAULT_MAX_TICKS,
+};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireAttVerifierState {
+    Start,
+    AwaitReport,
+    Done,
+}
+
+/// The attestation verifier as a wire session: sends the timestamped
+/// challenge, awaits the report, verifies digest and temporal bound.
+///
+/// A rejected report burns a retry and re-elicits the device's stored
+/// report frame — so a report corrupted *in transit* recovers, while a
+/// genuinely diverging device fails with the protocol-level error once
+/// the budget is exhausted.
+pub struct WireAttestationVerifier<'a> {
+    verifier: &'a mut AttestationVerifier,
+    session: u64,
+    arq: Arq,
+    state: WireAttVerifierState,
+    request: Option<AttestationRequest>,
+    last_reject: Option<ProtocolError>,
+}
+
+impl<'a> WireAttestationVerifier<'a> {
+    /// Wraps `verifier` for one wire session identified by `session`.
+    pub fn new(verifier: &'a mut AttestationVerifier, session: u64, cfg: SessionConfig) -> Self {
+        WireAttestationVerifier {
+            verifier,
+            session,
+            arq: Arq::new(cfg),
+            state: WireAttVerifierState::Start,
+            request: None,
+            last_reject: None,
+        }
+    }
+
+    fn fail_with(&mut self, fallback: ProtocolError) -> ProtocolError {
+        self.last_reject.take().unwrap_or(fallback)
+    }
+
+    fn idle(&mut self) -> Result<SessionAction, ProtocolError> {
+        match self.arq.idle() {
+            Ok(frame) => Ok(resend_or_wait(frame)),
+            Err(e) => Err(self.fail_with(e)),
+        }
+    }
+
+    fn rejected(&mut self, reason: ProtocolError) -> Result<SessionAction, ProtocolError> {
+        self.last_reject = Some(reason);
+        match self.arq.reject() {
+            Ok(frame) => Ok(resend_or_wait(frame)),
+            Err(e) => Err(self.fail_with(e)),
+        }
+    }
+}
+
+impl Session for WireAttestationVerifier<'_> {
+    fn step(&mut self, incoming: Option<&[u8]>) -> Result<SessionAction, ProtocolError> {
+        match self.state {
+            WireAttVerifierState::Start => {
+                let request = self.verifier.begin();
+                let frame = Envelope::pack(
+                    ProtocolId::Attestation,
+                    self.session,
+                    0,
+                    &AttestationMsg::Request(request.clone()),
+                )
+                .to_bytes();
+                self.request = Some(request);
+                self.arq.sent(&frame);
+                self.state = WireAttVerifierState::AwaitReport;
+                Ok(SessionAction::Send(frame))
+            }
+            WireAttVerifierState::AwaitReport => {
+                match classify::<AttestationMsg>(
+                    incoming,
+                    ProtocolId::Attestation,
+                    Some(self.session),
+                    1,
+                ) {
+                    Incoming::Msg(_, AttestationMsg::Report(report)) => {
+                        self.arq.activity();
+                        let request = self.request.clone().ok_or_else(|| {
+                            ProtocolError::OutOfOrder("report before request".into())
+                        })?;
+                        match self.verifier.verify(&request, &report) {
+                            Ok(()) => {
+                                self.state = WireAttVerifierState::Done;
+                                Ok(SessionAction::Done)
+                            }
+                            Err(e) => self.rejected(e),
+                        }
+                    }
+                    Incoming::Msg(..) => self.idle(),
+                    Incoming::Duplicate => Ok(resend_or_wait(self.arq.duplicate())),
+                    Incoming::Noise => self.idle(),
+                }
+            }
+            WireAttVerifierState::Done => Ok(SessionAction::Wait),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.state == WireAttVerifierState::Done
+    }
+
+    fn retransmits(&self) -> u32 {
+        self.arq.retransmits()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireAttDeviceState {
+    AwaitRequest,
+    Done,
+}
+
+/// The attesting device as a wire session: awaits the challenge, runs
+/// the walk once, reports — then lingers, answering retransmitted
+/// requests with the stored report frame (the walk is *not* re-run, so
+/// the reported timing stays that of the single genuine execution).
+pub struct WireAttestingDevice<'a> {
+    device: &'a mut AttestingDevice,
+    session: Option<u64>,
+    arq: Arq,
+    state: WireAttDeviceState,
+}
+
+impl<'a> WireAttestingDevice<'a> {
+    /// Wraps `device` for one wire session; the session id is latched
+    /// from the first request envelope.
+    pub fn new(device: &'a mut AttestingDevice, cfg: SessionConfig) -> Self {
+        WireAttestingDevice {
+            device,
+            session: None,
+            arq: Arq::new(cfg),
+            state: WireAttDeviceState::AwaitRequest,
+        }
+    }
+}
+
+impl Session for WireAttestingDevice<'_> {
+    fn step(&mut self, incoming: Option<&[u8]>) -> Result<SessionAction, ProtocolError> {
+        match self.state {
+            WireAttDeviceState::AwaitRequest => {
+                match classify::<AttestationMsg>(incoming, ProtocolId::Attestation, self.session, 0)
+                {
+                    Incoming::Msg(session, AttestationMsg::Request(request)) => {
+                        self.arq.activity();
+                        self.session = Some(session);
+                        // A PUF failure is a device fault: fail at once.
+                        let report = self.device.attest(&request)?;
+                        let frame = Envelope::pack(
+                            ProtocolId::Attestation,
+                            session,
+                            1,
+                            &AttestationMsg::Report(report),
+                        )
+                        .to_bytes();
+                        self.arq.sent(&frame);
+                        self.state = WireAttDeviceState::Done;
+                        Ok(SessionAction::Send(frame))
+                    }
+                    Incoming::Msg(..) | Incoming::Duplicate | Incoming::Noise => {
+                        match self.arq.idle() {
+                            Ok(frame) => Ok(resend_or_wait(frame)),
+                            Err(e) => Err(e),
+                        }
+                    }
+                }
+            }
+            WireAttDeviceState::Done => {
+                // Linger: a retransmitted request means the verifier
+                // missed the report — resend the stored frame.
+                match classify::<AttestationMsg>(incoming, ProtocolId::Attestation, self.session, 1)
+                {
+                    Incoming::Duplicate => Ok(resend_or_wait(self.arq.duplicate())),
+                    _ => Ok(SessionAction::Wait),
+                }
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.state == WireAttDeviceState::Done
+    }
+
+    fn retransmits(&self) -> u32 {
+        self.arq.retransmits()
+    }
+}
+
+/// Runs one attestation round over `channel` (verifier =
+/// [`Side::A`](crate::transport::Side::A), device =
+/// [`Side::B`](crate::transport::Side::B)).
+pub fn run_wire_attestation<T: Transport>(
+    channel: &mut T,
+    device: &mut AttestingDevice,
+    verifier: &mut AttestationVerifier,
+    session_id: u64,
+    cfg: SessionConfig,
+) -> SessionReport {
+    let mut v = WireAttestationVerifier::new(verifier, session_id, cfg);
+    let mut d = WireAttestingDevice::new(device, cfg);
+    drive_report(channel, &mut v, &mut d, DEFAULT_MAX_TICKS)
+}
+
+/// Runs one attestation round over a perfect in-memory channel.
+///
+/// # Errors
+///
+/// Propagates the first protocol failure (digest mismatch, temporal
+/// violation, or PUF error).
+pub fn run_attestation(
+    device: &mut AttestingDevice,
+    verifier: &mut AttestationVerifier,
+) -> Result<(), ProtocolError> {
+    let mut channel = Channel::new();
+    run_wire_attestation(&mut channel, device, verifier, 0, SessionConfig::default())
+        .result
+        .map(|_ticks| ())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -63,6 +63,8 @@ pub struct EkeConfirm {
 
 fn password_key(crp_response: &Response) -> [u8; 32] {
     let mut key = [0u8; 32];
+    // invariant: hkdf::derive only errors past 255 output blocks; a
+    // 32-byte request is one block.
     hkdf::derive(
         b"neuropuls/eke",
         &crp_response.to_packed(),
@@ -87,6 +89,8 @@ fn derive_session(shared: &[u8; 32], nonce_a: &[u8; 16], nonce_b: &[u8; 16]) -> 
     salt.extend_from_slice(nonce_b);
     let mut encryption = [0u8; 32];
     let mut mac = [0u8; 32];
+    // invariant: hkdf::derive only errors past 255 output blocks; a
+    // 32-byte request is one block.
     hkdf::derive(&salt, shared, b"eke/session-enc", &mut encryption)
         .expect("32-byte HKDF output is valid");
     hkdf::derive(&salt, shared, b"eke/session-mac", &mut mac)
@@ -169,9 +173,11 @@ impl EkeParty {
     /// [`ProtocolError::AuthenticationFailed`] when the peer does not
     /// hold the same CRP.
     pub fn finish(&mut self, reply: &EkeReply) -> Result<EkeConfirm, ProtocolError> {
+        // The ephemeral key is consumed only on success: a reply that
+        // fails confirmation (e.g. corrupted in transit) leaves the
+        // exchange resumable with a retransmitted clean reply.
         let private = self
             .ephemeral_private
-            .take()
             .ok_or_else(|| ProtocolError::OutOfOrder("finish before hello".into()))?;
         let peer_public = mask_public(&self.password, &reply.encrypted_public, 1);
         let shared = x25519::shared_secret(&private, &peer_public)?;
@@ -183,6 +189,7 @@ impl EkeParty {
             ));
         }
         let confirm = HmacSha256::mac_parts(&session.mac, &[&reply.nonce, &self.nonce, b"A->B"]);
+        self.ephemeral_private = None;
         self.session = Some(session);
         Ok(EkeConfirm { confirm })
     }
@@ -211,8 +218,253 @@ impl EkeParty {
     }
 }
 
-/// Runs a complete EKE exchange between two parties, returning the pair
-/// of session key sets (which must match).
+// ---------------------------------------------------------------------------
+// Wire sessions
+// ---------------------------------------------------------------------------
+
+use crate::transport::{Channel, Transport};
+use neuropuls_rt::codec::ToBytes;
+use crate::wire::{
+    classify, drive_report, resend_or_wait, Arq, EkeMsg, Envelope, Incoming, ProtocolId, Session,
+    SessionAction, SessionConfig, SessionReport, DEFAULT_MAX_TICKS,
+};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EkeInitiatorState {
+    Start,
+    AwaitReply,
+    Done,
+}
+
+/// The EKE initiator as a wire session: sends the masked hello, awaits
+/// the reply, answers the final confirmation — then lingers to re-serve
+/// the confirmation if the responder retransmits its reply.
+pub struct WireEkeInitiator<'a> {
+    party: &'a mut EkeParty,
+    session: u64,
+    arq: Arq,
+    state: EkeInitiatorState,
+    last_reject: Option<ProtocolError>,
+}
+
+impl<'a> WireEkeInitiator<'a> {
+    /// Wraps `party` for one wire session identified by `session`.
+    pub fn new(party: &'a mut EkeParty, session: u64, cfg: SessionConfig) -> Self {
+        WireEkeInitiator {
+            party,
+            session,
+            arq: Arq::new(cfg),
+            state: EkeInitiatorState::Start,
+            last_reject: None,
+        }
+    }
+
+    fn fail_with(&mut self, fallback: ProtocolError) -> ProtocolError {
+        self.last_reject.take().unwrap_or(fallback)
+    }
+
+    fn idle(&mut self) -> Result<SessionAction, ProtocolError> {
+        match self.arq.idle() {
+            Ok(frame) => Ok(resend_or_wait(frame)),
+            Err(e) => Err(self.fail_with(e)),
+        }
+    }
+
+    fn rejected(&mut self, reason: ProtocolError) -> Result<SessionAction, ProtocolError> {
+        self.last_reject = Some(reason);
+        match self.arq.reject() {
+            Ok(frame) => Ok(resend_or_wait(frame)),
+            Err(e) => Err(self.fail_with(e)),
+        }
+    }
+}
+
+impl Session for WireEkeInitiator<'_> {
+    fn step(&mut self, incoming: Option<&[u8]>) -> Result<SessionAction, ProtocolError> {
+        match self.state {
+            EkeInitiatorState::Start => {
+                let hello = self.party.hello();
+                let frame =
+                    Envelope::pack(ProtocolId::Eke, self.session, 0, &EkeMsg::Hello(hello))
+                        .to_bytes();
+                self.arq.sent(&frame);
+                self.state = EkeInitiatorState::AwaitReply;
+                Ok(SessionAction::Send(frame))
+            }
+            EkeInitiatorState::AwaitReply => {
+                match classify::<EkeMsg>(incoming, ProtocolId::Eke, Some(self.session), 1) {
+                    Incoming::Msg(_, EkeMsg::Reply(reply)) => {
+                        self.arq.activity();
+                        match self.party.finish(&reply) {
+                            Ok(confirm) => {
+                                let frame = Envelope::pack(
+                                    ProtocolId::Eke,
+                                    self.session,
+                                    2,
+                                    &EkeMsg::Confirm(confirm),
+                                )
+                                .to_bytes();
+                                self.arq.sent(&frame);
+                                self.state = EkeInitiatorState::Done;
+                                Ok(SessionAction::Send(frame))
+                            }
+                            Err(e) => self.rejected(e),
+                        }
+                    }
+                    Incoming::Msg(..) => self.idle(),
+                    Incoming::Duplicate => Ok(resend_or_wait(self.arq.duplicate())),
+                    Incoming::Noise => self.idle(),
+                }
+            }
+            EkeInitiatorState::Done => {
+                // Linger: a retransmitted reply means the responder
+                // missed our confirmation — resend it.
+                match classify::<EkeMsg>(incoming, ProtocolId::Eke, Some(self.session), 3) {
+                    Incoming::Duplicate => Ok(resend_or_wait(self.arq.duplicate())),
+                    _ => Ok(SessionAction::Wait),
+                }
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.state == EkeInitiatorState::Done
+    }
+
+    fn retransmits(&self) -> u32 {
+        self.arq.retransmits()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EkeResponderState {
+    AwaitHello,
+    AwaitConfirm,
+    Done,
+}
+
+/// The EKE responder as a wire session: awaits the hello, answers the
+/// masked reply, awaits the initiator's confirmation.
+pub struct WireEkeResponder<'a> {
+    party: &'a mut EkeParty,
+    session: Option<u64>,
+    arq: Arq,
+    state: EkeResponderState,
+    last_reject: Option<ProtocolError>,
+}
+
+impl<'a> WireEkeResponder<'a> {
+    /// Wraps `party` for one wire session; the session id is latched
+    /// from the first hello envelope.
+    pub fn new(party: &'a mut EkeParty, cfg: SessionConfig) -> Self {
+        WireEkeResponder {
+            party,
+            session: None,
+            arq: Arq::new(cfg),
+            state: EkeResponderState::AwaitHello,
+            last_reject: None,
+        }
+    }
+
+    fn fail_with(&mut self, fallback: ProtocolError) -> ProtocolError {
+        self.last_reject.take().unwrap_or(fallback)
+    }
+
+    fn idle(&mut self) -> Result<SessionAction, ProtocolError> {
+        match self.arq.idle() {
+            Ok(frame) => Ok(resend_or_wait(frame)),
+            Err(e) => Err(self.fail_with(e)),
+        }
+    }
+
+    fn rejected(&mut self, reason: ProtocolError) -> Result<SessionAction, ProtocolError> {
+        self.last_reject = Some(reason);
+        match self.arq.reject() {
+            Ok(frame) => Ok(resend_or_wait(frame)),
+            Err(e) => Err(self.fail_with(e)),
+        }
+    }
+}
+
+impl Session for WireEkeResponder<'_> {
+    fn step(&mut self, incoming: Option<&[u8]>) -> Result<SessionAction, ProtocolError> {
+        match self.state {
+            EkeResponderState::AwaitHello => {
+                match classify::<EkeMsg>(incoming, ProtocolId::Eke, self.session, 0) {
+                    Incoming::Msg(session, EkeMsg::Hello(hello)) => {
+                        self.arq.activity();
+                        self.session = Some(session);
+                        match self.party.reply(&hello) {
+                            Ok(reply) => {
+                                let frame = Envelope::pack(
+                                    ProtocolId::Eke,
+                                    session,
+                                    1,
+                                    &EkeMsg::Reply(reply),
+                                )
+                                .to_bytes();
+                                self.arq.sent(&frame);
+                                self.state = EkeResponderState::AwaitConfirm;
+                                Ok(SessionAction::Send(frame))
+                            }
+                            // A degenerate point: wait for the initiator
+                            // to retransmit and retry with fresh
+                            // ephemerals.
+                            Err(e) => self.rejected(e),
+                        }
+                    }
+                    Incoming::Msg(..) | Incoming::Duplicate | Incoming::Noise => self.idle(),
+                }
+            }
+            EkeResponderState::AwaitConfirm => {
+                match classify::<EkeMsg>(incoming, ProtocolId::Eke, self.session, 2) {
+                    Incoming::Msg(_, EkeMsg::Confirm(confirm)) => {
+                        self.arq.activity();
+                        match self.party.accept(&confirm) {
+                            Ok(()) => {
+                                self.state = EkeResponderState::Done;
+                                Ok(SessionAction::Done)
+                            }
+                            Err(e) => self.rejected(e),
+                        }
+                    }
+                    Incoming::Msg(..) => self.idle(),
+                    // A retransmitted hello: the initiator missed our
+                    // reply — resend it.
+                    Incoming::Duplicate => Ok(resend_or_wait(self.arq.duplicate())),
+                    Incoming::Noise => self.idle(),
+                }
+            }
+            EkeResponderState::Done => Ok(SessionAction::Wait),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.state == EkeResponderState::Done
+    }
+
+    fn retransmits(&self) -> u32 {
+        self.arq.retransmits()
+    }
+}
+
+/// Runs one EKE exchange over `channel` (initiator =
+/// [`Side::A`](crate::transport::Side::A), responder =
+/// [`Side::B`](crate::transport::Side::B)).
+pub fn run_wire_exchange<T: Transport>(
+    channel: &mut T,
+    initiator: &mut EkeParty,
+    responder: &mut EkeParty,
+    session_id: u64,
+    cfg: SessionConfig,
+) -> SessionReport {
+    let mut i = WireEkeInitiator::new(initiator, session_id, cfg);
+    let mut r = WireEkeResponder::new(responder, cfg);
+    drive_report(channel, &mut i, &mut r, DEFAULT_MAX_TICKS)
+}
+
+/// Runs a complete EKE exchange over a perfect in-memory channel,
+/// returning the pair of session key sets (which must match).
 ///
 /// # Errors
 ///
@@ -221,14 +473,24 @@ pub fn run_exchange(
     initiator: &mut EkeParty,
     responder: &mut EkeParty,
 ) -> Result<(SessionKeys, SessionKeys), ProtocolError> {
-    let hello = initiator.hello();
-    let reply = responder.reply(&hello)?;
-    let confirm = initiator.finish(&reply)?;
-    responder.accept(&confirm)?;
-    Ok((
-        initiator.session().expect("initiator finished").clone(),
-        responder.session().expect("responder finished").clone(),
-    ))
+    let mut channel = Channel::new();
+    run_wire_exchange(
+        &mut channel,
+        initiator,
+        responder,
+        0,
+        SessionConfig::default(),
+    )
+    .result?;
+    let ka = initiator
+        .session()
+        .cloned()
+        .ok_or_else(|| ProtocolError::OutOfOrder("initiator finished without keys".into()))?;
+    let kb = responder
+        .session()
+        .cloned()
+        .ok_or_else(|| ProtocolError::OutOfOrder("responder finished without keys".into()))?;
+    Ok((ka, kb))
 }
 
 #[cfg(test)]

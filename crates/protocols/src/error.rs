@@ -2,6 +2,7 @@
 
 use neuropuls_crypto::CryptoError;
 use neuropuls_puf::PufError;
+use neuropuls_rt::codec::CodecError;
 use std::error::Error;
 use std::fmt;
 
@@ -15,6 +16,17 @@ pub enum ProtocolError {
     Replay,
     /// The protocol state machine received a message out of order.
     OutOfOrder(String),
+    /// A wire frame could not be decoded.
+    Wire(CodecError),
+    /// A session gave up waiting for the peer after exhausting its
+    /// retransmission budget.
+    Timeout {
+        /// Retransmissions attempted before giving up.
+        retries: u32,
+    },
+    /// The peer reported a fault of its own over the wire (e.g. the
+    /// secure accelerator rejected a blob).
+    PeerFault(String),
     /// The attestation digest disagreed with the verifier's expectation.
     AttestationDigestMismatch,
     /// The attestation exceeded its temporal constraint.
@@ -40,6 +52,11 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::Replay => write!(f, "replayed nonce or session"),
             ProtocolError::OutOfOrder(what) => write!(f, "out-of-order message: {what}"),
+            ProtocolError::Wire(e) => write!(f, "wire decode error: {e}"),
+            ProtocolError::Timeout { retries } => {
+                write!(f, "session timed out after {retries} retransmissions")
+            }
+            ProtocolError::PeerFault(what) => write!(f, "peer reported fault: {what}"),
             ProtocolError::AttestationDigestMismatch => {
                 write!(f, "attestation digest mismatch")
             }
@@ -73,6 +90,12 @@ impl From<CryptoError> for ProtocolError {
     }
 }
 
+impl From<CodecError> for ProtocolError {
+    fn from(e: CodecError) -> Self {
+        ProtocolError::Wire(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +106,9 @@ mod tests {
             ProtocolError::AuthenticationFailed("bad mac".into()),
             ProtocolError::Replay,
             ProtocolError::OutOfOrder("confirm before hello".into()),
+            ProtocolError::Wire(CodecError::BadMagic),
+            ProtocolError::Timeout { retries: 3 },
+            ProtocolError::PeerFault("engine refused".into()),
             ProtocolError::AttestationDigestMismatch,
             ProtocolError::AttestationTimeout {
                 measured_ns: 10.0,

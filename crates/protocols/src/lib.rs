@@ -11,7 +11,11 @@
 //! * [`eke`] — EKE-based authentication and key agreement treating the
 //!   CRP as a low-entropy shared secret, with forward secrecy (§IV);
 //! * [`keys`] — weak-PUF key provisioning through the fuzzy extractor
-//!   (Fig. 1's key-generation service).
+//!   (Fig. 1's key-generation service);
+//! * [`wire`] — versioned binary encodings and poll-style session state
+//!   machines so every protocol runs over a real byte channel;
+//! * [`transport`] — the channel abstraction, including a seeded
+//!   adversarial [`transport::FaultyChannel`] with a MITM hook.
 //!
 //! # Example — one mutual-authentication session
 //!
@@ -35,5 +39,7 @@ pub mod error;
 pub mod keys;
 pub mod mutual_auth;
 pub mod secure_nn;
+pub mod transport;
+pub mod wire;
 
 pub use error::ProtocolError;

@@ -238,20 +238,23 @@ impl<P: Puf> Device<P> {
     /// [`ProtocolError::AuthenticationFailed`] on a bad confirmation
     /// (no state is committed in that case).
     pub fn process_confirmation(&mut self, confirm: &VerifierConfirm) -> Result<(), ProtocolError> {
-        let (c_next, _helper, r_next) = self
-            .pending
-            .as_ref()
-            .ok_or_else(|| ProtocolError::OutOfOrder("confirmation without session".into()))?;
+        let Some((c_next, helper_next, r_next)) = self.pending.take() else {
+            return Err(ProtocolError::OutOfOrder(
+                "confirmation without session".into(),
+            ));
+        };
         let expected = HmacSha256::mac_parts(
             &r_next.to_packed(),
             &[&c_next.to_packed(), b"verifier-confirm"],
         );
         if !ct_eq(&expected, &confirm.mac) {
+            // Restore the pending update: a forged confirmation must not
+            // abort the session, a genuine one may still arrive.
+            self.pending = Some((c_next, helper_next, r_next));
             return Err(ProtocolError::AuthenticationFailed(
                 "verifier confirmation MAC invalid".into(),
             ));
         }
-        let (c_next, helper_next, _) = self.pending.take().expect("checked above");
         self.current_challenge = c_next;
         self.current_helper = helper_next;
         Ok(())
@@ -275,6 +278,7 @@ pub struct Verifier {
     state: ProvisionedVerifier,
     seen_device_nonces: Vec<[u8; 16]>,
     rng: CsPrng,
+    desync_recoveries: u64,
 }
 
 impl Verifier {
@@ -284,7 +288,15 @@ impl Verifier {
             state,
             seen_device_nonces: Vec::new(),
             rng: CsPrng::from_seed_bytes(rng_seed),
+            desync_recoveries: 0,
         }
+    }
+
+    /// Sessions authenticated via the stored *previous* response — i.e.
+    /// recoveries from a lost `VerifierConfirm` that left the device one
+    /// CRP behind.
+    pub fn desync_recoveries(&self) -> u64 {
+        self.desync_recoveries
     }
 
     /// Storage the verifier needs, in bytes — one CRP regardless of how
@@ -336,15 +348,15 @@ impl Verifier {
         let candidates: Vec<Response> = std::iter::once(self.state.current_response.clone())
             .chain(self.state.previous_response.clone())
             .collect();
-        let mut matched: Option<Response> = None;
-        for r in candidates {
+        let mut matched: Option<(Response, bool)> = None;
+        for (idx, r) in candidates.into_iter().enumerate() {
             let expected = HmacSha256::mac(&r.to_packed(), &mac_input);
             if ct_eq(&expected, &msg.mac) {
-                matched = Some(r);
+                matched = Some((r, idx == 1));
                 break;
             }
         }
-        let r_i = matched.ok_or_else(|| {
+        let (r_i, via_previous) = matched.ok_or_else(|| {
             ProtocolError::AuthenticationFailed("device MAC invalid for known secrets".into())
         })?;
 
@@ -365,6 +377,9 @@ impl Verifier {
         let c_next = derive_challenge(&r_i, CHALLENGE_WIDTH);
 
         self.seen_device_nonces.push(msg.device_nonce);
+        if via_previous {
+            self.desync_recoveries += 1;
+        }
 
         let mac = HmacSha256::mac_parts(
             &r_next.to_packed(),
@@ -388,17 +403,291 @@ impl Verifier {
 /// 64-bit interface).
 pub const CHALLENGE_WIDTH: usize = 64;
 
-/// Runs one complete session over a perfect channel. Returns `Ok(())`
-/// when both sides authenticated and rotated the CRP.
+// ---------------------------------------------------------------------------
+// Wire sessions
+// ---------------------------------------------------------------------------
+
+use crate::transport::{Channel, Transport};
+use neuropuls_rt::codec::ToBytes;
+use crate::wire::{
+    classify, drive_report, resend_or_wait, Arq, Envelope, Incoming, MutualAuthMsg, ProtocolId,
+    Session, SessionAction, SessionConfig, SessionReport, DEFAULT_MAX_TICKS,
+};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireVerifierState {
+    Start,
+    AwaitAuth,
+    Done,
+}
+
+/// The verifier as a poll-style wire session (initiator: sends
+/// `AuthRequest`, awaits `DeviceAuth`, answers `VerifierConfirm`).
+///
+/// After completing it lingers: a retransmitted `DeviceAuth` (the
+/// device missed our confirmation) is answered with the stored
+/// confirmation frame, which is what lets a lossy channel still finish
+/// Msg3 delivery.
+pub struct WireVerifier<'a> {
+    verifier: &'a mut Verifier,
+    session: u64,
+    arq: Arq,
+    state: WireVerifierState,
+    request: Option<AuthRequest>,
+    last_reject: Option<ProtocolError>,
+}
+
+impl<'a> WireVerifier<'a> {
+    /// Wraps `verifier` for one wire session identified by `session`.
+    pub fn new(verifier: &'a mut Verifier, session: u64, cfg: SessionConfig) -> Self {
+        WireVerifier {
+            verifier,
+            session,
+            arq: Arq::new(cfg),
+            state: WireVerifierState::Start,
+            request: None,
+            last_reject: None,
+        }
+    }
+
+    fn fail_with(&mut self, fallback: ProtocolError) -> ProtocolError {
+        self.last_reject.take().unwrap_or(fallback)
+    }
+
+    fn idle(&mut self) -> Result<SessionAction, ProtocolError> {
+        match self.arq.idle() {
+            Ok(frame) => Ok(resend_or_wait(frame)),
+            Err(e) => Err(self.fail_with(e)),
+        }
+    }
+
+    fn rejected(&mut self, reason: ProtocolError) -> Result<SessionAction, ProtocolError> {
+        self.last_reject = Some(reason);
+        match self.arq.reject() {
+            Ok(frame) => Ok(resend_or_wait(frame)),
+            Err(e) => Err(self.fail_with(e)),
+        }
+    }
+}
+
+impl Session for WireVerifier<'_> {
+    fn step(&mut self, incoming: Option<&[u8]>) -> Result<SessionAction, ProtocolError> {
+        match self.state {
+            WireVerifierState::Start => {
+                let request = self.verifier.begin_session();
+                let frame = Envelope::pack(
+                    ProtocolId::MutualAuth,
+                    self.session,
+                    0,
+                    &MutualAuthMsg::Request(request.clone()),
+                )
+                .to_bytes();
+                self.request = Some(request);
+                self.arq.sent(&frame);
+                self.state = WireVerifierState::AwaitAuth;
+                Ok(SessionAction::Send(frame))
+            }
+            WireVerifierState::AwaitAuth => {
+                match classify::<MutualAuthMsg>(
+                    incoming,
+                    ProtocolId::MutualAuth,
+                    Some(self.session),
+                    1,
+                ) {
+                    Incoming::Msg(_, MutualAuthMsg::Auth(auth)) => {
+                        self.arq.activity();
+                        let request = self.request.clone().ok_or_else(|| {
+                            ProtocolError::OutOfOrder("device auth before request".into())
+                        })?;
+                        match self.verifier.process_device_auth(&request, &auth) {
+                            Ok(confirm) => {
+                                let frame = Envelope::pack(
+                                    ProtocolId::MutualAuth,
+                                    self.session,
+                                    2,
+                                    &MutualAuthMsg::Confirm(confirm),
+                                )
+                                .to_bytes();
+                                self.arq.sent(&frame);
+                                self.state = WireVerifierState::Done;
+                                Ok(SessionAction::Send(frame))
+                            }
+                            Err(e) => self.rejected(e),
+                        }
+                    }
+                    Incoming::Msg(..) => self.idle(),
+                    Incoming::Duplicate => Ok(resend_or_wait(self.arq.duplicate())),
+                    Incoming::Noise => self.idle(),
+                }
+            }
+            WireVerifierState::Done => {
+                // Linger: answer a retransmitted DeviceAuth with the
+                // stored confirmation; everything else is ignored.
+                match classify::<MutualAuthMsg>(
+                    incoming,
+                    ProtocolId::MutualAuth,
+                    Some(self.session),
+                    3,
+                ) {
+                    Incoming::Duplicate => Ok(resend_or_wait(self.arq.duplicate())),
+                    _ => Ok(SessionAction::Wait),
+                }
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.state == WireVerifierState::Done
+    }
+
+    fn retransmits(&self) -> u32 {
+        self.arq.retransmits()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireDeviceState {
+    AwaitRequest,
+    AwaitConfirm,
+    Done,
+}
+
+/// The device as a poll-style wire session (responder: awaits
+/// `AuthRequest`, answers `DeviceAuth`, awaits `VerifierConfirm`).
+pub struct WireDevice<'a, P: Puf> {
+    device: &'a mut Device<P>,
+    session: Option<u64>,
+    arq: Arq,
+    state: WireDeviceState,
+    last_reject: Option<ProtocolError>,
+}
+
+impl<'a, P: Puf> WireDevice<'a, P> {
+    /// Wraps `device` for one wire session; the session id is latched
+    /// from the first request envelope.
+    pub fn new(device: &'a mut Device<P>, cfg: SessionConfig) -> Self {
+        WireDevice {
+            device,
+            session: None,
+            arq: Arq::new(cfg),
+            state: WireDeviceState::AwaitRequest,
+            last_reject: None,
+        }
+    }
+
+    fn fail_with(&mut self, fallback: ProtocolError) -> ProtocolError {
+        self.last_reject.take().unwrap_or(fallback)
+    }
+
+    fn idle(&mut self) -> Result<SessionAction, ProtocolError> {
+        match self.arq.idle() {
+            Ok(frame) => Ok(resend_or_wait(frame)),
+            Err(e) => Err(self.fail_with(e)),
+        }
+    }
+
+    fn rejected(&mut self, reason: ProtocolError) -> Result<SessionAction, ProtocolError> {
+        self.last_reject = Some(reason);
+        match self.arq.reject() {
+            Ok(frame) => Ok(resend_or_wait(frame)),
+            Err(e) => Err(self.fail_with(e)),
+        }
+    }
+}
+
+impl<P: Puf> Session for WireDevice<'_, P> {
+    fn step(&mut self, incoming: Option<&[u8]>) -> Result<SessionAction, ProtocolError> {
+        match self.state {
+            WireDeviceState::AwaitRequest => {
+                match classify::<MutualAuthMsg>(incoming, ProtocolId::MutualAuth, self.session, 0)
+                {
+                    Incoming::Msg(session, MutualAuthMsg::Request(request)) => {
+                        self.arq.activity();
+                        self.session = Some(session);
+                        // A PUF that cannot canonicalize is a device
+                        // fault, not a channel fault: fail immediately.
+                        let auth = self.device.respond_to_request(&request)?;
+                        let frame = Envelope::pack(
+                            ProtocolId::MutualAuth,
+                            session,
+                            1,
+                            &MutualAuthMsg::Auth(auth),
+                        )
+                        .to_bytes();
+                        self.arq.sent(&frame);
+                        self.state = WireDeviceState::AwaitConfirm;
+                        Ok(SessionAction::Send(frame))
+                    }
+                    Incoming::Msg(..) | Incoming::Duplicate | Incoming::Noise => self.idle(),
+                }
+            }
+            WireDeviceState::AwaitConfirm => {
+                match classify::<MutualAuthMsg>(incoming, ProtocolId::MutualAuth, self.session, 2)
+                {
+                    Incoming::Msg(_, MutualAuthMsg::Confirm(confirm)) => {
+                        self.arq.activity();
+                        match self.device.process_confirmation(&confirm) {
+                            Ok(()) => {
+                                self.state = WireDeviceState::Done;
+                                Ok(SessionAction::Done)
+                            }
+                            Err(e) => self.rejected(e),
+                        }
+                    }
+                    Incoming::Msg(..) => self.idle(),
+                    // A retransmitted request: the verifier missed our
+                    // DeviceAuth — resend it.
+                    Incoming::Duplicate => Ok(resend_or_wait(self.arq.duplicate())),
+                    Incoming::Noise => self.idle(),
+                }
+            }
+            WireDeviceState::Done => Ok(SessionAction::Wait),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.state == WireDeviceState::Done
+    }
+
+    fn retransmits(&self) -> u32 {
+        self.arq.retransmits()
+    }
+}
+
+/// Runs one authentication session over `channel` as two wire state
+/// machines (verifier = [`Side::A`](crate::transport::Side::A), device =
+/// [`Side::B`](crate::transport::Side::B)). On failure the device's
+/// half-open session is aborted so its CRP state stays consistent (the
+/// verifier's previous-response fallback covers the desync).
+pub fn run_wire_session<T: Transport, P: Puf>(
+    channel: &mut T,
+    device: &mut Device<P>,
+    verifier: &mut Verifier,
+    session_id: u64,
+    cfg: SessionConfig,
+) -> SessionReport {
+    let report = {
+        let mut v = WireVerifier::new(verifier, session_id, cfg);
+        let mut d = WireDevice::new(device, cfg);
+        drive_report(channel, &mut v, &mut d, DEFAULT_MAX_TICKS)
+    };
+    if report.result.is_err() {
+        device.abort_session();
+    }
+    report
+}
+
+/// Runs one complete session over a perfect in-memory channel. Returns
+/// `Ok(())` when both sides authenticated and rotated the CRP.
 ///
 /// # Errors
 ///
 /// Propagates the first protocol failure.
 pub fn run_session<P: Puf>(device: &mut Device<P>, verifier: &mut Verifier) -> Result<(), ProtocolError> {
-    let request = verifier.begin_session();
-    let device_msg = device.respond_to_request(&request)?;
-    let confirm = verifier.process_device_auth(&request, &device_msg)?;
-    device.process_confirmation(&confirm)
+    let mut channel = Channel::new();
+    run_wire_session(&mut channel, device, verifier, 0, SessionConfig::default())
+        .result
+        .map(|_ticks| ())
 }
 
 #[cfg(test)]

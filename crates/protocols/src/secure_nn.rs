@@ -31,6 +31,8 @@ use neuropuls_rt::RngCore;
 fn subkeys(device_key: &[u8; 32], label: &[u8]) -> ([u8; 32], [u8; 32]) {
     let mut enc = [0u8; 32];
     let mut mac = [0u8; 32];
+    // invariant: hkdf::derive only errors past 255 output blocks; a
+    // 32-byte request is one block.
     hkdf::derive(b"neuropuls/secure-nn", device_key, &[label, b"/enc"].concat(), &mut enc)
         .expect("32-byte HKDF output is valid");
     hkdf::derive(b"neuropuls/secure-nn", device_key, &[label, b"/mac"].concat(), &mut mac)
@@ -65,6 +67,8 @@ fn open(device_key: &[u8; 32], label: &[u8], blob: &[u8]) -> Result<Vec<u8>, Pro
     let (body, tag) = blob.split_at(blob.len() - TAG_LEN);
     HmacSha256::verify(&mac_key, body, tag)
         .map_err(|_| ProtocolError::AuthenticationFailed("ciphertext tag invalid".into()))?;
+    // invariant: the length guard above rejected blobs shorter than
+    // NONCE_LEN + TAG_LEN, so this slice is exactly NONCE_LEN bytes.
     let nonce: [u8; NONCE_LEN] = body[..NONCE_LEN].try_into().expect("length checked");
     let mut plaintext = body[NONCE_LEN..].to_vec();
     ChaCha20::new(&enc_key, &nonce).apply(&mut plaintext);
@@ -202,6 +206,325 @@ impl SecureAccelerator {
     pub fn is_loaded(&self) -> bool {
         self.engine.is_loaded()
     }
+}
+
+// ---------------------------------------------------------------------------
+// Wire sessions
+// ---------------------------------------------------------------------------
+
+use crate::transport::{Channel, Transport};
+use neuropuls_rt::codec::ToBytes;
+use crate::wire::{
+    classify, drive_report, resend_or_wait, Arq, Envelope, Incoming, ProtocolId, SecureNnMsg,
+    Session, SessionAction, SessionConfig, SessionReport, DEFAULT_MAX_TICKS,
+};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NnClientState {
+    Start,
+    AwaitLoadAck,
+    AwaitOutput,
+    Done,
+}
+
+/// The software side of Table I as a wire session: ships the ciphered
+/// network, awaits the load acknowledgement, ships the ciphered input,
+/// awaits the ciphered output. Blobs are prepared/deciphered by the
+/// [`NetworkOwner`] outside the session — the wire layer only ever sees
+/// ciphertext.
+pub struct WireNnClient {
+    session: u64,
+    arq: Arq,
+    state: NnClientState,
+    network_blob: Vec<u8>,
+    input_blob: Vec<u8>,
+    output_blob: Option<Vec<u8>>,
+    last_reject: Option<ProtocolError>,
+}
+
+impl WireNnClient {
+    /// Creates a client session shipping `network_blob` then
+    /// `input_blob` (both already sealed by the [`NetworkOwner`]).
+    pub fn new(session: u64, network_blob: Vec<u8>, input_blob: Vec<u8>, cfg: SessionConfig) -> Self {
+        WireNnClient {
+            session,
+            arq: Arq::new(cfg),
+            state: NnClientState::Start,
+            network_blob,
+            input_blob,
+            output_blob: None,
+            last_reject: None,
+        }
+    }
+
+    /// The ciphered output, once the session completed.
+    pub fn output_blob(&self) -> Option<&[u8]> {
+        self.output_blob.as_deref()
+    }
+
+    fn fail_with(&mut self, fallback: ProtocolError) -> ProtocolError {
+        self.last_reject.take().unwrap_or(fallback)
+    }
+
+    fn idle(&mut self) -> Result<SessionAction, ProtocolError> {
+        match self.arq.idle() {
+            Ok(frame) => Ok(resend_or_wait(frame)),
+            Err(e) => Err(self.fail_with(e)),
+        }
+    }
+
+    fn rejected(&mut self, reason: ProtocolError) -> Result<SessionAction, ProtocolError> {
+        self.last_reject = Some(reason);
+        match self.arq.reject() {
+            Ok(frame) => Ok(resend_or_wait(frame)),
+            Err(e) => Err(self.fail_with(e)),
+        }
+    }
+}
+
+impl Session for WireNnClient {
+    fn step(&mut self, incoming: Option<&[u8]>) -> Result<SessionAction, ProtocolError> {
+        match self.state {
+            NnClientState::Start => {
+                let frame = Envelope::pack(
+                    ProtocolId::SecureNn,
+                    self.session,
+                    0,
+                    &SecureNnMsg::Load(self.network_blob.clone()),
+                )
+                .to_bytes();
+                self.arq.sent(&frame);
+                self.state = NnClientState::AwaitLoadAck;
+                Ok(SessionAction::Send(frame))
+            }
+            NnClientState::AwaitLoadAck => {
+                match classify::<SecureNnMsg>(incoming, ProtocolId::SecureNn, Some(self.session), 1)
+                {
+                    Incoming::Msg(_, SecureNnMsg::LoadAck) => {
+                        self.arq.activity();
+                        let frame = Envelope::pack(
+                            ProtocolId::SecureNn,
+                            self.session,
+                            2,
+                            &SecureNnMsg::Execute(self.input_blob.clone()),
+                        )
+                        .to_bytes();
+                        self.arq.sent(&frame);
+                        self.state = NnClientState::AwaitOutput;
+                        Ok(SessionAction::Send(frame))
+                    }
+                    Incoming::Msg(_, SecureNnMsg::Fault(what)) => {
+                        self.arq.activity();
+                        self.rejected(ProtocolError::PeerFault(what))
+                    }
+                    Incoming::Msg(..) => self.idle(),
+                    Incoming::Duplicate => Ok(resend_or_wait(self.arq.duplicate())),
+                    Incoming::Noise => self.idle(),
+                }
+            }
+            NnClientState::AwaitOutput => {
+                match classify::<SecureNnMsg>(incoming, ProtocolId::SecureNn, Some(self.session), 3)
+                {
+                    Incoming::Msg(_, SecureNnMsg::Output(blob)) => {
+                        self.arq.activity();
+                        self.output_blob = Some(blob);
+                        self.state = NnClientState::Done;
+                        Ok(SessionAction::Done)
+                    }
+                    Incoming::Msg(_, SecureNnMsg::Fault(what)) => {
+                        self.arq.activity();
+                        self.rejected(ProtocolError::PeerFault(what))
+                    }
+                    Incoming::Msg(..) => self.idle(),
+                    Incoming::Duplicate => Ok(resend_or_wait(self.arq.duplicate())),
+                    Incoming::Noise => self.idle(),
+                }
+            }
+            NnClientState::Done => Ok(SessionAction::Wait),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.state == NnClientState::Done
+    }
+
+    fn retransmits(&self) -> u32 {
+        self.arq.retransmits()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NnServerState {
+    AwaitLoad,
+    AwaitExecute,
+    Done,
+}
+
+/// The hardware boundary as a wire session: answers `load_network` /
+/// `execute_network` calls, reporting blob rejections as
+/// [`SecureNnMsg::Fault`] frames so the client can retransmit a clean
+/// copy instead of hanging.
+pub struct WireNnServer<'a> {
+    accel: &'a mut SecureAccelerator,
+    session: Option<u64>,
+    arq: Arq,
+    state: NnServerState,
+}
+
+impl<'a> WireNnServer<'a> {
+    /// Wraps `accel` for one wire session; the session id is latched
+    /// from the first load envelope.
+    pub fn new(accel: &'a mut SecureAccelerator, cfg: SessionConfig) -> Self {
+        WireNnServer {
+            accel,
+            session: None,
+            arq: Arq::new(cfg),
+            state: NnServerState::AwaitLoad,
+        }
+    }
+
+    fn fault(&self, session: u64, seq: u32, e: &ProtocolError) -> SessionAction {
+        // Fault frames are transient notices, not ARQ-tracked progress:
+        // the client burns a retry and retransmits its request.
+        SessionAction::Send(
+            Envelope::pack(
+                ProtocolId::SecureNn,
+                session,
+                seq,
+                &SecureNnMsg::Fault(e.to_string()),
+            )
+            .to_bytes(),
+        )
+    }
+
+    fn idle(&mut self) -> Result<SessionAction, ProtocolError> {
+        match self.arq.idle() {
+            Ok(frame) => Ok(resend_or_wait(frame)),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Session for WireNnServer<'_> {
+    fn step(&mut self, incoming: Option<&[u8]>) -> Result<SessionAction, ProtocolError> {
+        match self.state {
+            NnServerState::AwaitLoad => {
+                match classify::<SecureNnMsg>(incoming, ProtocolId::SecureNn, self.session, 0) {
+                    Incoming::Msg(session, SecureNnMsg::Load(blob)) => {
+                        self.arq.activity();
+                        self.session = Some(session);
+                        match self.accel.load_network(&blob) {
+                            Ok(()) => {
+                                let frame = Envelope::pack(
+                                    ProtocolId::SecureNn,
+                                    session,
+                                    1,
+                                    &SecureNnMsg::LoadAck,
+                                )
+                                .to_bytes();
+                                self.arq.sent(&frame);
+                                self.state = NnServerState::AwaitExecute;
+                                Ok(SessionAction::Send(frame))
+                            }
+                            Err(e) => Ok(self.fault(session, 1, &e)),
+                        }
+                    }
+                    Incoming::Msg(..) | Incoming::Duplicate | Incoming::Noise => self.idle(),
+                }
+            }
+            NnServerState::AwaitExecute => {
+                match classify::<SecureNnMsg>(incoming, ProtocolId::SecureNn, self.session, 2) {
+                    Incoming::Msg(session, SecureNnMsg::Execute(blob)) => {
+                        self.arq.activity();
+                        match self.accel.execute_network(&blob) {
+                            Ok(out) => {
+                                let frame = Envelope::pack(
+                                    ProtocolId::SecureNn,
+                                    session,
+                                    3,
+                                    &SecureNnMsg::Output(out),
+                                )
+                                .to_bytes();
+                                self.arq.sent(&frame);
+                                self.state = NnServerState::Done;
+                                Ok(SessionAction::Send(frame))
+                            }
+                            Err(e) => Ok(self.fault(session, 3, &e)),
+                        }
+                    }
+                    Incoming::Msg(..) => self.idle(),
+                    // A retransmitted load: the client missed our ack.
+                    Incoming::Duplicate => Ok(resend_or_wait(self.arq.duplicate())),
+                    Incoming::Noise => self.idle(),
+                }
+            }
+            NnServerState::Done => {
+                // Linger: a retransmitted execute means the client
+                // missed the output — resend the stored frame.
+                match classify::<SecureNnMsg>(incoming, ProtocolId::SecureNn, self.session, 4) {
+                    Incoming::Duplicate => Ok(resend_or_wait(self.arq.duplicate())),
+                    _ => Ok(SessionAction::Wait),
+                }
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.state == NnServerState::Done
+    }
+
+    fn retransmits(&self) -> u32 {
+        self.arq.retransmits()
+    }
+}
+
+/// Runs one load+execute round over `channel` (client =
+/// [`Side::A`](crate::transport::Side::A), accelerator =
+/// [`Side::B`](crate::transport::Side::B)), returning the ciphered
+/// output blob alongside the session report.
+pub fn run_wire_inference<T: Transport>(
+    channel: &mut T,
+    accel: &mut SecureAccelerator,
+    network_blob: Vec<u8>,
+    input_blob: Vec<u8>,
+    session_id: u64,
+    cfg: SessionConfig,
+) -> (SessionReport, Option<Vec<u8>>) {
+    let mut client = WireNnClient::new(session_id, network_blob, input_blob, cfg);
+    let mut server = WireNnServer::new(accel, cfg);
+    let report = drive_report(channel, &mut client, &mut server, DEFAULT_MAX_TICKS);
+    let output = client.output_blob().map(<[u8]>::to_vec);
+    (report, output)
+}
+
+/// Runs one load+execute round over a perfect in-memory channel: the
+/// owner ciphers the network and input, the blobs cross the wire, and
+/// the deciphered output comes back.
+///
+/// # Errors
+///
+/// Propagates the first protocol failure.
+pub fn run_inference(
+    owner: &mut NetworkOwner,
+    accel: &mut SecureAccelerator,
+    config: &NetworkConfig,
+    input: &[f64],
+) -> Result<Vec<f64>, ProtocolError> {
+    let network_blob = owner.cipher_network(config);
+    let input_blob = owner.cipher_input(input);
+    let mut channel = Channel::new();
+    let (report, output) = run_wire_inference(
+        &mut channel,
+        accel,
+        network_blob,
+        input_blob,
+        0,
+        SessionConfig::default(),
+    );
+    report.result?;
+    let blob = output
+        .ok_or_else(|| ProtocolError::OutOfOrder("session completed without output".into()))?;
+    owner.decipher_output(&blob)
 }
 
 #[cfg(test)]

@@ -1,0 +1,460 @@
+//! Byte-level transports connecting two protocol endpoints.
+//!
+//! Every §III service speaks over a [`Transport`]: a pair of ordered
+//! frame queues between side [`Side::A`] (the initiator) and side
+//! [`Side::B`] (the responder). Two implementations ship:
+//!
+//! * [`Channel`] — a perfect, deterministic in-memory link; frames
+//!   arrive exactly once, in order, unmodified.
+//! * [`FaultyChannel`] — the same link behind a seeded fault injector
+//!   that drops, duplicates, reorders, bit-corrupts, or replays frames
+//!   at configurable rates, plus an optional man-in-the-middle hook
+//!   that observes and rewrites traffic (the §IV adversary).
+//!
+//! With every fault rate at zero a `FaultyChannel` delivers a byte
+//! stream identical to `Channel` (a property test pins this), so
+//! experiments can sweep fault rates down to a perfect-channel
+//! baseline without switching types.
+
+use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One endpoint of a point-to-point link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The initiating endpoint (verifier / client / EKE initiator).
+    A,
+    /// The responding endpoint (device / accelerator / EKE responder).
+    B,
+}
+
+impl Side {
+    /// The opposite endpoint.
+    pub fn peer(self) -> Side {
+        match self {
+            Side::A => Side::B,
+            Side::B => Side::A,
+        }
+    }
+}
+
+/// A bidirectional, frame-oriented link between two endpoints.
+pub trait Transport {
+    /// Queues `frame` from `from` toward its peer.
+    fn send(&mut self, from: Side, frame: Vec<u8>);
+
+    /// Pops the next frame awaiting delivery to `to`, if any.
+    fn recv(&mut self, to: Side) -> Option<Vec<u8>>;
+}
+
+/// Perfect in-memory channel: ordered, lossless, unmodified delivery.
+#[derive(Debug, Default)]
+pub struct Channel {
+    to_a: VecDeque<Vec<u8>>,
+    to_b: VecDeque<Vec<u8>>,
+    transcript: Vec<(Side, Vec<u8>)>,
+}
+
+impl Channel {
+    /// An empty channel.
+    pub fn new() -> Self {
+        Channel::default()
+    }
+
+    /// Every frame admitted for delivery, in admission order, tagged
+    /// with the side that sent it. Used to compare transports
+    /// byte-for-byte.
+    pub fn transcript(&self) -> &[(Side, Vec<u8>)] {
+        &self.transcript
+    }
+
+    fn queue_mut(&mut self, to: Side) -> &mut VecDeque<Vec<u8>> {
+        match to {
+            Side::A => &mut self.to_a,
+            Side::B => &mut self.to_b,
+        }
+    }
+}
+
+impl Transport for Channel {
+    fn send(&mut self, from: Side, frame: Vec<u8>) {
+        self.transcript.push((from, frame.clone()));
+        self.queue_mut(from.peer()).push_back(frame);
+    }
+
+    fn recv(&mut self, to: Side) -> Option<Vec<u8>> {
+        self.queue_mut(to).pop_front()
+    }
+}
+
+/// Per-frame fault probabilities of a [`FaultyChannel`]. Each fault is
+/// an independent draw; `drop` preempts the others.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Probability a frame is silently discarded.
+    pub drop: f64,
+    /// Probability a delivered frame is enqueued twice.
+    pub duplicate: f64,
+    /// Probability a delivered frame is swapped with the frame queued
+    /// just before it (adjacent reorder).
+    pub reorder: f64,
+    /// Probability one uniformly chosen bit of the frame is flipped.
+    pub corrupt: f64,
+    /// Probability a uniformly chosen *past* frame is re-injected
+    /// toward the same destination after this one.
+    pub replay: f64,
+}
+
+impl FaultRates {
+    /// A fault-free channel (behaves exactly like [`Channel`]).
+    pub fn none() -> Self {
+        FaultRates {
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            corrupt: 0.0,
+            replay: 0.0,
+        }
+    }
+
+    /// Pure loss at probability `p`.
+    pub fn loss(p: f64) -> Self {
+        FaultRates {
+            drop: p,
+            ..FaultRates::none()
+        }
+    }
+
+    /// Pure bit corruption at probability `p`.
+    pub fn corruption(p: f64) -> Self {
+        FaultRates {
+            corrupt: p,
+            ..FaultRates::none()
+        }
+    }
+}
+
+/// What a man-in-the-middle hook decides to do with an observed frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MitmVerdict {
+    /// Deliver the frame unmodified.
+    Forward,
+    /// Suppress the frame entirely.
+    Drop,
+    /// Deliver the supplied bytes in place of the observed frame.
+    Replace(Vec<u8>),
+}
+
+/// The MITM observation hook: sees (sender, frame bytes), returns a
+/// verdict. Runs *before* random fault injection — the adversary taps
+/// the wire, the noise happens on the wire.
+pub type MitmHook = Box<dyn FnMut(Side, &[u8]) -> MitmVerdict>;
+
+/// Running counters of what a [`FaultyChannel`] did to the traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames handed to `send`.
+    pub sent: usize,
+    /// Frames admitted for delivery (including duplicates/replays).
+    pub delivered: usize,
+    /// Frames randomly dropped.
+    pub dropped: usize,
+    /// Frames enqueued twice.
+    pub duplicated: usize,
+    /// Adjacent swaps performed.
+    pub reordered: usize,
+    /// Frames with a flipped bit.
+    pub corrupted: usize,
+    /// Past frames re-injected.
+    pub replayed: usize,
+    /// Frames suppressed by the MITM hook.
+    pub mitm_dropped: usize,
+    /// Frames rewritten by the MITM hook.
+    pub mitm_replaced: usize,
+}
+
+/// A [`Channel`] behind a seeded fault injector and an optional MITM
+/// hook. Deterministic: same seed, same traffic, same faults.
+pub struct FaultyChannel {
+    inner: Channel,
+    rates: FaultRates,
+    rng: StdRng,
+    history: Vec<Vec<u8>>,
+    mitm: Option<MitmHook>,
+    stats: FaultStats,
+}
+
+impl fmt::Debug for FaultyChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultyChannel")
+            .field("rates", &self.rates)
+            .field("stats", &self.stats)
+            .field("mitm", &self.mitm.is_some())
+            .finish()
+    }
+}
+
+impl FaultyChannel {
+    /// Creates a channel with the given fault rates and RNG seed.
+    pub fn new(rates: FaultRates, seed: u64) -> Self {
+        FaultyChannel {
+            inner: Channel::new(),
+            rates,
+            rng: StdRng::seed_from_u64(seed),
+            history: Vec::new(),
+            mitm: None,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Installs a man-in-the-middle hook (replacing any previous one).
+    pub fn set_mitm(&mut self, hook: MitmHook) {
+        self.mitm = Some(hook);
+    }
+
+    /// Removes the MITM hook.
+    pub fn clear_mitm(&mut self) {
+        self.mitm = None;
+    }
+
+    /// Injects a frame directly toward `to`, bypassing fault injection
+    /// — the attacker's own transmission.
+    pub fn inject(&mut self, to: Side, frame: Vec<u8>) {
+        self.stats.delivered += 1;
+        self.inner.send(to.peer(), frame);
+    }
+
+    /// Fault counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Frames admitted for delivery, post-faults; comparable with
+    /// [`Channel::transcript`].
+    pub fn transcript(&self) -> &[(Side, Vec<u8>)] {
+        self.inner.transcript()
+    }
+}
+
+impl Transport for FaultyChannel {
+    fn send(&mut self, from: Side, mut frame: Vec<u8>) {
+        self.stats.sent += 1;
+
+        // The adversary taps the wire first; channel noise applies to
+        // whatever it lets through.
+        if let Some(hook) = self.mitm.as_mut() {
+            match hook(from, &frame) {
+                MitmVerdict::Forward => {}
+                MitmVerdict::Drop => {
+                    self.stats.mitm_dropped += 1;
+                    return;
+                }
+                MitmVerdict::Replace(replacement) => {
+                    self.stats.mitm_replaced += 1;
+                    frame = replacement;
+                }
+            }
+        }
+        self.history.push(frame.clone());
+
+        if self.rng.gen_bool(self.rates.drop) {
+            self.stats.dropped += 1;
+            return;
+        }
+        if self.rng.gen_bool(self.rates.corrupt) && !frame.is_empty() {
+            let bit = self.rng.gen_range(0..frame.len() * 8);
+            frame[bit / 8] ^= 1 << (bit % 8);
+            self.stats.corrupted += 1;
+        }
+
+        self.stats.delivered += 1;
+        self.inner.send(from, frame.clone());
+
+        if self.rng.gen_bool(self.rates.duplicate) {
+            self.stats.delivered += 1;
+            self.stats.duplicated += 1;
+            self.inner.send(from, frame);
+        }
+        if self.rng.gen_bool(self.rates.reorder) {
+            let queue = self.inner.queue_mut(from.peer());
+            let n = queue.len();
+            if n >= 2 {
+                queue.swap(n - 1, n - 2);
+                self.stats.reordered += 1;
+            }
+        }
+        if self.rng.gen_bool(self.rates.replay) && !self.history.is_empty() {
+            let idx = self.rng.gen_range(0..self.history.len());
+            let old = self.history[idx].clone();
+            self.stats.delivered += 1;
+            self.stats.replayed += 1;
+            self.inner.send(from, old);
+        }
+    }
+
+    fn recv(&mut self, to: Side) -> Option<Vec<u8>> {
+        self.inner.recv(to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| vec![i as u8; 4 + i % 3]).collect()
+    }
+
+    #[test]
+    fn perfect_channel_is_fifo_both_ways() {
+        let mut ch = Channel::new();
+        ch.send(Side::A, vec![1]);
+        ch.send(Side::A, vec![2]);
+        ch.send(Side::B, vec![9]);
+        assert_eq!(ch.recv(Side::B), Some(vec![1]));
+        assert_eq!(ch.recv(Side::B), Some(vec![2]));
+        assert_eq!(ch.recv(Side::B), None);
+        assert_eq!(ch.recv(Side::A), Some(vec![9]));
+    }
+
+    #[test]
+    fn zero_rates_match_perfect_channel() {
+        let mut perfect = Channel::new();
+        let mut faulty = FaultyChannel::new(FaultRates::none(), 42);
+        for (i, f) in frames(20).into_iter().enumerate() {
+            let side = if i % 2 == 0 { Side::A } else { Side::B };
+            perfect.send(side, f.clone());
+            faulty.send(side, f);
+        }
+        assert_eq!(perfect.transcript(), faulty.transcript());
+        while let Some(f) = perfect.recv(Side::B) {
+            assert_eq!(faulty.recv(Side::B), Some(f));
+        }
+        assert_eq!(faulty.recv(Side::B), None);
+    }
+
+    #[test]
+    fn drop_rate_one_delivers_nothing() {
+        let mut ch = FaultyChannel::new(FaultRates::loss(1.0), 7);
+        for f in frames(10) {
+            ch.send(Side::A, f);
+        }
+        assert_eq!(ch.recv(Side::B), None);
+        assert_eq!(ch.stats().dropped, 10);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut ch = FaultyChannel::new(FaultRates::corruption(1.0), 3);
+        ch.send(Side::A, vec![0u8; 16]);
+        let got = ch.recv(Side::B).unwrap();
+        let flipped: u32 = got.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit must differ");
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let mut ch = FaultyChannel::new(
+            FaultRates {
+                duplicate: 1.0,
+                ..FaultRates::none()
+            },
+            5,
+        );
+        ch.send(Side::A, vec![7, 7]);
+        assert_eq!(ch.recv(Side::B), Some(vec![7, 7]));
+        assert_eq!(ch.recv(Side::B), Some(vec![7, 7]));
+        assert_eq!(ch.recv(Side::B), None);
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_frames() {
+        let mut ch = FaultyChannel::new(
+            FaultRates {
+                reorder: 1.0,
+                ..FaultRates::none()
+            },
+            5,
+        );
+        ch.send(Side::A, vec![1]);
+        ch.send(Side::A, vec![2]);
+        // The second send swaps with the first still in the queue.
+        assert_eq!(ch.recv(Side::B), Some(vec![2]));
+        assert_eq!(ch.recv(Side::B), Some(vec![1]));
+    }
+
+    #[test]
+    fn replay_reinjects_history() {
+        let mut ch = FaultyChannel::new(
+            FaultRates {
+                replay: 1.0,
+                ..FaultRates::none()
+            },
+            5,
+        );
+        ch.send(Side::A, vec![1]);
+        // Delivered once plus one replayed copy from history.
+        let mut got = Vec::new();
+        while let Some(f) = ch.recv(Side::B) {
+            got.push(f);
+        }
+        assert!(got.len() >= 2);
+        assert!(got.iter().all(|f| f == &vec![1]));
+    }
+
+    #[test]
+    fn mitm_can_drop_and_replace() {
+        let mut ch = FaultyChannel::new(FaultRates::none(), 1);
+        ch.set_mitm(Box::new(|_, frame: &[u8]| {
+            if frame == [1] {
+                MitmVerdict::Drop
+            } else {
+                MitmVerdict::Replace(vec![0xEE])
+            }
+        }));
+        ch.send(Side::A, vec![1]);
+        ch.send(Side::A, vec![2]);
+        assert_eq!(ch.recv(Side::B), Some(vec![0xEE]));
+        assert_eq!(ch.recv(Side::B), None);
+        assert_eq!(ch.stats().mitm_dropped, 1);
+        assert_eq!(ch.stats().mitm_replaced, 1);
+        ch.clear_mitm();
+        ch.send(Side::A, vec![3]);
+        assert_eq!(ch.recv(Side::B), Some(vec![3]));
+    }
+
+    #[test]
+    fn inject_bypasses_faults() {
+        let mut ch = FaultyChannel::new(FaultRates::loss(1.0), 1);
+        ch.inject(Side::B, vec![5]);
+        assert_eq!(ch.recv(Side::B), Some(vec![5]));
+    }
+
+    #[test]
+    fn faulty_channel_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut ch = FaultyChannel::new(
+                FaultRates {
+                    drop: 0.3,
+                    duplicate: 0.2,
+                    reorder: 0.2,
+                    corrupt: 0.2,
+                    replay: 0.1,
+                },
+                seed,
+            );
+            for f in frames(40) {
+                ch.send(Side::A, f);
+            }
+            let mut got = Vec::new();
+            while let Some(f) = ch.recv(Side::B) {
+                got.push(f);
+            }
+            got
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12), "different seeds should differ");
+    }
+}

@@ -1,0 +1,934 @@
+//! Wire encodings and session machinery for the §III protocols.
+//!
+//! Every protocol message gets a versioned binary encoding through
+//! [`neuropuls_rt::codec`] and travels inside a tagged [`Envelope`]
+//! carrying the protocol id, a session id, and a sequence number. The
+//! envelope is *routing metadata only*: an adversary can rewrite it
+//! freely, so every security property still rests on the authenticated
+//! payloads (MACs keyed by PUF-derived secrets).
+//!
+//! On top of the encodings sits a small poll-style session vocabulary:
+//! a [`Session`] is stepped with at most one incoming frame per tick
+//! and answers with a [`SessionAction`]. Sessions implement
+//! stop-and-wait ARQ through [`Arq`]: the last frame sent is kept for
+//! retransmission, silence for [`SessionConfig::timeout_ticks`] ticks
+//! triggers a retransmit, and [`SessionConfig::max_retries`]
+//! retransmissions without progress fail the session with
+//! [`ProtocolError::Timeout`]. Frames that fail to decode are treated
+//! exactly like silence (channel noise); frames that decode but are
+//! rejected by the protocol (bad MAC, stale nonce) burn a retry and
+//! re-elicit a fresh copy from the peer, so a single corrupted bit is
+//! recoverable while a persistent forger exhausts the budget and
+//! surfaces the protocol-level rejection.
+
+use crate::error::ProtocolError;
+use crate::transport::{Side, Transport};
+use neuropuls_rt::codec::{CodecError, FromBytes, Reader, ToBytes, Writer};
+
+// ---------------------------------------------------------------------------
+// Envelope
+// ---------------------------------------------------------------------------
+
+/// Which §III service a frame belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolId {
+    /// HSC-IoT mutual authentication (§III-A).
+    MutualAuth,
+    /// pPUF-chained software attestation (§III-B).
+    Attestation,
+    /// EKE authenticated key exchange (§IV).
+    Eke,
+    /// Table I secure NN load/execute (§III-C).
+    SecureNn,
+}
+
+impl ProtocolId {
+    fn to_u8(self) -> u8 {
+        match self {
+            ProtocolId::MutualAuth => 1,
+            ProtocolId::Attestation => 2,
+            ProtocolId::Eke => 3,
+            ProtocolId::SecureNn => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, CodecError> {
+        match v {
+            1 => Ok(ProtocolId::MutualAuth),
+            2 => Ok(ProtocolId::Attestation),
+            3 => Ok(ProtocolId::Eke),
+            4 => Ok(ProtocolId::SecureNn),
+            _ => Err(CodecError::Invalid("unknown protocol id")),
+        }
+    }
+}
+
+/// The tagged carrier of every frame on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Service discriminator.
+    pub protocol: ProtocolId,
+    /// Session identifier chosen by the initiator.
+    pub session: u64,
+    /// Position of the message in the protocol script (0-based).
+    pub seq: u32,
+    /// Raw message encoding (no frame header of its own).
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Wraps `msg` for the wire.
+    pub fn pack<T: ToBytes>(protocol: ProtocolId, session: u64, seq: u32, msg: &T) -> Self {
+        Envelope {
+            protocol,
+            session,
+            seq,
+            payload: encode_payload(msg),
+        }
+    }
+
+    /// Decodes the payload as `T`, requiring it to be consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated, trailing, or
+    /// out-of-domain payload bytes.
+    pub fn open<T: FromBytes>(&self) -> Result<T, CodecError> {
+        decode_payload(&self.payload)
+    }
+}
+
+impl ToBytes for Envelope {
+    fn write_into(&self, out: &mut Writer) {
+        out.u8(self.protocol.to_u8());
+        out.u64(self.session);
+        out.u32(self.seq);
+        out.bytes(&self.payload);
+    }
+}
+
+impl FromBytes for Envelope {
+    fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let protocol = ProtocolId::from_u8(r.u8()?)?;
+        let session = r.u64()?;
+        let seq = r.u32()?;
+        let payload = r.bytes()?.to_vec();
+        Ok(Envelope {
+            protocol,
+            session,
+            seq,
+            payload,
+        })
+    }
+}
+
+/// Encodes a message in its raw (unframed) form — the shape that lives
+/// inside [`Envelope::payload`].
+pub fn encode_payload<T: ToBytes + ?Sized>(msg: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    msg.write_into(&mut w);
+    w.into_bytes()
+}
+
+/// Decodes a raw (unframed) message, rejecting trailing bytes.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on truncated, trailing, or out-of-domain
+/// input.
+pub fn decode_payload<T: FromBytes>(payload: &[u8]) -> Result<T, CodecError> {
+    let mut r = Reader::new(payload);
+    let value = T::read_from(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(CodecError::TrailingBytes(r.remaining()));
+    }
+    Ok(value)
+}
+
+fn read_array<const N: usize>(r: &mut Reader<'_>) -> Result<[u8; N], CodecError> {
+    r.take(N)?
+        .try_into()
+        .map_err(|_| CodecError::Invalid("fixed-size field"))
+}
+
+// ---------------------------------------------------------------------------
+// Message encodings
+// ---------------------------------------------------------------------------
+
+use crate::attestation::{AttestationReport, AttestationRequest};
+use crate::eke::{EkeConfirm, EkeHello, EkeReply};
+use crate::mutual_auth::{AuthRequest, DeviceAuth, VerifierConfirm};
+
+impl ToBytes for AuthRequest {
+    fn write_into(&self, out: &mut Writer) {
+        out.raw(&self.verifier_nonce);
+    }
+}
+
+impl FromBytes for AuthRequest {
+    fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(AuthRequest {
+            verifier_nonce: read_array(r)?,
+        })
+    }
+}
+
+impl ToBytes for DeviceAuth {
+    fn write_into(&self, out: &mut Writer) {
+        out.bytes(&self.masked_response);
+        out.raw(&self.memory_hash);
+        out.u64(self.clock_count);
+        out.raw(&self.device_nonce);
+        out.raw(&self.mac);
+    }
+}
+
+impl FromBytes for DeviceAuth {
+    fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(DeviceAuth {
+            masked_response: r.bytes()?.to_vec(),
+            memory_hash: read_array(r)?,
+            clock_count: r.u64()?,
+            device_nonce: read_array(r)?,
+            mac: read_array(r)?,
+        })
+    }
+}
+
+impl ToBytes for VerifierConfirm {
+    fn write_into(&self, out: &mut Writer) {
+        out.raw(&self.mac);
+    }
+}
+
+impl FromBytes for VerifierConfirm {
+    fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(VerifierConfirm {
+            mac: read_array(r)?,
+        })
+    }
+}
+
+impl ToBytes for AttestationRequest {
+    fn write_into(&self, out: &mut Writer) {
+        out.u64(self.timestamp_ns);
+        self.challenge.write_into(out);
+    }
+}
+
+impl FromBytes for AttestationRequest {
+    fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(AttestationRequest {
+            timestamp_ns: r.u64()?,
+            challenge: FromBytes::read_from(r)?,
+        })
+    }
+}
+
+impl ToBytes for AttestationReport {
+    fn write_into(&self, out: &mut Writer) {
+        out.raw(&self.final_hash);
+        // f64 travels as its IEEE-754 bit pattern; every pattern is a
+        // valid f64, so decoding cannot reject it.
+        out.u64(self.elapsed_ns.to_bits());
+    }
+}
+
+impl FromBytes for AttestationReport {
+    fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(AttestationReport {
+            final_hash: read_array(r)?,
+            elapsed_ns: f64::from_bits(r.u64()?),
+        })
+    }
+}
+
+impl ToBytes for EkeHello {
+    fn write_into(&self, out: &mut Writer) {
+        out.raw(&self.encrypted_public);
+        out.raw(&self.nonce);
+    }
+}
+
+impl FromBytes for EkeHello {
+    fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(EkeHello {
+            encrypted_public: read_array(r)?,
+            nonce: read_array(r)?,
+        })
+    }
+}
+
+impl ToBytes for EkeReply {
+    fn write_into(&self, out: &mut Writer) {
+        out.raw(&self.encrypted_public);
+        out.raw(&self.nonce);
+        out.raw(&self.confirm);
+    }
+}
+
+impl FromBytes for EkeReply {
+    fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(EkeReply {
+            encrypted_public: read_array(r)?,
+            nonce: read_array(r)?,
+            confirm: read_array(r)?,
+        })
+    }
+}
+
+impl ToBytes for EkeConfirm {
+    fn write_into(&self, out: &mut Writer) {
+        out.raw(&self.confirm);
+    }
+}
+
+impl FromBytes for EkeConfirm {
+    fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(EkeConfirm {
+            confirm: read_array(r)?,
+        })
+    }
+}
+
+/// Mutual-authentication messages as they appear in an envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutualAuthMsg {
+    /// Msg1 — verifier's challenge nonce.
+    Request(AuthRequest),
+    /// Msg2 — device's masked CRP update.
+    Auth(DeviceAuth),
+    /// Msg3 — verifier's proof of the fresh secret.
+    Confirm(VerifierConfirm),
+}
+
+impl ToBytes for MutualAuthMsg {
+    fn write_into(&self, out: &mut Writer) {
+        match self {
+            MutualAuthMsg::Request(m) => {
+                out.u8(0);
+                m.write_into(out);
+            }
+            MutualAuthMsg::Auth(m) => {
+                out.u8(1);
+                m.write_into(out);
+            }
+            MutualAuthMsg::Confirm(m) => {
+                out.u8(2);
+                m.write_into(out);
+            }
+        }
+    }
+}
+
+impl FromBytes for MutualAuthMsg {
+    fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(MutualAuthMsg::Request(FromBytes::read_from(r)?)),
+            1 => Ok(MutualAuthMsg::Auth(FromBytes::read_from(r)?)),
+            2 => Ok(MutualAuthMsg::Confirm(FromBytes::read_from(r)?)),
+            _ => Err(CodecError::Invalid("mutual-auth message tag")),
+        }
+    }
+}
+
+/// Attestation messages as they appear in an envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttestationMsg {
+    /// Verifier's timestamped walk challenge.
+    Request(AttestationRequest),
+    /// Device's hash-chain report.
+    Report(AttestationReport),
+}
+
+impl ToBytes for AttestationMsg {
+    fn write_into(&self, out: &mut Writer) {
+        match self {
+            AttestationMsg::Request(m) => {
+                out.u8(0);
+                m.write_into(out);
+            }
+            AttestationMsg::Report(m) => {
+                out.u8(1);
+                m.write_into(out);
+            }
+        }
+    }
+}
+
+impl FromBytes for AttestationMsg {
+    fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(AttestationMsg::Request(FromBytes::read_from(r)?)),
+            1 => Ok(AttestationMsg::Report(FromBytes::read_from(r)?)),
+            _ => Err(CodecError::Invalid("attestation message tag")),
+        }
+    }
+}
+
+/// EKE messages as they appear in an envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EkeMsg {
+    /// Initiator's masked ephemeral key.
+    Hello(EkeHello),
+    /// Responder's masked key plus key confirmation.
+    Reply(EkeReply),
+    /// Initiator's final key confirmation.
+    Confirm(EkeConfirm),
+}
+
+impl ToBytes for EkeMsg {
+    fn write_into(&self, out: &mut Writer) {
+        match self {
+            EkeMsg::Hello(m) => {
+                out.u8(0);
+                m.write_into(out);
+            }
+            EkeMsg::Reply(m) => {
+                out.u8(1);
+                m.write_into(out);
+            }
+            EkeMsg::Confirm(m) => {
+                out.u8(2);
+                m.write_into(out);
+            }
+        }
+    }
+}
+
+impl FromBytes for EkeMsg {
+    fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(EkeMsg::Hello(FromBytes::read_from(r)?)),
+            1 => Ok(EkeMsg::Reply(FromBytes::read_from(r)?)),
+            2 => Ok(EkeMsg::Confirm(FromBytes::read_from(r)?)),
+            _ => Err(CodecError::Invalid("eke message tag")),
+        }
+    }
+}
+
+/// Secure-NN messages (Table I over the wire): every body is already a
+/// sealed blob, so the wire layer adds only the call discriminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SecureNnMsg {
+    /// `load_network(ciphered_network)`.
+    Load(Vec<u8>),
+    /// Accelerator acknowledges a successful load.
+    LoadAck,
+    /// `execute_network(ciphered_input)`.
+    Execute(Vec<u8>),
+    /// The ciphered output tensor.
+    Output(Vec<u8>),
+    /// The accelerator rejected the call (blob failed authentication or
+    /// the engine refused it).
+    Fault(String),
+}
+
+impl ToBytes for SecureNnMsg {
+    fn write_into(&self, out: &mut Writer) {
+        match self {
+            SecureNnMsg::Load(blob) => {
+                out.u8(0);
+                out.bytes(blob);
+            }
+            SecureNnMsg::LoadAck => out.u8(1),
+            SecureNnMsg::Execute(blob) => {
+                out.u8(2);
+                out.bytes(blob);
+            }
+            SecureNnMsg::Output(blob) => {
+                out.u8(3);
+                out.bytes(blob);
+            }
+            SecureNnMsg::Fault(what) => {
+                out.u8(4);
+                out.bytes(what.as_bytes());
+            }
+        }
+    }
+}
+
+impl FromBytes for SecureNnMsg {
+    fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(SecureNnMsg::Load(r.bytes()?.to_vec())),
+            1 => Ok(SecureNnMsg::LoadAck),
+            2 => Ok(SecureNnMsg::Execute(r.bytes()?.to_vec())),
+            3 => Ok(SecureNnMsg::Output(r.bytes()?.to_vec())),
+            4 => Ok(SecureNnMsg::Fault(
+                String::from_utf8(r.bytes()?.to_vec())
+                    .map_err(|_| CodecError::Invalid("fault message utf-8"))?,
+            )),
+            _ => Err(CodecError::Invalid("secure-nn message tag")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sessions
+// ---------------------------------------------------------------------------
+
+/// What a session wants the driver to do after one step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionAction {
+    /// Transmit this frame to the peer.
+    Send(Vec<u8>),
+    /// Nothing to transmit; keep polling.
+    Wait,
+    /// The session finished successfully on this side.
+    Done,
+}
+
+/// Timeout and retry budget of one session side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Consecutive silent ticks before a retransmission.
+    pub timeout_ticks: u32,
+    /// Retransmissions of one message before the session fails.
+    pub max_retries: u32,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            timeout_ticks: 3,
+            max_retries: 4,
+        }
+    }
+}
+
+/// A poll-style protocol endpoint.
+///
+/// The driver calls [`step`](Session::step) once per tick with at most
+/// one incoming frame; the session answers with what to transmit. After
+/// [`done`](Session::done) turns true the driver keeps delivering stray
+/// frames (so a finished responder can re-serve a retransmitted
+/// request) but no longer ticks the session's timeout.
+pub trait Session {
+    /// Advances the state machine by one tick.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unrecoverable protocol failure — retry budget
+    /// exhausted ([`ProtocolError::Timeout`]) or a persistent
+    /// protocol-level rejection.
+    fn step(&mut self, incoming: Option<&[u8]>) -> Result<SessionAction, ProtocolError>;
+
+    /// Whether this side completed its script.
+    fn done(&self) -> bool;
+
+    /// Frames this side retransmitted (ARQ effort metric).
+    fn retransmits(&self) -> u32;
+}
+
+/// Stop-and-wait ARQ bookkeeping shared by every wire session.
+#[derive(Debug)]
+pub(crate) struct Arq {
+    cfg: SessionConfig,
+    last_frame: Option<Vec<u8>>,
+    idle_ticks: u32,
+    retries_used: u32,
+    retransmits: u32,
+}
+
+impl Arq {
+    pub(crate) fn new(cfg: SessionConfig) -> Self {
+        Arq {
+            cfg,
+            last_frame: None,
+            idle_ticks: 0,
+            retries_used: 0,
+            retransmits: 0,
+        }
+    }
+
+    /// Records a fresh outgoing frame; the retry budget restarts.
+    pub(crate) fn sent(&mut self, frame: &[u8]) {
+        self.last_frame = Some(frame.to_vec());
+        self.idle_ticks = 0;
+        self.retries_used = 0;
+    }
+
+    /// A valid, in-order frame arrived: the link is alive.
+    pub(crate) fn activity(&mut self) {
+        self.idle_ticks = 0;
+    }
+
+    fn bump(&mut self) -> Result<(), ProtocolError> {
+        if self.retries_used >= self.cfg.max_retries {
+            return Err(ProtocolError::Timeout {
+                retries: self.retries_used,
+            });
+        }
+        self.retries_used += 1;
+        if self.last_frame.is_some() {
+            self.retransmits += 1;
+        }
+        Ok(())
+    }
+
+    /// One tick of silence (or undecodable noise). Returns the frame to
+    /// retransmit when the timeout fires.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Timeout`] once the retry budget is exhausted.
+    pub(crate) fn idle(&mut self) -> Result<Option<Vec<u8>>, ProtocolError> {
+        self.idle_ticks += 1;
+        if self.idle_ticks < self.cfg.timeout_ticks {
+            return Ok(None);
+        }
+        self.idle_ticks = 0;
+        self.bump()?;
+        Ok(self.last_frame.clone())
+    }
+
+    /// A parse-valid frame was rejected at the protocol layer: burn a
+    /// retry and retransmit to re-elicit a clean copy from the peer.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Timeout`] once the retry budget is exhausted.
+    pub(crate) fn reject(&mut self) -> Result<Option<Vec<u8>>, ProtocolError> {
+        self.idle_ticks = 0;
+        self.bump()?;
+        Ok(self.last_frame.clone())
+    }
+
+    /// The peer re-sent an already-processed message (it missed our
+    /// reply): hand back our last frame verbatim.
+    pub(crate) fn duplicate(&mut self) -> Option<Vec<u8>> {
+        self.idle_ticks = 0;
+        if self.last_frame.is_some() {
+            self.retransmits += 1;
+        }
+        self.last_frame.clone()
+    }
+
+    pub(crate) fn retransmits(&self) -> u32 {
+        self.retransmits
+    }
+}
+
+/// Turns an optional retransmission into a [`SessionAction`].
+pub(crate) fn resend_or_wait(frame: Option<Vec<u8>>) -> SessionAction {
+    match frame {
+        Some(f) => SessionAction::Send(f),
+        None => SessionAction::Wait,
+    }
+}
+
+/// How one incoming frame relates to a session's script position.
+pub(crate) enum Incoming<M> {
+    /// Nothing usable arrived: silence, an undecodable frame, or a frame
+    /// for a different protocol/session. Ticks the timeout clock.
+    Noise,
+    /// A frame from earlier in the script — the peer missed our reply
+    /// and retransmitted. Answer with our own last frame.
+    Duplicate,
+    /// The message expected at this script position, with the session id
+    /// its envelope carried.
+    Msg(u64, M),
+}
+
+/// Classifies `incoming` against the script position `expected_seq`.
+/// `session` filters on the session id (`None` = not yet latched, accept
+/// any). Frames from the future of the script are treated as noise: an
+/// honest peer cannot produce them, so they can only be junk.
+pub(crate) fn classify<M: FromBytes>(
+    incoming: Option<&[u8]>,
+    protocol: ProtocolId,
+    session: Option<u64>,
+    expected_seq: u32,
+) -> Incoming<M> {
+    let Some(frame) = incoming else {
+        return Incoming::Noise;
+    };
+    let Ok(env) = Envelope::from_bytes(frame) else {
+        return Incoming::Noise;
+    };
+    if env.protocol != protocol || session.is_some_and(|s| s != env.session) {
+        return Incoming::Noise;
+    }
+    if env.seq < expected_seq {
+        return Incoming::Duplicate;
+    }
+    if env.seq > expected_seq {
+        return Incoming::Noise;
+    }
+    match env.open::<M>() {
+        Ok(msg) => Incoming::Msg(env.session, msg),
+        Err(_) => Incoming::Noise,
+    }
+}
+
+/// Outcome of driving one wire session to completion (or failure).
+#[derive(Debug)]
+pub struct SessionReport {
+    /// Ticks to completion, or the failure that ended the session.
+    pub result: Result<u32, ProtocolError>,
+    /// Frames retransmitted across both sides (ARQ effort).
+    pub retransmits: u32,
+}
+
+impl SessionReport {
+    /// Whether the session completed.
+    pub fn succeeded(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// [`drive`] plus retransmission accounting from both endpoints.
+pub fn drive_report<T: Transport>(
+    channel: &mut T,
+    a: &mut dyn Session,
+    b: &mut dyn Session,
+    max_ticks: u32,
+) -> SessionReport {
+    let result = drive(channel, a, b, max_ticks);
+    SessionReport {
+        result,
+        retransmits: a.retransmits() + b.retransmits(),
+    }
+}
+
+/// Default tick budget for [`drive`]-based helpers: generous enough for
+/// a full retry budget on every message of the longest script.
+pub const DEFAULT_MAX_TICKS: u32 = 256;
+
+/// Drives two sessions against each other over `channel` until both
+/// complete. Each tick delivers at most one queued frame to each side
+/// and steps it. Returns the tick count on success.
+///
+/// # Errors
+///
+/// Propagates the first session failure; returns
+/// [`ProtocolError::Timeout`] if `max_ticks` elapse first.
+pub fn drive<T: Transport>(
+    channel: &mut T,
+    a: &mut dyn Session,
+    b: &mut dyn Session,
+    max_ticks: u32,
+) -> Result<u32, ProtocolError> {
+    fn tick_side<T: Transport>(
+        channel: &mut T,
+        side: Side,
+        sess: &mut dyn Session,
+    ) -> Result<(), ProtocolError> {
+        let frame = channel.recv(side);
+        if frame.is_none() && sess.done() {
+            return Ok(());
+        }
+        match sess.step(frame.as_deref())? {
+            SessionAction::Send(f) => channel.send(side, f),
+            SessionAction::Wait | SessionAction::Done => {}
+        }
+        Ok(())
+    }
+
+    for tick in 0..max_ticks {
+        tick_side(channel, Side::A, a)?;
+        tick_side(channel, Side::B, b)?;
+        if a.done() && b.done() {
+            return Ok(tick + 1);
+        }
+    }
+    Err(ProtocolError::Timeout { retries: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuropuls_puf::bits::Challenge;
+
+    fn roundtrip_envelope(env: &Envelope) {
+        let bytes = env.to_bytes();
+        assert_eq!(&Envelope::from_bytes(&bytes).unwrap(), env);
+        // Truncation at every boundary must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(Envelope::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn envelope_roundtrip_and_truncation() {
+        roundtrip_envelope(&Envelope {
+            protocol: ProtocolId::MutualAuth,
+            session: 0xDEAD_BEEF,
+            seq: 7,
+            payload: vec![1, 2, 3, 4, 5],
+        });
+        roundtrip_envelope(&Envelope {
+            protocol: ProtocolId::SecureNn,
+            session: 0,
+            seq: 0,
+            payload: Vec::new(),
+        });
+    }
+
+    #[test]
+    fn unknown_protocol_id_rejected() {
+        let env = Envelope {
+            protocol: ProtocolId::Eke,
+            session: 1,
+            seq: 1,
+            payload: vec![9],
+        };
+        let mut bytes = env.to_bytes();
+        bytes[6] = 0xAA; // protocol id byte (after 4-byte magic + u16 version)
+        assert!(matches!(
+            Envelope::from_bytes(&bytes),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn payload_trailing_bytes_rejected() {
+        let msg = MutualAuthMsg::Confirm(VerifierConfirm { mac: [7; 32] });
+        let mut payload = encode_payload(&msg);
+        payload.push(0);
+        assert!(matches!(
+            decode_payload::<MutualAuthMsg>(&payload),
+            Err(CodecError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn mutual_auth_messages_roundtrip() {
+        let msgs = vec![
+            MutualAuthMsg::Request(AuthRequest {
+                verifier_nonce: [3; 16],
+            }),
+            MutualAuthMsg::Auth(DeviceAuth {
+                masked_response: vec![1, 2, 3, 4, 5, 6, 7],
+                memory_hash: [9; 32],
+                clock_count: 1234,
+                device_nonce: [4; 16],
+                mac: [5; 32],
+            }),
+            MutualAuthMsg::Confirm(VerifierConfirm { mac: [6; 32] }),
+        ];
+        for msg in msgs {
+            let payload = encode_payload(&msg);
+            assert_eq!(decode_payload::<MutualAuthMsg>(&payload).unwrap(), msg);
+            for cut in 0..payload.len() {
+                assert!(decode_payload::<MutualAuthMsg>(&payload[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn attestation_messages_roundtrip() {
+        let msgs = vec![
+            AttestationMsg::Request(AttestationRequest {
+                timestamp_ns: 55,
+                challenge: Challenge::from_u64(0xF0F0, 64),
+            }),
+            AttestationMsg::Report(AttestationReport {
+                final_hash: [0xAB; 32],
+                elapsed_ns: 1234.5,
+            }),
+        ];
+        for msg in msgs {
+            let payload = encode_payload(&msg);
+            assert_eq!(decode_payload::<AttestationMsg>(&payload).unwrap(), msg);
+            for cut in 0..payload.len() {
+                assert!(decode_payload::<AttestationMsg>(&payload[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn eke_messages_roundtrip() {
+        let msgs = vec![
+            EkeMsg::Hello(EkeHello {
+                encrypted_public: [1; 32],
+                nonce: [2; 16],
+            }),
+            EkeMsg::Reply(EkeReply {
+                encrypted_public: [3; 32],
+                nonce: [4; 16],
+                confirm: [5; 32],
+            }),
+            EkeMsg::Confirm(EkeConfirm { confirm: [6; 32] }),
+        ];
+        for msg in msgs {
+            let payload = encode_payload(&msg);
+            assert_eq!(decode_payload::<EkeMsg>(&payload).unwrap(), msg);
+            for cut in 0..payload.len() {
+                assert!(decode_payload::<EkeMsg>(&payload[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn secure_nn_messages_roundtrip() {
+        let msgs = vec![
+            SecureNnMsg::Load(vec![1, 2, 3]),
+            SecureNnMsg::LoadAck,
+            SecureNnMsg::Execute(vec![4; 60]),
+            SecureNnMsg::Output(Vec::new()),
+            SecureNnMsg::Fault("engine refused".into()),
+        ];
+        for msg in msgs {
+            let payload = encode_payload(&msg);
+            assert_eq!(decode_payload::<SecureNnMsg>(&payload).unwrap(), msg);
+            for cut in 0..payload.len() {
+                assert!(decode_payload::<SecureNnMsg>(&payload[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn bad_message_tags_rejected() {
+        assert!(decode_payload::<MutualAuthMsg>(&[9]).is_err());
+        assert!(decode_payload::<AttestationMsg>(&[9]).is_err());
+        assert!(decode_payload::<EkeMsg>(&[9]).is_err());
+        assert!(decode_payload::<SecureNnMsg>(&[9]).is_err());
+    }
+
+    #[test]
+    fn arq_retransmits_after_timeout_then_gives_up() {
+        let mut arq = Arq::new(SessionConfig {
+            timeout_ticks: 2,
+            max_retries: 2,
+        });
+        arq.sent(&[1, 2, 3]);
+        assert_eq!(arq.idle().unwrap(), None); // tick 1: below timeout
+        assert_eq!(arq.idle().unwrap(), Some(vec![1, 2, 3])); // retry 1
+        assert_eq!(arq.idle().unwrap(), None);
+        assert_eq!(arq.idle().unwrap(), Some(vec![1, 2, 3])); // retry 2
+        assert_eq!(arq.idle().unwrap(), None);
+        assert!(matches!(
+            arq.idle(),
+            Err(ProtocolError::Timeout { retries: 2 })
+        ));
+        assert_eq!(arq.retransmits(), 2);
+    }
+
+    #[test]
+    fn arq_activity_resets_the_clock() {
+        let mut arq = Arq::new(SessionConfig {
+            timeout_ticks: 2,
+            max_retries: 1,
+        });
+        arq.sent(&[7]);
+        assert_eq!(arq.idle().unwrap(), None);
+        arq.activity();
+        assert_eq!(arq.idle().unwrap(), None); // clock restarted
+        assert_eq!(arq.idle().unwrap(), Some(vec![7]));
+    }
+
+    #[test]
+    fn arq_fresh_send_restarts_retry_budget() {
+        let mut arq = Arq::new(SessionConfig {
+            timeout_ticks: 1,
+            max_retries: 1,
+        });
+        arq.sent(&[1]);
+        assert_eq!(arq.idle().unwrap(), Some(vec![1]));
+        arq.sent(&[2]);
+        assert_eq!(arq.idle().unwrap(), Some(vec![2]));
+        assert!(arq.idle().is_err());
+    }
+}

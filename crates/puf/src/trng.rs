@@ -248,6 +248,23 @@ mod tests {
         assert!(rate >= 0.8, "TRNG output pass rate {rate}");
     }
 
+    /// Conditioner stitching audit: each 32-byte output block is the
+    /// SHA-256 of a *disjoint* fresh 512-bit debiased block, so no two
+    /// blocks of one stream (or across restarts of the entropy loop)
+    /// may collide — a repeated block would mean the stitching reused
+    /// input entropy.
+    #[test]
+    fn conditioner_blocks_are_distinct() {
+        let mut trng = PhotonicTrng::new(0xB10C);
+        let out = trng.generate(32 * 24).unwrap();
+        let blocks: Vec<&[u8]> = out.chunks(32).collect();
+        for i in 0..blocks.len() {
+            for j in i + 1..blocks.len() {
+                assert_ne!(blocks[i], blocks[j], "conditioner blocks {i} and {j} collide");
+            }
+        }
+    }
+
     #[test]
     fn different_seeds_different_streams() {
         let a = PhotonicTrng::new(3).generate(64).unwrap();

@@ -15,6 +15,9 @@ pub enum BusFault {
     Unmapped(u32),
     /// Misaligned access for the width.
     Misaligned(u32),
+    /// A device window overlaps RAM or another device (or wraps the
+    /// address space).
+    Overlap(u32),
 }
 
 impl fmt::Display for BusFault {
@@ -22,6 +25,9 @@ impl fmt::Display for BusFault {
         match self {
             BusFault::Unmapped(addr) => write!(f, "access to unmapped address {addr:#010x}"),
             BusFault::Misaligned(addr) => write!(f, "misaligned access at {addr:#010x}"),
+            BusFault::Overlap(addr) => {
+                write!(f, "device window at {addr:#010x} overlaps existing mapping")
+            }
         }
     }
 }
@@ -116,24 +122,26 @@ impl Bus {
 
     /// Maps a peripheral at `base`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the window overlaps RAM or another device.
-    pub fn map(&mut self, base: u32, device: Box<dyn MmioDevice>) {
+    /// [`BusFault::Overlap`] if the window wraps the address space or
+    /// overlaps RAM or another device; the bus is left unchanged.
+    pub fn map(&mut self, base: u32, device: Box<dyn MmioDevice>) -> Result<(), BusFault> {
         let size = device.size();
-        let end = base.checked_add(size).expect("device window overflows");
-        assert!(
-            end <= self.ram.base || base >= self.ram.base + self.ram.len() as u32,
-            "device window overlaps RAM"
-        );
+        let Some(end) = base.checked_add(size) else {
+            return Err(BusFault::Overlap(base));
+        };
+        if end > self.ram.base && base < self.ram.base + self.ram.len() as u32 {
+            return Err(BusFault::Overlap(base));
+        }
         for m in &self.devices {
             let m_end = m.base + m.device.size();
-            assert!(
-                end <= m.base || base >= m_end,
-                "device window overlaps another device"
-            );
+            if end > m.base && base < m_end {
+                return Err(BusFault::Overlap(base));
+            }
         }
         self.devices.push(Mapping { base, device });
+        Ok(())
     }
 
     /// The RAM region.
@@ -143,16 +151,16 @@ impl Bus {
 
     /// Loads bytes into RAM at an absolute address.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the range is outside RAM.
-    pub fn load(&mut self, addr: u32, bytes: &[u8]) {
-        assert!(
-            self.ram.contains(addr, bytes.len() as u32),
-            "load outside RAM"
-        );
+    /// [`BusFault::Unmapped`] if the range is outside RAM.
+    pub fn load(&mut self, addr: u32, bytes: &[u8]) -> Result<(), BusFault> {
+        if !self.ram.contains(addr, bytes.len() as u32) {
+            return Err(BusFault::Unmapped(addr));
+        }
         let offset = (addr - self.ram.base) as usize;
         self.ram.bytes[offset..offset + bytes.len()].copy_from_slice(bytes);
+        Ok(())
     }
 
     /// Byte read.
@@ -287,7 +295,7 @@ mod tests {
 
     fn bus() -> Bus {
         let mut bus = Bus::new(Ram::new(0x8000_0000, 4096));
-        bus.map(0x1000_0000, Box::new(Scratch { regs: [0; 4] }));
+        bus.map(0x1000_0000, Box::new(Scratch { regs: [0; 4] })).unwrap();
         bus
     }
 
@@ -329,14 +337,28 @@ mod tests {
     #[test]
     fn load_places_program() {
         let mut b = bus();
-        b.load(0x8000_0000, &[1, 2, 3, 4]);
+        b.load(0x8000_0000, &[1, 2, 3, 4]).unwrap();
         assert_eq!(b.read32(0x8000_0000).unwrap(), 0x04030201);
     }
 
     #[test]
-    #[should_panic(expected = "overlaps")]
     fn overlapping_devices_rejected() {
         let mut b = bus();
-        b.map(0x1000_0008, Box::new(Scratch { regs: [0; 4] }));
+        assert_eq!(
+            b.map(0x1000_0008, Box::new(Scratch { regs: [0; 4] })),
+            Err(BusFault::Overlap(0x1000_0008))
+        );
+        // RAM overlap and address-space wraparound fault the same way.
+        assert_eq!(
+            b.map(0x8000_0100, Box::new(Scratch { regs: [0; 4] })),
+            Err(BusFault::Overlap(0x8000_0100))
+        );
+        assert_eq!(
+            b.map(0xFFFF_FFF8, Box::new(Scratch { regs: [0; 4] })),
+            Err(BusFault::Overlap(0xFFFF_FFF8))
+        );
+        // The failed maps left the bus usable.
+        b.write32(0x1000_0000, 7).unwrap();
+        assert_eq!(b.read32(0x1000_0000).unwrap(), 7);
     }
 }

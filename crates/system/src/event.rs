@@ -130,6 +130,7 @@ impl<T> EventQueue<T> {
             if tick > horizon {
                 break;
             }
+            // invariant: the peek above proved the heap is non-empty.
             let (tick, payload) = self.advance().expect("peeked");
             handler(self, tick, payload);
         }

@@ -19,10 +19,18 @@
 //! * `max_backlog` counts requests *waiting* for a verifier — a request
 //!   being served is not backlog, and only requests that actually
 //!   queued decrement the backlog when they finish.
+//!
+//! After the event-driven campaign every device additionally runs
+//! mutual-authentication sessions (§III-A) over a lossy control link
+//! ([`FaultyChannel`]); the report counts completions, retransmissions
+//! and previous-CRP desync recoveries across the fleet.
 
 use crate::event::{EventQueue, Tick};
 use neuropuls_photonic::process::DieId;
 use neuropuls_protocols::attestation::{AttestationVerifier, AttestingDevice, TimingModel};
+use neuropuls_protocols::mutual_auth::{run_wire_session, Device as AuthDevice, Verifier as AuthVerifier};
+use neuropuls_protocols::transport::{FaultRates, FaultyChannel};
+use neuropuls_protocols::wire::SessionConfig;
 use neuropuls_puf::photonic::PhotonicPuf;
 use neuropuls_rt::rngs::StdRng;
 use neuropuls_rt::{Rng, SeedableRng};
@@ -80,6 +88,15 @@ pub struct FleetReport {
     /// Mean turnaround (request → verdict) in µs over the requests that
     /// completed within the horizon.
     pub mean_turnaround_us: f64,
+    /// Mutual-authentication wire sessions attempted over the lossy
+    /// control link (`devices × auth_sessions`).
+    pub auth_attempted: usize,
+    /// Control-link sessions that completed despite frame loss.
+    pub auth_completed: usize,
+    /// ARQ retransmissions spent across all control-link sessions.
+    pub auth_retransmits: u64,
+    /// Previous-CRP desynchronization recoveries across the fleet.
+    pub auth_desync_recoveries: u64,
 }
 
 /// Simulation parameters.
@@ -97,6 +114,12 @@ pub struct FleetConfig {
     pub compromised_fraction: f64,
     /// RNG seed (device sizes, stagger, compromise selection).
     pub seed: u64,
+    /// Mutual-authentication sessions each device runs over the lossy
+    /// control link after the attestation campaign (0 disables).
+    pub auth_sessions: usize,
+    /// Frame-loss probability of the control link carrying those
+    /// sessions.
+    pub auth_loss_rate: f64,
 }
 
 impl Default for FleetConfig {
@@ -108,6 +131,8 @@ impl Default for FleetConfig {
             horizon_us: 100.0,
             compromised_fraction: 0.25,
             seed: 0xF1EE7,
+            auth_sessions: 2,
+            auth_loss_rate: 0.1,
         }
     }
 }
@@ -134,6 +159,7 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
     // light while the timing math stays exact.
     let mut fleet: Vec<FleetDevice> = (0..config.devices)
         .map(|i| {
+            // invariant: gen_range(0..3) indexes a 3-element array.
             let bytes = *[256usize, 512, 1024].get(rng.gen_range(0..3)).expect("in range");
             let memory: Vec<u8> = (0..bytes).map(|b| (b * 31 % 251) as u8).collect();
             let die = DieId(0xF1_0000 + i as u64);
@@ -182,13 +208,19 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
         FleetEvent::Due(idx) => {
             let entry = &mut fleet[idx];
             let request = entry.verifier.begin();
-            let report = entry.device.attest(&request).expect("attestation runs");
-            let ok = entry.verifier.verify(&request, &report).is_ok();
+            // A device that cannot even produce a report (bad challenge
+            // width) counts as a failed attestation, not a sim crash.
+            let ok = match entry.device.attest(&request) {
+                Ok(report) => entry.verifier.verify(&request, &report).is_ok(),
+                Err(_) => false,
+            };
             // The chosen verifier recomputes the walk serially: busy for
             // the honest walk duration of this device.
             let chunks = entry.memory_bytes.div_ceil(64) as f64;
             let check_ns = (chunks * timing.chunk_ns()) as Tick;
             // Earliest-available verifier, ties to the lowest index.
+            // invariant: config.verifiers is asserted non-zero above, so
+            // free_at is non-empty.
             let v = (0..free_at.len())
                 .min_by_key(|&v| (free_at[v], v))
                 .expect("at least one verifier");
@@ -226,6 +258,9 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
             // Only requests that actually waited ever entered the
             // backlog, so only they leave it.
             if queued {
+                // invariant: every queued Done had a matching backlog
+                // increment at request time; underflow means the
+                // accounting itself broke, which must stay loud.
                 backlog = backlog.checked_sub(1).expect("backlog underflow");
             }
             attestations += 1;
@@ -245,6 +280,48 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
     let in_flight = queue.len();
     debug_assert_eq!(attestations + in_flight, requests, "request conservation");
 
+    // Control-link phase: each device also opens mutual-authentication
+    // sessions (§III-A) over a lossy wire. The link seed is derived
+    // independently of the scheduling RNG so the event-driven results
+    // above are unchanged by this phase.
+    let mut auth_attempted = 0usize;
+    let mut auth_completed = 0usize;
+    let mut auth_retransmits = 0u64;
+    let mut auth_desync_recoveries = 0u64;
+    if config.auth_sessions > 0 {
+        for i in 0..config.devices {
+            let die = DieId(0xF1_A000 + i as u64);
+            let memory: Vec<u8> = (0..256).map(|b| (b * 17 % 249) as u8).collect();
+            let Ok((mut device, provisioned)) =
+                AuthDevice::provision(PhotonicPuf::reference(die, 1), memory, b"fleet-auth")
+            else {
+                // A device whose PUF cannot provision never joins the
+                // fleet; it contributes no sessions.
+                continue;
+            };
+            let mut link_verifier = AuthVerifier::new(provisioned, b"fleet-auth-verifier");
+            let link_seed =
+                config.seed ^ 0xA117_0000_0000_0000 ^ (i as u64).wrapping_mul(0x9E37_79B9);
+            let mut link =
+                FaultyChannel::new(FaultRates::loss(config.auth_loss_rate), link_seed);
+            for session in 0..config.auth_sessions {
+                auth_attempted += 1;
+                let report = run_wire_session(
+                    &mut link,
+                    &mut device,
+                    &mut link_verifier,
+                    session as u64,
+                    SessionConfig::default(),
+                );
+                auth_retransmits += u64::from(report.retransmits);
+                if report.succeeded() {
+                    auth_completed += 1;
+                }
+            }
+            auth_desync_recoveries += link_verifier.desync_recoveries();
+        }
+    }
+
     let planted = fleet.iter().filter(|d| d.compromised).count();
     FleetReport {
         devices: config.devices,
@@ -263,6 +340,10 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
         } else {
             turnaround_sum_ns as f64 / attestations as f64 / 1000.0
         },
+        auth_attempted,
+        auth_completed,
+        auth_retransmits,
+        auth_desync_recoveries,
     }
 }
 
@@ -387,6 +468,35 @@ mod tests {
             four.attestations >= one.attestations,
             "a farm completes at least as many checks: {one:?} vs {four:?}"
         );
+    }
+
+    #[test]
+    fn lossy_control_link_still_authenticates_the_fleet() {
+        let report = run_fleet(&FleetConfig {
+            auth_sessions: 3,
+            auth_loss_rate: 0.2,
+            ..FleetConfig::default()
+        });
+        assert_eq!(report.auth_attempted, 8 * 3);
+        assert_eq!(
+            report.auth_completed, report.auth_attempted,
+            "ARQ should carry every session through 20% loss: {report:?}"
+        );
+        assert!(
+            report.auth_retransmits > 0,
+            "20% loss must cost retransmissions: {report:?}"
+        );
+    }
+
+    #[test]
+    fn disabling_auth_sessions_skips_the_control_link_phase() {
+        let report = run_fleet(&FleetConfig {
+            auth_sessions: 0,
+            ..FleetConfig::default()
+        });
+        assert_eq!(report.auth_attempted, 0);
+        assert_eq!(report.auth_completed, 0);
+        assert_eq!(report.auth_retransmits, 0);
     }
 
     #[test]

@@ -23,7 +23,8 @@ pub mod puf_regs {
     pub const CHALLENGE1: u32 = 0x04;
     /// Control: write 1 to start an evaluation.
     pub const CTRL: u32 = 0x08;
-    /// Status: bit 0 = busy, bit 1 = response valid.
+    /// Status: bit 0 = busy, bit 1 = response valid, bit 2 = challenge
+    /// fault (width mismatch; sticky until the next CTRL pulse).
     pub const STATUS: u32 = 0x0C;
     /// Response word 0, read.
     pub const RESPONSE0: u32 = 0x10;
@@ -53,6 +54,7 @@ pub struct PufPeripheral {
     response: [u32; 2],
     busy_remaining: u64,
     response_valid: bool,
+    fault: bool,
     latency_cycles: u64,
     energy_per_eval_pj: f64,
     telemetry: Arc<Mutex<PufTelemetry>>,
@@ -71,6 +73,7 @@ impl PufPeripheral {
                 response: [0; 2],
                 busy_remaining: 0,
                 response_valid: false,
+                fault: false,
                 latency_cycles,
                 energy_per_eval_pj: 50.0,
                 telemetry: Arc::clone(&telemetry),
@@ -85,11 +88,19 @@ impl PufPeripheral {
         packed.extend_from_slice(&self.challenge[1].to_le_bytes());
         let challenge = Challenge::from_packed(&packed, self.puf.challenge_bits());
         // The evaluation result is captured now; it becomes visible when
-        // the busy countdown ends (models the pipeline latency).
-        let response = self
-            .puf
-            .respond(&challenge)
-            .expect("peripheral challenge width matches the PUF");
+        // the busy countdown ends (models the pipeline latency). A PUF
+        // that rejects the challenge (width mismatch) latches the fault
+        // bit instead of bringing the whole SoC down.
+        self.fault = false;
+        let response = match self.puf.respond(&challenge) {
+            Ok(r) => r,
+            Err(_) => {
+                self.fault = true;
+                self.busy_remaining = 0;
+                self.response_valid = false;
+                return;
+            }
+        };
         let bytes = response.to_packed();
         let mut words = [0u32; 2];
         for (i, chunk) in bytes.chunks(4).take(2).enumerate() {
@@ -101,6 +112,8 @@ impl PufPeripheral {
         self.busy_remaining = self.latency_cycles;
         self.response_valid = false;
 
+        // invariant: only this peripheral and read-only telemetry
+        // consumers hold the lock, and neither panics while holding it.
         let mut t = self.telemetry.lock().expect("telemetry mutex poisoned");
         t.evaluations += 1;
         t.busy_cycles += self.latency_cycles;
@@ -125,11 +138,15 @@ impl MmioDevice for PufPeripheral {
     fn read32(&mut self, offset: u32) -> u32 {
         match offset {
             puf_regs::STATUS => {
-                u32::from(self.busy_remaining > 0) | (u32::from(self.response_valid) << 1)
+                u32::from(self.busy_remaining > 0)
+                    | (u32::from(self.response_valid) << 1)
+                    | (u32::from(self.fault) << 2)
             }
             puf_regs::RESPONSE0 if self.response_valid => self.response[0],
             puf_regs::RESPONSE1 if self.response_valid => self.response[1],
             puf_regs::LATENCY => self.latency_cycles as u32,
+            // invariant: telemetry lock holders never panic while
+            // holding the lock.
             puf_regs::COUNT => self.telemetry.lock().expect("telemetry mutex poisoned").evaluations as u32,
             _ => 0,
         }
@@ -160,7 +177,8 @@ pub mod accel_regs {
     pub const INPUT0: u32 = 0x00;
     /// Control: write 1 to run one inference.
     pub const CTRL: u32 = 0x10;
-    /// Status: bit 0 = busy, bit 1 = output valid.
+    /// Status: bit 0 = busy, bit 1 = output valid, bit 2 = inference
+    /// fault (sticky until the next CTRL pulse).
     pub const STATUS: u32 = 0x14;
     /// Output values (f32 bit patterns), words 0..4, read.
     pub const OUTPUT0: u32 = 0x18;
@@ -173,6 +191,7 @@ pub struct AccelPeripheral {
     output: [u32; 4],
     busy_remaining: u64,
     output_valid: bool,
+    fault: bool,
 }
 
 impl AccelPeripheral {
@@ -189,6 +208,7 @@ impl AccelPeripheral {
             output: [0; 4],
             busy_remaining: 0,
             output_valid: false,
+            fault: false,
         }
     }
 }
@@ -209,7 +229,9 @@ impl MmioDevice for AccelPeripheral {
     fn read32(&mut self, offset: u32) -> u32 {
         match offset {
             accel_regs::STATUS => {
-                u32::from(self.busy_remaining > 0) | (u32::from(self.output_valid) << 1)
+                u32::from(self.busy_remaining > 0)
+                    | (u32::from(self.output_valid) << 1)
+                    | (u32::from(self.fault) << 2)
             }
             o if (accel_regs::OUTPUT0..accel_regs::OUTPUT0 + 16).contains(&o)
                 && self.output_valid =>
@@ -231,10 +253,17 @@ impl MmioDevice for AccelPeripheral {
                     .iter()
                     .map(|&w| f32::from_bits(w) as f64)
                     .collect();
-                let output = self
-                    .engine
-                    .infer(&input)
-                    .expect("loaded 4->4 network accepts 4 inputs");
+                // The constructor guarantees a loaded network, but the
+                // engine can still refuse (e.g. a reconfigured network
+                // with a different fan-in); latch the fault bit rather
+                // than panic inside a bus write.
+                self.fault = false;
+                let Ok(output) = self.engine.infer(&input) else {
+                    self.fault = true;
+                    self.busy_remaining = 0;
+                    self.output_valid = false;
+                    return;
+                };
                 for (slot, value) in self.output.iter_mut().zip(output.iter()) {
                     *slot = (*value as f32).to_bits();
                 }
@@ -288,6 +317,8 @@ impl MmioDevice for Uart {
 
     fn write32(&mut self, offset: u32, value: u32) {
         if offset == 0 {
+            // invariant: buffer lock holders never panic while holding
+            // the lock.
             self.buffer.lock().expect("uart buffer mutex poisoned").push(value as u8);
         }
     }
@@ -356,6 +387,29 @@ mod tests {
         assert_eq!(p.read32(accel_regs::STATUS), 2);
         let y0 = f32::from_bits(p.read32(accel_regs::OUTPUT0));
         assert!((y0 - 1.0).abs() < 0.1, "y0 = {y0}");
+    }
+
+    #[test]
+    fn accel_peripheral_latches_fault_on_bad_network_shape() {
+        // A loaded network that does not accept the peripheral's fixed
+        // 4-wide input: CTRL must latch STATUS bit 2 instead of panic.
+        let mut engine = PhotonicEngine::reference(2);
+        engine
+            .load(NetworkConfig::mlp(&[2, 2], |_, o, i| {
+                if o == i {
+                    1.0
+                } else {
+                    0.0
+                }
+            }))
+            .unwrap();
+        let mut p = AccelPeripheral::new(engine);
+        p.write32(accel_regs::INPUT0, 1.0f32.to_bits());
+        p.write32(accel_regs::CTRL, 1);
+        assert_eq!(p.read32(accel_regs::STATUS), 4, "fault bit set, not busy/valid");
+        p.tick(64);
+        assert_eq!(p.read32(accel_regs::STATUS), 4, "fault is sticky");
+        assert_eq!(p.read32(accel_regs::OUTPUT0), 0, "no stale output exposed");
     }
 
     #[test]

@@ -296,7 +296,7 @@ mod tests {
     fn run(source: &str, max_steps: usize) -> (Cpu, Bus) {
         let program = assemble(source, BASE).expect("test program assembles");
         let mut bus = Bus::new(Ram::new(BASE, 64 * 1024));
-        bus.load(BASE, &program);
+        bus.load(BASE, &program).unwrap();
         let mut cpu = Cpu::new(BASE);
         for _ in 0..max_steps {
             match cpu.step(&mut bus) {
@@ -443,7 +443,7 @@ mod tests {
     #[test]
     fn illegal_instruction_traps() {
         let mut bus = Bus::new(Ram::new(BASE, 1024));
-        bus.load(BASE, &0xFFFF_FFFFu32.to_le_bytes());
+        bus.load(BASE, &0xFFFF_FFFFu32.to_le_bytes()).unwrap();
         let mut cpu = Cpu::new(BASE);
         assert!(matches!(
             cpu.step(&mut bus),
@@ -456,7 +456,7 @@ mod tests {
         let mut bus = Bus::new(Ram::new(BASE, 1024));
         // lw x1, 0(x0) → reads address 0, unmapped.
         let program = assemble("lw x1, 0(x0)", BASE).unwrap();
-        bus.load(BASE, &program);
+        bus.load(BASE, &program).unwrap();
         let mut cpu = Cpu::new(BASE);
         assert!(matches!(cpu.step(&mut bus), Err(Trap::Bus(_))));
     }

@@ -86,12 +86,17 @@ impl Soc {
     pub fn new(puf: PhotonicPuf, accel: Option<PhotonicEngine>) -> Self {
         let mut bus = Bus::new(Ram::new(memory_map::RAM_BASE, memory_map::RAM_SIZE));
         let (puf_dev, puf_telemetry) = PufPeripheral::new(puf);
-        bus.map(memory_map::PUF_BASE, Box::new(puf_dev));
+        // invariant: memory_map constants are statically disjoint, so
+        // these mappings cannot overlap.
+        bus.map(memory_map::PUF_BASE, Box::new(puf_dev))
+            .expect("static memory map");
         if let Some(engine) = accel {
-            bus.map(memory_map::ACCEL_BASE, Box::new(AccelPeripheral::new(engine)));
+            bus.map(memory_map::ACCEL_BASE, Box::new(AccelPeripheral::new(engine)))
+                .expect("static memory map");
         }
         let (uart, uart_buffer) = Uart::new();
-        bus.map(memory_map::UART_BASE, Box::new(uart));
+        bus.map(memory_map::UART_BASE, Box::new(uart))
+            .expect("static memory map");
         Soc {
             cpu: Cpu::new(memory_map::RAM_BASE),
             bus,
@@ -109,17 +114,25 @@ impl Soc {
     /// Returns assembler errors with line context.
     pub fn load_firmware(&mut self, source: &str) -> Result<(), AsmError> {
         let code = assemble(source, memory_map::RAM_BASE)?;
-        self.bus.load(memory_map::RAM_BASE, &code);
-        Ok(())
+        self.bus.load(memory_map::RAM_BASE, &code).map_err(|e| AsmError {
+            line: 0,
+            message: format!("firmware does not fit in RAM: {e}"),
+        })
     }
 
     /// Loads raw bytes at an address (data sections).
-    pub fn load_bytes(&mut self, addr: u32, bytes: &[u8]) {
-        self.bus.load(addr, bytes);
+    ///
+    /// # Errors
+    ///
+    /// [`crate::bus::BusFault::Unmapped`] when the range falls outside
+    /// RAM.
+    pub fn load_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), crate::bus::BusFault> {
+        self.bus.load(addr, bytes)
     }
 
     /// The UART output so far.
     pub fn console(&self) -> Vec<u8> {
+        // invariant: lock holders never panic while holding the buffer.
         self.uart_buffer.lock().expect("uart buffer mutex poisoned").clone()
     }
 
@@ -153,6 +166,8 @@ impl Soc {
                             break StopReason::Halted(a0);
                         }
                         1 => {
+                            // invariant: lock holders never panic while
+                            // holding the buffer.
                             self.uart_buffer.lock().expect("uart buffer mutex poisoned").push(a0 as u8);
                             self.cpu.advance_past_trap();
                         }
@@ -177,6 +192,8 @@ impl Soc {
             if cycles > 0.0 { instret / cycles } else { 0.0 },
             "instructions per cycle",
         );
+        // invariant: telemetry lock holders never panic while holding
+        // the lock.
         let t = self.puf_telemetry.lock().expect("telemetry mutex poisoned").clone();
         self.stats
             .set("puf.evaluations", t.evaluations as f64, "PUF evaluations");
@@ -322,7 +339,7 @@ mod tests {
     fn memory_check_firmware_self_times() {
         let mut s = soc();
         let data: Vec<u8> = (0..1024).map(|i| (i % 256) as u8).collect();
-        s.load_bytes(0x8001_0000, &data);
+        s.load_bytes(0x8001_0000, &data).unwrap();
         s.load_firmware(firmware::MEMORY_CHECK).unwrap();
         let reason = s.run(100_000);
         assert!(matches!(reason, StopReason::Halted(_)));
@@ -338,7 +355,7 @@ mod tests {
             if corrupt {
                 data[512] ^= 1;
             }
-            s.load_bytes(0x8001_0000, &data);
+            s.load_bytes(0x8001_0000, &data).unwrap();
             s.load_firmware(firmware::MEMORY_CHECK).unwrap();
             match s.run(100_000) {
                 StopReason::Halted(sum) => sum,

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# No-panic gate for the protocol and system layers: a frame off the wire
+# or a firmware register poke must never be able to bring the process
+# down, so production paths in crates/protocols and crates/system return
+# ProtocolError / BusFault instead of panicking.
+#
+# The gate scans every non-test line (each file is truncated at its
+# `#[cfg(test)]` marker) for `.unwrap()`, `.expect(`, `panic!(` and
+# `unreachable!(`. A site is allowed only when a justification appears at
+# most MAX_DISTANCE lines above it:
+#   - a `// invariant:` comment proving the failure is statically
+#     impossible, or
+#   - a `# Panics` doc section (rustdoc's contract for deliberate panics
+#     on caller misuse, e.g. constructor config validation).
+# Anything else fails the gate: either convert the site to a Result or
+# document the invariant that makes it infallible.
+#
+# Usage: scripts/check_no_panics.sh
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+
+MAX_DISTANCE=10
+status=0
+
+for f in crates/protocols/src/*.rs crates/system/src/*.rs; do
+    hits=$(awk -v max="$MAX_DISTANCE" '
+        /#\[cfg\(test\)\]/ { exit }
+        /invariant:|# Panics/ { guard = NR }
+        /\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(/ {
+            if (NR - guard > max) print FILENAME ":" NR ": " $0
+        }' "$f")
+    if [[ -n "$hits" ]]; then
+        echo "$hits"
+        status=1
+    fi
+done
+
+if [[ "$status" -ne 0 ]]; then
+    echo "check_no_panics: FAIL: unjustified panic sites in non-test protocol/system code" >&2
+    echo "check_no_panics: convert to ProtocolError/BusFault, or precede with an '// invariant:' comment or '# Panics' doc section" >&2
+    exit 1
+fi
+
+echo "check_no_panics: OK: no unjustified panic sites in crates/protocols or crates/system"
