@@ -40,6 +40,16 @@ fn runners() -> Vec<Runner> {
         ("E16", |s| experiments::trng::run(s).0),
         ("E17", |s| experiments::fleet::run(s).0),
         ("E18", |s| experiments::protocol_robustness::run(s).0),
+        ("E19", |s| {
+            let (rendered, outcome) = experiments::trace_overhead::run(s);
+            // The traced fleet event log is the cross-thread-count
+            // determinism artifact; CI diffs it at 1 vs 8 threads.
+            match std::fs::write("TRACE_exp_fleet.jsonl", &outcome.trace_jsonl) {
+                Ok(()) => eprintln!("wrote TRACE_exp_fleet.jsonl ({} events)", outcome.events),
+                Err(e) => eprintln!("could not write TRACE_exp_fleet.jsonl: {e}"),
+            }
+            rendered
+        }),
     ]
 }
 

@@ -1,0 +1,27 @@
+//! Regenerates the instrumentation-overhead study (E19) and writes the
+//! traced fleet event log to `TRACE_exp_fleet.jsonl` (the artifact CI
+//! diffs across thread counts).
+//!
+//! Run standalone, this binary also *enforces* the overhead budget:
+//! tracing the fleet workload must cost < 5% wall clock. The budget is
+//! asserted here rather than in the library so the noisy parallel
+//! schedule of `exp_all` cannot flake it.
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let (out, outcome) = experiments::trace_overhead::run(Scale::from_args());
+    print!("{out}");
+    match std::fs::write("TRACE_exp_fleet.jsonl", &outcome.trace_jsonl) {
+        Ok(()) => eprintln!("wrote TRACE_exp_fleet.jsonl ({} events)", outcome.events),
+        Err(e) => eprintln!("could not write TRACE_exp_fleet.jsonl: {e}"),
+    }
+    assert!(
+        outcome.overhead_frac < 0.05,
+        "instrumentation overhead {:.2}% exceeds the 5% budget",
+        outcome.overhead_frac * 100.0
+    );
+    eprintln!(
+        "overhead {:+.2}% — within the 5% budget",
+        outcome.overhead_frac * 100.0
+    );
+}

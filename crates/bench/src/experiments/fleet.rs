@@ -3,7 +3,8 @@
 //! turnaround vs fleet size, and the saturation knee vs farm size.
 
 use crate::{Rendered, Scale};
-use neuropuls_system::fleet::{run_fleet, FleetConfig, FleetReport};
+use neuropuls_rt::trace::{Registry, Tracer};
+use neuropuls_system::fleet::{run_fleet_traced, FleetConfig, FleetReport};
 
 fn render_table(out: &mut Rendered, reports: &[FleetReport]) {
     out.push(format!(
@@ -37,13 +38,32 @@ pub fn run(scale: Scale) -> (Rendered, Vec<FleetReport>) {
 
     let mut cells: Vec<(usize, usize)> = sizes.iter().map(|&d| (d, 1)).collect();
     cells.extend(farm_sizes.iter().skip(1).map(|&v| (knee_devices, v)));
-    let reports: Vec<FleetReport> = neuropuls_rt::pool::par_map(cells, |(devices, verifiers)| {
-        run_fleet(&FleetConfig {
-            devices,
-            verifiers,
-            ..FleetConfig::default()
+    // Each cell records into its own registry; merging in input order
+    // afterwards keeps the aggregate byte-identical at any thread count
+    // (registry merges are commutative on counts, and the merge *order*
+    // of the float sums is fixed by the cell order, not the schedule).
+    let cell_results: Vec<(FleetReport, Registry)> =
+        neuropuls_rt::pool::par_map(cells, |(devices, verifiers)| {
+            let registry = Registry::new();
+            let report = run_fleet_traced(
+                &FleetConfig {
+                    devices,
+                    verifiers,
+                    ..FleetConfig::default()
+                },
+                &mut Tracer::disabled(),
+                &registry,
+            );
+            (report, registry)
+        });
+    let metrics = Registry::new();
+    let reports: Vec<FleetReport> = cell_results
+        .into_iter()
+        .map(|(report, registry)| {
+            metrics.merge(&registry);
+            report
         })
-    });
+        .collect();
     let (size_sweep, farm_tail) = reports.split_at(sizes.len());
     let mut farm_sweep: Vec<FleetReport> = vec![size_sweep[sizes.len() - 1]];
     farm_sweep.extend_from_slice(farm_tail);
@@ -66,6 +86,16 @@ pub fn run(scale: Scale) -> (Rendered, Vec<FleetReport>) {
          ceiling; turnaround returns to the uncontended check time"
             .to_string(),
     );
+
+    out.push(String::new());
+    out.push(format!(
+        "turnaround across all cells (histogram upper edges): p50 {:.1} µs, p99 {:.1} µs \
+         over {} checks; queue depth p99 {:.0}",
+        metrics.quantile("fleet.turnaround_ns", 0.5) / 1000.0,
+        metrics.quantile("fleet.turnaround_ns", 0.99) / 1000.0,
+        metrics.counter_value("fleet.attestations"),
+        metrics.quantile("fleet.queue_depth", 0.99),
+    ));
 
     let attempted: usize = reports.iter().map(|r| r.auth_attempted).sum();
     let completed: usize = reports.iter().map(|r| r.auth_completed).sum();

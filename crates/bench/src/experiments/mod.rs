@@ -16,5 +16,6 @@ pub mod remanence;
 pub mod side_channel;
 pub mod system;
 pub mod table1;
+pub mod trace_overhead;
 pub mod trng;
 pub mod tamper;

@@ -47,6 +47,11 @@ pub struct CellReport {
     pub retransmits: u64,
     /// Previous-CRP desync recoveries (mutual auth only, 0 elsewhere).
     pub desync_recoveries: u64,
+    /// Fault rate the channel actually realized for the swept fault
+    /// kind (drawn per frame, so it fluctuates around `rate`).
+    pub realized_rate: f64,
+    /// Frames the channel admitted across the cell's sessions.
+    pub frames: usize,
 }
 
 impl CellReport {
@@ -87,7 +92,7 @@ fn run_cell(cell_idx: usize, protocol: &'static str, fault: &'static str, rate: 
             else {
                 // A reference PUF always provisions; an empty cell just
                 // reports zero completions.
-                return CellReport { protocol, fault, rate, sessions, completed: 0, retransmits: 0, desync_recoveries: 0 };
+                return CellReport { protocol, fault, rate, sessions, completed: 0, retransmits: 0, desync_recoveries: 0, realized_rate: 0.0, frames: 0 };
             };
             let mut verifier = Verifier::new(provisioned, b"e18-verifier");
             for s in 0..sessions {
@@ -161,6 +166,7 @@ fn run_cell(cell_idx: usize, protocol: &'static str, fault: &'static str, rate: 
         }
     }
 
+    let realized = channel.realized_rates();
     CellReport {
         protocol,
         fault,
@@ -169,6 +175,11 @@ fn run_cell(cell_idx: usize, protocol: &'static str, fault: &'static str, rate: 
         completed,
         retransmits,
         desync_recoveries,
+        realized_rate: match fault {
+            "drop" => realized.drop,
+            _ => realized.corrupt,
+        },
+        frames: realized.admitted,
     }
 }
 
@@ -195,15 +206,16 @@ pub fn run(scale: Scale) -> (Rendered, Vec<CellReport>) {
         "{sessions} sessions per cell, stop-and-wait ARQ (timeout 3 ticks, 4 retries):"
     ));
     out.push(format!(
-        "{:>12} {:>8} {:>6} {:>10} {:>9} {:>13} {:>10}",
-        "protocol", "fault", "rate", "completed", "success%", "retx/session", "recoveries"
+        "{:>12} {:>8} {:>6} {:>9} {:>10} {:>9} {:>13} {:>10}",
+        "protocol", "fault", "rate", "realized", "completed", "success%", "retx/session", "recoveries"
     ));
     for r in &reports {
         out.push(format!(
-            "{:>12} {:>8} {:>6.2} {:>6}/{:<3} {:>8.1}% {:>13.2} {:>10}",
+            "{:>12} {:>8} {:>6.2} {:>9.3} {:>6}/{:<3} {:>8.1}% {:>13.2} {:>10}",
             r.protocol,
             r.fault,
             r.rate,
+            r.realized_rate,
             r.completed,
             r.sessions,
             r.success_rate() * 100.0,
@@ -241,5 +253,20 @@ mod tests {
         // The ARQ must do real work somewhere in the faulty cells.
         let faulty_retx: u64 = reports.iter().filter(|r| r.rate > 0.0).map(|r| r.retransmits).sum();
         assert!(faulty_retx > 0, "no retransmissions across the faulty cells");
+        // The channel's realized fault rates must track the configured
+        // rate: exactly zero at rate 0, nonzero and within a generous
+        // sampling tolerance otherwise.
+        for r in &reports {
+            assert!(r.frames > 0, "a cell that ran sessions admitted frames: {r:?}");
+            if r.rate == 0.0 {
+                assert_eq!(r.realized_rate, 0.0, "{r:?}");
+            } else {
+                assert!(r.realized_rate > 0.0, "{r:?}");
+                assert!(
+                    (r.realized_rate - r.rate).abs() < 0.15,
+                    "realized rate far from configured: {r:?}"
+                );
+            }
+        }
     }
 }

@@ -88,10 +88,14 @@ mod tests {
 
     #[test]
     fn smoke_soc_workload() {
-        let (_, o) = run(Scale::Smoke);
+        let (rendered, o) = run(Scale::Smoke);
         assert_eq!(o.evaluations, 4.0);
         assert!(o.sim_time_ns > 0.0);
         assert!(o.energy_pj > 0.0);
         assert!(o.evals_per_us > 0.0);
+        // The gem5-style dump now carries the bus transaction counters.
+        let stable = rendered.stable_string();
+        assert!(stable.contains("bus.ram_reads"), "{stable}");
+        assert!(stable.contains("bus.device_writes"), "{stable}");
     }
 }

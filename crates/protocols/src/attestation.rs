@@ -287,7 +287,7 @@ impl AttestationVerifier {
 use crate::transport::{Channel, Transport};
 use neuropuls_rt::codec::ToBytes;
 use crate::wire::{
-    classify, drive_report, resend_or_wait, Arq, AttestationMsg, Envelope, Incoming, ProtocolId,
+    classify, drive_report_traced, resend_or_wait, Arq, AttestationMsg, Envelope, Incoming, ProtocolId,
     Session, SessionAction, SessionConfig, SessionReport, DEFAULT_MAX_TICKS,
 };
 
@@ -493,9 +493,28 @@ pub fn run_wire_attestation<T: Transport>(
     session_id: u64,
     cfg: SessionConfig,
 ) -> SessionReport {
+    run_wire_attestation_traced(
+        channel,
+        device,
+        verifier,
+        session_id,
+        cfg,
+        &mut neuropuls_rt::trace::Tracer::disabled(),
+    )
+}
+
+/// [`run_wire_attestation`], recording wire activity into `tracer`.
+pub fn run_wire_attestation_traced<T: Transport>(
+    channel: &mut T,
+    device: &mut AttestingDevice,
+    verifier: &mut AttestationVerifier,
+    session_id: u64,
+    cfg: SessionConfig,
+    tracer: &mut neuropuls_rt::trace::Tracer,
+) -> SessionReport {
     let mut v = WireAttestationVerifier::new(verifier, session_id, cfg);
     let mut d = WireAttestingDevice::new(device, cfg);
-    drive_report(channel, &mut v, &mut d, DEFAULT_MAX_TICKS)
+    drive_report_traced(channel, &mut v, &mut d, DEFAULT_MAX_TICKS, tracer)
 }
 
 /// Runs one attestation round over a perfect in-memory channel.

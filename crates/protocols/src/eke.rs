@@ -225,7 +225,7 @@ impl EkeParty {
 use crate::transport::{Channel, Transport};
 use neuropuls_rt::codec::ToBytes;
 use crate::wire::{
-    classify, drive_report, resend_or_wait, Arq, EkeMsg, Envelope, Incoming, ProtocolId, Session,
+    classify, drive_report_traced, resend_or_wait, Arq, EkeMsg, Envelope, Incoming, ProtocolId, Session,
     SessionAction, SessionConfig, SessionReport, DEFAULT_MAX_TICKS,
 };
 
@@ -458,9 +458,28 @@ pub fn run_wire_exchange<T: Transport>(
     session_id: u64,
     cfg: SessionConfig,
 ) -> SessionReport {
+    run_wire_exchange_traced(
+        channel,
+        initiator,
+        responder,
+        session_id,
+        cfg,
+        &mut neuropuls_rt::trace::Tracer::disabled(),
+    )
+}
+
+/// [`run_wire_exchange`], recording wire activity into `tracer`.
+pub fn run_wire_exchange_traced<T: Transport>(
+    channel: &mut T,
+    initiator: &mut EkeParty,
+    responder: &mut EkeParty,
+    session_id: u64,
+    cfg: SessionConfig,
+    tracer: &mut neuropuls_rt::trace::Tracer,
+) -> SessionReport {
     let mut i = WireEkeInitiator::new(initiator, session_id, cfg);
     let mut r = WireEkeResponder::new(responder, cfg);
-    drive_report(channel, &mut i, &mut r, DEFAULT_MAX_TICKS)
+    drive_report_traced(channel, &mut i, &mut r, DEFAULT_MAX_TICKS, tracer)
 }
 
 /// Runs a complete EKE exchange over a perfect in-memory channel,

@@ -410,7 +410,7 @@ pub const CHALLENGE_WIDTH: usize = 64;
 use crate::transport::{Channel, Transport};
 use neuropuls_rt::codec::ToBytes;
 use crate::wire::{
-    classify, drive_report, resend_or_wait, Arq, Envelope, Incoming, MutualAuthMsg, ProtocolId,
+    classify, drive_report_traced, resend_or_wait, Arq, Envelope, Incoming, MutualAuthMsg, ProtocolId,
     Session, SessionAction, SessionConfig, SessionReport, DEFAULT_MAX_TICKS,
 };
 
@@ -666,13 +666,44 @@ pub fn run_wire_session<T: Transport, P: Puf>(
     session_id: u64,
     cfg: SessionConfig,
 ) -> SessionReport {
+    run_wire_session_traced(
+        channel,
+        device,
+        verifier,
+        session_id,
+        cfg,
+        &mut neuropuls_rt::trace::Tracer::disabled(),
+    )
+}
+
+/// [`run_wire_session`], recording wire activity into `tracer` —
+/// including a `desync.recovery` instant when this session consumed the
+/// verifier's previous-CRP fallback.
+pub fn run_wire_session_traced<T: Transport, P: Puf>(
+    channel: &mut T,
+    device: &mut Device<P>,
+    verifier: &mut Verifier,
+    session_id: u64,
+    cfg: SessionConfig,
+    tracer: &mut neuropuls_rt::trace::Tracer,
+) -> SessionReport {
+    let recoveries_before = verifier.desync_recoveries();
     let report = {
         let mut v = WireVerifier::new(verifier, session_id, cfg);
         let mut d = WireDevice::new(device, cfg);
-        drive_report(channel, &mut v, &mut d, DEFAULT_MAX_TICKS)
+        drive_report_traced(channel, &mut v, &mut d, DEFAULT_MAX_TICKS, tracer)
     };
     if report.result.is_err() {
         device.abort_session();
+    }
+    let recovered = verifier.desync_recoveries() - recoveries_before;
+    if recovered > 0 {
+        let tick = report.result.as_ref().map_or(0, |t| u64::from(*t));
+        tracer.instant(
+            tick,
+            "desync.recovery",
+            vec![("count", neuropuls_rt::trace::Value::from(recovered))],
+        );
     }
     report
 }

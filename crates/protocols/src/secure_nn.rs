@@ -215,7 +215,7 @@ impl SecureAccelerator {
 use crate::transport::{Channel, Transport};
 use neuropuls_rt::codec::ToBytes;
 use crate::wire::{
-    classify, drive_report, resend_or_wait, Arq, Envelope, Incoming, ProtocolId, SecureNnMsg,
+    classify, drive_report_traced, resend_or_wait, Arq, Envelope, Incoming, ProtocolId, SecureNnMsg,
     Session, SessionAction, SessionConfig, SessionReport, DEFAULT_MAX_TICKS,
 };
 
@@ -490,9 +490,31 @@ pub fn run_wire_inference<T: Transport>(
     session_id: u64,
     cfg: SessionConfig,
 ) -> (SessionReport, Option<Vec<u8>>) {
+    run_wire_inference_traced(
+        channel,
+        accel,
+        network_blob,
+        input_blob,
+        session_id,
+        cfg,
+        &mut neuropuls_rt::trace::Tracer::disabled(),
+    )
+}
+
+/// [`run_wire_inference`], recording wire activity into `tracer`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_wire_inference_traced<T: Transport>(
+    channel: &mut T,
+    accel: &mut SecureAccelerator,
+    network_blob: Vec<u8>,
+    input_blob: Vec<u8>,
+    session_id: u64,
+    cfg: SessionConfig,
+    tracer: &mut neuropuls_rt::trace::Tracer,
+) -> (SessionReport, Option<Vec<u8>>) {
     let mut client = WireNnClient::new(session_id, network_blob, input_blob, cfg);
     let mut server = WireNnServer::new(accel, cfg);
-    let report = drive_report(channel, &mut client, &mut server, DEFAULT_MAX_TICKS);
+    let report = drive_report_traced(channel, &mut client, &mut server, DEFAULT_MAX_TICKS, tracer);
     let output = client.output_blob().map(<[u8]>::to_vec);
     (report, output)
 }

@@ -175,6 +175,20 @@ pub struct FaultStats {
     pub mitm_replaced: usize,
 }
 
+/// Realized fault fractions of a [`FaultyChannel`]
+/// (see [`FaultyChannel::realized_rates`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RealizedRates {
+    /// Fraction of admitted frames that were dropped.
+    pub drop: f64,
+    /// Fraction of surviving frames that were duplicated.
+    pub duplicate: f64,
+    /// Fraction of surviving frames that had a bit flipped.
+    pub corrupt: f64,
+    /// Frames that entered the fault injector (post-MITM denominator).
+    pub admitted: usize,
+}
+
 /// A [`Channel`] behind a seeded fault injector and an optional MITM
 /// hook. Deterministic: same seed, same traffic, same faults.
 pub struct FaultyChannel {
@@ -229,6 +243,24 @@ impl FaultyChannel {
     /// Fault counters so far.
     pub fn stats(&self) -> FaultStats {
         self.stats
+    }
+
+    /// Realized per-frame fault fractions, computed over the frames
+    /// each fault could actually have hit: drops over every frame
+    /// admitted past the MITM hook, duplicates/corruptions over the
+    /// frames that survived the drop draw. For long seeded runs these
+    /// converge on the configured [`FaultRates`] — E18 reports them
+    /// next to the configured rates so a miswired injector is visible.
+    pub fn realized_rates(&self) -> RealizedRates {
+        let admitted = self.stats.sent - self.stats.mitm_dropped;
+        let survivors = admitted - self.stats.dropped;
+        let frac = |n: usize, d: usize| if d == 0 { 0.0 } else { n as f64 / d as f64 };
+        RealizedRates {
+            drop: frac(self.stats.dropped, admitted),
+            duplicate: frac(self.stats.duplicated, survivors),
+            corrupt: frac(self.stats.corrupted, survivors),
+            admitted,
+        }
     }
 
     /// Frames admitted for delivery, post-faults; comparable with
@@ -430,6 +462,60 @@ mod tests {
         let mut ch = FaultyChannel::new(FaultRates::loss(1.0), 1);
         ch.inject(Side::B, vec![5]);
         assert_eq!(ch.recv(Side::B), Some(vec![5]));
+    }
+
+    #[test]
+    fn realized_rates_track_configured_rates() {
+        // 4000 seeded frames: each realized fraction must land within
+        // ±0.02 of its configured probability (>3σ for these rates), so
+        // a miswired injector (wrong denominator, skipped draw) fails.
+        let configured = FaultRates {
+            drop: 0.1,
+            duplicate: 0.2,
+            reorder: 0.0,
+            corrupt: 0.05,
+            replay: 0.0,
+        };
+        let mut ch = FaultyChannel::new(configured, 2024);
+        for i in 0..4000usize {
+            ch.send(Side::A, vec![i as u8, (i >> 8) as u8, 0xAB, 0xCD]);
+            while ch.recv(Side::B).is_some() {}
+        }
+        let realized = ch.realized_rates();
+        assert_eq!(realized.admitted, 4000);
+        assert!(
+            (realized.drop - configured.drop).abs() < 0.02,
+            "drop: realized {} vs configured {}",
+            realized.drop,
+            configured.drop
+        );
+        assert!(
+            (realized.duplicate - configured.duplicate).abs() < 0.02,
+            "duplicate: realized {} vs configured {}",
+            realized.duplicate,
+            configured.duplicate
+        );
+        assert!(
+            (realized.corrupt - configured.corrupt).abs() < 0.02,
+            "corrupt: realized {} vs configured {}",
+            realized.corrupt,
+            configured.corrupt
+        );
+        // Consistency with the raw counters.
+        let stats = ch.stats();
+        assert_eq!(
+            stats.dropped + stats.delivered - stats.duplicated,
+            4000,
+            "every admitted frame is dropped or delivered once"
+        );
+    }
+
+    #[test]
+    fn realized_rates_empty_channel_is_all_zero() {
+        let ch = FaultyChannel::new(FaultRates::none(), 1);
+        let r = ch.realized_rates();
+        assert_eq!(r.admitted, 0);
+        assert_eq!((r.drop, r.duplicate, r.corrupt), (0.0, 0.0, 0.0));
     }
 
     #[test]

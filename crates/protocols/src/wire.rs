@@ -24,6 +24,7 @@
 use crate::error::ProtocolError;
 use crate::transport::{Side, Transport};
 use neuropuls_rt::codec::{CodecError, FromBytes, Reader, ToBytes, Writer};
+use neuropuls_rt::trace::{Tracer, Value};
 
 // ---------------------------------------------------------------------------
 // Envelope
@@ -685,7 +686,18 @@ pub fn drive_report<T: Transport>(
     b: &mut dyn Session,
     max_ticks: u32,
 ) -> SessionReport {
-    let result = drive(channel, a, b, max_ticks);
+    drive_report_traced(channel, a, b, max_ticks, &mut Tracer::disabled())
+}
+
+/// [`drive_traced`] plus retransmission accounting from both endpoints.
+pub fn drive_report_traced<T: Transport>(
+    channel: &mut T,
+    a: &mut dyn Session,
+    b: &mut dyn Session,
+    max_ticks: u32,
+    tracer: &mut Tracer,
+) -> SessionReport {
+    let result = drive_traced(channel, a, b, max_ticks, tracer);
     SessionReport {
         result,
         retransmits: a.retransmits() + b.retransmits(),
@@ -710,30 +722,156 @@ pub fn drive<T: Transport>(
     b: &mut dyn Session,
     max_ticks: u32,
 ) -> Result<u32, ProtocolError> {
+    drive_traced(channel, a, b, max_ticks, &mut Tracer::disabled())
+}
+
+fn side_label(side: Side) -> &'static str {
+    match side {
+        Side::A => "A",
+        Side::B => "B",
+    }
+}
+
+/// Fields describing one raw frame: side, wire length, and — when the
+/// frame decodes as an [`Envelope`] — its sequence number and payload
+/// length (bytes on the wire per envelope).
+fn frame_fields(side: Side, frame: &[u8]) -> Vec<(&'static str, Value)> {
+    let mut fields = vec![
+        ("side", Value::from(side_label(side))),
+        ("len", Value::from(frame.len())),
+    ];
+    if let Ok(env) = Envelope::from_bytes(frame) {
+        fields.push(("seq", Value::from(env.seq)));
+        fields.push(("payload_len", Value::from(env.payload.len())));
+    }
+    fields
+}
+
+/// [`drive`], recording the full wire activity into `tracer`: one
+/// `session.side` span per endpoint (closed when that side completes,
+/// carrying its retransmit count), `frame.recv`/`frame.send` instants
+/// with per-envelope byte counts, `arq.retransmit` instants, and a
+/// final `session.result` instant. Timestamps are driver ticks, so the
+/// trace is deterministic for a deterministic channel.
+///
+/// # Errors
+///
+/// Propagates the first session failure; returns
+/// [`ProtocolError::Timeout`] if `max_ticks` elapse first. The trace is
+/// complete (all spans closed) on every path.
+pub fn drive_traced<T: Transport>(
+    channel: &mut T,
+    a: &mut dyn Session,
+    b: &mut dyn Session,
+    max_ticks: u32,
+    tracer: &mut Tracer,
+) -> Result<u32, ProtocolError> {
     fn tick_side<T: Transport>(
         channel: &mut T,
         side: Side,
         sess: &mut dyn Session,
+        tick: u64,
+        tracer: &mut Tracer,
     ) -> Result<(), ProtocolError> {
         let frame = channel.recv(side);
+        if tracer.is_enabled() {
+            if let Some(f) = frame.as_deref() {
+                tracer.instant(tick, "frame.recv", frame_fields(side, f));
+            }
+        }
         if frame.is_none() && sess.done() {
             return Ok(());
         }
-        match sess.step(frame.as_deref())? {
-            SessionAction::Send(f) => channel.send(side, f),
+        let before = sess.retransmits();
+        let action = sess.step(frame.as_deref())?;
+        if tracer.is_enabled() && sess.retransmits() > before {
+            tracer.instant(
+                tick,
+                "arq.retransmit",
+                vec![
+                    ("side", Value::from(side_label(side))),
+                    ("count", Value::from(sess.retransmits() - before)),
+                ],
+            );
+        }
+        match action {
+            SessionAction::Send(f) => {
+                if tracer.is_enabled() {
+                    tracer.instant(tick, "frame.send", frame_fields(side, &f));
+                }
+                channel.send(side, f);
+            }
             SessionAction::Wait | SessionAction::Done => {}
         }
         Ok(())
     }
 
+    let mut span_a = Some(tracer.span_start(0, "session.side", vec![("side", Value::from("A"))]));
+    let mut span_b = Some(tracer.span_start(0, "session.side", vec![("side", Value::from("B"))]));
+
+    let mut outcome = Err(ProtocolError::Timeout { retries: 0 });
+    let mut last_tick = 0u64;
     for tick in 0..max_ticks {
-        tick_side(channel, Side::A, a)?;
-        tick_side(channel, Side::B, b)?;
+        last_tick = u64::from(tick);
+        if let Err(e) = tick_side(channel, Side::A, a, last_tick, tracer) {
+            outcome = Err(e);
+            break;
+        }
+        if a.done() {
+            if let Some(span) = span_a.take() {
+                tracer.span_end(
+                    last_tick,
+                    span,
+                    vec![("retransmits", Value::from(a.retransmits()))],
+                );
+            }
+        }
+        if let Err(e) = tick_side(channel, Side::B, b, last_tick, tracer) {
+            outcome = Err(e);
+            break;
+        }
+        if b.done() {
+            if let Some(span) = span_b.take() {
+                tracer.span_end(
+                    last_tick,
+                    span,
+                    vec![("retransmits", Value::from(b.retransmits()))],
+                );
+            }
+        }
         if a.done() && b.done() {
-            return Ok(tick + 1);
+            outcome = Ok(tick + 1);
+            break;
         }
     }
-    Err(ProtocolError::Timeout { retries: 0 })
+
+    if let Some(span) = span_a.take() {
+        tracer.span_end(
+            last_tick,
+            span,
+            vec![("retransmits", Value::from(a.retransmits()))],
+        );
+    }
+    if let Some(span) = span_b.take() {
+        tracer.span_end(
+            last_tick,
+            span,
+            vec![("retransmits", Value::from(b.retransmits()))],
+        );
+    }
+    tracer.instant(
+        last_tick,
+        "session.result",
+        vec![
+            ("ok", Value::from(outcome.is_ok())),
+            ("ticks", Value::from(*outcome.as_ref().unwrap_or(&0))),
+            (
+                "retransmits",
+                Value::from(a.retransmits() + b.retransmits()),
+            ),
+        ],
+    );
+    outcome
 }
 
 #[cfg(test)]

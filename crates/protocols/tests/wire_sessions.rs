@@ -195,6 +195,56 @@ fn mutual_auth_recovers_from_dropped_msg3_via_previous_crp() {
     assert_eq!(verifier.desync_recoveries(), 1);
 }
 
+/// `Verifier::desync_recoveries` must count exactly one recovery per
+/// suppressed Msg3 — no more (a recovered session must not keep
+/// counting) and no less (every suppression costs exactly one fallback
+/// on the next clean session). Three suppress/recover rounds pin both
+/// directions.
+#[test]
+fn desync_recovery_counts_exactly_one_per_suppressed_msg3() {
+    let (mut device, mut verifier) = auth_pair(4);
+    let suppress_confirm = || {
+        Box::new(|_from: Side, frame: &[u8]| {
+            if let Ok(env) = Envelope::from_bytes(frame) {
+                if env.protocol == ProtocolId::MutualAuth
+                    && matches!(env.open(), Ok(MutualAuthMsg::Confirm(_)))
+                {
+                    return MitmVerdict::Drop;
+                }
+            }
+            MitmVerdict::Forward
+        })
+    };
+
+    for round in 0..3u64 {
+        // Suppressed session: the device times out one CRP behind. The
+        // suppression itself must not touch the counter.
+        let mut channel = FaultyChannel::new(FaultRates::none(), 40 + round);
+        channel.set_mitm(suppress_confirm());
+        let report = run_wire_session(
+            &mut channel,
+            &mut device,
+            &mut verifier,
+            round * 2 + 1,
+            SessionConfig::default(),
+        );
+        assert!(!report.succeeded(), "round {round}: Msg3 was suppressed");
+        assert_eq!(verifier.desync_recoveries(), round, "round {round}");
+
+        // Clean session: exactly one previous-CRP fallback.
+        let mut clean = FaultyChannel::new(FaultRates::none(), 140 + round);
+        let report = run_wire_session(
+            &mut clean,
+            &mut device,
+            &mut verifier,
+            round * 2 + 2,
+            SessionConfig::default(),
+        );
+        assert!(report.succeeded(), "round {round}: {:?}", report.result);
+        assert_eq!(verifier.desync_recoveries(), round + 1, "round {round}");
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Heavy loss still completes
 // ---------------------------------------------------------------------------

@@ -28,6 +28,7 @@ use neuropuls_photonic::modulator::MachZehnderModulator;
 use neuropuls_photonic::process::{DieId, DieSampler, ProcessVariation};
 use neuropuls_photonic::Environment;
 use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::trace::CountingRng;
 use neuropuls_rt::SeedableRng;
 
 /// Construction parameters of a photonic PUF instance.
@@ -91,7 +92,10 @@ pub struct PhotonicPuf {
     chains: Vec<ReceiveChain>,
     pairs: Vec<ComparePair>,
     env: Environment,
-    rng: StdRng,
+    rng: CountingRng<StdRng>,
+    /// Noisy interrogations performed ([`Self::respond_with_margins`]
+    /// and [`Self::adc_trace`] completions).
+    evaluations: u64,
     /// Mixed into the aging RNG seed and advanced on every [`Self::age_with_rate`]
     /// call, so successive aging steps draw *independent* random-walk
     /// increments (reusing one seed would replay the same drift vector
@@ -130,7 +134,8 @@ impl PhotonicPuf {
             chains,
             pairs,
             env: Environment::nominal(),
-            rng: StdRng::seed_from_u64(noise_seed ^ die.0.rotate_left(17)),
+            rng: CountingRng::new(StdRng::seed_from_u64(noise_seed ^ die.0.rotate_left(17))),
+            evaluations: 0,
             aging_epoch: 0,
         }
     }
@@ -264,6 +269,7 @@ impl PhotonicPuf {
             let magnitude = d0.abs().min(d1.abs());
             margins.push(if bit == 1 { magnitude } else { -magnitude });
         }
+        self.evaluations += 1;
         Ok((Response::from_bits(bits), margins))
     }
 
@@ -296,7 +302,23 @@ impl PhotonicPuf {
                     .collect(),
             );
         }
+        self.evaluations += 1;
         Ok(codes)
+    }
+
+    /// Noisy interrogations performed so far (successful
+    /// [`Self::respond_with_margins`] / [`Self::adc_trace`] calls;
+    /// noise-free evaluations are not counted).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Cumulative draws taken from the measurement-noise stream. Divided
+    /// by [`Self::evaluations`] this is the per-interrogation noise cost
+    /// of the receiver model — a cheap instrumentation hook that leaves
+    /// the underlying RNG stream untouched.
+    pub fn noise_draws(&self) -> u64 {
+        self.rng.draws()
     }
 
     /// Noise-free deterministic evaluation — the "ideally reliable
@@ -424,6 +446,29 @@ mod tests {
     fn challenge(seed: u64) -> Challenge {
         let mut rng = StdRng::seed_from_u64(seed);
         Challenge::random(64, &mut rng)
+    }
+
+    #[test]
+    fn instrumentation_counts_evaluations_and_noise_draws() {
+        let mut p = puf(70);
+        assert_eq!(p.evaluations(), 0);
+        assert_eq!(p.noise_draws(), 0);
+        p.respond_with_margins(&challenge(1)).unwrap();
+        let after_one = p.noise_draws();
+        assert_eq!(p.evaluations(), 1);
+        assert!(after_one > 0, "a noisy interrogation must draw noise");
+        p.respond_with_margins(&challenge(2)).unwrap();
+        assert_eq!(p.evaluations(), 2);
+        assert_eq!(
+            p.noise_draws(),
+            2 * after_one,
+            "the per-evaluation draw count is fixed by the receiver model"
+        );
+        // A rejected challenge consumes neither counter.
+        let narrow = Challenge::random(8, &mut StdRng::seed_from_u64(3));
+        assert!(p.respond_with_margins(&narrow).is_err());
+        assert_eq!(p.evaluations(), 2);
+        assert_eq!(p.noise_draws(), 2 * after_one);
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //!   ([`codec::ToBytes`] / [`codec::FromBytes`]) with a versioned header;
 //! * [`mod@pool`] — a std-only scoped thread pool (`par_map` /
 //!   `par_chunks`, `NEUROPULS_THREADS` sizing) whose parallel output is
-//!   byte-identical to serial execution.
+//!   byte-identical to serial execution;
+//! * [`mod@trace`] — structured tracing and metrics ([`trace::Tracer`]
+//!   spans/instants with simulated-tick timestamps, [`trace::Registry`]
+//!   counters/histograms, JSONL export) whose merged output is
+//!   deterministic under the pool.
 
 #![warn(missing_docs)]
 
@@ -30,6 +34,7 @@ pub mod criterion;
 pub mod pool;
 pub mod prop;
 pub mod rng;
+pub mod trace;
 
 pub use rng::{Error, Rng, RngCore, SeedableRng};
 

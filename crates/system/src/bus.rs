@@ -54,6 +54,26 @@ struct Mapping {
     device: Box<dyn MmioDevice>,
 }
 
+/// Running transaction counters of a [`Bus`] (see [`Bus::stats`]).
+///
+/// Counters record *resolved* primitive accesses: a 16-bit RAM read
+/// counts its two byte sub-accesses, a byte read of a device register
+/// counts the word read it resolves to. Faults count every access that
+/// returned a [`BusFault`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// RAM read accesses.
+    pub ram_reads: u64,
+    /// RAM write accesses.
+    pub ram_writes: u64,
+    /// Device register reads.
+    pub device_reads: u64,
+    /// Device register writes.
+    pub device_writes: u64,
+    /// Accesses that faulted (unmapped or misaligned).
+    pub faults: u64,
+}
+
 /// Flat RAM region.
 #[derive(Debug, Clone)]
 pub struct Ram {
@@ -99,6 +119,7 @@ impl Ram {
 pub struct Bus {
     ram: Ram,
     devices: Vec<Mapping>,
+    stats: BusStats,
 }
 
 impl fmt::Debug for Bus {
@@ -117,6 +138,7 @@ impl Bus {
         Bus {
             ram,
             devices: Vec::new(),
+            stats: BusStats::default(),
         }
     }
 
@@ -149,6 +171,17 @@ impl Bus {
         &self.ram
     }
 
+    /// Transaction counters since construction (or the last
+    /// [`Bus::reset_stats`]).
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// Zeroes the transaction counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = BusStats::default();
+    }
+
     /// Loads bytes into RAM at an absolute address.
     ///
     /// # Errors
@@ -170,6 +203,7 @@ impl Bus {
     /// [`BusFault::Unmapped`] outside RAM and devices.
     pub fn read8(&mut self, addr: u32) -> Result<u8, BusFault> {
         if self.ram.contains(addr, 1) {
+            self.stats.ram_reads += 1;
             return Ok(self.ram.bytes[(addr - self.ram.base) as usize]);
         }
         // Byte reads of device registers read the containing word.
@@ -185,9 +219,11 @@ impl Bus {
     /// supported and fault).
     pub fn write8(&mut self, addr: u32, value: u8) -> Result<(), BusFault> {
         if self.ram.contains(addr, 1) {
+            self.stats.ram_writes += 1;
             self.ram.bytes[(addr - self.ram.base) as usize] = value;
             return Ok(());
         }
+        self.stats.faults += 1;
         Err(BusFault::Unmapped(addr))
     }
 
@@ -198,6 +234,7 @@ impl Bus {
     /// Faults on misalignment or unmapped addresses.
     pub fn read16(&mut self, addr: u32) -> Result<u16, BusFault> {
         if !addr.is_multiple_of(2) {
+            self.stats.faults += 1;
             return Err(BusFault::Misaligned(addr));
         }
         Ok(u16::from(self.read8(addr)?) | (u16::from(self.read8(addr + 1)?) << 8))
@@ -210,6 +247,7 @@ impl Bus {
     /// Faults on misalignment or unmapped addresses.
     pub fn write16(&mut self, addr: u32, value: u16) -> Result<(), BusFault> {
         if !addr.is_multiple_of(2) {
+            self.stats.faults += 1;
             return Err(BusFault::Misaligned(addr));
         }
         self.write8(addr, value as u8)?;
@@ -223,9 +261,11 @@ impl Bus {
     /// Faults on misalignment or unmapped addresses.
     pub fn read32(&mut self, addr: u32) -> Result<u32, BusFault> {
         if !addr.is_multiple_of(4) {
+            self.stats.faults += 1;
             return Err(BusFault::Misaligned(addr));
         }
         if self.ram.contains(addr, 4) {
+            self.stats.ram_reads += 1;
             let o = (addr - self.ram.base) as usize;
             return Ok(u32::from_le_bytes([
                 self.ram.bytes[o],
@@ -236,9 +276,11 @@ impl Bus {
         }
         for m in self.devices.iter_mut() {
             if addr >= m.base && addr < m.base + m.device.size() {
+                self.stats.device_reads += 1;
                 return Ok(m.device.read32(addr - m.base));
             }
         }
+        self.stats.faults += 1;
         Err(BusFault::Unmapped(addr))
     }
 
@@ -249,19 +291,23 @@ impl Bus {
     /// Faults on misalignment or unmapped addresses.
     pub fn write32(&mut self, addr: u32, value: u32) -> Result<(), BusFault> {
         if !addr.is_multiple_of(4) {
+            self.stats.faults += 1;
             return Err(BusFault::Misaligned(addr));
         }
         if self.ram.contains(addr, 4) {
+            self.stats.ram_writes += 1;
             let o = (addr - self.ram.base) as usize;
             self.ram.bytes[o..o + 4].copy_from_slice(&value.to_le_bytes());
             return Ok(());
         }
         for m in self.devices.iter_mut() {
             if addr >= m.base && addr < m.base + m.device.size() {
+                self.stats.device_writes += 1;
                 m.device.write32(addr - m.base, value);
                 return Ok(());
             }
         }
+        self.stats.faults += 1;
         Err(BusFault::Unmapped(addr))
     }
 
@@ -339,6 +385,25 @@ mod tests {
         let mut b = bus();
         b.load(0x8000_0000, &[1, 2, 3, 4]).unwrap();
         assert_eq!(b.read32(0x8000_0000).unwrap(), 0x04030201);
+    }
+
+    #[test]
+    fn stats_count_transactions_and_faults() {
+        let mut b = bus();
+        b.write32(0x8000_0100, 1).unwrap();
+        let _ = b.read32(0x8000_0100).unwrap();
+        b.write32(0x1000_0000, 2).unwrap();
+        let _ = b.read32(0x1000_0000).unwrap();
+        let _ = b.read32(0x2000_0000); // unmapped
+        let _ = b.read32(0x8000_0001); // misaligned
+        let s = b.stats();
+        assert_eq!(s.ram_reads, 1);
+        assert_eq!(s.ram_writes, 1);
+        assert_eq!(s.device_reads, 1);
+        assert_eq!(s.device_writes, 1);
+        assert_eq!(s.faults, 2);
+        b.reset_stats();
+        assert_eq!(b.stats(), BusStats::default());
     }
 
     #[test]

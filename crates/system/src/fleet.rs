@@ -33,6 +33,7 @@ use neuropuls_protocols::transport::{FaultRates, FaultyChannel};
 use neuropuls_protocols::wire::SessionConfig;
 use neuropuls_puf::photonic::PhotonicPuf;
 use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::trace::{Registry, SpanId, Tracer};
 use neuropuls_rt::{Rng, SeedableRng};
 
 /// One device of the fleet.
@@ -57,6 +58,9 @@ enum FleetEvent {
         requested_at: Tick,
         /// Whether the request waited for a busy verifier farm.
         queued: bool,
+        /// Trace span opened when the check was dispatched (id 0 when
+        /// tracing is disabled).
+        span: SpanId,
     },
 }
 
@@ -149,6 +153,26 @@ impl Default for FleetConfig {
 ///
 /// Panics when `devices` or `verifiers` is zero.
 pub fn run_fleet(config: &FleetConfig) -> FleetReport {
+    run_fleet_traced(config, &mut Tracer::disabled(), &Registry::new())
+}
+
+/// [`run_fleet`] with observability: the scheduling loop emits
+/// `attest.due` instants and `attest.check` spans into `tracer` (check
+/// spans opened at dispatch, closed at verdict; checks still in flight
+/// at the horizon stay open, mirroring `in_flight_at_horizon`), and the
+/// control-link phase emits one compact `auth.session` instant per wire
+/// session. `registry` accumulates `fleet.*` counters plus turnaround
+/// and queue-depth histograms. Passing a disabled tracer and a throwaway
+/// registry reproduces `run_fleet` exactly.
+///
+/// # Panics
+///
+/// Panics when `devices` or `verifiers` is zero.
+pub fn run_fleet_traced(
+    config: &FleetConfig,
+    tracer: &mut Tracer,
+    registry: &Registry,
+) -> FleetReport {
     assert!(config.devices > 0, "fleet needs at least one device");
     assert!(config.verifiers > 0, "fleet needs at least one verifier");
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -206,6 +230,7 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
 
     queue.run_until(horizon, |queue, now, event| match event {
         FleetEvent::Due(idx) => {
+            tracer.instant(now, "attest.due", vec![("device", idx.into())]);
             let entry = &mut fleet[idx];
             let request = entry.verifier.begin();
             // A device that cannot even produce a report (bad challenge
@@ -235,6 +260,17 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
             // campaign end must not count toward utilization.
             busy_ns += free_at[v].min(horizon).saturating_sub(start.min(horizon));
             requests += 1;
+            registry.counter("fleet.requests", 1);
+            registry.observe("fleet.queue_depth", backlog as f64);
+            let span = tracer.span_start(
+                start,
+                "attest.check",
+                vec![
+                    ("device", idx.into()),
+                    ("verifier", v.into()),
+                    ("queued", queued.into()),
+                ],
+            );
             queue.schedule(
                 free_at[v],
                 FleetEvent::Done {
@@ -242,6 +278,7 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
                     ok,
                     requested_at: now,
                     queued,
+                    span,
                 },
             );
             // Next periodic attestation.
@@ -254,7 +291,11 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
             ok,
             requested_at,
             queued,
+            span,
         } => {
+            tracer.span_end(now, span, vec![("ok", ok.into())]);
+            registry.counter("fleet.attestations", 1);
+            registry.observe("fleet.turnaround_ns", (now - requested_at) as f64);
             // Only requests that actually waited ever entered the
             // backlog, so only they leave it.
             if queued {
@@ -269,6 +310,7 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
             turnaround_sum_ns += now - requested_at;
             if ok {
                 passed += 1;
+                registry.counter("fleet.passed", 1);
             } else if fleet[idx].compromised {
                 caught[idx] = true;
             }
@@ -317,6 +359,23 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
                 if report.succeeded() {
                     auth_completed += 1;
                 }
+                // One compact instant per control-link session (the
+                // frame-level story lives in the protocol tracer); the
+                // tick is the horizon so the event log stays monotone
+                // past the event-driven phase.
+                tracer.instant(
+                    horizon,
+                    "auth.session",
+                    vec![
+                        ("device", i.into()),
+                        ("session", (session as u64).into()),
+                        ("ok", report.succeeded().into()),
+                        ("retransmits", report.retransmits.into()),
+                    ],
+                );
+                registry.counter("fleet.auth_retransmits", u64::from(report.retransmits));
+                registry
+                    .observe("fleet.auth_session_ticks", f64::from(*report.result.as_ref().unwrap_or(&0)));
             }
             auth_desync_recoveries += link_verifier.desync_recoveries();
         }
@@ -350,6 +409,7 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use neuropuls_rt::trace::EventKind;
 
     #[test]
     fn fleet_catches_every_compromised_device() {
@@ -497,6 +557,44 @@ mod tests {
         assert_eq!(report.auth_attempted, 0);
         assert_eq!(report.auth_completed, 0);
         assert_eq!(report.auth_retransmits, 0);
+    }
+
+    #[test]
+    fn traced_fleet_matches_untraced_and_records_metrics() {
+        let config = FleetConfig::default();
+        let untraced = run_fleet(&config);
+        let mut tracer = Tracer::new();
+        let registry = Registry::new();
+        let traced = run_fleet_traced(&config, &mut tracer, &registry);
+        assert_eq!(traced, untraced, "tracing must not perturb the sim");
+        assert_eq!(
+            registry.counter_value("fleet.requests") as usize,
+            traced.requests
+        );
+        assert_eq!(
+            registry.counter_value("fleet.attestations") as usize,
+            traced.attestations
+        );
+        let turnaround = registry
+            .histogram("fleet.turnaround_ns")
+            .expect("turnaround histogram recorded");
+        assert_eq!(turnaround.count() as usize, traced.attestations);
+        let due = tracer.events().iter().filter(|e| e.name == "attest.due").count();
+        assert_eq!(due, traced.requests);
+        let open = tracer
+            .events()
+            .iter()
+            .filter(|e| e.name == "attest.check" && e.kind == EventKind::SpanStart)
+            .count();
+        let closed = tracer
+            .events()
+            .iter()
+            .filter(|e| e.name == "attest.check" && e.kind == EventKind::SpanEnd)
+            .count();
+        assert_eq!(open, traced.requests);
+        assert_eq!(closed, traced.attestations, "in-flight checks stay open");
+        let auth = tracer.events().iter().filter(|e| e.name == "auth.session").count();
+        assert_eq!(auth, traced.auth_attempted);
     }
 
     #[test]

@@ -83,6 +83,18 @@ impl PufPeripheral {
     }
 
     fn start_evaluation(&mut self) {
+        self.fault = false;
+        // The register file holds exactly 64 challenge bits; a PUF
+        // configured wider cannot be driven from this window, and
+        // `Challenge::from_packed` would panic on the short buffer —
+        // latch the fault bit instead of bringing the whole SoC down on
+        // a register write.
+        if self.puf.challenge_bits() > 64 {
+            self.fault = true;
+            self.busy_remaining = 0;
+            self.response_valid = false;
+            return;
+        }
         let mut packed = Vec::with_capacity(8);
         packed.extend_from_slice(&self.challenge[0].to_le_bytes());
         packed.extend_from_slice(&self.challenge[1].to_le_bytes());
@@ -91,7 +103,6 @@ impl PufPeripheral {
         // the busy countdown ends (models the pipeline latency). A PUF
         // that rejects the challenge (width mismatch) latches the fault
         // bit instead of bringing the whole SoC down.
-        self.fault = false;
         let response = match self.puf.respond(&challenge) {
             Ok(r) => r,
             Err(_) => {
@@ -365,6 +376,34 @@ mod tests {
         let c = read_response(0xFFFF_0000);
         let diff = (a.0 ^ c.0).count_ones() + (a.1 ^ c.1).count_ones();
         assert!(diff > 6, "different challenge too similar: {diff} flips");
+    }
+
+    #[test]
+    fn puf_peripheral_latches_fault_on_wide_challenge() {
+        // The register window exposes exactly 64 challenge bits; a PUF
+        // fabricated wider must latch STATUS bit 2 on CTRL instead of
+        // panicking inside the register write.
+        use neuropuls_photonic::process::ProcessVariation;
+        use neuropuls_puf::photonic::PhotonicPufConfig;
+        let config = PhotonicPufConfig {
+            challenge_bits: 128,
+            ..PhotonicPufConfig::reference()
+        };
+        let puf = PhotonicPuf::fabricate(DieId(9), config, ProcessVariation::typical_soi(), 9);
+        let (mut p, telemetry) = PufPeripheral::new(puf);
+        p.write32(puf_regs::CHALLENGE0, 0xDEAD_BEEF);
+        p.write32(puf_regs::CHALLENGE1, 0x1234_5678);
+        p.write32(puf_regs::CTRL, 1);
+        assert_eq!(p.read32(puf_regs::STATUS), 4, "fault bit set, not busy/valid");
+        p.tick(1000);
+        assert_eq!(p.read32(puf_regs::STATUS), 4, "fault is sticky across ticks");
+        assert_eq!(p.read32(puf_regs::RESPONSE0), 0, "no response exposed");
+        assert_eq!(p.read32(puf_regs::RESPONSE1), 0, "no response exposed");
+        assert_eq!(
+            telemetry.lock().expect("telemetry mutex poisoned").evaluations,
+            0,
+            "faulted start is not an evaluation"
+        );
     }
 
     #[test]

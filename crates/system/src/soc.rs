@@ -192,6 +192,17 @@ impl Soc {
             if cycles > 0.0 { instret / cycles } else { 0.0 },
             "instructions per cycle",
         );
+        // Bus transaction counters. `BusStats` is cumulative, so the
+        // bus-side tally is reset after folding: each `run` contributes
+        // its delta and the registry counters stay monotone even when
+        // firmware is run in several bursts.
+        let bus = self.bus.stats();
+        self.stats.counter("bus.ram_reads", bus.ram_reads);
+        self.stats.counter("bus.ram_writes", bus.ram_writes);
+        self.stats.counter("bus.device_reads", bus.device_reads);
+        self.stats.counter("bus.device_writes", bus.device_writes);
+        self.stats.counter("bus.faults", bus.faults);
+        self.bus.reset_stats();
         // invariant: telemetry lock holders never panic while holding
         // the lock.
         let t = self.puf_telemetry.lock().expect("telemetry mutex poisoned").clone();
@@ -411,5 +422,30 @@ mod tests {
         assert!(dump.contains("soc.energy_pj"));
         assert!(s.stats().scalar("soc.sim_time_ns") > 0.0);
         assert!(s.stats().scalar("cpu.ipc") > 0.0);
+        assert!(dump.contains("bus.ram_reads"));
+        assert!(
+            s.stats().counter_value("bus.device_writes") >= 3,
+            "PUF_READ issues at least challenge/CTRL device writes"
+        );
+        assert_eq!(s.stats().counter_value("bus.faults"), 0);
+    }
+
+    #[test]
+    fn bus_counters_accumulate_across_runs() {
+        let mut s = soc();
+        s.load_firmware("li a0, 1\nli a7, 0\necall").unwrap();
+        let _ = s.run(1000);
+        let first = s.stats().counter_value("bus.ram_reads");
+        assert!(first > 0, "instruction fetches count as RAM reads");
+        // Re-running the same firmware adds a delta rather than
+        // re-folding the cumulative bus tally.
+        let mut s2 = soc();
+        s2.load_firmware("li a0, 1\nli a7, 0\necall").unwrap();
+        let _ = s2.run(1000);
+        let _ = s2.run(1000);
+        assert!(
+            s2.stats().counter_value("bus.ram_reads") >= first,
+            "second run must not shrink the counter"
+        );
     }
 }

@@ -1,133 +1,18 @@
-//! gem5-style statistics registry.
+//! gem5-style statistics registry — folded into `neuropuls_rt::trace`.
 //!
 //! §V: "The gem5-provided log facility allows data collection to assess
 //! entropy, uniqueness, and response uniformity … throughput, latency,
 //! and power consumption measurements are essential". Components
 //! register named scalar counters and distributions; a dump renders the
 //! familiar `name value # description` format.
+//!
+//! The implementation now lives in [`neuropuls_rt::trace::Registry`],
+//! which keeps this module's whole scalar/distribution API and dump
+//! format and adds integer counters, fixed-boundary histograms, JSONL
+//! export and thread-safe `&self` recording. This alias remains the
+//! system crate's spelling of it.
 
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
-
-/// One scalar statistic.
-#[derive(Debug, Clone, Default)]
-struct Scalar {
-    value: f64,
-    description: String,
-}
-
-/// One distribution statistic (running moments + min/max).
-#[derive(Debug, Clone, Default)]
-struct Distribution {
-    count: u64,
-    sum: f64,
-    sum_sq: f64,
-    min: f64,
-    max: f64,
-    description: String,
-}
-
-/// The statistics registry.
-#[derive(Debug, Clone, Default)]
-pub struct StatRegistry {
-    scalars: BTreeMap<String, Scalar>,
-    distributions: BTreeMap<String, Distribution>,
-}
-
-impl StatRegistry {
-    /// Creates an empty registry.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Increments a scalar counter, creating it on first use.
-    pub fn add(&mut self, name: &str, amount: f64, description: &str) {
-        let entry = self.scalars.entry(name.to_string()).or_default();
-        entry.value += amount;
-        if entry.description.is_empty() {
-            entry.description = description.to_string();
-        }
-    }
-
-    /// Sets a scalar to an absolute value.
-    pub fn set(&mut self, name: &str, value: f64, description: &str) {
-        let entry = self.scalars.entry(name.to_string()).or_default();
-        entry.value = value;
-        if entry.description.is_empty() {
-            entry.description = description.to_string();
-        }
-    }
-
-    /// Records a sample into a distribution.
-    pub fn sample(&mut self, name: &str, value: f64, description: &str) {
-        let entry = self
-            .distributions
-            .entry(name.to_string())
-            .or_insert_with(|| Distribution {
-                min: f64::INFINITY,
-                max: f64::NEG_INFINITY,
-                description: description.to_string(),
-                ..Default::default()
-            });
-        entry.count += 1;
-        entry.sum += value;
-        entry.sum_sq += value * value;
-        entry.min = entry.min.min(value);
-        entry.max = entry.max.max(value);
-    }
-
-    /// Reads a scalar (0.0 when absent).
-    pub fn scalar(&self, name: &str) -> f64 {
-        self.scalars.get(name).map_or(0.0, |s| s.value)
-    }
-
-    /// Mean of a distribution (NaN when empty/absent).
-    pub fn mean(&self, name: &str) -> f64 {
-        self.distributions
-            .get(name)
-            .filter(|d| d.count > 0)
-            .map_or(f64::NAN, |d| d.sum / d.count as f64)
-    }
-
-    /// Sample count of a distribution.
-    pub fn count(&self, name: &str) -> u64 {
-        self.distributions.get(name).map_or(0, |d| d.count)
-    }
-
-    /// Renders the gem5-style dump.
-    pub fn dump(&self) -> String {
-        let mut out = String::from("---------- Begin Simulation Statistics ----------\n");
-        for (name, s) in &self.scalars {
-            let _ = writeln!(out, "{name:<42} {:>14.4} # {}", s.value, s.description);
-        }
-        for (name, d) in &self.distributions {
-            if d.count == 0 {
-                continue;
-            }
-            let mean = d.sum / d.count as f64;
-            let var = (d.sum_sq / d.count as f64 - mean * mean).max(0.0);
-            let _ = writeln!(
-                out,
-                "{:<42} {:>14.4} # {} (n={}, sd={:.4}, min={:.4}, max={:.4})",
-                format!("{name}::mean"),
-                mean,
-                d.description,
-                d.count,
-                var.sqrt(),
-                d.min,
-                d.max
-            );
-        }
-        out.push_str("---------- End Simulation Statistics   ----------\n");
-        out
-    }
-
-    /// Clears all statistics.
-    pub fn reset(&mut self) {
-        self.scalars.clear();
-        self.distributions.clear();
-    }
-}
+pub use neuropuls_rt::trace::Registry as StatRegistry;
 
 #[cfg(test)]
 mod tests {
@@ -135,7 +20,7 @@ mod tests {
 
     #[test]
     fn counters_accumulate() {
-        let mut stats = StatRegistry::new();
+        let stats = StatRegistry::new();
         stats.add("cpu.instructions", 10.0, "retired instructions");
         stats.add("cpu.instructions", 5.0, "retired instructions");
         assert_eq!(stats.scalar("cpu.instructions"), 15.0);
@@ -143,7 +28,7 @@ mod tests {
 
     #[test]
     fn set_overrides() {
-        let mut stats = StatRegistry::new();
+        let stats = StatRegistry::new();
         stats.add("x", 3.0, "");
         stats.set("x", 1.0, "");
         assert_eq!(stats.scalar("x"), 1.0);
@@ -151,7 +36,7 @@ mod tests {
 
     #[test]
     fn distribution_moments() {
-        let mut stats = StatRegistry::new();
+        let stats = StatRegistry::new();
         for v in [1.0, 2.0, 3.0] {
             stats.sample("lat", v, "latency");
         }
@@ -169,7 +54,7 @@ mod tests {
 
     #[test]
     fn dump_contains_entries() {
-        let mut stats = StatRegistry::new();
+        let stats = StatRegistry::new();
         stats.add("sim.ticks", 100.0, "simulated ticks");
         stats.sample("puf.latency", 6.0, "per-eval latency");
         let dump = stats.dump();
@@ -180,9 +65,19 @@ mod tests {
 
     #[test]
     fn reset_clears() {
-        let mut stats = StatRegistry::new();
+        let stats = StatRegistry::new();
         stats.add("a", 1.0, "");
         stats.reset();
         assert_eq!(stats.scalar("a"), 0.0);
+    }
+
+    #[test]
+    fn registry_gains_counters_and_histograms() {
+        // The fold's new surface is reachable through the old name.
+        let stats = StatRegistry::new();
+        stats.counter("bus.reads", 2);
+        stats.observe("queue.depth", 3.0);
+        assert_eq!(stats.counter_value("bus.reads"), 2);
+        assert_eq!(stats.histogram("queue.depth").unwrap().count(), 1);
     }
 }

@@ -1,0 +1,171 @@
+//! Golden-transcript tests: the structured trace of one full wire
+//! session per §III protocol — plus a 3-device fleet attestation round —
+//! is pinned byte-for-byte against fixtures in `tests/golden/*.trace`.
+//!
+//! Each fixture is the JSONL event log (`Tracer::to_jsonl`) of a fixed
+//! seed, fixed configuration run through a lossy `FaultyChannel`, so the
+//! fixtures pin the frame schedule, the ARQ retransmission pattern and
+//! the span structure all at once. Any behavioral change to the wire
+//! layer, the protocols, the fault model or the tracer shows up here as
+//! a readable diff.
+//!
+//! Regenerating after an intentional change:
+//!
+//! ```text
+//! NEUROPULS_BLESS=1 cargo test --test golden_traces
+//! ```
+//!
+//! then review the fixture diff like any other code change.
+
+use neuropuls_accel::config::NetworkConfig;
+use neuropuls_accel::engine::PhotonicEngine;
+use neuropuls_photonic::process::DieId;
+use neuropuls_protocols::attestation::{
+    run_wire_attestation_traced, AttestationVerifier, AttestingDevice, TimingModel,
+};
+use neuropuls_protocols::eke::{run_wire_exchange_traced, EkeParty};
+use neuropuls_protocols::mutual_auth::{run_wire_session_traced, Device, Verifier};
+use neuropuls_protocols::secure_nn::{run_wire_inference_traced, NetworkOwner, SecureAccelerator};
+use neuropuls_protocols::transport::{FaultRates, FaultyChannel};
+use neuropuls_protocols::wire::SessionConfig;
+use neuropuls_puf::bits::Response;
+use neuropuls_puf::photonic::PhotonicPuf;
+use neuropuls_rt::trace::{Registry, Tracer};
+use neuropuls_system::fleet::{run_fleet_traced, FleetConfig};
+use std::path::PathBuf;
+
+/// Compares `jsonl` against `tests/golden/{name}.trace`, or rewrites the
+/// fixture when `NEUROPULS_BLESS=1` is set.
+fn check_golden(name: &str, jsonl: &str) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", &format!("{name}.trace")]
+        .iter()
+        .collect();
+    if std::env::var("NEUROPULS_BLESS").as_deref() == Ok("1") {
+        std::fs::write(&path, jsonl).unwrap_or_else(|e| panic!("blessing {}: {e}", path.display()));
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {}: {e}\nrun `NEUROPULS_BLESS=1 cargo test --test golden_traces` to create it",
+            path.display()
+        )
+    });
+    assert!(
+        jsonl == expected,
+        "trace diverged from {} — if the change is intentional, regenerate with \
+         `NEUROPULS_BLESS=1 cargo test --test golden_traces` and review the diff.\n\
+         --- expected ---\n{expected}\n--- actual ---\n{jsonl}",
+        path.display()
+    );
+}
+
+/// The lossy link every protocol fixture runs over: ~10% frame loss so
+/// the fixture pins the retransmission schedule, not just the happy
+/// path.
+fn lossy(seed: u64) -> FaultyChannel {
+    FaultyChannel::new(FaultRates::loss(0.1), seed)
+}
+
+#[test]
+fn golden_mutual_auth_session() {
+    let puf = PhotonicPuf::reference(DieId(31), 1);
+    let (mut device, provisioned) =
+        Device::provision(puf, vec![0xA5; 1024], b"golden-provision").expect("provisions");
+    let mut verifier = Verifier::new(provisioned, b"golden-verifier");
+    let mut channel = lossy(0x601D_0001);
+    let mut tracer = Tracer::new();
+    let report = run_wire_session_traced(
+        &mut channel,
+        &mut device,
+        &mut verifier,
+        1,
+        SessionConfig::default(),
+        &mut tracer,
+    );
+    assert!(report.succeeded(), "{:?}", report.result);
+    check_golden("mutual_auth", &tracer.to_jsonl());
+}
+
+#[test]
+fn golden_attestation_session() {
+    let memory: Vec<u8> = (0..2048).map(|i| (i * 31 % 251) as u8).collect();
+    let timing = TimingModel::photonic();
+    let mut device = AttestingDevice::new(PhotonicPuf::reference(DieId(32), 1), memory.clone(), timing);
+    let mut verifier = AttestationVerifier::new(PhotonicPuf::reference(DieId(32), 2), memory, timing);
+    let mut channel = lossy(0x601D_0002);
+    let mut tracer = Tracer::new();
+    let report = run_wire_attestation_traced(
+        &mut channel,
+        &mut device,
+        &mut verifier,
+        1,
+        SessionConfig::default(),
+        &mut tracer,
+    );
+    assert!(report.succeeded(), "{:?}", report.result);
+    check_golden("attestation", &tracer.to_jsonl());
+}
+
+#[test]
+fn golden_eke_session() {
+    let crp = Response::from_u64(0x601D, 63);
+    let mut initiator = EkeParty::new(&crp, b"golden-eke-init");
+    let mut responder = EkeParty::new(&crp, b"golden-eke-resp");
+    let mut channel = lossy(0x601D_0003);
+    let mut tracer = Tracer::new();
+    let report = run_wire_exchange_traced(
+        &mut channel,
+        &mut initiator,
+        &mut responder,
+        1,
+        SessionConfig::default(),
+        &mut tracer,
+    );
+    assert!(report.succeeded(), "{:?}", report.result);
+    assert_eq!(initiator.session(), responder.session());
+    check_golden("eke", &tracer.to_jsonl());
+}
+
+#[test]
+fn golden_secure_nn_session() {
+    let key = [0x5A; 32];
+    let mut owner = NetworkOwner::new(key, b"golden-owner");
+    let mut accel = SecureAccelerator::new(PhotonicEngine::reference(1), key);
+    let config = NetworkConfig::mlp(&[4, 4], |_, o, i| if o == i { 1.0 } else { 0.0 });
+    let network_blob = owner.cipher_network(&config);
+    let input_blob = owner.cipher_input(&[1.0, 0.5, -0.25, 0.0]);
+    let mut channel = lossy(0x601D_0004);
+    let mut tracer = Tracer::new();
+    let (report, output) = run_wire_inference_traced(
+        &mut channel,
+        &mut accel,
+        network_blob,
+        input_blob,
+        1,
+        SessionConfig::default(),
+        &mut tracer,
+    );
+    assert!(report.succeeded(), "{:?}", report.result);
+    assert!(output.is_some());
+    check_golden("secure_nn", &tracer.to_jsonl());
+}
+
+#[test]
+fn golden_fleet_attestation_round() {
+    let config = FleetConfig {
+        devices: 3,
+        verifiers: 1,
+        period_us: 20.0,
+        horizon_us: 60.0,
+        compromised_fraction: 0.34,
+        seed: 0x601D_F1EE,
+        auth_sessions: 1,
+        auth_loss_rate: 0.1,
+    };
+    let mut tracer = Tracer::new();
+    let registry = Registry::new();
+    let report = run_fleet_traced(&config, &mut tracer, &registry);
+    assert!(report.attestations > 0, "{report:?}");
+    check_golden("fleet_round", &tracer.to_jsonl());
+}
