@@ -50,6 +50,7 @@ fn runners() -> Vec<Runner> {
             }
             rendered
         }),
+        ("E20", |s| experiments::gateway::run(s).0),
     ]
 }
 

@@ -1,0 +1,7 @@
+//! Regenerates the concurrent-gateway throughput study (E20).
+use neuropuls_bench::{experiments, Scale};
+
+fn main() {
+    let (out, _) = experiments::gateway::run(Scale::from_args());
+    print!("{out}");
+}

@@ -8,6 +8,7 @@ pub mod eke;
 pub mod environment;
 pub mod fig3;
 pub mod fleet;
+pub mod gateway;
 pub mod keygen;
 pub mod ml_attack;
 pub mod protocol_robustness;

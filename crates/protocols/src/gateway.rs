@@ -1,0 +1,842 @@
+//! Concurrent session gateway: many wire sessions, one transport.
+//!
+//! The §III drivers in [`crate::wire`] run exactly one session per
+//! channel. A production verifier terminates *fleets*: hundreds of
+//! devices authenticate, attest, key-exchange and stream inference
+//! blobs over one physical link. This module multiplexes any number of
+//! concurrent [`Session`] pairs — all four protocols mixed freely —
+//! over a single shared [`Transport`] by demultiplexing on the
+//! [`Envelope`] tags (`protocol`, `session`) that every frame already
+//! carries.
+//!
+//! # Scheduling model
+//!
+//! The gateway is a deterministic poll loop. Each tick:
+//!
+//! 1. **Admit** — sessions move backlog → accept queue → active set.
+//!    The accept queue is bounded ([`GatewayConfig::accept_queue`]) and
+//!    the active set is bounded ([`GatewayConfig::max_active`]); a
+//!    session's ARQ clock only runs while it is active, so queued
+//!    sessions cannot time out waiting for admission.
+//! 2. **Route A** — every frame pending on [`Side::A`] is decoded and
+//!    appended to the owning session's initiator inbox.
+//! 3. **Step initiators** — each active initiator is stepped with at
+//!    most one inbox frame, in round-robin order rotated by the tick
+//!    number so no session systematically transmits first.
+//! 4. **Route B / step responders** — the mirror image for [`Side::B`].
+//! 5. **Close** — slots whose two sides both finished (or either side
+//!    failed) leave the active set, freeing capacity for the queue.
+//!
+//! This is the per-session cadence of [`crate::wire::drive_traced`]
+//! exactly: an initiator frame sent on tick *t* reaches the responder
+//! on tick *t*, and the reply reaches the initiator on tick *t + 1*.
+//! Over a lossless transport the gateway therefore produces, per
+//! session, byte-identical wire transcripts to running each session
+//! alone (`tests/` pins this property).
+//!
+//! # Demux rules
+//!
+//! * Frames that do not decode as an [`Envelope`] are dropped and
+//!   counted (`undecodable_frames`); a session treats a missing frame
+//!   exactly like decoded noise, so this cannot change behavior.
+//! * Frames whose `(protocol, session)` key matches a *closed* slot are
+//!   late arrivals — duplicates or reordered stragglers from a session
+//!   that already completed. They are dropped and counted
+//!   (`late_frames`), never silently lost.
+//! * Frames with an unknown key are counted as `unroutable_frames`.
+//!
+//! The gateway itself is single-threaded and allocation-light;
+//! fleet-scale runs fan out *independent* gateways (one per shared
+//! link) on `neuropuls_rt::pool`, whose ordered-merge contract keeps
+//! the aggregate deterministic under any thread count.
+
+use crate::error::ProtocolError;
+use crate::transport::{Side, Transport};
+use crate::wire::{Envelope, ProtocolId, Session, SessionAction};
+use neuropuls_rt::codec::FromBytes;
+use neuropuls_rt::trace::{Registry, Tracer, Value};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Human-readable protocol label for traces and reports.
+pub fn protocol_label(protocol: ProtocolId) -> &'static str {
+    match protocol {
+        ProtocolId::MutualAuth => "mutual_auth",
+        ProtocolId::Attestation => "attestation",
+        ProtocolId::Eke => "eke",
+        ProtocolId::SecureNn => "secure_nn",
+    }
+}
+
+/// One session to multiplex: the two endpoints plus the envelope key
+/// (`protocol`, `id`) its frames carry on the shared wire.
+pub struct SessionPair<'x> {
+    /// Service discriminator routed on.
+    pub protocol: ProtocolId,
+    /// Session identifier routed on (chosen unique by the caller).
+    pub id: u64,
+    /// The [`Side::A`] endpoint (verifier / client / initiator).
+    pub initiator: Box<dyn Session + 'x>,
+    /// The [`Side::B`] endpoint (device / accelerator / responder).
+    pub responder: Box<dyn Session + 'x>,
+}
+
+/// Capacity and budget knobs of one gateway run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayConfig {
+    /// Sessions running concurrently (ARQ clocks ticking).
+    pub max_active: usize,
+    /// Sessions staged for admission; overflow waits in the backlog.
+    pub accept_queue: usize,
+    /// Total tick budget for the whole run.
+    pub max_ticks: u64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            max_active: 64,
+            accept_queue: 16,
+            max_ticks: 4096,
+        }
+    }
+}
+
+/// Terminal state of one multiplexed session.
+#[derive(Debug)]
+pub struct GatewayOutcome {
+    /// Service the session ran.
+    pub protocol: ProtocolId,
+    /// Envelope session id.
+    pub id: u64,
+    /// Active ticks to completion, or the failure that ended it.
+    /// Sessions still queued or in flight when the tick budget ran out
+    /// report [`ProtocolError::Timeout`] with `retries: 0`.
+    pub result: Result<u32, ProtocolError>,
+    /// Frames retransmitted across both endpoints.
+    pub retransmits: u32,
+    /// Tick the session entered the active set (`None` = never admitted).
+    pub admitted_at: Option<u64>,
+}
+
+/// Aggregate outcome of one gateway run.
+#[derive(Debug)]
+pub struct GatewayReport {
+    /// Sessions submitted.
+    pub sessions: usize,
+    /// Sessions that completed both sides.
+    pub completed: usize,
+    /// Sessions that failed with a protocol error.
+    pub failed: usize,
+    /// Sessions still queued or in flight at the tick budget.
+    pub unfinished: usize,
+    /// Ticks consumed (≤ [`GatewayConfig::max_ticks`]).
+    pub ticks: u64,
+    /// Total frames retransmitted across all sessions.
+    pub retransmits: u64,
+    /// Frames routed to an already-closed session (counted, dropped).
+    pub late_frames: u64,
+    /// Decoded frames whose key matched no known session.
+    pub unroutable_frames: u64,
+    /// Frames that did not decode as an [`Envelope`].
+    pub undecodable_frames: u64,
+    /// Most sessions simultaneously active.
+    pub peak_active: usize,
+    /// Most sessions simultaneously staged in the accept queue.
+    pub peak_staged: usize,
+    /// Per-session outcomes, in submission order.
+    pub outcomes: Vec<GatewayOutcome>,
+}
+
+impl GatewayReport {
+    /// Whether every submitted session completed.
+    pub fn all_completed(&self) -> bool {
+        self.completed == self.sessions
+    }
+}
+
+enum SlotState {
+    Backlog,
+    Staged,
+    Active,
+    Closed,
+}
+
+struct Slot<'x> {
+    pair: SessionPair<'x>,
+    state: SlotState,
+    inbox_a: VecDeque<Vec<u8>>,
+    inbox_b: VecDeque<Vec<u8>>,
+    admitted_at: Option<u64>,
+    ticks_active: u32,
+    result: Option<Result<u32, ProtocolError>>,
+}
+
+impl Slot<'_> {
+    fn close(&mut self, result: Result<u32, ProtocolError>) {
+        self.state = SlotState::Closed;
+        self.result = Some(result);
+    }
+
+    fn retransmits(&self) -> u32 {
+        self.pair.initiator.retransmits() + self.pair.responder.retransmits()
+    }
+}
+
+/// [`run_gateway_traced`] without instrumentation.
+pub fn run_gateway<T: Transport>(
+    transport: &mut T,
+    sessions: Vec<SessionPair<'_>>,
+    config: GatewayConfig,
+) -> GatewayReport {
+    run_gateway_traced(
+        transport,
+        sessions,
+        config,
+        &mut Tracer::disabled(),
+        &Registry::new(),
+    )
+}
+
+/// Runs every session in `sessions` to completion (or failure) over the
+/// shared `transport`, multiplexing frames by their envelope key.
+///
+/// Instrumentation: one `gateway.session` span per session (admission
+/// to close, carrying protocol, ticks and retransmits), instants for
+/// late / unroutable frames, and `gateway.*` counters plus a
+/// `gateway.session_ticks` histogram folded into `registry`.
+///
+/// The report is total: every submitted session appears in
+/// [`GatewayReport::outcomes`] exactly once, on every path. Duplicate
+/// `(protocol, id)` keys fail the later session immediately with
+/// [`ProtocolError::OutOfOrder`] rather than corrupting the demux.
+pub fn run_gateway_traced<T: Transport>(
+    transport: &mut T,
+    sessions: Vec<SessionPair<'_>>,
+    config: GatewayConfig,
+    tracer: &mut Tracer,
+    registry: &Registry,
+) -> GatewayReport {
+    let mut slots: Vec<Slot<'_>> = sessions
+        .into_iter()
+        .map(|pair| Slot {
+            pair,
+            state: SlotState::Backlog,
+            inbox_a: VecDeque::new(),
+            inbox_b: VecDeque::new(),
+            admitted_at: None,
+            ticks_active: 0,
+            result: None,
+        })
+        .collect();
+    registry.counter("gateway.sessions", slots.len() as u64);
+
+    // Demux table: envelope key -> slot index. A key maps to at most
+    // one *open* slot; closed slots move to `closed_keys` so stragglers
+    // are recognized as late rather than unroutable.
+    let mut routes: BTreeMap<(ProtocolId, u64), usize> = BTreeMap::new();
+    let mut backlog: VecDeque<usize> = VecDeque::new();
+    for (idx, slot) in slots.iter_mut().enumerate() {
+        let key = (slot.pair.protocol, slot.pair.id);
+        match routes.entry(key) {
+            std::collections::btree_map::Entry::Vacant(entry) => {
+                entry.insert(idx);
+                backlog.push_back(idx);
+            }
+            std::collections::btree_map::Entry::Occupied(_) => {
+                slot.close(Err(ProtocolError::OutOfOrder(format!(
+                    "duplicate gateway session key {}/{}",
+                    protocol_label(key.0),
+                    key.1
+                ))));
+            }
+        }
+    }
+
+    let mut staged: VecDeque<usize> = VecDeque::new();
+    let mut active: Vec<usize> = Vec::new();
+    let mut late_frames = 0u64;
+    let mut unroutable_frames = 0u64;
+    let mut undecodable_frames = 0u64;
+    let mut peak_active = 0usize;
+    let mut peak_staged = 0usize;
+    let mut ticks = 0u64;
+    let mut open = slots.iter().filter(|s| s.result.is_none()).count();
+
+    let mut route = |transport: &mut T,
+                     side: Side,
+                     slots: &mut Vec<Slot<'_>>,
+                     tracer: &mut Tracer,
+                     tick: u64| {
+        while let Some(frame) = transport.recv(side) {
+            let Ok(env) = Envelope::from_bytes(&frame) else {
+                undecodable_frames += 1;
+                continue;
+            };
+            match routes.get(&(env.protocol, env.session)) {
+                Some(&idx) => {
+                    // invariant: `routes` only holds indices produced by
+                    // enumerate() over `slots`, which never shrinks.
+                    let Some(slot) = slots.get_mut(idx) else {
+                        unroutable_frames += 1;
+                        continue;
+                    };
+                    if matches!(slot.state, SlotState::Closed) {
+                        late_frames += 1;
+                        if tracer.is_enabled() {
+                            tracer.instant(
+                                tick,
+                                "gateway.late_frame",
+                                vec![
+                                    ("protocol", Value::from(protocol_label(env.protocol))),
+                                    ("session", Value::from(env.session)),
+                                ],
+                            );
+                        }
+                    } else if side == Side::A {
+                        slot.inbox_a.push_back(frame);
+                    } else {
+                        slot.inbox_b.push_back(frame);
+                    }
+                }
+                None => {
+                    unroutable_frames += 1;
+                    if tracer.is_enabled() {
+                        tracer.instant(
+                            tick,
+                            "gateway.unroutable",
+                            vec![
+                                ("protocol", Value::from(protocol_label(env.protocol))),
+                                ("session", Value::from(env.session)),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+    };
+
+    while open > 0 && ticks < config.max_ticks {
+        let tick = ticks;
+
+        // Phase 1 — admit: backlog refills the bounded accept queue,
+        // the accept queue fills free active capacity, FIFO throughout.
+        while staged.len() < config.accept_queue {
+            match backlog.pop_front() {
+                Some(idx) => {
+                    if let Some(slot) = slots.get_mut(idx) {
+                        slot.state = SlotState::Staged;
+                    }
+                    staged.push_back(idx);
+                }
+                None => break,
+            }
+        }
+        peak_staged = peak_staged.max(staged.len());
+        while active.len() < config.max_active {
+            match staged.pop_front() {
+                Some(idx) => {
+                    if let Some(slot) = slots.get_mut(idx) {
+                        slot.state = SlotState::Active;
+                        slot.admitted_at = Some(tick);
+                        if tracer.is_enabled() {
+                            tracer.instant(
+                                tick,
+                                "gateway.admit",
+                                vec![
+                                    (
+                                        "protocol",
+                                        Value::from(protocol_label(slot.pair.protocol)),
+                                    ),
+                                    ("session", Value::from(slot.pair.id)),
+                                ],
+                            );
+                        }
+                    }
+                    active.push(idx);
+                }
+                None => break,
+            }
+        }
+        peak_active = peak_active.max(active.len());
+
+        // Fair rotation: which active session transmits first cycles
+        // with the tick, so early slots get no standing head start on
+        // the shared wire.
+        let rotation = if active.is_empty() {
+            0
+        } else {
+            (tick as usize) % active.len()
+        };
+        let order: Vec<usize> = (0..active.len())
+            .map(|k| (rotation + k) % active.len())
+            .filter_map(|pos| active.get(pos).copied())
+            .collect();
+
+        // Phase 2/3 — deliver pending side-A frames, step initiators.
+        route(transport, Side::A, &mut slots, tracer, tick);
+        for &idx in &order {
+            step_side(transport, &mut slots, idx, Side::A, tick);
+        }
+
+        // Phase 4 — the responder mirror.
+        route(transport, Side::B, &mut slots, tracer, tick);
+        for &idx in &order {
+            step_side(transport, &mut slots, idx, Side::B, tick);
+        }
+
+        // Phase 5 — close finished and failed slots.
+        for &idx in &order {
+            let Some(slot) = slots.get_mut(idx) else {
+                continue;
+            };
+            if slot.result.is_some() && !matches!(slot.state, SlotState::Closed) {
+                // A side failed during stepping this tick.
+                slot.state = SlotState::Closed;
+            } else if slot.pair.initiator.done() && slot.pair.responder.done() {
+                slot.ticks_active += 1;
+                let t = slot.ticks_active;
+                slot.close(Ok(t));
+            } else {
+                slot.ticks_active += 1;
+                continue;
+            }
+            if tracer.is_enabled() {
+                let ok = matches!(slot.result, Some(Ok(_)));
+                tracer.instant(
+                    tick,
+                    "gateway.session_closed",
+                    vec![
+                        ("protocol", Value::from(protocol_label(slot.pair.protocol))),
+                        ("session", Value::from(slot.pair.id)),
+                        ("ok", Value::from(ok)),
+                        ("ticks", Value::from(slot.ticks_active)),
+                        ("retransmits", Value::from(slot.retransmits())),
+                    ],
+                );
+            }
+            open = open.saturating_sub(1);
+        }
+        active.retain(|&idx| {
+            slots
+                .get(idx)
+                .is_some_and(|s| !matches!(s.state, SlotState::Closed))
+        });
+
+        ticks += 1;
+    }
+
+    // Budget exhausted: everything still open is unfinished.
+    let mut unfinished = 0usize;
+    for slot in &mut slots {
+        if slot.result.is_none() {
+            unfinished += 1;
+            slot.close(Err(ProtocolError::Timeout { retries: 0 }));
+        }
+    }
+
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+    let mut retransmits = 0u64;
+    let outcomes: Vec<GatewayOutcome> = slots
+        .into_iter()
+        .map(|slot| {
+            let result = slot.result.unwrap_or(Err(ProtocolError::Timeout { retries: 0 }));
+            match &result {
+                Ok(t) => {
+                    completed += 1;
+                    registry.observe("gateway.session_ticks", f64::from(*t));
+                }
+                Err(_) => failed += 1,
+            }
+            let r = slot.pair.initiator.retransmits() + slot.pair.responder.retransmits();
+            retransmits += u64::from(r);
+            GatewayOutcome {
+                protocol: slot.pair.protocol,
+                id: slot.pair.id,
+                result,
+                retransmits: r,
+                admitted_at: slot.admitted_at,
+            }
+        })
+        .collect();
+    // `failed` counted every Err outcome; unfinished sessions are their
+    // own column, not protocol failures.
+    failed = failed.saturating_sub(unfinished);
+
+    registry.counter("gateway.completed", completed as u64);
+    registry.counter("gateway.failed", failed as u64);
+    registry.counter("gateway.unfinished", unfinished as u64);
+    registry.counter("gateway.retransmits", retransmits);
+    registry.counter("gateway.late_frames", late_frames);
+    registry.counter("gateway.unroutable_frames", unroutable_frames);
+    registry.counter("gateway.undecodable_frames", undecodable_frames);
+
+    let report = GatewayReport {
+        sessions: outcomes.len(),
+        completed,
+        failed,
+        unfinished,
+        ticks,
+        retransmits,
+        late_frames,
+        unroutable_frames,
+        undecodable_frames,
+        peak_active,
+        peak_staged,
+        outcomes,
+    };
+    if tracer.is_enabled() {
+        tracer.instant(
+            ticks.saturating_sub(1),
+            "gateway.result",
+            vec![
+                ("sessions", Value::from(report.sessions)),
+                ("completed", Value::from(report.completed)),
+                ("failed", Value::from(report.failed)),
+                ("unfinished", Value::from(report.unfinished)),
+                ("ticks", Value::from(report.ticks)),
+                ("retransmits", Value::from(report.retransmits)),
+                ("late_frames", Value::from(report.late_frames)),
+                ("peak_active", Value::from(report.peak_active)),
+            ],
+        );
+    }
+    report
+}
+
+/// Steps one side of one active slot with at most one inbox frame,
+/// mirroring the per-tick cadence of [`crate::wire::drive_traced`]: a
+/// finished side with an empty inbox is left alone (its clock stops),
+/// a finished side *with* a frame still steps so it can re-serve
+/// duplicates, and a step failure closes the whole slot.
+fn step_side<T: Transport>(
+    transport: &mut T,
+    slots: &mut [Slot<'_>],
+    idx: usize,
+    side: Side,
+    _tick: u64,
+) {
+    let Some(slot) = slots.get_mut(idx) else {
+        return;
+    };
+    if slot.result.is_some() {
+        return;
+    }
+    let frame = match side {
+        Side::A => slot.inbox_a.pop_front(),
+        Side::B => slot.inbox_b.pop_front(),
+    };
+    let session: &mut dyn Session = match side {
+        Side::A => slot.pair.initiator.as_mut(),
+        Side::B => slot.pair.responder.as_mut(),
+    };
+    if frame.is_none() && session.done() {
+        return;
+    }
+    match session.step(frame.as_deref()) {
+        Ok(SessionAction::Send(f)) => transport.send(side, f),
+        Ok(SessionAction::Wait | SessionAction::Done) => {}
+        Err(e) => slot.result = Some(Err(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attestation::{
+        AttestationVerifier, AttestingDevice, TimingModel, WireAttestationVerifier,
+        WireAttestingDevice,
+    };
+    use crate::eke::{EkeParty, WireEkeInitiator, WireEkeResponder};
+    use crate::mutual_auth::{Device, Verifier, WireDevice, WireVerifier};
+    use crate::secure_nn::{NetworkOwner, SecureAccelerator, WireNnClient, WireNnServer};
+    use crate::transport::{Channel, FaultRates, FaultyChannel};
+    use crate::wire::SessionConfig;
+    use neuropuls_accel::config::NetworkConfig;
+    use neuropuls_accel::engine::PhotonicEngine;
+    use std::collections::BTreeMap;
+    use neuropuls_photonic::process::DieId;
+    use neuropuls_puf::bits::Response;
+    use neuropuls_puf::photonic::PhotonicPuf;
+
+    /// A bundle of endpoint state backing one four-protocol session mix.
+    struct Endpoints {
+        auth: Vec<(Device<PhotonicPuf>, Verifier)>,
+        attest: Vec<(AttestingDevice, AttestationVerifier)>,
+        eke: Vec<(EkeParty, EkeParty)>,
+        nn: Vec<(SecureAccelerator, Vec<u8>, Vec<u8>)>,
+    }
+
+    fn endpoints(n: usize, seed: u8) -> Endpoints {
+        let auth = (0..n)
+            .map(|i| {
+                let puf = PhotonicPuf::reference(DieId(40 + i as u64), 1);
+                let (device, provisioned) =
+                    Device::provision(puf, vec![seed; 512], format!("prov-{seed}-{i}").as_bytes())
+                        .expect("provisions");
+                let verifier = Verifier::new(provisioned, format!("verif-{seed}-{i}").as_bytes());
+                (device, verifier)
+            })
+            .collect();
+        let attest = (0..n)
+            .map(|i| {
+                let memory: Vec<u8> = (0..1024).map(|j| (j * 13 + i * 7) as u8).collect();
+                let timing = TimingModel::photonic();
+                let device = AttestingDevice::new(
+                    PhotonicPuf::reference(DieId(60 + i as u64), 1),
+                    memory.clone(),
+                    timing,
+                );
+                let verifier = AttestationVerifier::new(
+                    PhotonicPuf::reference(DieId(60 + i as u64), 2),
+                    memory,
+                    timing,
+                );
+                (device, verifier)
+            })
+            .collect();
+        let eke = (0..n)
+            .map(|i| {
+                let crp = Response::from_u64(0x1234_5678 ^ (i as u64), 63);
+                let initiator = EkeParty::new(&crp, format!("eke-i-{seed}-{i}").as_bytes());
+                let responder = EkeParty::new(&crp, format!("eke-r-{seed}-{i}").as_bytes());
+                (initiator, responder)
+            })
+            .collect();
+        let nn = (0..n)
+            .map(|i| {
+                let key = [seed ^ i as u8; 32];
+                let mut owner = NetworkOwner::new(key, format!("own-{seed}-{i}").as_bytes());
+                let accel = SecureAccelerator::new(PhotonicEngine::reference(1), key);
+                let config = NetworkConfig::mlp(&[4, 4], |_, o, j| if o == j { 1.0 } else { 0.0 });
+                let network = owner.cipher_network(&config);
+                let input = owner.cipher_input(&[1.0, 0.5, -0.25, 0.0]);
+                (accel, network, input)
+            })
+            .collect();
+        Endpoints {
+            auth,
+            attest,
+            eke,
+            nn,
+        }
+    }
+
+    /// Builds one SessionPair per endpoint, all four protocols, with
+    /// distinct session ids.
+    fn pairs<'x>(ep: &'x mut Endpoints, cfg: SessionConfig) -> Vec<SessionPair<'x>> {
+        let mut out: Vec<SessionPair<'x>> = Vec::new();
+        let mut sid = 1u64;
+        for (device, verifier) in &mut ep.auth {
+            out.push(SessionPair {
+                protocol: ProtocolId::MutualAuth,
+                id: sid,
+                initiator: Box::new(WireVerifier::new(verifier, sid, cfg)),
+                responder: Box::new(WireDevice::new(device, cfg)),
+            });
+            sid += 1;
+        }
+        for (device, verifier) in &mut ep.attest {
+            out.push(SessionPair {
+                protocol: ProtocolId::Attestation,
+                id: sid,
+                initiator: Box::new(WireAttestationVerifier::new(verifier, sid, cfg)),
+                responder: Box::new(WireAttestingDevice::new(device, cfg)),
+            });
+            sid += 1;
+        }
+        for (initiator, responder) in &mut ep.eke {
+            out.push(SessionPair {
+                protocol: ProtocolId::Eke,
+                id: sid,
+                initiator: Box::new(WireEkeInitiator::new(initiator, sid, cfg)),
+                responder: Box::new(WireEkeResponder::new(responder, cfg)),
+            });
+            sid += 1;
+        }
+        for (accel, network, input) in &mut ep.nn {
+            out.push(SessionPair {
+                protocol: ProtocolId::SecureNn,
+                id: sid,
+                initiator: Box::new(WireNnClient::new(sid, network.clone(), input.clone(), cfg)),
+                responder: Box::new(WireNnServer::new(accel, cfg)),
+            });
+            sid += 1;
+        }
+        out
+    }
+
+    #[test]
+    fn mixed_protocols_share_one_lossless_transport() {
+        let mut ep = endpoints(3, 0x11);
+        let sessions = pairs(&mut ep, SessionConfig::default());
+        let n = sessions.len();
+        let mut channel = Channel::new();
+        let report = run_gateway(&mut channel, sessions, GatewayConfig::default());
+        assert_eq!(report.sessions, n);
+        assert!(report.all_completed(), "{report:?}");
+        assert_eq!(report.retransmits, 0);
+        assert_eq!(report.late_frames, 0);
+        assert_eq!(report.unroutable_frames, 0);
+        assert_eq!(report.undecodable_frames, 0);
+        assert_eq!(report.peak_active, n);
+        // Every EKE pair agreed on a key through the shared wire.
+        for (initiator, responder) in &ep.eke {
+            assert_eq!(initiator.session(), responder.session());
+        }
+    }
+
+    #[test]
+    fn mixed_protocols_survive_a_shared_lossy_transport() {
+        let mut ep = endpoints(4, 0x22);
+        let sessions = pairs(&mut ep, SessionConfig::default());
+        let n = sessions.len();
+        let mut channel = FaultyChannel::new(FaultRates::loss(0.1), 0x6A7E_1055);
+        let registry = Registry::new();
+        let mut tracer = Tracer::disabled();
+        let report = run_gateway_traced(
+            &mut channel,
+            sessions,
+            GatewayConfig::default(),
+            &mut tracer,
+            &registry,
+        );
+        assert_eq!(report.sessions, n);
+        assert!(report.all_completed(), "{report:?}");
+        assert!(report.retransmits > 0, "10% loss must force retransmits");
+        assert_eq!(registry.counter_value("gateway.completed"), n as u64);
+        assert_eq!(
+            registry.counter_value("gateway.retransmits"),
+            report.retransmits
+        );
+        // Whatever the fault pattern left in flight after close is
+        // accounted as late, never lost.
+        let drained = channel.drain_late();
+        assert_eq!(channel.stats().late_drained, drained);
+    }
+
+    #[test]
+    fn bounded_admission_queues_sessions_without_timing_them_out() {
+        let mut ep = endpoints(6, 0x33);
+        let sessions = pairs(&mut ep, SessionConfig::default());
+        let n = sessions.len();
+        let mut channel = Channel::new();
+        let config = GatewayConfig {
+            max_active: 2,
+            accept_queue: 3,
+            max_ticks: 4096,
+        };
+        let report = run_gateway(&mut channel, sessions, config);
+        assert!(report.all_completed(), "{report:?}");
+        assert!(report.peak_active <= 2);
+        assert!(report.peak_staged <= 3);
+        assert_eq!(report.retransmits, 0, "queued sessions must not tick ARQ");
+        // Admission is staggered: not everyone got in on tick 0.
+        let first = report
+            .outcomes
+            .iter()
+            .filter(|o| o.admitted_at == Some(0))
+            .count();
+        assert_eq!(first, 2);
+        assert!(report.outcomes.iter().all(|o| o.admitted_at.is_some()));
+        assert_eq!(report.sessions, n);
+    }
+
+    /// The multiplexing property the whole module rests on: over a
+    /// lossless shared transport, a gateway run with K interleaved
+    /// sessions produces — per session — *byte-identical* wire
+    /// transcripts to K independent `drive`-based runs. The gateway
+    /// reproduces the single-session tick cadence exactly; only the
+    /// interleaving on the shared wire differs.
+    #[test]
+    fn interleaved_sessions_match_independent_transcripts() {
+        let cfg = SessionConfig::default();
+
+        // Gateway run: 12 sessions (3 of each protocol) on one wire.
+        let mut ep = endpoints(3, 0x77);
+        let sessions = pairs(&mut ep, cfg);
+        let keys: Vec<(ProtocolId, u64)> = sessions.iter().map(|p| (p.protocol, p.id)).collect();
+        let mut shared = Channel::new();
+        let report = run_gateway(&mut shared, sessions, GatewayConfig::default());
+        assert!(report.all_completed(), "{report:?}");
+
+        // Split the shared transcript by envelope key, preserving order.
+        type SessionTranscript = Vec<(Side, Vec<u8>)>;
+        let mut per_session: BTreeMap<(ProtocolId, u64), SessionTranscript> = BTreeMap::new();
+        for (side, frame) in shared.transcript() {
+            let env = Envelope::from_bytes(frame).expect("lossless frames decode");
+            per_session
+                .entry((env.protocol, env.session))
+                .or_default()
+                .push((*side, frame.clone()));
+        }
+
+        // Independent runs: identical endpoint states (same seeds) and
+        // identical session ids, one dedicated channel each.
+        let mut ep2 = endpoints(3, 0x77);
+        let singles = pairs(&mut ep2, cfg);
+        for (pair, key) in singles.into_iter().zip(keys) {
+            let mut solo = Channel::new();
+            let mut a = pair.initiator;
+            let mut b = pair.responder;
+            crate::wire::drive(
+                &mut solo,
+                a.as_mut(),
+                b.as_mut(),
+                crate::wire::DEFAULT_MAX_TICKS,
+            )
+            .expect("independent session completes");
+            let expected = solo.transcript();
+            let actual = per_session.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+            assert_eq!(
+                actual,
+                expected,
+                "session {}/{} transcript diverged between gateway and solo run",
+                protocol_label(key.0),
+                key.1
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_session_keys_fail_fast_without_corrupting_routing() {
+        let mut ep = endpoints(2, 0x44);
+        let cfg = SessionConfig::default();
+        let mut sessions = Vec::new();
+        for (device, verifier) in &mut ep.auth {
+            sessions.push(SessionPair {
+                protocol: ProtocolId::MutualAuth,
+                id: 7, // same key on purpose
+                initiator: Box::new(WireVerifier::new(verifier, 7, cfg)),
+                responder: Box::new(WireDevice::new(device, cfg)),
+            });
+        }
+        let mut channel = Channel::new();
+        let report = run_gateway(&mut channel, sessions, GatewayConfig::default());
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.failed, 1);
+        assert!(report
+            .outcomes
+            .iter()
+            .any(|o| matches!(o.result, Err(ProtocolError::OutOfOrder(_)))));
+    }
+
+    #[test]
+    fn tick_budget_reports_unfinished_sessions() {
+        let mut ep = endpoints(2, 0x55);
+        let sessions = pairs(&mut ep, SessionConfig::default());
+        let mut channel = Channel::new();
+        let config = GatewayConfig {
+            max_active: 1,
+            accept_queue: 1,
+            max_ticks: 3, // far too few for eight sessions
+        };
+        let report = run_gateway(&mut channel, sessions, config);
+        assert_eq!(report.ticks, 3);
+        assert!(report.unfinished > 0);
+        assert_eq!(
+            report.completed + report.failed + report.unfinished,
+            report.sessions
+        );
+    }
+}

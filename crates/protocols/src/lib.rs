@@ -15,7 +15,10 @@
 //! * [`wire`] — versioned binary encodings and poll-style session state
 //!   machines so every protocol runs over a real byte channel;
 //! * [`transport`] — the channel abstraction, including a seeded
-//!   adversarial [`transport::FaultyChannel`] with a MITM hook.
+//!   adversarial [`transport::FaultyChannel`] with a MITM hook;
+//! * [`gateway`] — a deterministic session multiplexer running many
+//!   concurrent wire sessions (all four protocols mixed) over one
+//!   shared transport, with bounded admission and fair scheduling.
 //!
 //! # Example — one mutual-authentication session
 //!
@@ -36,6 +39,7 @@
 pub mod attestation;
 pub mod eke;
 pub mod error;
+pub mod gateway;
 pub mod keys;
 pub mod mutual_auth;
 pub mod secure_nn;

@@ -70,6 +70,14 @@ impl Channel {
         &self.transcript
     }
 
+    /// Frames admitted but not yet received by `to` (in flight).
+    pub fn pending(&self, to: Side) -> usize {
+        match to {
+            Side::A => self.to_a.len(),
+            Side::B => self.to_b.len(),
+        }
+    }
+
     fn queue_mut(&mut self, to: Side) -> &mut VecDeque<Vec<u8>> {
         match to {
             Side::A => &mut self.to_a,
@@ -153,12 +161,25 @@ pub enum MitmVerdict {
 pub type MitmHook = Box<dyn FnMut(Side, &[u8]) -> MitmVerdict>;
 
 /// Running counters of what a [`FaultyChannel`] did to the traffic.
+///
+/// Frame conservation holds at all times (the interleaved-fault
+/// regression tests pin both identities):
+///
+/// * `sent + injected = mitm_dropped + dropped +
+///   (delivered − duplicated − replayed)` — every frame handed to the
+///   channel is suppressed, dropped, or admitted exactly once, with
+///   duplicates, replays and attacker injections accounted separately;
+/// * `delivered = received + in-flight + late_drained` — every admitted
+///   frame is eventually received by a peer, still queued, or drained
+///   as a late frame after the session tore down.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
     /// Frames handed to `send`.
     pub sent: usize,
     /// Frames admitted for delivery (including duplicates/replays).
     pub delivered: usize,
+    /// Frames popped by `recv` (actually seen by a peer).
+    pub received: usize,
     /// Frames randomly dropped.
     pub dropped: usize,
     /// Frames enqueued twice.
@@ -169,10 +190,17 @@ pub struct FaultStats {
     pub corrupted: usize,
     /// Past frames re-injected.
     pub replayed: usize,
+    /// Frames the attacker transmitted directly via
+    /// [`FaultyChannel::inject`] (bypassing fault injection).
+    pub injected: usize,
     /// Frames suppressed by the MITM hook.
     pub mitm_dropped: usize,
     /// Frames rewritten by the MITM hook.
     pub mitm_replaced: usize,
+    /// Frames still in flight when the session tore down, drained and
+    /// accounted via [`FaultyChannel::drain_late`] instead of being
+    /// silently leaked in the queues.
+    pub late_drained: usize,
 }
 
 /// Realized fault fractions of a [`FaultyChannel`]
@@ -234,15 +262,40 @@ impl FaultyChannel {
     }
 
     /// Injects a frame directly toward `to`, bypassing fault injection
-    /// — the attacker's own transmission.
+    /// — the attacker's own transmission. Counted under
+    /// [`FaultStats::injected`] (it never passed through `send`, so it
+    /// must not inflate the `sent`-based realized rates).
     pub fn inject(&mut self, to: Side, frame: Vec<u8>) {
         self.stats.delivered += 1;
+        self.stats.injected += 1;
         self.inner.send(to.peer(), frame);
     }
 
     /// Fault counters so far.
     pub fn stats(&self) -> FaultStats {
         self.stats
+    }
+
+    /// Frames admitted but not yet received by `to` (in flight).
+    pub fn pending(&self, to: Side) -> usize {
+        self.inner.pending(to)
+    }
+
+    /// Drains every frame still in flight in both directions — the
+    /// frames a closed session never collected (late duplicates,
+    /// replays landing after completion). They are counted under
+    /// [`FaultStats::late_drained`] rather than silently leaked, so
+    /// `delivered == received + late_drained` holds once the session is
+    /// torn down. Returns how many frames were drained.
+    pub fn drain_late(&mut self) -> usize {
+        let mut drained = 0;
+        for side in [Side::A, Side::B] {
+            while self.inner.recv(side).is_some() {
+                drained += 1;
+            }
+        }
+        self.stats.late_drained += drained;
+        drained
     }
 
     /// Realized per-frame fault fractions, computed over the frames
@@ -327,7 +380,11 @@ impl Transport for FaultyChannel {
     }
 
     fn recv(&mut self, to: Side) -> Option<Vec<u8>> {
-        self.inner.recv(to)
+        let frame = self.inner.recv(to);
+        if frame.is_some() {
+            self.stats.received += 1;
+        }
+        frame
     }
 }
 
@@ -516,6 +573,73 @@ mod tests {
         let r = ch.realized_rates();
         assert_eq!(r.admitted, 0);
         assert_eq!((r.drop, r.duplicate, r.corrupt), (0.0, 0.0, 0.0));
+    }
+
+    /// Conservation identities under every fault interleaving at once
+    /// (duplicate + reorder + replay + drop + corrupt), with attacker
+    /// injections mixed in and the session torn down mid-stream.
+    ///
+    /// Regression for two silent accounting leaks: `inject` used to be
+    /// indistinguishable from a fault-path delivery (no `injected`
+    /// counter, so `sent`-based conservation broke whenever the MITM
+    /// transmitted), and frames still queued at session close were
+    /// invisible — neither received nor counted anywhere.
+    #[test]
+    fn interleaved_faults_conserve_every_frame() {
+        let rates = FaultRates {
+            drop: 0.15,
+            duplicate: 0.2,
+            reorder: 0.25,
+            corrupt: 0.1,
+            replay: 0.2,
+        };
+        for seed in [1u64, 7, 42, 0xBAD_F00D] {
+            let mut ch = FaultyChannel::new(rates, seed);
+            // Interleave traffic from both sides with attacker
+            // injections; receive only part of it (a session that
+            // closed before the queue drained).
+            for (i, f) in frames(120).into_iter().enumerate() {
+                let side = if i % 3 == 0 { Side::B } else { Side::A };
+                ch.send(side, f);
+                if i % 7 == 0 {
+                    ch.inject(Side::B, vec![0xEE, i as u8]);
+                }
+                if i % 2 == 0 {
+                    let _ = ch.recv(Side::B);
+                }
+            }
+            let before = ch.stats();
+            assert_eq!(
+                before.sent + before.injected,
+                before.mitm_dropped
+                    + before.dropped
+                    + (before.delivered - before.duplicated - before.replayed),
+                "admission conservation: {before:?}"
+            );
+            let in_flight = ch.pending(Side::A) + ch.pending(Side::B);
+            assert_eq!(
+                before.delivered,
+                before.received + in_flight + before.late_drained,
+                "delivery conservation pre-drain: {before:?}"
+            );
+            assert!(in_flight > 0, "seed {seed} left nothing in flight");
+
+            // Tear down: every late frame is drained and counted.
+            let drained = ch.drain_late();
+            let after = ch.stats();
+            assert_eq!(drained, in_flight);
+            assert_eq!(after.late_drained, drained);
+            assert_eq!(
+                after.delivered,
+                after.received + after.late_drained,
+                "delivery conservation post-drain: {after:?}"
+            );
+            assert_eq!(ch.pending(Side::A) + ch.pending(Side::B), 0);
+            // Draining is not receiving: the realized rates and the
+            // received count are unchanged by teardown.
+            assert_eq!(after.received, before.received);
+            assert_eq!(ch.realized_rates().admitted, before.sent);
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ use neuropuls_rt::trace::{Tracer, Value};
 // ---------------------------------------------------------------------------
 
 /// Which §III service a frame belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ProtocolId {
     /// HSC-IoT mutual authentication (§III-A).
     MutualAuth,
@@ -632,10 +632,27 @@ pub(crate) enum Incoming<M> {
     Msg(u64, M),
 }
 
+/// Serial-number ordering on sequence numbers (RFC 1982 with
+/// `SERIAL_BITS = 32`): `a` precedes `b` when the wrapping distance
+/// from `a` forward to `b` is shorter than half the sequence space.
+///
+/// The raw `<` comparison this replaces broke at the wrap boundary: a
+/// long-lived gateway session whose script position rolled past
+/// `u32::MAX` would see the peer's retransmission of the *previous*
+/// message (`seq = u32::MAX`, expected `0`) as "future junk" instead of
+/// a duplicate, so the duplicate-answering path — which is what carries
+/// lossy links through Msg3 delivery — went dead exactly once every
+/// 2³² messages. Equal values are neither before nor after each other.
+pub fn seq_before(a: u32, b: u32) -> bool {
+    a != b && b.wrapping_sub(a) < 1 << 31
+}
+
 /// Classifies `incoming` against the script position `expected_seq`.
 /// `session` filters on the session id (`None` = not yet latched, accept
-/// any). Frames from the future of the script are treated as noise: an
-/// honest peer cannot produce them, so they can only be junk.
+/// any). Sequence positions compare in serial-number arithmetic
+/// ([`seq_before`]), so the classification survives `u32` wraparound.
+/// Frames from the future of the script are treated as noise: an honest
+/// peer cannot produce them, so they can only be junk.
 pub(crate) fn classify<M: FromBytes>(
     incoming: Option<&[u8]>,
     protocol: ProtocolId,
@@ -651,10 +668,10 @@ pub(crate) fn classify<M: FromBytes>(
     if env.protocol != protocol || session.is_some_and(|s| s != env.session) {
         return Incoming::Noise;
     }
-    if env.seq < expected_seq {
+    if seq_before(env.seq, expected_seq) {
         return Incoming::Duplicate;
     }
-    if env.seq > expected_seq {
+    if env.seq != expected_seq {
         return Incoming::Noise;
     }
     match env.open::<M>() {
@@ -1023,6 +1040,67 @@ mod tests {
         assert!(decode_payload::<AttestationMsg>(&[9]).is_err());
         assert!(decode_payload::<EkeMsg>(&[9]).is_err());
         assert!(decode_payload::<SecureNnMsg>(&[9]).is_err());
+    }
+
+    #[test]
+    fn seq_before_is_a_strict_serial_order() {
+        assert!(seq_before(0, 1));
+        assert!(!seq_before(1, 0));
+        assert!(!seq_before(5, 5));
+        // The wrap boundary: u32::MAX precedes 0 by distance 1.
+        assert!(seq_before(u32::MAX, 0));
+        assert!(!seq_before(0, u32::MAX));
+        assert!(seq_before(u32::MAX - 3, 2));
+        // Half the space away in either direction stays ordered.
+        assert!(seq_before(0, (1 << 31) - 1));
+        assert!(!seq_before(0, 1 << 31));
+    }
+
+    /// Regression: with raw `<` comparison, a session whose script
+    /// position wrapped past `u32::MAX` classified the peer's
+    /// retransmission of the previous message as Noise (a "future"
+    /// frame), so the duplicate-answering recovery path went dead at
+    /// the boundary.
+    #[test]
+    fn classify_survives_seq_wraparound() {
+        let msg = MutualAuthMsg::Confirm(VerifierConfirm { mac: [7; 32] });
+        let frame_at = |seq: u32| {
+            Envelope::pack(ProtocolId::MutualAuth, 9, seq, &msg).to_bytes()
+        };
+
+        // Expecting seq 0 just after rollover: the previous message
+        // (seq u32::MAX) is a duplicate, not noise.
+        let prev = frame_at(u32::MAX);
+        assert!(matches!(
+            classify::<MutualAuthMsg>(Some(&prev), ProtocolId::MutualAuth, Some(9), 0),
+            Incoming::Duplicate
+        ));
+
+        // Expecting the last pre-wrap position: the first post-wrap
+        // message (seq 0) is from the future, hence noise.
+        let next = frame_at(0);
+        assert!(matches!(
+            classify::<MutualAuthMsg>(Some(&next), ProtocolId::MutualAuth, Some(9), u32::MAX),
+            Incoming::Noise
+        ));
+
+        // The expected position itself still decodes at the boundary.
+        assert!(matches!(
+            classify::<MutualAuthMsg>(Some(&prev), ProtocolId::MutualAuth, Some(9), u32::MAX),
+            Incoming::Msg(9, MutualAuthMsg::Confirm(_))
+        ));
+
+        // Far away from the expected position in either direction
+        // stays rejected exactly as before the fix.
+        let stale = frame_at(100);
+        assert!(matches!(
+            classify::<MutualAuthMsg>(Some(&stale), ProtocolId::MutualAuth, Some(9), 103),
+            Incoming::Duplicate
+        ));
+        assert!(matches!(
+            classify::<MutualAuthMsg>(Some(&stale), ProtocolId::MutualAuth, Some(9), 90),
+            Incoming::Noise
+        ));
     }
 
     #[test]

@@ -21,16 +21,25 @@
 //!   queued decrement the backlog when they finish.
 //!
 //! After the event-driven campaign every device additionally runs
-//! mutual-authentication sessions (§III-A) over a lossy control link
-//! ([`FaultyChannel`]); the report counts completions, retransmissions
-//! and previous-CRP desync recoveries across the fleet.
+//! mutual-authentication sessions (§III-A) over **one shared lossy
+//! control link**: each round checks every device's enrollment record
+//! out of a sharded, cache-fronted [`CrpStore`], multiplexes all of
+//! the round's wire sessions through [`run_gateway_traced`] over a
+//! single [`FaultyChannel`], and commits the rotated CRPs back. The
+//! report counts completions, retransmissions, previous-CRP desync
+//! recoveries, gateway late frames and CRP-cache effectiveness across
+//! the fleet.
 
+use crate::crp_store::{CrpStore, CrpStoreConfig, CrpStoreStats};
 use crate::event::{EventQueue, Tick};
 use neuropuls_photonic::process::DieId;
 use neuropuls_protocols::attestation::{AttestationVerifier, AttestingDevice, TimingModel};
-use neuropuls_protocols::mutual_auth::{run_wire_session, Device as AuthDevice, Verifier as AuthVerifier};
+use neuropuls_protocols::gateway::{run_gateway_traced, GatewayConfig, SessionPair};
+use neuropuls_protocols::mutual_auth::{
+    Device as AuthDevice, Verifier as AuthVerifier, WireDevice, WireVerifier,
+};
 use neuropuls_protocols::transport::{FaultRates, FaultyChannel};
-use neuropuls_protocols::wire::SessionConfig;
+use neuropuls_protocols::wire::{ProtocolId, SessionConfig};
 use neuropuls_puf::photonic::PhotonicPuf;
 use neuropuls_rt::rngs::StdRng;
 use neuropuls_rt::trace::{Registry, SpanId, Tracer};
@@ -101,6 +110,14 @@ pub struct FleetReport {
     pub auth_retransmits: u64,
     /// Previous-CRP desynchronization recoveries across the fleet.
     pub auth_desync_recoveries: u64,
+    /// Gateway ticks spent across all control-link rounds.
+    pub auth_gateway_ticks: u64,
+    /// Frames that arrived for already-closed sessions on the shared
+    /// link (counted by the gateway and the inter-round drain — never
+    /// silently dropped).
+    pub auth_late_frames: u64,
+    /// CRP-store cache counters across the control-link phase.
+    pub crp: CrpStoreStats,
 }
 
 /// Simulation parameters.
@@ -124,6 +141,10 @@ pub struct FleetConfig {
     /// Frame-loss probability of the control link carrying those
     /// sessions.
     pub auth_loss_rate: f64,
+    /// Shards of the CRP/enrollment store backing the control link.
+    pub crp_shards: usize,
+    /// Hot-set capacity per CRP-store shard.
+    pub crp_hot_capacity: usize,
 }
 
 impl Default for FleetConfig {
@@ -137,6 +158,8 @@ impl Default for FleetConfig {
             seed: 0xF1EE7,
             auth_sessions: 2,
             auth_loss_rate: 0.1,
+            crp_shards: 4,
+            crp_hot_capacity: 4,
         }
     }
 }
@@ -183,8 +206,11 @@ pub fn run_fleet_traced(
     // light while the timing math stays exact.
     let mut fleet: Vec<FleetDevice> = (0..config.devices)
         .map(|i| {
-            // invariant: gen_range(0..3) indexes a 3-element array.
-            let bytes = *[256usize, 512, 1024].get(rng.gen_range(0..3)).expect("in range");
+            let bytes = match rng.gen_range(0..3) {
+                0 => 256usize,
+                1 => 512,
+                _ => 1024,
+            };
             let memory: Vec<u8> = (0..bytes).map(|b| (b * 31 % 251) as u8).collect();
             let die = DieId(0xF1_0000 + i as u64);
             let mut device = AttestingDevice::new(
@@ -244,11 +270,12 @@ pub fn run_fleet_traced(
             let chunks = entry.memory_bytes.div_ceil(64) as f64;
             let check_ns = (chunks * timing.chunk_ns()) as Tick;
             // Earliest-available verifier, ties to the lowest index.
-            // invariant: config.verifiers is asserted non-zero above, so
-            // free_at is non-empty.
+            // `free_at` is non-empty (verifiers is asserted non-zero),
+            // so the fallback index never fires; it exists to keep the
+            // scheduling loop panic-free.
             let v = (0..free_at.len())
                 .min_by_key(|&v| (free_at[v], v))
-                .expect("at least one verifier");
+                .unwrap_or(0);
             let start = free_at[v].max(now);
             let queued = start > now;
             if queued {
@@ -322,43 +349,90 @@ pub fn run_fleet_traced(
     let in_flight = queue.len();
     debug_assert_eq!(attestations + in_flight, requests, "request conservation");
 
-    // Control-link phase: each device also opens mutual-authentication
-    // sessions (§III-A) over a lossy wire. The link seed is derived
-    // independently of the scheduling RNG so the event-driven results
-    // above are unchanged by this phase.
+    // Control-link phase: every device opens mutual-authentication
+    // sessions (§III-A), all rounds multiplexed by the gateway over
+    // *one* shared lossy wire. Verifier-side enrollment lives in the
+    // sharded CRP store: each round checks every record out (exclusive
+    // — one live session per device), runs the round's sessions
+    // concurrently, and commits the rotated CRPs back. The link seed is
+    // derived independently of the scheduling RNG so the event-driven
+    // results above are unchanged by this phase.
     let mut auth_attempted = 0usize;
     let mut auth_completed = 0usize;
     let mut auth_retransmits = 0u64;
     let mut auth_desync_recoveries = 0u64;
+    let mut auth_gateway_ticks = 0u64;
+    let mut auth_late_frames = 0u64;
+    let mut crp = CrpStoreStats::default();
     if config.auth_sessions > 0 {
+        let mut store: CrpStore<AuthVerifier> = CrpStore::new(CrpStoreConfig {
+            shards: config.crp_shards,
+            hot_capacity: config.crp_hot_capacity,
+        });
+        let mut devices: Vec<(usize, AuthDevice<PhotonicPuf>)> = Vec::new();
         for i in 0..config.devices {
             let die = DieId(0xF1_A000 + i as u64);
             let memory: Vec<u8> = (0..256).map(|b| (b * 17 % 249) as u8).collect();
-            let Ok((mut device, provisioned)) =
+            let Ok((device, provisioned)) =
                 AuthDevice::provision(PhotonicPuf::reference(die, 1), memory, b"fleet-auth")
             else {
                 // A device whose PUF cannot provision never joins the
                 // fleet; it contributes no sessions.
                 continue;
             };
-            let mut link_verifier = AuthVerifier::new(provisioned, b"fleet-auth-verifier");
-            let link_seed =
-                config.seed ^ 0xA117_0000_0000_0000 ^ (i as u64).wrapping_mul(0x9E37_79B9);
-            let mut link =
-                FaultyChannel::new(FaultRates::loss(config.auth_loss_rate), link_seed);
-            for session in 0..config.auth_sessions {
+            let verifier = AuthVerifier::new(provisioned, b"fleet-auth-verifier");
+            if store.enroll(i as u64, verifier).is_ok() {
+                devices.push((i, device));
+            }
+        }
+
+        let link_seed = config.seed ^ 0xA117_0000_0000_0000;
+        let mut link = FaultyChannel::new(FaultRates::loss(config.auth_loss_rate), link_seed);
+        let gateway_cfg = GatewayConfig {
+            max_active: 64,
+            accept_queue: 16,
+            max_ticks: 4096.max(config.devices as u64 * 64),
+        };
+        for round in 0..config.auth_sessions {
+            // Exclusive checkout of this round's verifier records, in
+            // device order (deterministic; misses are cold records the
+            // hot set no longer holds).
+            let mut checked: Vec<(usize, AuthVerifier)> = Vec::new();
+            for &(i, _) in &devices {
+                if let Ok(verifier) = store.checkout(i as u64) {
+                    checked.push((i, verifier));
+                }
+            }
+            let mut sessions: Vec<SessionPair<'_>> = Vec::new();
+            for ((i, device), (_, verifier)) in devices.iter_mut().zip(checked.iter_mut()) {
+                let sid = (round * config.devices + *i) as u64 + 1;
+                sessions.push(SessionPair {
+                    protocol: ProtocolId::MutualAuth,
+                    id: sid,
+                    initiator: Box::new(WireVerifier::new(verifier, sid, SessionConfig::default())),
+                    responder: Box::new(WireDevice::new(device, SessionConfig::default())),
+                });
+            }
+            let gw = run_gateway_traced(
+                &mut link,
+                sessions,
+                gateway_cfg,
+                &mut Tracer::disabled(),
+                registry,
+            );
+            auth_gateway_ticks += gw.ticks;
+            auth_late_frames += gw.late_frames;
+            // Stragglers still in flight when the round's last session
+            // closed surface at the next round as routing noise; drain
+            // and count them instead.
+            auth_late_frames += link.drain_late() as u64;
+            for (outcome, &(i, _)) in gw.outcomes.iter().zip(&devices) {
                 auth_attempted += 1;
-                let report = run_wire_session(
-                    &mut link,
-                    &mut device,
-                    &mut link_verifier,
-                    session as u64,
-                    SessionConfig::default(),
-                );
-                auth_retransmits += u64::from(report.retransmits);
-                if report.succeeded() {
+                let ok = outcome.result.is_ok();
+                if ok {
                     auth_completed += 1;
                 }
+                auth_retransmits += u64::from(outcome.retransmits);
                 // One compact instant per control-link session (the
                 // frame-level story lives in the protocol tracer); the
                 // tick is the horizon so the event log stays monotone
@@ -368,17 +442,31 @@ pub fn run_fleet_traced(
                     "auth.session",
                     vec![
                         ("device", i.into()),
-                        ("session", (session as u64).into()),
-                        ("ok", report.succeeded().into()),
-                        ("retransmits", report.retransmits.into()),
+                        ("session", (round as u64).into()),
+                        ("ok", ok.into()),
+                        ("retransmits", outcome.retransmits.into()),
                     ],
                 );
-                registry.counter("fleet.auth_retransmits", u64::from(report.retransmits));
-                registry
-                    .observe("fleet.auth_session_ticks", f64::from(*report.result.as_ref().unwrap_or(&0)));
+                registry.counter("fleet.auth_retransmits", u64::from(outcome.retransmits));
+                registry.observe(
+                    "fleet.auth_session_ticks",
+                    f64::from(*outcome.result.as_ref().unwrap_or(&0)),
+                );
             }
-            auth_desync_recoveries += link_verifier.desync_recoveries();
+            for (i, verifier) in checked {
+                // Unreachable error by construction (every commit
+                // follows its own checkout); ignoring it keeps the
+                // phase panic-free.
+                let _ = store.commit(i as u64, verifier);
+            }
         }
+        for &(i, _) in &devices {
+            if let Some(verifier) = store.peek(i as u64) {
+                auth_desync_recoveries += verifier.desync_recoveries();
+            }
+        }
+        crp = store.stats();
+        store.fold_into(registry);
     }
 
     let planted = fleet.iter().filter(|d| d.compromised).count();
@@ -403,6 +491,9 @@ pub fn run_fleet_traced(
         auth_completed,
         auth_retransmits,
         auth_desync_recoveries,
+        auth_gateway_ticks,
+        auth_late_frames,
+        crp,
     }
 }
 
@@ -557,6 +648,56 @@ mod tests {
         assert_eq!(report.auth_attempted, 0);
         assert_eq!(report.auth_completed, 0);
         assert_eq!(report.auth_retransmits, 0);
+        assert_eq!(report.auth_gateway_ticks, 0);
+        assert_eq!(report.crp, crate::crp_store::CrpStoreStats::default());
+    }
+
+    /// The control link is one shared wire: every round multiplexes all
+    /// devices' sessions through the gateway, and the CRP store fronts
+    /// the verifier records — first round all cold misses, later rounds
+    /// hot hits (capacity permitting).
+    #[test]
+    fn shared_control_link_reports_gateway_and_cache_effort() {
+        let config = FleetConfig {
+            devices: 12,
+            auth_sessions: 3,
+            crp_shards: 3,
+            crp_hot_capacity: 8, // 24 hot slots ≥ 12 devices: all hot after round 1
+            ..FleetConfig::default()
+        };
+        let registry = Registry::new();
+        let report = run_fleet_traced(&config, &mut Tracer::disabled(), &registry);
+        assert_eq!(report.auth_attempted, 12 * 3);
+        assert_eq!(report.auth_completed, report.auth_attempted, "{report:?}");
+        assert!(report.auth_gateway_ticks > 0);
+        assert_eq!(report.crp.misses, 12, "first touch of each record is cold");
+        assert_eq!(report.crp.hits, 24, "rounds 2 and 3 are hot");
+        assert_eq!(report.crp.commits, 36);
+        assert!((report.crp.hit_rate() - 24.0 / 36.0).abs() < 1e-12);
+        assert_eq!(registry.counter_value("crp_store.hits"), report.crp.hits);
+        assert_eq!(
+            registry.counter_value("gateway.completed") as usize,
+            report.auth_completed
+        );
+    }
+
+    /// A hot set smaller than the fleet thrashes: only the records
+    /// committed last in a round are still hot when the next round's
+    /// batched checkout sweeps through, so hits per round cap at the
+    /// hot capacity.
+    #[test]
+    fn undersized_crp_cache_thrashes() {
+        let report = run_fleet(&FleetConfig {
+            devices: 12,
+            auth_sessions: 2,
+            crp_shards: 1,
+            crp_hot_capacity: 2,
+            ..FleetConfig::default()
+        });
+        assert_eq!(report.crp.hits, 2, "one round of re-touches, 2 hot: {report:?}");
+        assert_eq!(report.crp.misses, 22, "{report:?}");
+        assert!(report.crp.evictions > 0, "{report:?}");
+        assert!(report.crp.hit_rate() < 0.1, "{report:?}");
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 pub mod asm;
 pub mod bus;
+pub mod crp_store;
 pub mod event;
 pub mod fleet;
 pub mod peripherals;

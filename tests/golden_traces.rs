@@ -23,11 +23,17 @@ use neuropuls_photonic::process::DieId;
 use neuropuls_protocols::attestation::{
     run_wire_attestation_traced, AttestationVerifier, AttestingDevice, TimingModel,
 };
-use neuropuls_protocols::eke::{run_wire_exchange_traced, EkeParty};
-use neuropuls_protocols::mutual_auth::{run_wire_session_traced, Device, Verifier};
-use neuropuls_protocols::secure_nn::{run_wire_inference_traced, NetworkOwner, SecureAccelerator};
+use neuropuls_protocols::attestation::{WireAttestationVerifier, WireAttestingDevice};
+use neuropuls_protocols::eke::{run_wire_exchange_traced, EkeParty, WireEkeInitiator, WireEkeResponder};
+use neuropuls_protocols::gateway::{run_gateway_traced, GatewayConfig, SessionPair};
+use neuropuls_protocols::mutual_auth::{
+    run_wire_session_traced, Device, Verifier, WireDevice, WireVerifier,
+};
+use neuropuls_protocols::secure_nn::{
+    run_wire_inference_traced, NetworkOwner, SecureAccelerator, WireNnClient, WireNnServer,
+};
 use neuropuls_protocols::transport::{FaultRates, FaultyChannel};
-use neuropuls_protocols::wire::SessionConfig;
+use neuropuls_protocols::wire::{ProtocolId, SessionConfig};
 use neuropuls_puf::bits::Response;
 use neuropuls_puf::photonic::PhotonicPuf;
 use neuropuls_rt::trace::{Registry, Tracer};
@@ -162,10 +168,86 @@ fn golden_fleet_attestation_round() {
         seed: 0x601D_F1EE,
         auth_sessions: 1,
         auth_loss_rate: 0.1,
+        crp_shards: 2,
+        crp_hot_capacity: 2,
     };
     let mut tracer = Tracer::new();
     let registry = Registry::new();
     let report = run_fleet_traced(&config, &mut tracer, &registry);
     assert!(report.attestations > 0, "{report:?}");
     check_golden("fleet_round", &tracer.to_jsonl());
+}
+
+/// One session of every §III protocol multiplexed over a single lossy
+/// link: the fixture pins the gateway's admission order, the demux
+/// schedule and each session's ARQ pattern under shared-wire contention.
+#[test]
+fn golden_gateway_mixed_session() {
+    let cfg = SessionConfig::default();
+
+    let (mut auth_device, provisioned) = Device::provision(
+        PhotonicPuf::reference(DieId(33), 1),
+        vec![0xC3; 1024],
+        b"golden-gateway-provision",
+    )
+    .expect("provisions");
+    let mut auth_verifier = Verifier::new(provisioned, b"golden-gateway-verifier");
+
+    let memory: Vec<u8> = (0..1024).map(|i| (i * 37 % 239) as u8).collect();
+    let timing = TimingModel::photonic();
+    let mut att_device =
+        AttestingDevice::new(PhotonicPuf::reference(DieId(34), 1), memory.clone(), timing);
+    let mut att_verifier =
+        AttestationVerifier::new(PhotonicPuf::reference(DieId(34), 2), memory, timing);
+
+    let crp = Response::from_u64(0x601D_6A7E, 63);
+    let mut eke_initiator = EkeParty::new(&crp, b"golden-gateway-eke-init");
+    let mut eke_responder = EkeParty::new(&crp, b"golden-gateway-eke-resp");
+
+    let key = [0x3C; 32];
+    let mut owner = NetworkOwner::new(key, b"golden-gateway-owner");
+    let mut accel = SecureAccelerator::new(PhotonicEngine::reference(1), key);
+    let net = NetworkConfig::mlp(&[4, 4], |_, o, i| if o == i { 1.0 } else { 0.0 });
+    let network_blob = owner.cipher_network(&net);
+    let input_blob = owner.cipher_input(&[0.75, -0.5, 0.25, 1.0]);
+
+    let sessions = vec![
+        SessionPair {
+            protocol: ProtocolId::MutualAuth,
+            id: 1,
+            initiator: Box::new(WireVerifier::new(&mut auth_verifier, 1, cfg)),
+            responder: Box::new(WireDevice::new(&mut auth_device, cfg)),
+        },
+        SessionPair {
+            protocol: ProtocolId::Attestation,
+            id: 2,
+            initiator: Box::new(WireAttestationVerifier::new(&mut att_verifier, 2, cfg)),
+            responder: Box::new(WireAttestingDevice::new(&mut att_device, cfg)),
+        },
+        SessionPair {
+            protocol: ProtocolId::Eke,
+            id: 3,
+            initiator: Box::new(WireEkeInitiator::new(&mut eke_initiator, 3, cfg)),
+            responder: Box::new(WireEkeResponder::new(&mut eke_responder, cfg)),
+        },
+        SessionPair {
+            protocol: ProtocolId::SecureNn,
+            id: 4,
+            initiator: Box::new(WireNnClient::new(4, network_blob, input_blob, cfg)),
+            responder: Box::new(WireNnServer::new(&mut accel, cfg)),
+        },
+    ];
+
+    let mut channel = lossy(0x601D_0005);
+    let mut tracer = Tracer::new();
+    let registry = Registry::new();
+    let report = run_gateway_traced(
+        &mut channel,
+        sessions,
+        GatewayConfig::default(),
+        &mut tracer,
+        &registry,
+    );
+    assert!(report.all_completed(), "{report:?}");
+    check_golden("gateway", &tracer.to_jsonl());
 }
