@@ -9,8 +9,9 @@
 
 use crate::config::{ConfigCodecError, NetworkConfig};
 use neuropuls_photonic::laser::gaussian;
-use neuropuls_rt::rngs::StdRng;
-use neuropuls_rt::SeedableRng;
+use neuropuls_rt::rng::SplitMix64;
+use neuropuls_rt::rngs::{SmallRng, StdRng};
+use neuropuls_rt::{Rng, SeedableRng};
 
 /// Analog non-idealities of the crossbar.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,6 +53,15 @@ impl AnalogModel {
     }
 }
 
+/// Minimum usable weight bit-width.
+///
+/// The quantizer maps weights onto a symmetric grid with
+/// `2^bits / 2 - 1` positive levels; below two bits that expression is
+/// zero (grid collapses, division by zero) or negative, so
+/// [`PhotonicEngine::load`] rejects such models instead of programming
+/// NaN/garbage into the PCM cells.
+pub const MIN_WEIGHT_BITS: u8 = 2;
+
 /// Errors from loading or running the engine.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
@@ -66,6 +76,9 @@ pub enum EngineError {
     },
     /// The configuration failed validation.
     BadConfig(ConfigCodecError),
+    /// The analog model's weight bit-width is below
+    /// [`MIN_WEIGHT_BITS`], which would degenerate the quantizer grid.
+    BadBitWidth(u8),
 }
 
 impl std::fmt::Display for EngineError {
@@ -76,6 +89,12 @@ impl std::fmt::Display for EngineError {
                 write!(f, "input width mismatch: expected {expected}, got {actual}")
             }
             EngineError::BadConfig(e) => write!(f, "bad network config: {e}"),
+            EngineError::BadBitWidth(bits) => {
+                write!(
+                    f,
+                    "weight_bits {bits} below the {MIN_WEIGHT_BITS}-bit quantizer minimum"
+                )
+            }
         }
     }
 }
@@ -99,6 +118,8 @@ pub struct EngineStats {
     pub energy_pj: f64,
     /// Total busy time in nanoseconds.
     pub busy_ns: f64,
+    /// Gaussian noise samples consumed by MACs.
+    pub noise_draws: u64,
 }
 
 /// The photonic inference engine.
@@ -111,6 +132,10 @@ pub struct PhotonicEngine {
     drift_factor: f64,
     stats: EngineStats,
     rng: StdRng,
+    noise_seed: u64,
+    /// Batched calls served since construction; folded into the
+    /// per-item noise seeds so successive batches draw fresh streams.
+    batch_epoch: u64,
 }
 
 impl PhotonicEngine {
@@ -123,6 +148,8 @@ impl PhotonicEngine {
             drift_factor: 1.0,
             stats: EngineStats::default(),
             rng: StdRng::seed_from_u64(noise_seed),
+            noise_seed,
+            batch_epoch: 0,
         }
     }
 
@@ -146,14 +173,30 @@ impl PhotonicEngine {
         self.stats
     }
 
+    /// Current multiplicative PCM drift factor (1.0 when fresh).
+    pub fn drift_factor(&self) -> f64 {
+        self.drift_factor
+    }
+
+    /// Number of batched-inference calls served so far.
+    pub fn batch_epoch(&self) -> u64 {
+        self.batch_epoch
+    }
+
     /// Programs a validated network into the PCM cells (quantizing
     /// weights).
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::BadConfig`] if the configuration fails
-    /// validation.
+    /// validation, or [`EngineError::BadBitWidth`] if the analog model
+    /// quantizes below [`MIN_WEIGHT_BITS`] (the symmetric level grid
+    /// degenerates: `2^1 / 2 - 1 = 0` divides by zero and
+    /// `2^0 / 2 - 1 < 0` flips every weight's sign).
     pub fn load(&mut self, config: NetworkConfig) -> Result<(), EngineError> {
+        if self.model.weight_bits < MIN_WEIGHT_BITS {
+            return Err(EngineError::BadBitWidth(self.model.weight_bits));
+        }
         config.validate()?;
         let levels = (1u64 << self.model.weight_bits.min(63)) as f64;
         self.programmed = config
@@ -184,10 +227,15 @@ impl PhotonicEngine {
     }
 
     /// Unloads the network and clears the PCM cells (the hardware
-    /// equivalent of zeroizing key material).
+    /// equivalent of zeroizing key material): programmed weights, the
+    /// configuration, the accumulated drift factor and the execution
+    /// statistics are all reset so nothing about the evicted workload
+    /// is observable afterwards.
     pub fn unload(&mut self) {
         self.programmed.clear();
         self.config = None;
+        self.drift_factor = 1.0;
+        self.stats = EngineStats::default();
     }
 
     /// Ages the PCM cells by `hours` of drift.
@@ -209,6 +257,7 @@ impl PhotonicEngine {
                 actual: input.len(),
             });
         }
+        let noisy = self.model.mac_noise != 0.0;
         let mut activations: Vec<f64> = input.to_vec();
         let mut macs = 0u64;
         for (layer, weights) in config.layers.iter().zip(self.programmed.iter()) {
@@ -217,8 +266,15 @@ impl PhotonicEngine {
                 let mut acc = layer.biases[o] as f64;
                 for (i, &a) in activations.iter().enumerate() {
                     let w = weights[o * layer.inputs + i] * self.drift_factor;
-                    let noise = 1.0 + self.model.mac_noise * gaussian(&mut self.rng);
-                    acc += w * a * noise;
+                    if noisy {
+                        // `w * a * noise` keeps the historical
+                        // evaluation order so the noisy output stream
+                        // is unchanged by the noiseless fast path.
+                        let noise = 1.0 + self.model.mac_noise * gaussian(&mut self.rng);
+                        acc += w * a * noise;
+                    } else {
+                        acc += w * a;
+                    }
                     macs += 1;
                 }
                 next.push(layer.activation.apply(acc));
@@ -227,10 +283,201 @@ impl PhotonicEngine {
         }
         self.stats.inferences += 1;
         self.stats.macs += macs;
+        if noisy {
+            self.stats.noise_draws += macs;
+        }
         self.stats.energy_pj += macs as f64 * self.model.energy_per_mac_pj;
         self.stats.busy_ns += config.layers.len() as f64 * self.model.layer_latency_ns;
         Ok(activations)
     }
+
+    /// The noise seed for item `index` of the **next** batch call.
+    ///
+    /// Batched noise is re-derived per item rather than drawn from the
+    /// engine's sequential stream: item `i` of batch call `e` (the
+    /// engine's [`batch_epoch`](Self::batch_epoch) at call time) seeds
+    /// its own generator from `(noise_seed, e, i)` via two SplitMix64
+    /// stretches. Re-derivation makes the fan-out order irrelevant, so
+    /// batched output is byte-identical at any `NEUROPULS_THREADS`.
+    pub fn batch_item_seed(&self, index: usize) -> u64 {
+        derive_item_seed(self.noise_seed, self.batch_epoch, index as u64)
+    }
+
+    /// Runs one inference with an explicit noise seed, using the
+    /// batched noise rule (fast per-item generator, polar Gaussian).
+    ///
+    /// This is the sequential reference for [`Self::infer_batch`]:
+    /// `infer_batch(&inputs)[i]` equals
+    /// `infer_seeded(&inputs[i], seed_i)` where `seed_i` was read from
+    /// [`Self::batch_item_seed`] before the batch call. Does not
+    /// advance the batch epoch or the engine's sequential noise
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NotLoaded`] or
+    /// [`EngineError::InputWidth`].
+    pub fn infer_seeded(&mut self, input: &[f64], noise_seed: u64) -> Result<Vec<f64>, EngineError> {
+        let config = self.config.as_ref().ok_or(EngineError::NotLoaded)?;
+        if input.len() != config.input_width() {
+            return Err(EngineError::InputWidth {
+                expected: config.input_width(),
+                actual: input.len(),
+            });
+        }
+        let layers = config.layers.len();
+        let scaled = self.scaled_weights();
+        let noisy = self.model.mac_noise != 0.0;
+        let (out, macs) = forward_fast(config, &scaled, self.model.mac_noise, input, noise_seed);
+        self.stats.inferences += 1;
+        self.stats.macs += macs;
+        if noisy {
+            self.stats.noise_draws += macs;
+        }
+        self.stats.energy_pj += macs as f64 * self.model.energy_per_mac_pj;
+        self.stats.busy_ns += layers as f64 * self.model.layer_latency_ns;
+        Ok(out)
+    }
+
+    /// Runs a batch of inferences, amortizing per-layer work.
+    ///
+    /// The drift-scaled weight matrices are hoisted once per layer
+    /// (instead of one multiply per MAC), noise sampling is skipped
+    /// entirely when `mac_noise == 0`, and the items fan out over
+    /// [`neuropuls_rt::pool`] with per-item noise re-derivation (see
+    /// [`Self::batch_item_seed`]) so the output is byte-identical at
+    /// any `NEUROPULS_THREADS` setting.
+    ///
+    /// Latency is accounted with the wave-pipelined mesh model: a
+    /// batch of `n` through `L` layers occupies the engine for
+    /// `(L + n - 1)` layer slots, not `L * n`.
+    ///
+    /// An empty batch returns `Ok(vec![])` without consuming an epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NotLoaded`], or
+    /// [`EngineError::InputWidth`] for the first item whose width
+    /// disagrees with the loaded network (no inference runs and no
+    /// noise stream is consumed in that case).
+    pub fn infer_batch(&mut self, inputs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, EngineError> {
+        let config = self.config.as_ref().ok_or(EngineError::NotLoaded)?;
+        for input in inputs {
+            if input.len() != config.input_width() {
+                return Err(EngineError::InputWidth {
+                    expected: config.input_width(),
+                    actual: input.len(),
+                });
+            }
+        }
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let layers = config.layers.len() as u64;
+        let scaled = self.scaled_weights();
+        let mac_noise = self.model.mac_noise;
+        let seeds: Vec<u64> = (0..inputs.len()).map(|i| self.batch_item_seed(i)).collect();
+        let outputs: Vec<(Vec<f64>, u64)> = neuropuls_rt::pool::par_map(
+            (0..inputs.len()).collect::<Vec<usize>>(),
+            |i| forward_fast(config, &scaled, mac_noise, &inputs[i], seeds[i]),
+        );
+        self.batch_epoch += 1;
+        let n = outputs.len() as u64;
+        let macs: u64 = outputs.iter().map(|(_, m)| m).sum();
+        self.stats.inferences += n;
+        self.stats.macs += macs;
+        if mac_noise != 0.0 {
+            self.stats.noise_draws += macs;
+        }
+        self.stats.energy_pj += macs as f64 * self.model.energy_per_mac_pj;
+        self.stats.busy_ns += (layers + n - 1) as f64 * self.model.layer_latency_ns;
+        Ok(outputs.into_iter().map(|(out, _)| out).collect())
+    }
+
+    /// Drift-scaled weight matrices, hoisted once per layer.
+    fn scaled_weights(&self) -> Vec<Vec<f64>> {
+        self.programmed
+            .iter()
+            .map(|weights| weights.iter().map(|&w| w * self.drift_factor).collect())
+            .collect()
+    }
+}
+
+/// Stretches `(noise_seed, epoch, index)` into one per-item seed.
+fn derive_item_seed(noise_seed: u64, epoch: u64, index: u64) -> u64 {
+    let mut outer = SplitMix64::new(noise_seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let stream = outer.next();
+    let mut inner = SplitMix64::new(stream ^ index.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    inner.next()
+}
+
+/// Per-item Gaussian source for the batched path: a fast xoshiro
+/// generator feeding the Marsaglia polar transform, keeping the spare
+/// sample of each pair (the Box–Muller path in `laser::gaussian`
+/// discards its sine half and runs on ChaCha20).
+struct PolarGaussian {
+    rng: SmallRng,
+    spare: Option<f64>,
+}
+
+impl PolarGaussian {
+    fn new(seed: u64) -> Self {
+        PolarGaussian {
+            rng: SmallRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    fn next(&mut self) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        loop {
+            let u = 2.0 * self.rng.gen::<f64>() - 1.0;
+            let v = 2.0 * self.rng.gen::<f64>() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let k = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * k);
+                return u * k;
+            }
+        }
+    }
+}
+
+/// Forward pass over pre-scaled weights with the batched noise rule.
+/// Returns the output activations and the MAC count.
+fn forward_fast(
+    config: &NetworkConfig,
+    scaled: &[Vec<f64>],
+    mac_noise: f64,
+    input: &[f64],
+    noise_seed: u64,
+) -> (Vec<f64>, u64) {
+    let noisy = mac_noise != 0.0;
+    let mut noise = PolarGaussian::new(noise_seed);
+    let mut activations: Vec<f64> = input.to_vec();
+    let mut macs = 0u64;
+    for (layer, weights) in config.layers.iter().zip(scaled.iter()) {
+        let mut next = Vec::with_capacity(layer.outputs);
+        for o in 0..layer.outputs {
+            let mut acc = layer.biases[o] as f64;
+            let row = &weights[o * layer.inputs..(o + 1) * layer.inputs];
+            if noisy {
+                for (&w, &a) in row.iter().zip(activations.iter()) {
+                    acc += w * a * (1.0 + mac_noise * noise.next());
+                }
+            } else {
+                for (&w, &a) in row.iter().zip(activations.iter()) {
+                    acc += w * a;
+                }
+            }
+            macs += layer.inputs as u64;
+            next.push(layer.activation.apply(acc));
+        }
+        activations = next;
+    }
+    (activations, macs)
 }
 
 #[cfg(test)]
@@ -356,5 +603,168 @@ mod tests {
         engine.unload();
         assert!(!engine.is_loaded());
         assert_eq!(engine.infer(&[1.0, 1.0]), Err(EngineError::NotLoaded));
+    }
+
+    #[test]
+    fn unload_zeroizes_drift_and_stats() {
+        let mut engine = PhotonicEngine::reference(11);
+        engine.load(identity_config(2)).unwrap();
+        engine.age(50.0);
+        engine.infer(&[1.0, -1.0]).unwrap();
+        assert!(engine.drift_factor() < 1.0);
+        assert_ne!(engine.stats(), EngineStats::default());
+        engine.unload();
+        assert_eq!(engine.drift_factor(), 1.0, "drift must not survive unload");
+        assert_eq!(engine.stats(), EngineStats::default(), "stats must not survive unload");
+    }
+
+    #[test]
+    fn low_bit_widths_rejected() {
+        for bits in [0u8, 1] {
+            let mut engine = PhotonicEngine::new(
+                AnalogModel {
+                    weight_bits: bits,
+                    ..AnalogModel::reference()
+                },
+                12,
+            );
+            assert_eq!(
+                engine.load(identity_config(2)),
+                Err(EngineError::BadBitWidth(bits)),
+                "weight_bits {bits} must be rejected"
+            );
+            assert!(!engine.is_loaded());
+        }
+        // The 2-bit boundary is the first usable grid and must program
+        // finite weights.
+        let mut engine = PhotonicEngine::new(
+            AnalogModel {
+                weight_bits: MIN_WEIGHT_BITS,
+                mac_noise: 0.0,
+                ..AnalogModel::reference()
+            },
+            12,
+        );
+        engine.load(identity_config(2)).unwrap();
+        let out = engine.infer(&[0.5, -0.5]).unwrap();
+        assert!(out.iter().all(|v| v.is_finite()), "2-bit weights must be finite: {out:?}");
+    }
+
+    #[test]
+    fn ideal_model_skips_noise_draws() {
+        let mut engine = PhotonicEngine::new(AnalogModel::ideal(), 13);
+        engine.load(identity_config(4)).unwrap();
+        let a = engine.infer(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = engine.infer(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(a, b, "noiseless inference must be bit-identical");
+        assert_eq!(engine.stats().noise_draws, 0, "mac_noise == 0 must not sample");
+        assert_eq!(engine.stats().macs, 32);
+    }
+
+    #[test]
+    fn noisy_model_rng_stream_is_pinned() {
+        // The scalar path's noise stream is part of the golden wire
+        // transcripts: one Box–Muller draw from the engine's ChaCha20
+        // stream per MAC, applied as `acc += w * a * (1 + σ·g)`.
+        // Recompute that definition independently and require an exact
+        // match, so refactors cannot silently shift the stream.
+        let mut engine = PhotonicEngine::reference(14);
+        engine.load(identity_config(2)).unwrap();
+        let input = [0.75, -0.25];
+        let got = engine.infer(&input).unwrap();
+
+        let config = identity_config(2);
+        let model = AnalogModel::reference();
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut expected = Vec::new();
+        let layer = &config.layers[0];
+        // Quantized identity weights: re-quantize exactly as load does.
+        let levels = (1u64 << model.weight_bits) as f64;
+        let grid = levels / 2.0 - 1.0;
+        for o in 0..layer.outputs {
+            let mut acc = layer.biases[o] as f64;
+            for (i, &a) in input.iter().enumerate() {
+                let w_raw = layer.weights[o * layer.inputs + i] as f64;
+                let w = (w_raw * grid).round() / grid;
+                let noise = 1.0 + model.mac_noise * gaussian(&mut rng);
+                acc += w * a * noise;
+            }
+            expected.push(layer.activation.apply(acc));
+        }
+        assert_eq!(got, expected, "scalar noise stream moved");
+        assert_eq!(engine.stats().noise_draws, engine.stats().macs);
+    }
+
+    #[test]
+    fn batch_matches_seeded_sequential() {
+        let mut batch_engine = PhotonicEngine::reference(15);
+        batch_engine.load(identity_config(4)).unwrap();
+        let inputs: Vec<Vec<f64>> = (0..9)
+            .map(|i| (0..4).map(|j| (i * 4 + j) as f64 / 10.0 - 1.0).collect())
+            .collect();
+        let seeds: Vec<u64> = (0..inputs.len())
+            .map(|i| batch_engine.batch_item_seed(i))
+            .collect();
+        let batched = batch_engine.infer_batch(&inputs).unwrap();
+
+        let mut seq_engine = PhotonicEngine::reference(15);
+        seq_engine.load(identity_config(4)).unwrap();
+        for (i, input) in inputs.iter().enumerate() {
+            let single = seq_engine.infer_seeded(input, seeds[i]).unwrap();
+            assert_eq!(batched[i], single, "item {i} diverged");
+        }
+    }
+
+    #[test]
+    fn batch_is_thread_count_invariant() {
+        let run_at = |threads: usize| {
+            neuropuls_rt::pool::with_threads(threads, || {
+                let mut engine = PhotonicEngine::reference(16);
+                engine.load(identity_config(4)).unwrap();
+                let inputs: Vec<Vec<f64>> =
+                    (0..17).map(|i| vec![i as f64 * 0.1; 4]).collect();
+                engine.infer_batch(&inputs).unwrap()
+            })
+        };
+        assert_eq!(run_at(1), run_at(4), "batch output depends on thread count");
+    }
+
+    #[test]
+    fn batch_epochs_draw_fresh_noise_deterministically() {
+        let mut engine = PhotonicEngine::reference(17);
+        engine.load(identity_config(2)).unwrap();
+        let inputs = vec![vec![1.0, 1.0]; 3];
+        let first = engine.infer_batch(&inputs).unwrap();
+        let second = engine.infer_batch(&inputs).unwrap();
+        assert_ne!(first, second, "epochs must not replay the same noise");
+        let mut replay = PhotonicEngine::reference(17);
+        replay.load(identity_config(2)).unwrap();
+        assert_eq!(replay.infer_batch(&inputs).unwrap(), first);
+        assert_eq!(replay.infer_batch(&inputs).unwrap(), second);
+    }
+
+    #[test]
+    fn batch_accounting_is_pipelined() {
+        let mut engine = PhotonicEngine::new(AnalogModel::ideal(), 18);
+        engine.load(identity_config(4)).unwrap();
+        assert_eq!(engine.infer_batch(&[]).unwrap(), Vec::<Vec<f64>>::new());
+        assert_eq!(engine.batch_epoch(), 0, "empty batch must not burn an epoch");
+        let inputs = vec![vec![0.5; 4]; 8];
+        engine.infer_batch(&inputs).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.inferences, 8);
+        assert_eq!(stats.macs, 8 * 16);
+        assert_eq!(stats.noise_draws, 0);
+        // 1 layer, 8 items, wave-pipelined: (1 + 8 - 1) slots.
+        let expected_ns = 8.0 * AnalogModel::ideal().layer_latency_ns;
+        assert!((stats.busy_ns - expected_ns).abs() < 1e-9, "busy_ns {}", stats.busy_ns);
+        // Width errors reject the whole batch up front.
+        assert_eq!(
+            engine.infer_batch(&[vec![1.0; 4], vec![1.0; 3]]),
+            Err(EngineError::InputWidth {
+                expected: 4,
+                actual: 3
+            })
+        );
     }
 }

@@ -51,6 +51,10 @@ fn runners() -> Vec<Runner> {
             rendered
         }),
         ("E20", |s| experiments::gateway::run(s).0),
+        // E21 pins the pool width internally for its 1-vs-8 identity
+        // check; `with_threads` is a thread-local override, so running
+        // it inside this par_map fan-out is safe.
+        ("E21", |s| experiments::accel_throughput::run(s).0),
     ]
 }
 
@@ -76,7 +80,8 @@ fn write_wall_clock_report(entries: &[(usize, f64)]) {
         json.push_str(&format!(
             "    {{\"name\": \"harness_wall_clock/threads={threads}\", \"samples\": 1, \
              \"iters_per_sample\": 1, \"mean_ns\": {ns:.1}, \"p50_ns\": {ns:.1}, \
-             \"p99_ns\": {ns:.1}, \"throughput_bytes\": null}}{}\n",
+             \"p99_ns\": {ns:.1}, \"throughput_bytes\": null, \
+             \"throughput_elements\": null}}{}\n",
             if i + 1 == entries.len() { "" } else { "," }
         ));
     }

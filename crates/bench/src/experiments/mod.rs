@@ -1,5 +1,6 @@
 //! All experiments, indexed as in `DESIGN.md`.
 
+pub mod accel_throughput;
 pub mod aging;
 pub mod analog;
 pub mod attestation;

@@ -666,6 +666,65 @@ mod tests {
         out
     }
 
+    /// Batched secure-NN sessions multiplexed by the gateway against
+    /// ONE shared engine: a single owner loads the network out of
+    /// band, every session streams its own chunked batch, and the
+    /// per-session inference accounting folds into the registry.
+    #[test]
+    fn batched_nn_sessions_share_one_engine_through_the_gateway() {
+        use crate::secure_nn::{share_accelerator, WireNnBatchClient, WireNnBatchServer};
+        let key = [0x4E; 32];
+        let mut owner = NetworkOwner::new(key, b"gw-batch-owner");
+        let mut accel = SecureAccelerator::new(PhotonicEngine::reference(1), key);
+        let config = NetworkConfig::mlp(&[4, 4], |_, o, j| if o == j { 1.0 } else { 0.0 });
+        accel.load_network(&owner.cipher_network(&config)).unwrap();
+        let shared = share_accelerator(accel);
+        let registry = Registry::new();
+        let cfg = SessionConfig::default();
+        let k = 4usize;
+        let per_session = 150usize; // ~64 B sealed each: > one chunk budget
+        let blobs: Vec<Vec<Vec<u8>>> = (1..=k as u64)
+            .map(|sid| {
+                let inputs: Vec<Vec<f64>> = (0..per_session)
+                    .map(|i| vec![(i as f64 + sid as f64) * 0.01; 4])
+                    .collect();
+                owner.cipher_inputs(&inputs)
+            })
+            .collect();
+        let mut sessions: Vec<SessionPair<'_>> = Vec::new();
+        for (i, input_blobs) in blobs.iter().enumerate() {
+            let sid = i as u64 + 1;
+            sessions.push(SessionPair {
+                protocol: ProtocolId::SecureNn,
+                id: sid,
+                initiator: Box::new(WireNnBatchClient::execute_only(sid, input_blobs, cfg)),
+                responder: Box::new(
+                    WireNnBatchServer::new(shared.clone(), cfg).with_metrics(&registry),
+                ),
+            });
+        }
+        let mut channel = FaultyChannel::new(FaultRates::loss(0.05), 0xBA7C_6A7E);
+        let mut tracer = Tracer::disabled();
+        let report = run_gateway_traced(
+            &mut channel,
+            sessions,
+            GatewayConfig::default(),
+            &mut tracer,
+            &registry,
+        );
+        assert!(report.all_completed(), "{report:?}");
+        assert_eq!(registry.counter_value("secure_nn.batch.executes"), k as u64);
+        assert_eq!(
+            registry.counter_value("secure_nn.batch.items"),
+            (k * per_session) as u64
+        );
+        // All batches ran on the one engine.
+        assert_eq!(
+            shared.borrow().stats().inferences,
+            (k * per_session) as u64
+        );
+    }
+
     #[test]
     fn mixed_protocols_share_one_lossless_transport() {
         let mut ep = endpoints(3, 0x11);

@@ -141,6 +141,20 @@ impl NetworkOwner {
     pub fn decipher_output(&self, ciphered: &[u8]) -> Result<Vec<f64>, ProtocolError> {
         decode_values(&open(&self.key, LABEL_OUTPUT, ciphered)?)
     }
+
+    /// Encrypts a batch of input tensors for `execute_network_batch`.
+    pub fn cipher_inputs(&mut self, inputs: &[Vec<f64>]) -> Vec<Vec<u8>> {
+        inputs.iter().map(|input| self.cipher_input(input)).collect()
+    }
+
+    /// Decrypts a batch of ciphered outputs.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first tampered or malformed blob.
+    pub fn decipher_outputs(&self, ciphered: &[Vec<u8>]) -> Result<Vec<Vec<f64>>, ProtocolError> {
+        ciphered.iter().map(|blob| self.decipher_output(blob)).collect()
+    }
 }
 
 /// The hardware boundary: accelerator plus the PUF-derived key. The two
@@ -195,6 +209,36 @@ impl SecureAccelerator {
             .infer(&input)
             .map_err(|e| ProtocolError::MalformedCiphertext(e.to_string()))?;
         Ok(seal(&self.key, LABEL_OUTPUT, &encode_values(&output), &mut self.rng))
+    }
+
+    /// Batched `execute_network`: decrypts every input, runs one
+    /// [`PhotonicEngine::infer_batch`] call, re-encrypts every output.
+    ///
+    /// All blobs are authenticated and decoded *before* any inference
+    /// runs, so a tampered item rejects the whole batch without
+    /// consuming a noise epoch (a faulted-and-retried batch replays the
+    /// same analog noise).
+    ///
+    /// # Errors
+    ///
+    /// The first authentication/parse failure, or the engine error.
+    pub fn execute_network_batch(
+        &mut self,
+        ciphered_inputs: &[Vec<u8>],
+    ) -> Result<Vec<Vec<u8>>, ProtocolError> {
+        let mut inputs = Vec::with_capacity(ciphered_inputs.len());
+        for blob in ciphered_inputs {
+            let plaintext = open(&self.key, LABEL_INPUT, blob)?;
+            inputs.push(decode_values(&plaintext)?);
+        }
+        let outputs = self
+            .engine
+            .infer_batch(&inputs)
+            .map_err(|e| ProtocolError::MalformedCiphertext(e.to_string()))?;
+        Ok(outputs
+            .iter()
+            .map(|o| seal(&self.key, LABEL_OUTPUT, &encode_values(o), &mut self.rng))
+            .collect())
     }
 
     /// Engine statistics (performance accounting; not confidential).
@@ -549,6 +593,515 @@ pub fn run_inference(
     owner.decipher_output(&blob)
 }
 
+// ---------------------------------------------------------------------------
+// Batched wire sessions
+// ---------------------------------------------------------------------------
+
+use crate::wire::{chunk_nn_items, NnChunk};
+use neuropuls_rt::trace::Registry;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A [`SecureAccelerator`] shared by several concurrently multiplexed
+/// wire sessions. The gateway drives every session from one
+/// single-threaded poll loop, so interior mutability is all that is
+/// needed; batches from different sessions serialize at the hardware
+/// boundary exactly like calls into a real accelerator would.
+pub type SharedAccelerator = Rc<RefCell<SecureAccelerator>>;
+
+/// Wraps `accel` for sharing across sessions.
+pub fn share_accelerator(accel: SecureAccelerator) -> SharedAccelerator {
+    Rc::new(RefCell::new(accel))
+}
+
+/// Chunks `items`, always producing at least one (possibly empty)
+/// chunk so the wire exchange stays well-formed for empty batches.
+fn chunks_or_empty(items: &[Vec<u8>]) -> Vec<NnChunk> {
+    let chunks = chunk_nn_items(items);
+    if chunks.is_empty() {
+        vec![NnChunk {
+            index: 0,
+            total: 1,
+            items: Vec::new(),
+        }]
+    } else {
+        chunks
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NnBatchClientState {
+    Start,
+    AwaitLoadAck,
+    AwaitChunkAck,
+    AwaitOutput,
+    Done,
+}
+
+/// The software side of a batched inference call: optionally ships the
+/// ciphered network, streams the sealed inputs as versioned chunks
+/// (stop-and-wait, one chunk per ack), then drains the sealed output
+/// chunks. Frames alternate strictly — client frames carry even
+/// sequence numbers, accelerator frames odd ones — so the scalar
+/// session's ARQ and duplicate-recovery machinery applies unchanged.
+pub struct WireNnBatchClient {
+    session: u64,
+    arq: Arq,
+    state: NnBatchClientState,
+    network_blob: Option<Vec<u8>>,
+    request_chunks: Vec<NnChunk>,
+    next_request: usize,
+    received_output: usize,
+    output_items: Vec<Vec<u8>>,
+    seq: u32,
+    last_reject: Option<ProtocolError>,
+}
+
+impl WireNnBatchClient {
+    /// A session that loads `network_blob` before executing the batch.
+    pub fn with_load(
+        session: u64,
+        network_blob: Vec<u8>,
+        input_blobs: &[Vec<u8>],
+        cfg: SessionConfig,
+    ) -> Self {
+        Self::build(session, Some(network_blob), input_blobs, cfg)
+    }
+
+    /// A session that executes against the accelerator's already-loaded
+    /// network (the shared-engine path: one owner loads, many sessions
+    /// execute).
+    pub fn execute_only(session: u64, input_blobs: &[Vec<u8>], cfg: SessionConfig) -> Self {
+        Self::build(session, None, input_blobs, cfg)
+    }
+
+    fn build(
+        session: u64,
+        network_blob: Option<Vec<u8>>,
+        input_blobs: &[Vec<u8>],
+        cfg: SessionConfig,
+    ) -> Self {
+        WireNnBatchClient {
+            session,
+            arq: Arq::new(cfg),
+            state: NnBatchClientState::Start,
+            network_blob,
+            request_chunks: chunks_or_empty(input_blobs),
+            next_request: 0,
+            received_output: 0,
+            output_items: Vec::new(),
+            seq: 0,
+            last_reject: None,
+        }
+    }
+
+    /// The sealed output blobs, once the session completed.
+    pub fn output_blobs(&self) -> Option<&[Vec<u8>]> {
+        if self.state == NnBatchClientState::Done {
+            Some(&self.output_items)
+        } else {
+            None
+        }
+    }
+
+    fn fail_with(&mut self, fallback: ProtocolError) -> ProtocolError {
+        self.last_reject.take().unwrap_or(fallback)
+    }
+
+    fn idle(&mut self) -> Result<SessionAction, ProtocolError> {
+        match self.arq.idle() {
+            Ok(frame) => Ok(resend_or_wait(frame)),
+            Err(e) => Err(self.fail_with(e)),
+        }
+    }
+
+    fn rejected(&mut self, reason: ProtocolError) -> Result<SessionAction, ProtocolError> {
+        self.last_reject = Some(reason);
+        match self.arq.reject() {
+            Ok(frame) => Ok(resend_or_wait(frame)),
+            Err(e) => Err(self.fail_with(e)),
+        }
+    }
+
+    fn send(&mut self, msg: &SecureNnMsg) -> SessionAction {
+        let frame = Envelope::pack(ProtocolId::SecureNn, self.session, self.seq, msg).to_bytes();
+        self.arq.sent(&frame);
+        self.seq += 1;
+        SessionAction::Send(frame)
+    }
+
+    fn send_next_chunk(&mut self) -> Result<SessionAction, ProtocolError> {
+        let chunk = self.request_chunks[self.next_request].clone();
+        self.next_request += 1;
+        self.state = if self.next_request == self.request_chunks.len() {
+            NnBatchClientState::AwaitOutput
+        } else {
+            NnBatchClientState::AwaitChunkAck
+        };
+        Ok(self.send(&SecureNnMsg::ExecuteChunk(chunk)))
+    }
+}
+
+impl Session for WireNnBatchClient {
+    fn step(&mut self, incoming: Option<&[u8]>) -> Result<SessionAction, ProtocolError> {
+        match self.state {
+            NnBatchClientState::Start => match self.network_blob.clone() {
+                Some(blob) => {
+                    self.state = NnBatchClientState::AwaitLoadAck;
+                    Ok(self.send(&SecureNnMsg::Load(blob)))
+                }
+                None => self.send_next_chunk(),
+            },
+            NnBatchClientState::AwaitLoadAck => {
+                match classify::<SecureNnMsg>(incoming, ProtocolId::SecureNn, Some(self.session), self.seq)
+                {
+                    Incoming::Msg(_, SecureNnMsg::LoadAck) => {
+                        self.arq.activity();
+                        self.seq += 1;
+                        self.send_next_chunk()
+                    }
+                    Incoming::Msg(_, SecureNnMsg::Fault(what)) => {
+                        self.arq.activity();
+                        self.rejected(ProtocolError::PeerFault(what))
+                    }
+                    Incoming::Msg(..) => self.idle(),
+                    Incoming::Duplicate => Ok(resend_or_wait(self.arq.duplicate())),
+                    Incoming::Noise => self.idle(),
+                }
+            }
+            NnBatchClientState::AwaitChunkAck => {
+                match classify::<SecureNnMsg>(incoming, ProtocolId::SecureNn, Some(self.session), self.seq)
+                {
+                    Incoming::Msg(_, SecureNnMsg::ChunkAck { index }) => {
+                        self.arq.activity();
+                        if index as usize + 1 != self.next_request {
+                            return Err(ProtocolError::OutOfOrder(format!(
+                                "chunk ack {index} does not match chunk {}",
+                                self.next_request - 1
+                            )));
+                        }
+                        self.seq += 1;
+                        self.send_next_chunk()
+                    }
+                    Incoming::Msg(_, SecureNnMsg::Fault(what)) => {
+                        self.arq.activity();
+                        self.rejected(ProtocolError::PeerFault(what))
+                    }
+                    Incoming::Msg(..) => self.idle(),
+                    Incoming::Duplicate => Ok(resend_or_wait(self.arq.duplicate())),
+                    Incoming::Noise => self.idle(),
+                }
+            }
+            NnBatchClientState::AwaitOutput => {
+                match classify::<SecureNnMsg>(incoming, ProtocolId::SecureNn, Some(self.session), self.seq)
+                {
+                    Incoming::Msg(_, SecureNnMsg::OutputChunk(chunk)) => {
+                        self.arq.activity();
+                        if chunk.index as usize != self.received_output {
+                            return Err(ProtocolError::OutOfOrder(format!(
+                                "output chunk {} while expecting {}",
+                                chunk.index, self.received_output
+                            )));
+                        }
+                        self.seq += 1;
+                        self.received_output += 1;
+                        let last = chunk.index + 1 == chunk.total;
+                        self.output_items.extend(chunk.items);
+                        if last {
+                            self.state = NnBatchClientState::Done;
+                            Ok(SessionAction::Done)
+                        } else {
+                            Ok(self.send(&SecureNnMsg::OutputAck { index: chunk.index }))
+                        }
+                    }
+                    Incoming::Msg(_, SecureNnMsg::Fault(what)) => {
+                        self.arq.activity();
+                        self.rejected(ProtocolError::PeerFault(what))
+                    }
+                    Incoming::Msg(..) => self.idle(),
+                    Incoming::Duplicate => Ok(resend_or_wait(self.arq.duplicate())),
+                    Incoming::Noise => self.idle(),
+                }
+            }
+            NnBatchClientState::Done => Ok(SessionAction::Wait),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.state == NnBatchClientState::Done
+    }
+
+    fn retransmits(&self) -> u32 {
+        self.arq.retransmits()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NnBatchServerState {
+    AwaitRequest,
+    Responding,
+    Done,
+}
+
+/// The hardware boundary serving one batched session against a (possibly
+/// shared) accelerator. Request chunks are stored in index slots —
+/// idempotent under re-delivery — and the batch executes exactly once,
+/// when the final chunk arrives with every slot filled; a faulted
+/// execute leaves the slots intact so the client's retransmission
+/// retries the batch. Per-session inference accounting folds into the
+/// trace [`Registry`] at execute time.
+pub struct WireNnBatchServer<'r> {
+    accel: SharedAccelerator,
+    metrics: Option<&'r Registry>,
+    session: Option<u64>,
+    arq: Arq,
+    state: NnBatchServerState,
+    seq: u32,
+    request_slots: Vec<Option<Vec<Vec<u8>>>>,
+    response_chunks: Vec<NnChunk>,
+    next_response: usize,
+}
+
+impl<'r> WireNnBatchServer<'r> {
+    /// Serves one batched session against `accel`; the session id is
+    /// latched from the first envelope.
+    pub fn new(accel: SharedAccelerator, cfg: SessionConfig) -> Self {
+        WireNnBatchServer {
+            accel,
+            metrics: None,
+            session: None,
+            arq: Arq::new(cfg),
+            state: NnBatchServerState::AwaitRequest,
+            seq: 0,
+            request_slots: Vec::new(),
+            response_chunks: Vec::new(),
+            next_response: 0,
+        }
+    }
+
+    /// Folds per-session batch accounting into `metrics`.
+    pub fn with_metrics(mut self, metrics: &'r Registry) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    fn fault(&self, session: u64, e: &ProtocolError) -> SessionAction {
+        // Fault frames are transient notices, not ARQ-tracked progress:
+        // the sequence does not advance, so the client burns a retry
+        // and retransmits its request.
+        SessionAction::Send(
+            Envelope::pack(
+                ProtocolId::SecureNn,
+                session,
+                self.seq + 1,
+                &SecureNnMsg::Fault(e.to_string()),
+            )
+            .to_bytes(),
+        )
+    }
+
+    fn idle(&mut self) -> Result<SessionAction, ProtocolError> {
+        match self.arq.idle() {
+            Ok(frame) => Ok(resend_or_wait(frame)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Sends the ARQ-tracked reply to the frame just accepted at
+    /// `self.seq`, advancing past both.
+    fn reply(&mut self, session: u64, msg: &SecureNnMsg) -> SessionAction {
+        let frame = Envelope::pack(ProtocolId::SecureNn, session, self.seq + 1, msg).to_bytes();
+        self.arq.sent(&frame);
+        self.seq += 2;
+        SessionAction::Send(frame)
+    }
+
+    fn send_response_chunk(&mut self, session: u64) -> SessionAction {
+        let chunk = self.response_chunks[self.next_response].clone();
+        self.next_response += 1;
+        let action = self.reply(session, &SecureNnMsg::OutputChunk(chunk));
+        self.state = if self.next_response == self.response_chunks.len() {
+            NnBatchServerState::Done
+        } else {
+            NnBatchServerState::Responding
+        };
+        action
+    }
+
+    fn execute(&mut self, session: u64) -> SessionAction {
+        let items: Vec<Vec<u8>> = self
+            .request_slots
+            .iter()
+            .flat_map(|slot| slot.clone().unwrap_or_default())
+            .collect();
+        let executed = self.accel.borrow_mut().execute_network_batch(&items);
+        match executed {
+            Ok(outputs) => {
+                if let Some(metrics) = self.metrics {
+                    metrics.counter("secure_nn.batch.executes", 1);
+                    metrics.counter("secure_nn.batch.items", items.len() as u64);
+                    metrics.observe("secure_nn.batch.items_per_session", items.len() as f64);
+                }
+                self.response_chunks = chunks_or_empty(&outputs);
+                self.next_response = 0;
+                self.send_response_chunk(session)
+            }
+            Err(e) => self.fault(session, &e),
+        }
+    }
+}
+
+impl Session for WireNnBatchServer<'_> {
+    fn step(&mut self, incoming: Option<&[u8]>) -> Result<SessionAction, ProtocolError> {
+        match self.state {
+            NnBatchServerState::AwaitRequest => {
+                match classify::<SecureNnMsg>(incoming, ProtocolId::SecureNn, self.session, self.seq) {
+                    Incoming::Msg(session, SecureNnMsg::Load(blob)) => {
+                        self.arq.activity();
+                        self.session = Some(session);
+                        let loaded = self.accel.borrow_mut().load_network(&blob);
+                        match loaded {
+                            Ok(()) => Ok(self.reply(session, &SecureNnMsg::LoadAck)),
+                            Err(e) => Ok(self.fault(session, &e)),
+                        }
+                    }
+                    Incoming::Msg(session, SecureNnMsg::ExecuteChunk(chunk)) => {
+                        self.arq.activity();
+                        self.session = Some(session);
+                        let total = chunk.total as usize;
+                        if total == 0 || chunk.index as usize >= total {
+                            return Ok(self.fault(
+                                session,
+                                &ProtocolError::OutOfOrder(format!(
+                                    "chunk {}/{} out of range",
+                                    chunk.index, chunk.total
+                                )),
+                            ));
+                        }
+                        if self.request_slots.is_empty() {
+                            self.request_slots.resize(total, None);
+                        } else if self.request_slots.len() != total {
+                            return Ok(self.fault(
+                                session,
+                                &ProtocolError::OutOfOrder(format!(
+                                    "chunk total changed from {} to {total}",
+                                    self.request_slots.len()
+                                )),
+                            ));
+                        }
+                        self.request_slots[chunk.index as usize] = Some(chunk.items);
+                        let last = chunk.index as usize + 1 == total;
+                        if !last {
+                            return Ok(self.reply(
+                                session,
+                                &SecureNnMsg::ChunkAck { index: chunk.index },
+                            ));
+                        }
+                        if self.request_slots.iter().any(Option::is_none) {
+                            return Ok(self.fault(
+                                session,
+                                &ProtocolError::OutOfOrder("batch chunks missing".into()),
+                            ));
+                        }
+                        Ok(self.execute(session))
+                    }
+                    Incoming::Msg(..) => self.idle(),
+                    Incoming::Duplicate => Ok(resend_or_wait(self.arq.duplicate())),
+                    Incoming::Noise => self.idle(),
+                }
+            }
+            NnBatchServerState::Responding => {
+                match classify::<SecureNnMsg>(incoming, ProtocolId::SecureNn, self.session, self.seq) {
+                    Incoming::Msg(session, SecureNnMsg::OutputAck { index }) => {
+                        self.arq.activity();
+                        if index as usize + 1 != self.next_response {
+                            return Err(ProtocolError::OutOfOrder(format!(
+                                "output ack {index} does not match chunk {}",
+                                self.next_response - 1
+                            )));
+                        }
+                        Ok(self.send_response_chunk(session))
+                    }
+                    Incoming::Msg(..) => self.idle(),
+                    Incoming::Duplicate => Ok(resend_or_wait(self.arq.duplicate())),
+                    Incoming::Noise => self.idle(),
+                }
+            }
+            NnBatchServerState::Done => {
+                // Linger: a retransmitted ack or final chunk means the
+                // client missed an output chunk — resend it.
+                match classify::<SecureNnMsg>(incoming, ProtocolId::SecureNn, self.session, self.seq) {
+                    Incoming::Duplicate => Ok(resend_or_wait(self.arq.duplicate())),
+                    _ => Ok(SessionAction::Wait),
+                }
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.state == NnBatchServerState::Done
+    }
+
+    fn retransmits(&self) -> u32 {
+        self.arq.retransmits()
+    }
+}
+
+/// Runs one batched inference round over `channel` (client =
+/// [`Side::A`](crate::transport::Side::A), accelerator =
+/// [`Side::B`](crate::transport::Side::B)). Pass a `network_blob` to
+/// load before executing, or `None` to execute against the
+/// accelerator's already-loaded network. Returns the sealed output
+/// blobs alongside the session report.
+pub fn run_wire_batch_inference<T: Transport>(
+    channel: &mut T,
+    accel: &SharedAccelerator,
+    network_blob: Option<Vec<u8>>,
+    input_blobs: &[Vec<u8>],
+    session_id: u64,
+    cfg: SessionConfig,
+) -> (SessionReport, Option<Vec<Vec<u8>>>) {
+    run_wire_batch_inference_traced(
+        channel,
+        accel,
+        network_blob,
+        input_blobs,
+        session_id,
+        cfg,
+        &mut neuropuls_rt::trace::Tracer::disabled(),
+        None,
+    )
+}
+
+/// [`run_wire_batch_inference`], recording wire activity into `tracer`
+/// and per-session batch accounting into `metrics`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_wire_batch_inference_traced<T: Transport>(
+    channel: &mut T,
+    accel: &SharedAccelerator,
+    network_blob: Option<Vec<u8>>,
+    input_blobs: &[Vec<u8>],
+    session_id: u64,
+    cfg: SessionConfig,
+    tracer: &mut neuropuls_rt::trace::Tracer,
+    metrics: Option<&Registry>,
+) -> (SessionReport, Option<Vec<Vec<u8>>>) {
+    let mut client = match network_blob {
+        Some(blob) => WireNnBatchClient::with_load(session_id, blob, input_blobs, cfg),
+        None => WireNnBatchClient::execute_only(session_id, input_blobs, cfg),
+    };
+    let mut server = WireNnBatchServer::new(accel.clone(), cfg);
+    if let Some(metrics) = metrics {
+        server = server.with_metrics(metrics);
+    }
+    // Every chunk needs its ack round-trip plus retry headroom.
+    let chunks = client.request_chunks.len() as u32 + input_blobs.len() as u32 + 2;
+    let max_ticks = DEFAULT_MAX_TICKS.max(chunks * 32);
+    let report = drive_report_traced(channel, &mut client, &mut server, max_ticks, tracer);
+    let output = client.output_blobs().map(<[Vec<u8>]>::to_vec);
+    (report, output)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -661,6 +1214,148 @@ mod tests {
         let mid = out.len() / 2;
         out[mid] ^= 1;
         assert!(owner.decipher_output(&out).is_err());
+    }
+
+    fn batch_inputs(n: usize, width: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..width).map(|j| ((i * width + j) % 17) as f64 / 8.0 - 1.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn batch_execute_matches_direct_engine() {
+        let (mut owner, accel) = setup();
+        let (_, mut twin) = setup();
+        let inputs = batch_inputs(150, 4);
+        let shared = share_accelerator(accel);
+        let mut channel = Channel::new();
+        let (report, outputs) = run_wire_batch_inference(
+            &mut channel,
+            &shared,
+            Some(owner.cipher_network(&identity(4))),
+            &owner.cipher_inputs(&inputs),
+            7,
+            SessionConfig::default(),
+        );
+        report.result.unwrap();
+        let got = owner.decipher_outputs(&outputs.unwrap()).unwrap();
+
+        twin.load_network(&owner.cipher_network(&identity(4))).unwrap();
+        let sealed = twin.execute_network_batch(&owner.cipher_inputs(&inputs)).unwrap();
+        let direct = owner.decipher_outputs(&sealed).unwrap();
+        assert_eq!(got.len(), 150);
+        assert_eq!(got, direct, "wire batch diverged from direct batch");
+        // 150 × ~64-byte sealed items exceeds one chunk budget, so the
+        // exchange really was chunked.
+        assert!(
+            owner.cipher_inputs(&inputs).iter().map(Vec::len).sum::<usize>()
+                > crate::wire::NN_CHUNK_BUDGET
+        );
+    }
+
+    #[test]
+    fn batch_survives_lossy_link() {
+        use crate::transport::{FaultRates, FaultyChannel};
+        let (mut owner, accel) = setup();
+        let (_, mut twin) = setup();
+        let inputs = batch_inputs(140, 4);
+        let shared = share_accelerator(accel);
+        let mut channel = FaultyChannel::new(FaultRates::loss(0.10), 0xBA7C);
+        let (report, outputs) = run_wire_batch_inference(
+            &mut channel,
+            &shared,
+            Some(owner.cipher_network(&identity(4))),
+            &owner.cipher_inputs(&inputs),
+            8,
+            SessionConfig::default(),
+        );
+        report.result.unwrap();
+        twin.load_network(&owner.cipher_network(&identity(4))).unwrap();
+        let sealed = twin.execute_network_batch(&owner.cipher_inputs(&inputs)).unwrap();
+        let direct = owner.decipher_outputs(&sealed).unwrap();
+        let got = owner.decipher_outputs(&outputs.unwrap()).unwrap();
+        assert_eq!(got, direct, "loss recovery changed the batch result");
+        assert!(report.retransmits > 0, "10% loss should retransmit");
+    }
+
+    #[test]
+    fn execute_only_sessions_share_one_engine() {
+        let (mut owner, mut accel) = setup();
+        let (_, mut twin) = setup();
+        accel.load_network(&owner.cipher_network(&identity(4))).unwrap();
+        twin.load_network(&owner.cipher_network(&identity(4))).unwrap();
+        let shared = share_accelerator(accel);
+        let inputs = batch_inputs(9, 4);
+        let mut got = Vec::new();
+        for sid in 0..2u64 {
+            let mut channel = Channel::new();
+            let (report, outputs) = run_wire_batch_inference(
+                &mut channel,
+                &shared,
+                None,
+                &owner.cipher_inputs(&inputs),
+                sid + 1,
+                SessionConfig::default(),
+            );
+            report.result.unwrap();
+            got.push(owner.decipher_outputs(&outputs.unwrap()).unwrap());
+        }
+        let direct: Vec<_> = (0..2)
+            .map(|_| {
+                let sealed =
+                    twin.execute_network_batch(&owner.cipher_inputs(&inputs)).unwrap();
+                owner.decipher_outputs(&sealed).unwrap()
+            })
+            .collect();
+        assert_eq!(got, direct);
+        assert_ne!(got[0], got[1], "successive batches must draw fresh noise epochs");
+        assert_eq!(shared.borrow().stats().inferences, 18);
+    }
+
+    #[test]
+    fn batch_fault_reaches_client() {
+        // Execute-only against an empty accelerator: the engine refuses,
+        // the server faults, the client reports PeerFault after its
+        // retry budget.
+        let (mut owner, accel) = setup();
+        let shared = share_accelerator(accel);
+        let mut channel = Channel::new();
+        let (report, outputs) = run_wire_batch_inference(
+            &mut channel,
+            &shared,
+            None,
+            &owner.cipher_inputs(&batch_inputs(3, 4)),
+            9,
+            SessionConfig::default(),
+        );
+        assert!(outputs.is_none());
+        assert!(
+            matches!(report.result, Err(ProtocolError::PeerFault(_))),
+            "want PeerFault, got {:?}",
+            report.result
+        );
+    }
+
+    #[test]
+    fn batch_metrics_fold_into_registry() {
+        let (mut owner, mut accel) = setup();
+        accel.load_network(&owner.cipher_network(&identity(4))).unwrap();
+        let shared = share_accelerator(accel);
+        let registry = Registry::new();
+        let mut channel = Channel::new();
+        let (report, _) = run_wire_batch_inference_traced(
+            &mut channel,
+            &shared,
+            None,
+            &owner.cipher_inputs(&batch_inputs(5, 4)),
+            10,
+            SessionConfig::default(),
+            &mut neuropuls_rt::trace::Tracer::disabled(),
+            Some(&registry),
+        );
+        report.result.unwrap();
+        assert_eq!(registry.counter_value("secure_nn.batch.executes"), 1);
+        assert_eq!(registry.counter_value("secure_nn.batch.items"), 5);
     }
 
     #[test]

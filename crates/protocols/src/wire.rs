@@ -423,6 +423,109 @@ pub enum SecureNnMsg {
     /// The accelerator rejected the call (blob failed authentication or
     /// the engine refused it).
     Fault(String),
+    /// One chunk of a batched `execute_network` request (tag 5,
+    /// versioned — see [`NN_BATCH_VERSION`]).
+    ExecuteChunk(NnChunk),
+    /// Accelerator acknowledges request chunk `index` (tag 6). The ack
+    /// for the final chunk is replaced by the first [`OutputChunk`].
+    ChunkAck {
+        /// Index of the request chunk being acknowledged.
+        index: u32,
+    },
+    /// One chunk of the batched sealed outputs (tag 7).
+    OutputChunk(NnChunk),
+    /// Client acknowledges output chunk `index` (tag 8).
+    OutputAck {
+        /// Index of the output chunk being acknowledged.
+        index: u32,
+    },
+}
+
+/// Version byte prefixed to every batched-inference chunk. Bumping it
+/// lets future encodings coexist with deployed accelerators: an
+/// unknown version is a decode error, while the unversioned scalar
+/// messages (tags 0–4) keep their original byte layout.
+pub const NN_BATCH_VERSION: u8 = 1;
+
+/// Soft budget in sealed-item bytes for one batched-inference chunk.
+/// Chunks carry whole items only; a single oversized item still
+/// travels alone, so this bounds frames without bounding items.
+pub const NN_CHUNK_BUDGET: usize = 8192;
+
+/// One chunk of a batched secure-NN exchange: chunk `index` of
+/// `total`, carrying whole sealed items (inputs on the request path,
+/// outputs on the response path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NnChunk {
+    /// Zero-based chunk index.
+    pub index: u32,
+    /// Total chunks in this direction of the exchange.
+    pub total: u32,
+    /// Sealed items carried by this chunk.
+    pub items: Vec<Vec<u8>>,
+}
+
+impl ToBytes for NnChunk {
+    fn write_into(&self, out: &mut Writer) {
+        out.u8(NN_BATCH_VERSION);
+        out.u32(self.index);
+        out.u32(self.total);
+        out.u32(self.items.len() as u32);
+        for item in &self.items {
+            out.bytes(item);
+        }
+    }
+}
+
+impl FromBytes for NnChunk {
+    fn read_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let version = r.u8()?;
+        if version != NN_BATCH_VERSION {
+            return Err(CodecError::Invalid("nn batch version"));
+        }
+        let index = r.u32()?;
+        let total = r.u32()?;
+        let count = r.u32()? as usize;
+        let mut items = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            items.push(r.bytes()?.to_vec());
+        }
+        Ok(NnChunk {
+            index,
+            total,
+            items,
+        })
+    }
+}
+
+/// Packs sealed items into chunks of at most [`NN_CHUNK_BUDGET`]
+/// payload bytes each (whole items only, at least one item per chunk),
+/// numbering them `0..total`.
+pub fn chunk_nn_items(items: &[Vec<u8>]) -> Vec<NnChunk> {
+    let mut groups: Vec<Vec<Vec<u8>>> = Vec::new();
+    let mut current: Vec<Vec<u8>> = Vec::new();
+    let mut current_bytes = 0usize;
+    for item in items {
+        if !current.is_empty() && current_bytes + item.len() > NN_CHUNK_BUDGET {
+            groups.push(std::mem::take(&mut current));
+            current_bytes = 0;
+        }
+        current_bytes += item.len();
+        current.push(item.clone());
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+    let total = groups.len() as u32;
+    groups
+        .into_iter()
+        .enumerate()
+        .map(|(index, items)| NnChunk {
+            index: index as u32,
+            total,
+            items,
+        })
+        .collect()
 }
 
 impl ToBytes for SecureNnMsg {
@@ -445,6 +548,22 @@ impl ToBytes for SecureNnMsg {
                 out.u8(4);
                 out.bytes(what.as_bytes());
             }
+            SecureNnMsg::ExecuteChunk(chunk) => {
+                out.u8(5);
+                chunk.write_into(out);
+            }
+            SecureNnMsg::ChunkAck { index } => {
+                out.u8(6);
+                out.u32(*index);
+            }
+            SecureNnMsg::OutputChunk(chunk) => {
+                out.u8(7);
+                chunk.write_into(out);
+            }
+            SecureNnMsg::OutputAck { index } => {
+                out.u8(8);
+                out.u32(*index);
+            }
         }
     }
 }
@@ -460,6 +579,10 @@ impl FromBytes for SecureNnMsg {
                 String::from_utf8(r.bytes()?.to_vec())
                     .map_err(|_| CodecError::Invalid("fault message utf-8"))?,
             )),
+            5 => Ok(SecureNnMsg::ExecuteChunk(NnChunk::read_from(r)?)),
+            6 => Ok(SecureNnMsg::ChunkAck { index: r.u32()? }),
+            7 => Ok(SecureNnMsg::OutputChunk(NnChunk::read_from(r)?)),
+            8 => Ok(SecureNnMsg::OutputAck { index: r.u32()? }),
             _ => Err(CodecError::Invalid("secure-nn message tag")),
         }
     }
@@ -1024,6 +1147,18 @@ mod tests {
             SecureNnMsg::Execute(vec![4; 60]),
             SecureNnMsg::Output(Vec::new()),
             SecureNnMsg::Fault("engine refused".into()),
+            SecureNnMsg::ExecuteChunk(NnChunk {
+                index: 0,
+                total: 2,
+                items: vec![vec![9; 40], vec![8; 17]],
+            }),
+            SecureNnMsg::ChunkAck { index: 0 },
+            SecureNnMsg::OutputChunk(NnChunk {
+                index: 1,
+                total: 2,
+                items: vec![Vec::new()],
+            }),
+            SecureNnMsg::OutputAck { index: 1 },
         ];
         for msg in msgs {
             let payload = encode_payload(&msg);
@@ -1032,6 +1167,68 @@ mod tests {
                 assert!(decode_payload::<SecureNnMsg>(&payload[..cut]).is_err());
             }
         }
+    }
+
+    /// The scalar tags 0–4 predate batching; their byte layout is what
+    /// deployed peers speak and must never move.
+    #[test]
+    fn secure_nn_scalar_encoding_is_pinned() {
+        // Lengths are little-endian u64 on the wire.
+        assert_eq!(
+            encode_payload(&SecureNnMsg::Load(vec![0xAA, 0xBB])),
+            vec![0, 2, 0, 0, 0, 0, 0, 0, 0, 0xAA, 0xBB]
+        );
+        assert_eq!(encode_payload(&SecureNnMsg::LoadAck), vec![1]);
+        assert_eq!(
+            encode_payload(&SecureNnMsg::Execute(vec![0xCC])),
+            vec![2, 1, 0, 0, 0, 0, 0, 0, 0, 0xCC]
+        );
+        assert_eq!(
+            encode_payload(&SecureNnMsg::Output(vec![0xDD])),
+            vec![3, 1, 0, 0, 0, 0, 0, 0, 0, 0xDD]
+        );
+        assert_eq!(
+            encode_payload(&SecureNnMsg::Fault("x".into())),
+            vec![4, 1, 0, 0, 0, 0, 0, 0, 0, b'x']
+        );
+    }
+
+    #[test]
+    fn nn_chunk_rejects_unknown_version() {
+        let chunk = NnChunk {
+            index: 0,
+            total: 1,
+            items: vec![vec![1, 2]],
+        };
+        let mut payload = encode_payload(&SecureNnMsg::ExecuteChunk(chunk));
+        // Byte 0 is the message tag, byte 1 the chunk version.
+        payload[1] = NN_BATCH_VERSION + 1;
+        assert!(matches!(
+            decode_payload::<SecureNnMsg>(&payload),
+            Err(CodecError::Invalid("nn batch version"))
+        ));
+    }
+
+    #[test]
+    fn chunker_respects_budget_and_order() {
+        // 5 items of 3000 bytes: budget 8192 fits two per chunk.
+        let items: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 3000]).collect();
+        let chunks = chunk_nn_items(&items);
+        assert_eq!(chunks.len(), 3);
+        for (i, chunk) in chunks.iter().enumerate() {
+            assert_eq!(chunk.index, i as u32);
+            assert_eq!(chunk.total, 3);
+            let bytes: usize = chunk.items.iter().map(Vec::len).sum();
+            assert!(bytes <= NN_CHUNK_BUDGET, "chunk {i} over budget: {bytes}");
+        }
+        let reassembled: Vec<Vec<u8>> = chunks.into_iter().flat_map(|c| c.items).collect();
+        assert_eq!(reassembled, items);
+        // An oversized single item still travels (alone).
+        let big = vec![vec![7u8; NN_CHUNK_BUDGET * 2]];
+        let chunks = chunk_nn_items(&big);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].items, big);
+        assert!(chunk_nn_items(&[]).is_empty());
     }
 
     #[test]

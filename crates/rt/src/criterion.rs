@@ -16,7 +16,7 @@
 //!   "benchmarks": [
 //!     {"name": "crypto/sha256_4k", "samples": 50, "iters_per_sample": 12,
 //!      "mean_ns": 81234.5, "p50_ns": 80911.0, "p99_ns": 90122.0,
-//!      "throughput_bytes": 4096}
+//!      "throughput_bytes": 4096, "throughput_elements": null}
 //!   ]
 //! }
 //! ```
@@ -39,6 +39,7 @@ struct Record {
     p50_ns: f64,
     p99_ns: f64,
     throughput_bytes: Option<u64>,
+    throughput_elements: Option<u64>,
 }
 
 static RESULTS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
@@ -254,6 +255,10 @@ where
             Some(Throughput::Bytes(b)) => Some(b),
             _ => None,
         },
+        throughput_elements: match throughput {
+            Some(Throughput::Elements(n)) => Some(n),
+            _ => None,
+        },
     };
     println!(
         "bench {:<40} mean {:>12.1} ns  p50 {:>12.1} ns  p99 {:>12.1} ns  ({} samples x {} iters)",
@@ -295,7 +300,8 @@ pub fn write_report() {
     for (i, r) in records.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"samples\": {}, \"iters_per_sample\": {}, \
-             \"mean_ns\": {:.1}, \"p50_ns\": {:.1}, \"p99_ns\": {:.1}, \"throughput_bytes\": {}}}{}\n",
+             \"mean_ns\": {:.1}, \"p50_ns\": {:.1}, \"p99_ns\": {:.1}, \
+             \"throughput_bytes\": {}, \"throughput_elements\": {}}}{}\n",
             json_escape(&r.name),
             r.samples,
             r.iters_per_sample,
@@ -304,6 +310,8 @@ pub fn write_report() {
             r.p99_ns,
             r.throughput_bytes
                 .map_or("null".to_string(), |b| b.to_string()),
+            r.throughput_elements
+                .map_or("null".to_string(), |n| n.to_string()),
             if i + 1 == records.len() { "" } else { "," }
         ));
     }

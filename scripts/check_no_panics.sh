@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# No-panic gate for the protocol and system layers: a frame off the wire
-# or a firmware register poke must never be able to bring the process
-# down, so production paths in crates/protocols and crates/system return
-# ProtocolError / BusFault instead of panicking.
+# No-panic gate for the protocol, system and accelerator layers: a frame
+# off the wire, a firmware register poke or a hostile network blob must
+# never be able to bring the process down, so production paths in
+# crates/protocols, crates/system and crates/accel return
+# ProtocolError / BusFault / EngineError instead of panicking.
 #
 # The gate scans every non-test line (each file is truncated at its
 # `#[cfg(test)]` marker) for `.unwrap()`, `.expect(`, `panic!(` and
@@ -33,11 +34,13 @@ MAX_DISTANCE=10
 # Audited 2026-08: 17 sites, each behind an `// invariant:` proof or a
 # `# Panics` doc contract (mutex poisoning, fixed-size HKDF outputs,
 # peek-then-pop, static memory-map ordering, backlog accounting).
+# crates/accel joined the gate with zero sites — the batched inference
+# path ships typed EngineErrors end to end — so the budget holds.
 MAX_PANIC_SITES=17
 status=0
 site_count=0
 
-for f in crates/protocols/src/*.rs crates/system/src/*.rs; do
+for f in crates/protocols/src/*.rs crates/system/src/*.rs crates/accel/src/*.rs; do
     hits=$(awk -v max="$MAX_DISTANCE" '
         /#\[cfg\(test\)\]/ { exit }
         /invariant:|# Panics/ { guard = NR }
@@ -67,4 +70,4 @@ if [[ "$site_count" -gt "$MAX_PANIC_SITES" ]]; then
     exit 1
 fi
 
-echo "check_no_panics: OK: no unjustified panic sites; $site_count/$MAX_PANIC_SITES budget used in crates/protocols and crates/system"
+echo "check_no_panics: OK: no unjustified panic sites; $site_count/$MAX_PANIC_SITES budget used in crates/protocols, crates/system and crates/accel"

@@ -251,4 +251,49 @@ proptest! {
         let code = assemble(&src, 0).unwrap();
         prop_assert_eq!(code.len(), 4);
     }
+
+    #[test]
+    fn batched_inference_matches_sequential_at_any_thread_count(
+        seed in any::<u64>(),
+        batch in 0usize..12,
+        noisy in any::<bool>(),
+    ) {
+        use neuropuls::accel::config::NetworkConfig;
+        use neuropuls::accel::engine::{AnalogModel, PhotonicEngine};
+        let model = if noisy { AnalogModel::reference() } else { AnalogModel::ideal() };
+        let network = NetworkConfig::mlp(&[6, 9, 6], |l, o, i| {
+            ((l * 31 + o * 7 + i * 3) % 19) as f32 / 9.0 - 1.0
+        });
+        let inputs: Vec<Vec<f64>> = (0..batch)
+            .map(|n| {
+                (0..6)
+                    .map(|i| ((seed >> (i * 8)) & 0xFF) as f64 / 127.5 - 1.0 + n as f64 * 0.01)
+                    .collect()
+            })
+            .collect();
+
+        let mut per_thread_count: Vec<Vec<Vec<f64>>> = Vec::new();
+        for threads in [1usize, 8] {
+            let (batched, expected) = neuropuls_rt::pool::with_threads(threads, || {
+                let mut engine = PhotonicEngine::new(model, seed);
+                engine.load(network.clone()).unwrap();
+                // The seeds the batch is about to consume, captured
+                // before the epoch advances.
+                let item_seeds: Vec<u64> =
+                    (0..batch).map(|i| engine.batch_item_seed(i)).collect();
+                let batched = engine.infer_batch(&inputs).unwrap();
+                let mut twin = PhotonicEngine::new(model, seed);
+                twin.load(network.clone()).unwrap();
+                let expected: Vec<Vec<f64>> = inputs
+                    .iter()
+                    .zip(&item_seeds)
+                    .map(|(input, &s)| twin.infer_seeded(input, s).unwrap())
+                    .collect();
+                (batched, expected)
+            });
+            prop_assert_eq!(&batched, &expected);
+            per_thread_count.push(batched);
+        }
+        prop_assert_eq!(&per_thread_count[0], &per_thread_count[1]);
+    }
 }
