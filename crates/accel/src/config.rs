@@ -163,7 +163,10 @@ impl NetworkConfig {
     ///
     /// Panics if fewer than two widths are given.
     pub fn mlp(widths: &[usize], weights: impl Fn(usize, usize, usize) -> f32) -> Self {
-        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .enumerate()
@@ -345,7 +348,10 @@ mod tests {
             NetworkConfig::from_bytes(b"not a config"),
             Err(ConfigCodecError::BadHeader)
         );
-        assert_eq!(NetworkConfig::from_bytes(b""), Err(ConfigCodecError::Truncated));
+        assert_eq!(
+            NetworkConfig::from_bytes(b""),
+            Err(ConfigCodecError::Truncated)
+        );
     }
 
     #[test]

@@ -317,7 +317,11 @@ impl PhotonicEngine {
     ///
     /// Returns [`EngineError::NotLoaded`] or
     /// [`EngineError::InputWidth`].
-    pub fn infer_seeded(&mut self, input: &[f64], noise_seed: u64) -> Result<Vec<f64>, EngineError> {
+    pub fn infer_seeded(
+        &mut self,
+        input: &[f64],
+        noise_seed: u64,
+    ) -> Result<Vec<f64>, EngineError> {
         let config = self.config.as_ref().ok_or(EngineError::NotLoaded)?;
         if input.len() != config.input_width() {
             return Err(EngineError::InputWidth {
@@ -377,10 +381,10 @@ impl PhotonicEngine {
         let scaled = self.scaled_weights();
         let mac_noise = self.model.mac_noise;
         let seeds: Vec<u64> = (0..inputs.len()).map(|i| self.batch_item_seed(i)).collect();
-        let outputs: Vec<(Vec<f64>, u64)> = neuropuls_rt::pool::par_map(
-            (0..inputs.len()).collect::<Vec<usize>>(),
-            |i| forward_fast(config, &scaled, mac_noise, &inputs[i], seeds[i]),
-        );
+        let outputs: Vec<(Vec<f64>, u64)> =
+            neuropuls_rt::pool::par_map((0..inputs.len()).collect::<Vec<usize>>(), |i| {
+                forward_fast(config, &scaled, mac_noise, &inputs[i], seeds[i])
+            });
         self.batch_epoch += 1;
         let n = outputs.len() as u64;
         let macs: u64 = outputs.iter().map(|(_, m)| m).sum();
@@ -524,7 +528,10 @@ mod tests {
         let mut engine = PhotonicEngine::reference(4);
         let mut config = identity_config(3);
         config.layers[0].biases.pop();
-        assert!(matches!(engine.load(config), Err(EngineError::BadConfig(_))));
+        assert!(matches!(
+            engine.load(config),
+            Err(EngineError::BadConfig(_))
+        ));
     }
 
     #[test]
@@ -563,7 +570,10 @@ mod tests {
         let x = [1.0, 1.0];
         let c = coarse.infer(&x).unwrap()[0];
         let f = fine.infer(&x).unwrap()[0];
-        assert!((c - f).abs() > 0.05, "quantization had no effect: {c} vs {f}");
+        assert!(
+            (c - f).abs() > 0.05,
+            "quantization had no effect: {c} vs {f}"
+        );
     }
 
     #[test]
@@ -615,7 +625,11 @@ mod tests {
         assert_ne!(engine.stats(), EngineStats::default());
         engine.unload();
         assert_eq!(engine.drift_factor(), 1.0, "drift must not survive unload");
-        assert_eq!(engine.stats(), EngineStats::default(), "stats must not survive unload");
+        assert_eq!(
+            engine.stats(),
+            EngineStats::default(),
+            "stats must not survive unload"
+        );
     }
 
     #[test]
@@ -647,7 +661,10 @@ mod tests {
         );
         engine.load(identity_config(2)).unwrap();
         let out = engine.infer(&[0.5, -0.5]).unwrap();
-        assert!(out.iter().all(|v| v.is_finite()), "2-bit weights must be finite: {out:?}");
+        assert!(
+            out.iter().all(|v| v.is_finite()),
+            "2-bit weights must be finite: {out:?}"
+        );
     }
 
     #[test]
@@ -657,7 +674,11 @@ mod tests {
         let a = engine.infer(&[1.0, 2.0, 3.0, 4.0]).unwrap();
         let b = engine.infer(&[1.0, 2.0, 3.0, 4.0]).unwrap();
         assert_eq!(a, b, "noiseless inference must be bit-identical");
-        assert_eq!(engine.stats().noise_draws, 0, "mac_noise == 0 must not sample");
+        assert_eq!(
+            engine.stats().noise_draws,
+            0,
+            "mac_noise == 0 must not sample"
+        );
         assert_eq!(engine.stats().macs, 32);
     }
 
@@ -721,8 +742,7 @@ mod tests {
             neuropuls_rt::pool::with_threads(threads, || {
                 let mut engine = PhotonicEngine::reference(16);
                 engine.load(identity_config(4)).unwrap();
-                let inputs: Vec<Vec<f64>> =
-                    (0..17).map(|i| vec![i as f64 * 0.1; 4]).collect();
+                let inputs: Vec<Vec<f64>> = (0..17).map(|i| vec![i as f64 * 0.1; 4]).collect();
                 engine.infer_batch(&inputs).unwrap()
             })
         };
@@ -748,7 +768,11 @@ mod tests {
         let mut engine = PhotonicEngine::new(AnalogModel::ideal(), 18);
         engine.load(identity_config(4)).unwrap();
         assert_eq!(engine.infer_batch(&[]).unwrap(), Vec::<Vec<f64>>::new());
-        assert_eq!(engine.batch_epoch(), 0, "empty batch must not burn an epoch");
+        assert_eq!(
+            engine.batch_epoch(),
+            0,
+            "empty batch must not burn an epoch"
+        );
         let inputs = vec![vec![0.5; 4]; 8];
         engine.infer_batch(&inputs).unwrap();
         let stats = engine.stats();
@@ -757,7 +781,11 @@ mod tests {
         assert_eq!(stats.noise_draws, 0);
         // 1 layer, 8 items, wave-pipelined: (1 + 8 - 1) slots.
         let expected_ns = 8.0 * AnalogModel::ideal().layer_latency_ns;
-        assert!((stats.busy_ns - expected_ns).abs() < 1e-9, "busy_ns {}", stats.busy_ns);
+        assert!(
+            (stats.busy_ns - expected_ns).abs() < 1e-9,
+            "busy_ns {}",
+            stats.busy_ns
+        );
         // Width errors reject the whole batch up front.
         assert_eq!(
             engine.infer_batch(&[vec![1.0; 4], vec![1.0; 3]]),

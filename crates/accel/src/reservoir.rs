@@ -51,7 +51,11 @@ impl Reservoir {
             .fold(f64::MIN_POSITIVE, f64::max);
         let recurrent = raw
             .into_iter()
-            .map(|row| row.into_iter().map(|w| w / max_row_sum * spectral_scale).collect())
+            .map(|row| {
+                row.into_iter()
+                    .map(|w| w / max_row_sum * spectral_scale)
+                    .collect()
+            })
             .collect();
         Reservoir {
             input_weights,
@@ -77,11 +81,7 @@ impl Reservoir {
     ///
     /// Panics if `u` has the wrong width.
     pub fn step(&mut self, u: &[f64]) -> &[f64] {
-        assert_eq!(
-            u.len(),
-            self.input_weights[0].len(),
-            "input width mismatch"
-        );
+        assert_eq!(u.len(), self.input_weights[0].len(), "input width mismatch");
         let n = self.state.len();
         let mut next = vec![0.0; n];
         for i in 0..n {

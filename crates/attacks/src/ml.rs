@@ -174,9 +174,9 @@ pub fn model_attack<P: Puf>(
 mod tests {
     use super::*;
     use neuropuls_photonic::process::DieId;
-    use neuropuls_rt::Rng;
     use neuropuls_puf::arbiter::XorArbiterPuf;
     use neuropuls_puf::photonic::PhotonicPuf;
+    use neuropuls_rt::Rng;
 
     #[test]
     fn logistic_regression_learns_a_linear_function() {

@@ -12,7 +12,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use neuropuls_protocols::error::ProtocolError;
-use neuropuls_protocols::mutual_auth::{run_wire_session, Device, DeviceAuth, Verifier, WireVerifier};
+use neuropuls_protocols::mutual_auth::{
+    run_wire_session, Device, DeviceAuth, Verifier, WireVerifier,
+};
 use neuropuls_protocols::transport::{Channel, FaultRates, FaultyChannel, MitmVerdict, Side};
 use neuropuls_protocols::wire::{
     drive_report, Envelope, MutualAuthMsg, ProtocolId, Session, SessionAction, SessionConfig,
@@ -21,6 +23,7 @@ use neuropuls_protocols::wire::{
 use neuropuls_puf::traits::Puf;
 use neuropuls_rt::codec::{FromBytes, ToBytes};
 use neuropuls_rt::rngs::StdRng;
+use neuropuls_rt::trace::Tracer;
 use neuropuls_rt::{Rng, SeedableRng};
 
 /// Result of one adversarial campaign.
@@ -79,7 +82,15 @@ pub fn replay_campaign<P: Puf>(
         }
         MitmVerdict::Forward
     }));
-    run_wire_session(&mut channel, device, verifier, 0, SessionConfig::default()).result?;
+    run_wire_session(
+        &mut channel,
+        device,
+        verifier,
+        0,
+        SessionConfig::default(),
+        &mut Tracer::disabled(),
+    )
+    .result?;
     let payload = captured
         .borrow_mut()
         .take()
@@ -104,8 +115,14 @@ pub fn replay_campaign<P: Puf>(
             }
             MitmVerdict::Forward
         }));
-        let report =
-            run_wire_session(&mut channel, device, verifier, 1 + i as u64, SessionConfig::default());
+        let report = run_wire_session(
+            &mut channel,
+            device,
+            verifier,
+            1 + i as u64,
+            SessionConfig::default(),
+            &mut Tracer::disabled(),
+        );
         if report.succeeded() {
             successes += 1;
         }
@@ -154,8 +171,14 @@ pub fn mitm_tamper_campaign<P: Puf>(
             }
             MitmVerdict::Forward
         }));
-        let report =
-            run_wire_session(&mut channel, device, verifier, i as u64, SessionConfig::default());
+        let report = run_wire_session(
+            &mut channel,
+            device,
+            verifier,
+            i as u64,
+            SessionConfig::default(),
+            &mut Tracer::disabled(),
+        );
         if report.succeeded() {
             successes += 1;
         }
@@ -238,7 +261,13 @@ pub fn forgery_campaign(verifier: &mut Verifier, attempts: usize, seed: u64) -> 
         attacker.accepted = false;
         let mut channel = Channel::new();
         let mut wire_verifier = WireVerifier::new(verifier, i as u64, SessionConfig::default());
-        let report = drive_report(&mut channel, &mut wire_verifier, &mut attacker, DEFAULT_MAX_TICKS);
+        let report = drive_report(
+            &mut channel,
+            &mut wire_verifier,
+            &mut attacker,
+            DEFAULT_MAX_TICKS,
+            &mut Tracer::disabled(),
+        );
         if report.succeeded() || attacker.accepted {
             successes += 1;
         }
@@ -268,13 +297,22 @@ pub fn desync_suppression_campaign<P: Puf>(
     for i in 0..attempts {
         let mut channel = FaultyChannel::new(FaultRates::none(), 0xDE5C ^ i as u64);
         channel.set_mitm(Box::new(|_from, frame| {
-            if matches!(as_auth_envelope(frame), Some((_, MutualAuthMsg::Confirm(_)))) {
+            if matches!(
+                as_auth_envelope(frame),
+                Some((_, MutualAuthMsg::Confirm(_)))
+            ) {
                 return MitmVerdict::Drop;
             }
             MitmVerdict::Forward
         }));
-        let suppressed =
-            run_wire_session(&mut channel, device, verifier, 2 * i as u64, SessionConfig::default());
+        let suppressed = run_wire_session(
+            &mut channel,
+            device,
+            verifier,
+            2 * i as u64,
+            SessionConfig::default(),
+            &mut Tracer::disabled(),
+        );
         channel.clear_mitm();
         let recovered = run_wire_session(
             &mut channel,
@@ -282,6 +320,7 @@ pub fn desync_suppression_campaign<P: Puf>(
             verifier,
             2 * i as u64 + 1,
             SessionConfig::default(),
+            &mut Tracer::disabled(),
         );
         if suppressed.succeeded() || !recovered.succeeded() {
             successes += 1;

@@ -29,7 +29,11 @@ pub fn sram_remanence_attack(
     secret: &[u8],
     off_time_ms: f64,
 ) -> RemanenceOutcome {
-    assert_eq!(secret.len(), sram.config().cells, "secret must fill the array");
+    assert_eq!(
+        secret.len(),
+        sram.config().cells,
+        "secret must fill the array"
+    );
     sram.write_data(secret.to_vec());
     let read = sram.power_cycle_read(off_time_ms);
     let matches = read
@@ -122,6 +126,9 @@ mod tests {
         // A remanence-style probe needs power cycling: milliseconds.
         let puf = PhotonicPuf::reference(DieId(4), 8);
         let probe_delay_ns = 1e6; // 1 ms
-        assert_eq!(photonic_exposure(probe_delay_ns, puf.response_window_ns()), 0.5);
+        assert_eq!(
+            photonic_exposure(probe_delay_ns, puf.response_window_ns()),
+            0.5
+        );
     }
 }

@@ -177,8 +177,7 @@ mod tests {
     #[test]
     fn electronic_leakage_recovers_responses() {
         let mut puf = reference_electronic_target(1);
-        let outcome =
-            power_analysis_attack(&mut puf, LeakageModel::electronic(), 600, 7).unwrap();
+        let outcome = power_analysis_attack(&mut puf, LeakageModel::electronic(), 600, 7).unwrap();
         assert!(
             outcome.response_recovery > 0.85,
             "recovery {}",

@@ -2,9 +2,9 @@
 //! bench per table/figure so `cargo bench` exercises every regeneration
 //! path and reports its wall time.
 
+use neuropuls_bench::{experiments, Scale};
 use neuropuls_rt::criterion::Criterion;
 use neuropuls_rt::{criterion_group, criterion_main};
-use neuropuls_bench::{experiments, Scale};
 
 fn bench_experiments(c: &mut Criterion) {
     let mut group = c.benchmark_group("experiments_smoke");
@@ -19,7 +19,9 @@ fn bench_experiments(c: &mut Criterion) {
     group.bench_function("e3_table1", |b| {
         b.iter(|| experiments::table1::run(Scale::Smoke))
     });
-    group.bench_function("e4_auth", |b| b.iter(|| experiments::auth::run(Scale::Smoke)));
+    group.bench_function("e4_auth", |b| {
+        b.iter(|| experiments::auth::run(Scale::Smoke))
+    });
     group.bench_function("e5_attestation", |b| {
         b.iter(|| experiments::attestation::run(Scale::Smoke))
     });
@@ -29,7 +31,9 @@ fn bench_experiments(c: &mut Criterion) {
     group.bench_function("e9_system", |b| {
         b.iter(|| experiments::system::run(Scale::Smoke))
     });
-    group.bench_function("e12_eke", |b| b.iter(|| experiments::eke::run(Scale::Smoke)));
+    group.bench_function("e12_eke", |b| {
+        b.iter(|| experiments::eke::run(Scale::Smoke))
+    });
     group.finish();
 }
 

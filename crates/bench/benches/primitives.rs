@@ -1,7 +1,5 @@
 //! Criterion benchmarks for the cryptographic and photonic primitives.
 
-use neuropuls_rt::criterion::{BatchSize, Criterion, Throughput};
-use neuropuls_rt::{criterion_group, criterion_main};
 use neuropuls_crypto::chacha20::ChaCha20;
 use neuropuls_crypto::hmac::HmacSha256;
 use neuropuls_crypto::sha256::Sha256;
@@ -10,8 +8,10 @@ use neuropuls_photonic::process::DieId;
 use neuropuls_puf::bits::Challenge;
 use neuropuls_puf::photonic::PhotonicPuf;
 use neuropuls_puf::traits::Puf;
+use neuropuls_rt::criterion::{BatchSize, Criterion, Throughput};
 use neuropuls_rt::rngs::StdRng;
 use neuropuls_rt::SeedableRng;
+use neuropuls_rt::{criterion_group, criterion_main};
 
 fn bench_crypto(c: &mut Criterion) {
     let mut group = c.benchmark_group("crypto");

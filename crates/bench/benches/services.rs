@@ -2,24 +2,23 @@
 //! system-level simulator (§V) — the per-operation costs behind the
 //! experiment tables.
 
-use neuropuls_rt::criterion::Criterion;
-use neuropuls_rt::{criterion_group, criterion_main};
 use neuropuls_accel::config::NetworkConfig;
 use neuropuls_accel::engine::PhotonicEngine;
 use neuropuls_photonic::process::DieId;
-use neuropuls_protocols::attestation::{AttestationRequest, compute_attestation};
+use neuropuls_protocols::attestation::{compute_attestation, AttestationRequest};
 use neuropuls_protocols::eke::{run_exchange, EkeParty};
 use neuropuls_protocols::mutual_auth::{run_session, Device, Verifier};
 use neuropuls_protocols::secure_nn::{NetworkOwner, SecureAccelerator};
 use neuropuls_puf::bits::{Challenge, Response};
 use neuropuls_puf::photonic::PhotonicPuf;
+use neuropuls_rt::criterion::Criterion;
+use neuropuls_rt::{criterion_group, criterion_main};
 use neuropuls_system::soc::{firmware, Soc};
 
 fn bench_mutual_auth(c: &mut Criterion) {
     c.bench_function("mutual_auth_session", |b| {
         let puf = PhotonicPuf::reference(DieId(1), 1);
-        let (mut device, provisioned) =
-            Device::provision(puf, vec![0xAB; 1024], b"bench").unwrap();
+        let (mut device, provisioned) = Device::provision(puf, vec![0xAB; 1024], b"bench").unwrap();
         let mut verifier = Verifier::new(provisioned, b"bench-verifier");
         b.iter(|| {
             if run_session(&mut device, &mut verifier).is_err() {

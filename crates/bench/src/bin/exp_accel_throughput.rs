@@ -57,7 +57,11 @@ fn measure_and_report() {
     let mut batch_engine = loaded_reference_engine(0xE21_BEEF);
     let batch_s = pool::with_threads(8, || {
         min_secs(|| {
-            std::hint::black_box(batch_engine.infer_batch(&inputs).expect("network is loaded"));
+            std::hint::black_box(
+                batch_engine
+                    .infer_batch(&inputs)
+                    .expect("network is loaded"),
+            );
         })
     });
 

@@ -55,6 +55,7 @@ fn runners() -> Vec<Runner> {
         // check; `with_threads` is a thread-local override, so running
         // it inside this par_map fan-out is safe.
         ("E21", |s| experiments::accel_throughput::run(s).0),
+        ("E22", |s| experiments::sched_scaling::run(s).0),
     ]
 }
 
@@ -110,7 +111,10 @@ fn main() {
         let t1 = Instant::now();
         let serial = pool::with_threads(1, || run_all(scale));
         let serial_elapsed = t1.elapsed().as_secs_f64();
-        assert_eq!(serial, outputs, "parallel output must be byte-identical to serial");
+        assert_eq!(
+            serial, outputs,
+            "parallel output must be byte-identical to serial"
+        );
         eprintln!(
             "serial baseline: {serial_elapsed:.2} s — speedup {:.2}x, output byte-identical",
             serial_elapsed / elapsed

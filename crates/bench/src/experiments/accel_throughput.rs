@@ -108,7 +108,16 @@ fn run_cell(cell: Cell) -> CellResult {
 fn render_table(out: &mut Rendered, results: &[CellResult]) {
     out.push(format!(
         "{:>10} {:>6} {:>9} {:>10} {:>9} {:>9} {:>11} {:>8} {:>6} {:>13}",
-        "model", "batch", "macs/inf", "draws/inf", "pJ/inf", "ns/inf", "inf/s", "speedup", "1t=8t", "checksum"
+        "model",
+        "batch",
+        "macs/inf",
+        "draws/inf",
+        "pJ/inf",
+        "ns/inf",
+        "inf/s",
+        "speedup",
+        "1t=8t",
+        "checksum"
     ));
     for r in results {
         out.push(format!(

@@ -34,32 +34,34 @@ pub fn run(scale: Scale) -> (Rendered, Vec<Row>) {
     // and drift from its own index, so the population fans out on the
     // pool with byte-identical output.
     let horizon = years.last().copied().unwrap_or(0.0) as usize;
-    let per_die: Vec<Vec<(f64, f64)>> =
-        neuropuls_rt::pool::par_map((0..dies).collect(), |d| {
-            let mut device =
-                PhotonicPuf::reference(DieId(0xE1500 + d as u64), 1 + d as u64);
-            let day0 = device.respond_golden(&challenge, 9).expect("eval");
-            let mut last_enrollment = day0.clone();
-            let mut samples = Vec::new();
-            for year in 1..=horizon {
-                device.age(1.0);
-                if years.contains(&(year as f64)) {
-                    let mut rel0 = 0.0;
-                    let mut rel_re = 0.0;
-                    for _ in 0..reads {
-                        let reading = device.respond(&challenge).expect("eval");
-                        rel0 += 1.0 - day0.fhd(&reading);
-                        rel_re += 1.0 - last_enrollment.fhd(&reading);
-                    }
-                    samples.push((rel0 / reads as f64, rel_re / reads as f64));
+    let per_die: Vec<Vec<(f64, f64)>> = neuropuls_rt::pool::par_map((0..dies).collect(), |d| {
+        let mut device = PhotonicPuf::reference(DieId(0xE1500 + d as u64), 1 + d as u64);
+        let day0 = device.respond_golden(&challenge, 9).expect("eval");
+        let mut last_enrollment = day0.clone();
+        let mut samples = Vec::new();
+        for year in 1..=horizon {
+            device.age(1.0);
+            if years.contains(&(year as f64)) {
+                let mut rel0 = 0.0;
+                let mut rel_re = 0.0;
+                for _ in 0..reads {
+                    let reading = device.respond(&challenge).expect("eval");
+                    rel0 += 1.0 - day0.fhd(&reading);
+                    rel_re += 1.0 - last_enrollment.fhd(&reading);
                 }
-                // Yearly maintenance.
-                last_enrollment = device.respond_golden(&challenge, 9).expect("eval");
+                samples.push((rel0 / reads as f64, rel_re / reads as f64));
             }
-            samples
-        });
+            // Yearly maintenance.
+            last_enrollment = device.respond_golden(&challenge, 9).expect("eval");
+        }
+        samples
+    });
 
-    let sampled_years: Vec<f64> = years.iter().copied().filter(|&y| y <= horizon as f64).collect();
+    let sampled_years: Vec<f64> = years
+        .iter()
+        .copied()
+        .filter(|&y| y <= horizon as f64)
+        .collect();
     let rows: Vec<Row> = sampled_years
         .iter()
         .enumerate()

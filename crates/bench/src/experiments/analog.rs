@@ -42,9 +42,7 @@ fn train_classifier(seed: u64, epochs: usize) -> NetworkConfig {
                 .map(|j| (w1[j * 2] * x[0] + w1[j * 2 + 1] * x[1] + b1[j]).max(0.0))
                 .collect();
             let z: Vec<f64> = (0..2)
-                .map(|k| {
-                    (0..hidden).map(|j| w2[k * hidden + j] * h[j]).sum::<f64>() + b2[k]
-                })
+                .map(|k| (0..hidden).map(|j| w2[k * hidden + j] * h[j]).sum::<f64>() + b2[k])
                 .collect();
             let m = z[0].max(z[1]);
             let e: Vec<f64> = z.iter().map(|v| (v - m).exp()).collect();
@@ -138,7 +136,11 @@ pub fn run(scale: Scale) -> (Rendered, Vec<Row>) {
     };
 
     eval("ideal digital (fp32)", AnalogModel::ideal(), 0.0);
-    eval("reference photonic (6-bit PCM)", AnalogModel::reference(), 0.0);
+    eval(
+        "reference photonic (6-bit PCM)",
+        AnalogModel::reference(),
+        0.0,
+    );
     for bits in [4u8, 3, 2] {
         eval(
             &format!("{bits}-bit PCM"),

@@ -4,9 +4,7 @@
 
 use crate::{Rendered, Scale};
 use neuropuls_photonic::process::DieId;
-use neuropuls_protocols::attestation::{
-    AttestationVerifier, AttestingDevice, TimingModel,
-};
+use neuropuls_protocols::attestation::{AttestationVerifier, AttestingDevice, TimingModel};
 use neuropuls_protocols::error::ProtocolError;
 use neuropuls_puf::photonic::PhotonicPuf;
 
@@ -96,7 +94,11 @@ pub fn run(scale: Scale) -> (Rendered, Vec<Row>, bool) {
             r.memory_kib,
             r.honest_us,
             if r.honest_ok { "yes" } else { "NO" },
-            if r.compromise_detected { "detected" } else { "MISSED" },
+            if r.compromise_detected {
+                "detected"
+            } else {
+                "MISSED"
+            },
             if r.hiding_caught { "caught" } else { "MISSED" }
         ));
     }

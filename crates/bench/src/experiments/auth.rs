@@ -129,14 +129,21 @@ mod tests {
     #[test]
     fn smoke_auth_campaign() {
         let (_, o) = run(Scale::Smoke);
-        assert!(o.genuine_ok * 10 >= o.genuine_total * 9, "too many genuine failures");
+        assert!(
+            o.genuine_ok * 10 >= o.genuine_total * 9,
+            "too many genuine failures"
+        );
         assert_eq!(o.replay_successes, 0);
         assert_eq!(o.mitm_successes, 0);
         assert_eq!(o.forgery_successes, 0);
         assert_eq!(o.desync_successes, 0);
         assert_eq!(o.desync_recoveries, 5);
         // Database storage scales linearly with sessions; HSC-IoT is constant.
-        assert!(o.hsc_storage <= 100, "HSC storage {} not constant-sized", o.hsc_storage);
+        assert!(
+            o.hsc_storage <= 100,
+            "HSC storage {} not constant-sized",
+            o.hsc_storage
+        );
         assert!(o.database_storage >= o.genuine_total * 16);
     }
 }

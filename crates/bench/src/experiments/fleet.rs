@@ -9,7 +9,14 @@ use neuropuls_system::fleet::{run_fleet_traced, FleetConfig, FleetReport};
 fn render_table(out: &mut Rendered, reports: &[FleetReport]) {
     out.push(format!(
         "{:>8} {:>9} {:>8} {:>8} {:>10} {:>12} {:>12} {:>14}",
-        "devices", "verifiers", "requests", "attests", "caught", "utilization", "max backlog", "turnaround µs"
+        "devices",
+        "verifiers",
+        "requests",
+        "attests",
+        "caught",
+        "utilization",
+        "max backlog",
+        "turnaround µs"
     ));
     for r in reports {
         out.push(format!(

@@ -7,7 +7,7 @@
 
 use crate::{Rendered, Scale};
 use neuropuls_photonic::process::DieId;
-use neuropuls_protocols::gateway::{run_gateway_traced, GatewayConfig, SessionPair};
+use neuropuls_protocols::gateway::{run_gateway, GatewayConfig, SessionPair};
 use neuropuls_protocols::mutual_auth::{
     Device as AuthDevice, Verifier as AuthVerifier, WireDevice, WireVerifier,
 };
@@ -76,7 +76,9 @@ fn run_cell(cell: Cell) -> (CellResult, Registry) {
 
     // One shared link carries every session of every round; the seed
     // folds in the cell geometry so cells are independent draws.
-    let seed = 0xE20_u64 ^ ((cell.sessions as u64) << 32) ^ ((cell.shards as u64) << 16)
+    let seed = 0xE20_u64
+        ^ ((cell.sessions as u64) << 32)
+        ^ ((cell.shards as u64) << 16)
         ^ (cell.loss * 1000.0) as u64;
     let mut link = FaultyChannel::new(FaultRates::loss(cell.loss), seed);
     let gateway_cfg = GatewayConfig {
@@ -109,7 +111,7 @@ fn run_cell(cell: Cell) -> (CellResult, Registry) {
                 responder: Box::new(WireDevice::new(device, SessionConfig::default())),
             });
         }
-        let gw = run_gateway_traced(
+        let gw = run_gateway(
             &mut link,
             sessions,
             gateway_cfg,
@@ -145,8 +147,16 @@ fn run_cell(cell: Cell) -> (CellResult, Registry) {
 fn render_table(out: &mut Rendered, results: &[CellResult]) {
     out.push(format!(
         "{:>9} {:>7} {:>9} {:>6} {:>11} {:>7} {:>12} {:>6} {:>11} {:>9}",
-        "sessions", "shards", "hot/shard", "loss", "completed", "failed", "retransmits", "ticks",
-        "peak activ", "hit rate"
+        "sessions",
+        "shards",
+        "hot/shard",
+        "loss",
+        "completed",
+        "failed",
+        "retransmits",
+        "ticks",
+        "peak activ",
+        "hit rate"
     ));
     for r in results {
         out.push(format!(

@@ -78,7 +78,9 @@ pub fn run(scale: Scale) -> (Rendered, Vec<PipelineResult>, f64, f64) {
             let usable = reference.len() / block * block;
             let fx = FuzzyExtractor::new(code);
             let mut crng = CsPrng::from_seed_bytes(label.as_bytes());
-            let enrollment = fx.generate(&reference[..usable], &mut crng).expect("enroll");
+            let enrollment = fx
+                .generate(&reference[..usable], &mut crng)
+                .expect("enroll");
             (Some((fx, enrollment.helper, usable)), enrollment.key)
         } else {
             (None, [0u8; 32])
@@ -131,7 +133,11 @@ pub fn run(scale: Scale) -> (Rendered, Vec<PipelineResult>, f64, f64) {
     let mut out = Rendered::new("E10 — key-generation pipeline ablation");
     out.push(format!("{:<38} {:>16}", "pipeline", "key failure rate"));
     for r in &results {
-        out.push(format!("{:<38} {:>15.1}%", r.label, r.key_failure_rate * 100.0));
+        out.push(format!(
+            "{:<38} {:>15.1}%",
+            r.label,
+            r.key_failure_rate * 100.0
+        ));
     }
     out.push(format!(
         "authentication-by-matching: EER {:.4}, decidability d' = {:.2}",

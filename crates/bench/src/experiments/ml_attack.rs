@@ -41,10 +41,8 @@ pub fn run(scale: Scale) -> (Rendered, Vec<Series>) {
             .collect(),
     ));
 
-    let mut encrypted = ChallengeEncryptedPuf::new(
-        ArbiterPuf::fabricate(DieId(0xE6 + 2), 64, 1),
-        [0x5E; 32],
-    );
+    let mut encrypted =
+        ChallengeEncryptedPuf::new(ArbiterPuf::fabricate(DieId(0xE6 + 2), 64, 1), [0x5E; 32]);
     series.push((
         "arbiter + challenge-encryption [30]".into(),
         budgets
@@ -100,7 +98,10 @@ pub fn run(scale: Scale) -> (Rendered, Vec<Series>) {
             .join("");
         out.push(format!("{label:<40}{row}"));
     }
-    out.push("(50% = coin flip; the paper's claim: electronic delay PUFs break, photonic resists)".to_string());
+    out.push(
+        "(50% = coin flip; the paper's claim: electronic delay PUFs break, photonic resists)"
+            .to_string(),
+    );
     (out, series)
 }
 

@@ -15,9 +15,10 @@ pub mod ml_attack;
 pub mod protocol_robustness;
 pub mod puf_quality;
 pub mod remanence;
+pub mod sched_scaling;
 pub mod side_channel;
 pub mod system;
 pub mod table1;
+pub mod tamper;
 pub mod trace_overhead;
 pub mod trng;
-pub mod tamper;

@@ -23,6 +23,7 @@ use neuropuls_protocols::transport::{FaultRates, FaultyChannel};
 use neuropuls_protocols::wire::SessionConfig;
 use neuropuls_puf::bits::Response;
 use neuropuls_puf::photonic::PhotonicPuf;
+use neuropuls_rt::trace::Tracer;
 
 /// The four §III services, in report order.
 const PROTOCOLS: [&str; 4] = ["mutual-auth", "attestation", "eke", "secure-nn"];
@@ -75,7 +76,13 @@ fn rates_for(fault: &str, rate: f64) -> FaultRates {
 /// Runs all sessions of one cell. The endpoints persist across the
 /// cell's sessions (a failed mutual-auth session must leave state the
 /// next session can recover from — that recovery is the measurement).
-fn run_cell(cell_idx: usize, protocol: &'static str, fault: &'static str, rate: f64, sessions: usize) -> CellReport {
+fn run_cell(
+    cell_idx: usize,
+    protocol: &'static str,
+    fault: &'static str,
+    rate: f64,
+    sessions: usize,
+) -> CellReport {
     let seed = 0xE18_0000_0000 ^ ((cell_idx as u64) << 16) ^ 0x5D;
     let die = DieId(0xE18_000 + cell_idx as u64);
     let cfg = SessionConfig::default();
@@ -92,11 +99,28 @@ fn run_cell(cell_idx: usize, protocol: &'static str, fault: &'static str, rate: 
             else {
                 // A reference PUF always provisions; an empty cell just
                 // reports zero completions.
-                return CellReport { protocol, fault, rate, sessions, completed: 0, retransmits: 0, desync_recoveries: 0, realized_rate: 0.0, frames: 0 };
+                return CellReport {
+                    protocol,
+                    fault,
+                    rate,
+                    sessions,
+                    completed: 0,
+                    retransmits: 0,
+                    desync_recoveries: 0,
+                    realized_rate: 0.0,
+                    frames: 0,
+                };
             };
             let mut verifier = Verifier::new(provisioned, b"e18-verifier");
             for s in 0..sessions {
-                let report = run_wire_session(&mut channel, &mut device, &mut verifier, s as u64, cfg);
+                let report = run_wire_session(
+                    &mut channel,
+                    &mut device,
+                    &mut verifier,
+                    s as u64,
+                    cfg,
+                    &mut Tracer::disabled(),
+                );
                 retransmits += u64::from(report.retransmits);
                 if report.succeeded() {
                     completed += 1;
@@ -112,8 +136,14 @@ fn run_cell(cell_idx: usize, protocol: &'static str, fault: &'static str, rate: 
             let mut verifier =
                 AttestationVerifier::new(PhotonicPuf::reference(die, 2), memory, timing);
             for s in 0..sessions {
-                let report =
-                    run_wire_attestation(&mut channel, &mut device, &mut verifier, s as u64, cfg);
+                let report = run_wire_attestation(
+                    &mut channel,
+                    &mut device,
+                    &mut verifier,
+                    s as u64,
+                    cfg,
+                    &mut Tracer::disabled(),
+                );
                 retransmits += u64::from(report.retransmits);
                 if report.succeeded() {
                     completed += 1;
@@ -131,8 +161,14 @@ fn run_cell(cell_idx: usize, protocol: &'static str, fault: &'static str, rate: 
                 tag_b.extend_from_slice(&(s as u64).to_le_bytes());
                 let mut initiator = EkeParty::new(&crp, &tag_a);
                 let mut responder = EkeParty::new(&crp, &tag_b);
-                let report =
-                    run_wire_exchange(&mut channel, &mut initiator, &mut responder, s as u64, cfg);
+                let report = run_wire_exchange(
+                    &mut channel,
+                    &mut initiator,
+                    &mut responder,
+                    s as u64,
+                    cfg,
+                    &mut Tracer::disabled(),
+                );
                 retransmits += u64::from(report.retransmits);
                 if report.succeeded() && initiator.session() == responder.session() {
                     completed += 1;
@@ -154,6 +190,7 @@ fn run_cell(cell_idx: usize, protocol: &'static str, fault: &'static str, rate: 
                     input_blob.clone(),
                     s as u64,
                     cfg,
+                    &mut Tracer::disabled(),
                 );
                 retransmits += u64::from(report.retransmits);
                 let delivered = output
@@ -207,7 +244,14 @@ pub fn run(scale: Scale) -> (Rendered, Vec<CellReport>) {
     ));
     out.push(format!(
         "{:>12} {:>8} {:>6} {:>9} {:>10} {:>9} {:>13} {:>10}",
-        "protocol", "fault", "rate", "realized", "completed", "success%", "retx/session", "recoveries"
+        "protocol",
+        "fault",
+        "rate",
+        "realized",
+        "completed",
+        "success%",
+        "retx/session",
+        "recoveries"
     ));
     for r in &reports {
         out.push(format!(
@@ -251,13 +295,23 @@ mod tests {
             }
         }
         // The ARQ must do real work somewhere in the faulty cells.
-        let faulty_retx: u64 = reports.iter().filter(|r| r.rate > 0.0).map(|r| r.retransmits).sum();
-        assert!(faulty_retx > 0, "no retransmissions across the faulty cells");
+        let faulty_retx: u64 = reports
+            .iter()
+            .filter(|r| r.rate > 0.0)
+            .map(|r| r.retransmits)
+            .sum();
+        assert!(
+            faulty_retx > 0,
+            "no retransmissions across the faulty cells"
+        );
         // The channel's realized fault rates must track the configured
         // rate: exactly zero at rate 0, nonzero and within a generous
         // sampling tolerance otherwise.
         for r in &reports {
-            assert!(r.frames > 0, "a cell that ran sessions admitted frames: {r:?}");
+            assert!(
+                r.frames > 0,
+                "a cell that ran sessions admitted frames: {r:?}"
+            );
             if r.rate == 0.0 {
                 assert_eq!(r.realized_rate, 0.0, "{r:?}");
             } else {

@@ -3,9 +3,7 @@
 //! nothing to probe.
 
 use crate::{Rendered, Scale};
-use neuropuls_attacks::remanence::{
-    photonic_exposure, remanence_decay_curve, RemanenceOutcome,
-};
+use neuropuls_attacks::remanence::{photonic_exposure, remanence_decay_curve, RemanenceOutcome};
 use neuropuls_photonic::process::DieId;
 use neuropuls_puf::photonic::PhotonicPuf;
 use neuropuls_puf::sram::SramPuf;
@@ -27,7 +25,11 @@ pub fn run(scale: Scale) -> (Rendered, Vec<RemanenceOutcome>, f64) {
     let mut out = Rendered::new("E8 (§IV) — remanence decay: SRAM vs photonic time-domain");
     out.push(format!("{:>12} {:>18}", "off-time ms", "SRAM recovery"));
     for p in &curve {
-        out.push(format!("{:>12.2} {:>17.1}%", p.off_time_ms, p.recovery * 100.0));
+        out.push(format!(
+            "{:>12.2} {:>17.1}%",
+            p.off_time_ms,
+            p.recovery * 100.0
+        ));
     }
     out.push(format!(
         "photonic PUF response window: {window_ns:.2} ns; any power-cycle probe (≥1 ms) \

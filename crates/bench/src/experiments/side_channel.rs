@@ -2,9 +2,7 @@
 //! their responses onto the power rail; photonic waveguides do not.
 
 use crate::{Rendered, Scale};
-use neuropuls_attacks::side_channel::{
-    power_analysis_attack, LeakageModel, SideChannelOutcome,
-};
+use neuropuls_attacks::side_channel::{power_analysis_attack, LeakageModel, SideChannelOutcome};
 use neuropuls_photonic::process::DieId;
 use neuropuls_puf::arbiter::ArbiterPuf;
 use neuropuls_puf::photonic::PhotonicPuf;
@@ -41,7 +39,9 @@ pub fn run(scale: Scale) -> (Rendered, Vec<Row>) {
             p.model_accuracy * 100.0
         ));
     }
-    out.push("electronic: trace thresholding recovers responses, enabling covert modeling;".to_string());
+    out.push(
+        "electronic: trace thresholding recovers responses, enabling covert modeling;".to_string(),
+    );
     out.push("photonic: no RF leakage from waveguides — recovery stays at chance.".to_string());
     (out, rows)
 }

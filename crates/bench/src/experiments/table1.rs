@@ -77,7 +77,11 @@ pub fn run(scale: Scale) -> (Rendered, Outcome) {
     out.push(format!(
         "network: {} layers, {} weights, ciphered blob {} bytes",
         network.layers.len(),
-        network.layers.iter().map(|l| l.weights.len()).sum::<usize>(),
+        network
+            .layers
+            .iter()
+            .map(|l| l.weights.len())
+            .sum::<usize>(),
         ciphered_network.len()
     ));
     out.push(format!(
@@ -85,7 +89,11 @@ pub fn run(scale: Scale) -> (Rendered, Outcome) {
     ));
     out.push(format!(
         "plaintext fragments on the wire: {}",
-        if no_leak { "none detected" } else { "LEAK DETECTED" }
+        if no_leak {
+            "none detected"
+        } else {
+            "LEAK DETECTED"
+        }
     ));
     out.push_volatile(format!(
         "per-inference cost: {encrypted_us:.1} µs encrypted vs {plain_us:.1} µs plain \

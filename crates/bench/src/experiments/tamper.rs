@@ -26,7 +26,9 @@ pub fn run(scale: Scale) -> (Rendered, Vec<TamperOutcome>) {
             o.acceptance * 100.0
         ));
     }
-    out.push("the composite response binds both chips: replacing either one is detected".to_string());
+    out.push(
+        "the composite response binds both chips: replacing either one is detected".to_string(),
+    );
     (out, outcomes)
 }
 

@@ -85,7 +85,11 @@ pub fn run(scale: Scale) -> (Rendered, Outcome) {
             "  {:<22} p = {:<8.4} {}",
             r.name,
             r.p_value,
-            if r.passed { "pass" } else { "below alpha (see proportion gate)" }
+            if r.passed {
+                "pass"
+            } else {
+                "below alpha (see proportion gate)"
+            }
         ));
     }
     out.push(format!(
@@ -136,6 +140,10 @@ mod tests {
             o.proportion_passed, o.proportion_total,
             "a test failed the §4.2 proportion gate"
         );
-        assert!(o.proportion_total >= 9, "battery shrank: {}", o.proportion_total);
+        assert!(
+            o.proportion_total >= 9,
+            "battery shrank: {}",
+            o.proportion_total
+        );
     }
 }

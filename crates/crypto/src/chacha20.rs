@@ -110,18 +110,14 @@ impl ChaCha20 {
     /// Returns [`CryptoError::InvalidLength`] if `key` is not 32 bytes or
     /// `nonce` is not 12 bytes.
     pub fn from_slices(key: &[u8], nonce: &[u8]) -> Result<Self, CryptoError> {
-        let key: [u8; KEY_LEN] = key
-            .try_into()
-            .map_err(|_| CryptoError::InvalidLength {
-                expected: KEY_LEN,
-                actual: key.len(),
-            })?;
-        let nonce: [u8; NONCE_LEN] = nonce
-            .try_into()
-            .map_err(|_| CryptoError::InvalidLength {
-                expected: NONCE_LEN,
-                actual: nonce.len(),
-            })?;
+        let key: [u8; KEY_LEN] = key.try_into().map_err(|_| CryptoError::InvalidLength {
+            expected: KEY_LEN,
+            actual: key.len(),
+        })?;
+        let nonce: [u8; NONCE_LEN] = nonce.try_into().map_err(|_| CryptoError::InvalidLength {
+            expected: NONCE_LEN,
+            actual: nonce.len(),
+        })?;
         Ok(Self::new(&key, &nonce))
     }
 

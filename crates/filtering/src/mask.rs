@@ -62,7 +62,10 @@ impl SelectionMask {
     ///
     /// Panics if `bits` is shorter than the mask.
     pub fn apply(&self, bits: &[u8]) -> Vec<u8> {
-        assert!(bits.len() >= self.keep.len(), "bit string shorter than mask");
+        assert!(
+            bits.len() >= self.keep.len(),
+            "bit string shorter than mask"
+        );
         self.keep
             .iter()
             .zip(bits.iter())
@@ -117,7 +120,10 @@ mod tests {
     fn intersect_ands_flags() {
         let a = SelectionMask::from_flags([true, true, false]);
         let b = SelectionMask::from_flags([true, false, false]);
-        assert_eq!(a.intersect(&b), SelectionMask::from_flags([true, false, false]));
+        assert_eq!(
+            a.intersect(&b),
+            SelectionMask::from_flags([true, false, false])
+        );
     }
 
     #[test]

@@ -44,8 +44,9 @@ impl PhotocurrentStudy {
         use neuropuls_rt::rngs::StdRng;
         use neuropuls_rt::SeedableRng;
         let mut rng = StdRng::seed_from_u64(seed);
-        let challenge_set: Vec<Challenge> =
-            (0..challenges).map(|_| Challenge::random(64, &mut rng)).collect();
+        let challenge_set: Vec<Challenge> = (0..challenges)
+            .map(|_| Challenge::random(64, &mut rng))
+            .collect();
 
         let per_device = neuropuls_rt::pool::par_map((0..devices).collect(), |d| {
             let mut puf = PhotonicPuf::reference(

@@ -62,9 +62,7 @@ impl RoFilterStudy {
                 let mut sum = 0.0;
                 let mut reads_bits = Vec::with_capacity(reads);
                 for _ in 0..reads {
-                    let diff = puf
-                        .count_difference(pair)
-                        .expect("pair index within range") as f64;
+                    let diff = puf.count_difference(pair).expect("pair index within range") as f64;
                     sum += diff;
                     reads_bits.push(u8::from(diff > 0.0));
                 }
@@ -210,11 +208,7 @@ impl RoFilterStudy {
     ///
     /// Panics if `device` is out of range.
     pub fn mask_for(&self, device: usize, threshold: f64) -> SelectionMask {
-        SelectionMask::from_flags(
-            self.mean_diff[device]
-                .iter()
-                .map(|m| m.abs() >= threshold),
-        )
+        SelectionMask::from_flags(self.mean_diff[device].iter().map(|m| m.abs() >= threshold))
     }
 }
 
@@ -245,7 +239,11 @@ mod tests {
             lo.reliability,
             hi.reliability
         );
-        assert!(hi.reliability > 0.99, "filtered reliability {}", hi.reliability);
+        assert!(
+            hi.reliability > 0.99,
+            "filtered reliability {}",
+            hi.reliability
+        );
     }
 
     #[test]

@@ -133,7 +133,9 @@ mod tests {
         let mut state = 12345u64;
         let bits: Vec<u8> = (0..4096)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 62) & 1) as u8
             })
             .collect();

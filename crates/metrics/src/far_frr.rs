@@ -171,8 +171,6 @@ mod tests {
         let genuine_good = vec![0.01, 0.02, 0.03];
         let genuine_bad = vec![0.2, 0.3, 0.25];
         let impostor = vec![0.48, 0.5, 0.52];
-        assert!(
-            decidability(&genuine_good, &impostor) > decidability(&genuine_bad, &impostor)
-        );
+        assert!(decidability(&genuine_good, &impostor) > decidability(&genuine_bad, &impostor));
     }
 }

@@ -79,7 +79,9 @@ mod tests {
     #[test]
     fn single_tone_peaks_at_its_bin() {
         let n = 64;
-        let signal: Vec<f64> = (0..n).map(|i| (2.0 * PI * 5.0 * i as f64 / n as f64).cos()).collect();
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * 5.0 * i as f64 / n as f64).cos())
+            .collect();
         let mags = half_spectrum(&signal);
         let peak = mags
             .iter()

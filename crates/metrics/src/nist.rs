@@ -49,7 +49,10 @@ fn check_bits(bits: &[u8], min_len: usize, test: &str) {
 pub fn frequency(bits: &[u8]) -> TestResult {
     check_bits(bits, 100, "frequency test");
     let n = bits.len() as f64;
-    let s: f64 = bits.iter().map(|&b| if b & 1 == 1 { 1.0 } else { -1.0 }).sum();
+    let s: f64 = bits
+        .iter()
+        .map(|&b| if b & 1 == 1 { 1.0 } else { -1.0 })
+        .sum();
     let s_obs = s.abs() / n.sqrt();
     TestResult::new("frequency", erfc(s_obs / std::f64::consts::SQRT_2))
 }
@@ -275,7 +278,11 @@ pub fn autocorrelation(bits: &[u8], d: usize) -> TestResult {
 pub fn matrix_rank(bits: &[u8]) -> TestResult {
     const M: usize = 32;
     let matrices = bits.len() / (M * M);
-    assert!(matrices >= 38, "matrix rank test needs >= 38 matrices ({} given)", matrices);
+    assert!(
+        matrices >= 38,
+        "matrix rank test needs >= 38 matrices ({} given)",
+        matrices
+    );
     // Probabilities of rank 32, 31, <=30 for random 32x32 GF(2) matrices.
     const P: [f64; 3] = [0.2888, 0.5776, 0.1336];
     let mut counts = [0usize; 3];
@@ -419,7 +426,10 @@ impl ProportionResult {
 /// Panics if `per_sequence` is empty or the sequences ran different
 /// batteries (mismatched test names).
 pub fn proportion_gate(per_sequence: &[Vec<TestResult>], alpha: f64) -> Vec<ProportionResult> {
-    assert!(!per_sequence.is_empty(), "proportion gate needs at least one sequence");
+    assert!(
+        !per_sequence.is_empty(),
+        "proportion gate needs at least one sequence"
+    );
     let m = per_sequence.len();
     let p_hat = 1.0 - alpha;
     let min_proportion = p_hat - 3.0 * (p_hat * alpha / m as f64).sqrt();
@@ -476,12 +486,20 @@ mod tests {
         // p-value 0.109599.
         let epsilon = "11001001000011111101101010100010001000010110100011\
                        00001000110100110001001100011001100010100010111000";
-        let bits: Vec<u8> = epsilon.bytes().filter(|&b| b != b' ').map(|b| b - b'0').collect();
+        let bits: Vec<u8> = epsilon
+            .bytes()
+            .filter(|&b| b != b' ')
+            .map(|b| b - b'0')
+            .collect();
         assert_eq!(bits.len(), 100);
         let result = frequency(&bits);
         // This is actually the π example from §2.1; accept the documented
         // value with loose tolerance.
-        assert!(result.p_value > 0.05 && result.p_value < 0.7, "p={}", result.p_value);
+        assert!(
+            result.p_value > 0.05 && result.p_value < 0.7,
+            "p={}",
+            result.p_value
+        );
     }
 
     #[test]
@@ -552,8 +570,9 @@ mod tests {
     /// bound systematically.
     #[test]
     fn null_distribution_is_calibrated_at_alpha_001() {
-        let per_sequence: Vec<Vec<TestResult>> =
-            (0..200).map(|s| battery(&random_bits(2048, 0xCA11 + s))).collect();
+        let per_sequence: Vec<Vec<TestResult>> = (0..200)
+            .map(|s| battery(&random_bits(2048, 0xCA11 + s)))
+            .collect();
         for p in proportion_gate(&per_sequence, 0.01) {
             assert!(p.passed, "systematic failure: {p:?}");
         }
@@ -575,8 +594,9 @@ mod tests {
     fn proportion_gate_tolerates_one_borderline_sequence() {
         // 15 good sequences + 1 with a structural defect: §4.2 allows
         // the single failure at m = 16 (bound ≈ 0.915 → ≥ 15 of 16).
-        let mut per_sequence: Vec<Vec<TestResult>> =
-            (0..15).map(|s| battery(&random_bits(2048, 0xBEEF + s))).collect();
+        let mut per_sequence: Vec<Vec<TestResult>> = (0..15)
+            .map(|s| battery(&random_bits(2048, 0xBEEF + s)))
+            .collect();
         let alternating: Vec<u8> = (0..2048).map(|i| (i % 2) as u8).collect();
         per_sequence.push(battery(&alternating));
         let gate = proportion_gate(&per_sequence, 0.01);

@@ -141,7 +141,10 @@ mod tests {
     #[test]
     fn igam_plus_igamc_is_one() {
         for &(a, x) in &[(0.5, 0.3), (1.0, 1.0), (2.5, 4.0), (10.0, 3.0)] {
-            assert!((igam(a, x) + igamc(a, x) - 1.0).abs() < 1e-12, "a={a} x={x}");
+            assert!(
+                (igam(a, x) + igamc(a, x) - 1.0).abs() < 1e-12,
+                "a={a} x={x}"
+            );
         }
     }
 

@@ -79,10 +79,16 @@ impl MeshSpec {
             return Err("depth must be >= 1".to_string());
         }
         if !(0.0..=1.0).contains(&self.ring_density) {
-            return Err(format!("ring_density must be in [0,1], got {}", self.ring_density));
+            return Err(format!(
+                "ring_density must be in [0,1], got {}",
+                self.ring_density
+            ));
         }
         if !(self.ring_kappa2 > 0.0 && self.ring_kappa2 < 1.0) {
-            return Err(format!("ring_kappa2 must be in (0,1), got {}", self.ring_kappa2));
+            return Err(format!(
+                "ring_kappa2 must be in (0,1), got {}",
+                self.ring_kappa2
+            ));
         }
         Ok(())
     }
@@ -264,8 +270,7 @@ impl ScramblerMesh {
         let mut clone = self.clone();
         for layer in &mut clone.layers {
             for ring in layer.rings.iter_mut().flatten() {
-                ring.phi +=
-                    crate::spectrum::detuning_phase(ring.circumference_um, delta_lambda_nm);
+                ring.phi += crate::spectrum::detuning_phase(ring.circumference_um, delta_lambda_nm);
             }
         }
         clone
@@ -361,11 +366,7 @@ mod tests {
         let mut b = mesh(5);
         let ea = a.port_energies(&impulse(), 32, &Environment::nominal());
         let eb = b.port_energies(&impulse(), 32, &Environment::nominal());
-        let diff: f64 = ea
-            .iter()
-            .zip(&eb)
-            .map(|(x, y)| (x - y).abs())
-            .sum::<f64>();
+        let diff: f64 = ea.iter().zip(&eb).map(|(x, y)| (x - y).abs()).sum::<f64>();
         assert!(diff > 1e-3, "dies too similar: {diff}");
     }
 
@@ -404,7 +405,10 @@ mod tests {
         // After the impulse has passed, all ports must be dark.
         for port in &outputs {
             for sample in &port[1..] {
-                assert!(sample.norm_sqr() < 1e-20, "feed-forward mesh leaked energy in time");
+                assert!(
+                    sample.norm_sqr() < 1e-20,
+                    "feed-forward mesh leaked energy in time"
+                );
             }
         }
     }

@@ -98,7 +98,10 @@ impl Coupler {
     ///
     /// Panics if `kappa2` is outside `[0, 1]`.
     pub fn sampled_with_ratio(kappa2: f64, die: &mut DieSampler) -> Self {
-        assert!((0.0..=1.0).contains(&kappa2), "power ratio must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&kappa2),
+            "power ratio must be in [0,1]"
+        );
         Coupler {
             theta: kappa2.sqrt().asin() + die.coupling_offset(),
         }

@@ -49,10 +49,8 @@ impl Photodiode {
     pub fn detect<R: Rng>(&self, field: Complex64, rng: &mut R) -> f64 {
         // |E|² in mW × responsivity (A/W) → mA; convert to µA.
         let signal_ua = field.norm_sqr() * self.responsivity * 1000.0;
-        let shot = SHOT_SIGMA_UA_PER_SQRT_UA
-            * signal_ua.max(0.0).sqrt()
-            * self.shot_noise
-            * gaussian(rng);
+        let shot =
+            SHOT_SIGMA_UA_PER_SQRT_UA * signal_ua.max(0.0).sqrt() * self.shot_noise * gaussian(rng);
         let thermal = self.thermal_noise_ua * gaussian(rng);
         (signal_ua + self.dark_current_ua + shot + thermal).max(0.0)
     }
@@ -296,6 +294,9 @@ mod tests {
         for _ in 0..50 {
             dark_sum += u64::from(chain.sample(Complex64::new(0.05, 0.0), &env, &mut rng));
         }
-        assert!(bright_sum > dark_sum * 2, "bright {bright_sum} dark {dark_sum}");
+        assert!(
+            bright_sum > dark_sum * 2,
+            "bright {bright_sum} dark {dark_sum}"
+        );
     }
 }

@@ -86,10 +86,18 @@ impl MachZehnderModulator {
                 let symbol = match self.format {
                     ModulationFormat::Ook { extinction_db } => {
                         let floor = 10f64.powf(-extinction_db / 20.0);
-                        if bit & 1 == 1 { 1.0 } else { floor }
+                        if bit & 1 == 1 {
+                            1.0
+                        } else {
+                            floor
+                        }
                     }
                     ModulationFormat::Bpsk => {
-                        if bit & 1 == 1 { 1.0 } else { -1.0 }
+                        if bit & 1 == 1 {
+                            1.0
+                        } else {
+                            -1.0
+                        }
                     }
                 };
                 carrier.scale(symbol * self.insertion) * imbalance
@@ -111,7 +119,9 @@ mod tests {
     fn ook_modulator() -> MachZehnderModulator {
         let mut die = DieSampler::new(DieId(21), ProcessVariation::typical_soi());
         MachZehnderModulator::sampled_with_format(
-            ModulationFormat::Ook { extinction_db: 20.0 },
+            ModulationFormat::Ook {
+                extinction_db: 20.0,
+            },
             &mut die,
         )
     }
@@ -138,7 +148,10 @@ mod tests {
         let out = m.modulate(Complex64::ONE, &[1, 0], &Environment::nominal());
         assert!((out[0].norm_sqr() - out[1].norm_sqr()).abs() < 1e-15);
         let relative = out[0] / out[1];
-        assert!((relative.re + 1.0).abs() < 1e-12, "symbols must be antipodal");
+        assert!(
+            (relative.re + 1.0).abs() < 1e-12,
+            "symbols must be antipodal"
+        );
     }
 
     #[test]

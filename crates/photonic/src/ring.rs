@@ -136,7 +136,11 @@ mod tests {
         for _ in 0..5000 {
             out = r.step(Complex64::ONE, &env);
         }
-        assert!((out.norm_sqr() - 1.0).abs() < 1e-6, "|out|² = {}", out.norm_sqr());
+        assert!(
+            (out.norm_sqr() - 1.0).abs() < 1e-6,
+            "|out|² = {}",
+            out.norm_sqr()
+        );
     }
 
     #[test]
@@ -186,7 +190,11 @@ mod tests {
         let mut in_energy = 0.0;
         let mut out_energy = 0.0;
         for n in 0..200 {
-            let input = if n % 3 == 0 { Complex64::ONE } else { Complex64::ZERO };
+            let input = if n % 3 == 0 {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            };
             in_energy += input.norm_sqr();
             out_energy += r.step(input, &env).norm_sqr();
             assert!(

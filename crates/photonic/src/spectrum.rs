@@ -41,7 +41,12 @@ pub struct SpectrumPoint {
 
 /// Scans a single all-pass ring over `[-span/2, span/2]` nm with `steps`
 /// points, at CW steady state.
-pub fn ring_spectrum(ring: &Microring, span_nm: f64, steps: usize, env: &Environment) -> Vec<SpectrumPoint> {
+pub fn ring_spectrum(
+    ring: &Microring,
+    span_nm: f64,
+    steps: usize,
+    env: &Environment,
+) -> Vec<SpectrumPoint> {
     (0..steps)
         .map(|i| {
             let delta = -span_nm / 2.0 + span_nm * i as f64 / (steps - 1).max(1) as f64;

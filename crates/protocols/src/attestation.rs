@@ -196,7 +196,10 @@ impl AttestingDevice {
     /// # Errors
     ///
     /// Propagates PUF errors.
-    pub fn attest(&mut self, request: &AttestationRequest) -> Result<AttestationReport, ProtocolError> {
+    pub fn attest(
+        &mut self,
+        request: &AttestationRequest,
+    ) -> Result<AttestationReport, ProtocolError> {
         let final_hash = compute_attestation(&mut self.puf, &self.memory, request)?;
         let chunks = self.memory.len().div_ceil(CHUNK_BYTES).max(1) as f64;
         let elapsed_ns = chunks * (self.timing.chunk_ns() + self.adversary_overhead_ns);
@@ -285,11 +288,11 @@ impl AttestationVerifier {
 // ---------------------------------------------------------------------------
 
 use crate::transport::{Channel, Transport};
-use neuropuls_rt::codec::ToBytes;
 use crate::wire::{
-    classify, drive_report_traced, resend_or_wait, Arq, AttestationMsg, Envelope, Incoming, ProtocolId,
-    Session, SessionAction, SessionConfig, SessionReport, DEFAULT_MAX_TICKS,
+    classify, drive_report, resend_or_wait, Arq, AttestationMsg, Envelope, Incoming, NextWake,
+    ProtocolId, Session, SessionAction, SessionConfig, SessionReport, DEFAULT_MAX_TICKS,
 };
+use neuropuls_rt::codec::ToBytes;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum WireAttVerifierState {
@@ -400,6 +403,18 @@ impl Session for WireAttestationVerifier<'_> {
     fn retransmits(&self) -> u32 {
         self.arq.retransmits()
     }
+
+    fn next_wake(&self) -> NextWake {
+        match self.state {
+            WireAttVerifierState::Start => NextWake::In(0),
+            WireAttVerifierState::AwaitReport => NextWake::In(self.arq.ticks_to_fire()),
+            WireAttVerifierState::Done => NextWake::OnFrame,
+        }
+    }
+
+    fn skip_silence(&mut self, ticks: u32) {
+        self.arq.skip(ticks);
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -481,30 +496,26 @@ impl Session for WireAttestingDevice<'_> {
     fn retransmits(&self) -> u32 {
         self.arq.retransmits()
     }
+
+    fn next_wake(&self) -> NextWake {
+        match self.state {
+            WireAttDeviceState::AwaitRequest => NextWake::In(self.arq.ticks_to_fire()),
+            WireAttDeviceState::Done => NextWake::OnFrame,
+        }
+    }
+
+    fn skip_silence(&mut self, ticks: u32) {
+        self.arq.skip(ticks);
+    }
 }
 
 /// Runs one attestation round over `channel` (verifier =
 /// [`Side::A`](crate::transport::Side::A), device =
-/// [`Side::B`](crate::transport::Side::B)).
+/// [`Side::B`](crate::transport::Side::B)), recording wire activity
+/// into `tracer` (pass
+/// [`Tracer::disabled`](neuropuls_rt::trace::Tracer::disabled) for an
+/// untraced run).
 pub fn run_wire_attestation<T: Transport>(
-    channel: &mut T,
-    device: &mut AttestingDevice,
-    verifier: &mut AttestationVerifier,
-    session_id: u64,
-    cfg: SessionConfig,
-) -> SessionReport {
-    run_wire_attestation_traced(
-        channel,
-        device,
-        verifier,
-        session_id,
-        cfg,
-        &mut neuropuls_rt::trace::Tracer::disabled(),
-    )
-}
-
-/// [`run_wire_attestation`], recording wire activity into `tracer`.
-pub fn run_wire_attestation_traced<T: Transport>(
     channel: &mut T,
     device: &mut AttestingDevice,
     verifier: &mut AttestationVerifier,
@@ -514,7 +525,7 @@ pub fn run_wire_attestation_traced<T: Transport>(
 ) -> SessionReport {
     let mut v = WireAttestationVerifier::new(verifier, session_id, cfg);
     let mut d = WireAttestingDevice::new(device, cfg);
-    drive_report_traced(channel, &mut v, &mut d, DEFAULT_MAX_TICKS, tracer)
+    drive_report(channel, &mut v, &mut d, DEFAULT_MAX_TICKS, tracer)
 }
 
 /// Runs one attestation round over a perfect in-memory channel.
@@ -528,9 +539,16 @@ pub fn run_attestation(
     verifier: &mut AttestationVerifier,
 ) -> Result<(), ProtocolError> {
     let mut channel = Channel::new();
-    run_wire_attestation(&mut channel, device, verifier, 0, SessionConfig::default())
-        .result
-        .map(|_ticks| ())
+    run_wire_attestation(
+        &mut channel,
+        device,
+        verifier,
+        0,
+        SessionConfig::default(),
+        &mut neuropuls_rt::trace::Tracer::disabled(),
+    )
+    .result
+    .map(|_ticks| ())
 }
 
 #[cfg(test)]
@@ -566,7 +584,10 @@ mod tests {
         let rep1 = device.attest(&r1).unwrap();
         let r2 = verifier.begin();
         let rep2 = device.attest(&r2).unwrap();
-        assert_ne!(rep1.final_hash, rep2.final_hash, "walks must differ per request");
+        assert_ne!(
+            rep1.final_hash, rep2.final_hash,
+            "walks must differ per request"
+        );
         verifier.verify(&r1, &rep1).unwrap();
         verifier.verify(&r2, &rep2).unwrap();
     }

@@ -205,10 +205,8 @@ impl EkeParty {
             .as_ref()
             .ok_or_else(|| ProtocolError::OutOfOrder("accept before reply".into()))?;
         // The initiator MACs (responder_nonce, initiator_nonce, "A->B").
-        let expected = HmacSha256::mac_parts(
-            &session.mac,
-            &[&self.nonce, &self.peer_nonce, b"A->B"],
-        );
+        let expected =
+            HmacSha256::mac_parts(&session.mac, &[&self.nonce, &self.peer_nonce, b"A->B"]);
         if !ct_eq(&expected, &confirm.confirm) {
             return Err(ProtocolError::AuthenticationFailed(
                 "initiator key confirmation failed".into(),
@@ -223,11 +221,11 @@ impl EkeParty {
 // ---------------------------------------------------------------------------
 
 use crate::transport::{Channel, Transport};
-use neuropuls_rt::codec::ToBytes;
 use crate::wire::{
-    classify, drive_report_traced, resend_or_wait, Arq, EkeMsg, Envelope, Incoming, ProtocolId, Session,
-    SessionAction, SessionConfig, SessionReport, DEFAULT_MAX_TICKS,
+    classify, drive_report, resend_or_wait, Arq, EkeMsg, Envelope, Incoming, NextWake, ProtocolId,
+    Session, SessionAction, SessionConfig, SessionReport, DEFAULT_MAX_TICKS,
 };
+use neuropuls_rt::codec::ToBytes;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EkeInitiatorState {
@@ -284,9 +282,8 @@ impl Session for WireEkeInitiator<'_> {
         match self.state {
             EkeInitiatorState::Start => {
                 let hello = self.party.hello();
-                let frame =
-                    Envelope::pack(ProtocolId::Eke, self.session, 0, &EkeMsg::Hello(hello))
-                        .to_bytes();
+                let frame = Envelope::pack(ProtocolId::Eke, self.session, 0, &EkeMsg::Hello(hello))
+                    .to_bytes();
                 self.arq.sent(&frame);
                 self.state = EkeInitiatorState::AwaitReply;
                 Ok(SessionAction::Send(frame))
@@ -333,6 +330,18 @@ impl Session for WireEkeInitiator<'_> {
 
     fn retransmits(&self) -> u32 {
         self.arq.retransmits()
+    }
+
+    fn next_wake(&self) -> NextWake {
+        match self.state {
+            EkeInitiatorState::Start => NextWake::In(0),
+            EkeInitiatorState::AwaitReply => NextWake::In(self.arq.ticks_to_fire()),
+            EkeInitiatorState::Done => NextWake::OnFrame,
+        }
+    }
+
+    fn skip_silence(&mut self, ticks: u32) {
+        self.arq.skip(ticks);
     }
 }
 
@@ -446,30 +455,28 @@ impl Session for WireEkeResponder<'_> {
     fn retransmits(&self) -> u32 {
         self.arq.retransmits()
     }
+
+    fn next_wake(&self) -> NextWake {
+        match self.state {
+            EkeResponderState::AwaitHello | EkeResponderState::AwaitConfirm => {
+                NextWake::In(self.arq.ticks_to_fire())
+            }
+            EkeResponderState::Done => NextWake::OnFrame,
+        }
+    }
+
+    fn skip_silence(&mut self, ticks: u32) {
+        self.arq.skip(ticks);
+    }
 }
 
 /// Runs one EKE exchange over `channel` (initiator =
 /// [`Side::A`](crate::transport::Side::A), responder =
-/// [`Side::B`](crate::transport::Side::B)).
+/// [`Side::B`](crate::transport::Side::B)), recording wire activity
+/// into `tracer` (pass
+/// [`Tracer::disabled`](neuropuls_rt::trace::Tracer::disabled) for an
+/// untraced run).
 pub fn run_wire_exchange<T: Transport>(
-    channel: &mut T,
-    initiator: &mut EkeParty,
-    responder: &mut EkeParty,
-    session_id: u64,
-    cfg: SessionConfig,
-) -> SessionReport {
-    run_wire_exchange_traced(
-        channel,
-        initiator,
-        responder,
-        session_id,
-        cfg,
-        &mut neuropuls_rt::trace::Tracer::disabled(),
-    )
-}
-
-/// [`run_wire_exchange`], recording wire activity into `tracer`.
-pub fn run_wire_exchange_traced<T: Transport>(
     channel: &mut T,
     initiator: &mut EkeParty,
     responder: &mut EkeParty,
@@ -479,7 +486,7 @@ pub fn run_wire_exchange_traced<T: Transport>(
 ) -> SessionReport {
     let mut i = WireEkeInitiator::new(initiator, session_id, cfg);
     let mut r = WireEkeResponder::new(responder, cfg);
-    drive_report_traced(channel, &mut i, &mut r, DEFAULT_MAX_TICKS, tracer)
+    drive_report(channel, &mut i, &mut r, DEFAULT_MAX_TICKS, tracer)
 }
 
 /// Runs a complete EKE exchange over a perfect in-memory channel,
@@ -499,6 +506,7 @@ pub fn run_exchange(
         responder,
         0,
         SessionConfig::default(),
+        &mut neuropuls_rt::trace::Tracer::disabled(),
     )
     .result?;
     let ka = initiator

@@ -11,28 +11,53 @@
 //!
 //! # Scheduling model
 //!
-//! The gateway is a deterministic poll loop. Each tick:
+//! The gateway is a deterministic *event-driven* poll loop. The
+//! original implementation stepped every active session on every tick,
+//! so a session idling out a 3-tick ARQ timeout cost as much as one
+//! doing work. The current loop instead wakes a session side only when
+//! something can actually happen to it — a frame arrived for it, or
+//! its ARQ timer (announced via [`Session::next_wake`]) expires — and
+//! fast-forwards the skipped silent steps in O(1) with
+//! [`Session::skip_silence`]. Timer expiry is tracked by a
+//! [`neuropuls_rt::sched::TimerWheel`], so per-tick work is
+//! proportional to the number of *runnable* sides, not the number of
+//! active sessions.
+//!
+//! Each tick:
 //!
 //! 1. **Admit** — sessions move backlog → accept queue → active set.
 //!    The accept queue is bounded ([`GatewayConfig::accept_queue`]) and
 //!    the active set is bounded ([`GatewayConfig::max_active`]); a
 //!    session's ARQ clock only runs while it is active, so queued
-//!    sessions cannot time out waiting for admission.
-//! 2. **Route A** — every frame pending on [`Side::A`] is decoded and
-//!    appended to the owning session's initiator inbox.
-//! 3. **Step initiators** — each active initiator is stepped with at
-//!    most one inbox frame, in round-robin order rotated by the tick
-//!    number so no session systematically transmits first.
-//! 4. **Route B / step responders** — the mirror image for [`Side::B`].
-//! 5. **Close** — slots whose two sides both finished (or either side
-//!    failed) leave the active set, freeing capacity for the queue.
+//!    sessions cannot time out waiting for admission. Newly admitted
+//!    sides arm their first wake.
+//! 2. **Expire** — the timer wheel advances one tick and yields the
+//!    sides whose ARQ deadline is now.
+//! 3. **Route A** — every frame pending on [`Side::A`] is decoded and
+//!    appended to the owning session's initiator inbox; the owning
+//!    side becomes runnable.
+//! 4. **Step runnable initiators** — each runnable initiator is
+//!    stepped with at most one inbox frame, ordered by the same
+//!    tick-rotated round-robin the dense loop used, so no session
+//!    systematically transmits first and the shared-wire send order is
+//!    identical to the dense schedule.
+//! 5. **Route B / step runnable responders** — the mirror image for
+//!    [`Side::B`].
+//! 6. **Close** — slots touched this tick whose two sides both
+//!    finished (or either side failed) leave the active set, freeing
+//!    capacity for the queue.
 //!
-//! This is the per-session cadence of [`crate::wire::drive_traced`]
-//! exactly: an initiator frame sent on tick *t* reaches the responder
-//! on tick *t*, and the reply reaches the initiator on tick *t + 1*.
-//! Over a lossless transport the gateway therefore produces, per
-//! session, byte-identical wire transcripts to running each session
-//! alone (`tests/` pins this property).
+//! The wake contract makes this observationally identical to the dense
+//! loop: a session reporting [`NextWake::In`]`(n)` guarantees its next
+//! `n - 1` frameless steps are silent idle-clock ticks, which
+//! `skip_silence` replays in one call right before the next real step.
+//! The per-session cadence of [`crate::wire::drive`] is
+//! preserved exactly: an initiator frame sent on tick *t* reaches the
+//! responder on tick *t*, and the reply reaches the initiator on tick
+//! *t + 1*. Over a lossless transport the gateway therefore produces,
+//! per session, byte-identical wire transcripts to running each
+//! session alone (`tests/` pins this property), and the golden
+//! mixed-protocol trace is byte-identical to the dense loop's.
 //!
 //! # Demux rules
 //!
@@ -52,8 +77,9 @@
 
 use crate::error::ProtocolError;
 use crate::transport::{Side, Transport};
-use crate::wire::{Envelope, ProtocolId, Session, SessionAction};
+use crate::wire::{Envelope, NextWake, ProtocolId, Session, SessionAction};
 use neuropuls_rt::codec::FromBytes;
+use neuropuls_rt::sched::{TimerId, TimerWheel};
 use neuropuls_rt::trace::{Registry, Tracer, Value};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -110,7 +136,8 @@ pub struct GatewayOutcome {
     pub id: u64,
     /// Active ticks to completion, or the failure that ended it.
     /// Sessions still queued or in flight when the tick budget ran out
-    /// report [`ProtocolError::Timeout`] with `retries: 0`.
+    /// report [`ProtocolError::Timeout`] carrying the retransmit tally
+    /// the session had actually accumulated when the budget cut it off.
     pub result: Result<u32, ProtocolError>,
     /// Frames retransmitted across both endpoints.
     pub retransmits: u32,
@@ -143,6 +170,12 @@ pub struct GatewayReport {
     pub peak_active: usize,
     /// Most sessions simultaneously staged in the accept queue.
     pub peak_staged: usize,
+    /// [`Session::step`] calls the event-driven scheduler actually made.
+    pub session_steps: u64,
+    /// `Session::step` calls the dense every-session-every-tick loop
+    /// would have made for the same run; the ratio to `session_steps`
+    /// is the scheduler's work saving on mostly-idle session mixes.
+    pub dense_equiv_steps: u64,
     /// Per-session outcomes, in submission order.
     pub outcomes: Vec<GatewayOutcome>,
 }
@@ -161,6 +194,21 @@ enum SlotState {
     Closed,
 }
 
+/// Event-scheduling bookkeeping for one side of one slot.
+#[derive(Clone, Copy, Default)]
+struct WakeState {
+    /// Tick of the next dense-loop step not yet replayed: every dense
+    /// step before it has been applied, either directly or folded into
+    /// a [`Session::skip_silence`] fast-forward.
+    next_dense_step: u64,
+    /// Armed timer for the side's announced wake deadline.
+    timer: Option<TimerId>,
+    /// Tick this side first reported done (`None` while in flight).
+    done_tick: Option<u64>,
+    /// Steps taken after done — frame-driven duplicate re-serves.
+    post_done_steps: u64,
+}
+
 struct Slot<'x> {
     pair: SessionPair<'x>,
     state: SlotState,
@@ -169,6 +217,11 @@ struct Slot<'x> {
     admitted_at: Option<u64>,
     ticks_active: u32,
     result: Option<Result<u32, ProtocolError>>,
+    wake_a: WakeState,
+    wake_b: WakeState,
+    /// Which side's step failure closed the slot (ordering detail the
+    /// dense-equivalent step accounting needs).
+    failed_side: Option<Side>,
 }
 
 impl Slot<'_> {
@@ -182,19 +235,15 @@ impl Slot<'_> {
     }
 }
 
-/// [`run_gateway_traced`] without instrumentation.
-pub fn run_gateway<T: Transport>(
-    transport: &mut T,
-    sessions: Vec<SessionPair<'_>>,
-    config: GatewayConfig,
-) -> GatewayReport {
-    run_gateway_traced(
-        transport,
-        sessions,
-        config,
-        &mut Tracer::disabled(),
-        &Registry::new(),
-    )
+/// Timer-wheel token for one side of one slot.
+fn wake_token(idx: usize, side: Side) -> u64 {
+    ((idx as u64) << 1) | u64::from(side == Side::B)
+}
+
+/// Inverse of [`wake_token`].
+fn token_side(token: u64) -> (usize, Side) {
+    let side = if token & 1 == 0 { Side::A } else { Side::B };
+    ((token >> 1) as usize, side)
 }
 
 /// Runs every session in `sessions` to completion (or failure) over the
@@ -203,13 +252,15 @@ pub fn run_gateway<T: Transport>(
 /// Instrumentation: one `gateway.session` span per session (admission
 /// to close, carrying protocol, ticks and retransmits), instants for
 /// late / unroutable frames, and `gateway.*` counters plus a
-/// `gateway.session_ticks` histogram folded into `registry`.
+/// `gateway.session_ticks` histogram folded into `registry`. Pass
+/// [`Tracer::disabled`] and a throwaway [`Registry`] for an
+/// uninstrumented run.
 ///
 /// The report is total: every submitted session appears in
 /// [`GatewayReport::outcomes`] exactly once, on every path. Duplicate
 /// `(protocol, id)` keys fail the later session immediately with
 /// [`ProtocolError::OutOfOrder`] rather than corrupting the demux.
-pub fn run_gateway_traced<T: Transport>(
+pub fn run_gateway<T: Transport>(
     transport: &mut T,
     sessions: Vec<SessionPair<'_>>,
     config: GatewayConfig,
@@ -226,6 +277,9 @@ pub fn run_gateway_traced<T: Transport>(
             admitted_at: None,
             ticks_active: 0,
             result: None,
+            wake_a: WakeState::default(),
+            wake_b: WakeState::default(),
+            failed_side: None,
         })
         .collect();
     registry.counter("gateway.sessions", slots.len() as u64);
@@ -254,6 +308,9 @@ pub fn run_gateway_traced<T: Transport>(
 
     let mut staged: VecDeque<usize> = VecDeque::new();
     let mut active: Vec<usize> = Vec::new();
+    // position[idx] = index of slot `idx` inside `active` (usize::MAX
+    // when not active); keeps rotation-key lookups O(1).
+    let mut position: Vec<usize> = vec![usize::MAX; slots.len()];
     let mut late_frames = 0u64;
     let mut unroutable_frames = 0u64;
     let mut undecodable_frames = 0u64;
@@ -262,11 +319,25 @@ pub fn run_gateway_traced<T: Transport>(
     let mut ticks = 0u64;
     let mut open = slots.iter().filter(|s| s.result.is_none()).count();
 
+    // Event-driven scheduling state: ARQ deadlines live in the timer
+    // wheel; `carry_*` holds sides whose inbox still has queued frames
+    // after this tick's step (runnable again next tick, like the dense
+    // loop's one-frame-per-tick cadence); `session_steps` counts real
+    // `Session::step` calls for the O(runnable) claim.
+    let mut wheel = TimerWheel::new();
+    let mut fired: Vec<(u64, u64)> = Vec::new();
+    let mut carry_a: Vec<usize> = Vec::new();
+    let mut carry_b: Vec<usize> = Vec::new();
+    let mut touched: Vec<usize> = Vec::new();
+    let mut session_steps = 0u64;
+    let mut dense_equiv_steps = 0u64;
+
     let mut route = |transport: &mut T,
                      side: Side,
                      slots: &mut Vec<Slot<'_>>,
                      tracer: &mut Tracer,
-                     tick: u64| {
+                     tick: u64,
+                     pending: &mut Vec<usize>| {
         while let Some(frame) = transport.recv(side) {
             let Ok(env) = Envelope::from_bytes(&frame) else {
                 undecodable_frames += 1;
@@ -292,10 +363,18 @@ pub fn run_gateway_traced<T: Transport>(
                                 ],
                             );
                         }
-                    } else if side == Side::A {
-                        slot.inbox_a.push_back(frame);
                     } else {
-                        slot.inbox_b.push_back(frame);
+                        if side == Side::A {
+                            slot.inbox_a.push_back(frame);
+                        } else {
+                            slot.inbox_b.push_back(frame);
+                        }
+                        // A frame makes an active side runnable this
+                        // tick; staged slots keep it queued and become
+                        // runnable at admission instead.
+                        if matches!(slot.state, SlotState::Active) {
+                            pending.push(idx);
+                        }
                     }
                 }
                 None => {
@@ -317,6 +396,11 @@ pub fn run_gateway_traced<T: Transport>(
 
     while open > 0 && ticks < config.max_ticks {
         let tick = ticks;
+        // Sides runnable this tick: inbox frames carried over from the
+        // last tick, plus admissions / timer fires / routed frames
+        // collected below.
+        let mut now_a: Vec<usize> = std::mem::take(&mut carry_a);
+        let mut now_b: Vec<usize> = std::mem::take(&mut carry_b);
 
         // Phase 1 — admit: backlog refills the bounded accept queue,
         // the accept queue fills free active capacity, FIFO throughout.
@@ -343,15 +427,42 @@ pub fn run_gateway_traced<T: Transport>(
                                 tick,
                                 "gateway.admit",
                                 vec![
-                                    (
-                                        "protocol",
-                                        Value::from(protocol_label(slot.pair.protocol)),
-                                    ),
+                                    ("protocol", Value::from(protocol_label(slot.pair.protocol))),
                                     ("session", Value::from(slot.pair.id)),
                                 ],
                             );
                         }
+                        // Arm the first wake for both sides. The dense
+                        // loop steps a fresh side at the admission tick
+                        // itself, so a side announcing `In(n)` fires at
+                        // `tick + n - 1`; frames queued while staged
+                        // make it runnable immediately.
+                        for side in [Side::A, Side::B] {
+                            let (session, queued) = match side {
+                                Side::A => (slot.pair.initiator.as_ref(), !slot.inbox_a.is_empty()),
+                                Side::B => (slot.pair.responder.as_ref(), !slot.inbox_b.is_empty()),
+                            };
+                            let deadline = match session.next_wake() {
+                                NextWake::EveryTick => Some(tick),
+                                NextWake::In(n) => Some(tick + u64::from(n.saturating_sub(1))),
+                                NextWake::OnFrame => None,
+                            };
+                            let wake = match side {
+                                Side::A => &mut slot.wake_a,
+                                Side::B => &mut slot.wake_b,
+                            };
+                            wake.next_dense_step = tick;
+                            if queued || deadline == Some(tick) {
+                                match side {
+                                    Side::A => now_a.push(idx),
+                                    Side::B => now_b.push(idx),
+                                }
+                            } else if let Some(d) = deadline {
+                                wake.timer = Some(wheel.schedule_at(d, wake_token(idx, side)));
+                            }
+                        }
                     }
+                    position[idx] = active.len();
                     active.push(idx);
                 }
                 None => break,
@@ -359,47 +470,96 @@ pub fn run_gateway_traced<T: Transport>(
         }
         peak_active = peak_active.max(active.len());
 
+        // Phase 2 — expire: collect the sides whose announced ARQ
+        // deadline is this tick. Timers armed during this tick's
+        // admission all lie strictly in the future.
+        fired.clear();
+        wheel.advance_to(tick, &mut fired);
+        for &(_, token) in &fired {
+            let (idx, side) = token_side(token);
+            match side {
+                Side::A => now_a.push(idx),
+                Side::B => now_b.push(idx),
+            }
+        }
+
         // Fair rotation: which active session transmits first cycles
         // with the tick, so early slots get no standing head start on
-        // the shared wire.
-        let rotation = if active.is_empty() {
-            0
-        } else {
-            (tick as usize) % active.len()
-        };
-        let order: Vec<usize> = (0..active.len())
-            .map(|k| (rotation + k) % active.len())
-            .filter_map(|pos| active.get(pos).copied())
-            .collect();
+        // the shared wire. Runnable sides are stepped in exactly the
+        // rotated order the dense loop would have visited them, so the
+        // shared-wire send sequence is identical.
+        let len = active.len();
+        let rotation = if len == 0 { 0 } else { (tick as usize) % len };
 
-        // Phase 2/3 — deliver pending side-A frames, step initiators.
-        route(transport, Side::A, &mut slots, tracer, tick);
-        for &idx in &order {
-            step_side(transport, &mut slots, idx, Side::A, tick);
+        // Phase 3/4 — deliver pending side-A frames, step runnable
+        // initiators.
+        route(transport, Side::A, &mut slots, tracer, tick, &mut now_a);
+        let run_a = runnable_order(&mut now_a, &slots, &position, len, rotation);
+        for &idx in &run_a {
+            step_wake(
+                transport,
+                &mut slots,
+                &mut wheel,
+                idx,
+                Side::A,
+                tick,
+                &mut session_steps,
+                &mut carry_a,
+                &mut touched,
+            );
         }
 
-        // Phase 4 — the responder mirror.
-        route(transport, Side::B, &mut slots, tracer, tick);
-        for &idx in &order {
-            step_side(transport, &mut slots, idx, Side::B, tick);
+        // Phase 5 — the responder mirror.
+        route(transport, Side::B, &mut slots, tracer, tick, &mut now_b);
+        let run_b = runnable_order(&mut now_b, &slots, &position, len, rotation);
+        for &idx in &run_b {
+            step_wake(
+                transport,
+                &mut slots,
+                &mut wheel,
+                idx,
+                Side::B,
+                tick,
+                &mut session_steps,
+                &mut carry_b,
+                &mut touched,
+            );
         }
 
-        // Phase 5 — close finished and failed slots.
-        for &idx in &order {
+        // Phase 6 — close finished and failed slots. Only slots stepped
+        // this tick can newly satisfy a close condition, and the dense
+        // loop emitted closes in rotation order, so visit the touched
+        // set in that order.
+        touched.sort_unstable_by_key(|&idx| (position[idx] + len - rotation) % len);
+        touched.dedup();
+        let mut any_closed = false;
+        for &idx in &touched {
             let Some(slot) = slots.get_mut(idx) else {
                 continue;
             };
-            if slot.result.is_some() && !matches!(slot.state, SlotState::Closed) {
-                // A side failed during stepping this tick.
+            if matches!(slot.state, SlotState::Closed) {
+                continue;
+            }
+            let ta = slot.admitted_at.unwrap_or(tick);
+            if slot.result.is_some() {
+                // A side failed during stepping this tick. The dense
+                // loop ticked this slot's clock on every prior active
+                // tick but not the failing one.
+                slot.ticks_active = (tick - ta) as u32;
                 slot.state = SlotState::Closed;
             } else if slot.pair.initiator.done() && slot.pair.responder.done() {
-                slot.ticks_active += 1;
+                slot.ticks_active = (tick - ta + 1) as u32;
                 let t = slot.ticks_active;
                 slot.close(Ok(t));
             } else {
-                slot.ticks_active += 1;
                 continue;
             }
+            for wake in [&mut slot.wake_a, &mut slot.wake_b] {
+                if let Some(id) = wake.timer.take() {
+                    wheel.cancel(id);
+                }
+            }
+            dense_equiv_steps += dense_steps_at_close(slot, tick);
             if tracer.is_enabled() {
                 let ok = matches!(slot.result, Some(Ok(_)));
                 tracer.instant(
@@ -415,22 +575,39 @@ pub fn run_gateway_traced<T: Transport>(
                 );
             }
             open = open.saturating_sub(1);
+            any_closed = true;
         }
-        active.retain(|&idx| {
-            slots
-                .get(idx)
-                .is_some_and(|s| !matches!(s.state, SlotState::Closed))
-        });
+        touched.clear();
+        if any_closed {
+            active.retain(|&idx| {
+                let keep = slots
+                    .get(idx)
+                    .is_some_and(|s| !matches!(s.state, SlotState::Closed));
+                if !keep {
+                    position[idx] = usize::MAX;
+                }
+                keep
+            });
+            for (pos, &idx) in active.iter().enumerate() {
+                position[idx] = pos;
+            }
+        }
 
         ticks += 1;
     }
 
-    // Budget exhausted: everything still open is unfinished.
+    // Budget exhausted: everything still open is unfinished. The
+    // timeout error reports the retransmit tally the session had
+    // actually accumulated when the budget cut it off, not a flat zero.
     let mut unfinished = 0usize;
     for slot in &mut slots {
         if slot.result.is_none() {
             unfinished += 1;
-            slot.close(Err(ProtocolError::Timeout { retries: 0 }));
+            if matches!(slot.state, SlotState::Active) {
+                dense_equiv_steps += dense_steps_unfinished(slot, ticks);
+            }
+            let retries = slot.retransmits();
+            slot.close(Err(ProtocolError::Timeout { retries }));
         }
     }
 
@@ -440,7 +617,9 @@ pub fn run_gateway_traced<T: Transport>(
     let outcomes: Vec<GatewayOutcome> = slots
         .into_iter()
         .map(|slot| {
-            let result = slot.result.unwrap_or(Err(ProtocolError::Timeout { retries: 0 }));
+            let result = slot
+                .result
+                .unwrap_or(Err(ProtocolError::Timeout { retries: 0 }));
             match &result {
                 Ok(t) => {
                     completed += 1;
@@ -470,6 +649,8 @@ pub fn run_gateway_traced<T: Transport>(
     registry.counter("gateway.late_frames", late_frames);
     registry.counter("gateway.unroutable_frames", unroutable_frames);
     registry.counter("gateway.undecodable_frames", undecodable_frames);
+    registry.counter("gateway.session_steps", session_steps);
+    registry.counter("gateway.dense_equiv_steps", dense_equiv_steps);
 
     let report = GatewayReport {
         sessions: outcomes.len(),
@@ -483,6 +664,8 @@ pub fn run_gateway_traced<T: Transport>(
         undecodable_frames,
         peak_active,
         peak_staged,
+        session_steps,
+        dense_equiv_steps,
         outcomes,
     };
     if tracer.is_enabled() {
@@ -504,40 +687,178 @@ pub fn run_gateway_traced<T: Transport>(
     report
 }
 
-/// Steps one side of one active slot with at most one inbox frame,
-/// mirroring the per-tick cadence of [`crate::wire::drive_traced`]: a
-/// finished side with an empty inbox is left alone (its clock stops),
-/// a finished side *with* a frame still steps so it can re-serve
-/// duplicates, and a step failure closes the whole slot.
-fn step_side<T: Transport>(
+/// Dedups one tick's candidate runnable sides and orders them exactly
+/// as the dense loop's tick-rotated round-robin would have visited
+/// them. Stale candidates (slots no longer active) are dropped.
+fn runnable_order(
+    cand: &mut Vec<usize>,
+    slots: &[Slot<'_>],
+    position: &[usize],
+    len: usize,
+    rotation: usize,
+) -> Vec<usize> {
+    if len == 0 {
+        cand.clear();
+        return Vec::new();
+    }
+    let mut keyed: Vec<(usize, usize)> = cand
+        .drain(..)
+        .filter(|&idx| {
+            slots
+                .get(idx)
+                .is_some_and(|s| matches!(s.state, SlotState::Active))
+                && position.get(idx).is_some_and(|&p| p != usize::MAX)
+        })
+        .map(|idx| ((position[idx] + len - rotation) % len, idx))
+        .collect();
+    keyed.sort_unstable();
+    keyed.dedup();
+    keyed.into_iter().map(|(_, idx)| idx).collect()
+}
+
+/// Steps one runnable side of one active slot with at most one inbox
+/// frame, after fast-forwarding the silent steps the dense loop would
+/// have taken since the side's last real step. Mirrors the per-tick
+/// cadence of [`crate::wire::drive`]: a finished side with an
+/// empty inbox is left alone (its clock stops), a finished side *with*
+/// a frame still steps so it can re-serve duplicates, and a step
+/// failure closes the whole slot. Re-arms the side's wake timer from
+/// [`Session::next_wake`] and carries the side to the next tick when
+/// its inbox still holds queued frames.
+#[expect(
+    clippy::too_many_arguments,
+    reason = "all per-tick scheduler state is threaded explicitly"
+)]
+fn step_wake<T: Transport>(
     transport: &mut T,
     slots: &mut [Slot<'_>],
+    wheel: &mut TimerWheel,
     idx: usize,
     side: Side,
-    _tick: u64,
+    tick: u64,
+    session_steps: &mut u64,
+    carry: &mut Vec<usize>,
+    touched: &mut Vec<usize>,
 ) {
     let Some(slot) = slots.get_mut(idx) else {
         return;
     };
-    if slot.result.is_some() {
+    if slot.result.is_some() || !matches!(slot.state, SlotState::Active) {
         return;
     }
     let frame = match side {
         Side::A => slot.inbox_a.pop_front(),
         Side::B => slot.inbox_b.pop_front(),
     };
-    let session: &mut dyn Session = match side {
-        Side::A => slot.pair.initiator.as_mut(),
-        Side::B => slot.pair.responder.as_mut(),
+    let queued_after = match side {
+        Side::A => !slot.inbox_a.is_empty(),
+        Side::B => !slot.inbox_b.is_empty(),
+    };
+    let (session, wake): (&mut dyn Session, &mut WakeState) = match side {
+        Side::A => (slot.pair.initiator.as_mut(), &mut slot.wake_a),
+        Side::B => (slot.pair.responder.as_mut(), &mut slot.wake_b),
     };
     if frame.is_none() && session.done() {
+        // The dense loop skips a finished side with nothing to read.
         return;
     }
-    match session.step(frame.as_deref()) {
+    touched.push(idx);
+    let was_done = session.done();
+    if !was_done {
+        // Replay the frameless steps the dense loop took between this
+        // side's last real step and now; the `NextWake` contract
+        // guarantees they were all silent idle-clock ticks.
+        let gap = tick.saturating_sub(wake.next_dense_step);
+        if gap > 0 {
+            session.skip_silence(gap as u32);
+        }
+    }
+    *session_steps += 1;
+    let step_result = session.step(frame.as_deref());
+    let now_done = session.done();
+    let wants = if step_result.is_ok() && !now_done {
+        Some(session.next_wake())
+    } else {
+        None
+    };
+    wake.next_dense_step = tick + 1;
+    if was_done {
+        wake.post_done_steps += 1;
+    } else if now_done && wake.done_tick.is_none() {
+        wake.done_tick = Some(tick);
+    }
+    if let Some(id) = wake.timer.take() {
+        wheel.cancel(id);
+    }
+    if let Some(w) = wants {
+        let deadline = match w {
+            NextWake::EveryTick => Some(tick + 1),
+            NextWake::In(n) => Some(tick + u64::from(n.max(1))),
+            NextWake::OnFrame => None,
+        };
+        if let Some(d) = deadline {
+            wake.timer = Some(wheel.schedule_at(d, wake_token(idx, side)));
+        }
+    }
+    match step_result {
         Ok(SessionAction::Send(f)) => transport.send(side, f),
         Ok(SessionAction::Wait | SessionAction::Done) => {}
-        Err(e) => slot.result = Some(Err(e)),
+        Err(e) => {
+            slot.result = Some(Err(e));
+            slot.failed_side = Some(side);
+        }
     }
+    if slot.result.is_none() && queued_after {
+        carry.push(idx);
+    }
+}
+
+/// `Session::step` calls the dense O(active) loop would have made for
+/// this slot, reconstructed when the slot closes at `tick`. Per side:
+/// one step per active tick until the side finished (or the slot
+/// closed), plus the frame-driven steps a finished side took to
+/// re-serve duplicates.
+fn dense_steps_at_close(slot: &Slot<'_>, tick: u64) -> u64 {
+    let Some(ta) = slot.admitted_at else {
+        return 0;
+    };
+    let mut total = 0u64;
+    for side in [Side::A, Side::B] {
+        let wake = match side {
+            Side::A => &slot.wake_a,
+            Side::B => &slot.wake_b,
+        };
+        // The last tick the dense loop would step this side: the close
+        // tick, except the responder of a slot whose initiator failed
+        // earlier in the same tick (its phase never runs).
+        let last = if matches!((slot.failed_side, side), (Some(Side::A), Side::B)) {
+            tick.saturating_sub(1)
+        } else {
+            tick
+        };
+        total += match wake.done_tick {
+            Some(td) => (td - ta + 1) + wake.post_done_steps,
+            None => (last + 1).saturating_sub(ta),
+        };
+    }
+    total
+}
+
+/// [`dense_steps_at_close`] for a slot still active when the tick
+/// budget (`end` ticks, exclusive) ran out: the dense loop would have
+/// stepped each unfinished side on every remaining tick.
+fn dense_steps_unfinished(slot: &Slot<'_>, end: u64) -> u64 {
+    let Some(ta) = slot.admitted_at else {
+        return 0;
+    };
+    let mut total = 0u64;
+    for wake in [&slot.wake_a, &slot.wake_b] {
+        total += match wake.done_tick {
+            Some(td) => (td - ta + 1) + wake.post_done_steps,
+            None => end.saturating_sub(ta),
+        };
+    }
+    total
 }
 
 #[cfg(test)]
@@ -554,10 +875,10 @@ mod tests {
     use crate::wire::SessionConfig;
     use neuropuls_accel::config::NetworkConfig;
     use neuropuls_accel::engine::PhotonicEngine;
-    use std::collections::BTreeMap;
     use neuropuls_photonic::process::DieId;
     use neuropuls_puf::bits::Response;
     use neuropuls_puf::photonic::PhotonicPuf;
+    use std::collections::BTreeMap;
 
     /// A bundle of endpoint state backing one four-protocol session mix.
     struct Endpoints {
@@ -705,7 +1026,7 @@ mod tests {
         }
         let mut channel = FaultyChannel::new(FaultRates::loss(0.05), 0xBA7C_6A7E);
         let mut tracer = Tracer::disabled();
-        let report = run_gateway_traced(
+        let report = run_gateway(
             &mut channel,
             sessions,
             GatewayConfig::default(),
@@ -719,10 +1040,7 @@ mod tests {
             (k * per_session) as u64
         );
         // All batches ran on the one engine.
-        assert_eq!(
-            shared.borrow().stats().inferences,
-            (k * per_session) as u64
-        );
+        assert_eq!(shared.borrow().stats().inferences, (k * per_session) as u64);
     }
 
     #[test]
@@ -731,7 +1049,13 @@ mod tests {
         let sessions = pairs(&mut ep, SessionConfig::default());
         let n = sessions.len();
         let mut channel = Channel::new();
-        let report = run_gateway(&mut channel, sessions, GatewayConfig::default());
+        let report = run_gateway(
+            &mut channel,
+            sessions,
+            GatewayConfig::default(),
+            &mut Tracer::disabled(),
+            &Registry::new(),
+        );
         assert_eq!(report.sessions, n);
         assert!(report.all_completed(), "{report:?}");
         assert_eq!(report.retransmits, 0);
@@ -753,7 +1077,7 @@ mod tests {
         let mut channel = FaultyChannel::new(FaultRates::loss(0.1), 0x6A7E_1055);
         let registry = Registry::new();
         let mut tracer = Tracer::disabled();
-        let report = run_gateway_traced(
+        let report = run_gateway(
             &mut channel,
             sessions,
             GatewayConfig::default(),
@@ -767,6 +1091,15 @@ mod tests {
         assert_eq!(
             registry.counter_value("gateway.retransmits"),
             report.retransmits
+        );
+        // The event-driven scheduler never steps more than the dense
+        // loop would, and idle ARQ waits mean it steps strictly less.
+        assert!(report.session_steps > 0);
+        assert!(
+            report.session_steps < report.dense_equiv_steps,
+            "wake scheduling saved nothing: {} vs {}",
+            report.session_steps,
+            report.dense_equiv_steps
         );
         // Whatever the fault pattern left in flight after close is
         // accounted as late, never lost.
@@ -785,7 +1118,13 @@ mod tests {
             accept_queue: 3,
             max_ticks: 4096,
         };
-        let report = run_gateway(&mut channel, sessions, config);
+        let report = run_gateway(
+            &mut channel,
+            sessions,
+            config,
+            &mut Tracer::disabled(),
+            &Registry::new(),
+        );
         assert!(report.all_completed(), "{report:?}");
         assert!(report.peak_active <= 2);
         assert!(report.peak_staged <= 3);
@@ -816,7 +1155,13 @@ mod tests {
         let sessions = pairs(&mut ep, cfg);
         let keys: Vec<(ProtocolId, u64)> = sessions.iter().map(|p| (p.protocol, p.id)).collect();
         let mut shared = Channel::new();
-        let report = run_gateway(&mut shared, sessions, GatewayConfig::default());
+        let report = run_gateway(
+            &mut shared,
+            sessions,
+            GatewayConfig::default(),
+            &mut Tracer::disabled(),
+            &Registry::new(),
+        );
         assert!(report.all_completed(), "{report:?}");
 
         // Split the shared transcript by envelope key, preserving order.
@@ -843,6 +1188,7 @@ mod tests {
                 a.as_mut(),
                 b.as_mut(),
                 crate::wire::DEFAULT_MAX_TICKS,
+                &mut Tracer::disabled(),
             )
             .expect("independent session completes");
             let expected = solo.transcript();
@@ -871,7 +1217,13 @@ mod tests {
             });
         }
         let mut channel = Channel::new();
-        let report = run_gateway(&mut channel, sessions, GatewayConfig::default());
+        let report = run_gateway(
+            &mut channel,
+            sessions,
+            GatewayConfig::default(),
+            &mut Tracer::disabled(),
+            &Registry::new(),
+        );
         assert_eq!(report.completed, 1);
         assert_eq!(report.failed, 1);
         assert!(report
@@ -890,7 +1242,13 @@ mod tests {
             accept_queue: 1,
             max_ticks: 3, // far too few for eight sessions
         };
-        let report = run_gateway(&mut channel, sessions, config);
+        let report = run_gateway(
+            &mut channel,
+            sessions,
+            config,
+            &mut Tracer::disabled(),
+            &Registry::new(),
+        );
         assert_eq!(report.ticks, 3);
         assert!(report.unfinished > 0);
         assert_eq!(

@@ -100,11 +100,7 @@ mod tests {
     fn weak(die: u64, noise_seed: u64) -> WeakPuf<PhotonicPuf> {
         // 7 challenges × 64 bits = 448 key-response bits; the
         // ConcatenatedCode(3) block is 21 bits → 21 blocks usable.
-        WeakPuf::with_derived_challenges(
-            PhotonicPuf::reference(DieId(die), noise_seed),
-            7,
-            0xFEED,
-        )
+        WeakPuf::with_derived_challenges(PhotonicPuf::reference(DieId(die), noise_seed), 7, 0xFEED)
     }
 
     #[test]
@@ -143,7 +139,10 @@ mod tests {
         let enrolled = enroll_key(&mut factory_view, 5, 15, b"s").unwrap();
         let mut field_view = weak(6, 300);
         for _ in 0..5 {
-            assert_eq!(reproduce_key(&mut field_view, &enrolled.record).unwrap(), enrolled.key);
+            assert_eq!(
+                reproduce_key(&mut field_view, &enrolled.record).unwrap(),
+                enrolled.key
+            );
         }
     }
 }

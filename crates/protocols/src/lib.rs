@@ -36,6 +36,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod attestation;
 pub mod eke;
 pub mod error;

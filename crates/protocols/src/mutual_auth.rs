@@ -196,7 +196,10 @@ impl<P: Puf> Device<P> {
     /// # Errors
     ///
     /// Fails when the PUF reading cannot be canonicalized (too noisy).
-    pub fn respond_to_request(&mut self, request: &AuthRequest) -> Result<DeviceAuth, ProtocolError> {
+    pub fn respond_to_request(
+        &mut self,
+        request: &AuthRequest,
+    ) -> Result<DeviceAuth, ProtocolError> {
         let r_i = self.current_response()?;
 
         // Derive the fresh CRP.
@@ -408,11 +411,11 @@ pub const CHALLENGE_WIDTH: usize = 64;
 // ---------------------------------------------------------------------------
 
 use crate::transport::{Channel, Transport};
-use neuropuls_rt::codec::ToBytes;
 use crate::wire::{
-    classify, drive_report_traced, resend_or_wait, Arq, Envelope, Incoming, MutualAuthMsg, ProtocolId,
-    Session, SessionAction, SessionConfig, SessionReport, DEFAULT_MAX_TICKS,
+    classify, drive_report, resend_or_wait, Arq, Envelope, Incoming, MutualAuthMsg, NextWake,
+    ProtocolId, Session, SessionAction, SessionConfig, SessionReport, DEFAULT_MAX_TICKS,
 };
+use neuropuls_rt::codec::ToBytes;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum WireVerifierState {
@@ -543,6 +546,18 @@ impl Session for WireVerifier<'_> {
     fn retransmits(&self) -> u32 {
         self.arq.retransmits()
     }
+
+    fn next_wake(&self) -> NextWake {
+        match self.state {
+            WireVerifierState::Start => NextWake::In(0),
+            WireVerifierState::AwaitAuth => NextWake::In(self.arq.ticks_to_fire()),
+            WireVerifierState::Done => NextWake::OnFrame,
+        }
+    }
+
+    fn skip_silence(&mut self, ticks: u32) {
+        self.arq.skip(ticks);
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -599,8 +614,7 @@ impl<P: Puf> Session for WireDevice<'_, P> {
     fn step(&mut self, incoming: Option<&[u8]>) -> Result<SessionAction, ProtocolError> {
         match self.state {
             WireDeviceState::AwaitRequest => {
-                match classify::<MutualAuthMsg>(incoming, ProtocolId::MutualAuth, self.session, 0)
-                {
+                match classify::<MutualAuthMsg>(incoming, ProtocolId::MutualAuth, self.session, 0) {
                     Incoming::Msg(session, MutualAuthMsg::Request(request)) => {
                         self.arq.activity();
                         self.session = Some(session);
@@ -622,8 +636,7 @@ impl<P: Puf> Session for WireDevice<'_, P> {
                 }
             }
             WireDeviceState::AwaitConfirm => {
-                match classify::<MutualAuthMsg>(incoming, ProtocolId::MutualAuth, self.session, 2)
-                {
+                match classify::<MutualAuthMsg>(incoming, ProtocolId::MutualAuth, self.session, 2) {
                     Incoming::Msg(_, MutualAuthMsg::Confirm(confirm)) => {
                         self.arq.activity();
                         match self.device.process_confirmation(&confirm) {
@@ -652,6 +665,19 @@ impl<P: Puf> Session for WireDevice<'_, P> {
     fn retransmits(&self) -> u32 {
         self.arq.retransmits()
     }
+
+    fn next_wake(&self) -> NextWake {
+        match self.state {
+            WireDeviceState::AwaitRequest | WireDeviceState::AwaitConfirm => {
+                NextWake::In(self.arq.ticks_to_fire())
+            }
+            WireDeviceState::Done => NextWake::OnFrame,
+        }
+    }
+
+    fn skip_silence(&mut self, ticks: u32) {
+        self.arq.skip(ticks);
+    }
 }
 
 /// Runs one authentication session over `channel` as two wire state
@@ -659,27 +685,12 @@ impl<P: Puf> Session for WireDevice<'_, P> {
 /// [`Side::B`](crate::transport::Side::B)). On failure the device's
 /// half-open session is aborted so its CRP state stays consistent (the
 /// verifier's previous-response fallback covers the desync).
+///
+/// Wire activity is recorded into `tracer` (pass
+/// [`Tracer::disabled`](neuropuls_rt::trace::Tracer::disabled) for an
+/// untraced run) — including a `desync.recovery` instant when this
+/// session consumed the verifier's previous-CRP fallback.
 pub fn run_wire_session<T: Transport, P: Puf>(
-    channel: &mut T,
-    device: &mut Device<P>,
-    verifier: &mut Verifier,
-    session_id: u64,
-    cfg: SessionConfig,
-) -> SessionReport {
-    run_wire_session_traced(
-        channel,
-        device,
-        verifier,
-        session_id,
-        cfg,
-        &mut neuropuls_rt::trace::Tracer::disabled(),
-    )
-}
-
-/// [`run_wire_session`], recording wire activity into `tracer` —
-/// including a `desync.recovery` instant when this session consumed the
-/// verifier's previous-CRP fallback.
-pub fn run_wire_session_traced<T: Transport, P: Puf>(
     channel: &mut T,
     device: &mut Device<P>,
     verifier: &mut Verifier,
@@ -691,7 +702,7 @@ pub fn run_wire_session_traced<T: Transport, P: Puf>(
     let report = {
         let mut v = WireVerifier::new(verifier, session_id, cfg);
         let mut d = WireDevice::new(device, cfg);
-        drive_report_traced(channel, &mut v, &mut d, DEFAULT_MAX_TICKS, tracer)
+        drive_report(channel, &mut v, &mut d, DEFAULT_MAX_TICKS, tracer)
     };
     if report.result.is_err() {
         device.abort_session();
@@ -714,11 +725,21 @@ pub fn run_wire_session_traced<T: Transport, P: Puf>(
 /// # Errors
 ///
 /// Propagates the first protocol failure.
-pub fn run_session<P: Puf>(device: &mut Device<P>, verifier: &mut Verifier) -> Result<(), ProtocolError> {
+pub fn run_session<P: Puf>(
+    device: &mut Device<P>,
+    verifier: &mut Verifier,
+) -> Result<(), ProtocolError> {
     let mut channel = Channel::new();
-    run_wire_session(&mut channel, device, verifier, 0, SessionConfig::default())
-        .result
-        .map(|_ticks| ())
+    run_wire_session(
+        &mut channel,
+        device,
+        verifier,
+        0,
+        SessionConfig::default(),
+        &mut neuropuls_rt::trace::Tracer::disabled(),
+    )
+    .result
+    .map(|_ticks| ())
 }
 
 #[cfg(test)]

@@ -33,10 +33,21 @@ fn subkeys(device_key: &[u8; 32], label: &[u8]) -> ([u8; 32], [u8; 32]) {
     let mut mac = [0u8; 32];
     // invariant: hkdf::derive only errors past 255 output blocks; a
     // 32-byte request is one block.
-    hkdf::derive(b"neuropuls/secure-nn", device_key, &[label, b"/enc"].concat(), &mut enc)
-        .expect("32-byte HKDF output is valid");
-    hkdf::derive(b"neuropuls/secure-nn", device_key, &[label, b"/mac"].concat(), &mut mac)
-        .expect("32-byte HKDF output is valid");
+    hkdf::derive(
+        b"neuropuls/secure-nn",
+        device_key,
+        &[label, b"/enc"].concat(),
+        &mut enc,
+    )
+    .expect("32-byte HKDF output is valid");
+    // invariant: same single-block 32-byte request as above.
+    hkdf::derive(
+        b"neuropuls/secure-nn",
+        device_key,
+        &[label, b"/mac"].concat(),
+        &mut mac,
+    )
+    .expect("32-byte HKDF output is valid");
     (enc, mac)
 }
 
@@ -86,7 +97,9 @@ fn encode_values(values: &[f64]) -> Vec<u8> {
 
 fn decode_values(bytes: &[u8]) -> Result<Vec<f64>, ProtocolError> {
     if bytes.len() < 4 {
-        return Err(ProtocolError::MalformedCiphertext("tensor header missing".into()));
+        return Err(ProtocolError::MalformedCiphertext(
+            "tensor header missing".into(),
+        ));
     }
     let count = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
     if bytes.len() != 4 + count * 4 {
@@ -144,7 +157,10 @@ impl NetworkOwner {
 
     /// Encrypts a batch of input tensors for `execute_network_batch`.
     pub fn cipher_inputs(&mut self, inputs: &[Vec<f64>]) -> Vec<Vec<u8>> {
-        inputs.iter().map(|input| self.cipher_input(input)).collect()
+        inputs
+            .iter()
+            .map(|input| self.cipher_input(input))
+            .collect()
     }
 
     /// Decrypts a batch of ciphered outputs.
@@ -153,7 +169,10 @@ impl NetworkOwner {
     ///
     /// Fails on the first tampered or malformed blob.
     pub fn decipher_outputs(&self, ciphered: &[Vec<u8>]) -> Result<Vec<Vec<f64>>, ProtocolError> {
-        ciphered.iter().map(|blob| self.decipher_output(blob)).collect()
+        ciphered
+            .iter()
+            .map(|blob| self.decipher_output(blob))
+            .collect()
     }
 }
 
@@ -208,7 +227,12 @@ impl SecureAccelerator {
             .engine
             .infer(&input)
             .map_err(|e| ProtocolError::MalformedCiphertext(e.to_string()))?;
-        Ok(seal(&self.key, LABEL_OUTPUT, &encode_values(&output), &mut self.rng))
+        Ok(seal(
+            &self.key,
+            LABEL_OUTPUT,
+            &encode_values(&output),
+            &mut self.rng,
+        ))
     }
 
     /// Batched `execute_network`: decrypts every input, runs one
@@ -257,11 +281,11 @@ impl SecureAccelerator {
 // ---------------------------------------------------------------------------
 
 use crate::transport::{Channel, Transport};
-use neuropuls_rt::codec::ToBytes;
 use crate::wire::{
-    classify, drive_report_traced, resend_or_wait, Arq, Envelope, Incoming, ProtocolId, SecureNnMsg,
-    Session, SessionAction, SessionConfig, SessionReport, DEFAULT_MAX_TICKS,
+    classify, drive_report, resend_or_wait, Arq, Envelope, Incoming, NextWake, ProtocolId,
+    SecureNnMsg, Session, SessionAction, SessionConfig, SessionReport, DEFAULT_MAX_TICKS,
 };
+use neuropuls_rt::codec::ToBytes;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum NnClientState {
@@ -289,7 +313,12 @@ pub struct WireNnClient {
 impl WireNnClient {
     /// Creates a client session shipping `network_blob` then
     /// `input_blob` (both already sealed by the [`NetworkOwner`]).
-    pub fn new(session: u64, network_blob: Vec<u8>, input_blob: Vec<u8>, cfg: SessionConfig) -> Self {
+    pub fn new(
+        session: u64,
+        network_blob: Vec<u8>,
+        input_blob: Vec<u8>,
+        cfg: SessionConfig,
+    ) -> Self {
         WireNnClient {
             session,
             arq: Arq::new(cfg),
@@ -394,6 +423,20 @@ impl Session for WireNnClient {
 
     fn retransmits(&self) -> u32 {
         self.arq.retransmits()
+    }
+
+    fn next_wake(&self) -> NextWake {
+        match self.state {
+            NnClientState::Start => NextWake::In(0),
+            NnClientState::AwaitLoadAck | NnClientState::AwaitOutput => {
+                NextWake::In(self.arq.ticks_to_fire())
+            }
+            NnClientState::Done => NextWake::OnFrame,
+        }
+    }
+
+    fn skip_silence(&mut self, ticks: u32) {
+        self.arq.skip(ticks);
     }
 }
 
@@ -520,34 +563,30 @@ impl Session for WireNnServer<'_> {
     fn retransmits(&self) -> u32 {
         self.arq.retransmits()
     }
+
+    fn next_wake(&self) -> NextWake {
+        match self.state {
+            NnServerState::AwaitLoad | NnServerState::AwaitExecute => {
+                NextWake::In(self.arq.ticks_to_fire())
+            }
+            NnServerState::Done => NextWake::OnFrame,
+        }
+    }
+
+    fn skip_silence(&mut self, ticks: u32) {
+        self.arq.skip(ticks);
+    }
 }
 
 /// Runs one load+execute round over `channel` (client =
 /// [`Side::A`](crate::transport::Side::A), accelerator =
 /// [`Side::B`](crate::transport::Side::B)), returning the ciphered
-/// output blob alongside the session report.
-pub fn run_wire_inference<T: Transport>(
-    channel: &mut T,
-    accel: &mut SecureAccelerator,
-    network_blob: Vec<u8>,
-    input_blob: Vec<u8>,
-    session_id: u64,
-    cfg: SessionConfig,
-) -> (SessionReport, Option<Vec<u8>>) {
-    run_wire_inference_traced(
-        channel,
-        accel,
-        network_blob,
-        input_blob,
-        session_id,
-        cfg,
-        &mut neuropuls_rt::trace::Tracer::disabled(),
-    )
-}
-
-/// [`run_wire_inference`], recording wire activity into `tracer`.
+/// output blob alongside the session report. Wire activity is recorded
+/// into `tracer` (pass
+/// [`Tracer::disabled`](neuropuls_rt::trace::Tracer::disabled) for an
+/// untraced run).
 #[allow(clippy::too_many_arguments)]
-pub fn run_wire_inference_traced<T: Transport>(
+pub fn run_wire_inference<T: Transport>(
     channel: &mut T,
     accel: &mut SecureAccelerator,
     network_blob: Vec<u8>,
@@ -558,7 +597,7 @@ pub fn run_wire_inference_traced<T: Transport>(
 ) -> (SessionReport, Option<Vec<u8>>) {
     let mut client = WireNnClient::new(session_id, network_blob, input_blob, cfg);
     let mut server = WireNnServer::new(accel, cfg);
-    let report = drive_report_traced(channel, &mut client, &mut server, DEFAULT_MAX_TICKS, tracer);
+    let report = drive_report(channel, &mut client, &mut server, DEFAULT_MAX_TICKS, tracer);
     let output = client.output_blob().map(<[u8]>::to_vec);
     (report, output)
 }
@@ -586,6 +625,7 @@ pub fn run_inference(
         input_blob,
         0,
         SessionConfig::default(),
+        &mut neuropuls_rt::trace::Tracer::disabled(),
     );
     report.result?;
     let blob = output
@@ -753,8 +793,12 @@ impl Session for WireNnBatchClient {
                 None => self.send_next_chunk(),
             },
             NnBatchClientState::AwaitLoadAck => {
-                match classify::<SecureNnMsg>(incoming, ProtocolId::SecureNn, Some(self.session), self.seq)
-                {
+                match classify::<SecureNnMsg>(
+                    incoming,
+                    ProtocolId::SecureNn,
+                    Some(self.session),
+                    self.seq,
+                ) {
                     Incoming::Msg(_, SecureNnMsg::LoadAck) => {
                         self.arq.activity();
                         self.seq += 1;
@@ -770,8 +814,12 @@ impl Session for WireNnBatchClient {
                 }
             }
             NnBatchClientState::AwaitChunkAck => {
-                match classify::<SecureNnMsg>(incoming, ProtocolId::SecureNn, Some(self.session), self.seq)
-                {
+                match classify::<SecureNnMsg>(
+                    incoming,
+                    ProtocolId::SecureNn,
+                    Some(self.session),
+                    self.seq,
+                ) {
                     Incoming::Msg(_, SecureNnMsg::ChunkAck { index }) => {
                         self.arq.activity();
                         if index as usize + 1 != self.next_request {
@@ -793,8 +841,12 @@ impl Session for WireNnBatchClient {
                 }
             }
             NnBatchClientState::AwaitOutput => {
-                match classify::<SecureNnMsg>(incoming, ProtocolId::SecureNn, Some(self.session), self.seq)
-                {
+                match classify::<SecureNnMsg>(
+                    incoming,
+                    ProtocolId::SecureNn,
+                    Some(self.session),
+                    self.seq,
+                ) {
                     Incoming::Msg(_, SecureNnMsg::OutputChunk(chunk)) => {
                         self.arq.activity();
                         if chunk.index as usize != self.received_output {
@@ -833,6 +885,20 @@ impl Session for WireNnBatchClient {
 
     fn retransmits(&self) -> u32 {
         self.arq.retransmits()
+    }
+
+    fn next_wake(&self) -> NextWake {
+        match self.state {
+            NnBatchClientState::Start => NextWake::In(0),
+            NnBatchClientState::AwaitLoadAck
+            | NnBatchClientState::AwaitChunkAck
+            | NnBatchClientState::AwaitOutput => NextWake::In(self.arq.ticks_to_fire()),
+            NnBatchClientState::Done => NextWake::OnFrame,
+        }
+    }
+
+    fn skip_silence(&mut self, ticks: u32) {
+        self.arq.skip(ticks);
     }
 }
 
@@ -955,7 +1021,12 @@ impl Session for WireNnBatchServer<'_> {
     fn step(&mut self, incoming: Option<&[u8]>) -> Result<SessionAction, ProtocolError> {
         match self.state {
             NnBatchServerState::AwaitRequest => {
-                match classify::<SecureNnMsg>(incoming, ProtocolId::SecureNn, self.session, self.seq) {
+                match classify::<SecureNnMsg>(
+                    incoming,
+                    ProtocolId::SecureNn,
+                    self.session,
+                    self.seq,
+                ) {
                     Incoming::Msg(session, SecureNnMsg::Load(blob)) => {
                         self.arq.activity();
                         self.session = Some(session);
@@ -992,10 +1063,9 @@ impl Session for WireNnBatchServer<'_> {
                         self.request_slots[chunk.index as usize] = Some(chunk.items);
                         let last = chunk.index as usize + 1 == total;
                         if !last {
-                            return Ok(self.reply(
-                                session,
-                                &SecureNnMsg::ChunkAck { index: chunk.index },
-                            ));
+                            return Ok(
+                                self.reply(session, &SecureNnMsg::ChunkAck { index: chunk.index })
+                            );
                         }
                         if self.request_slots.iter().any(Option::is_none) {
                             return Ok(self.fault(
@@ -1011,7 +1081,12 @@ impl Session for WireNnBatchServer<'_> {
                 }
             }
             NnBatchServerState::Responding => {
-                match classify::<SecureNnMsg>(incoming, ProtocolId::SecureNn, self.session, self.seq) {
+                match classify::<SecureNnMsg>(
+                    incoming,
+                    ProtocolId::SecureNn,
+                    self.session,
+                    self.seq,
+                ) {
                     Incoming::Msg(session, SecureNnMsg::OutputAck { index }) => {
                         self.arq.activity();
                         if index as usize + 1 != self.next_response {
@@ -1030,7 +1105,12 @@ impl Session for WireNnBatchServer<'_> {
             NnBatchServerState::Done => {
                 // Linger: a retransmitted ack or final chunk means the
                 // client missed an output chunk — resend it.
-                match classify::<SecureNnMsg>(incoming, ProtocolId::SecureNn, self.session, self.seq) {
+                match classify::<SecureNnMsg>(
+                    incoming,
+                    ProtocolId::SecureNn,
+                    self.session,
+                    self.seq,
+                ) {
                     Incoming::Duplicate => Ok(resend_or_wait(self.arq.duplicate())),
                     _ => Ok(SessionAction::Wait),
                 }
@@ -1045,6 +1125,19 @@ impl Session for WireNnBatchServer<'_> {
     fn retransmits(&self) -> u32 {
         self.arq.retransmits()
     }
+
+    fn next_wake(&self) -> NextWake {
+        match self.state {
+            NnBatchServerState::AwaitRequest | NnBatchServerState::Responding => {
+                NextWake::In(self.arq.ticks_to_fire())
+            }
+            NnBatchServerState::Done => NextWake::OnFrame,
+        }
+    }
+
+    fn skip_silence(&mut self, ticks: u32) {
+        self.arq.skip(ticks);
+    }
 }
 
 /// Runs one batched inference round over `channel` (client =
@@ -1052,31 +1145,12 @@ impl Session for WireNnBatchServer<'_> {
 /// [`Side::B`](crate::transport::Side::B)). Pass a `network_blob` to
 /// load before executing, or `None` to execute against the
 /// accelerator's already-loaded network. Returns the sealed output
-/// blobs alongside the session report.
-pub fn run_wire_batch_inference<T: Transport>(
-    channel: &mut T,
-    accel: &SharedAccelerator,
-    network_blob: Option<Vec<u8>>,
-    input_blobs: &[Vec<u8>],
-    session_id: u64,
-    cfg: SessionConfig,
-) -> (SessionReport, Option<Vec<Vec<u8>>>) {
-    run_wire_batch_inference_traced(
-        channel,
-        accel,
-        network_blob,
-        input_blobs,
-        session_id,
-        cfg,
-        &mut neuropuls_rt::trace::Tracer::disabled(),
-        None,
-    )
-}
-
-/// [`run_wire_batch_inference`], recording wire activity into `tracer`
-/// and per-session batch accounting into `metrics`.
+/// blobs alongside the session report. Wire activity is recorded into
+/// `tracer` (pass
+/// [`Tracer::disabled`](neuropuls_rt::trace::Tracer::disabled) for an
+/// untraced run) and per-session batch accounting into `metrics`.
 #[allow(clippy::too_many_arguments)]
-pub fn run_wire_batch_inference_traced<T: Transport>(
+pub fn run_wire_batch_inference<T: Transport>(
     channel: &mut T,
     accel: &SharedAccelerator,
     network_blob: Option<Vec<u8>>,
@@ -1097,7 +1171,7 @@ pub fn run_wire_batch_inference_traced<T: Transport>(
     // Every chunk needs its ack round-trip plus retry headroom.
     let chunks = client.request_chunks.len() as u32 + input_blobs.len() as u32 + 2;
     let max_ticks = DEFAULT_MAX_TICKS.max(chunks * 32);
-    let report = drive_report_traced(channel, &mut client, &mut server, max_ticks, tracer);
+    let report = drive_report(channel, &mut client, &mut server, max_ticks, tracer);
     let output = client.output_blobs().map(<[Vec<u8>]>::to_vec);
     (report, output)
 }
@@ -1122,7 +1196,9 @@ mod tests {
     #[test]
     fn end_to_end_inference() {
         let (mut owner, mut accel) = setup();
-        accel.load_network(&owner.cipher_network(&identity(4))).unwrap();
+        accel
+            .load_network(&owner.cipher_network(&identity(4)))
+            .unwrap();
         let ciphered_out = accel
             .execute_network(&owner.cipher_input(&[1.0, 0.5, -0.25, 0.0]))
             .unwrap();
@@ -1207,7 +1283,9 @@ mod tests {
     #[test]
     fn output_tampering_is_detected_by_owner() {
         let (mut owner, mut accel) = setup();
-        accel.load_network(&owner.cipher_network(&identity(2))).unwrap();
+        accel
+            .load_network(&owner.cipher_network(&identity(2)))
+            .unwrap();
         let mut out = accel
             .execute_network(&owner.cipher_input(&[1.0, 2.0]))
             .unwrap();
@@ -1218,7 +1296,11 @@ mod tests {
 
     fn batch_inputs(n: usize, width: usize) -> Vec<Vec<f64>> {
         (0..n)
-            .map(|i| (0..width).map(|j| ((i * width + j) % 17) as f64 / 8.0 - 1.0).collect())
+            .map(|i| {
+                (0..width)
+                    .map(|j| ((i * width + j) % 17) as f64 / 8.0 - 1.0)
+                    .collect()
+            })
             .collect()
     }
 
@@ -1236,19 +1318,28 @@ mod tests {
             &owner.cipher_inputs(&inputs),
             7,
             SessionConfig::default(),
+            &mut neuropuls_rt::trace::Tracer::disabled(),
+            None,
         );
         report.result.unwrap();
         let got = owner.decipher_outputs(&outputs.unwrap()).unwrap();
 
-        twin.load_network(&owner.cipher_network(&identity(4))).unwrap();
-        let sealed = twin.execute_network_batch(&owner.cipher_inputs(&inputs)).unwrap();
+        twin.load_network(&owner.cipher_network(&identity(4)))
+            .unwrap();
+        let sealed = twin
+            .execute_network_batch(&owner.cipher_inputs(&inputs))
+            .unwrap();
         let direct = owner.decipher_outputs(&sealed).unwrap();
         assert_eq!(got.len(), 150);
         assert_eq!(got, direct, "wire batch diverged from direct batch");
         // 150 × ~64-byte sealed items exceeds one chunk budget, so the
         // exchange really was chunked.
         assert!(
-            owner.cipher_inputs(&inputs).iter().map(Vec::len).sum::<usize>()
+            owner
+                .cipher_inputs(&inputs)
+                .iter()
+                .map(Vec::len)
+                .sum::<usize>()
                 > crate::wire::NN_CHUNK_BUDGET
         );
     }
@@ -1268,10 +1359,15 @@ mod tests {
             &owner.cipher_inputs(&inputs),
             8,
             SessionConfig::default(),
+            &mut neuropuls_rt::trace::Tracer::disabled(),
+            None,
         );
         report.result.unwrap();
-        twin.load_network(&owner.cipher_network(&identity(4))).unwrap();
-        let sealed = twin.execute_network_batch(&owner.cipher_inputs(&inputs)).unwrap();
+        twin.load_network(&owner.cipher_network(&identity(4)))
+            .unwrap();
+        let sealed = twin
+            .execute_network_batch(&owner.cipher_inputs(&inputs))
+            .unwrap();
         let direct = owner.decipher_outputs(&sealed).unwrap();
         let got = owner.decipher_outputs(&outputs.unwrap()).unwrap();
         assert_eq!(got, direct, "loss recovery changed the batch result");
@@ -1282,8 +1378,11 @@ mod tests {
     fn execute_only_sessions_share_one_engine() {
         let (mut owner, mut accel) = setup();
         let (_, mut twin) = setup();
-        accel.load_network(&owner.cipher_network(&identity(4))).unwrap();
-        twin.load_network(&owner.cipher_network(&identity(4))).unwrap();
+        accel
+            .load_network(&owner.cipher_network(&identity(4)))
+            .unwrap();
+        twin.load_network(&owner.cipher_network(&identity(4)))
+            .unwrap();
         let shared = share_accelerator(accel);
         let inputs = batch_inputs(9, 4);
         let mut got = Vec::new();
@@ -1296,19 +1395,25 @@ mod tests {
                 &owner.cipher_inputs(&inputs),
                 sid + 1,
                 SessionConfig::default(),
+                &mut neuropuls_rt::trace::Tracer::disabled(),
+                None,
             );
             report.result.unwrap();
             got.push(owner.decipher_outputs(&outputs.unwrap()).unwrap());
         }
         let direct: Vec<_> = (0..2)
             .map(|_| {
-                let sealed =
-                    twin.execute_network_batch(&owner.cipher_inputs(&inputs)).unwrap();
+                let sealed = twin
+                    .execute_network_batch(&owner.cipher_inputs(&inputs))
+                    .unwrap();
                 owner.decipher_outputs(&sealed).unwrap()
             })
             .collect();
         assert_eq!(got, direct);
-        assert_ne!(got[0], got[1], "successive batches must draw fresh noise epochs");
+        assert_ne!(
+            got[0], got[1],
+            "successive batches must draw fresh noise epochs"
+        );
         assert_eq!(shared.borrow().stats().inferences, 18);
     }
 
@@ -1327,6 +1432,8 @@ mod tests {
             &owner.cipher_inputs(&batch_inputs(3, 4)),
             9,
             SessionConfig::default(),
+            &mut neuropuls_rt::trace::Tracer::disabled(),
+            None,
         );
         assert!(outputs.is_none());
         assert!(
@@ -1339,11 +1446,13 @@ mod tests {
     #[test]
     fn batch_metrics_fold_into_registry() {
         let (mut owner, mut accel) = setup();
-        accel.load_network(&owner.cipher_network(&identity(4))).unwrap();
+        accel
+            .load_network(&owner.cipher_network(&identity(4)))
+            .unwrap();
         let shared = share_accelerator(accel);
         let registry = Registry::new();
         let mut channel = Channel::new();
-        let (report, _) = run_wire_batch_inference_traced(
+        let (report, _) = run_wire_batch_inference(
             &mut channel,
             &shared,
             None,

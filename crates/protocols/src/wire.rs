@@ -621,6 +621,35 @@ impl Default for SessionConfig {
     }
 }
 
+/// When a session next needs a [`step`](Session::step) call, assuming
+/// no frame arrives for it in the meantime.
+///
+/// This is the contract that lets an event-driven driver (the
+/// wake-based gateway loop) skip the silent steps a dense tick loop
+/// would have burned CPU on: a session reporting `In(n)` promises that
+/// its next `n - 1` frameless steps are pure idle-clock bookkeeping
+/// with no observable action, so the driver may replace them with one
+/// O(1) [`skip_silence`](Session::skip_silence) call and step the
+/// session only when the timer actually fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextWake {
+    /// Step this session every tick. The conservative default for
+    /// implementations that have not been audited for silent-step
+    /// equivalence; an event-driven driver degrades to the dense
+    /// schedule for such sessions.
+    EveryTick,
+    /// The `n`-th future frameless step performs an observable action
+    /// (ARQ retransmission or timeout failure); the `n - 1` before it
+    /// are guaranteed silent. `In(0)` means "runnable right now" —
+    /// e.g. an initiator in its start state that transmits on the
+    /// first poll.
+    In(u32),
+    /// Only an incoming frame can change this side's state: the side
+    /// has finished its script (possibly lingering to re-answer peer
+    /// retransmissions) and its timeout clock is stopped.
+    OnFrame,
+}
+
 /// A poll-style protocol endpoint.
 ///
 /// The driver calls [`step`](Session::step) once per tick with at most
@@ -628,6 +657,13 @@ impl Default for SessionConfig {
 /// [`done`](Session::done) turns true the driver keeps delivering stray
 /// frames (so a finished responder can re-serve a retransmitted
 /// request) but no longer ticks the session's timeout.
+///
+/// Event-driven drivers additionally consult
+/// [`next_wake`](Session::next_wake) to know when the next frameless
+/// step is due and use [`skip_silence`](Session::skip_silence) to
+/// fast-forward over steps that are provably unobservable; the defaults
+/// (`EveryTick` / no-op) keep every existing implementation correct
+/// under both driver styles.
 pub trait Session {
     /// Advances the state machine by one tick.
     ///
@@ -643,6 +679,23 @@ pub trait Session {
 
     /// Frames this side retransmitted (ARQ effort metric).
     fn retransmits(&self) -> u32;
+
+    /// When this side next needs a frameless step. See [`NextWake`] for
+    /// the exact contract. The default claims a wake on every tick,
+    /// which is always safe.
+    fn next_wake(&self) -> NextWake {
+        NextWake::EveryTick
+    }
+
+    /// Credits `ticks` frameless steps in O(1). The driver may only
+    /// call this with `ticks` strictly below the `n` most recently
+    /// reported by [`next_wake`](Session::next_wake) (all provably
+    /// silent), and must not call it at all after `OnFrame`. The
+    /// default is a no-op, matching the `EveryTick` default above
+    /// (under which the driver never skips).
+    fn skip_silence(&mut self, ticks: u32) {
+        let _ = ticks;
+    }
 }
 
 /// Stop-and-wait ARQ bookkeeping shared by every wire session.
@@ -732,6 +785,24 @@ impl Arq {
     pub(crate) fn retransmits(&self) -> u32 {
         self.retransmits
     }
+
+    /// Frameless [`idle`](Arq::idle) calls until the retransmit timer
+    /// next fires (always ≥ 1). This is the `n` a waiting session
+    /// reports as [`NextWake::In`].
+    pub(crate) fn ticks_to_fire(&self) -> u32 {
+        self.cfg
+            .timeout_ticks
+            .saturating_sub(self.idle_ticks)
+            .max(1)
+    }
+
+    /// Credits `ticks` frameless steps at once: exactly equivalent to
+    /// `ticks` consecutive [`idle`](Arq::idle) calls that are known not
+    /// to fire (the caller keeps `ticks < ticks_to_fire()`).
+    pub(crate) fn skip(&mut self, ticks: u32) {
+        debug_assert!(ticks < self.ticks_to_fire());
+        self.idle_ticks += ticks;
+    }
 }
 
 /// Turns an optional retransmission into a [`SessionAction`].
@@ -819,25 +890,16 @@ impl SessionReport {
     }
 }
 
-/// [`drive`] plus retransmission accounting from both endpoints.
+/// [`drive`] plus retransmission accounting from both endpoints. Pass
+/// [`Tracer::disabled`] when no instrumentation is wanted.
 pub fn drive_report<T: Transport>(
-    channel: &mut T,
-    a: &mut dyn Session,
-    b: &mut dyn Session,
-    max_ticks: u32,
-) -> SessionReport {
-    drive_report_traced(channel, a, b, max_ticks, &mut Tracer::disabled())
-}
-
-/// [`drive_traced`] plus retransmission accounting from both endpoints.
-pub fn drive_report_traced<T: Transport>(
     channel: &mut T,
     a: &mut dyn Session,
     b: &mut dyn Session,
     max_ticks: u32,
     tracer: &mut Tracer,
 ) -> SessionReport {
-    let result = drive_traced(channel, a, b, max_ticks, tracer);
+    let result = drive(channel, a, b, max_ticks, tracer);
     SessionReport {
         result,
         retransmits: a.retransmits() + b.retransmits(),
@@ -847,23 +909,6 @@ pub fn drive_report_traced<T: Transport>(
 /// Default tick budget for [`drive`]-based helpers: generous enough for
 /// a full retry budget on every message of the longest script.
 pub const DEFAULT_MAX_TICKS: u32 = 256;
-
-/// Drives two sessions against each other over `channel` until both
-/// complete. Each tick delivers at most one queued frame to each side
-/// and steps it. Returns the tick count on success.
-///
-/// # Errors
-///
-/// Propagates the first session failure; returns
-/// [`ProtocolError::Timeout`] if `max_ticks` elapse first.
-pub fn drive<T: Transport>(
-    channel: &mut T,
-    a: &mut dyn Session,
-    b: &mut dyn Session,
-    max_ticks: u32,
-) -> Result<u32, ProtocolError> {
-    drive_traced(channel, a, b, max_ticks, &mut Tracer::disabled())
-}
 
 fn side_label(side: Side) -> &'static str {
     match side {
@@ -887,19 +932,24 @@ fn frame_fields(side: Side, frame: &[u8]) -> Vec<(&'static str, Value)> {
     fields
 }
 
-/// [`drive`], recording the full wire activity into `tracer`: one
-/// `session.side` span per endpoint (closed when that side completes,
-/// carrying its retransmit count), `frame.recv`/`frame.send` instants
-/// with per-envelope byte counts, `arq.retransmit` instants, and a
-/// final `session.result` instant. Timestamps are driver ticks, so the
-/// trace is deterministic for a deterministic channel.
+/// Drives two sessions against each other over `channel` until both
+/// complete. Each tick delivers at most one queued frame to each side
+/// and steps it. Returns the tick count on success.
+///
+/// Wire activity is recorded into `tracer` (pass [`Tracer::disabled`]
+/// for an untraced run at zero cost): one `session.side` span per
+/// endpoint (closed when that side completes, carrying its retransmit
+/// count), `frame.recv`/`frame.send` instants with per-envelope byte
+/// counts, `arq.retransmit` instants, and a final `session.result`
+/// instant. Timestamps are driver ticks, so the trace is deterministic
+/// for a deterministic channel.
 ///
 /// # Errors
 ///
 /// Propagates the first session failure; returns
 /// [`ProtocolError::Timeout`] if `max_ticks` elapse first. The trace is
 /// complete (all spans closed) on every path.
-pub fn drive_traced<T: Transport>(
+pub fn drive<T: Transport>(
     channel: &mut T,
     a: &mut dyn Session,
     b: &mut dyn Session,
@@ -1261,9 +1311,7 @@ mod tests {
     #[test]
     fn classify_survives_seq_wraparound() {
         let msg = MutualAuthMsg::Confirm(VerifierConfirm { mac: [7; 32] });
-        let frame_at = |seq: u32| {
-            Envelope::pack(ProtocolId::MutualAuth, 9, seq, &msg).to_bytes()
-        };
+        let frame_at = |seq: u32| Envelope::pack(ProtocolId::MutualAuth, 9, seq, &msg).to_bytes();
 
         // Expecting seq 0 just after rollover: the previous message
         // (seq u32::MAX) is a duplicate, not noise.

@@ -13,13 +13,11 @@ use neuropuls_accel::config::NetworkConfig;
 use neuropuls_accel::engine::PhotonicEngine;
 use neuropuls_photonic::process::DieId;
 use neuropuls_protocols::attestation::{
-    run_wire_attestation, AttestingDevice, AttestationVerifier, TimingModel,
+    run_wire_attestation, AttestationVerifier, AttestingDevice, TimingModel,
 };
 use neuropuls_protocols::eke::{run_wire_exchange, EkeParty};
 use neuropuls_protocols::mutual_auth::{run_wire_session, Device, Verifier};
-use neuropuls_protocols::secure_nn::{
-    run_wire_inference, NetworkOwner, SecureAccelerator,
-};
+use neuropuls_protocols::secure_nn::{run_wire_inference, NetworkOwner, SecureAccelerator};
 use neuropuls_protocols::transport::{
     Channel, FaultRates, FaultyChannel, MitmVerdict, Side, Transport,
 };
@@ -29,6 +27,7 @@ use neuropuls_puf::bits::Response;
 use neuropuls_puf::photonic::PhotonicPuf;
 use neuropuls_rt::codec::FromBytes;
 use neuropuls_rt::prelude::*;
+use neuropuls_rt::trace::Tracer;
 
 fn auth_pair(die: u64) -> (Device<PhotonicPuf>, Verifier) {
     let puf = PhotonicPuf::reference(DieId(die), die * 7 + 1);
@@ -42,7 +41,11 @@ fn attest_pair(die: u64) -> (AttestingDevice, AttestationVerifier) {
     let memory: Vec<u8> = (0..2048).map(|i| (i * 31 % 251) as u8).collect();
     let timing = TimingModel::photonic();
     (
-        AttestingDevice::new(PhotonicPuf::reference(DieId(die), 1), memory.clone(), timing),
+        AttestingDevice::new(
+            PhotonicPuf::reference(DieId(die), 1),
+            memory.clone(),
+            timing,
+        ),
         AttestationVerifier::new(PhotonicPuf::reference(DieId(die), 2), memory, timing),
     )
 }
@@ -65,13 +68,27 @@ fn nn_blobs() -> (NetworkOwner, SecureAccelerator, Vec<u8>, Vec<u8>) {
 fn mutual_auth_zero_fault_transcript_matches_perfect_channel() {
     let mut perfect = Channel::new();
     let (mut d1, mut v1) = auth_pair(1);
-    assert!(run_wire_session(&mut perfect, &mut d1, &mut v1, 7, SessionConfig::default())
-        .succeeded());
+    assert!(run_wire_session(
+        &mut perfect,
+        &mut d1,
+        &mut v1,
+        7,
+        SessionConfig::default(),
+        &mut Tracer::disabled()
+    )
+    .succeeded());
 
     let mut faulty = FaultyChannel::new(FaultRates::none(), 99);
     let (mut d2, mut v2) = auth_pair(1);
-    assert!(run_wire_session(&mut faulty, &mut d2, &mut v2, 7, SessionConfig::default())
-        .succeeded());
+    assert!(run_wire_session(
+        &mut faulty,
+        &mut d2,
+        &mut v2,
+        7,
+        SessionConfig::default(),
+        &mut Tracer::disabled()
+    )
+    .succeeded());
 
     assert_eq!(perfect.transcript(), faulty.transcript());
     assert!(!perfect.transcript().is_empty());
@@ -81,17 +98,27 @@ fn mutual_auth_zero_fault_transcript_matches_perfect_channel() {
 fn attestation_zero_fault_transcript_matches_perfect_channel() {
     let mut perfect = Channel::new();
     let (mut d1, mut v1) = attest_pair(2);
-    assert!(
-        run_wire_attestation(&mut perfect, &mut d1, &mut v1, 7, SessionConfig::default())
-            .succeeded()
-    );
+    assert!(run_wire_attestation(
+        &mut perfect,
+        &mut d1,
+        &mut v1,
+        7,
+        SessionConfig::default(),
+        &mut Tracer::disabled()
+    )
+    .succeeded());
 
     let mut faulty = FaultyChannel::new(FaultRates::none(), 99);
     let (mut d2, mut v2) = attest_pair(2);
-    assert!(
-        run_wire_attestation(&mut faulty, &mut d2, &mut v2, 7, SessionConfig::default())
-            .succeeded()
-    );
+    assert!(run_wire_attestation(
+        &mut faulty,
+        &mut d2,
+        &mut v2,
+        7,
+        SessionConfig::default(),
+        &mut Tracer::disabled()
+    )
+    .succeeded());
 
     assert_eq!(perfect.transcript(), faulty.transcript());
 }
@@ -102,19 +129,29 @@ fn eke_zero_fault_transcript_matches_perfect_channel() {
     let mut perfect = Channel::new();
     let mut i1 = EkeParty::new(&crp, b"rng-a");
     let mut r1 = EkeParty::new(&crp, b"rng-b");
-    assert!(
-        run_wire_exchange(&mut perfect, &mut i1, &mut r1, 7, SessionConfig::default())
-            .succeeded()
-    );
+    assert!(run_wire_exchange(
+        &mut perfect,
+        &mut i1,
+        &mut r1,
+        7,
+        SessionConfig::default(),
+        &mut Tracer::disabled()
+    )
+    .succeeded());
     assert_eq!(i1.session(), r1.session());
 
     let mut faulty = FaultyChannel::new(FaultRates::none(), 99);
     let mut i2 = EkeParty::new(&crp, b"rng-a");
     let mut r2 = EkeParty::new(&crp, b"rng-b");
-    assert!(
-        run_wire_exchange(&mut faulty, &mut i2, &mut r2, 7, SessionConfig::default())
-            .succeeded()
-    );
+    assert!(run_wire_exchange(
+        &mut faulty,
+        &mut i2,
+        &mut r2,
+        7,
+        SessionConfig::default(),
+        &mut Tracer::disabled()
+    )
+    .succeeded());
 
     assert_eq!(perfect.transcript(), faulty.transcript());
 }
@@ -130,13 +167,21 @@ fn secure_nn_zero_fault_transcript_matches_perfect_channel() {
         inp.clone(),
         7,
         SessionConfig::default(),
+        &mut Tracer::disabled(),
     );
     assert!(report.succeeded());
 
     let (_, mut a2, _, _) = nn_blobs();
     let mut faulty = FaultyChannel::new(FaultRates::none(), 99);
-    let (report2, out2) =
-        run_wire_inference(&mut faulty, &mut a2, net, inp, 7, SessionConfig::default());
+    let (report2, out2) = run_wire_inference(
+        &mut faulty,
+        &mut a2,
+        net,
+        inp,
+        7,
+        SessionConfig::default(),
+        &mut Tracer::disabled(),
+    );
     assert!(report2.succeeded());
 
     assert_eq!(perfect.transcript(), faulty.transcript());
@@ -173,7 +218,14 @@ fn mutual_auth_recovers_from_dropped_msg3_via_previous_crp() {
     // Session 1: the device authenticates (the verifier rotates its
     // CRP) but never sees the confirmation — it exhausts its retry
     // budget and aborts, staying one CRP behind.
-    let report = run_wire_session(&mut channel, &mut device, &mut verifier, 1, SessionConfig::default());
+    let report = run_wire_session(
+        &mut channel,
+        &mut device,
+        &mut verifier,
+        1,
+        SessionConfig::default(),
+        &mut Tracer::disabled(),
+    );
     assert!(!report.succeeded(), "session should fail without Msg3");
     assert!(
         matches!(report.result, Err(ProtocolError::Timeout { .. })),
@@ -185,12 +237,26 @@ fn mutual_auth_recovers_from_dropped_msg3_via_previous_crp() {
     // Session 2, clean channel: the verifier's stored previous response
     // must still authenticate the lagging device and re-synchronize.
     channel.clear_mitm();
-    let report = run_wire_session(&mut channel, &mut device, &mut verifier, 2, SessionConfig::default());
+    let report = run_wire_session(
+        &mut channel,
+        &mut device,
+        &mut verifier,
+        2,
+        SessionConfig::default(),
+        &mut Tracer::disabled(),
+    );
     assert!(report.succeeded(), "recovery failed: {:?}", report.result);
     assert_eq!(verifier.desync_recoveries(), 1);
 
     // And a third, fully ordinary session works (no lingering desync).
-    let report = run_wire_session(&mut channel, &mut device, &mut verifier, 3, SessionConfig::default());
+    let report = run_wire_session(
+        &mut channel,
+        &mut device,
+        &mut verifier,
+        3,
+        SessionConfig::default(),
+        &mut Tracer::disabled(),
+    );
     assert!(report.succeeded());
     assert_eq!(verifier.desync_recoveries(), 1);
 }
@@ -227,6 +293,7 @@ fn desync_recovery_counts_exactly_one_per_suppressed_msg3() {
             &mut verifier,
             round * 2 + 1,
             SessionConfig::default(),
+            &mut Tracer::disabled(),
         );
         assert!(!report.succeeded(), "round {round}: Msg3 was suppressed");
         assert_eq!(verifier.desync_recoveries(), round, "round {round}");
@@ -239,6 +306,7 @@ fn desync_recovery_counts_exactly_one_per_suppressed_msg3() {
             &mut verifier,
             round * 2 + 2,
             SessionConfig::default(),
+            &mut Tracer::disabled(),
         );
         assert!(report.succeeded(), "round {round}: {:?}", report.result);
         assert_eq!(verifier.desync_recoveries(), round + 1, "round {round}");
@@ -255,25 +323,54 @@ fn all_protocols_complete_under_moderate_loss() {
 
     let mut channel = FaultyChannel::new(FaultRates::loss(0.2), 11);
     let (mut d, mut v) = auth_pair(5);
-    let report = run_wire_session(&mut channel, &mut d, &mut v, 1, cfg);
+    let report = run_wire_session(
+        &mut channel,
+        &mut d,
+        &mut v,
+        1,
+        cfg,
+        &mut Tracer::disabled(),
+    );
     assert!(report.succeeded(), "mutual auth: {:?}", report.result);
 
     let mut channel = FaultyChannel::new(FaultRates::loss(0.2), 12);
     let (mut d, mut v) = attest_pair(5);
-    let report = run_wire_attestation(&mut channel, &mut d, &mut v, 1, cfg);
+    let report = run_wire_attestation(
+        &mut channel,
+        &mut d,
+        &mut v,
+        1,
+        cfg,
+        &mut Tracer::disabled(),
+    );
     assert!(report.succeeded(), "attestation: {:?}", report.result);
 
     let crp = Response::from_u64(0x77, 63);
     let mut channel = FaultyChannel::new(FaultRates::loss(0.2), 13);
     let mut i = EkeParty::new(&crp, b"rng-a");
     let mut r = EkeParty::new(&crp, b"rng-b");
-    let report = run_wire_exchange(&mut channel, &mut i, &mut r, 1, cfg);
+    let report = run_wire_exchange(
+        &mut channel,
+        &mut i,
+        &mut r,
+        1,
+        cfg,
+        &mut Tracer::disabled(),
+    );
     assert!(report.succeeded(), "eke: {:?}", report.result);
     assert_eq!(i.session(), r.session());
 
     let (_, mut accel, net, inp) = nn_blobs();
     let mut channel = FaultyChannel::new(FaultRates::loss(0.2), 14);
-    let (report, out) = run_wire_inference(&mut channel, &mut accel, net, inp, 1, cfg);
+    let (report, out) = run_wire_inference(
+        &mut channel,
+        &mut accel,
+        net,
+        inp,
+        1,
+        cfg,
+        &mut Tracer::disabled(),
+    );
     assert!(report.succeeded(), "secure nn: {:?}", report.result);
     assert!(out.is_some());
 }
@@ -285,7 +382,14 @@ fn bit_corruption_is_recovered_by_retransmission() {
     let mut channel = FaultyChannel::new(FaultRates::corruption(0.3), 21);
     let (mut d, mut v) = auth_pair(6);
     let before = v.current_response().clone();
-    let report = run_wire_session(&mut channel, &mut d, &mut v, 1, SessionConfig::default());
+    let report = run_wire_session(
+        &mut channel,
+        &mut d,
+        &mut v,
+        1,
+        SessionConfig::default(),
+        &mut Tracer::disabled(),
+    );
     assert!(report.succeeded(), "{:?}", report.result);
     assert_ne!(v.current_response(), &before, "CRP did not rotate");
 }

@@ -264,8 +264,16 @@ mod tests {
             frac.min(1.0 - frac)
         };
         let n = 200;
-        let fr_single = flip_rate((0..n).map(|_| single.respond(&c).unwrap().bits()[0]).collect());
-        let fr_xor = flip_rate((0..n).map(|_| xored.respond(&c).unwrap().bits()[0]).collect());
+        let fr_single = flip_rate(
+            (0..n)
+                .map(|_| single.respond(&c).unwrap().bits()[0])
+                .collect(),
+        );
+        let fr_xor = flip_rate(
+            (0..n)
+                .map(|_| xored.respond(&c).unwrap().bits()[0])
+                .collect(),
+        );
         assert!(fr_xor >= fr_single, "single {fr_single} xor {fr_xor}");
     }
 

@@ -168,7 +168,9 @@ impl PhotonicPuf {
         let samples = config.challenge_bits + config.flush_samples;
         let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
         let mut next = || {
-            state = state.wrapping_mul(0xD129_0298_5E2F_8735).wrapping_add(0x91E1_0DA5_C79E_7B1D);
+            state = state
+                .wrapping_mul(0xD129_0298_5E2F_8735)
+                .wrapping_add(0x91E1_0DA5_C79E_7B1D);
             let mut z = state;
             z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
             z ^= z >> 31;
@@ -225,7 +227,9 @@ impl PhotonicPuf {
             });
         }
         let carrier = self.laser.noisy_carrier(&self.env, &mut self.rng);
-        let waveform = self.modulator.modulate(carrier, challenge.bits(), &self.env);
+        let waveform = self
+            .modulator
+            .modulate(carrier, challenge.bits(), &self.env);
         let outputs = self
             .mesh
             .propagate(&waveform, self.config.flush_samples, &self.env);
@@ -255,7 +259,8 @@ impl PhotonicPuf {
         let mut margins = Vec::with_capacity(self.config.response_bits);
         for site in self.pairs.chunks_exact(2) {
             let diff = |pair: &ComparePair| {
-                codes[pair.a.0][pair.a.1] as f64 - means[pair.a.0]
+                codes[pair.a.0][pair.a.1] as f64
+                    - means[pair.a.0]
                     - (codes[pair.b.0][pair.b.1] as f64 - means[pair.b.0])
             };
             let d0 = diff(&site[0]);
@@ -287,7 +292,9 @@ impl PhotonicPuf {
             });
         }
         let carrier = self.laser.noisy_carrier(&self.env, &mut self.rng);
-        let waveform = self.modulator.modulate(carrier, challenge.bits(), &self.env);
+        let waveform = self
+            .modulator
+            .modulate(carrier, challenge.bits(), &self.env);
         let outputs = self
             .mesh
             .propagate(&waveform, self.config.flush_samples, &self.env);
@@ -339,7 +346,9 @@ impl PhotonicPuf {
             });
         }
         let carrier = self.laser.carrier(&self.env);
-        let waveform = self.modulator.modulate(carrier, challenge.bits(), &self.env);
+        let waveform = self
+            .modulator
+            .modulate(carrier, challenge.bits(), &self.env);
         let outputs = self
             .mesh
             .propagate(&waveform, self.config.flush_samples, &self.env);
@@ -359,7 +368,8 @@ impl PhotonicPuf {
             .chunks_exact(2)
             .map(|site| {
                 let diff = |pair: &ComparePair| {
-                    currents[pair.a.0][pair.a.1] - means[pair.a.0]
+                    currents[pair.a.0][pair.a.1]
+                        - means[pair.a.0]
                         - (currents[pair.b.0][pair.b.1] - means[pair.b.0])
                 };
                 u8::from(diff(&site[0]) > 0.0) ^ u8::from(diff(&site[1]) > 0.0)
@@ -484,7 +494,10 @@ mod tests {
         let bad = Challenge::from_u64(1, 32);
         assert!(matches!(
             p.respond(&bad),
-            Err(PufError::ChallengeLength { expected: 64, actual: 32 })
+            Err(PufError::ChallengeLength {
+                expected: 64,
+                actual: 32
+            })
         ));
     }
 
@@ -537,7 +550,11 @@ mod tests {
     #[test]
     fn response_window_is_under_100ns() {
         let p = puf(8);
-        assert!(p.response_window_ns() < 100.0, "window {}", p.response_window_ns());
+        assert!(
+            p.response_window_ns() < 100.0,
+            "window {}",
+            p.response_window_ns()
+        );
     }
 
     #[test]
@@ -628,7 +645,10 @@ mod tests {
                 break;
             }
         }
-        assert!(any_flip, "responses are perfectly deterministic — noise model inactive");
+        assert!(
+            any_flip,
+            "responses are perfectly deterministic — noise model inactive"
+        );
     }
 
     #[test]
@@ -647,7 +667,10 @@ mod tests {
         let r2 = p.respond_golden(&c2, 7).unwrap();
         let fhd = r1.fhd(&r2);
         assert!(fhd > 0.015, "single-bit sensitivity too weak: {fhd}");
-        assert!(fhd < 0.5, "single-bit flip should not rewrite the response: {fhd}");
+        assert!(
+            fhd < 0.5,
+            "single-bit flip should not rewrite the response: {fhd}"
+        );
     }
 
     #[test]

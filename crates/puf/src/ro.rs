@@ -287,12 +287,8 @@ mod tests {
         let mut b = puf(4);
         let bits_a: Vec<u8> = (0..a.pairs()).map(|i| a.pair_bit(i).unwrap()).collect();
         let bits_b: Vec<u8> = (0..b.pairs()).map(|i| b.pair_bit(i).unwrap()).collect();
-        let diff = bits_a
-            .iter()
-            .zip(&bits_b)
-            .filter(|(x, y)| x != y)
-            .count() as f64
-            / bits_a.len() as f64;
+        let diff =
+            bits_a.iter().zip(&bits_b).filter(|(x, y)| x != y).count() as f64 / bits_a.len() as f64;
         assert!(diff > 0.3, "inter-die pair disagreement {diff}");
     }
 

@@ -74,7 +74,10 @@ impl SramPuf {
     /// Panics if the configuration is degenerate (zero cells or word
     /// width, or word wider than the array).
     pub fn fabricate(die: DieId, config: SramConfig, noise_seed: u64) -> Self {
-        assert!(config.cells > 0 && config.word_bits > 0, "degenerate SRAM config");
+        assert!(
+            config.cells > 0 && config.word_bits > 0,
+            "degenerate SRAM config"
+        );
         assert!(config.word_bits <= config.cells, "word wider than array");
         let mut fab_rng = StdRng::seed_from_u64(die.0.wrapping_mul(0x2545_F491_4F6C_DD1D));
         let mismatch = (0..config.cells).map(|_| gaussian(&mut fab_rng)).collect();
@@ -246,7 +249,9 @@ mod tests {
     #[test]
     fn respond_uses_word_index() {
         let mut p = puf(5);
-        let via_trait = p.respond(&Challenge::from_u64(3, p.challenge_bits())).unwrap();
+        let via_trait = p
+            .respond(&Challenge::from_u64(3, p.challenge_bits()))
+            .unwrap();
         let direct = p.read_word(3).unwrap();
         // Both are noisy reads of the same word: close, not necessarily
         // equal.

@@ -48,7 +48,10 @@ impl fmt::Display for PufError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PufError::ChallengeLength { expected, actual } => {
-                write!(f, "challenge length mismatch: expected {expected} bits, got {actual}")
+                write!(
+                    f,
+                    "challenge length mismatch: expected {expected} bits, got {actual}"
+                )
             }
             PufError::ChallengeOutOfRange(what) => write!(f, "challenge out of range: {what}"),
         }
@@ -92,7 +95,11 @@ pub trait Puf {
     /// # Errors
     ///
     /// Propagates the first evaluation error.
-    fn respond_golden(&mut self, challenge: &Challenge, reads: usize) -> Result<Response, PufError> {
+    fn respond_golden(
+        &mut self,
+        challenge: &Challenge,
+        reads: usize,
+    ) -> Result<Response, PufError> {
         assert!(reads > 0, "golden response needs at least one read");
         let readings: Result<Vec<Response>, PufError> =
             (0..reads).map(|_| self.respond(challenge)).collect();

@@ -43,10 +43,16 @@ impl fmt::Display for TrngError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TrngError::RepetitionCount { run, cutoff } => {
-                write!(f, "repetition count test failed: run of {run} exceeds {cutoff}")
+                write!(
+                    f,
+                    "repetition count test failed: run of {run} exceeds {cutoff}"
+                )
             }
             TrngError::AdaptiveProportion { count, cutoff } => {
-                write!(f, "adaptive proportion test failed: {count} of window exceeds {cutoff}")
+                write!(
+                    f,
+                    "adaptive proportion test failed: {count} of window exceeds {cutoff}"
+                )
             }
         }
     }
@@ -260,7 +266,10 @@ mod tests {
         let blocks: Vec<&[u8]> = out.chunks(32).collect();
         for i in 0..blocks.len() {
             for j in i + 1..blocks.len() {
-                assert_ne!(blocks[i], blocks[j], "conditioner blocks {i} and {j} collide");
+                assert_ne!(
+                    blocks[i], blocks[j],
+                    "conditioner blocks {i} and {j} collide"
+                );
             }
         }
     }
@@ -313,7 +322,10 @@ mod tests {
                 break;
             }
         }
-        assert!(matches!(tripped, Some(TrngError::AdaptiveProportion { .. })));
+        assert!(matches!(
+            tripped,
+            Some(TrngError::AdaptiveProportion { .. })
+        ));
     }
 
     #[test]

@@ -117,10 +117,7 @@ impl<P: Puf> Puf for WeakPuf<P> {
             .challenges
             .get(idx)
             .ok_or_else(|| {
-                PufError::ChallengeOutOfRange(format!(
-                    "index {idx} of {}",
-                    self.challenges.len()
-                ))
+                PufError::ChallengeOutOfRange(format!("index {idx} of {}", self.challenges.len()))
             })?
             .clone();
         self.inner.respond(&fixed)
@@ -161,7 +158,11 @@ mod tests {
         let mut w = weak(2);
         let golden = w.golden_key_response(7).unwrap();
         let reread = w.read_key_response().unwrap();
-        assert!(golden.fhd(&reread) < 0.12, "key FHD {}", golden.fhd(&reread));
+        assert!(
+            golden.fhd(&reread) < 0.12,
+            "key FHD {}",
+            golden.fhd(&reread)
+        );
     }
 
     #[test]
@@ -185,12 +186,11 @@ mod tests {
     #[test]
     fn respond_indexes_fixed_set() {
         // Five challenges → 3 index bits → indices 5..=7 are invalid.
-        let mut w = WeakPuf::with_derived_challenges(
-            PhotonicPuf::reference(DieId(7), 57),
-            5,
-            0xABCD,
-        );
-        let r = w.respond(&Challenge::from_u64(2, w.challenge_bits())).unwrap();
+        let mut w =
+            WeakPuf::with_derived_challenges(PhotonicPuf::reference(DieId(7), 57), 5, 0xABCD);
+        let r = w
+            .respond(&Challenge::from_u64(2, w.challenge_bits()))
+            .unwrap();
         assert_eq!(r.len(), 64);
         let beyond = Challenge::from_u64(6, w.challenge_bits());
         assert!(w.respond(&beyond).is_err());

@@ -83,17 +83,23 @@ impl<'a> Reader<'a> {
 
     /// Reads a little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads a length (`u64` on the wire, checked against the remaining
@@ -319,10 +325,7 @@ mod tests {
         w.u16(VERSION);
         w.u64(u64::MAX);
         let blob = w.into_bytes();
-        assert_eq!(
-            Vec::<u8>::from_bytes(&blob),
-            Err(CodecError::UnexpectedEof)
-        );
+        assert_eq!(Vec::<u8>::from_bytes(&blob), Err(CodecError::UnexpectedEof));
     }
 
     #[test]

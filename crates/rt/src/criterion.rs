@@ -262,7 +262,12 @@ where
     };
     println!(
         "bench {:<40} mean {:>12.1} ns  p50 {:>12.1} ns  p99 {:>12.1} ns  ({} samples x {} iters)",
-        record.name, record.mean_ns, record.p50_ns, record.p99_ns, record.samples, record.iters_per_sample
+        record.name,
+        record.mean_ns,
+        record.p50_ns,
+        record.p99_ns,
+        record.samples,
+        record.iters_per_sample
     );
     RESULTS.lock().expect("results mutex").push(record);
 }

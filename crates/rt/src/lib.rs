@@ -22,6 +22,10 @@
 //! * [`mod@pool`] — a std-only scoped thread pool (`par_map` /
 //!   `par_chunks`, `NEUROPULS_THREADS` sizing) whose parallel output is
 //!   byte-identical to serial execution;
+//! * [`mod@sched`] — deterministic discrete-event scheduling
+//!   ([`sched::TimerWheel`] hierarchical timer wheel,
+//!   [`sched::ReadyQueue`] duplicate-suppressing FIFO) driven by an
+//!   explicit simulated tick counter;
 //! * [`mod@trace`] — structured tracing and metrics ([`trace::Tracer`]
 //!   spans/instants with simulated-tick timestamps, [`trace::Registry`]
 //!   counters/histograms, JSONL export) whose merged output is
@@ -34,6 +38,7 @@ pub mod criterion;
 pub mod pool;
 pub mod prop;
 pub mod rng;
+pub mod sched;
 pub mod trace;
 
 pub use rng::{Error, Rng, RngCore, SeedableRng};

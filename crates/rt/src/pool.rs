@@ -74,7 +74,9 @@ pub fn configured_threads() -> usize {
 /// will use: the innermost [`with_threads`] override, else
 /// [`configured_threads`].
 pub fn current_threads() -> usize {
-    OVERRIDE.with(|o| o.get()).unwrap_or_else(configured_threads)
+    OVERRIDE
+        .with(|o| o.get())
+        .unwrap_or_else(configured_threads)
 }
 
 /// Runs `f` with the pool width forced to `n` on this thread (and on
@@ -270,9 +272,7 @@ mod tests {
     #[test]
     fn workers_inherit_override() {
         // A nested par_map inside a worker must see the scoped width.
-        let widths = with_threads(2, || {
-            par_map(vec![(), ()], |()| current_threads())
-        });
+        let widths = with_threads(2, || par_map(vec![(), ()], |()| current_threads()));
         assert_eq!(widths, vec![2, 2]);
     }
 
@@ -293,8 +293,12 @@ mod tests {
     fn parallel_matches_serial_exactly() {
         // The pool half of the determinism contract: identical results
         // at every width.
-        let serial = with_threads(1, || par_map((0..64).collect(), |i: u64| i.wrapping_mul(0x9E37)));
-        let wide = with_threads(8, || par_map((0..64).collect(), |i: u64| i.wrapping_mul(0x9E37)));
+        let serial = with_threads(1, || {
+            par_map((0..64).collect(), |i: u64| i.wrapping_mul(0x9E37))
+        });
+        let wide = with_threads(8, || {
+            par_map((0..64).collect(), |i: u64| i.wrapping_mul(0x9E37))
+        });
         assert_eq!(serial, wide);
     }
 }

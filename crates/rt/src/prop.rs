@@ -407,11 +407,12 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 
 fn base_seed(name: &str) -> u64 {
     match std::env::var("NEUROPULS_PROPTEST_SEED") {
-        Ok(s) => s
-            .trim()
-            .parse::<u64>()
-            .unwrap_or_else(|_| fnv1a(s.as_bytes()))
-            ^ fnv1a(name.as_bytes()),
+        Ok(s) => {
+            s.trim()
+                .parse::<u64>()
+                .unwrap_or_else(|_| fnv1a(s.as_bytes()))
+                ^ fnv1a(name.as_bytes())
+        }
         Err(_) => fnv1a(name.as_bytes()),
     }
 }
@@ -619,9 +620,18 @@ mod tests {
                 break v;
             }
         };
-        let (minimal, _, _) = shrink_failure(&strat, &mut test, failing, TestCaseError::fail("seed"), 4096);
+        let (minimal, _, _) = shrink_failure(
+            &strat,
+            &mut test,
+            failing,
+            TestCaseError::fail("seed"),
+            4096,
+        );
         assert_eq!(minimal.len(), 3, "shrink stopped early: {minimal:?}");
-        assert!(minimal.iter().all(|&b| b == 0), "elements not minimized: {minimal:?}");
+        assert!(
+            minimal.iter().all(|&b| b == 0),
+            "elements not minimized: {minimal:?}"
+        );
     }
 
     #[test]
@@ -634,8 +644,13 @@ mod tests {
                 Ok(())
             }
         };
-        let (minimal, _, _) =
-            shrink_failure(&strat, &mut test, (999_999,), TestCaseError::fail("seed"), 4096);
+        let (minimal, _, _) = shrink_failure(
+            &strat,
+            &mut test,
+            (999_999,),
+            TestCaseError::fail("seed"),
+            4096,
+        );
         assert_eq!(minimal.0, 17);
     }
 

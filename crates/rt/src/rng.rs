@@ -134,7 +134,10 @@ pub trait Rng: RngCore {
     ///
     /// Panics unless `0.0 <= p <= 1.0`.
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} outside [0, 1]"
+        );
         f64::random(self) < p
     }
 

@@ -187,7 +187,12 @@ pub struct TraceEvent {
 
 impl TraceEvent {
     fn render_into(&self, out: &mut String) {
-        let _ = write!(out, "{{\"tick\":{},\"kind\":\"{}\"", self.tick, self.kind.as_str());
+        let _ = write!(
+            out,
+            "{{\"tick\":{},\"kind\":\"{}\"",
+            self.tick,
+            self.kind.as_str()
+        );
         if self.span != 0 {
             let _ = write!(out, ",\"span\":{}", self.span);
         }
@@ -406,7 +411,10 @@ impl Histogram {
     ///
     /// Panics when `start <= 0`, `factor <= 1`, or `buckets == 0`.
     pub fn exponential(start: f64, factor: f64, buckets: usize) -> Self {
-        assert!(start > 0.0 && factor > 1.0 && buckets > 0, "bad exponential spec");
+        assert!(
+            start > 0.0 && factor > 1.0 && buckets > 0,
+            "bad exponential spec"
+        );
         let mut bounds = Vec::with_capacity(buckets);
         let mut edge = start;
         for _ in 0..buckets {
@@ -439,7 +447,10 @@ impl Histogram {
     ///
     /// Panics when the bucket boundaries differ.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.bounds, other.bounds, "merging histograms with different bounds");
+        assert_eq!(
+            self.bounds, other.bounds,
+            "merging histograms with different bounds"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }

@@ -37,9 +37,9 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
 
 fn register(token: &str, line: usize) -> Result<u32, AsmError> {
     const ABI: [&str; 32] = [
-        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
-        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
-        "t3", "t4", "t5", "t6",
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+        "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+        "t5", "t6",
     ];
     let token = token.trim();
     if let Some(rest) = token.strip_prefix('x') {
@@ -180,18 +180,14 @@ fn split_operands(operands: &str) -> Vec<String> {
 
 fn mem_operand(token: &str, line: usize) -> Result<(i64, u32), AsmError> {
     // "imm(reg)"
-    let open = token
-        .find('(')
-        .ok_or_else(|| AsmError {
-            line,
-            message: format!("expected imm(reg), got '{token}'"),
-        })?;
-    let close = token
-        .find(')')
-        .ok_or_else(|| AsmError {
-            line,
-            message: format!("missing ')' in '{token}'"),
-        })?;
+    let open = token.find('(').ok_or_else(|| AsmError {
+        line,
+        message: format!("expected imm(reg), got '{token}'"),
+    })?;
+    let close = token.find(')').ok_or_else(|| AsmError {
+        line,
+        message: format!("missing ')' in '{token}'"),
+    })?;
     let imm_text = token[..open].trim();
     let imm = if imm_text.is_empty() {
         0
@@ -202,11 +198,7 @@ fn mem_operand(token: &str, line: usize) -> Result<(i64, u32), AsmError> {
     Ok((imm, reg))
 }
 
-fn label_or_imm(
-    token: &str,
-    labels: &HashMap<String, u32>,
-    line: usize,
-) -> Result<i64, AsmError> {
+fn label_or_imm(token: &str, labels: &HashMap<String, u32>, line: usize) -> Result<i64, AsmError> {
     if let Some(&addr) = labels.get(token.trim()) {
         return Ok(addr as i64);
     }
@@ -286,13 +278,10 @@ fn encode(
     let mnemonic = text.split_whitespace().next().unwrap_or("");
     let operands = split_operands(text[mnemonic.len()..].trim());
     let op = |i: usize| -> Result<&str, AsmError> {
-        operands
-            .get(i)
-            .map(String::as_str)
-            .ok_or_else(|| AsmError {
-                line,
-                message: format!("missing operand {i} for {mnemonic}"),
-            })
+        operands.get(i).map(String::as_str).ok_or_else(|| AsmError {
+            line,
+            message: format!("missing operand {i} for {mnemonic}"),
+        })
     };
 
     let word = match mnemonic {
@@ -354,7 +343,12 @@ fn encode(
             let target = label_or_imm(op(1)?, labels, line)?;
             let offset = target - pc as i64;
             check_range(offset, 13, line, "branch offset")?;
-            enc_b(offset, 0, rs1, if mnemonic == "beqz" { 0b000 } else { 0b001 })
+            enc_b(
+                offset,
+                0,
+                rs1,
+                if mnemonic == "beqz" { 0b000 } else { 0b001 },
+            )
         }
         "lb" | "lh" | "lw" | "lbu" | "lhu" => {
             let rd = register(op(0)?, line)?;

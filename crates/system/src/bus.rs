@@ -341,7 +341,8 @@ mod tests {
 
     fn bus() -> Bus {
         let mut bus = Bus::new(Ram::new(0x8000_0000, 4096));
-        bus.map(0x1000_0000, Box::new(Scratch { regs: [0; 4] })).unwrap();
+        bus.map(0x1000_0000, Box::new(Scratch { regs: [0; 4] }))
+            .unwrap();
         bus
     }
 
@@ -376,8 +377,14 @@ mod tests {
     #[test]
     fn misaligned_faults() {
         let mut b = bus();
-        assert_eq!(b.read32(0x8000_0001), Err(BusFault::Misaligned(0x8000_0001)));
-        assert_eq!(b.read16(0x8000_0001), Err(BusFault::Misaligned(0x8000_0001)));
+        assert_eq!(
+            b.read32(0x8000_0001),
+            Err(BusFault::Misaligned(0x8000_0001))
+        );
+        assert_eq!(
+            b.read16(0x8000_0001),
+            Err(BusFault::Misaligned(0x8000_0001))
+        );
     }
 
     #[test]

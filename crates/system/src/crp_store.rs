@@ -187,7 +187,10 @@ impl<R> CrpStore<R> {
 
     /// `(hot, cold)` occupancy per shard, in shard order.
     pub fn shard_occupancy(&self) -> Vec<(usize, usize)> {
-        self.shards.iter().map(|s| (s.hot.len(), s.cold.len())).collect()
+        self.shards
+            .iter()
+            .map(|s| (s.hot.len(), s.cold.len()))
+            .collect()
     }
 
     /// Enrolls a new device record (lands in the shard archive: a fresh
@@ -424,7 +427,10 @@ mod tests {
             .iter()
             .filter(|&&(h, c)| h + c > 0)
             .count();
-        assert!(occupied >= 6, "SplitMix64 should hit most of 8 shards: {occupied}");
+        assert!(
+            occupied >= 6,
+            "SplitMix64 should hit most of 8 shards: {occupied}"
+        );
         // Shard choice is stable.
         for id in 0..64u64 {
             assert_eq!(s.shard_of(id), s.shard_of(id));

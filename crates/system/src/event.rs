@@ -95,7 +95,11 @@ impl<T> EventQueue<T> {
     ///
     /// Panics when scheduling into the past.
     pub fn schedule(&mut self, tick: Tick, payload: T) {
-        assert!(tick >= self.now, "cannot schedule into the past ({tick} < {})", self.now);
+        assert!(
+            tick >= self.now,
+            "cannot schedule into the past ({tick} < {})",
+            self.now
+        );
         self.heap.push(Scheduled {
             tick,
             sequence: self.sequence,

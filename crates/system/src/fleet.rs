@@ -24,7 +24,7 @@
 //! mutual-authentication sessions (§III-A) over **one shared lossy
 //! control link**: each round checks every device's enrollment record
 //! out of a sharded, cache-fronted [`CrpStore`], multiplexes all of
-//! the round's wire sessions through [`run_gateway_traced`] over a
+//! the round's wire sessions through [`run_gateway`] over a
 //! single [`FaultyChannel`], and commits the rotated CRPs back. The
 //! report counts completions, retransmissions, previous-CRP desync
 //! recoveries, gateway late frames and CRP-cache effectiveness across
@@ -34,7 +34,7 @@ use crate::crp_store::{CrpStore, CrpStoreConfig, CrpStoreStats};
 use crate::event::{EventQueue, Tick};
 use neuropuls_photonic::process::DieId;
 use neuropuls_protocols::attestation::{AttestationVerifier, AttestingDevice, TimingModel};
-use neuropuls_protocols::gateway::{run_gateway_traced, GatewayConfig, SessionPair};
+use neuropuls_protocols::gateway::{run_gateway, GatewayConfig, SessionPair};
 use neuropuls_protocols::mutual_auth::{
     Device as AuthDevice, Verifier as AuthVerifier, WireDevice, WireVerifier,
 };
@@ -213,22 +213,15 @@ pub fn run_fleet_traced(
             };
             let memory: Vec<u8> = (0..bytes).map(|b| (b * 31 % 251) as u8).collect();
             let die = DieId(0xF1_0000 + i as u64);
-            let mut device = AttestingDevice::new(
-                PhotonicPuf::reference(die, 1),
-                memory.clone(),
-                timing,
-            );
+            let mut device =
+                AttestingDevice::new(PhotonicPuf::reference(die, 1), memory.clone(), timing);
             let compromised = rng.gen::<f64>() < config.compromised_fraction;
             if compromised {
                 device.corrupt_memory(bytes / 2, 0xEE);
             }
             FleetDevice {
                 device,
-                verifier: AttestationVerifier::new(
-                    PhotonicPuf::reference(die, 2),
-                    memory,
-                    timing,
-                ),
+                verifier: AttestationVerifier::new(PhotonicPuf::reference(die, 2), memory, timing),
                 memory_bytes: bytes,
                 compromised,
             }
@@ -413,7 +406,7 @@ pub fn run_fleet_traced(
                     responder: Box::new(WireDevice::new(device, SessionConfig::default())),
                 });
             }
-            let gw = run_gateway_traced(
+            let gw = run_gateway(
                 &mut link,
                 sessions,
                 gateway_cfg,
@@ -479,8 +472,7 @@ pub fn run_fleet_traced(
         passed,
         compromised_caught: caught.iter().filter(|&&c| c).count(),
         compromised_planted: planted,
-        verifier_utilization: busy_ns as f64
-            / (horizon.max(1) as f64 * config.verifiers as f64),
+        verifier_utilization: busy_ns as f64 / (horizon.max(1) as f64 * config.verifiers as f64),
         max_backlog,
         mean_turnaround_us: if attestations == 0 {
             0.0
@@ -694,7 +686,10 @@ mod tests {
             crp_hot_capacity: 2,
             ..FleetConfig::default()
         });
-        assert_eq!(report.crp.hits, 2, "one round of re-touches, 2 hot: {report:?}");
+        assert_eq!(
+            report.crp.hits, 2,
+            "one round of re-touches, 2 hot: {report:?}"
+        );
         assert_eq!(report.crp.misses, 22, "{report:?}");
         assert!(report.crp.evictions > 0, "{report:?}");
         assert!(report.crp.hit_rate() < 0.1, "{report:?}");
@@ -720,7 +715,11 @@ mod tests {
             .histogram("fleet.turnaround_ns")
             .expect("turnaround histogram recorded");
         assert_eq!(turnaround.count() as usize, traced.attestations);
-        let due = tracer.events().iter().filter(|e| e.name == "attest.due").count();
+        let due = tracer
+            .events()
+            .iter()
+            .filter(|e| e.name == "attest.due")
+            .count();
         assert_eq!(due, traced.requests);
         let open = tracer
             .events()
@@ -734,7 +733,11 @@ mod tests {
             .count();
         assert_eq!(open, traced.requests);
         assert_eq!(closed, traced.attestations, "in-flight checks stay open");
-        let auth = tracer.events().iter().filter(|e| e.name == "auth.session").count();
+        let auth = tracer
+            .events()
+            .iter()
+            .filter(|e| e.name == "auth.session")
+            .count();
         assert_eq!(auth, traced.auth_attempted);
     }
 

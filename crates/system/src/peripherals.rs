@@ -12,8 +12,8 @@ use neuropuls_accel::engine::PhotonicEngine;
 use neuropuls_puf::bits::Challenge;
 use neuropuls_puf::photonic::PhotonicPuf;
 use neuropuls_puf::traits::Puf;
-use std::sync::Mutex;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Register map of [`PufPeripheral`] (word offsets).
 pub mod puf_regs {
@@ -158,7 +158,12 @@ impl MmioDevice for PufPeripheral {
             puf_regs::LATENCY => self.latency_cycles as u32,
             // invariant: telemetry lock holders never panic while
             // holding the lock.
-            puf_regs::COUNT => self.telemetry.lock().expect("telemetry mutex poisoned").evaluations as u32,
+            puf_regs::COUNT => {
+                self.telemetry
+                    .lock()
+                    .expect("telemetry mutex poisoned")
+                    .evaluations as u32
+            }
             _ => 0,
         }
     }
@@ -212,7 +217,10 @@ impl AccelPeripheral {
     ///
     /// Panics if no network is loaded.
     pub fn new(engine: PhotonicEngine) -> Self {
-        assert!(engine.is_loaded(), "accelerator peripheral needs a loaded network");
+        assert!(
+            engine.is_loaded(),
+            "accelerator peripheral needs a loaded network"
+        );
         AccelPeripheral {
             engine,
             input: [0; 4],
@@ -330,7 +338,10 @@ impl MmioDevice for Uart {
         if offset == 0 {
             // invariant: buffer lock holders never panic while holding
             // the lock.
-            self.buffer.lock().expect("uart buffer mutex poisoned").push(value as u8);
+            self.buffer
+                .lock()
+                .expect("uart buffer mutex poisoned")
+                .push(value as u8);
         }
     }
 }
@@ -349,14 +360,24 @@ mod tests {
         assert_eq!(p.read32(puf_regs::STATUS), 0, "idle before start");
         p.write32(puf_regs::CTRL, 1);
         assert_eq!(p.read32(puf_regs::STATUS) & 1, 1, "busy after start");
-        assert_eq!(p.read32(puf_regs::RESPONSE0), 0, "response hidden while busy");
+        assert_eq!(
+            p.read32(puf_regs::RESPONSE0),
+            0,
+            "response hidden while busy"
+        );
         let latency = u64::from(p.read32(puf_regs::LATENCY));
         p.tick(latency);
         assert_eq!(p.read32(puf_regs::STATUS), 2, "valid after latency");
         let r0 = p.read32(puf_regs::RESPONSE0);
         let r1 = p.read32(puf_regs::RESPONSE1);
         assert!(r0 != 0 || r1 != 0, "response should be nontrivial");
-        assert_eq!(telemetry.lock().expect("telemetry mutex poisoned").evaluations, 1);
+        assert_eq!(
+            telemetry
+                .lock()
+                .expect("telemetry mutex poisoned")
+                .evaluations,
+            1
+        );
     }
 
     #[test]
@@ -394,13 +415,24 @@ mod tests {
         p.write32(puf_regs::CHALLENGE0, 0xDEAD_BEEF);
         p.write32(puf_regs::CHALLENGE1, 0x1234_5678);
         p.write32(puf_regs::CTRL, 1);
-        assert_eq!(p.read32(puf_regs::STATUS), 4, "fault bit set, not busy/valid");
+        assert_eq!(
+            p.read32(puf_regs::STATUS),
+            4,
+            "fault bit set, not busy/valid"
+        );
         p.tick(1000);
-        assert_eq!(p.read32(puf_regs::STATUS), 4, "fault is sticky across ticks");
+        assert_eq!(
+            p.read32(puf_regs::STATUS),
+            4,
+            "fault is sticky across ticks"
+        );
         assert_eq!(p.read32(puf_regs::RESPONSE0), 0, "no response exposed");
         assert_eq!(p.read32(puf_regs::RESPONSE1), 0, "no response exposed");
         assert_eq!(
-            telemetry.lock().expect("telemetry mutex poisoned").evaluations,
+            telemetry
+                .lock()
+                .expect("telemetry mutex poisoned")
+                .evaluations,
             0,
             "faulted start is not an evaluation"
         );
@@ -410,13 +442,16 @@ mod tests {
     fn accel_peripheral_runs_inference() {
         let mut engine = PhotonicEngine::reference(1);
         engine
-            .load(NetworkConfig::mlp(&[4, 4], |_, o, i| {
-                if o == i {
-                    1.0
-                } else {
-                    0.0
-                }
-            }))
+            .load(NetworkConfig::mlp(
+                &[4, 4],
+                |_, o, i| {
+                    if o == i {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                },
+            ))
             .unwrap();
         let mut p = AccelPeripheral::new(engine);
         p.write32(accel_regs::INPUT0, 1.0f32.to_bits());
@@ -434,18 +469,25 @@ mod tests {
         // 4-wide input: CTRL must latch STATUS bit 2 instead of panic.
         let mut engine = PhotonicEngine::reference(2);
         engine
-            .load(NetworkConfig::mlp(&[2, 2], |_, o, i| {
-                if o == i {
-                    1.0
-                } else {
-                    0.0
-                }
-            }))
+            .load(NetworkConfig::mlp(
+                &[2, 2],
+                |_, o, i| {
+                    if o == i {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                },
+            ))
             .unwrap();
         let mut p = AccelPeripheral::new(engine);
         p.write32(accel_regs::INPUT0, 1.0f32.to_bits());
         p.write32(accel_regs::CTRL, 1);
-        assert_eq!(p.read32(accel_regs::STATUS), 4, "fault bit set, not busy/valid");
+        assert_eq!(
+            p.read32(accel_regs::STATUS),
+            4,
+            "fault bit set, not busy/valid"
+        );
         p.tick(64);
         assert_eq!(p.read32(accel_regs::STATUS), 4, "fault is sticky");
         assert_eq!(p.read32(accel_regs::OUTPUT0), 0, "no stale output exposed");

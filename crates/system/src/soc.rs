@@ -14,8 +14,8 @@ use crate::riscv::{Cpu, Trap};
 use crate::stats::StatRegistry;
 use neuropuls_accel::engine::PhotonicEngine;
 use neuropuls_puf::photonic::PhotonicPuf;
-use std::sync::Mutex;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Canonical memory map of the reference SoC.
 pub mod memory_map {
@@ -91,10 +91,14 @@ impl Soc {
         bus.map(memory_map::PUF_BASE, Box::new(puf_dev))
             .expect("static memory map");
         if let Some(engine) = accel {
-            bus.map(memory_map::ACCEL_BASE, Box::new(AccelPeripheral::new(engine)))
-                .expect("static memory map");
+            bus.map(
+                memory_map::ACCEL_BASE,
+                Box::new(AccelPeripheral::new(engine)),
+            )
+            .expect("static memory map");
         }
         let (uart, uart_buffer) = Uart::new();
+        // invariant: UART_BASE is disjoint from every mapping above.
         bus.map(memory_map::UART_BASE, Box::new(uart))
             .expect("static memory map");
         Soc {
@@ -114,10 +118,12 @@ impl Soc {
     /// Returns assembler errors with line context.
     pub fn load_firmware(&mut self, source: &str) -> Result<(), AsmError> {
         let code = assemble(source, memory_map::RAM_BASE)?;
-        self.bus.load(memory_map::RAM_BASE, &code).map_err(|e| AsmError {
-            line: 0,
-            message: format!("firmware does not fit in RAM: {e}"),
-        })
+        self.bus
+            .load(memory_map::RAM_BASE, &code)
+            .map_err(|e| AsmError {
+                line: 0,
+                message: format!("firmware does not fit in RAM: {e}"),
+            })
     }
 
     /// Loads raw bytes at an address (data sections).
@@ -133,7 +139,10 @@ impl Soc {
     /// The UART output so far.
     pub fn console(&self) -> Vec<u8> {
         // invariant: lock holders never panic while holding the buffer.
-        self.uart_buffer.lock().expect("uart buffer mutex poisoned").clone()
+        self.uart_buffer
+            .lock()
+            .expect("uart buffer mutex poisoned")
+            .clone()
     }
 
     /// CPU state (read-only view).
@@ -168,7 +177,10 @@ impl Soc {
                         1 => {
                             // invariant: lock holders never panic while
                             // holding the buffer.
-                            self.uart_buffer.lock().expect("uart buffer mutex poisoned").push(a0 as u8);
+                            self.uart_buffer
+                                .lock()
+                                .expect("uart buffer mutex poisoned")
+                                .push(a0 as u8);
                             self.cpu.advance_past_trap();
                         }
                         _ => break StopReason::Trapped(Trap::Ecall),
@@ -205,7 +217,11 @@ impl Soc {
         self.bus.reset_stats();
         // invariant: telemetry lock holders never panic while holding
         // the lock.
-        let t = self.puf_telemetry.lock().expect("telemetry mutex poisoned").clone();
+        let t = self
+            .puf_telemetry
+            .lock()
+            .expect("telemetry mutex poisoned")
+            .clone();
         self.stats
             .set("puf.evaluations", t.evaluations as f64, "PUF evaluations");
         self.stats
@@ -380,13 +396,16 @@ mod tests {
     fn accel_peripheral_reachable_from_firmware() {
         let mut engine = PhotonicEngine::reference(1);
         engine
-            .load(NetworkConfig::mlp(&[4, 4], |_, o, i| {
-                if o == i {
-                    2.0
-                } else {
-                    0.0
-                }
-            }))
+            .load(NetworkConfig::mlp(
+                &[4, 4],
+                |_, o, i| {
+                    if o == i {
+                        2.0
+                    } else {
+                        0.0
+                    }
+                },
+            ))
             .unwrap();
         let mut s = Soc::new(PhotonicPuf::reference(DieId(5), 1), Some(engine));
         // Write 1.0f32 to input 0, run, read output 0.

@@ -21,17 +21,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for crps in [200, 1000, 4000] {
         let mut arbiter = ArbiterPuf::fabricate(DieId(1), 64, 1);
         let a = model_attack(&mut arbiter, parity_features, crps, 500, 0, 30, 7)?;
-        println!("{:<24} {:>10} {:>9.1}%", "arbiter-64", crps, a.accuracy * 100.0);
+        println!(
+            "{:<24} {:>10} {:>9.1}%",
+            "arbiter-64",
+            crps,
+            a.accuracy * 100.0
+        );
     }
     for crps in [200, 1000, 4000] {
         let mut xor4 = XorArbiterPuf::fabricate(DieId(2), 64, 4, 1);
         let a = model_attack(&mut xor4, parity_features, crps, 500, 0, 30, 7)?;
-        println!("{:<24} {:>10} {:>9.1}%", "4-xor-arbiter-64", crps, a.accuracy * 100.0);
+        println!(
+            "{:<24} {:>10} {:>9.1}%",
+            "4-xor-arbiter-64",
+            crps,
+            a.accuracy * 100.0
+        );
     }
     for crps in [200, 1000] {
         let mut ppuf = PhotonicPuf::reference(DieId(3), 1);
         let a = model_attack(&mut ppuf, raw_features, crps, 300, 0, 30, 7)?;
-        println!("{:<24} {:>10} {:>9.1}%", "photonic (BPSK mesh)", crps, a.accuracy * 100.0);
+        println!(
+            "{:<24} {:>10} {:>9.1}%",
+            "photonic (BPSK mesh)",
+            crps,
+            a.accuracy * 100.0
+        );
     }
 
     println!("\n== Power-analysis side channel ==");

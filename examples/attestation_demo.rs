@@ -9,9 +9,7 @@
 //! ```
 
 use neuropuls::photonic::process::DieId;
-use neuropuls::protocols::attestation::{
-    AttestationVerifier, AttestingDevice, TimingModel,
-};
+use neuropuls::protocols::attestation::{AttestationVerifier, AttestingDevice, TimingModel};
 use neuropuls::protocols::error::ProtocolError;
 use neuropuls::puf::photonic::PhotonicPuf;
 

@@ -15,11 +15,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Manufacturing: fabricate the PIC, enroll the weak-PUF key.
     let lot = manufacture(&ManufactureConfig::default())?;
     println!("manufactured {}", lot.device.die());
-    println!("device key enrolled ({} bytes helper data)", lot.enrolled_key.record.helper.offset.len() / 8);
+    println!(
+        "device key enrolled ({} bytes helper data)",
+        lot.enrolled_key.record.helper.offset.len() / 8
+    );
 
     // 2. Mutual authentication (Fig. 4): one CRP as the rotating secret.
-    let (mut device, provisioned) =
-        Device::provision(lot.device, vec![0xAB; 1024], b"quickstart")?;
+    let (mut device, provisioned) = Device::provision(lot.device, vec![0xAB; 1024], b"quickstart")?;
     let mut verifier = Verifier::new(provisioned, b"quickstart-verifier");
     for session in 1..=3 {
         run_session(&mut device, &mut verifier)?;

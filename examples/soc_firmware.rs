@@ -59,7 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== memory self-check firmware (clock-count evidence) ==");
     let mut soc = Soc::new(PhotonicPuf::reference(DieId(9), 4), None);
     let image: Vec<u8> = (0..1024).map(|i| (i * 37 % 256) as u8).collect();
-    soc.load_bytes(0x8001_0000, &image).expect("image fits in RAM");
+    soc.load_bytes(0x8001_0000, &image)
+        .expect("image fits in RAM");
     soc.load_firmware(firmware::MEMORY_CHECK)?;
     match soc.run(1_000_000) {
         StopReason::Halted(checksum) => {

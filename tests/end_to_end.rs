@@ -62,22 +62,22 @@ fn attestation_follows_authentication() {
     let memory: Vec<u8> = (0..16 * 1024).map(|i| (i % 255) as u8).collect();
     let timing = TimingModel::photonic();
 
-    let mut attester = AttestingDevice::new(
-        PhotonicPuf::reference(die, 1),
-        memory.clone(),
-        timing,
-    );
-    let mut verifier =
-        AttestationVerifier::new(PhotonicPuf::reference(die, 2), memory, timing);
+    let mut attester = AttestingDevice::new(PhotonicPuf::reference(die, 1), memory.clone(), timing);
+    let mut verifier = AttestationVerifier::new(PhotonicPuf::reference(die, 2), memory, timing);
 
     let request = verifier.begin();
     let report = attester.attest(&request).expect("attestation runs");
-    verifier.verify(&request, &report).expect("honest device passes");
+    verifier
+        .verify(&request, &report)
+        .expect("honest device passes");
 
     attester.corrupt_memory(1000, 0x00);
     let request = verifier.begin();
     let report = attester.attest(&request).expect("attestation runs");
-    assert!(verifier.verify(&request, &report).is_err(), "compromise missed");
+    assert!(
+        verifier.verify(&request, &report).is_err(),
+        "compromise missed"
+    );
 }
 
 #[test]
@@ -113,5 +113,8 @@ fn cross_device_isolation() {
     let mut accel_b = SecureAccelerator::new(PhotonicEngine::reference(9), b.enrolled_key.key);
     let network = NetworkConfig::mlp(&[2, 2], |_, o, i| (o == i) as u8 as f32);
     let blob = owner_a.cipher_network(&network);
-    assert!(accel_b.load_network(&blob).is_err(), "cross-device payload accepted");
+    assert!(
+        accel_b.load_network(&blob).is_err(),
+        "cross-device payload accepted"
+    );
 }

@@ -21,16 +21,16 @@ use neuropuls_accel::config::NetworkConfig;
 use neuropuls_accel::engine::PhotonicEngine;
 use neuropuls_photonic::process::DieId;
 use neuropuls_protocols::attestation::{
-    run_wire_attestation_traced, AttestationVerifier, AttestingDevice, TimingModel,
+    run_wire_attestation, AttestationVerifier, AttestingDevice, TimingModel,
 };
 use neuropuls_protocols::attestation::{WireAttestationVerifier, WireAttestingDevice};
-use neuropuls_protocols::eke::{run_wire_exchange_traced, EkeParty, WireEkeInitiator, WireEkeResponder};
-use neuropuls_protocols::gateway::{run_gateway_traced, GatewayConfig, SessionPair};
+use neuropuls_protocols::eke::{run_wire_exchange, EkeParty, WireEkeInitiator, WireEkeResponder};
+use neuropuls_protocols::gateway::{run_gateway, GatewayConfig, SessionPair};
 use neuropuls_protocols::mutual_auth::{
-    run_wire_session_traced, Device, Verifier, WireDevice, WireVerifier,
+    run_wire_session, Device, Verifier, WireDevice, WireVerifier,
 };
 use neuropuls_protocols::secure_nn::{
-    run_wire_inference_traced, NetworkOwner, SecureAccelerator, WireNnClient, WireNnServer,
+    run_wire_inference, NetworkOwner, SecureAccelerator, WireNnClient, WireNnServer,
 };
 use neuropuls_protocols::transport::{FaultRates, FaultyChannel};
 use neuropuls_protocols::wire::{ProtocolId, SessionConfig};
@@ -43,9 +43,14 @@ use std::path::PathBuf;
 /// Compares `jsonl` against `tests/golden/{name}.trace`, or rewrites the
 /// fixture when `NEUROPULS_BLESS=1` is set.
 fn check_golden(name: &str, jsonl: &str) {
-    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", &format!("{name}.trace")]
-        .iter()
-        .collect();
+    let path: PathBuf = [
+        env!("CARGO_MANIFEST_DIR"),
+        "tests",
+        "golden",
+        &format!("{name}.trace"),
+    ]
+    .iter()
+    .collect();
     if std::env::var("NEUROPULS_BLESS").as_deref() == Ok("1") {
         std::fs::write(&path, jsonl).unwrap_or_else(|e| panic!("blessing {}: {e}", path.display()));
         eprintln!("blessed {}", path.display());
@@ -81,7 +86,7 @@ fn golden_mutual_auth_session() {
     let mut verifier = Verifier::new(provisioned, b"golden-verifier");
     let mut channel = lossy(0x601D_0001);
     let mut tracer = Tracer::new();
-    let report = run_wire_session_traced(
+    let report = run_wire_session(
         &mut channel,
         &mut device,
         &mut verifier,
@@ -97,11 +102,13 @@ fn golden_mutual_auth_session() {
 fn golden_attestation_session() {
     let memory: Vec<u8> = (0..2048).map(|i| (i * 31 % 251) as u8).collect();
     let timing = TimingModel::photonic();
-    let mut device = AttestingDevice::new(PhotonicPuf::reference(DieId(32), 1), memory.clone(), timing);
-    let mut verifier = AttestationVerifier::new(PhotonicPuf::reference(DieId(32), 2), memory, timing);
+    let mut device =
+        AttestingDevice::new(PhotonicPuf::reference(DieId(32), 1), memory.clone(), timing);
+    let mut verifier =
+        AttestationVerifier::new(PhotonicPuf::reference(DieId(32), 2), memory, timing);
     let mut channel = lossy(0x601D_0002);
     let mut tracer = Tracer::new();
-    let report = run_wire_attestation_traced(
+    let report = run_wire_attestation(
         &mut channel,
         &mut device,
         &mut verifier,
@@ -120,7 +127,7 @@ fn golden_eke_session() {
     let mut responder = EkeParty::new(&crp, b"golden-eke-resp");
     let mut channel = lossy(0x601D_0003);
     let mut tracer = Tracer::new();
-    let report = run_wire_exchange_traced(
+    let report = run_wire_exchange(
         &mut channel,
         &mut initiator,
         &mut responder,
@@ -143,7 +150,7 @@ fn golden_secure_nn_session() {
     let input_blob = owner.cipher_input(&[1.0, 0.5, -0.25, 0.0]);
     let mut channel = lossy(0x601D_0004);
     let mut tracer = Tracer::new();
-    let (report, output) = run_wire_inference_traced(
+    let (report, output) = run_wire_inference(
         &mut channel,
         &mut accel,
         network_blob,
@@ -241,7 +248,7 @@ fn golden_gateway_mixed_session() {
     let mut channel = lossy(0x601D_0005);
     let mut tracer = Tracer::new();
     let registry = Registry::new();
-    let report = run_gateway_traced(
+    let report = run_gateway(
         &mut channel,
         sessions,
         GatewayConfig::default(),
