@@ -260,7 +260,8 @@ pub fn forgery_campaign(verifier: &mut Verifier, attempts: usize, seed: u64) -> 
     for i in 0..attempts {
         attacker.accepted = false;
         let mut channel = Channel::new();
-        let mut wire_verifier = WireVerifier::new(verifier, i as u64, SessionConfig::default());
+        let mut wire_verifier =
+            WireVerifier::new(&mut *verifier, i as u64, SessionConfig::default());
         let report = drive_report(
             &mut channel,
             &mut wire_verifier,

@@ -56,6 +56,7 @@ fn runners() -> Vec<Runner> {
         // it inside this par_map fan-out is safe.
         ("E21", |s| experiments::accel_throughput::run(s).0),
         ("E22", |s| experiments::sched_scaling::run(s).0),
+        ("E23", |s| experiments::fleet_longrun::run(s).0),
     ]
 }
 

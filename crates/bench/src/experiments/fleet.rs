@@ -4,7 +4,7 @@
 
 use crate::{Rendered, Scale};
 use neuropuls_rt::trace::{Registry, Tracer};
-use neuropuls_system::fleet::{run_fleet_traced, FleetConfig, FleetReport};
+use neuropuls_system::fleet::{run_fleet, FleetConfig, FleetReport};
 
 fn render_table(out: &mut Rendered, reports: &[FleetReport]) {
     out.push(format!(
@@ -52,7 +52,7 @@ pub fn run(scale: Scale) -> (Rendered, Vec<FleetReport>) {
     let cell_results: Vec<(FleetReport, Registry)> =
         neuropuls_rt::pool::par_map(cells, |(devices, verifiers)| {
             let registry = Registry::new();
-            let report = run_fleet_traced(
+            let report = run_fleet(
                 &FleetConfig {
                     devices,
                     verifiers,

@@ -9,6 +9,7 @@ pub mod eke;
 pub mod environment;
 pub mod fig3;
 pub mod fleet;
+pub mod fleet_longrun;
 pub mod gateway;
 pub mod keygen;
 pub mod ml_attack;

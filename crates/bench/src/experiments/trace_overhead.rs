@@ -13,7 +13,7 @@
 
 use crate::{Rendered, Scale};
 use neuropuls_rt::trace::{Registry, Tracer};
-use neuropuls_system::fleet::{run_fleet, run_fleet_traced, FleetConfig};
+use neuropuls_system::fleet::{run_fleet, FleetConfig};
 use std::time::Instant;
 
 /// Measured outcome of the overhead comparison.
@@ -52,7 +52,7 @@ pub fn run(scale: Scale) -> (Rendered, Outcome) {
     let mut untraced_report = None;
     for _ in 0..reps {
         let t0 = Instant::now();
-        let report = run_fleet(&config);
+        let report = run_fleet(&config, &mut Tracer::disabled(), &Registry::new());
         untraced_ns = untraced_ns.min(t0.elapsed().as_nanos() as f64);
         untraced_report = Some(report);
     }
@@ -63,7 +63,7 @@ pub fn run(scale: Scale) -> (Rendered, Outcome) {
         let mut tracer = Tracer::new();
         let registry = Registry::new();
         let t0 = Instant::now();
-        let report = run_fleet_traced(&config, &mut tracer, &registry);
+        let report = run_fleet(&config, &mut tracer, &registry);
         traced_ns = traced_ns.min(t0.elapsed().as_nanos() as f64);
         traced_artifacts = Some((report, tracer, registry));
     }

@@ -416,6 +416,8 @@ use crate::wire::{
     ProtocolId, Session, SessionAction, SessionConfig, SessionReport, DEFAULT_MAX_TICKS,
 };
 use neuropuls_rt::codec::ToBytes;
+use std::borrow::BorrowMut;
+use std::marker::PhantomData;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum WireVerifierState {
@@ -431,8 +433,15 @@ enum WireVerifierState {
 /// device missed our confirmation) is answered with the stored
 /// confirmation frame, which is what lets a lossy channel still finish
 /// Msg3 delivery.
-pub struct WireVerifier<'a> {
-    verifier: &'a mut Verifier,
+///
+/// Generic over how the verifier is held: `V` is anything that
+/// [`BorrowMut`]s a [`Verifier`] — a `&mut Verifier` for the classic
+/// per-call sessions, or an owned `Verifier` (checked out of a CRP
+/// store) for persistent keep-alive slots that create sessions at
+/// timer-fire time and recover the rotated record with
+/// [`into_inner`](Self::into_inner) when the epoch closes.
+pub struct WireVerifier<V: BorrowMut<Verifier>> {
+    verifier: V,
     session: u64,
     arq: Arq,
     state: WireVerifierState,
@@ -440,9 +449,9 @@ pub struct WireVerifier<'a> {
     last_reject: Option<ProtocolError>,
 }
 
-impl<'a> WireVerifier<'a> {
+impl<V: BorrowMut<Verifier>> WireVerifier<V> {
     /// Wraps `verifier` for one wire session identified by `session`.
-    pub fn new(verifier: &'a mut Verifier, session: u64, cfg: SessionConfig) -> Self {
+    pub fn new(verifier: V, session: u64, cfg: SessionConfig) -> Self {
         WireVerifier {
             verifier,
             session,
@@ -451,6 +460,11 @@ impl<'a> WireVerifier<'a> {
             request: None,
             last_reject: None,
         }
+    }
+
+    /// Hands the (possibly CRP-rotated) verifier back to the caller.
+    pub fn into_inner(self) -> V {
+        self.verifier
     }
 
     fn fail_with(&mut self, fallback: ProtocolError) -> ProtocolError {
@@ -473,11 +487,11 @@ impl<'a> WireVerifier<'a> {
     }
 }
 
-impl Session for WireVerifier<'_> {
+impl<V: BorrowMut<Verifier>> Session for WireVerifier<V> {
     fn step(&mut self, incoming: Option<&[u8]>) -> Result<SessionAction, ProtocolError> {
         match self.state {
             WireVerifierState::Start => {
-                let request = self.verifier.begin_session();
+                let request = self.verifier.borrow_mut().begin_session();
                 let frame = Envelope::pack(
                     ProtocolId::MutualAuth,
                     self.session,
@@ -502,7 +516,11 @@ impl Session for WireVerifier<'_> {
                         let request = self.request.clone().ok_or_else(|| {
                             ProtocolError::OutOfOrder("device auth before request".into())
                         })?;
-                        match self.verifier.process_device_auth(&request, &auth) {
+                        match self
+                            .verifier
+                            .borrow_mut()
+                            .process_device_auth(&request, &auth)
+                        {
                             Ok(confirm) => {
                                 let frame = Envelope::pack(
                                     ProtocolId::MutualAuth,
@@ -569,25 +587,36 @@ enum WireDeviceState {
 
 /// The device as a poll-style wire session (responder: awaits
 /// `AuthRequest`, answers `DeviceAuth`, awaits `VerifierConfirm`).
-pub struct WireDevice<'a, P: Puf> {
-    device: &'a mut Device<P>,
+///
+/// Like [`WireVerifier`], generic over how the endpoint is held: `D`
+/// is anything that [`BorrowMut`]s a [`Device<P>`] — `&mut Device<P>`
+/// for per-call sessions, an owned `Device<P>` for persistent slots.
+pub struct WireDevice<D: BorrowMut<Device<P>>, P: Puf> {
+    device: D,
     session: Option<u64>,
     arq: Arq,
     state: WireDeviceState,
     last_reject: Option<ProtocolError>,
+    _puf: PhantomData<fn() -> P>,
 }
 
-impl<'a, P: Puf> WireDevice<'a, P> {
+impl<D: BorrowMut<Device<P>>, P: Puf> WireDevice<D, P> {
     /// Wraps `device` for one wire session; the session id is latched
     /// from the first request envelope.
-    pub fn new(device: &'a mut Device<P>, cfg: SessionConfig) -> Self {
+    pub fn new(device: D, cfg: SessionConfig) -> Self {
         WireDevice {
             device,
             session: None,
             arq: Arq::new(cfg),
             state: WireDeviceState::AwaitRequest,
             last_reject: None,
+            _puf: PhantomData,
         }
+    }
+
+    /// Hands the (possibly CRP-rotated) device back to the caller.
+    pub fn into_inner(self) -> D {
+        self.device
     }
 
     fn fail_with(&mut self, fallback: ProtocolError) -> ProtocolError {
@@ -610,7 +639,7 @@ impl<'a, P: Puf> WireDevice<'a, P> {
     }
 }
 
-impl<P: Puf> Session for WireDevice<'_, P> {
+impl<D: BorrowMut<Device<P>>, P: Puf> Session for WireDevice<D, P> {
     fn step(&mut self, incoming: Option<&[u8]>) -> Result<SessionAction, ProtocolError> {
         match self.state {
             WireDeviceState::AwaitRequest => {
@@ -620,7 +649,7 @@ impl<P: Puf> Session for WireDevice<'_, P> {
                         self.session = Some(session);
                         // A PUF that cannot canonicalize is a device
                         // fault, not a channel fault: fail immediately.
-                        let auth = self.device.respond_to_request(&request)?;
+                        let auth = self.device.borrow_mut().respond_to_request(&request)?;
                         let frame = Envelope::pack(
                             ProtocolId::MutualAuth,
                             session,
@@ -639,7 +668,7 @@ impl<P: Puf> Session for WireDevice<'_, P> {
                 match classify::<MutualAuthMsg>(incoming, ProtocolId::MutualAuth, self.session, 2) {
                     Incoming::Msg(_, MutualAuthMsg::Confirm(confirm)) => {
                         self.arq.activity();
-                        match self.device.process_confirmation(&confirm) {
+                        match self.device.borrow_mut().process_confirmation(&confirm) {
                             Ok(()) => {
                                 self.state = WireDeviceState::Done;
                                 Ok(SessionAction::Done)
@@ -700,8 +729,8 @@ pub fn run_wire_session<T: Transport, P: Puf>(
 ) -> SessionReport {
     let recoveries_before = verifier.desync_recoveries();
     let report = {
-        let mut v = WireVerifier::new(verifier, session_id, cfg);
-        let mut d = WireDevice::new(device, cfg);
+        let mut v = WireVerifier::new(&mut *verifier, session_id, cfg);
+        let mut d = WireDevice::new(&mut *device, cfg);
         drive_report(channel, &mut v, &mut d, DEFAULT_MAX_TICKS, tracer)
     };
     if report.result.is_err() {

@@ -650,6 +650,35 @@ pub enum NextWake {
     OnFrame,
 }
 
+impl NextWake {
+    /// Absolute deadline for a side first stepped at `tick` (admission
+    /// into a driver, or a keep-alive slot arming a fresh epoch
+    /// session). A dense loop steps a fresh side at the admission tick
+    /// itself, so `In(n)` fires at `tick + n - 1`; `In(0)`/`In(1)` and
+    /// `EveryTick` mean "runnable at `tick`". `None` = frame-driven
+    /// only (the idle wake between attestation epochs — the timer
+    /// clock is stopped until a frame or the slot's next epoch fire).
+    pub fn admission_deadline(self, tick: u64) -> Option<u64> {
+        match self {
+            NextWake::EveryTick => Some(tick),
+            NextWake::In(n) => Some(tick + u64::from(n.saturating_sub(1))),
+            NextWake::OnFrame => None,
+        }
+    }
+
+    /// Absolute deadline after a real step at `tick`: `In(n)` promises
+    /// the next `n - 1` frameless steps are silent, so the next real
+    /// step lands at `tick + n` (clamped forward — a session reporting
+    /// `In(0)` after a step still cannot be stepped twice in one tick).
+    pub fn rearm_deadline(self, tick: u64) -> Option<u64> {
+        match self {
+            NextWake::EveryTick => Some(tick + 1),
+            NextWake::In(n) => Some(tick + u64::from(n.max(1))),
+            NextWake::OnFrame => None,
+        }
+    }
+}
+
 /// A poll-style protocol endpoint.
 ///
 /// The driver calls [`step`](Session::step) once per tick with at most

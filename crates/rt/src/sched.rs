@@ -409,6 +409,83 @@ mod tests {
     }
 
     #[test]
+    fn rearm_across_overflow_boundary_fires_once_at_each_deadline() {
+        let mut wheel = TimerWheel::new();
+        // Parked beyond the horizon, cancelled while still in the
+        // overflow list, re-armed inside the wheel proper: only the
+        // re-armed deadline may fire.
+        let parked = wheel.schedule_at(HORIZON + 99, 7);
+        assert!(wheel.cancel(parked));
+        wheel.schedule_at(50, 7);
+        assert_eq!(fire_all(&mut wheel, 60), vec![(50, 7)]);
+        // And the other direction: an in-horizon timer re-armed out to
+        // the overflow list must survive the level-3 boundary cascade
+        // that pulls overflow entries back in, firing exactly once at
+        // its deadline.
+        let near = wheel.schedule_at(100, 8);
+        assert!(wheel.cancel(near));
+        let far = HORIZON + 2 * (SLOTS as u64).pow(3) + 5;
+        wheel.schedule_at(far, 8);
+        let mut out = Vec::new();
+        wheel.advance_to(far - 1, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        wheel.advance_to(far + SLOTS as u64, &mut out);
+        assert_eq!(out, vec![(far, 8)]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn stale_cancel_of_fired_generation_cannot_touch_rearmed_slot() {
+        let mut wheel = TimerWheel::new();
+        let fired = wheel.schedule_at(3, 11);
+        assert_eq!(fire_all(&mut wheel, 4), vec![(3, 11)]);
+        // The re-arm reuses the freed slab slot under a new generation;
+        // the fired handle must be inert against it.
+        let rearmed = wheel.schedule_at(10, 11);
+        assert_eq!(fired.index, rearmed.index, "slab slot is recycled");
+        assert!(!wheel.cancel(fired), "fired generation must be dead");
+        assert_eq!(wheel.len(), 1);
+        assert!(wheel.cancel(rearmed), "live generation still cancels");
+        assert_eq!(fire_all(&mut wheel, 64), vec![]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn idle_jump_lands_exactly_on_wake_ticks() {
+        // The event-driven drivers fast-forward across fleet-wide
+        // silence with `advance_to(next_deadline())`: a jump whose
+        // target *is* the deadline must deliver the wake on the landing
+        // tick, including when that tick is also a cascade boundary.
+        let level2 = (SLOTS as u64).pow(2);
+        let level3 = (SLOTS as u64).pow(3);
+        let deadlines = [
+            SLOTS as u64,    // level-1 cascade tick
+            3 * level2,      // level-2 cascade tick
+            level3,          // level-3 cascade tick (overflow rescan)
+            level3 + 12_345, // plain mid-slot tick after the big jump
+        ];
+        let mut wheel = TimerWheel::new();
+        for (token, &deadline) in deadlines.iter().enumerate() {
+            wheel.schedule_at(deadline, token as u64);
+        }
+        let mut fired = Vec::new();
+        while let Some(next) = wheel.next_deadline() {
+            let before = fired.len();
+            wheel.advance_to(next, &mut fired);
+            assert_eq!(fired.len(), before + 1, "jump to {next} missed its wake");
+            assert_eq!(fired.last().copied(), Some((next, before as u64)));
+            assert_eq!(wheel.now(), next);
+        }
+        let schedule: Vec<(u64, u64)> = deadlines
+            .iter()
+            .enumerate()
+            .map(|(token, &deadline)| (deadline, token as u64))
+            .collect();
+        assert_eq!(fired, schedule);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
     fn ready_queue_is_fifo_and_dedups() {
         let mut queue = ReadyQueue::new();
         assert!(queue.push(3));

@@ -34,7 +34,10 @@ use crate::crp_store::{CrpStore, CrpStoreConfig, CrpStoreStats};
 use crate::event::{EventQueue, Tick};
 use neuropuls_photonic::process::DieId;
 use neuropuls_protocols::attestation::{AttestationVerifier, AttestingDevice, TimingModel};
-use neuropuls_protocols::gateway::{run_gateway, GatewayConfig, SessionPair};
+use neuropuls_protocols::gateway::{
+    run_gateway, run_persistent_gateway, EpochOutcome, EpochSession, GatewayConfig, KeepAlive,
+    PersistentConfig, SessionPair, SlotVerdict,
+};
 use neuropuls_protocols::mutual_auth::{
     Device as AuthDevice, Verifier as AuthVerifier, WireDevice, WireVerifier,
 };
@@ -172,30 +175,20 @@ impl Default for FleetConfig {
 /// verifier check time both follow the photonic timing model (the
 /// verifier must recompute the same walk).
 ///
-/// # Panics
-///
-/// Panics when `devices` or `verifiers` is zero.
-pub fn run_fleet(config: &FleetConfig) -> FleetReport {
-    run_fleet_traced(config, &mut Tracer::disabled(), &Registry::new())
-}
-
-/// [`run_fleet`] with observability: the scheduling loop emits
+/// Observability is threaded, not forked: the scheduling loop emits
 /// `attest.due` instants and `attest.check` spans into `tracer` (check
 /// spans opened at dispatch, closed at verdict; checks still in flight
 /// at the horizon stay open, mirroring `in_flight_at_horizon`), and the
 /// control-link phase emits one compact `auth.session` instant per wire
 /// session. `registry` accumulates `fleet.*` counters plus turnaround
-/// and queue-depth histograms. Passing a disabled tracer and a throwaway
-/// registry reproduces `run_fleet` exactly.
+/// and queue-depth histograms. Callers that don't care pass
+/// `Tracer::disabled()` and a throwaway `Registry` — observability
+/// never perturbs the simulation.
 ///
 /// # Panics
 ///
 /// Panics when `devices` or `verifiers` is zero.
-pub fn run_fleet_traced(
-    config: &FleetConfig,
-    tracer: &mut Tracer,
-    registry: &Registry,
-) -> FleetReport {
+pub fn run_fleet(config: &FleetConfig, tracer: &mut Tracer, registry: &Registry) -> FleetReport {
     assert!(config.devices > 0, "fleet needs at least one device");
     assert!(config.verifiers > 0, "fleet needs at least one verifier");
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -489,14 +482,397 @@ pub fn run_fleet_traced(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Persistent fleet sessions
+// ---------------------------------------------------------------------------
+
+/// Parameters of a persistent keep-alive fleet run.
+///
+/// Where [`FleetConfig`] tears every control-link session down and
+/// rebuilds it per round, this model keeps each device resident in the
+/// gateway across its whole lifetime: re-attestation epochs are armed
+/// as per-device jittered timers on the runtime timer wheel, CRP
+/// records are checked out of the sharded store at fire time and
+/// committed back at epoch close, and devices churn through voluntary
+/// leaves (epoch quota) and evictions (consecutive failures).
+#[derive(Debug, Clone, Copy)]
+pub struct PersistentFleetConfig {
+    /// Devices holding keep-alive slots.
+    pub devices: usize,
+    /// Ticks between a device's epoch fires (measured fire-to-fire, so
+    /// slow epochs don't drift the schedule).
+    pub reattest_period: u64,
+    /// Maximum per-fire jitter added on top of the period, drawn from
+    /// a per-device stream (0 = perfectly aligned cohort).
+    pub jitter: u64,
+    /// Re-attestation epochs each device runs before leaving
+    /// voluntarily.
+    pub epochs_per_device: u32,
+    /// Ticks an epoch may stay live before the gateway force-closes it
+    /// as missed (0 = unbounded).
+    pub epoch_budget: u64,
+    /// Consecutive failed/missed epochs before a device is evicted
+    /// (0 = never evict).
+    pub max_consecutive_failures: u32,
+    /// The first N devices get their provisioned memory tampered, so
+    /// every one of their re-attestations fails deterministically.
+    pub corrupted_devices: usize,
+    /// Frame-loss probability of the shared control link.
+    pub loss_rate: f64,
+    /// Seed for the link faults and the per-device jitter streams.
+    pub seed: u64,
+    /// Shards of the CRP/enrollment store.
+    pub crp_shards: usize,
+    /// Hot-set capacity per CRP-store shard.
+    pub crp_hot_capacity: usize,
+    /// Last tick of the run; epochs still live at the horizon close as
+    /// missed.
+    pub horizon: u64,
+    /// ARQ retransmissions of one frame before an epoch's session fails
+    /// (`SessionConfig::max_retries`). Long-run sweeps raise this so a
+    /// lossy link costs retransmits, never epochs; the default matches
+    /// the round-by-round driver for the differential oracle.
+    pub session_retries: u32,
+}
+
+impl Default for PersistentFleetConfig {
+    fn default() -> Self {
+        PersistentFleetConfig {
+            devices: 8,
+            reattest_period: 256,
+            jitter: 32,
+            epochs_per_device: 3,
+            epoch_budget: 128,
+            max_consecutive_failures: 2,
+            corrupted_devices: 0,
+            loss_rate: 0.1,
+            seed: 0xF1EE7,
+            crp_shards: 4,
+            crp_hot_capacity: 4,
+            horizon: 1 << 16,
+            session_retries: SessionConfig::default().max_retries,
+        }
+    }
+}
+
+/// One re-attestation epoch's terminal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochRecord {
+    /// Device (slot) index.
+    pub device: usize,
+    /// Epoch ordinal for this device, starting at 0.
+    pub epoch: u32,
+    /// Whether the mutual-authentication run completed.
+    pub ok: bool,
+    /// Active ticks the epoch took (0 on failure).
+    pub ticks: u32,
+    /// Frames retransmitted across both endpoints.
+    pub retransmits: u32,
+    /// Whether the epoch budget or the horizon force-closed it.
+    pub missed: bool,
+    /// Debug rendering of the failure, when there was one.
+    pub error: Option<String>,
+}
+
+/// Aggregate results of one persistent fleet run.
+#[derive(Debug, Clone)]
+pub struct PersistentFleetReport {
+    /// Devices configured.
+    pub devices: usize,
+    /// Devices whose first epoch fired inside the horizon.
+    pub joined: usize,
+    /// Devices that left voluntarily after their epoch quota.
+    pub left: usize,
+    /// Devices evicted for consecutive failures.
+    pub evicted: usize,
+    /// Last tick the gateway processed.
+    pub ticks: u64,
+    /// Re-attestation epochs admitted.
+    pub epochs_fired: u64,
+    /// Epochs whose authentication completed.
+    pub epochs_completed: u64,
+    /// Epochs closed by a protocol failure.
+    pub epochs_failed: u64,
+    /// Epochs force-closed by the budget or the horizon.
+    pub epochs_missed: u64,
+    /// ARQ retransmissions across all epochs.
+    pub retransmits: u64,
+    /// Previous-CRP desynchronization recoveries across the fleet.
+    pub desync_recoveries: u64,
+    /// Frames that arrived for already-closed epochs on the shared
+    /// link.
+    pub late_frames: u64,
+    /// Most epochs live at once.
+    pub peak_live: usize,
+    /// Real `Session::step` calls the event-driven gateway made.
+    pub session_steps: u64,
+    /// Steps a dense keep-alive poll loop (no timer wheel) would have
+    /// made over the same residencies.
+    pub dense_equiv_steps: u64,
+    /// CRP-store cache counters across all checkouts/commits.
+    pub crp: CrpStoreStats,
+    /// Per-epoch terminal records, sorted by `(device, epoch)`.
+    pub records: Vec<EpochRecord>,
+}
+
+impl PersistentFleetReport {
+    /// `dense_equiv_steps / session_steps`: the step saving of waking
+    /// only on timer fires instead of polling every resident device
+    /// every tick.
+    pub fn step_saving(&self) -> f64 {
+        if self.session_steps == 0 {
+            return 0.0;
+        }
+        self.dense_equiv_steps as f64 / self.session_steps as f64
+    }
+
+    /// Re-attestation conservation: every fired epoch reached exactly
+    /// one terminal record (completed, failed, or missed) — nothing
+    /// was silently dropped.
+    pub fn epochs_conserved(&self) -> bool {
+        self.epochs_completed + self.epochs_failed + self.epochs_missed == self.epochs_fired
+            && self.records.len() as u64 == self.epochs_fired
+    }
+}
+
+/// [`KeepAlive`] controller backing [`run_fleet_persistent`]: owns the
+/// fleet's auth devices, fronts the verifier records with the sharded
+/// CRP store (checkout at fire, commit at close), applies the
+/// jittered re-arm schedule and the consecutive-failure eviction
+/// policy, and logs one [`EpochRecord`] per closed epoch.
+struct PersistentFleetController {
+    devices: Vec<Option<AuthDevice<PhotonicPuf>>>,
+    store: CrpStore<AuthVerifier>,
+    jitter_rngs: Vec<StdRng>,
+    period: u64,
+    jitter: u64,
+    epochs_per_device: u32,
+    max_consecutive_failures: u32,
+    cfg: SessionConfig,
+    last_fire: Vec<u64>,
+    fails: Vec<u32>,
+    records: Vec<EpochRecord>,
+}
+
+impl KeepAlive for PersistentFleetController {
+    type Initiator = WireVerifier<AuthVerifier>;
+    type Responder = WireDevice<AuthDevice<PhotonicPuf>, PhotonicPuf>;
+
+    fn on_fire(
+        &mut self,
+        slot: usize,
+        epoch: u32,
+        now: u64,
+    ) -> Option<EpochSession<Self::Initiator, Self::Responder>> {
+        if epoch >= self.epochs_per_device {
+            // Epoch quota exhausted: the device leaves the fleet.
+            return None;
+        }
+        let device = self.devices[slot].take()?;
+        let Ok(verifier) = self.store.checkout(slot as u64) else {
+            // No enrollment record, no re-attestation: the device can
+            // only leave. (Unreachable when enrollment succeeded — the
+            // commit at every close returns the record.)
+            self.devices[slot] = Some(device);
+            return None;
+        };
+        self.last_fire[slot] = now;
+        // Same id schedule as the round-by-round sweep: globally unique
+        // so stale frames from earlier epochs can never key-match.
+        let sid = u64::from(epoch) * self.devices.len() as u64 + slot as u64 + 1;
+        Some(EpochSession {
+            protocol: ProtocolId::MutualAuth,
+            id: sid,
+            initiator: WireVerifier::new(verifier, sid, self.cfg),
+            responder: WireDevice::new(device, self.cfg),
+        })
+    }
+
+    fn on_close(
+        &mut self,
+        slot: usize,
+        epoch: u32,
+        _now: u64,
+        outcome: &EpochOutcome,
+        initiator: Self::Initiator,
+        responder: Self::Responder,
+    ) -> SlotVerdict {
+        let verifier = initiator.into_inner();
+        let device = responder.into_inner();
+        // Unreachable error by construction (every commit follows its
+        // own checkout); ignoring it keeps the controller panic-free.
+        let _ = self.store.commit(slot as u64, verifier);
+        self.devices[slot] = Some(device);
+        let (ok, ticks, error) = match &outcome.result {
+            Ok(t) => (true, *t, None),
+            Err(e) => (false, 0, Some(format!("{e:?}"))),
+        };
+        self.records.push(EpochRecord {
+            device: slot,
+            epoch,
+            ok,
+            ticks,
+            retransmits: outcome.retransmits,
+            missed: outcome.missed_deadline,
+            error,
+        });
+        if ok {
+            self.fails[slot] = 0;
+        } else {
+            self.fails[slot] += 1;
+            if self.max_consecutive_failures > 0
+                && self.fails[slot] >= self.max_consecutive_failures
+            {
+                return SlotVerdict::Evict;
+            }
+        }
+        let j = if self.jitter == 0 {
+            0
+        } else {
+            self.jitter_rngs[slot].gen_range(0..self.jitter + 1)
+        };
+        SlotVerdict::Rearm {
+            at: self.last_fire[slot] + self.period + j,
+        }
+    }
+}
+
+/// Runs the fleet on long-lived persistent sessions.
+///
+/// Provisioning and the shared lossy link mirror [`run_fleet`]'s
+/// control-link phase exactly (same die ids, memory pattern, seeds and
+/// link-seed derivation), so a zero-jitter persistent run is
+/// step-for-step comparable with a round-by-round sweep — the
+/// differential property the `fleet_round_equivalence` tests pin.
+///
+/// # Panics
+///
+/// Panics when `devices` is zero.
+pub fn run_fleet_persistent(
+    config: &PersistentFleetConfig,
+    tracer: &mut Tracer,
+    registry: &Registry,
+) -> PersistentFleetReport {
+    assert!(config.devices > 0, "fleet needs at least one device");
+    let mut store: CrpStore<AuthVerifier> = CrpStore::new(CrpStoreConfig {
+        shards: config.crp_shards,
+        hot_capacity: config.crp_hot_capacity,
+    });
+    let devices: Vec<Option<AuthDevice<PhotonicPuf>>> = (0..config.devices)
+        .map(|i| {
+            let die = DieId(0xF1_A000 + i as u64);
+            let memory: Vec<u8> = (0..256).map(|b| (b * 17 % 249) as u8).collect();
+            let Ok((mut device, provisioned)) =
+                AuthDevice::provision(PhotonicPuf::reference(die, 1), memory, b"fleet-auth")
+            else {
+                // A device whose PUF cannot provision never joins the
+                // fleet; its slot leaves at first fire.
+                return None;
+            };
+            if i < config.corrupted_devices {
+                device.corrupt_memory(100, 0xFF);
+            }
+            let verifier = AuthVerifier::new(provisioned, b"fleet-auth-verifier");
+            if store.enroll(i as u64, verifier).is_err() {
+                return None;
+            }
+            Some(device)
+        })
+        .collect();
+
+    // Per-device jitter streams: draws are taken per slot, so the
+    // schedule is independent of epoch close ordering.
+    let mut jitter_rngs: Vec<StdRng> = (0..config.devices)
+        .map(|i| StdRng::seed_from_u64(config.seed ^ 0x17E2_0000_0000_0000 ^ i as u64))
+        .collect();
+    let first_fire: Vec<u64> = jitter_rngs
+        .iter_mut()
+        .map(|rng| {
+            if config.jitter == 0 {
+                1
+            } else {
+                1 + rng.gen_range(0..config.jitter + 1)
+            }
+        })
+        .collect();
+
+    let mut controller = PersistentFleetController {
+        devices,
+        store,
+        jitter_rngs,
+        period: config.reattest_period,
+        jitter: config.jitter,
+        epochs_per_device: config.epochs_per_device,
+        max_consecutive_failures: config.max_consecutive_failures,
+        cfg: SessionConfig {
+            max_retries: config.session_retries,
+            ..SessionConfig::default()
+        },
+        last_fire: vec![0; config.devices],
+        fails: vec![0; config.devices],
+        records: Vec::new(),
+    };
+
+    let link_seed = config.seed ^ 0xA117_0000_0000_0000;
+    let mut link = FaultyChannel::new(FaultRates::loss(config.loss_rate), link_seed);
+    let gw = run_persistent_gateway(
+        &mut link,
+        &first_fire,
+        &mut controller,
+        PersistentConfig {
+            horizon: config.horizon,
+            epoch_budget: config.epoch_budget,
+        },
+        tracer,
+        registry,
+    );
+
+    let mut desync_recoveries = 0u64;
+    for i in 0..config.devices {
+        if let Some(verifier) = controller.store.peek(i as u64) {
+            desync_recoveries += verifier.desync_recoveries();
+        }
+    }
+    let crp = controller.store.stats();
+    controller.store.fold_into(registry);
+    registry.counter("fleet.persistent_desync_recoveries", desync_recoveries);
+
+    let mut records = controller.records;
+    records.sort_unstable_by_key(|r| (r.device, r.epoch));
+    PersistentFleetReport {
+        devices: config.devices,
+        joined: gw.joined,
+        left: gw.left,
+        evicted: gw.evicted,
+        ticks: gw.ticks,
+        epochs_fired: gw.epochs_fired,
+        epochs_completed: gw.epochs_completed,
+        epochs_failed: gw.epochs_failed,
+        epochs_missed: gw.epochs_missed,
+        retransmits: gw.retransmits,
+        desync_recoveries,
+        late_frames: gw.late_frames,
+        peak_live: gw.peak_live,
+        session_steps: gw.session_steps,
+        dense_equiv_steps: gw.dense_equiv_steps,
+        crp,
+        records,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use neuropuls_rt::trace::EventKind;
 
+    /// [`run_fleet`] with observability switched off.
+    fn quiet(config: &FleetConfig) -> FleetReport {
+        run_fleet(config, &mut Tracer::disabled(), &Registry::new())
+    }
+
     #[test]
     fn fleet_catches_every_compromised_device() {
-        let report = run_fleet(&FleetConfig::default());
+        let report = quiet(&FleetConfig::default());
         assert!(report.attestations > 0);
         assert_eq!(
             report.compromised_caught, report.compromised_planted,
@@ -508,11 +884,11 @@ mod tests {
 
     #[test]
     fn utilization_grows_with_fleet_size() {
-        let small = run_fleet(&FleetConfig {
+        let small = quiet(&FleetConfig {
             devices: 2,
             ..FleetConfig::default()
         });
-        let large = run_fleet(&FleetConfig {
+        let large = quiet(&FleetConfig {
             devices: 12,
             ..FleetConfig::default()
         });
@@ -524,7 +900,7 @@ mod tests {
 
     #[test]
     fn oversubscribed_verifier_builds_backlog() {
-        let report = run_fleet(&FleetConfig {
+        let report = quiet(&FleetConfig {
             devices: 24,
             period_us: 2.0,
             horizon_us: 20.0,
@@ -536,7 +912,7 @@ mod tests {
 
     #[test]
     fn empty_compromise_fraction_passes_everything() {
-        let report = run_fleet(&FleetConfig {
+        let report = quiet(&FleetConfig {
             compromised_fraction: 0.0,
             ..FleetConfig::default()
         });
@@ -552,7 +928,7 @@ mod tests {
     #[test]
     fn saturated_fleet_accounting_is_consistent() {
         for devices in [8, 32] {
-            let report = run_fleet(&FleetConfig {
+            let report = quiet(&FleetConfig {
                 devices,
                 period_us: 1.0,
                 horizon_us: 8.0,
@@ -574,7 +950,7 @@ mod tests {
 
     #[test]
     fn saturated_fleet_reports_nonzero_backlog_and_full_utilization() {
-        let report = run_fleet(&FleetConfig {
+        let report = quiet(&FleetConfig {
             devices: 32,
             period_us: 1.0,
             horizon_us: 8.0,
@@ -593,8 +969,8 @@ mod tests {
             horizon_us: 20.0,
             ..FleetConfig::default()
         };
-        let one = run_fleet(&saturated);
-        let four = run_fleet(&FleetConfig {
+        let one = quiet(&saturated);
+        let four = quiet(&FleetConfig {
             verifiers: 4,
             ..saturated
         });
@@ -615,7 +991,7 @@ mod tests {
 
     #[test]
     fn lossy_control_link_still_authenticates_the_fleet() {
-        let report = run_fleet(&FleetConfig {
+        let report = quiet(&FleetConfig {
             auth_sessions: 3,
             auth_loss_rate: 0.2,
             ..FleetConfig::default()
@@ -633,7 +1009,7 @@ mod tests {
 
     #[test]
     fn disabling_auth_sessions_skips_the_control_link_phase() {
-        let report = run_fleet(&FleetConfig {
+        let report = quiet(&FleetConfig {
             auth_sessions: 0,
             ..FleetConfig::default()
         });
@@ -658,7 +1034,7 @@ mod tests {
             ..FleetConfig::default()
         };
         let registry = Registry::new();
-        let report = run_fleet_traced(&config, &mut Tracer::disabled(), &registry);
+        let report = run_fleet(&config, &mut Tracer::disabled(), &registry);
         assert_eq!(report.auth_attempted, 12 * 3);
         assert_eq!(report.auth_completed, report.auth_attempted, "{report:?}");
         assert!(report.auth_gateway_ticks > 0);
@@ -679,7 +1055,7 @@ mod tests {
     /// hot capacity.
     #[test]
     fn undersized_crp_cache_thrashes() {
-        let report = run_fleet(&FleetConfig {
+        let report = quiet(&FleetConfig {
             devices: 12,
             auth_sessions: 2,
             crp_shards: 1,
@@ -698,10 +1074,10 @@ mod tests {
     #[test]
     fn traced_fleet_matches_untraced_and_records_metrics() {
         let config = FleetConfig::default();
-        let untraced = run_fleet(&config);
+        let untraced = quiet(&config);
         let mut tracer = Tracer::new();
         let registry = Registry::new();
-        let traced = run_fleet_traced(&config, &mut tracer, &registry);
+        let traced = run_fleet(&config, &mut tracer, &registry);
         assert_eq!(traced, untraced, "tracing must not perturb the sim");
         assert_eq!(
             registry.counter_value("fleet.requests") as usize,
@@ -743,7 +1119,7 @@ mod tests {
 
     #[test]
     fn idle_fleet_has_no_backlog_and_low_utilization() {
-        let report = run_fleet(&FleetConfig {
+        let report = quiet(&FleetConfig {
             devices: 1,
             period_us: 50.0,
             horizon_us: 100.0,
@@ -751,5 +1127,113 @@ mod tests {
         });
         assert_eq!(report.max_backlog, 0, "{report:?}");
         assert!(report.verifier_utilization < 0.1, "{report:?}");
+    }
+
+    /// [`run_fleet_persistent`] with observability switched off.
+    fn quiet_persistent(config: &PersistentFleetConfig) -> PersistentFleetReport {
+        run_fleet_persistent(config, &mut Tracer::disabled(), &Registry::new())
+    }
+
+    #[test]
+    fn persistent_fleet_completes_every_epoch_over_lossy_link() {
+        let config = PersistentFleetConfig::default();
+        let report = quiet_persistent(&config);
+        let expected = (config.devices as u64) * u64::from(config.epochs_per_device);
+        assert_eq!(report.joined, config.devices);
+        assert_eq!(report.epochs_fired, expected);
+        assert_eq!(
+            report.epochs_completed, expected,
+            "ARQ should carry every re-attestation through 10% loss: {report:?}"
+        );
+        assert!(report.epochs_conserved(), "{report:?}");
+        assert_eq!(report.left, config.devices, "epoch quota ends residency");
+        assert_eq!(report.evicted, 0);
+        assert!(
+            report.step_saving() > 5.0,
+            "mostly-idle slots must not be polled: {report:?}"
+        );
+    }
+
+    #[test]
+    fn persistent_fleet_evicts_tampered_device_and_keeps_the_rest() {
+        let config = PersistentFleetConfig {
+            corrupted_devices: 1,
+            ..PersistentFleetConfig::default()
+        };
+        let report = quiet_persistent(&config);
+        assert_eq!(report.evicted, 1, "{report:?}");
+        assert_eq!(report.left, config.devices - 1);
+        let bad: Vec<&EpochRecord> = report.records.iter().filter(|r| r.device == 0).collect();
+        assert_eq!(
+            bad.len(),
+            config.max_consecutive_failures as usize,
+            "evicted after exactly max consecutive failures: {bad:?}"
+        );
+        assert!(bad.iter().all(|r| !r.ok));
+        let healthy_completed = report
+            .records
+            .iter()
+            .filter(|r| r.device != 0 && r.ok)
+            .count() as u64;
+        assert_eq!(
+            healthy_completed,
+            (config.devices as u64 - 1) * u64::from(config.epochs_per_device),
+            "{report:?}"
+        );
+        assert!(report.epochs_conserved(), "{report:?}");
+    }
+
+    /// The persistent driver books CRP traffic through the same sharded
+    /// store discipline as the round-by-round sweep: one exclusive
+    /// checkout and one commit per fired epoch.
+    #[test]
+    fn persistent_fleet_checks_crp_records_out_per_epoch() {
+        let config = PersistentFleetConfig {
+            devices: 6,
+            jitter: 0,
+            ..PersistentFleetConfig::default()
+        };
+        let report = quiet_persistent(&config);
+        assert_eq!(report.crp.commits, report.epochs_fired);
+        assert_eq!(
+            report.crp.hits + report.crp.misses,
+            report.epochs_fired,
+            "{report:?}"
+        );
+        assert_eq!(report.crp.misses, 6, "first touch of each record is cold");
+    }
+
+    /// Aggregate cross-check against the real round-by-round driver: a
+    /// zero-jitter persistent run and `run_fleet`'s control-link phase
+    /// complete the same sessions with the same retransmission spend
+    /// and desync recoveries over the same seeded link.
+    #[test]
+    fn persistent_fleet_aggregates_match_round_by_round_run_fleet() {
+        let seed = 0x0E0C_AB1E;
+        let persistent = quiet_persistent(&PersistentFleetConfig {
+            devices: 6,
+            reattest_period: 512,
+            jitter: 0,
+            epochs_per_device: 2,
+            epoch_budget: 0,
+            max_consecutive_failures: 0,
+            corrupted_devices: 0,
+            loss_rate: 0.1,
+            seed,
+            horizon: 1 << 14,
+            ..PersistentFleetConfig::default()
+        });
+        let rounds = quiet(&FleetConfig {
+            devices: 6,
+            auth_sessions: 2,
+            auth_loss_rate: 0.1,
+            seed,
+            ..FleetConfig::default()
+        });
+        assert_eq!(persistent.epochs_fired as usize, rounds.auth_attempted);
+        assert_eq!(persistent.epochs_completed as usize, rounds.auth_completed);
+        assert_eq!(persistent.retransmits, rounds.auth_retransmits, "same wire");
+        assert_eq!(persistent.desync_recoveries, rounds.auth_desync_recoveries);
+        assert_eq!(persistent.crp.commits, rounds.crp.commits);
     }
 }

@@ -1,0 +1,205 @@
+//! Differential oracle for the persistent fleet (ISSUE 9 tentpole):
+//! a zero-jitter persistent run's per-epoch attestation outcomes must
+//! be **byte-identical** to an equivalent sequence of round-by-round
+//! gateway sweeps over the same seeded lossy link — at any
+//! `NEUROPULS_THREADS`.
+//!
+//! The reference sweep reimplements `run_fleet`'s control-link recipe
+//! verbatim (die ids, memory pattern, provision seeds, session-id
+//! schedule, link-seed derivation, inter-round drain) on top of the
+//! plain [`run_gateway`] driver, so the two drivers share *no*
+//! scheduling code: the dense round loop and the timer-wheel keep-alive
+//! loop arrive at the same frames, the same retransmit spend, and the
+//! same per-epoch verdicts independently.
+
+use neuropuls_photonic::process::DieId;
+use neuropuls_protocols::gateway::{run_gateway, GatewayConfig, SessionPair};
+use neuropuls_protocols::mutual_auth::{Device, Verifier, WireDevice, WireVerifier};
+use neuropuls_protocols::transport::{FaultRates, FaultyChannel};
+use neuropuls_protocols::wire::{ProtocolId, SessionConfig};
+use neuropuls_puf::photonic::PhotonicPuf;
+use neuropuls_rt::pool::with_threads;
+use neuropuls_rt::prelude::*;
+use neuropuls_rt::trace::{Registry, Tracer};
+use neuropuls_system::fleet::{
+    run_fleet, run_fleet_persistent, EpochRecord, FleetConfig, PersistentFleetConfig,
+};
+
+/// The persistent-fleet configuration the oracle compares: zero jitter
+/// (aligned cohorts), unbounded epoch budget, no eviction — the shape
+/// in which "persistent sessions" and "a sweep per round" describe the
+/// same protocol work.
+fn oracle_config(devices: usize, epochs: u32, loss: f64, seed: u64) -> PersistentFleetConfig {
+    let period = 512u64;
+    PersistentFleetConfig {
+        devices,
+        reattest_period: period,
+        jitter: 0,
+        epochs_per_device: epochs,
+        epoch_budget: 0,
+        max_consecutive_failures: 0,
+        corrupted_devices: 0,
+        loss_rate: loss,
+        seed,
+        crp_shards: 4,
+        crp_hot_capacity: 4,
+        horizon: period * (u64::from(epochs) + 2) + 4096,
+        // max_retries must match the round-by-round sweep's
+        // SessionConfig::default() for byte-identity.
+        ..PersistentFleetConfig::default()
+    }
+}
+
+/// Round-by-round reference: provisions the fleet exactly like
+/// `run_fleet`'s control-link phase and runs one dense [`run_gateway`]
+/// sweep per epoch over one shared link, draining stragglers between
+/// rounds. Returns per-epoch records shaped like
+/// [`PersistentFleetReport::records`].
+fn round_by_round_records(devices: usize, epochs: u32, loss: f64, seed: u64) -> Vec<EpochRecord> {
+    let cfg = SessionConfig::default();
+    let mut devs: Vec<Device<PhotonicPuf>> = Vec::new();
+    let mut vers: Vec<Verifier> = Vec::new();
+    for i in 0..devices {
+        let die = DieId(0xF1_A000 + i as u64);
+        let memory: Vec<u8> = (0..256).map(|b| (b * 17 % 249) as u8).collect();
+        let (device, provisioned) =
+            Device::provision(PhotonicPuf::reference(die, 1), memory, b"fleet-auth")
+                .expect("reference PUF provisions");
+        devs.push(device);
+        vers.push(Verifier::new(provisioned, b"fleet-auth-verifier"));
+    }
+    let mut link = FaultyChannel::new(FaultRates::loss(loss), seed ^ 0xA117_0000_0000_0000);
+    let gateway_cfg = GatewayConfig {
+        max_active: 64,
+        accept_queue: 16,
+        max_ticks: 4096.max(devices as u64 * 64),
+    };
+    let mut records = Vec::new();
+    for round in 0..epochs {
+        let mut sessions: Vec<SessionPair<'_>> = Vec::new();
+        for (i, (device, verifier)) in devs.iter_mut().zip(vers.iter_mut()).enumerate() {
+            let sid = u64::from(round) * devices as u64 + i as u64 + 1;
+            sessions.push(SessionPair {
+                protocol: ProtocolId::MutualAuth,
+                id: sid,
+                initiator: Box::new(WireVerifier::new(&mut *verifier, sid, cfg)),
+                responder: Box::new(WireDevice::new(&mut *device, cfg)),
+            });
+        }
+        let gw = run_gateway(
+            &mut link,
+            sessions,
+            gateway_cfg,
+            &mut Tracer::disabled(),
+            &Registry::new(),
+        );
+        link.drain_late();
+        for (i, out) in gw.outcomes.iter().enumerate() {
+            records.push(EpochRecord {
+                device: i,
+                epoch: round,
+                ok: out.result.is_ok(),
+                ticks: *out.result.as_ref().unwrap_or(&0),
+                retransmits: out.retransmits,
+                missed: false,
+                error: out.result.as_ref().err().map(|e| format!("{e:?}")),
+            });
+        }
+    }
+    records.sort_unstable_by_key(|r| (r.device, r.epoch));
+    records
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// The tentpole property: persistent per-epoch outcomes ==
+    /// round-by-round sweep outcomes, byte for byte, at 1 and at 8
+    /// worker threads.
+    #[test]
+    fn persistent_epochs_match_round_by_round_sweeps_at_any_thread_count(
+        devices in 1usize..10,
+        epochs in 1u32..4,
+        loss_step in 0u32..3,
+        seed in 0u64..0x0010_0000_0000,
+    ) {
+        let loss = f64::from(loss_step) * 0.1;
+        let expected = round_by_round_records(devices, epochs, loss, seed);
+        for threads in [1usize, 8] {
+            let report = with_threads(threads, || {
+                run_fleet_persistent(
+                    &oracle_config(devices, epochs, loss, seed),
+                    &mut Tracer::disabled(),
+                    &Registry::new(),
+                )
+            });
+            prop_assert_eq!(report.epochs_fired, devices as u64 * u64::from(epochs));
+            prop_assert!(report.epochs_conserved(), "lost epochs: {report:?}");
+            prop_assert!(
+                report.records == expected,
+                "threads={threads}: {:?} != {:?}",
+                report.records,
+                expected
+            );
+        }
+    }
+}
+
+/// A pinned non-property instance of the oracle, kept cheap enough for
+/// every CI run even if the property above is ever scaled down.
+#[test]
+fn pinned_oracle_case_is_byte_identical_at_1_and_8_threads() {
+    let (devices, epochs, loss, seed) = (7usize, 3u32, 0.1, 0x0E0C_AB1E_u64);
+    let expected = round_by_round_records(devices, epochs, loss, seed);
+    assert!(
+        expected.iter().filter(|r| r.ok).count() > 0,
+        "oracle case must exercise successful epochs"
+    );
+    let one = with_threads(1, || {
+        run_fleet_persistent(
+            &oracle_config(devices, epochs, loss, seed),
+            &mut Tracer::disabled(),
+            &Registry::new(),
+        )
+    });
+    let eight = with_threads(8, || {
+        run_fleet_persistent(
+            &oracle_config(devices, epochs, loss, seed),
+            &mut Tracer::disabled(),
+            &Registry::new(),
+        )
+    });
+    assert_eq!(one.records, expected);
+    assert_eq!(eight.records, expected);
+    assert_eq!(one.retransmits, eight.retransmits);
+    assert_eq!(one.session_steps, eight.session_steps);
+}
+
+/// The aggregates of the persistent run agree with the *real*
+/// round-by-round driver (`run_fleet`'s control-link phase), guarding
+/// the reference reimplementation above against drift from the real
+/// recipe.
+#[test]
+fn persistent_aggregates_match_real_run_fleet_at_both_thread_counts() {
+    let seed = 0x005E_ED0F_1EE7_u64;
+    let fleet_config = FleetConfig {
+        devices: 6,
+        auth_sessions: 2,
+        auth_loss_rate: 0.1,
+        seed,
+        ..FleetConfig::default()
+    };
+    let rounds = run_fleet(&fleet_config, &mut Tracer::disabled(), &Registry::new());
+    for threads in [1usize, 8] {
+        let persistent = with_threads(threads, || {
+            run_fleet_persistent(
+                &oracle_config(6, 2, 0.1, seed),
+                &mut Tracer::disabled(),
+                &Registry::new(),
+            )
+        });
+        assert_eq!(persistent.epochs_fired as usize, rounds.auth_attempted);
+        assert_eq!(persistent.epochs_completed as usize, rounds.auth_completed);
+        assert_eq!(persistent.retransmits, rounds.auth_retransmits);
+        assert_eq!(persistent.desync_recoveries, rounds.auth_desync_recoveries);
+    }
+}

@@ -23,6 +23,14 @@
 # ones. Lower the constant when sites are converted; never raise it
 # without a review of every remaining site.
 #
+# This static gate is paired with a dynamic one:
+# crates/protocols/tests/decoder_robustness.rs drives every wire
+# decoder (Envelope framing plus each §III message and message-enum
+# FromBytes impl) with truncated, bit-flipped, tag-swept and seeded
+# random inputs, demonstrating at runtime that the decoding paths reach
+# none of the budgeted sites — hostile bytes come back as typed
+# CodecErrors. Decoder changes must keep both gates green.
+#
 # Usage: scripts/check_no_panics.sh
 
 set -euo pipefail

@@ -37,7 +37,9 @@ use neuropuls_protocols::wire::{ProtocolId, SessionConfig};
 use neuropuls_puf::bits::Response;
 use neuropuls_puf::photonic::PhotonicPuf;
 use neuropuls_rt::trace::{Registry, Tracer};
-use neuropuls_system::fleet::{run_fleet_traced, FleetConfig};
+use neuropuls_system::fleet::{
+    run_fleet, run_fleet_persistent, FleetConfig, PersistentFleetConfig,
+};
 use std::path::PathBuf;
 
 /// Compares `jsonl` against `tests/golden/{name}.trace`, or rewrites the
@@ -180,9 +182,39 @@ fn golden_fleet_attestation_round() {
     };
     let mut tracer = Tracer::new();
     let registry = Registry::new();
-    let report = run_fleet_traced(&config, &mut tracer, &registry);
+    let report = run_fleet(&config, &mut tracer, &registry);
     assert!(report.attestations > 0, "{report:?}");
     check_golden("fleet_round", &tracer.to_jsonl());
+}
+
+/// A small keep-alive fleet across two re-attestation epochs with one
+/// tampered device: the fixture pins the persistent gateway's timer
+/// schedule (jittered fires, idle fast-forwards), the per-epoch session
+/// traces and the consecutive-failure eviction of the tampered slot.
+#[test]
+fn golden_persistent_fleet_sessions() {
+    let config = PersistentFleetConfig {
+        devices: 3,
+        reattest_period: 200,
+        jitter: 16,
+        epochs_per_device: 2,
+        epoch_budget: 64,
+        max_consecutive_failures: 2,
+        corrupted_devices: 1,
+        loss_rate: 0.1,
+        seed: 0x0006_01DF_1EE7,
+        crp_shards: 2,
+        crp_hot_capacity: 2,
+        horizon: 2048,
+        ..PersistentFleetConfig::default()
+    };
+    let mut tracer = Tracer::new();
+    let registry = Registry::new();
+    let report = run_fleet_persistent(&config, &mut tracer, &registry);
+    assert_eq!(report.evicted, 1, "{report:?}");
+    assert_eq!(report.left, 2, "{report:?}");
+    assert!(report.epochs_completed >= 4, "{report:?}");
+    check_golden("fleet_persistent", &tracer.to_jsonl());
 }
 
 /// One session of every §III protocol multiplexed over a single lossy
