@@ -11,19 +11,24 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use neuropuls_protocols::eke::{EkeParty, WireEkeInitiator, WireEkeResponder};
 use neuropuls_protocols::error::ProtocolError;
+use neuropuls_protocols::gateway::{
+    run_gateway, AdmissionPolicy, ClassId, GatewayConfig, SessionPair,
+};
 use neuropuls_protocols::mutual_auth::{
-    run_wire_session, Device, DeviceAuth, Verifier, WireVerifier,
+    run_wire_session, Device, DeviceAuth, Verifier, WireDevice, WireVerifier,
 };
 use neuropuls_protocols::transport::{Channel, FaultRates, FaultyChannel, MitmVerdict, Side};
 use neuropuls_protocols::wire::{
     drive_report, Envelope, MutualAuthMsg, ProtocolId, Session, SessionAction, SessionConfig,
     DEFAULT_MAX_TICKS,
 };
+use neuropuls_puf::bits::Response;
 use neuropuls_puf::traits::Puf;
 use neuropuls_rt::codec::{FromBytes, ToBytes};
 use neuropuls_rt::rngs::StdRng;
-use neuropuls_rt::trace::Tracer;
+use neuropuls_rt::trace::{Registry, Tracer};
 use neuropuls_rt::{Rng, SeedableRng};
 
 /// Result of one adversarial campaign.
@@ -333,6 +338,107 @@ pub fn desync_suppression_campaign<P: Puf>(
     })
 }
 
+/// Result of one admission-flood campaign against the gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloodOutcome {
+    /// Flood sessions the adversary queued ahead of the victims.
+    pub flood_sessions: usize,
+    /// Victim authentication sessions queued behind the flood.
+    pub victim_sessions: usize,
+    /// Victims the gateway admitted before the tick budget ran out.
+    pub victims_admitted: usize,
+    /// Victims that completed their authentication.
+    pub victims_completed: usize,
+    /// Ticks the run actually consumed.
+    pub ticks: u64,
+}
+
+/// Admission-flood campaign: a denial-of-service adversary who cannot
+/// break any protocol but *can* open sessions floods the gateway's
+/// accept queue with `flood` cheap key-exchange sessions (tagged as
+/// bulk [`ClassId::INFERENCE`] traffic) queued ahead of the genuine
+/// [`ClassId::CONTROL_AUTH`] authentication sessions, then lets the
+/// gateway run under a bounded tick budget.
+///
+/// The outcome depends entirely on the admission policy: a FIFO
+/// backlog serves the flood in arrival order, so a budget smaller than
+/// the flood's drain time starves every victim (none admitted, none
+/// completed); a class-aware policy alternates admissions between the
+/// flood class and the victim class, so the victims complete no matter
+/// how deep the flood is.
+pub fn admission_flood_campaign<P: Puf>(
+    victims: &mut [(Device<P>, Verifier)],
+    flood: usize,
+    max_ticks: u64,
+    policy: Box<dyn AdmissionPolicy>,
+) -> FloodOutcome {
+    let cfg = SessionConfig::default();
+    let mut flood_parties: Vec<(EkeParty, EkeParty)> = (0..flood as u64)
+        .map(|i| {
+            let crp = Response::from_u64(0xF100D ^ i, 63);
+            (
+                EkeParty::new(&crp, format!("flood-init-{i}").as_bytes()),
+                EkeParty::new(&crp, format!("flood-resp-{i}").as_bytes()),
+            )
+        })
+        .collect();
+
+    let mut sessions: Vec<SessionPair<'_>> = Vec::with_capacity(flood + victims.len());
+    for (i, (initiator, responder)) in flood_parties.iter_mut().enumerate() {
+        let sid = i as u64 + 1;
+        sessions.push(
+            SessionPair::new(
+                ProtocolId::Eke,
+                sid,
+                Box::new(WireEkeInitiator::new(initiator, sid, cfg)),
+                Box::new(WireEkeResponder::new(responder, cfg)),
+            )
+            .with_class(ClassId::INFERENCE),
+        );
+    }
+    for (i, (device, verifier)) in victims.iter_mut().enumerate() {
+        let sid = (flood + i) as u64 + 1;
+        sessions.push(
+            SessionPair::new(
+                ProtocolId::MutualAuth,
+                sid,
+                Box::new(WireVerifier::new(verifier, sid, cfg)),
+                Box::new(WireDevice::new(device, cfg)),
+            )
+            .with_class(ClassId::CONTROL_AUTH),
+        );
+    }
+    let victim_sessions = sessions.len() - flood;
+
+    let mut link = Channel::new();
+    let report = run_gateway(
+        &mut link,
+        sessions,
+        GatewayConfig {
+            max_active: 8,
+            accept_queue: 8,
+            max_ticks,
+            policy,
+        },
+        &mut Tracer::disabled(),
+        &Registry::new(),
+    );
+    let victim_outcomes = report
+        .outcomes
+        .iter()
+        .filter(|o| o.class == ClassId::CONTROL_AUTH);
+    FloodOutcome {
+        flood_sessions: flood,
+        victim_sessions,
+        victims_admitted: victim_outcomes
+            .clone()
+            .filter(|o| o.admitted_at.is_some())
+            .count(),
+        victims_completed: victim_outcomes.filter(|o| o.result.is_ok()).count(),
+        ticks: report.ticks,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,6 +482,45 @@ mod tests {
         assert_eq!(outcome.successes, 0);
         // Every suppressed session forced one previous-CRP recovery.
         assert_eq!(verifier.desync_recoveries(), 6);
+    }
+
+    #[test]
+    fn admission_flood_starves_fifo_but_not_dwrr() {
+        use neuropuls_protocols::gateway::{DeficitWeightedRoundRobin, Fifo};
+        let flood = 64;
+        let fresh_victims = || -> Vec<(Device<PhotonicPuf>, Verifier)> {
+            (0..4).map(|i| pair(0xF100 + i)).collect()
+        };
+
+        // Probe: how long does the whole mix take to drain under FIFO?
+        let mut victims = fresh_victims();
+        let probe = admission_flood_campaign(&mut victims, flood, u64::MAX, Box::new(Fifo::new()));
+        assert_eq!(probe.victims_completed, 4, "unconstrained run completes");
+
+        // A tick budget covering only a fraction of the flood: FIFO
+        // serves the flood in arrival order and never reaches the
+        // victims...
+        let budget = probe.ticks / 4;
+        let mut victims = fresh_victims();
+        let starved = admission_flood_campaign(&mut victims, flood, budget, Box::new(Fifo::new()));
+        assert_eq!(starved.victims_admitted, 0, "{starved:?}");
+        assert_eq!(starved.victims_completed, 0, "{starved:?}");
+
+        // ...while equal-weight DWRR alternates the victim class with
+        // the flood class and completes every authentication under the
+        // same budget and the same adversary.
+        let mut victims = fresh_victims();
+        let protected = admission_flood_campaign(
+            &mut victims,
+            flood,
+            budget,
+            Box::new(
+                DeficitWeightedRoundRobin::new()
+                    .with_weight(ClassId::INFERENCE, 1)
+                    .with_weight(ClassId::CONTROL_AUTH, 1),
+            ),
+        );
+        assert_eq!(protected.victims_completed, 4, "{protected:?}");
     }
 
     #[test]

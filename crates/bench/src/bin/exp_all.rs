@@ -57,6 +57,7 @@ fn runners() -> Vec<Runner> {
         ("E21", |s| experiments::accel_throughput::run(s).0),
         ("E22", |s| experiments::sched_scaling::run(s).0),
         ("E23", |s| experiments::fleet_longrun::run(s).0),
+        ("E24", |s| experiments::admission::run(s).0),
     ]
 }
 

@@ -85,6 +85,7 @@ fn run_cell(cell: Cell) -> (CellResult, Registry) {
         max_active: 512,
         accept_queue: 64,
         max_ticks: 8192.max(cell.sessions as u64 * 64),
+        ..GatewayConfig::default()
     };
 
     let mut attempted = 0usize;
@@ -104,17 +105,17 @@ fn run_cell(cell: Cell) -> (CellResult, Registry) {
         let mut sessions: Vec<SessionPair<'_>> = Vec::new();
         for ((i, device), (_, verifier)) in devices.iter_mut().zip(checked.iter_mut()) {
             let sid = (round as u64) * (cell.sessions as u64) + *i + 1;
-            sessions.push(SessionPair {
-                protocol: ProtocolId::MutualAuth,
-                id: sid,
-                initiator: Box::new(WireVerifier::new(verifier, sid, SessionConfig::default())),
-                responder: Box::new(WireDevice::new(device, SessionConfig::default())),
-            });
+            sessions.push(SessionPair::new(
+                ProtocolId::MutualAuth,
+                sid,
+                Box::new(WireVerifier::new(verifier, sid, SessionConfig::default())),
+                Box::new(WireDevice::new(device, SessionConfig::default())),
+            ));
         }
         let gw = run_gateway(
             &mut link,
             sessions,
-            gateway_cfg,
+            gateway_cfg.clone(),
             &mut Tracer::disabled(),
             &registry,
         );

@@ -1,6 +1,7 @@
 //! All experiments, indexed as in `DESIGN.md`.
 
 pub mod accel_throughput;
+pub mod admission;
 pub mod aging;
 pub mod analog;
 pub mod attestation;

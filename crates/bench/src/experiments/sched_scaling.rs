@@ -96,12 +96,12 @@ fn run_cell(cell: Cell) -> CellResult {
     let mut sessions: Vec<SessionPair<'_>> = Vec::new();
     for (i, (device, verifier)) in parties.iter_mut().enumerate() {
         let sid = i as u64 + 1;
-        sessions.push(SessionPair {
-            protocol: ProtocolId::MutualAuth,
-            id: sid,
-            initiator: Box::new(WireVerifier::new(verifier, sid, idle_cfg)),
-            responder: Box::new(WireDevice::new(device, idle_cfg)),
-        });
+        sessions.push(SessionPair::new(
+            ProtocolId::MutualAuth,
+            sid,
+            Box::new(WireVerifier::new(verifier, sid, idle_cfg)),
+            Box::new(WireDevice::new(device, idle_cfg)),
+        ));
     }
 
     let seed = 0xE22_u64 ^ ((cell.sessions as u64) << 24) ^ (cell.loss * 1000.0) as u64;
@@ -113,6 +113,7 @@ fn run_cell(cell: Cell) -> CellResult {
         max_active: cell.sessions,
         accept_queue: cell.sessions.max(1),
         max_ticks: 16_384,
+        ..GatewayConfig::default()
     };
     let report = run_gateway(
         &mut link,

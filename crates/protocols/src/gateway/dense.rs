@@ -1,0 +1,530 @@
+//! The batch driver: a fixed set of sessions run to completion over
+//! one shared transport, with policy-ordered admission.
+
+use super::admission::{AdmissionPolicy, AdmissionRequest, ClassId, Fifo};
+use super::protocol_label;
+use super::report::{build_class_reports, ClassAcc, GatewayOutcome, GatewayReport};
+use super::slot::{
+    dense_steps_at_close, dense_steps_unfinished, runnable_order, step_wake, token_side,
+    wake_token, SessionPair, Slot, SlotState, WakeState,
+};
+use crate::error::ProtocolError;
+use crate::transport::{Side, Transport};
+use crate::wire::{Envelope, ProtocolId};
+use neuropuls_rt::codec::FromBytes;
+use neuropuls_rt::sched::TimerWheel;
+use neuropuls_rt::trace::{Registry, Tracer, Value};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Capacity, budget and policy knobs of one gateway run.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Sessions running concurrently (ARQ clocks ticking).
+    pub max_active: usize,
+    /// Sessions staged for admission; overflow waits in the backlog.
+    pub accept_queue: usize,
+    /// Total tick budget for the whole run.
+    pub max_ticks: u64,
+    /// Backlog ordering discipline. The default [`Fifo`] reproduces
+    /// the pre-policy gateway byte for byte; cloning a config clones
+    /// the policy's *configuration* (weights, SLA offsets), never
+    /// queued state.
+    pub policy: Box<dyn AdmissionPolicy>,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            max_active: 64,
+            accept_queue: 16,
+            max_ticks: 4096,
+            policy: Box::new(Fifo::new()),
+        }
+    }
+}
+
+/// Runs every session in `sessions` to completion (or failure) over the
+/// shared `transport`, multiplexing frames by their envelope key.
+///
+/// Instrumentation: one `gateway.session` span per session (admission
+/// to close, carrying protocol, ticks and retransmits), instants for
+/// late / unroutable frames, and `gateway.*` counters plus a
+/// `gateway.session_ticks` histogram and per-class
+/// `gateway.class.<label>.*` admission accounting folded into
+/// `registry`. Pass [`Tracer::disabled`] and a throwaway [`Registry`]
+/// for an uninstrumented run.
+///
+/// The report is total: every submitted session appears in
+/// [`GatewayReport::outcomes`] exactly once, on every path. Duplicate
+/// `(protocol, id)` keys fail the later session immediately with
+/// [`ProtocolError::OutOfOrder`] rather than corrupting the demux.
+pub fn run_gateway<T: Transport>(
+    transport: &mut T,
+    sessions: Vec<SessionPair<'_>>,
+    config: GatewayConfig,
+    tracer: &mut Tracer,
+    registry: &Registry,
+) -> GatewayReport {
+    let GatewayConfig {
+        max_active,
+        accept_queue,
+        max_ticks,
+        mut policy,
+    } = config;
+    let policy_name = policy.name();
+    let mut slots: Vec<Slot<'_>> = sessions
+        .into_iter()
+        .map(|pair| Slot {
+            pair,
+            state: SlotState::Backlog,
+            inbox_a: VecDeque::new(),
+            inbox_b: VecDeque::new(),
+            admitted_at: None,
+            ticks_active: 0,
+            result: None,
+            wake_a: WakeState::default(),
+            wake_b: WakeState::default(),
+            failed_side: None,
+        })
+        .collect();
+    registry.counter("gateway.sessions", slots.len() as u64);
+
+    // Demux table: envelope key -> slot index. A key maps to at most
+    // one *open* slot; closed slots move to `closed_keys` so stragglers
+    // are recognized as late rather than unroutable.
+    let mut routes: BTreeMap<(ProtocolId, u64), usize> = BTreeMap::new();
+    // Slots that actually entered the backlog (duplicates never do);
+    // only these carry a backlog wait in the per-class accounting.
+    let mut enqueued: Vec<bool> = vec![false; slots.len()];
+    for (idx, slot) in slots.iter_mut().enumerate() {
+        let key = (slot.pair.protocol, slot.pair.id);
+        match routes.entry(key) {
+            std::collections::btree_map::Entry::Vacant(entry) => {
+                entry.insert(idx);
+                // The admission deadline the session announced at
+                // submission: the earlier of the two sides' first
+                // wakes (frame-driven sides announce none).
+                let deadline = [
+                    slot.pair.initiator.next_wake().admission_deadline(0),
+                    slot.pair.responder.next_wake().admission_deadline(0),
+                ]
+                .into_iter()
+                .flatten()
+                .min();
+                policy.push(AdmissionRequest {
+                    idx,
+                    class: slot.pair.class,
+                    submitted: 0,
+                    deadline,
+                });
+                enqueued[idx] = true;
+            }
+            std::collections::btree_map::Entry::Occupied(_) => {
+                slot.close(Err(ProtocolError::OutOfOrder(format!(
+                    "duplicate gateway session key {}",
+                    slot.pair.key_label()
+                ))));
+            }
+        }
+    }
+
+    let mut staged: VecDeque<usize> = VecDeque::new();
+    let mut active: Vec<usize> = Vec::new();
+    // position[idx] = index of slot `idx` inside `active` (usize::MAX
+    // when not active); keeps rotation-key lookups O(1).
+    let mut position: Vec<usize> = vec![usize::MAX; slots.len()];
+    let mut late_frames = 0u64;
+    let mut unroutable_frames = 0u64;
+    let mut undecodable_frames = 0u64;
+    let mut peak_active = 0usize;
+    let mut peak_staged = 0usize;
+    let mut ticks = 0u64;
+    let mut open = slots.iter().filter(|s| s.result.is_none()).count();
+
+    // Event-driven scheduling state: ARQ deadlines live in the timer
+    // wheel; `carry_*` holds sides whose inbox still has queued frames
+    // after this tick's step (runnable again next tick, like the dense
+    // loop's one-frame-per-tick cadence); `session_steps` counts real
+    // `Session::step` calls for the O(runnable) claim.
+    let mut wheel = TimerWheel::new();
+    let mut fired: Vec<(u64, u64)> = Vec::new();
+    let mut carry_a: Vec<usize> = Vec::new();
+    let mut carry_b: Vec<usize> = Vec::new();
+    let mut touched: Vec<usize> = Vec::new();
+    let mut session_steps = 0u64;
+    let mut dense_equiv_steps = 0u64;
+
+    let mut route = |transport: &mut T,
+                     side: Side,
+                     slots: &mut Vec<Slot<'_>>,
+                     tracer: &mut Tracer,
+                     tick: u64,
+                     pending: &mut Vec<usize>| {
+        while let Some(frame) = transport.recv(side) {
+            let Ok(env) = Envelope::from_bytes(&frame) else {
+                undecodable_frames += 1;
+                continue;
+            };
+            match routes.get(&(env.protocol, env.session)) {
+                Some(&idx) => {
+                    // invariant: `routes` only holds indices produced by
+                    // enumerate() over `slots`, which never shrinks.
+                    let Some(slot) = slots.get_mut(idx) else {
+                        unroutable_frames += 1;
+                        continue;
+                    };
+                    if matches!(slot.state, SlotState::Closed) {
+                        late_frames += 1;
+                        if tracer.is_enabled() {
+                            tracer.instant(
+                                tick,
+                                "gateway.late_frame",
+                                vec![
+                                    ("protocol", Value::from(protocol_label(env.protocol))),
+                                    ("session", Value::from(env.session)),
+                                ],
+                            );
+                        }
+                    } else {
+                        if side == Side::A {
+                            slot.inbox_a.push_back(frame);
+                        } else {
+                            slot.inbox_b.push_back(frame);
+                        }
+                        // A frame makes an active side runnable this
+                        // tick; staged slots keep it queued and become
+                        // runnable at admission instead.
+                        if matches!(slot.state, SlotState::Active) {
+                            pending.push(idx);
+                        }
+                    }
+                }
+                None => {
+                    unroutable_frames += 1;
+                    if tracer.is_enabled() {
+                        tracer.instant(
+                            tick,
+                            "gateway.unroutable",
+                            vec![
+                                ("protocol", Value::from(protocol_label(env.protocol))),
+                                ("session", Value::from(env.session)),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+    };
+
+    while open > 0 && ticks < max_ticks {
+        let tick = ticks;
+        // Sides runnable this tick: inbox frames carried over from the
+        // last tick, plus admissions / timer fires / routed frames
+        // collected below.
+        let mut now_a: Vec<usize> = std::mem::take(&mut carry_a);
+        let mut now_b: Vec<usize> = std::mem::take(&mut carry_b);
+
+        // Phase 1 — admit: the policy drains the backlog into the
+        // bounded accept queue, the accept queue fills free active
+        // capacity in FIFO order.
+        while staged.len() < accept_queue {
+            match policy.pop() {
+                Some(idx) => {
+                    if let Some(slot) = slots.get_mut(idx) {
+                        slot.state = SlotState::Staged;
+                    }
+                    staged.push_back(idx);
+                }
+                None => break,
+            }
+        }
+        peak_staged = peak_staged.max(staged.len());
+        while active.len() < max_active {
+            match staged.pop_front() {
+                Some(idx) => {
+                    if let Some(slot) = slots.get_mut(idx) {
+                        slot.state = SlotState::Active;
+                        slot.admitted_at = Some(tick);
+                        if tracer.is_enabled() {
+                            tracer.instant(
+                                tick,
+                                "gateway.admit",
+                                vec![
+                                    ("protocol", Value::from(protocol_label(slot.pair.protocol))),
+                                    ("session", Value::from(slot.pair.id)),
+                                ],
+                            );
+                        }
+                        // Arm the first wake for both sides. The dense
+                        // loop steps a fresh side at the admission tick
+                        // itself, so a side announcing `In(n)` fires at
+                        // `tick + n - 1`; frames queued while staged
+                        // make it runnable immediately.
+                        for side in [Side::A, Side::B] {
+                            let (session, queued) = match side {
+                                Side::A => (slot.pair.initiator.as_ref(), !slot.inbox_a.is_empty()),
+                                Side::B => (slot.pair.responder.as_ref(), !slot.inbox_b.is_empty()),
+                            };
+                            let deadline = session.next_wake().admission_deadline(tick);
+                            let wake = match side {
+                                Side::A => &mut slot.wake_a,
+                                Side::B => &mut slot.wake_b,
+                            };
+                            wake.next_dense_step = tick;
+                            if queued || deadline == Some(tick) {
+                                match side {
+                                    Side::A => now_a.push(idx),
+                                    Side::B => now_b.push(idx),
+                                }
+                            } else if let Some(d) = deadline {
+                                wake.timer = Some(wheel.schedule_at(d, wake_token(idx, side)));
+                            }
+                        }
+                    }
+                    position[idx] = active.len();
+                    active.push(idx);
+                }
+                None => break,
+            }
+        }
+        peak_active = peak_active.max(active.len());
+
+        // Phase 2 — expire: collect the sides whose announced ARQ
+        // deadline is this tick. Timers armed during this tick's
+        // admission all lie strictly in the future.
+        fired.clear();
+        wheel.advance_to(tick, &mut fired);
+        for &(_, token) in &fired {
+            let (idx, side) = token_side(token);
+            match side {
+                Side::A => now_a.push(idx),
+                Side::B => now_b.push(idx),
+            }
+        }
+
+        // Fair rotation: which active session transmits first cycles
+        // with the tick, so early slots get no standing head start on
+        // the shared wire. Runnable sides are stepped in exactly the
+        // rotated order the dense loop would have visited them, so the
+        // shared-wire send sequence is identical.
+        let len = active.len();
+        let rotation = if len == 0 { 0 } else { (tick as usize) % len };
+
+        // Phase 3/4 — deliver pending side-A frames, step runnable
+        // initiators.
+        route(transport, Side::A, &mut slots, tracer, tick, &mut now_a);
+        let run_a = runnable_order(&mut now_a, &slots, &position, len, rotation);
+        for &idx in &run_a {
+            step_wake(
+                transport,
+                &mut slots,
+                &mut wheel,
+                idx,
+                Side::A,
+                tick,
+                &mut session_steps,
+                &mut carry_a,
+                &mut touched,
+            );
+        }
+
+        // Phase 5 — the responder mirror.
+        route(transport, Side::B, &mut slots, tracer, tick, &mut now_b);
+        let run_b = runnable_order(&mut now_b, &slots, &position, len, rotation);
+        for &idx in &run_b {
+            step_wake(
+                transport,
+                &mut slots,
+                &mut wheel,
+                idx,
+                Side::B,
+                tick,
+                &mut session_steps,
+                &mut carry_b,
+                &mut touched,
+            );
+        }
+
+        // Phase 6 — close finished and failed slots. Only slots stepped
+        // this tick can newly satisfy a close condition, and the dense
+        // loop emitted closes in rotation order, so visit the touched
+        // set in that order.
+        touched.sort_unstable_by_key(|&idx| (position[idx] + len - rotation) % len);
+        touched.dedup();
+        let mut any_closed = false;
+        for &idx in &touched {
+            let Some(slot) = slots.get_mut(idx) else {
+                continue;
+            };
+            if matches!(slot.state, SlotState::Closed) {
+                continue;
+            }
+            let ta = slot.admitted_at.unwrap_or(tick);
+            if slot.result.is_some() {
+                // A side failed during stepping this tick. The dense
+                // loop ticked this slot's clock on every prior active
+                // tick but not the failing one.
+                slot.ticks_active = (tick - ta) as u32;
+                slot.state = SlotState::Closed;
+            } else if slot.pair.initiator.done() && slot.pair.responder.done() {
+                slot.ticks_active = (tick - ta + 1) as u32;
+                let t = slot.ticks_active;
+                slot.close(Ok(t));
+            } else {
+                continue;
+            }
+            for wake in [&mut slot.wake_a, &mut slot.wake_b] {
+                if let Some(id) = wake.timer.take() {
+                    wheel.cancel(id);
+                }
+            }
+            dense_equiv_steps += dense_steps_at_close(slot, tick);
+            if tracer.is_enabled() {
+                let ok = matches!(slot.result, Some(Ok(_)));
+                tracer.instant(
+                    tick,
+                    "gateway.session_closed",
+                    vec![
+                        ("protocol", Value::from(protocol_label(slot.pair.protocol))),
+                        ("session", Value::from(slot.pair.id)),
+                        ("ok", Value::from(ok)),
+                        ("ticks", Value::from(slot.ticks_active)),
+                        ("retransmits", Value::from(slot.retransmits())),
+                    ],
+                );
+            }
+            open = open.saturating_sub(1);
+            any_closed = true;
+        }
+        touched.clear();
+        if any_closed {
+            active.retain(|&idx| {
+                let keep = slots
+                    .get(idx)
+                    .is_some_and(|s| !matches!(s.state, SlotState::Closed));
+                if !keep {
+                    position[idx] = usize::MAX;
+                }
+                keep
+            });
+            for (pos, &idx) in active.iter().enumerate() {
+                position[idx] = pos;
+            }
+        }
+
+        ticks += 1;
+    }
+
+    // Budget exhausted: everything still open is unfinished. The
+    // timeout error reports the retransmit tally the session had
+    // actually accumulated when the budget cut it off, not a flat zero.
+    let mut unfinished = 0usize;
+    for slot in &mut slots {
+        if slot.result.is_none() {
+            unfinished += 1;
+            if matches!(slot.state, SlotState::Active) {
+                dense_equiv_steps += dense_steps_unfinished(slot, ticks);
+            }
+            let retries = slot.retransmits();
+            slot.close(Err(ProtocolError::Timeout { retries }));
+        }
+    }
+
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+    let mut retransmits = 0u64;
+    let mut class_stats: BTreeMap<ClassId, ClassAcc> = BTreeMap::new();
+    let outcomes: Vec<GatewayOutcome> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(idx, slot)| {
+            let result = slot
+                .result
+                .unwrap_or(Err(ProtocolError::Timeout { retries: 0 }));
+            let ok = result.is_ok();
+            match &result {
+                Ok(t) => {
+                    completed += 1;
+                    registry.observe("gateway.session_ticks", f64::from(*t));
+                }
+                Err(_) => failed += 1,
+            }
+            let acc = class_stats.entry(slot.pair.class).or_default();
+            acc.submitted += 1;
+            if ok {
+                acc.completed += 1;
+            }
+            match slot.admitted_at {
+                Some(at) => {
+                    acc.admitted += 1;
+                    acc.waits.push(at);
+                }
+                // Submitted but never admitted: the wait is censored at
+                // the run length so starvation shows up in the p99
+                // instead of vanishing.
+                None if enqueued[idx] => acc.waits.push(ticks),
+                None => {}
+            }
+            let r = slot.pair.initiator.retransmits() + slot.pair.responder.retransmits();
+            retransmits += u64::from(r);
+            GatewayOutcome {
+                protocol: slot.pair.protocol,
+                id: slot.pair.id,
+                class: slot.pair.class,
+                result,
+                retransmits: r,
+                admitted_at: slot.admitted_at,
+            }
+        })
+        .collect();
+    // `failed` counted every Err outcome; unfinished sessions are their
+    // own column, not protocol failures.
+    failed = failed.saturating_sub(unfinished);
+
+    registry.counter("gateway.completed", completed as u64);
+    registry.counter("gateway.failed", failed as u64);
+    registry.counter("gateway.unfinished", unfinished as u64);
+    registry.counter("gateway.retransmits", retransmits);
+    registry.counter("gateway.late_frames", late_frames);
+    registry.counter("gateway.unroutable_frames", unroutable_frames);
+    registry.counter("gateway.undecodable_frames", undecodable_frames);
+    registry.counter("gateway.session_steps", session_steps);
+    registry.counter("gateway.dense_equiv_steps", dense_equiv_steps);
+    let per_class = build_class_reports(class_stats, registry);
+
+    let report = GatewayReport {
+        sessions: outcomes.len(),
+        completed,
+        failed,
+        unfinished,
+        ticks,
+        retransmits,
+        late_frames,
+        unroutable_frames,
+        undecodable_frames,
+        peak_active,
+        peak_staged,
+        session_steps,
+        dense_equiv_steps,
+        policy: policy_name,
+        per_class,
+        outcomes,
+    };
+    if tracer.is_enabled() {
+        tracer.instant(
+            ticks.saturating_sub(1),
+            "gateway.result",
+            vec![
+                ("sessions", Value::from(report.sessions)),
+                ("completed", Value::from(report.completed)),
+                ("failed", Value::from(report.failed)),
+                ("unfinished", Value::from(report.unfinished)),
+                ("ticks", Value::from(report.ticks)),
+                ("retransmits", Value::from(report.retransmits)),
+                ("late_frames", Value::from(report.late_frames)),
+                ("peak_active", Value::from(report.peak_active)),
+            ],
+        );
+    }
+    report
+}

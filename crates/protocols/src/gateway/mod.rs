@@ -1,0 +1,152 @@
+//! Concurrent session gateway: many wire sessions, one transport.
+//!
+//! The §III drivers in [`crate::wire`] run exactly one session per
+//! channel. A production verifier terminates *fleets*: hundreds of
+//! devices authenticate, attest, key-exchange and stream inference
+//! blobs over one physical link. This module multiplexes any number of
+//! concurrent [`Session`] pairs — all four protocols mixed freely —
+//! over a single shared [`Transport`] by demultiplexing on the
+//! [`Envelope`] tags (`protocol`, `session`) that every frame already
+//! carries.
+//!
+//! # Module tree
+//!
+//! | module | owns |
+//! |---|---|
+//! | [`mod@admission`] | [`ClassId`] traffic classes, [`AdmissionRequest`], the [`AdmissionPolicy`] trait and its [`Fifo`] / [`DeficitWeightedRoundRobin`] / [`SlaDeadline`] implementations |
+//! | `slot` | [`SessionPair`], per-side ARQ/wake bookkeeping, the shared side-step core and the dense-counterfactual step accounting |
+//! | `dense` | [`GatewayConfig`] and [`run_gateway`] — the batch driver |
+//! | `persistent` | [`KeepAlive`], [`PersistentConfig`] and [`run_persistent_gateway`] — the resident keep-alive driver |
+//! | `report` | [`GatewayReport`], [`PersistentReport`], [`ClassReport`] and the per-class registry accounting |
+//!
+//! # Scheduling model
+//!
+//! The gateway is a deterministic *event-driven* poll loop. The
+//! original implementation stepped every active session on every tick,
+//! so a session idling out a 3-tick ARQ timeout cost as much as one
+//! doing work. The current loop instead wakes a session side only when
+//! something can actually happen to it — a frame arrived for it, or
+//! its ARQ timer (announced via [`Session::next_wake`]) expires — and
+//! fast-forwards the skipped silent steps in O(1) with
+//! [`Session::skip_silence`]. Timer expiry is tracked by a
+//! [`neuropuls_rt::sched::TimerWheel`], so per-tick work is
+//! proportional to the number of *runnable* sides, not the number of
+//! active sessions.
+//!
+//! Each tick:
+//!
+//! 1. **Admit** — sessions move backlog → accept queue → active set.
+//!    The backlog drains in the order chosen by the configured
+//!    [`AdmissionPolicy`] ([`Fifo`] by default — submission order,
+//!    byte-identical to the pre-policy gateway); the accept queue is
+//!    bounded ([`GatewayConfig::accept_queue`]) and the active set is
+//!    bounded ([`GatewayConfig::max_active`]); a session's ARQ clock
+//!    only runs while it is active, so queued sessions cannot time out
+//!    waiting for admission. Newly admitted sides arm their first wake.
+//! 2. **Expire** — the timer wheel advances one tick and yields the
+//!    sides whose ARQ deadline is now.
+//! 3. **Route A** — every frame pending on [`Side::A`] is decoded and
+//!    appended to the owning session's initiator inbox; the owning
+//!    side becomes runnable.
+//! 4. **Step runnable initiators** — each runnable initiator is
+//!    stepped with at most one inbox frame, ordered by the same
+//!    tick-rotated round-robin the dense loop used, so no session
+//!    systematically transmits first and the shared-wire send order is
+//!    identical to the dense schedule.
+//! 5. **Route B / step runnable responders** — the mirror image for
+//!    [`Side::B`].
+//! 6. **Close** — slots touched this tick whose two sides both
+//!    finished (or either side failed) leave the active set, freeing
+//!    capacity for the queue.
+//!
+//! The wake contract makes this observationally identical to the dense
+//! loop: a session reporting [`NextWake::In`]`(n)` guarantees its next
+//! `n - 1` frameless steps are silent idle-clock ticks, which
+//! `skip_silence` replays in one call right before the next real step.
+//! The per-session cadence of [`crate::wire::drive`] is
+//! preserved exactly: an initiator frame sent on tick *t* reaches the
+//! responder on tick *t*, and the reply reaches the initiator on tick
+//! *t + 1*. Over a lossless transport the gateway therefore produces,
+//! per session, byte-identical wire transcripts to running each
+//! session alone (`tests/` pins this property), and the golden
+//! mixed-protocol trace is byte-identical to the dense loop's.
+//!
+//! # Admission policies and traffic classes
+//!
+//! Every [`SessionPair`] carries a host-side [`ClassId`] (derived from
+//! the protocol tag by default, overridable with
+//! [`SessionPair::with_class`]; never encoded on the wire). The
+//! backlog is owned by a boxed [`AdmissionPolicy`]:
+//!
+//! * [`Fifo`] — submission order. The default, and byte-identical to
+//!   the pre-policy gateway on every golden transcript.
+//! * [`DeficitWeightedRoundRobin`] — per-class deficit round-robin
+//!   with configurable weights: every backlogged class is visited in
+//!   rotation and admits sessions in proportion to its weight, so an
+//!   overload burst in one class cannot head-of-line-block the others.
+//! * [`SlaDeadline`] — earliest-admission-deadline-first over the
+//!   deadlines sessions already announce via [`Session::next_wake`],
+//!   with optional per-class SLA offsets.
+//!
+//! [`GatewayReport::per_class`] breaks admissions and backlog waits
+//! out per class (mirrored into the trace [`Registry`] as
+//! `gateway.class.<label>.*`), which is what `exp_admission` (E24)
+//! uses to show FIFO starving a minority class under overload while
+//! DWRR bounds every class's p99 admission wait.
+//!
+//! # Demux rules
+//!
+//! * Frames that do not decode as an [`Envelope`] are dropped and
+//!   counted (`undecodable_frames`); a session treats a missing frame
+//!   exactly like decoded noise, so this cannot change behavior.
+//! * Frames whose `(protocol, session)` key matches a *closed* slot are
+//!   late arrivals — duplicates or reordered stragglers from a session
+//!   that already completed. They are dropped and counted
+//!   (`late_frames`), never silently lost.
+//! * Frames with an unknown key are counted as `unroutable_frames`.
+//!
+//! The gateway itself is single-threaded and allocation-light;
+//! fleet-scale runs fan out *independent* gateways (one per shared
+//! link) on `neuropuls_rt::pool`, whose ordered-merge contract keeps
+//! the aggregate deterministic under any thread count.
+//!
+//! [`Session`]: crate::wire::Session
+//! [`Session::next_wake`]: crate::wire::Session::next_wake
+//! [`Session::skip_silence`]: crate::wire::Session::skip_silence
+//! [`Transport`]: crate::transport::Transport
+//! [`Envelope`]: crate::wire::Envelope
+//! [`Side::A`]: crate::transport::Side::A
+//! [`Side::B`]: crate::transport::Side::B
+//! [`NextWake::In`]: crate::wire::NextWake::In
+//! [`Registry`]: neuropuls_rt::trace::Registry
+
+pub mod admission;
+mod dense;
+mod persistent;
+mod report;
+mod slot;
+
+pub use admission::{
+    AdmissionPolicy, AdmissionRequest, ClassId, DeficitWeightedRoundRobin, Fifo, SlaDeadline,
+};
+pub use dense::{run_gateway, GatewayConfig};
+pub use persistent::{
+    run_persistent_gateway, EpochOutcome, EpochSession, KeepAlive, PersistentConfig, SlotVerdict,
+};
+pub use report::{ClassReport, GatewayOutcome, GatewayReport, PersistentReport};
+pub use slot::SessionPair;
+
+use crate::wire::ProtocolId;
+
+/// Human-readable protocol label for traces and reports.
+pub fn protocol_label(protocol: ProtocolId) -> &'static str {
+    match protocol {
+        ProtocolId::MutualAuth => "mutual_auth",
+        ProtocolId::Attestation => "attestation",
+        ProtocolId::Eke => "eke",
+        ProtocolId::SecureNn => "secure_nn",
+    }
+}
+
+#[cfg(test)]
+mod tests;

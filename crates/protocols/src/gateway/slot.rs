@@ -1,0 +1,351 @@
+//! Session-slot bookkeeping shared by both drivers: the
+//! [`SessionPair`] unit of work, per-side wake/ARQ state, the
+//! timer-token scheme, the shared side-step core and the
+//! dense-counterfactual step accounting.
+
+use super::admission::ClassId;
+use super::protocol_label;
+use crate::error::ProtocolError;
+use crate::transport::{Side, Transport};
+use crate::wire::{ProtocolId, Session, SessionAction};
+use neuropuls_rt::sched::{TimerId, TimerWheel};
+use std::collections::VecDeque;
+
+/// One session to multiplex: the two endpoints plus the envelope key
+/// (`protocol`, `id`) its frames carry on the shared wire.
+pub struct SessionPair<'x> {
+    /// Service discriminator routed on.
+    pub protocol: ProtocolId,
+    /// Session identifier routed on (chosen unique by the caller).
+    pub id: u64,
+    /// Traffic class admission policies schedule on. Host-side only —
+    /// never encoded on the wire. Defaults to the protocol-derived
+    /// class ([`ClassId::from_protocol`]).
+    pub class: ClassId,
+    /// The [`Side::A`] endpoint (verifier / client / initiator).
+    pub initiator: Box<dyn Session + 'x>,
+    /// The [`Side::B`] endpoint (device / accelerator / responder).
+    pub responder: Box<dyn Session + 'x>,
+}
+
+impl<'x> SessionPair<'x> {
+    /// Builds a pair with the protocol-derived default traffic class.
+    pub fn new(
+        protocol: ProtocolId,
+        id: u64,
+        initiator: Box<dyn Session + 'x>,
+        responder: Box<dyn Session + 'x>,
+    ) -> Self {
+        SessionPair {
+            protocol,
+            id,
+            class: ClassId::from_protocol(protocol),
+            initiator,
+            responder,
+        }
+    }
+
+    /// Overrides the traffic class (builder style).
+    pub fn with_class(mut self, class: ClassId) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Human-readable `protocol/id` key for error messages.
+    pub(super) fn key_label(&self) -> String {
+        format!("{}/{}", protocol_label(self.protocol), self.id)
+    }
+}
+
+/// Where a dense-driver slot sits in its lifecycle.
+pub(super) enum SlotState {
+    Backlog,
+    Staged,
+    Active,
+    Closed,
+}
+
+/// Event-scheduling bookkeeping for one side of one slot.
+#[derive(Clone, Copy, Default)]
+pub(super) struct WakeState {
+    /// Tick of the next dense-loop step not yet replayed: every dense
+    /// step before it has been applied, either directly or folded into
+    /// a [`Session::skip_silence`] fast-forward.
+    pub(super) next_dense_step: u64,
+    /// Armed timer for the side's announced wake deadline.
+    pub(super) timer: Option<TimerId>,
+    /// Tick this side first reported done (`None` while in flight).
+    pub(super) done_tick: Option<u64>,
+    /// Steps taken after done — frame-driven duplicate re-serves.
+    pub(super) post_done_steps: u64,
+}
+
+pub(super) struct Slot<'x> {
+    pub(super) pair: SessionPair<'x>,
+    pub(super) state: SlotState,
+    pub(super) inbox_a: VecDeque<Vec<u8>>,
+    pub(super) inbox_b: VecDeque<Vec<u8>>,
+    pub(super) admitted_at: Option<u64>,
+    pub(super) ticks_active: u32,
+    pub(super) result: Option<Result<u32, ProtocolError>>,
+    pub(super) wake_a: WakeState,
+    pub(super) wake_b: WakeState,
+    /// Which side's step failure closed the slot (ordering detail the
+    /// dense-equivalent step accounting needs).
+    pub(super) failed_side: Option<Side>,
+}
+
+impl Slot<'_> {
+    pub(super) fn close(&mut self, result: Result<u32, ProtocolError>) {
+        self.state = SlotState::Closed;
+        self.result = Some(result);
+    }
+
+    pub(super) fn retransmits(&self) -> u32 {
+        self.pair.initiator.retransmits() + self.pair.responder.retransmits()
+    }
+}
+
+/// Timer-wheel token for one side of one slot.
+pub(super) fn wake_token(idx: usize, side: Side) -> u64 {
+    ((idx as u64) << 1) | u64::from(side == Side::B)
+}
+
+/// Inverse of [`wake_token`].
+pub(super) fn token_side(token: u64) -> (usize, Side) {
+    let side = if token & 1 == 0 { Side::A } else { Side::B };
+    ((token >> 1) as usize, side)
+}
+
+/// Dedups one tick's candidate runnable sides and orders them exactly
+/// as the dense loop's tick-rotated round-robin would have visited
+/// them. Stale candidates (slots no longer active) are dropped.
+pub(super) fn runnable_order(
+    cand: &mut Vec<usize>,
+    slots: &[Slot<'_>],
+    position: &[usize],
+    len: usize,
+    rotation: usize,
+) -> Vec<usize> {
+    if len == 0 {
+        cand.clear();
+        return Vec::new();
+    }
+    let mut keyed: Vec<(usize, usize)> = cand
+        .drain(..)
+        .filter(|&idx| {
+            slots
+                .get(idx)
+                .is_some_and(|s| matches!(s.state, SlotState::Active))
+                && position.get(idx).is_some_and(|&p| p != usize::MAX)
+        })
+        .map(|idx| ((position[idx] + len - rotation) % len, idx))
+        .collect();
+    keyed.sort_unstable();
+    keyed.dedup();
+    keyed.into_iter().map(|(_, idx)| idx).collect()
+}
+
+/// Steps one runnable side of one active slot with at most one inbox
+/// frame, after fast-forwarding the silent steps the dense loop would
+/// have taken since the side's last real step. Mirrors the per-tick
+/// cadence of [`crate::wire::drive`]: a finished side with an
+/// empty inbox is left alone (its clock stops), a finished side *with*
+/// a frame still steps so it can re-serve duplicates, and a step
+/// failure closes the whole slot. Re-arms the side's wake timer from
+/// [`Session::next_wake`] and carries the side to the next tick when
+/// its inbox still holds queued frames.
+#[expect(
+    clippy::too_many_arguments,
+    reason = "all per-tick scheduler state is threaded explicitly"
+)]
+pub(super) fn step_wake<T: Transport>(
+    transport: &mut T,
+    slots: &mut [Slot<'_>],
+    wheel: &mut TimerWheel,
+    idx: usize,
+    side: Side,
+    tick: u64,
+    session_steps: &mut u64,
+    carry: &mut Vec<usize>,
+    touched: &mut Vec<usize>,
+) {
+    let Some(slot) = slots.get_mut(idx) else {
+        return;
+    };
+    if slot.result.is_some() || !matches!(slot.state, SlotState::Active) {
+        return;
+    }
+    let frame = match side {
+        Side::A => slot.inbox_a.pop_front(),
+        Side::B => slot.inbox_b.pop_front(),
+    };
+    let queued_after = match side {
+        Side::A => !slot.inbox_a.is_empty(),
+        Side::B => !slot.inbox_b.is_empty(),
+    };
+    let (session, wake): (&mut dyn Session, &mut WakeState) = match side {
+        Side::A => (slot.pair.initiator.as_mut(), &mut slot.wake_a),
+        Side::B => (slot.pair.responder.as_mut(), &mut slot.wake_b),
+    };
+    let out = step_side_core(
+        transport,
+        session,
+        wake,
+        frame,
+        wheel,
+        wake_token(idx, side),
+        side,
+        tick,
+        session_steps,
+    );
+    if !out.stepped {
+        return;
+    }
+    touched.push(idx);
+    if let Some(e) = out.error {
+        slot.result = Some(Err(e));
+        slot.failed_side = Some(side);
+    }
+    if slot.result.is_none() && queued_after {
+        carry.push(idx);
+    }
+}
+
+/// What [`step_side_core`] produced: whether a real `Session::step`
+/// happened, and the failure that must close the slot, if any.
+pub(super) struct SideStep {
+    pub(super) stepped: bool,
+    pub(super) error: Option<ProtocolError>,
+}
+
+/// The side-step core shared by [`run_gateway`] and
+/// [`run_persistent_gateway`]: replays the silent gap the dense loop
+/// would have ticked through, makes at most one real `Session::step`
+/// with `frame`, re-arms the side's wake timer from
+/// [`Session::next_wake`] (under `token`) and transmits whatever the
+/// step produced. A finished side with no frame is left alone — its
+/// clock is stopped, exactly like the dense loop.
+///
+/// [`run_gateway`]: super::run_gateway
+/// [`run_persistent_gateway`]: super::run_persistent_gateway
+#[expect(
+    clippy::too_many_arguments,
+    reason = "all per-tick scheduler state is threaded explicitly"
+)]
+pub(super) fn step_side_core<T: Transport>(
+    transport: &mut T,
+    session: &mut dyn Session,
+    wake: &mut WakeState,
+    frame: Option<Vec<u8>>,
+    wheel: &mut TimerWheel,
+    token: u64,
+    side: Side,
+    tick: u64,
+    session_steps: &mut u64,
+) -> SideStep {
+    if frame.is_none() && session.done() {
+        // The dense loop skips a finished side with nothing to read.
+        return SideStep {
+            stepped: false,
+            error: None,
+        };
+    }
+    let was_done = session.done();
+    if !was_done {
+        // Replay the frameless steps the dense loop took between this
+        // side's last real step and now; the `NextWake` contract
+        // guarantees they were all silent idle-clock ticks.
+        let gap = tick.saturating_sub(wake.next_dense_step);
+        if gap > 0 {
+            session.skip_silence(gap as u32);
+        }
+    }
+    *session_steps += 1;
+    let step_result = session.step(frame.as_deref());
+    let now_done = session.done();
+    let wants = if step_result.is_ok() && !now_done {
+        Some(session.next_wake())
+    } else {
+        None
+    };
+    wake.next_dense_step = tick + 1;
+    if was_done {
+        wake.post_done_steps += 1;
+    } else if now_done && wake.done_tick.is_none() {
+        wake.done_tick = Some(tick);
+    }
+    if let Some(id) = wake.timer.take() {
+        wheel.cancel(id);
+    }
+    if let Some(w) = wants {
+        if let Some(d) = w.rearm_deadline(tick) {
+            wake.timer = Some(wheel.schedule_at(d, token));
+        }
+    }
+    match step_result {
+        Ok(SessionAction::Send(f)) => {
+            transport.send(side, f);
+            SideStep {
+                stepped: true,
+                error: None,
+            }
+        }
+        Ok(SessionAction::Wait | SessionAction::Done) => SideStep {
+            stepped: true,
+            error: None,
+        },
+        Err(e) => SideStep {
+            stepped: true,
+            error: Some(e),
+        },
+    }
+}
+
+/// `Session::step` calls the dense O(active) loop would have made for
+/// this slot, reconstructed when the slot closes at `tick`. Per side:
+/// one step per active tick until the side finished (or the slot
+/// closed), plus the frame-driven steps a finished side took to
+/// re-serve duplicates.
+pub(super) fn dense_steps_at_close(slot: &Slot<'_>, tick: u64) -> u64 {
+    let Some(ta) = slot.admitted_at else {
+        return 0;
+    };
+    let mut total = 0u64;
+    for side in [Side::A, Side::B] {
+        let wake = match side {
+            Side::A => &slot.wake_a,
+            Side::B => &slot.wake_b,
+        };
+        // The last tick the dense loop would step this side: the close
+        // tick, except the responder of a slot whose initiator failed
+        // earlier in the same tick (its phase never runs).
+        let last = if matches!((slot.failed_side, side), (Some(Side::A), Side::B)) {
+            tick.saturating_sub(1)
+        } else {
+            tick
+        };
+        total += match wake.done_tick {
+            Some(td) => (td - ta + 1) + wake.post_done_steps,
+            None => (last + 1).saturating_sub(ta),
+        };
+    }
+    total
+}
+
+/// [`dense_steps_at_close`] for a slot still active when the tick
+/// budget (`end` ticks, exclusive) ran out: the dense loop would have
+/// stepped each unfinished side on every remaining tick.
+pub(super) fn dense_steps_unfinished(slot: &Slot<'_>, end: u64) -> u64 {
+    let Some(ta) = slot.admitted_at else {
+        return 0;
+    };
+    let mut total = 0u64;
+    for wake in [&slot.wake_a, &slot.wake_b] {
+        total += match wake.done_tick {
+            Some(td) => (td - ta + 1) + wake.post_done_steps,
+            None => end.saturating_sub(ta),
+        };
+    }
+    total
+}

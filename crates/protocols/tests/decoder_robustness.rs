@@ -258,6 +258,43 @@ fn message_tag_sweep_never_panics() {
 }
 
 #[test]
+fn cross_spliced_frames_decode_to_typed_errors() {
+    // Corpus splicing: cut two *different* harvested frames at seeded
+    // random points and join the head of one to the tail of the other.
+    // Splices keep long runs of valid structure — plausible magic,
+    // version and length prefixes followed by another message's body —
+    // which is exactly the shape that slips past prefix checks and
+    // into a decoder's field-by-field path. Every splice must come
+    // back from every decoder as Ok or a typed error, never a panic.
+    let frames = harvest_frames();
+    let mut rng = StdRng::seed_from_u64(0x000D_EC0D_E517);
+    let mut accepted_total = 0usize;
+    for _ in 0..2048 {
+        let a = &frames[rng.gen_range(0..frames.len())];
+        let b = &frames[rng.gen_range(0..frames.len())];
+        let cut_a = rng.gen_range(0..=a.len());
+        let cut_b = rng.gen_range(0..=b.len());
+        let mut spliced = Vec::with_capacity(cut_a + b.len() - cut_b);
+        spliced.extend_from_slice(&a[..cut_a]);
+        spliced.extend_from_slice(&b[cut_b..]);
+        accepted_total += poke_every_decoder(&spliced);
+        if let Ok(envelope) = Envelope::from_bytes(&spliced) {
+            // A splice that survives the framing layer (e.g. head and
+            // tail cut at the same offset of same-length frames) must
+            // still reopen as a typed result.
+            open_by_protocol(&envelope);
+        }
+    }
+    // Some splices reassemble into whole valid frames (both cuts at a
+    // frame boundary, or same-shape frames); a flood of accepts would
+    // mean the decoders are not length-checking the joined halves.
+    assert!(
+        accepted_total < 2048,
+        "{accepted_total} spliced buffers decoded as valid messages"
+    );
+}
+
+#[test]
 fn seeded_random_bytes_never_panic_any_decoder() {
     let mut rng = StdRng::seed_from_u64(0x000D_EC0D_EB07);
     let mut accepted_total = 0usize;

@@ -35,8 +35,8 @@ use crate::event::{EventQueue, Tick};
 use neuropuls_photonic::process::DieId;
 use neuropuls_protocols::attestation::{AttestationVerifier, AttestingDevice, TimingModel};
 use neuropuls_protocols::gateway::{
-    run_gateway, run_persistent_gateway, EpochOutcome, EpochSession, GatewayConfig, KeepAlive,
-    PersistentConfig, SessionPair, SlotVerdict,
+    run_gateway, run_persistent_gateway, ClassId, EpochOutcome, EpochSession, GatewayConfig,
+    KeepAlive, PersistentConfig, SessionPair, SlotVerdict,
 };
 use neuropuls_protocols::mutual_auth::{
     Device as AuthDevice, Verifier as AuthVerifier, WireDevice, WireVerifier,
@@ -378,6 +378,7 @@ pub fn run_fleet(config: &FleetConfig, tracer: &mut Tracer, registry: &Registry)
             max_active: 64,
             accept_queue: 16,
             max_ticks: 4096.max(config.devices as u64 * 64),
+            ..GatewayConfig::default()
         };
         for round in 0..config.auth_sessions {
             // Exclusive checkout of this round's verifier records, in
@@ -392,17 +393,23 @@ pub fn run_fleet(config: &FleetConfig, tracer: &mut Tracer, registry: &Registry)
             let mut sessions: Vec<SessionPair<'_>> = Vec::new();
             for ((i, device), (_, verifier)) in devices.iter_mut().zip(checked.iter_mut()) {
                 let sid = (round * config.devices + *i) as u64 + 1;
-                sessions.push(SessionPair {
-                    protocol: ProtocolId::MutualAuth,
-                    id: sid,
-                    initiator: Box::new(WireVerifier::new(verifier, sid, SessionConfig::default())),
-                    responder: Box::new(WireDevice::new(device, SessionConfig::default())),
-                });
+                sessions.push(
+                    SessionPair::new(
+                        ProtocolId::MutualAuth,
+                        sid,
+                        Box::new(WireVerifier::new(verifier, sid, SessionConfig::default())),
+                        Box::new(WireDevice::new(device, SessionConfig::default())),
+                    )
+                    // Control-plane class: auth rounds must not be
+                    // starved by bulk inference traffic under a
+                    // class-aware policy.
+                    .with_class(ClassId::CONTROL_AUTH),
+                );
             }
             let gw = run_gateway(
                 &mut link,
                 sessions,
-                gateway_cfg,
+                gateway_cfg.clone(),
                 &mut Tracer::disabled(),
                 registry,
             );
@@ -735,6 +742,13 @@ impl KeepAlive for PersistentFleetController {
             at: self.last_fire[slot] + self.period + j,
         }
     }
+
+    fn class(&self, _slot: usize) -> ClassId {
+        // Persistent re-attestation epochs are control-plane traffic:
+        // under a class-aware policy they rank alongside the dense
+        // driver's auth rounds, ahead of bulk inference.
+        ClassId::CONTROL_AUTH
+    }
 }
 
 /// Runs the fleet on long-lived persistent sessions.
@@ -822,6 +836,7 @@ pub fn run_fleet_persistent(
         PersistentConfig {
             horizon: config.horizon,
             epoch_budget: config.epoch_budget,
+            ..PersistentConfig::default()
         },
         tracer,
         registry,

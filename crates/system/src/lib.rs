@@ -1,6 +1,7 @@
 // Indexed loops over parallel arrays are the clearest form for the
 // numeric kernels in this crate.
 #![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
 
 //! gem5-like system-level model — §V of the paper.
 //!

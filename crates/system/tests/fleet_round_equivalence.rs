@@ -73,23 +73,24 @@ fn round_by_round_records(devices: usize, epochs: u32, loss: f64, seed: u64) -> 
         max_active: 64,
         accept_queue: 16,
         max_ticks: 4096.max(devices as u64 * 64),
+        ..GatewayConfig::default()
     };
     let mut records = Vec::new();
     for round in 0..epochs {
         let mut sessions: Vec<SessionPair<'_>> = Vec::new();
         for (i, (device, verifier)) in devs.iter_mut().zip(vers.iter_mut()).enumerate() {
             let sid = u64::from(round) * devices as u64 + i as u64 + 1;
-            sessions.push(SessionPair {
-                protocol: ProtocolId::MutualAuth,
-                id: sid,
-                initiator: Box::new(WireVerifier::new(&mut *verifier, sid, cfg)),
-                responder: Box::new(WireDevice::new(&mut *device, cfg)),
-            });
+            sessions.push(SessionPair::new(
+                ProtocolId::MutualAuth,
+                sid,
+                Box::new(WireVerifier::new(&mut *verifier, sid, cfg)),
+                Box::new(WireDevice::new(&mut *device, cfg)),
+            ));
         }
         let gw = run_gateway(
             &mut link,
             sessions,
-            gateway_cfg,
+            gateway_cfg.clone(),
             &mut Tracer::disabled(),
             &Registry::new(),
         );

@@ -25,7 +25,9 @@ use neuropuls_protocols::attestation::{
 };
 use neuropuls_protocols::attestation::{WireAttestationVerifier, WireAttestingDevice};
 use neuropuls_protocols::eke::{run_wire_exchange, EkeParty, WireEkeInitiator, WireEkeResponder};
-use neuropuls_protocols::gateway::{run_gateway, GatewayConfig, SessionPair};
+use neuropuls_protocols::gateway::{
+    run_gateway, ClassId, DeficitWeightedRoundRobin, GatewayConfig, SessionPair,
+};
 use neuropuls_protocols::mutual_auth::{
     run_wire_session, Device, Verifier, WireDevice, WireVerifier,
 };
@@ -251,30 +253,30 @@ fn golden_gateway_mixed_session() {
     let input_blob = owner.cipher_input(&[0.75, -0.5, 0.25, 1.0]);
 
     let sessions = vec![
-        SessionPair {
-            protocol: ProtocolId::MutualAuth,
-            id: 1,
-            initiator: Box::new(WireVerifier::new(&mut auth_verifier, 1, cfg)),
-            responder: Box::new(WireDevice::new(&mut auth_device, cfg)),
-        },
-        SessionPair {
-            protocol: ProtocolId::Attestation,
-            id: 2,
-            initiator: Box::new(WireAttestationVerifier::new(&mut att_verifier, 2, cfg)),
-            responder: Box::new(WireAttestingDevice::new(&mut att_device, cfg)),
-        },
-        SessionPair {
-            protocol: ProtocolId::Eke,
-            id: 3,
-            initiator: Box::new(WireEkeInitiator::new(&mut eke_initiator, 3, cfg)),
-            responder: Box::new(WireEkeResponder::new(&mut eke_responder, cfg)),
-        },
-        SessionPair {
-            protocol: ProtocolId::SecureNn,
-            id: 4,
-            initiator: Box::new(WireNnClient::new(4, network_blob, input_blob, cfg)),
-            responder: Box::new(WireNnServer::new(&mut accel, cfg)),
-        },
+        SessionPair::new(
+            ProtocolId::MutualAuth,
+            1,
+            Box::new(WireVerifier::new(&mut auth_verifier, 1, cfg)),
+            Box::new(WireDevice::new(&mut auth_device, cfg)),
+        ),
+        SessionPair::new(
+            ProtocolId::Attestation,
+            2,
+            Box::new(WireAttestationVerifier::new(&mut att_verifier, 2, cfg)),
+            Box::new(WireAttestingDevice::new(&mut att_device, cfg)),
+        ),
+        SessionPair::new(
+            ProtocolId::Eke,
+            3,
+            Box::new(WireEkeInitiator::new(&mut eke_initiator, 3, cfg)),
+            Box::new(WireEkeResponder::new(&mut eke_responder, cfg)),
+        ),
+        SessionPair::new(
+            ProtocolId::SecureNn,
+            4,
+            Box::new(WireNnClient::new(4, network_blob, input_blob, cfg)),
+            Box::new(WireNnServer::new(&mut accel, cfg)),
+        ),
     ];
 
     let mut channel = lossy(0x601D_0005);
@@ -289,4 +291,91 @@ fn golden_gateway_mixed_session() {
     );
     assert!(report.all_completed(), "{report:?}");
     check_golden("gateway", &tracer.to_jsonl());
+}
+
+/// The same four-protocol mix under a *class-aware* admission policy:
+/// two active slots force a live backlog, the authentication session is
+/// tagged control-plane and the inference session bulk, and deficit
+/// weighted round-robin interleaves the classes instead of draining the
+/// backlog in submission order. The fixture pins the weighted admission
+/// schedule — the policy seam's non-FIFO side — byte for byte.
+#[test]
+fn golden_gateway_wfq() {
+    let cfg = SessionConfig::default();
+
+    let (mut auth_device, provisioned) = Device::provision(
+        PhotonicPuf::reference(DieId(35), 1),
+        vec![0x96; 1024],
+        b"golden-wfq-provision",
+    )
+    .expect("provisions");
+    let mut auth_verifier = Verifier::new(provisioned, b"golden-wfq-verifier");
+
+    let memory: Vec<u8> = (0..1024).map(|i| (i * 43 % 233) as u8).collect();
+    let timing = TimingModel::photonic();
+    let mut att_device =
+        AttestingDevice::new(PhotonicPuf::reference(DieId(36), 1), memory.clone(), timing);
+    let mut att_verifier =
+        AttestationVerifier::new(PhotonicPuf::reference(DieId(36), 2), memory, timing);
+
+    let crp = Response::from_u64(0x601D_0F6A, 63);
+    let mut eke_initiator = EkeParty::new(&crp, b"golden-wfq-eke-init");
+    let mut eke_responder = EkeParty::new(&crp, b"golden-wfq-eke-resp");
+
+    let key = [0x69; 32];
+    let mut owner = NetworkOwner::new(key, b"golden-wfq-owner");
+    let mut accel = SecureAccelerator::new(PhotonicEngine::reference(1), key);
+    let net = NetworkConfig::mlp(&[4, 4], |_, o, i| if o == i { 1.0 } else { 0.0 });
+    let network_blob = owner.cipher_network(&net);
+    let input_blob = owner.cipher_input(&[0.5, 1.0, -0.75, 0.25]);
+
+    let sessions = vec![
+        SessionPair::new(
+            ProtocolId::MutualAuth,
+            1,
+            Box::new(WireVerifier::new(&mut auth_verifier, 1, cfg)),
+            Box::new(WireDevice::new(&mut auth_device, cfg)),
+        )
+        .with_class(ClassId::CONTROL_AUTH),
+        SessionPair::new(
+            ProtocolId::Attestation,
+            2,
+            Box::new(WireAttestationVerifier::new(&mut att_verifier, 2, cfg)),
+            Box::new(WireAttestingDevice::new(&mut att_device, cfg)),
+        )
+        .with_class(ClassId::CONTROL_AUTH),
+        SessionPair::new(
+            ProtocolId::Eke,
+            3,
+            Box::new(WireEkeInitiator::new(&mut eke_initiator, 3, cfg)),
+            Box::new(WireEkeResponder::new(&mut eke_responder, cfg)),
+        )
+        .with_class(ClassId::INFERENCE),
+        SessionPair::new(
+            ProtocolId::SecureNn,
+            4,
+            Box::new(WireNnClient::new(4, network_blob, input_blob, cfg)),
+            Box::new(WireNnServer::new(&mut accel, cfg)),
+        )
+        .with_class(ClassId::INFERENCE),
+    ];
+
+    let mut channel = lossy(0x601D_0006);
+    let mut tracer = Tracer::new();
+    let registry = Registry::new();
+    let report = run_gateway(
+        &mut channel,
+        sessions,
+        GatewayConfig {
+            max_active: 2,
+            accept_queue: 2,
+            policy: Box::new(DeficitWeightedRoundRobin::new()),
+            ..GatewayConfig::default()
+        },
+        &mut tracer,
+        &registry,
+    );
+    assert!(report.all_completed(), "{report:?}");
+    assert_eq!(report.policy, "dwrr", "{report:?}");
+    check_golden("gateway_wfq", &tracer.to_jsonl());
 }
